@@ -1,0 +1,107 @@
+// Benchmarks regenerating the paper's evaluation (Section V): one
+// testing.B benchmark per figure. Each runs the corresponding experiment
+// in quick mode and reports the figure's headline numbers as custom
+// metrics, so `go test -bench=.` doubles as a reproduction run. Use
+// cmd/dclbench for full-size runs and formatted tables.
+package dopencl_test
+
+import (
+	"testing"
+
+	"dopencl/internal/exp"
+)
+
+func quickOpts() exp.Options { return exp.Options{Quick: true} }
+
+// BenchmarkFig4Mandelbrot regenerates Fig. 4: Mandelbrot on 2-16 cluster
+// devices, MPI+OpenCL baseline vs dOpenCL, stacked init/exec/transfer.
+func BenchmarkFig4Mandelbrot(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunFig4(quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.ExecAt("dOpenCL", 2), "dcl2_exec_s")
+		b.ReportMetric(res.ExecAt("dOpenCL", 16), "dcl16_exec_s")
+		b.ReportMetric(res.ExecAt("MPI+OpenCL", 2), "mpi2_exec_s")
+		b.ReportMetric(res.ExecAt("MPI+OpenCL", 16), "mpi16_exec_s")
+	}
+}
+
+// BenchmarkFig5OSEM regenerates Fig. 5: list-mode OSEM mean iteration
+// runtime — desktop GPU vs dOpenCL offload vs native server.
+func BenchmarkFig5OSEM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunFig5(quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, e := range res.Entries {
+			switch e.Config {
+			case "Desktop PC using OpenCL":
+				b.ReportMetric(e.MeanIteration, "desktop_s")
+			case "Desktop PC using dOpenCL":
+				b.ReportMetric(e.MeanIteration, "dopencl_s")
+			case "Server using native OpenCL":
+				b.ReportMetric(e.MeanIteration, "native_s")
+			}
+		}
+		b.ReportMetric(res.Speedup(), "speedup_x")
+	}
+}
+
+// BenchmarkFig6DeviceManager regenerates Fig. 6: 1-4 concurrent clients
+// sharing a 4-GPU server, with and without the device manager.
+func BenchmarkFig6DeviceManager(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunFig6(quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, e := range res.Entries {
+			if e.Clients == 4 {
+				if e.Managed {
+					b.ReportMetric(e.Total(), "managed4_total_s")
+				} else {
+					b.ReportMetric(e.Total(), "unmanaged4_total_s")
+				}
+			}
+			if e.Clients == 1 && e.Managed {
+				b.ReportMetric(e.Total(), "managed1_total_s")
+			}
+		}
+	}
+}
+
+// BenchmarkFig7Transfer regenerates Fig. 7: 1024 MB write/read over
+// Gigabit Ethernet (dOpenCL) vs PCI Express (native).
+func BenchmarkFig7Transfer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunFig7(quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.GigEWrite, "gige_write_s")
+		b.ReportMetric(res.GigERead, "gige_read_s")
+		b.ReportMetric(res.PCIeWrite, "pcie_write_s")
+		b.ReportMetric(res.PCIeRead, "pcie_read_s")
+		b.ReportMetric(res.WriteRatio(), "write_ratio_x")
+		b.ReportMetric(res.ReadRatio(), "read_ratio_x")
+	}
+}
+
+// BenchmarkFig8Efficiency regenerates Fig. 8: dOpenCL transfer efficiency
+// vs chunk size, with the iperf-equivalent baseline.
+func BenchmarkFig8Efficiency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunFig8(quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.IperfEff*100, "iperf_pct")
+		if n := len(res.Points); n > 0 {
+			b.ReportMetric(res.Points[0].WriteEff*100, "small_write_pct")
+			b.ReportMetric(res.Points[n-1].WriteEff*100, "large_write_pct")
+		}
+	}
+}

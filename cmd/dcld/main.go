@@ -1,0 +1,105 @@
+// Command dcld is the dOpenCL daemon: it exposes this node's (simulated)
+// OpenCL devices to remote dOpenCL clients over TCP.
+//
+// Device specs take the form type:count[:units], comma-separated:
+//
+//	dcld -listen :7079 -devices cpu:1:12,gpu:2
+//
+// Managed mode registers the daemon with a device manager; clients then
+// only see devices assigned to their lease:
+//
+//	dcld -listen :7079 -devices gpu:4 -managed -devmgr manager:7080 -addr gpuserver:7079
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"strconv"
+	"strings"
+
+	"dopencl/internal/cl"
+	"dopencl/internal/daemon"
+	"dopencl/internal/device"
+	"dopencl/internal/native"
+)
+
+func parseDevices(spec string) ([]device.Config, error) {
+	var out []device.Config
+	for _, part := range strings.Split(spec, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("device spec %q: want type:count[:units]", part)
+		}
+		typ, err := cl.ParseDeviceType(fields[0])
+		if err != nil {
+			return nil, err
+		}
+		count, err := strconv.Atoi(fields[1])
+		if err != nil || count <= 0 {
+			return nil, fmt.Errorf("device spec %q: bad count", part)
+		}
+		units := 4
+		if len(fields) > 2 {
+			units, err = strconv.Atoi(fields[2])
+			if err != nil || units <= 0 {
+				return nil, fmt.Errorf("device spec %q: bad unit count", part)
+			}
+		}
+		for i := 0; i < count; i++ {
+			cfg := device.TestCPU(fmt.Sprintf("%s%d", strings.ToLower(typ.String()), i))
+			cfg.Type = typ
+			cfg.ComputeUnits = units
+			out = append(out, cfg)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no devices specified")
+	}
+	return out, nil
+}
+
+func main() {
+	listen := flag.String("listen", ":7079", "TCP address to listen on")
+	devices := flag.String("devices", "cpu:1:4", "device specs: type:count[:units],...")
+	name := flag.String("name", "dcld", "server name reported to clients")
+	managed := flag.Bool("managed", false, "managed mode: register with a device manager")
+	devmgrAddr := flag.String("devmgr", "", "device manager address (managed mode)")
+	selfAddr := flag.String("addr", "", "address clients use to reach this daemon (managed mode)")
+	flag.Parse()
+
+	cfgs, err := parseDevices(*devices)
+	if err != nil {
+		log.Fatalf("dcld: %v", err)
+	}
+	plat := native.NewPlatform(*name, "dOpenCL simulated vendor", cfgs)
+	d, err := daemon.New(daemon.Config{
+		Name: *name, Platform: plat, Managed: *managed, Logf: log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("dcld: %v", err)
+	}
+
+	if *managed {
+		if *devmgrAddr == "" || *selfAddr == "" {
+			log.Fatal("dcld: managed mode requires -devmgr and -addr")
+		}
+		conn, err := net.Dial("tcp", *devmgrAddr)
+		if err != nil {
+			log.Fatalf("dcld: connecting to device manager: %v", err)
+		}
+		if err := d.AttachManager(conn, *selfAddr); err != nil {
+			log.Fatalf("dcld: %v", err)
+		}
+	}
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("dcld: %v", err)
+	}
+	log.Printf("dcld: serving %d devices on %s (managed=%v)", len(cfgs), *listen, *managed)
+	if err := d.Serve(l); err != nil {
+		log.Fatalf("dcld: %v", err)
+	}
+}

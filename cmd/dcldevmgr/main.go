@@ -1,0 +1,42 @@
+// Command dcldevmgr runs the dOpenCL device manager (Section IV of the
+// paper): the central service that assigns devices of managed daemons to
+// client applications via leases.
+//
+//	dcldevmgr -listen :7080
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+
+	"dopencl/internal/devmgr"
+)
+
+func main() {
+	listen := flag.String("listen", ":7080", "TCP address to listen on")
+	strategy := flag.String("strategy", "least-loaded", "scheduling strategy: least-loaded, first-fit or round-robin")
+	flag.Parse()
+
+	var sched devmgr.Scheduler
+	switch *strategy {
+	case "least-loaded":
+		sched = devmgr.LeastLoaded{}
+	case "first-fit":
+		sched = devmgr.FirstFit{}
+	case "round-robin":
+		sched = &devmgr.RoundRobin{}
+	default:
+		log.Fatalf("dcldevmgr: unknown strategy %q", *strategy)
+	}
+
+	m := devmgr.New(devmgr.WithLogf(log.Printf), devmgr.WithScheduler(sched))
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("dcldevmgr: %v", err)
+	}
+	log.Printf("dcldevmgr: listening on %s (strategy %s)", *listen, *strategy)
+	if err := m.Serve(l); err != nil {
+		log.Fatalf("dcldevmgr: %v", err)
+	}
+}

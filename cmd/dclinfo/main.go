@@ -1,0 +1,77 @@
+// Command dclinfo lists the platforms and devices visible to a dOpenCL
+// client, in the spirit of the classic clinfo tool. Servers come from the
+// command line or from a configuration file in the paper's Listing 2
+// format.
+//
+//	dclinfo server1:7079 server2:7079
+//	dclinfo -config dcl.conf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+
+	"dopencl/internal/cl"
+	"dopencl/internal/client"
+)
+
+func main() {
+	configPath := flag.String("config", "", "server list file (Listing 2 format)")
+	flag.Parse()
+
+	plat := client.NewPlatform(client.Options{
+		Dialer:     func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) },
+		ClientName: "dclinfo",
+	})
+
+	addrs := flag.Args()
+	if *configPath != "" {
+		f, err := os.Open(*configPath)
+		if err != nil {
+			log.Fatalf("dclinfo: %v", err)
+		}
+		fromFile, err := client.ParseServerList(f)
+		if cerr := f.Close(); cerr != nil {
+			log.Fatalf("dclinfo: %v", cerr)
+		}
+		if err != nil {
+			log.Fatalf("dclinfo: %v", err)
+		}
+		addrs = append(addrs, fromFile...)
+	}
+	if len(addrs) == 0 {
+		log.Fatal("dclinfo: no servers given (pass addresses or -config)")
+	}
+
+	for _, addr := range addrs {
+		if _, err := plat.ConnectServer(addr); err != nil {
+			log.Fatalf("dclinfo: connecting to %s: %v", addr, err)
+		}
+	}
+
+	fmt.Printf("Platform:   %s\n", plat.Name())
+	fmt.Printf("Vendor:     %s\n", plat.Vendor())
+	fmt.Printf("Version:    %s\n", plat.Version())
+	fmt.Printf("Servers:    %d\n\n", len(plat.Servers()))
+
+	devs, err := plat.Devices(cl.DeviceTypeAll)
+	if err != nil {
+		log.Fatalf("dclinfo: %v", err)
+	}
+	for i, d := range devs {
+		cd := d.(*client.Device)
+		info := d.Info()
+		fmt.Printf("Device #%d: %s\n", i, info.Name)
+		fmt.Printf("  Server:           %s\n", cd.Server().Addr())
+		fmt.Printf("  Type:             %s\n", info.Type)
+		fmt.Printf("  Vendor:           %s\n", info.Vendor)
+		fmt.Printf("  Compute units:    %d\n", info.ComputeUnits)
+		fmt.Printf("  Clock:            %d MHz\n", info.ClockMHz)
+		fmt.Printf("  Global memory:    %d MB\n", info.GlobalMemSize>>20)
+		fmt.Printf("  Max workgroup:    %d\n", info.MaxWorkGroupSize)
+		fmt.Printf("  Version:          %s\n\n", info.Version)
+	}
+}

@@ -1,0 +1,81 @@
+// Package dopencl is a Go reimplementation of dOpenCL (Kegel, Steuwer,
+// Gorlatch: "dOpenCL: Towards a Uniform Programming Approach for
+// Distributed Heterogeneous Multi-/Many-Core Systems", IPDPSW 2012):
+// middleware that presents the OpenCL devices of a distributed system to
+// an application as if they were installed locally.
+//
+// The facade re-exports the pieces a downstream user needs:
+//
+//   - the OpenCL-style API (cl.Platform, cl.Context, cl.Queue, ...);
+//   - the dOpenCL client driver (NewPlatform, server connections, device
+//     manager leases);
+//   - the daemon and device manager for the server side;
+//   - the native single-node runtime (useful on its own and as the
+//     substrate daemons forward to).
+//
+// A minimal distributed session:
+//
+//	nw := simnet.NewNetwork(simnet.Unlimited())      // or real TCP
+//	// ... start daemons on nw (see examples/quickstart) ...
+//	plat := dopencl.NewPlatform(dopencl.Options{Dialer: nw.Dial})
+//	plat.ConnectServer("node0")
+//	devs, _ := plat.Devices(cl.DeviceTypeAll)
+//	ctx, _ := plat.CreateContext(devs)               // spans all servers
+//	// ... standard OpenCL host code: buffers, programs, kernels, queues.
+package dopencl
+
+import (
+	"dopencl/internal/client"
+	"dopencl/internal/daemon"
+	"dopencl/internal/device"
+	"dopencl/internal/devmgr"
+	"dopencl/internal/native"
+)
+
+// Version identifies this reimplementation.
+const Version = "1.0.0"
+
+// Options configures the dOpenCL client driver (see client.Options).
+type Options = client.Options
+
+// Platform is the uniform dOpenCL platform (see client.Platform).
+type Platform = client.Platform
+
+// Server is a connected dOpenCL server handle (cl_server_WWU).
+type Server = client.Server
+
+// Lease is a device-manager assignment held by a client.
+type Lease = client.Lease
+
+// ManagerConfig is the parsed device-manager request configuration.
+type ManagerConfig = client.ManagerConfig
+
+// NewPlatform creates a dOpenCL client platform. Connect servers with
+// ConnectServer, LoadServerConfig (Listing 2 format) or RequestFromManager
+// (Listing 3 XML).
+func NewPlatform(opts Options) *Platform { return client.NewPlatform(opts) }
+
+// DaemonConfig configures a dOpenCL daemon.
+type DaemonConfig = daemon.Config
+
+// Daemon is the dOpenCL server process.
+type Daemon = daemon.Daemon
+
+// NewDaemon creates a daemon exposing a platform's devices over the
+// network.
+func NewDaemon(cfg DaemonConfig) (*Daemon, error) { return daemon.New(cfg) }
+
+// DeviceManager is the central device-assignment service of Section IV.
+type DeviceManager = devmgr.Manager
+
+// NewDeviceManager creates a device manager.
+func NewDeviceManager(opts ...devmgr.Option) *DeviceManager { return devmgr.New(opts...) }
+
+// NewNativePlatform builds a single-node OpenCL runtime with the given
+// simulated devices: what a vendor OpenCL implementation is to a daemon.
+func NewNativePlatform(name, vendor string, devices []device.Config) *native.Platform {
+	return native.NewPlatform(name, vendor, devices)
+}
+
+// DeviceConfig describes a simulated device (see device.Config).
+type DeviceConfig = device.Config

@@ -1,0 +1,151 @@
+// Multi-tenant device sharing through the dOpenCL device manager
+// (Section IV of the paper): three independent applications request GPUs
+// from a manager that assigns each a different device of a shared 4-GPU
+// server. The managed daemon only exposes to each client the devices of
+// its lease.
+//
+//	go run ./examples/multitenant
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"dopencl/internal/cl"
+	"dopencl/internal/client"
+	"dopencl/internal/daemon"
+	"dopencl/internal/device"
+	"dopencl/internal/devmgr"
+	"dopencl/internal/native"
+	"dopencl/internal/protocol"
+	"dopencl/internal/simnet"
+)
+
+func main() {
+	nw := simnet.NewNetwork(simnet.Unlimited())
+
+	// Device manager.
+	manager := devmgr.New(devmgr.WithLogf(log.Printf))
+	ml, err := nw.Listen("devmgr")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		if err := manager.Serve(ml); err != nil {
+			log.Printf("manager stopped: %v", err)
+		}
+	}()
+
+	// A 4-GPU server in managed mode.
+	cfgs := []device.Config{
+		device.TestGPU("tesla0"), device.TestGPU("tesla1"),
+		device.TestGPU("tesla2"), device.TestGPU("tesla3"),
+	}
+	plat := native.NewPlatform("gpuserver", "example vendor", cfgs)
+	d, err := daemon.New(daemon.Config{Name: "gpuserver", Platform: plat, Managed: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dl, err := nw.Listen("gpuserver")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		if err := d.Serve(dl); err != nil {
+			log.Printf("daemon stopped: %v", err)
+		}
+	}()
+	mconn, err := nw.Dial("devmgr")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := d.AttachManager(mconn, "gpuserver"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("device manager holds %d free devices\n\n", manager.FreeDevices())
+
+	// Three tenants, each requesting one GPU concurrently.
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for tenant := 1; tenant <= 3; tenant++ {
+		wg.Add(1)
+		go func(tenant int) {
+			defer wg.Done()
+			app := client.NewPlatform(client.Options{
+				Dialer:     nw.Dial,
+				ClientName: fmt.Sprintf("tenant%d", tenant),
+			})
+			lease, err := app.RequestFromManager(client.ManagerConfig{
+				Manager: "devmgr",
+				Requests: []protocol.DeviceRequest{
+					{Count: 1, Type: cl.DeviceTypeGPU},
+				},
+			})
+			if err != nil {
+				log.Fatalf("tenant %d: %v", tenant, err)
+			}
+			devs, err := app.Devices(cl.DeviceTypeGPU)
+			if err != nil {
+				log.Fatalf("tenant %d: %v", tenant, err)
+			}
+			mu.Lock()
+			fmt.Printf("tenant %d: lease %s... grants %d device(s):", tenant, lease.AuthID[:8], len(devs))
+			for _, dev := range devs {
+				fmt.Printf(" %s", dev.Name())
+			}
+			fmt.Println()
+			mu.Unlock()
+
+			// Do a little work on the assigned device to show it's usable.
+			ctx, err := app.CreateContext(devs)
+			if err != nil {
+				log.Fatalf("tenant %d: %v", tenant, err)
+			}
+			q, err := ctx.CreateQueue(devs[0])
+			if err != nil {
+				log.Fatalf("tenant %d: %v", tenant, err)
+			}
+			buf, err := ctx.CreateBuffer(cl.MemReadWrite, 1024, nil)
+			if err != nil {
+				log.Fatalf("tenant %d: %v", tenant, err)
+			}
+			payload := make([]byte, 1024)
+			payload[0] = byte(tenant)
+			if _, err := q.EnqueueWriteBuffer(buf, true, 0, payload, nil); err != nil {
+				log.Fatalf("tenant %d: %v", tenant, err)
+			}
+			back := make([]byte, 1024)
+			if _, err := q.EnqueueReadBuffer(buf, true, 0, back, nil); err != nil {
+				log.Fatalf("tenant %d: %v", tenant, err)
+			}
+			if back[0] != byte(tenant) {
+				log.Fatalf("tenant %d: data round-trip failed", tenant)
+			}
+			if err := ctx.Release(); err != nil {
+				log.Fatalf("tenant %d: %v", tenant, err)
+			}
+			if err := lease.Release(); err != nil {
+				log.Fatalf("tenant %d: releasing lease: %v", tenant, err)
+			}
+		}(tenant)
+	}
+	wg.Wait()
+
+	// Lease releases are asynchronous messages; give the manager a moment
+	// to process them.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if manager.FreeDevices() == 4 && manager.ActiveLeases() == 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	fmt.Printf("\nafter releases: %d free devices, %d active leases\n",
+		manager.FreeDevices(), manager.ActiveLeases())
+	if manager.FreeDevices() != 4 || manager.ActiveLeases() != 0 {
+		log.Fatal("device manager did not reclaim all devices")
+	}
+	fmt.Println("all leases returned ✓")
+}

@@ -1,0 +1,125 @@
+// Package bandwidth implements the paper's data-transfer benchmark
+// (Sections V-C/V-D, Figs. 7 and 8): an OpenCL application that moves
+// configurable amounts of data between the host and a device and measures
+// the achieved transfer times.
+package bandwidth
+
+import (
+	"fmt"
+	"time"
+
+	"dopencl/internal/cl"
+)
+
+// Sample is one measured transfer.
+type Sample struct {
+	Bytes int
+	Write time.Duration // host → device
+	Read  time.Duration // device → host
+}
+
+// WriteBandwidth returns the achieved upload bandwidth in bytes/second.
+func (s Sample) WriteBandwidth() float64 {
+	return float64(s.Bytes) / s.Write.Seconds()
+}
+
+// ReadBandwidth returns the achieved download bandwidth in bytes/second.
+func (s Sample) ReadBandwidth() float64 {
+	return float64(s.Bytes) / s.Read.Seconds()
+}
+
+// Measure transfers each size once to the device and back, blocking on
+// every transfer (the paper measures isolated chunk transfers of 1 MB to
+// 1024 MB).
+func Measure(plat cl.Platform, dev cl.Device, sizes []int) ([]Sample, error) {
+	ctx, err := plat.CreateContext([]cl.Device{dev})
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		if rerr := ctx.Release(); rerr != nil {
+			_ = rerr
+		}
+	}()
+	q, err := ctx.CreateQueue(dev)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		if rerr := q.Release(); rerr != nil {
+			_ = rerr
+		}
+	}()
+
+	var samples []Sample
+	for _, size := range sizes {
+		if size <= 0 {
+			return nil, fmt.Errorf("bandwidth: bad size %d", size)
+		}
+		buf, err := ctx.CreateBuffer(cl.MemReadWrite, size, nil)
+		if err != nil {
+			return nil, err
+		}
+		data := make([]byte, size)
+		for i := range data {
+			data[i] = byte(i)
+		}
+		start := time.Now()
+		if _, err := q.EnqueueWriteBuffer(buf, true, 0, data, nil); err != nil {
+			return nil, err
+		}
+		writeDur := time.Since(start)
+
+		dst := make([]byte, size)
+		start = time.Now()
+		if _, err := q.EnqueueReadBuffer(buf, true, 0, dst, nil); err != nil {
+			return nil, err
+		}
+		readDur := time.Since(start)
+
+		if err := buf.Release(); err != nil {
+			return nil, err
+		}
+		samples = append(samples, Sample{Bytes: size, Write: writeDur, Read: readDur})
+	}
+	return samples, nil
+}
+
+// Verify performs a write-read round trip of the given size and checks
+// data integrity (used by tests).
+func Verify(plat cl.Platform, dev cl.Device, size int) error {
+	ctx, err := plat.CreateContext([]cl.Device{dev})
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if rerr := ctx.Release(); rerr != nil {
+			_ = rerr
+		}
+	}()
+	q, err := ctx.CreateQueue(dev)
+	if err != nil {
+		return err
+	}
+	buf, err := ctx.CreateBuffer(cl.MemReadWrite, size, nil)
+	if err != nil {
+		return err
+	}
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	if _, err := q.EnqueueWriteBuffer(buf, true, 0, data, nil); err != nil {
+		return err
+	}
+	dst := make([]byte, size)
+	if _, err := q.EnqueueReadBuffer(buf, true, 0, dst, nil); err != nil {
+		return err
+	}
+	for i := range dst {
+		if dst[i] != data[i] {
+			return fmt.Errorf("bandwidth: data corruption at byte %d: got %d, want %d", i, dst[i], data[i])
+		}
+	}
+	return q.Release()
+}

@@ -1,0 +1,61 @@
+package bandwidth
+
+import (
+	"testing"
+
+	"dopencl/internal/cl"
+	"dopencl/internal/device"
+	"dopencl/internal/native"
+)
+
+func TestVerifyRoundTrip(t *testing.T) {
+	plat := native.NewPlatform("test", "test", []device.Config{device.TestCPU("cpu")})
+	devs, err := plat.Devices(cl.DeviceTypeAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(plat, devs[0], 1<<16); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeasureRespectsBusModel(t *testing.T) {
+	// Asymmetric bus: reads 10x slower than writes.
+	cfg := device.TestCPU("cpu")
+	cfg.Bus = device.BusConfig{WriteBps: 1e9, ReadBps: 1e8}
+	cfg.TimeScale = 0.5
+	plat := native.NewPlatform("test", "test", []device.Config{cfg})
+	devs, err := plat.Devices(cl.DeviceTypeAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := Measure(plat, devs[0], []int{1 << 20, 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 2 {
+		t.Fatalf("got %d samples", len(samples))
+	}
+	for _, s := range samples {
+		if s.Read <= s.Write {
+			t.Errorf("size %d: read %v should exceed write %v (bus is 10x slower on reads)",
+				s.Bytes, s.Read, s.Write)
+		}
+		if s.WriteBandwidth() <= 0 || s.ReadBandwidth() <= 0 {
+			t.Error("bandwidth computation broken")
+		}
+	}
+	// Larger transfers take longer (8x the bytes, 10x-slower read path
+	// gives a wide margin over timer noise).
+	if samples[1].Read <= samples[0].Read {
+		t.Errorf("8MB read (%v) not slower than 1MB read (%v)", samples[1].Read, samples[0].Read)
+	}
+}
+
+func TestMeasureRejectsBadSize(t *testing.T) {
+	plat := native.NewPlatform("test", "test", []device.Config{device.TestCPU("cpu")})
+	devs, _ := plat.Devices(cl.DeviceTypeAll)
+	if _, err := Measure(plat, devs[0], []int{0}); err == nil {
+		t.Fatal("zero size accepted")
+	}
+}

@@ -1,0 +1,130 @@
+package mandelbrot
+
+import (
+	"fmt"
+	"testing"
+
+	"dopencl/internal/cl"
+	"dopencl/internal/client"
+	"dopencl/internal/daemon"
+	"dopencl/internal/device"
+	"dopencl/internal/native"
+	"dopencl/internal/simnet"
+)
+
+func testParams() Params { return DefaultParams(64, 48, 100) }
+
+func TestRenderCLMatchesReference(t *testing.T) {
+	p := testParams()
+	want := ReferenceRender(p)
+
+	plat := native.NewPlatform("test", "test", []device.Config{
+		device.TestCPU("cpu0"), device.TestCPU("cpu1"), device.TestCPU("cpu2"),
+	})
+	devs, err := plat.Devices(cl.DeviceTypeAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, tm, err := RenderCL(plat, devs, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.Total() <= 0 {
+		t.Error("timing not recorded")
+	}
+	diff := countDiffs(got, want)
+	if diff > 0 {
+		t.Fatalf("%d/%d pixels differ from reference", diff, len(want))
+	}
+}
+
+func TestRenderCLOverDOpenCL(t *testing.T) {
+	p := testParams()
+	want := ReferenceRender(p)
+
+	nw := simnet.NewNetwork(simnet.Unlimited())
+	for i := 0; i < 2; i++ {
+		addr := fmt.Sprintf("node%d", i)
+		np := native.NewPlatform(addr, "test", []device.Config{device.TestCPU("cpu")})
+		d, err := daemon.New(daemon.Config{Name: addr, Platform: np})
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := nw.Listen(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() {
+			if serr := d.Serve(l); serr != nil {
+				_ = serr
+			}
+		}()
+	}
+	plat := client.NewPlatform(client.Options{Dialer: nw.Dial, ClientName: "test"})
+	if _, err := plat.ConnectServer("node0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plat.ConnectServer("node1"); err != nil {
+		t.Fatal(err)
+	}
+	devs, err := plat.Devices(cl.DeviceTypeAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := RenderCL(plat, devs, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := countDiffs(got, want); diff > 0 {
+		t.Fatalf("%d pixels differ: distributed render corrupt", diff)
+	}
+}
+
+func TestRenderMPIMatchesReference(t *testing.T) {
+	p := testParams()
+	want := ReferenceRender(p)
+	for _, nodes := range []int{1, 2, 3, 5} {
+		plats := func(rank int) cl.Platform {
+			return native.NewPlatform(fmt.Sprintf("n%d", rank), "test",
+				[]device.Config{device.TestCPU("cpu")})
+		}
+		got, tm, err := RenderMPI(nodes, simnet.Unlimited(), plats, p)
+		if err != nil {
+			t.Fatalf("nodes=%d: %v", nodes, err)
+		}
+		if tm.Exec <= 0 {
+			t.Errorf("nodes=%d: no exec time recorded", nodes)
+		}
+		if diff := countDiffs(got, want); diff > 0 {
+			t.Fatalf("nodes=%d: %d pixels differ", nodes, diff)
+		}
+	}
+}
+
+func TestRowsForPartitions(t *testing.T) {
+	for _, tc := range []struct{ h, n int }{{48, 1}, {48, 3}, {47, 4}, {5, 7}} {
+		total := 0
+		for d := 0; d < tc.n; d++ {
+			total += rowsFor(tc.h, d, tc.n)
+		}
+		if total != tc.h {
+			t.Errorf("rowsFor(h=%d, n=%d): rows sum to %d", tc.h, tc.n, total)
+		}
+	}
+}
+
+func TestRenderCLNoDevices(t *testing.T) {
+	if _, _, err := RenderCL(nil, nil, testParams()); err == nil {
+		t.Fatal("expected error with no devices")
+	}
+}
+
+func countDiffs(got, want []int32) int {
+	n := 0
+	for i := range want {
+		if got[i] != want[i] {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,305 @@
+// Package cl defines a Go rendering of the OpenCL host API used throughout
+// this repository. It plays the role of the OpenCL headers: applications are
+// written against these interfaces and run unchanged on any implementation.
+//
+// Two implementations exist:
+//
+//   - internal/native — a self-contained, single-node runtime (the stand-in
+//     for a vendor OpenCL implementation such as the AMD APP SDK or the
+//     NVIDIA driver used in the paper);
+//   - internal/client — the dOpenCL client driver, which forwards calls to
+//     daemons on remote nodes.
+//
+// The surface follows the OpenCL 1.1 host API that the paper's
+// implementation covers: platforms, devices, contexts, in-order command
+// queues, buffer objects, programs built from source, kernels, events and
+// user events. Images, samplers, mapped buffers and profiling are omitted,
+// mirroring the limitations stated in Section III-B of the paper.
+package cl
+
+import "errors"
+
+// DeviceType classifies compute devices, mirroring cl_device_type.
+type DeviceType uint32
+
+const (
+	// DeviceTypeCPU marks host-processor devices.
+	DeviceTypeCPU DeviceType = 1 << iota
+	// DeviceTypeGPU marks throughput-oriented accelerator devices.
+	DeviceTypeGPU
+	// DeviceTypeAccelerator marks dedicated accelerators (e.g. Cell BE).
+	DeviceTypeAccelerator
+)
+
+// DeviceTypeAll matches every device type.
+const DeviceTypeAll DeviceType = 0xFFFFFFFF
+
+// String returns the conventional OpenCL spelling of the device type.
+func (t DeviceType) String() string {
+	switch t {
+	case DeviceTypeCPU:
+		return "CPU"
+	case DeviceTypeGPU:
+		return "GPU"
+	case DeviceTypeAccelerator:
+		return "ACCELERATOR"
+	case DeviceTypeAll:
+		return "ALL"
+	}
+	return "UNKNOWN"
+}
+
+// ParseDeviceType converts a string such as "CPU" or "GPU" into a
+// DeviceType. It is used by the device-manager XML configuration.
+func ParseDeviceType(s string) (DeviceType, error) {
+	switch s {
+	case "CPU", "cpu":
+		return DeviceTypeCPU, nil
+	case "GPU", "gpu":
+		return DeviceTypeGPU, nil
+	case "ACCELERATOR", "accelerator":
+		return DeviceTypeAccelerator, nil
+	case "ALL", "all", "":
+		return DeviceTypeAll, nil
+	}
+	return 0, errors.New("cl: unknown device type " + s)
+}
+
+// MemFlags describe how a buffer object will be used, mirroring cl_mem_flags.
+type MemFlags uint32
+
+const (
+	// MemReadWrite allows kernels to both read and write the buffer.
+	MemReadWrite MemFlags = 1 << iota
+	// MemWriteOnly restricts kernels to writing the buffer.
+	MemWriteOnly
+	// MemReadOnly restricts kernels to reading the buffer.
+	MemReadOnly
+	// MemCopyHostPtr initialises the buffer from host memory at creation.
+	MemCopyHostPtr
+)
+
+// CommandStatus is the execution status of a command, mirroring the
+// cl_int status values used with events.
+type CommandStatus int32
+
+const (
+	// Complete indicates the command has finished successfully.
+	Complete CommandStatus = 0
+	// Running indicates the command is executing on a device.
+	Running CommandStatus = 1
+	// Submitted indicates the command was handed to a device.
+	Submitted CommandStatus = 2
+	// Queued indicates the command sits in a command queue.
+	Queued CommandStatus = 3
+)
+
+// String returns the OpenCL name of the status.
+func (s CommandStatus) String() string {
+	switch {
+	case s < 0:
+		return "ERROR"
+	case s == Complete:
+		return "COMPLETE"
+	case s == Running:
+		return "RUNNING"
+	case s == Submitted:
+		return "SUBMITTED"
+	case s == Queued:
+		return "QUEUED"
+	}
+	return "UNKNOWN"
+}
+
+// DeviceInfo carries the immutable properties of a device. The dOpenCL
+// client driver caches it at connection time so that clGetDeviceInfo-style
+// queries never touch the network (Section III-B of the paper).
+type DeviceInfo struct {
+	Name             string
+	Vendor           string
+	Type             DeviceType
+	ComputeUnits     int
+	ClockMHz         int
+	GlobalMemSize    int64
+	LocalMemSize     int64
+	MaxWorkGroupSize int
+	MaxAllocSize     int64
+	Version          string
+	Extensions       []string
+}
+
+// LocalSpace passed to Kernel.SetArg reserves size bytes of work-group
+// local memory for the corresponding kernel parameter, mirroring
+// clSetKernelArg(kernel, idx, size, NULL).
+type LocalSpace struct {
+	Size int
+}
+
+// Platform mirrors cl_platform_id: a vendor entry point enumerating devices.
+type Platform interface {
+	// Name returns the platform name (e.g. "dOpenCL").
+	Name() string
+	// Vendor returns the platform vendor string.
+	Vendor() string
+	// Version returns the platform OpenCL version string.
+	Version() string
+	// Profile returns the supported profile ("FULL_PROFILE").
+	Profile() string
+	// Devices enumerates devices of the given type available on the
+	// platform.
+	Devices(t DeviceType) ([]Device, error)
+	// CreateContext creates a context spanning the given devices, which
+	// must all belong to this platform.
+	CreateContext(devices []Device) (Context, error)
+}
+
+// Device mirrors cl_device_id.
+type Device interface {
+	// Name returns the device name.
+	Name() string
+	// Type returns the device type.
+	Type() DeviceType
+	// Info returns the full immutable device description.
+	Info() DeviceInfo
+	// Available reports whether the device may still be used. Devices on
+	// disconnected dOpenCL servers become unavailable.
+	Available() bool
+}
+
+// Context mirrors cl_context: the sharing domain for memory objects,
+// programs and events.
+type Context interface {
+	// Devices returns the devices the context was created with.
+	Devices() []Device
+	// CreateQueue creates an in-order command queue on the given device,
+	// which must belong to the context.
+	CreateQueue(d Device) (Queue, error)
+	// CreateBuffer allocates a buffer object of the given size. If flags
+	// contains MemCopyHostPtr, host must be non-nil and len(host) == size.
+	CreateBuffer(flags MemFlags, size int, host []byte) (Buffer, error)
+	// CreateProgramWithSource wraps kernel source code in a program object.
+	CreateProgramWithSource(src string) (Program, error)
+	// CreateUserEvent creates an event whose status is controlled by the
+	// application, mirroring clCreateUserEvent.
+	CreateUserEvent() (UserEvent, error)
+	// Release drops the application's reference to the context.
+	Release() error
+}
+
+// Buffer mirrors cl_mem for buffer objects.
+type Buffer interface {
+	// Size returns the buffer size in bytes.
+	Size() int
+	// Flags returns the usage flags the buffer was created with.
+	Flags() MemFlags
+	// Context returns the owning context.
+	Context() Context
+	// Release drops the application's reference to the buffer.
+	Release() error
+}
+
+// Program mirrors cl_program.
+type Program interface {
+	// Source returns the program source code.
+	Source() string
+	// Build compiles the program for the given devices (all context
+	// devices if nil), mirroring clBuildProgram.
+	Build(devices []Device, options string) error
+	// BuildLog returns the compiler log for the device.
+	BuildLog(d Device) string
+	// CreateKernel instantiates the named kernel function.
+	CreateKernel(name string) (Kernel, error)
+	// KernelNames lists the kernel functions defined by a built program.
+	KernelNames() ([]string, error)
+	// Release drops the application's reference to the program.
+	Release() error
+}
+
+// Kernel mirrors cl_kernel.
+type Kernel interface {
+	// Name returns the kernel function name.
+	Name() string
+	// NumArgs returns the number of kernel parameters.
+	NumArgs() int
+	// SetArg binds the i-th kernel parameter. Accepted values: Buffer,
+	// LocalSpace, int32, int64, uint32, uint64, float32, float64 and int
+	// (stored per the kernel signature).
+	SetArg(i int, v any) error
+	// Release drops the application's reference to the kernel.
+	Release() error
+}
+
+// Queue mirrors cl_command_queue (in-order).
+type Queue interface {
+	// Device returns the device commands execute on.
+	Device() Device
+	// Context returns the owning context.
+	Context() Context
+
+	// EnqueueWriteBuffer copies host data into a buffer (an "upload" in the
+	// paper's terms). When blocking, it returns only after the transfer
+	// completed; otherwise the returned event tracks completion.
+	EnqueueWriteBuffer(b Buffer, blocking bool, offset int, data []byte, wait []Event) (Event, error)
+	// EnqueueReadBuffer copies buffer contents into dst (a "download").
+	EnqueueReadBuffer(b Buffer, blocking bool, offset int, dst []byte, wait []Event) (Event, error)
+	// EnqueueCopyBuffer copies size bytes between two buffers of the same
+	// context.
+	EnqueueCopyBuffer(src, dst Buffer, srcOffset, dstOffset, size int, wait []Event) (Event, error)
+	// EnqueueNDRangeKernel launches a kernel over the global work size.
+	// local may be nil to let the implementation pick a work-group size.
+	EnqueueNDRangeKernel(k Kernel, global, local []int, wait []Event) (Event, error)
+	// EnqueueMarker enqueues a marker command whose event completes once
+	// every previously enqueued command has completed.
+	EnqueueMarker() (Event, error)
+	// EnqueueBarrier blocks execution of later commands until every
+	// previously enqueued command has completed.
+	EnqueueBarrier() error
+
+	// Flush submits all queued commands for execution.
+	Flush() error
+	// Finish blocks until every enqueued command has completed.
+	Finish() error
+	// Release drops the application's reference to the queue.
+	Release() error
+}
+
+// Event mirrors cl_event.
+type Event interface {
+	// Status returns the current execution status; negative values encode
+	// an error code.
+	Status() CommandStatus
+	// Wait blocks until the command has completed, returning an error when
+	// the event's status is a failure code.
+	Wait() error
+	// SetCallback registers fn to run once the event reaches the given
+	// status (only Complete is supported, as in the paper's use of
+	// clSetEventCallback). The callback may be invoked from another
+	// goroutine.
+	SetCallback(status CommandStatus, fn func(Event, CommandStatus)) error
+	// Release drops the application's reference to the event.
+	Release() error
+}
+
+// UserEvent mirrors cl_event objects created via clCreateUserEvent: the
+// application (or, in dOpenCL, the client driver) decides when it completes.
+type UserEvent interface {
+	Event
+	// SetStatus marks the event complete (or failed, for negative values).
+	// It may be called at most once.
+	SetStatus(s CommandStatus) error
+}
+
+// WaitForEvents blocks until all events have completed, mirroring
+// clWaitForEvents. It returns the first error encountered.
+func WaitForEvents(events []Event) error {
+	var first error
+	for _, e := range events {
+		if e == nil {
+			continue
+		}
+		if err := e.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,109 @@
+package cl
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestDeviceTypeStrings(t *testing.T) {
+	cases := map[DeviceType]string{
+		DeviceTypeCPU: "CPU", DeviceTypeGPU: "GPU",
+		DeviceTypeAccelerator: "ACCELERATOR", DeviceTypeAll: "ALL",
+		DeviceType(0x40): "UNKNOWN",
+	}
+	for typ, want := range cases {
+		if got := typ.String(); got != want {
+			t.Errorf("%v.String() = %q, want %q", uint32(typ), got, want)
+		}
+	}
+}
+
+func TestParseDeviceType(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want DeviceType
+		ok   bool
+	}{
+		{"CPU", DeviceTypeCPU, true},
+		{"gpu", DeviceTypeGPU, true},
+		{"accelerator", DeviceTypeAccelerator, true},
+		{"", DeviceTypeAll, true},
+		{"ALL", DeviceTypeAll, true},
+		{"fpga", 0, false},
+	} {
+		got, err := ParseDeviceType(tc.in)
+		if tc.ok && (err != nil || got != tc.want) {
+			t.Errorf("ParseDeviceType(%q) = %v, %v", tc.in, got, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("ParseDeviceType(%q) should fail", tc.in)
+		}
+	}
+}
+
+func TestErrorFormatting(t *testing.T) {
+	err := Errf(InvalidKernelArgs, "argument %d missing", 3)
+	if !strings.Contains(err.Error(), "CL_INVALID_KERNEL_ARGS") ||
+		!strings.Contains(err.Error(), "argument 3 missing") {
+		t.Errorf("error text = %q", err.Error())
+	}
+	bare := &Error{Code: DeviceNotFound}
+	if bare.Error() != "cl: CL_DEVICE_NOT_FOUND" {
+		t.Errorf("bare error = %q", bare.Error())
+	}
+	if ErrorCode(-9999).String() != "CL_ERROR(-9999)" {
+		t.Errorf("unknown code = %q", ErrorCode(-9999).String())
+	}
+}
+
+func TestCodeOf(t *testing.T) {
+	if CodeOf(nil) != Success {
+		t.Error("nil should map to Success")
+	}
+	if CodeOf(Errf(InvalidValue, "x")) != InvalidValue {
+		t.Error("cl error code lost")
+	}
+	if CodeOf(errors.New("foreign")) != OutOfResources {
+		t.Error("foreign errors should map to OutOfResources")
+	}
+}
+
+func TestCommandStatusStrings(t *testing.T) {
+	cases := map[CommandStatus]string{
+		Complete: "COMPLETE", Running: "RUNNING",
+		Submitted: "SUBMITTED", Queued: "QUEUED",
+		CommandStatus(-5): "ERROR",
+	}
+	for st, want := range cases {
+		if got := st.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", st, got, want)
+		}
+	}
+}
+
+// fakeEvent is a minimal Event for WaitForEvents tests.
+type fakeEvent struct {
+	err error
+}
+
+func (f *fakeEvent) Status() CommandStatus { return Complete }
+func (f *fakeEvent) Wait() error           { return f.err }
+func (f *fakeEvent) SetCallback(CommandStatus, func(Event, CommandStatus)) error {
+	return nil
+}
+func (f *fakeEvent) Release() error { return nil }
+
+func TestWaitForEvents(t *testing.T) {
+	if err := WaitForEvents(nil); err != nil {
+		t.Errorf("empty wait list: %v", err)
+	}
+	if err := WaitForEvents([]Event{nil, &fakeEvent{}}); err != nil {
+		t.Errorf("nil entries must be skipped: %v", err)
+	}
+	sentinel := Errf(OutOfResources, "boom")
+	err := WaitForEvents([]Event{&fakeEvent{}, &fakeEvent{err: sentinel}, &fakeEvent{}})
+	if err != sentinel {
+		t.Errorf("first error not returned: %v", err)
+	}
+}

@@ -1,0 +1,121 @@
+package cl
+
+import "fmt"
+
+// ErrorCode mirrors the negative cl_int error codes of the OpenCL API.
+type ErrorCode int32
+
+// Error codes used across the runtime; values match the OpenCL headers.
+const (
+	Success                ErrorCode = 0
+	DeviceNotFound         ErrorCode = -1
+	DeviceNotAvailable     ErrorCode = -2
+	CompilerNotAvailable   ErrorCode = -3
+	MemObjectAllocFailure  ErrorCode = -4
+	OutOfResources         ErrorCode = -5
+	OutOfHostMemory        ErrorCode = -6
+	BuildProgramFailure    ErrorCode = -11
+	InvalidValue           ErrorCode = -30
+	InvalidDeviceType      ErrorCode = -31
+	InvalidPlatform        ErrorCode = -32
+	InvalidDevice          ErrorCode = -33
+	InvalidContext         ErrorCode = -34
+	InvalidQueueProperties ErrorCode = -35
+	InvalidCommandQueue    ErrorCode = -36
+	InvalidMemObject       ErrorCode = -38
+	InvalidProgram         ErrorCode = -44
+	InvalidProgramExec     ErrorCode = -45
+	InvalidKernelName      ErrorCode = -46
+	InvalidKernel          ErrorCode = -48
+	InvalidArgIndex        ErrorCode = -49
+	InvalidArgValue        ErrorCode = -50
+	InvalidArgSize         ErrorCode = -51
+	InvalidKernelArgs      ErrorCode = -52
+	InvalidWorkDimension   ErrorCode = -53
+	InvalidWorkGroupSize   ErrorCode = -54
+	InvalidWorkItemSize    ErrorCode = -55
+	InvalidGlobalOffset    ErrorCode = -56
+	InvalidEventWaitList   ErrorCode = -57
+	InvalidEvent           ErrorCode = -58
+	InvalidOperation       ErrorCode = -59
+	InvalidBufferSize      ErrorCode = -61
+	// InvalidServer is a dOpenCL extension code for server-related failures
+	// (connection refused, authentication rejected, server gone).
+	InvalidServer ErrorCode = -2001
+)
+
+var errorNames = map[ErrorCode]string{
+	Success:                "CL_SUCCESS",
+	DeviceNotFound:         "CL_DEVICE_NOT_FOUND",
+	DeviceNotAvailable:     "CL_DEVICE_NOT_AVAILABLE",
+	CompilerNotAvailable:   "CL_COMPILER_NOT_AVAILABLE",
+	MemObjectAllocFailure:  "CL_MEM_OBJECT_ALLOCATION_FAILURE",
+	OutOfResources:         "CL_OUT_OF_RESOURCES",
+	OutOfHostMemory:        "CL_OUT_OF_HOST_MEMORY",
+	BuildProgramFailure:    "CL_BUILD_PROGRAM_FAILURE",
+	InvalidValue:           "CL_INVALID_VALUE",
+	InvalidDeviceType:      "CL_INVALID_DEVICE_TYPE",
+	InvalidPlatform:        "CL_INVALID_PLATFORM",
+	InvalidDevice:          "CL_INVALID_DEVICE",
+	InvalidContext:         "CL_INVALID_CONTEXT",
+	InvalidQueueProperties: "CL_INVALID_QUEUE_PROPERTIES",
+	InvalidCommandQueue:    "CL_INVALID_COMMAND_QUEUE",
+	InvalidMemObject:       "CL_INVALID_MEM_OBJECT",
+	InvalidProgram:         "CL_INVALID_PROGRAM",
+	InvalidProgramExec:     "CL_INVALID_PROGRAM_EXECUTABLE",
+	InvalidKernelName:      "CL_INVALID_KERNEL_NAME",
+	InvalidKernel:          "CL_INVALID_KERNEL",
+	InvalidArgIndex:        "CL_INVALID_ARG_INDEX",
+	InvalidArgValue:        "CL_INVALID_ARG_VALUE",
+	InvalidArgSize:         "CL_INVALID_ARG_SIZE",
+	InvalidKernelArgs:      "CL_INVALID_KERNEL_ARGS",
+	InvalidWorkDimension:   "CL_INVALID_WORK_DIMENSION",
+	InvalidWorkGroupSize:   "CL_INVALID_WORK_GROUP_SIZE",
+	InvalidWorkItemSize:    "CL_INVALID_WORK_ITEM_SIZE",
+	InvalidGlobalOffset:    "CL_INVALID_GLOBAL_OFFSET",
+	InvalidEventWaitList:   "CL_INVALID_EVENT_WAIT_LIST",
+	InvalidEvent:           "CL_INVALID_EVENT",
+	InvalidOperation:       "CL_INVALID_OPERATION",
+	InvalidBufferSize:      "CL_INVALID_BUFFER_SIZE",
+	InvalidServer:          "CL_INVALID_SERVER_WWU",
+}
+
+// String returns the OpenCL constant name of the code.
+func (c ErrorCode) String() string {
+	if s, ok := errorNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("CL_ERROR(%d)", int32(c))
+}
+
+// Error is the error type returned throughout the runtime. It carries the
+// OpenCL error code plus a human-readable context string.
+type Error struct {
+	Code ErrorCode
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	if e.Msg == "" {
+		return "cl: " + e.Code.String()
+	}
+	return "cl: " + e.Code.String() + ": " + e.Msg
+}
+
+// Errf builds an *Error with a formatted message.
+func Errf(code ErrorCode, format string, args ...any) error {
+	return &Error{Code: code, Msg: fmt.Sprintf(format, args...)}
+}
+
+// CodeOf extracts the ErrorCode from err, returning Success for nil and
+// OutOfResources for foreign error types.
+func CodeOf(err error) ErrorCode {
+	if err == nil {
+		return Success
+	}
+	if ce, ok := err.(*Error); ok {
+		return ce.Code
+	}
+	return OutOfResources
+}

@@ -1,0 +1,212 @@
+package client
+
+import (
+	"math"
+	"sync"
+
+	"dopencl/internal/cl"
+	"dopencl/internal/protocol"
+)
+
+// msiState is the coherence state of one cached buffer copy.
+type msiState int
+
+// MSI states (Section III-D: directory-based MSI with the client's stub as
+// directory and the remote buffers as caches).
+const (
+	msiInvalid msiState = iota
+	msiShared
+	msiModified
+)
+
+func (s msiState) String() string {
+	switch s {
+	case msiInvalid:
+		return "I"
+	case msiShared:
+		return "S"
+	case msiModified:
+		return "M"
+	}
+	return "?"
+}
+
+// Buffer is the compound stub for a distributed buffer object and the
+// directory of its MSI protocol. A remote buffer exists on every server of
+// the context; each carries a state. The client's own copy (hostCopy) is a
+// cache too, with hostState.
+//
+// Invariants (checked by tests):
+//   - at most one copy (host or any server) is Modified;
+//   - if some copy is Modified, every other copy is Invalid.
+type Buffer struct {
+	ctx   *Context
+	id    uint64
+	size  int
+	flags cl.MemFlags
+
+	mu        sync.Mutex
+	hostCopy  []byte
+	hostState msiState
+	states    map[*Server]msiState
+	lastWrite map[*Server]*Event // most recent writing command per server
+	released  bool
+}
+
+var _ cl.Buffer = (*Buffer)(nil)
+
+// Size returns the buffer size in bytes.
+func (b *Buffer) Size() int { return b.size }
+
+// Flags returns the creation flags.
+func (b *Buffer) Flags() cl.MemFlags { return b.flags }
+
+// Context returns the owning context.
+func (b *Buffer) Context() cl.Context { return b.ctx }
+
+// Release releases the remote buffers on all servers.
+func (b *Buffer) Release() error {
+	b.mu.Lock()
+	if b.released {
+		b.mu.Unlock()
+		return nil
+	}
+	b.released = true
+	b.mu.Unlock()
+	var first error
+	for _, srv := range b.ctx.servers {
+		if _, err := srv.call(protocol.MsgReleaseBuffer, func(w *protocol.Writer) {
+			w.U64(b.id)
+		}); err != nil && first == nil && srv.Connected() {
+			first = err
+		}
+	}
+	return first
+}
+
+// States returns a copy of the MSI directory for tests and debugging: the
+// host state plus one state per server address.
+func (b *Buffer) States() (host string, servers map[string]string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	servers = map[string]string{}
+	for srv, st := range b.states {
+		servers[srv.addr] = st.String()
+	}
+	return b.hostState.String(), servers
+}
+
+// owner returns the server holding the Modified copy, if any.
+func (b *Buffer) ownerLocked() *Server {
+	for srv, st := range b.states {
+		if st == msiModified {
+			return srv
+		}
+	}
+	return nil
+}
+
+// markWrittenBy records that a command on srv writes this buffer: srv's
+// copy becomes Modified, every other copy (including the client's)
+// becomes Invalid. ev is the writing command's event, gating later
+// coherence downloads.
+func (b *Buffer) markWrittenBy(srv *Server, ev *Event) {
+	b.mu.Lock()
+	for s := range b.states {
+		b.states[s] = msiInvalid
+	}
+	b.states[srv] = msiModified
+	b.hostState = msiInvalid
+	b.lastWrite[srv] = ev
+	b.mu.Unlock()
+}
+
+// markHostValid records that the client now holds valid data (after a
+// full-buffer download): owner drops to Shared, host becomes Shared.
+func (b *Buffer) markHostValidFull(data []byte) {
+	b.mu.Lock()
+	if b.hostCopy == nil {
+		b.hostCopy = make([]byte, b.size)
+	}
+	copy(b.hostCopy, data)
+	if owner := b.ownerLocked(); owner != nil {
+		b.states[owner] = msiShared
+	}
+	b.hostState = msiShared
+	b.mu.Unlock()
+}
+
+// ensureValidOn guarantees that srv holds a valid copy before a command
+// that reads the buffer executes there. Uploads ride on q (the command's
+// own queue) so that in-order execution sequences them before the
+// dependent command. Returns an optional gating event that the dependent
+// command must wait on (nil when no transfer was needed).
+func (b *Buffer) ensureValidOn(q *Queue) (*Event, error) {
+	srv := q.srv
+	b.mu.Lock()
+	if st := b.states[srv]; st == msiShared || st == msiModified {
+		b.mu.Unlock()
+		return nil, nil
+	}
+	hostValid := b.hostState != msiInvalid
+	owner := b.ownerLocked()
+	ownerGate := b.lastWrite[owner]
+	b.mu.Unlock()
+
+	if !hostValid {
+		if owner == nil {
+			return nil, cl.Errf(cl.InvalidMemObject, "buffer %d has no valid copy", b.id)
+		}
+		// Download the valid copy from the owner (client-mediated
+		// server-to-server transfer, Section III-F: all traffic routes
+		// through the client in the paper's implementation).
+		data := make([]byte, b.size)
+		cohQ, err := b.ctx.coherenceQueue(owner)
+		if err != nil {
+			return nil, err
+		}
+		var gateList []cl.Event
+		if ownerGate != nil {
+			gateList = []cl.Event{ownerGate}
+		}
+		if _, err := cohQ.enqueueReadInternal(b, true, 0, data, gateList, false); err != nil {
+			return nil, err
+		}
+		b.markHostValidFull(data)
+	}
+
+	// Upload the client's copy to srv on the command's own queue.
+	b.mu.Lock()
+	if b.hostCopy == nil {
+		// Shared-but-never-written buffer: contents are defined as zero.
+		b.hostCopy = make([]byte, b.size)
+	}
+	data := b.hostCopy
+	b.mu.Unlock()
+	ev, err := q.enqueueWriteInternal(b, false, 0, data, nil, false)
+	if err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	b.states[srv] = msiShared
+	b.mu.Unlock()
+	return ev, nil
+}
+
+// noteHostRead updates directory state after the client read the whole
+// buffer from srv (M→S downgrade on reads).
+func (b *Buffer) noteHostRead(srv *Server, offset, n int, data []byte) {
+	if offset != 0 || n != b.size {
+		return
+	}
+	b.markHostValidFull(data)
+	b.mu.Lock()
+	if b.states[srv] == msiModified {
+		b.states[srv] = msiShared
+	}
+	b.mu.Unlock()
+}
+
+// floatBits converts a float32 to its IEEE bit pattern (helper shared by
+// kernel argument marshalling).
+func floatBits(f float32) uint32 { return math.Float32bits(f) }

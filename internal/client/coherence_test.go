@@ -1,0 +1,279 @@
+package client
+
+import (
+	"testing"
+
+	"dopencl/internal/cl"
+	"dopencl/internal/device"
+)
+
+// twoNodeContext builds a two-server context plus queues on each.
+func twoNodeContext(t *testing.T) (*testCluster, cl.Context, []cl.Device, cl.Queue, cl.Queue) {
+	t.Helper()
+	tc := newTestCluster(t, map[string][]device.Config{
+		"node0": {device.TestCPU("cpu0")},
+		"node1": {device.TestCPU("cpu1")},
+	})
+	if _, err := tc.plat.ConnectServer("node0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tc.plat.ConnectServer("node1"); err != nil {
+		t.Fatal(err)
+	}
+	devs, err := tc.plat.Devices(cl.DeviceTypeAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := tc.plat.CreateContext(devs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q0, err := ctx.CreateQueue(devs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1, err := ctx.CreateQueue(devs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tc, ctx, devs, q0, q1
+}
+
+func TestPartialWritePreservesRest(t *testing.T) {
+	_, ctx, _, q0, q1 := twoNodeContext(t)
+	defer ctx.Release()
+
+	buf, err := ctx.CreateBuffer(cl.MemReadWrite|cl.MemCopyHostPtr, 8,
+		[]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Partial write through node0: bytes outside the range must survive
+	// (the driver makes node0 valid before applying the partial update).
+	if _, err := q0.EnqueueWriteBuffer(buf, true, 2, []byte{90, 91}, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, 8)
+	// Read through the *other* server: exercises owner→client→server1.
+	if _, err := q1.EnqueueReadBuffer(buf, true, 0, out, nil); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{1, 2, 90, 91, 5, 6, 7, 8}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("byte %d = %d, want %d (full: %v)", i, out[i], want[i], out)
+		}
+	}
+}
+
+func TestPartialReadAcrossServers(t *testing.T) {
+	_, ctx, _, q0, q1 := twoNodeContext(t)
+	defer ctx.Release()
+
+	buf, err := ctx.CreateBuffer(cl.MemReadWrite, 16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("0123456789abcdef")
+	if _, err := q0.EnqueueWriteBuffer(buf, true, 0, payload, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Partial read from node1 while node0 owns the modified copy.
+	out := make([]byte, 4)
+	if _, err := q1.EnqueueReadBuffer(buf, true, 6, out, nil); err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "6789" {
+		t.Fatalf("partial read = %q", out)
+	}
+}
+
+func TestCopyBufferAcrossCoherence(t *testing.T) {
+	_, ctx, _, q0, q1 := twoNodeContext(t)
+	defer ctx.Release()
+
+	src, err := ctx.CreateBuffer(cl.MemReadWrite, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := ctx.CreateBuffer(cl.MemReadWrite, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// src becomes Modified on node0 ...
+	if _, err := q0.EnqueueWriteBuffer(src, true, 0, []byte("ABCDEFGH"), nil); err != nil {
+		t.Fatal(err)
+	}
+	// ... then node1 copies src→dst: src must be made valid on node1 first.
+	ev, err := q1.EnqueueCopyBuffer(src, dst, 0, 0, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ev.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// After the copy, dst is Modified on node1; host and node0 invalid.
+	host, servers := dst.(*Buffer).States()
+	if servers["node1"] != "M" || servers["node0"] != "I" || host != "I" {
+		t.Fatalf("dst states after copy: host=%s servers=%v", host, servers)
+	}
+	out := make([]byte, 8)
+	if _, err := q1.EnqueueReadBuffer(dst, true, 0, out, nil); err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "ABCDEFGH" {
+		t.Fatalf("copied data = %q", out)
+	}
+	// The full-buffer read downgrades the owner: node1 M→S, host S.
+	host, servers = dst.(*Buffer).States()
+	if servers["node1"] != "S" || host != "S" {
+		t.Fatalf("dst states after read: host=%s servers=%v", host, servers)
+	}
+}
+
+func TestZeroFillBufferReadableEverywhere(t *testing.T) {
+	// A buffer never written has defined all-zero contents in this
+	// implementation; reads on any server must succeed.
+	_, ctx, _, _, q1 := twoNodeContext(t)
+	defer ctx.Release()
+	buf, err := ctx.CreateBuffer(cl.MemReadWrite, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := []byte{9, 9, 9, 9}
+	if _, err := q1.EnqueueReadBuffer(buf, true, 0, out, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range out {
+		if b != 0 {
+			t.Fatalf("fresh buffer contents = %v", out)
+		}
+	}
+}
+
+func TestReleaseCleansUpRemotes(t *testing.T) {
+	_, ctx, devs, q0, _ := twoNodeContext(t)
+	buf, err := ctx.CreateBuffer(cl.MemReadWrite, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := ctx.CreateProgramWithSource(vaddSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Build(nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	k, err := prog.CreateKernel("vadd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Releases succeed on every server; double release of the buffer is
+	// idempotent.
+	if err := k.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if err := buf.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if err := buf.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if err := q0.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Release(); err != nil {
+		t.Fatal(err)
+	}
+	// Context release is idempotent too.
+	if err := ctx.Release(); err != nil {
+		t.Fatal(err)
+	}
+	_ = devs
+}
+
+func TestNonBlockingReadEventCompletesAfterData(t *testing.T) {
+	_, ctx, _, q0, _ := twoNodeContext(t)
+	defer ctx.Release()
+	buf, err := ctx.CreateBuffer(cl.MemReadWrite, 1<<16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 1<<16)
+	for i := range payload {
+		payload[i] = byte(i * 13)
+	}
+	if _, err := q0.EnqueueWriteBuffer(buf, true, 0, payload, nil); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, 1<<16)
+	ev, err := q0.EnqueueReadBuffer(buf, false, 0, dst, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The event completing guarantees dst is fully populated.
+	if err := ev.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range payload {
+		if dst[i] != payload[i] {
+			t.Fatalf("byte %d = %d, want %d (non-blocking read raced its event)", i, dst[i], payload[i])
+		}
+	}
+}
+
+func TestKernelScalarArgTypes(t *testing.T) {
+	_, ctx, _, q0, _ := twoNodeContext(t)
+	defer ctx.Release()
+	prog, err := ctx.CreateProgramWithSource(`
+kernel void fill(global float* out, int n, float v) {
+	int i = get_global_id(0);
+	if (i < n) { out[i] = v; }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Build(nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	k, err := prog.CreateKernel("fill")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := ctx.CreateBuffer(cl.MemReadWrite, 4*16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Multiple Go types must coerce: int, int32 for ints; float64,
+	// float32 for floats.
+	if err := k.SetArg(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SetArg(1, 16); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SetArg(2, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := q0.EnqueueNDRangeKernel(k, []int{16}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, 4*16)
+	if _, err := q0.EnqueueReadBuffer(buf, true, 0, out, []cl.Event{ev}); err != nil {
+		t.Fatal(err)
+	}
+	vals := bytesF32(out)
+	for i, v := range vals {
+		if v != 2.5 {
+			t.Fatalf("out[%d] = %v, want 2.5", i, v)
+		}
+	}
+	// Wrong Go type errors cleanly.
+	if err := k.SetArg(1, "nope"); cl.CodeOf(err) != cl.InvalidArgValue {
+		t.Fatalf("string as int arg: %v", err)
+	}
+}

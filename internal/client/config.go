@@ -1,0 +1,231 @@
+package client
+
+import (
+	"bufio"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"dopencl/internal/cl"
+	"dopencl/internal/gcf"
+	"dopencl/internal/protocol"
+)
+
+// ParseServerList parses the dOpenCL server configuration file of
+// Listing 2: one server per line (host name or IP, optional :port), with
+// '#' comments and blank lines ignored.
+func ParseServerList(r io.Reader) ([]string, error) {
+	var servers []string
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = strings.TrimSpace(text[:i])
+		}
+		if text == "" {
+			continue
+		}
+		if strings.ContainsAny(text, " \t") {
+			return nil, fmt.Errorf("server config line %d: unexpected whitespace in %q", line, text)
+		}
+		servers = append(servers, text)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return servers, nil
+}
+
+// LoadServerConfig implements the automatic connection mechanism
+// (Section III-C): it connects to every server listed in the
+// configuration and merges their devices into the platform. It returns
+// the connected servers; individual connection failures abort the load.
+func (p *Platform) LoadServerConfig(r io.Reader) ([]*Server, error) {
+	addrs, err := ParseServerList(r)
+	if err != nil {
+		return nil, err
+	}
+	var servers []*Server
+	for _, addr := range addrs {
+		s, err := p.ConnectServer(addr)
+		if err != nil {
+			return servers, err
+		}
+		servers = append(servers, s)
+	}
+	return servers, nil
+}
+
+// ManagerConfig is the parsed device-manager configuration (Listing 3):
+// the manager's address plus the device requests.
+type ManagerConfig struct {
+	Manager  string
+	Requests []protocol.DeviceRequest
+}
+
+// xmlConfig mirrors the XML schema of Listing 3. The paper's example has
+// no single root element, so ParseManagerConfig wraps the document before
+// decoding.
+type xmlConfig struct {
+	DevMngr string `xml:"devmngr"`
+	Devices struct {
+		Device []struct {
+			Count      string `xml:"count,attr"`
+			Attributes []struct {
+				Name  string `xml:"name,attr"`
+				Value string `xml:",chardata"`
+			} `xml:"attribute"`
+		} `xml:"device"`
+	} `xml:"devices"`
+}
+
+// ParseManagerConfig parses the XML device-request configuration.
+func ParseManagerConfig(r io.Reader) (ManagerConfig, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return ManagerConfig{}, err
+	}
+	doc := "<dopencl>" + string(raw) + "</dopencl>"
+	var x xmlConfig
+	if err := xml.Unmarshal([]byte(doc), &x); err != nil {
+		return ManagerConfig{}, fmt.Errorf("device manager config: %w", err)
+	}
+	cfg := ManagerConfig{Manager: strings.TrimSpace(x.DevMngr)}
+	if cfg.Manager == "" {
+		return ManagerConfig{}, fmt.Errorf("device manager config: missing <devmngr> element")
+	}
+	for i, d := range x.Devices.Device {
+		req := protocol.DeviceRequest{Count: 1, Type: cl.DeviceTypeAll}
+		if d.Count != "" {
+			n, err := strconv.Atoi(d.Count)
+			if err != nil || n <= 0 {
+				return ManagerConfig{}, fmt.Errorf("device %d: bad count %q", i+1, d.Count)
+			}
+			req.Count = n
+		}
+		for _, attr := range d.Attributes {
+			val := strings.TrimSpace(attr.Value)
+			switch strings.ToUpper(attr.Name) {
+			case "TYPE":
+				t, err := cl.ParseDeviceType(val)
+				if err != nil {
+					return ManagerConfig{}, fmt.Errorf("device %d: %v", i+1, err)
+				}
+				req.Type = t
+			case "VENDOR":
+				req.Vendor = val
+			case "NAME":
+				req.Name = val
+			case "MAX_COMPUTE_UNITS", "MIN_COMPUTE_UNITS":
+				n, err := strconv.Atoi(val)
+				if err != nil {
+					return ManagerConfig{}, fmt.Errorf("device %d: bad compute units %q", i+1, val)
+				}
+				req.MinComputeUnits = n
+			case "GLOBAL_MEM_SIZE", "MIN_GLOBAL_MEM_SIZE":
+				n, err := strconv.ParseInt(val, 10, 64)
+				if err != nil {
+					return ManagerConfig{}, fmt.Errorf("device %d: bad memory size %q", i+1, val)
+				}
+				req.MinGlobalMem = n
+			default:
+				return ManagerConfig{}, fmt.Errorf("device %d: unknown attribute %q", i+1, attr.Name)
+			}
+		}
+		cfg.Requests = append(cfg.Requests, req)
+	}
+	if len(cfg.Requests) == 0 {
+		return ManagerConfig{}, fmt.Errorf("device manager config: no device requests")
+	}
+	return cfg, nil
+}
+
+// Lease is a device-manager assignment held by this client: the
+// authentication ID plus the servers that honour it.
+type Lease struct {
+	AuthID  string
+	Servers []*Server
+	manager *gcf.Endpoint
+	plat    *Platform
+}
+
+// RequestFromManager implements the automatic device request mechanism
+// (Section IV-B, Fig. 2): it sends an assignment request to the device
+// manager, receives the lease (authentication ID + server list), connects
+// to the listed servers with the authentication ID and merges the
+// assigned devices into the platform.
+func (p *Platform) RequestFromManager(cfg ManagerConfig) (*Lease, error) {
+	conn, err := p.opts.Dialer(cfg.Manager)
+	if err != nil {
+		return nil, cl.Errf(cl.InvalidServer, "connecting to device manager %s: %v", cfg.Manager, err)
+	}
+	ep := gcf.NewEndpoint(conn, true)
+	respCh := make(chan *protocol.Envelope, 1)
+	ep.Start(func(msg []byte) {
+		env, perr := protocol.ParseEnvelope(msg)
+		if perr == nil && env.Class == protocol.ClassResponse {
+			select {
+			case respCh <- &env:
+			default:
+			}
+		}
+	}, nil)
+
+	w := protocol.NewWriter()
+	w.U32(uint32(len(cfg.Requests)))
+	for _, req := range cfg.Requests {
+		req.Put(w)
+	}
+	if err := ep.Send(protocol.EncodeEnvelope(protocol.ClassRequest, 1, protocol.MsgDMRequestDevices, w)); err != nil {
+		ep.Close()
+		return nil, cl.Errf(cl.InvalidServer, "device manager request: %v", err)
+	}
+	env, ok := <-respCh
+	if !ok {
+		ep.Close()
+		return nil, cl.Errf(cl.InvalidServer, "device manager connection lost")
+	}
+	if status := cl.ErrorCode(env.Body.I32()); status != cl.Success {
+		reason := env.Body.String()
+		ep.Close()
+		return nil, cl.Errf(status, "device manager rejected request: %s", reason)
+	}
+	authID := env.Body.String()
+	serverAddrs := env.Body.Strings()
+	if env.Body.Err() != nil {
+		ep.Close()
+		return nil, cl.Errf(cl.InvalidServer, "malformed device manager response")
+	}
+
+	lease := &Lease{AuthID: authID, manager: ep, plat: p}
+	for _, addr := range serverAddrs {
+		s, err := p.connectServerAuth(addr, authID)
+		if err != nil {
+			if rerr := lease.Release(); rerr != nil {
+				return nil, err
+			}
+			return nil, err
+		}
+		lease.Servers = append(lease.Servers, s)
+	}
+	return lease, nil
+}
+
+// Release returns the lease's devices to the device manager (the release
+// message of Section IV-C) and disconnects the lease's servers.
+func (l *Lease) Release() error {
+	w := protocol.NewWriter()
+	w.String(l.AuthID)
+	err := l.manager.Send(protocol.EncodeEnvelope(protocol.ClassRequest, 0, protocol.MsgDMReleaseLease, w))
+	for _, s := range l.Servers {
+		if derr := l.plat.DisconnectServer(s); derr != nil && err == nil {
+			err = derr
+		}
+	}
+	l.manager.Close()
+	return err
+}

@@ -1,0 +1,524 @@
+package client
+
+import (
+	"sync"
+
+	"dopencl/internal/cl"
+	"dopencl/internal/kernel"
+	"dopencl/internal/protocol"
+)
+
+// Context is a compound stub (Section III-D): the single context object
+// the application sees is backed by one remote context per participating
+// server, each created with only that server's devices.
+type Context struct {
+	plat    *Platform
+	devices []*Device
+	servers []*Server // participating servers, deduplicated
+
+	remoteIDs map[*Server]uint64 // server → remote context ID
+
+	mu        sync.Mutex
+	cohQueues map[*Server]*Queue // internal queues for coherence traffic
+	released  bool
+}
+
+var _ cl.Context = (*Context)(nil)
+
+// CreateContext builds a distributed context across the given devices,
+// which may live on different servers (enabled by the uniform platform).
+func (p *Platform) CreateContext(devices []cl.Device) (cl.Context, error) {
+	if len(devices) == 0 {
+		return nil, cl.Errf(cl.InvalidValue, "context requires at least one device")
+	}
+	ctx := &Context{
+		plat:      p,
+		remoteIDs: map[*Server]uint64{},
+		cohQueues: map[*Server]*Queue{},
+	}
+	perServer := map[*Server][]uint64{}
+	for _, d := range devices {
+		cd, ok := d.(*Device)
+		if !ok {
+			return nil, cl.Errf(cl.InvalidDevice, "device %q does not belong to the dOpenCL platform", d.Name())
+		}
+		if !cd.srv.Connected() {
+			return nil, cl.Errf(cl.DeviceNotAvailable, "device %q belongs to a disconnected server", d.Name())
+		}
+		ctx.devices = append(ctx.devices, cd)
+		if _, seen := ctx.remoteIDs[cd.srv]; !seen {
+			ctx.remoteIDs[cd.srv] = p.newID()
+			ctx.servers = append(ctx.servers, cd.srv)
+		}
+		perServer[cd.srv] = append(perServer[cd.srv], uint64(cd.unitID))
+	}
+	// Replicate creation to every participating server: each remote
+	// context holds only the devices hosted by that server.
+	for _, srv := range ctx.servers {
+		rid := ctx.remoteIDs[srv]
+		units := perServer[srv]
+		if _, err := srv.call(protocol.MsgCreateContext, func(w *protocol.Writer) {
+			w.U64(rid)
+			w.U64s(units)
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return ctx, nil
+}
+
+// Devices returns the context's devices.
+func (c *Context) Devices() []cl.Device {
+	out := make([]cl.Device, len(c.devices))
+	for i, d := range c.devices {
+		out[i] = d
+	}
+	return out
+}
+
+// remoteContextID resolves the remote context ID on srv.
+func (c *Context) remoteContextID(srv *Server) (uint64, error) {
+	id, ok := c.remoteIDs[srv]
+	if !ok {
+		return 0, cl.Errf(cl.InvalidContext, "server %s does not participate in this context", srv.addr)
+	}
+	return id, nil
+}
+
+// coherenceQueue returns (lazily creating) the internal command queue used
+// for MSI coherence transfers on srv. It is bound to the first context
+// device hosted by srv.
+func (c *Context) coherenceQueue(srv *Server) (*Queue, error) {
+	c.mu.Lock()
+	if q, ok := c.cohQueues[srv]; ok {
+		c.mu.Unlock()
+		return q, nil
+	}
+	c.mu.Unlock()
+	var dev *Device
+	for _, d := range c.devices {
+		if d.srv == srv {
+			dev = d
+			break
+		}
+	}
+	if dev == nil {
+		return nil, cl.Errf(cl.InvalidContext, "no device of server %s in context", srv.addr)
+	}
+	q, err := c.createQueue(dev)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if existing, ok := c.cohQueues[srv]; ok {
+		c.mu.Unlock()
+		if rerr := q.Release(); rerr != nil {
+			return existing, nil
+		}
+		return existing, nil
+	}
+	c.cohQueues[srv] = q
+	c.mu.Unlock()
+	return q, nil
+}
+
+// CreateQueue creates a command queue on the given context device: a
+// simple stub, since a queue is owned by exactly one server.
+func (c *Context) CreateQueue(d cl.Device) (cl.Queue, error) {
+	cd, ok := d.(*Device)
+	if !ok {
+		return nil, cl.Errf(cl.InvalidDevice, "foreign device")
+	}
+	found := false
+	for _, dev := range c.devices {
+		if dev == cd {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, cl.Errf(cl.InvalidDevice, "device %q not in context", d.Name())
+	}
+	return c.createQueue(cd)
+}
+
+func (c *Context) createQueue(cd *Device) (*Queue, error) {
+	rctx, err := c.remoteContextID(cd.srv)
+	if err != nil {
+		return nil, err
+	}
+	id := c.plat.newID()
+	if _, err := cd.srv.call(protocol.MsgCreateQueue, func(w *protocol.Writer) {
+		w.U64(id)
+		w.U64(rctx)
+		w.U64(uint64(cd.unitID))
+	}); err != nil {
+		return nil, err
+	}
+	return &Queue{ctx: c, srv: cd.srv, dev: cd, id: id}, nil
+}
+
+// CreateBuffer allocates a distributed buffer object: the compound stub is
+// the MSI directory; remote buffers are created on every participating
+// server and start in the Invalid state, the client's (conceptual) copy is
+// Shared (Section III-D).
+func (c *Context) CreateBuffer(flags cl.MemFlags, size int, host []byte) (cl.Buffer, error) {
+	if size <= 0 {
+		return nil, cl.Errf(cl.InvalidBufferSize, "buffer size %d", size)
+	}
+	if flags&cl.MemCopyHostPtr != 0 && len(host) != size {
+		return nil, cl.Errf(cl.InvalidValue, "MemCopyHostPtr requires len(host) == size")
+	}
+	b := &Buffer{
+		ctx:       c,
+		id:        c.plat.newID(),
+		size:      size,
+		flags:     flags,
+		states:    map[*Server]msiState{},
+		lastWrite: map[*Server]*Event{},
+	}
+	if flags&cl.MemCopyHostPtr != 0 {
+		b.hostCopy = append([]byte(nil), host...)
+	}
+	b.hostState = msiShared
+	remoteFlags := flags &^ cl.MemCopyHostPtr
+	for _, srv := range c.servers {
+		rctx := c.remoteIDs[srv]
+		if _, err := srv.call(protocol.MsgCreateBuffer, func(w *protocol.Writer) {
+			w.U64(b.id)
+			w.U64(rctx)
+			w.U32(uint32(remoteFlags))
+			w.I64(int64(size))
+			w.U32(0) // no init stream: contents uploaded lazily by coherence
+		}); err != nil {
+			return nil, err
+		}
+		b.states[srv] = msiInvalid
+	}
+	return b, nil
+}
+
+// CreateProgramWithSource wraps kernel source in a compound program stub;
+// the source is replicated to every participating server (the paper ships
+// program code over the network at run time).
+func (c *Context) CreateProgramWithSource(src string) (cl.Program, error) {
+	if src == "" {
+		return nil, cl.Errf(cl.InvalidValue, "empty program source")
+	}
+	p := &Program{ctx: c, id: c.plat.newID(), src: src, buildLogs: map[string]string{}}
+	for _, srv := range c.servers {
+		rctx := c.remoteIDs[srv]
+		if _, err := srv.call(protocol.MsgCreateProgram, func(w *protocol.Writer) {
+			w.U64(p.id)
+			w.U64(rctx)
+			w.String(src)
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// CreateUserEvent creates a client-controlled event usable in wait lists
+// on any participating server.
+func (c *Context) CreateUserEvent() (cl.UserEvent, error) {
+	return newUserEventStub(c), nil
+}
+
+// Release releases the remote contexts and internal coherence queues.
+func (c *Context) Release() error {
+	c.mu.Lock()
+	if c.released {
+		c.mu.Unlock()
+		return nil
+	}
+	c.released = true
+	queues := c.cohQueues
+	c.cohQueues = map[*Server]*Queue{}
+	c.mu.Unlock()
+	var first error
+	for _, q := range queues {
+		if err := q.Release(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, srv := range c.servers {
+		rid := c.remoteIDs[srv]
+		if _, err := srv.call(protocol.MsgReleaseContext, func(w *protocol.Writer) {
+			w.U64(rid)
+		}); err != nil && first == nil && srv.Connected() {
+			first = err
+		}
+	}
+	return first
+}
+
+// Program is a compound stub for a program replicated across servers.
+// Consistency is asserted by replicating API calls to all remote objects
+// (Section III-D).
+type Program struct {
+	ctx *Context
+	id  uint64
+	src string
+
+	mu        sync.Mutex
+	built     bool
+	buildLogs map[string]string
+}
+
+var _ cl.Program = (*Program)(nil)
+
+// Source returns the program source.
+func (p *Program) Source() string { return p.src }
+
+// Build replicates clBuildProgram to every participating server.
+func (p *Program) Build(devices []cl.Device, options string) error {
+	var firstErr error
+	for _, srv := range p.ctx.servers {
+		resp, err := srv.call(protocol.MsgBuildProgram, func(w *protocol.Writer) {
+			w.U64(p.id)
+			w.String(options)
+		})
+		logText := ""
+		if resp != nil {
+			logText = resp.String()
+		}
+		p.mu.Lock()
+		p.buildLogs[srv.addr] = logText
+		p.mu.Unlock()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	p.mu.Lock()
+	p.built = true
+	p.mu.Unlock()
+	return nil
+}
+
+// BuildLog returns the build log of the server hosting d.
+func (p *Program) BuildLog(d cl.Device) string {
+	cd, ok := d.(*Device)
+	if !ok {
+		return ""
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.buildLogs[cd.srv.addr]
+}
+
+// KernelNames lists kernels by compiling locally (the source is the
+// single source of truth and MiniCL compilation is deterministic).
+func (p *Program) KernelNames() ([]string, error) {
+	p.mu.Lock()
+	built := p.built
+	p.mu.Unlock()
+	if !built {
+		return nil, cl.Errf(cl.InvalidProgramExec, "program not built")
+	}
+	prog, err := kernel.Compile(p.src)
+	if err != nil {
+		return nil, cl.Errf(cl.BuildProgramFailure, "%v", err)
+	}
+	return prog.KernelNames(), nil
+}
+
+// CreateKernel instantiates a compound kernel stub on all servers.
+func (p *Program) CreateKernel(name string) (cl.Kernel, error) {
+	p.mu.Lock()
+	built := p.built
+	p.mu.Unlock()
+	if !built {
+		return nil, cl.Errf(cl.InvalidProgramExec, "program not built")
+	}
+	k := &Kernel{prog: p, id: p.ctx.plat.newID(), name: name}
+	for i, srv := range p.ctx.servers {
+		resp, err := srv.call(protocol.MsgCreateKernel, func(w *protocol.Writer) {
+			w.U64(k.id)
+			w.U64(p.id)
+			w.String(name)
+		})
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			k.argInfo = protocol.GetArgInfo(resp)
+			k.argBufs = make([]*Buffer, len(k.argInfo))
+			k.argSet = make([]bool, len(k.argInfo))
+		}
+	}
+	return k, nil
+}
+
+// Release releases the program on all servers.
+func (p *Program) Release() error {
+	var first error
+	for _, srv := range p.ctx.servers {
+		if _, err := srv.call(protocol.MsgReleaseProgram, func(w *protocol.Writer) {
+			w.U64(p.id)
+		}); err != nil && first == nil && srv.Connected() {
+			first = err
+		}
+	}
+	return first
+}
+
+// Kernel is a compound stub: argument updates are replicated to the remote
+// kernel object on every participating server.
+type Kernel struct {
+	prog *Program
+	id   uint64
+	name string
+
+	mu      sync.Mutex
+	argInfo []kernel.ArgInfo
+	argBufs []*Buffer // buffer bindings, tracked for MSI at launch
+	argSet  []bool
+}
+
+var _ cl.Kernel = (*Kernel)(nil)
+
+// Name returns the kernel function name.
+func (k *Kernel) Name() string { return k.name }
+
+// NumArgs returns the number of kernel parameters.
+func (k *Kernel) NumArgs() int { return len(k.argInfo) }
+
+// ArgInfo exposes the compiled argument metadata.
+func (k *Kernel) ArgInfo() []kernel.ArgInfo { return k.argInfo }
+
+// SetArg binds argument i, replicating to all servers.
+func (k *Kernel) SetArg(i int, v any) error {
+	if i < 0 || i >= len(k.argInfo) {
+		return cl.Errf(cl.InvalidArgIndex, "kernel %s has %d arguments", k.name, len(k.argInfo))
+	}
+	info := k.argInfo[i]
+	var fill func(w *protocol.Writer)
+	var boundBuf *Buffer
+	switch info.Kind {
+	case kernel.ArgScalarInt:
+		iv, err := coerceInt(v)
+		if err != nil {
+			return err
+		}
+		raw := uint64(uint32(iv))
+		fill = func(w *protocol.Writer) {
+			w.U8(protocol.ArgValScalar)
+			w.U64(raw)
+		}
+	case kernel.ArgScalarFloat:
+		fv, err := coerceFloat(v)
+		if err != nil {
+			return err
+		}
+		raw := uint64(floatBits(fv))
+		fill = func(w *protocol.Writer) {
+			w.U8(protocol.ArgValScalar)
+			w.U64(raw)
+		}
+	case kernel.ArgGlobalBuf:
+		buf, ok := v.(*Buffer)
+		if !ok {
+			if cb, isCl := v.(cl.Buffer); isCl {
+				buf, ok = cb.(*Buffer)
+			}
+		}
+		if !ok || buf == nil {
+			return cl.Errf(cl.InvalidArgValue, "argument %d of %s requires a dOpenCL buffer", i, k.name)
+		}
+		boundBuf = buf
+		fill = func(w *protocol.Writer) {
+			w.U8(protocol.ArgValBuffer)
+			w.U64(buf.id)
+		}
+	case kernel.ArgLocalBuf:
+		ls, ok := v.(cl.LocalSpace)
+		if !ok || ls.Size <= 0 {
+			return cl.Errf(cl.InvalidArgSize, "argument %d of %s requires LocalSpace", i, k.name)
+		}
+		fill = func(w *protocol.Writer) {
+			w.U8(protocol.ArgValLocal)
+			w.I64(int64(ls.Size))
+		}
+	}
+	for _, srv := range k.prog.ctx.servers {
+		if _, err := srv.call(protocol.MsgSetKernelArg, func(w *protocol.Writer) {
+			w.U64(k.id)
+			w.U32(uint32(i))
+			fill(w)
+		}); err != nil {
+			return err
+		}
+	}
+	k.mu.Lock()
+	k.argBufs[i] = boundBuf
+	k.argSet[i] = true
+	k.mu.Unlock()
+	return nil
+}
+
+// bufferBindings snapshots the buffer arguments with their access modes.
+func (k *Kernel) bufferBindings() (readBufs, writeBufs []*Buffer, err error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	for i, info := range k.argInfo {
+		if !k.argSet[i] {
+			return nil, nil, cl.Errf(cl.InvalidKernelArgs, "argument %d of %s not set", i, k.name)
+		}
+		if info.Kind != kernel.ArgGlobalBuf {
+			continue
+		}
+		buf := k.argBufs[i]
+		readBufs = append(readBufs, buf)
+		if !info.ReadOnly {
+			writeBufs = append(writeBufs, buf)
+		}
+	}
+	return readBufs, writeBufs, nil
+}
+
+// Release releases the kernel on all servers.
+func (k *Kernel) Release() error {
+	var first error
+	for _, srv := range k.prog.ctx.servers {
+		if _, err := srv.call(protocol.MsgReleaseKernel, func(w *protocol.Writer) {
+			w.U64(k.id)
+		}); err != nil && first == nil && srv.Connected() {
+			first = err
+		}
+	}
+	return first
+}
+
+// coerceInt converts supported Go types to int32.
+func coerceInt(v any) (int32, error) {
+	switch x := v.(type) {
+	case int32:
+		return x, nil
+	case int:
+		return int32(x), nil
+	case int64:
+		return int32(x), nil
+	case uint32:
+		return int32(x), nil
+	case uint64:
+		return int32(x), nil
+	}
+	return 0, cl.Errf(cl.InvalidArgValue, "cannot use %T as int argument", v)
+}
+
+// coerceFloat converts supported Go types to float32.
+func coerceFloat(v any) (float32, error) {
+	switch x := v.(type) {
+	case float32:
+		return x, nil
+	case float64:
+		return float32(x), nil
+	case int:
+		return float32(x), nil
+	}
+	return 0, cl.Errf(cl.InvalidArgValue, "cannot use %T as float argument", v)
+}

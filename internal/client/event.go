@@ -1,0 +1,221 @@
+package client
+
+import (
+	"sync"
+
+	"dopencl/internal/cl"
+	"dopencl/internal/native"
+	"dopencl/internal/protocol"
+)
+
+// Event is the client-side stub of a remote event, implementing the
+// paper's event-consistency protocol (Section III-D):
+//
+//   - the original event lives on the server that executes the command
+//     (origin); its completion is pushed to the client via a
+//     clSetEventCallback-style notification;
+//   - on every other server where the event is needed in a wait list, the
+//     client creates a *user event* as a replacement;
+//   - when the original completes, the client sets the status of every
+//     replacement, making the event status consistent on all servers.
+//
+// Application-created user events (Context.CreateUserEvent) are Events
+// with no origin: the application completes them and the client fans the
+// status out to all replacements.
+type Event struct {
+	latch *native.Event // local completion latch (Wait/Status/SetCallback)
+	ctx   *Context
+
+	origin   *Server // server owning the original event; nil for client user events
+	originID uint64
+
+	mu           sync.Mutex
+	replacements map[*Server]uint64 // server → replacement user-event ID
+	notified     map[*Server]bool   // replacements already told the final status
+	final        cl.CommandStatus
+	completed    bool
+}
+
+var _ cl.Event = (*Event)(nil)
+
+// newRemoteEvent creates the stub for a command enqueued on origin. The
+// completion hook must be registered with origin before the enqueue
+// request is sent.
+func newRemoteEvent(ctx *Context, origin *Server, originID uint64) *Event {
+	return &Event{
+		latch:        native.NewEvent(),
+		ctx:          ctx,
+		origin:       origin,
+		originID:     originID,
+		replacements: map[*Server]uint64{},
+		notified:     map[*Server]bool{},
+	}
+}
+
+// newUserEventStub creates a client-side user event (no origin server).
+func newUserEventStub(ctx *Context) *UserEvent {
+	return &UserEvent{Event{
+		latch:        native.NewEvent(),
+		ctx:          ctx,
+		replacements: map[*Server]uint64{},
+		notified:     map[*Server]bool{},
+	}}
+}
+
+// Status returns the local view of the event status.
+func (e *Event) Status() cl.CommandStatus { return e.latch.Status() }
+
+// Wait blocks until the event completes.
+func (e *Event) Wait() error { return e.latch.Wait() }
+
+// SetCallback registers a completion callback.
+func (e *Event) SetCallback(status cl.CommandStatus, fn func(cl.Event, cl.CommandStatus)) error {
+	return e.latch.SetCallback(status, func(_ cl.Event, st cl.CommandStatus) { fn(e, st) })
+}
+
+// Release drops the client's reference to the event. The remote original
+// is released asynchronously; replacements are kept until completion.
+func (e *Event) Release() error {
+	if e.origin != nil {
+		return e.origin.callAsync(protocol.MsgReleaseEvent, func(w *protocol.Writer) {
+			w.U64(e.originID)
+		})
+	}
+	return nil
+}
+
+// complete is the notification hook: it finalises the local latch and
+// propagates the status to every replacement user event.
+func (e *Event) complete(status cl.CommandStatus) {
+	e.mu.Lock()
+	if e.completed {
+		e.mu.Unlock()
+		return
+	}
+	e.completed = true
+	e.final = status
+	targets := make(map[*Server]uint64, len(e.replacements))
+	for srv, id := range e.replacements {
+		if !e.notified[srv] {
+			e.notified[srv] = true
+			targets[srv] = id
+		}
+	}
+	e.mu.Unlock()
+
+	for srv, id := range targets {
+		e.setReplacementStatus(srv, id, status)
+	}
+	if status == cl.Complete {
+		e.latch.Complete(nil)
+	} else {
+		e.latch.Complete(&cl.Error{Code: cl.ErrorCode(status), Msg: "remote command failed"})
+	}
+}
+
+func (e *Event) setReplacementStatus(srv *Server, id uint64, status cl.CommandStatus) {
+	if _, err := srv.call(protocol.MsgSetUserEventStatus, func(w *protocol.Writer) {
+		w.U64(id)
+		w.I32(int32(status))
+	}); err != nil && srv.Connected() {
+		// Replacement update failures would stall remote wait lists; there
+		// is no recovery beyond surfacing the problem.
+		e.latch.Complete(err)
+	}
+}
+
+// remoteIDFor returns the event ID that represents this event on server
+// srv: the original ID when srv owns the event, otherwise the ID of a
+// (possibly freshly created) user-event replacement on srv.
+func (e *Event) remoteIDFor(srv *Server) (uint64, error) {
+	if srv == e.origin {
+		return e.originID, nil
+	}
+	e.mu.Lock()
+	if id, ok := e.replacements[srv]; ok {
+		e.mu.Unlock()
+		return id, nil
+	}
+	e.mu.Unlock()
+
+	// Create the replacement user event on srv in the remote context.
+	rctxID, err := e.ctx.remoteContextID(srv)
+	if err != nil {
+		return 0, err
+	}
+	id := e.ctx.plat.newID()
+	if _, err := srv.call(protocol.MsgCreateUserEvent, func(w *protocol.Writer) {
+		w.U64(id)
+		w.U64(rctxID)
+	}); err != nil {
+		return 0, err
+	}
+
+	e.mu.Lock()
+	if existing, ok := e.replacements[srv]; ok {
+		// Lost a race with another creator; use theirs. The spare remote
+		// user event is released.
+		e.mu.Unlock()
+		if rerr := srv.callAsync(protocol.MsgReleaseEvent, func(w *protocol.Writer) { w.U64(id) }); rerr != nil {
+			return existing, nil
+		}
+		return existing, nil
+	}
+	e.replacements[srv] = id
+	needNotify := e.completed && !e.notified[srv]
+	if needNotify {
+		e.notified[srv] = true
+	}
+	status := e.final
+	e.mu.Unlock()
+	if needNotify {
+		e.setReplacementStatus(srv, id, status)
+	}
+	return id, nil
+}
+
+// UserEvent is an application-controlled event (clCreateUserEvent) in the
+// dOpenCL driver.
+type UserEvent struct {
+	Event
+}
+
+var _ cl.UserEvent = (*UserEvent)(nil)
+
+// SetStatus completes the user event and propagates the status to all
+// servers where the event is used.
+func (u *UserEvent) SetStatus(s cl.CommandStatus) error {
+	if s != cl.Complete && s >= 0 {
+		return cl.Errf(cl.InvalidValue, "user event status must be Complete or negative, got %d", s)
+	}
+	u.complete(s)
+	return nil
+}
+
+// translateWaitList maps a cl.Event wait list to remote event IDs valid on
+// server srv, creating user-event replacements where needed.
+func translateWaitList(srv *Server, waits []cl.Event) ([]uint64, error) {
+	if len(waits) == 0 {
+		return nil, nil
+	}
+	out := make([]uint64, 0, len(waits))
+	for _, w := range waits {
+		if w == nil {
+			continue
+		}
+		ev, ok := w.(*Event)
+		if !ok {
+			if ue, isUser := w.(*UserEvent); isUser {
+				ev = &ue.Event
+			} else {
+				return nil, cl.Errf(cl.InvalidEventWaitList, "foreign event type %T", w)
+			}
+		}
+		id, err := ev.remoteIDFor(srv)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, id)
+	}
+	return out, nil
+}

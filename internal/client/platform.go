@@ -1,0 +1,194 @@
+package client
+
+import (
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"dopencl/internal/cl"
+	"dopencl/internal/protocol"
+)
+
+// Dialer connects to a server address. It abstracts the fabric: simnet
+// networks in tests and experiments, real TCP in deployments.
+type Dialer func(addr string) (net.Conn, error)
+
+// Options configures the client driver.
+type Options struct {
+	// Dialer reaches dOpenCL servers (required).
+	Dialer Dialer
+	// ClientName identifies this client to servers (defaults to "dopencl-client").
+	ClientName string
+}
+
+// Platform is the uniform dOpenCL platform (Section III-E): a self-
+// contained platform object merging the devices of every connected server,
+// so that devices from different servers can share one context. It
+// implements cl.Platform, making the driver a drop-in replacement for a
+// native OpenCL implementation.
+type Platform struct {
+	opts   Options
+	nextID atomic.Uint64
+
+	mu      sync.Mutex
+	servers []*Server
+}
+
+var _ cl.Platform = (*Platform)(nil)
+
+// NewPlatform creates a dOpenCL platform with no servers connected.
+// Connect servers explicitly (ConnectServer), from a configuration file
+// (LoadServerConfig) or through a device manager (RequestFromManager).
+func NewPlatform(opts Options) *Platform {
+	if opts.ClientName == "" {
+		opts.ClientName = "dopencl-client"
+	}
+	return &Platform{opts: opts}
+}
+
+// Name returns "dOpenCL", the uniform platform name.
+func (p *Platform) Name() string { return "dOpenCL" }
+
+// Vendor returns the platform vendor string.
+func (p *Platform) Vendor() string { return "University of Muenster (reimplementation)" }
+
+// Version returns the platform version.
+func (p *Platform) Version() string { return "OpenCL 1.1 dOpenCL 1.0" }
+
+// Profile returns the supported profile.
+func (p *Platform) Profile() string { return "FULL_PROFILE" }
+
+// newID allocates a fresh object ID (stub IDs, Section III-D).
+func (p *Platform) newID() uint64 { return p.nextID.Add(1) }
+
+// ConnectServer connects to a dOpenCL server and merges its devices into
+// the platform (clConnectServerWWU).
+func (p *Platform) ConnectServer(addr string) (*Server, error) {
+	return p.connectServerAuth(addr, "")
+}
+
+// connectServerAuth connects with an authentication ID (device-manager
+// leases use this; direct connections pass "").
+func (p *Platform) connectServerAuth(addr, authID string) (*Server, error) {
+	conn, err := p.opts.Dialer(addr)
+	if err != nil {
+		return nil, cl.Errf(cl.InvalidServer, "connecting to %s: %v", addr, err)
+	}
+	s, err := dialServer(p, addr, conn, authID)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	p.servers = append(p.servers, s)
+	p.mu.Unlock()
+	return s, nil
+}
+
+// DisconnectServer removes the server from the platform; its devices
+// become unavailable (clDisconnectServerWWU).
+func (p *Platform) DisconnectServer(s *Server) error {
+	p.mu.Lock()
+	idx := -1
+	for i, cur := range p.servers {
+		if cur == s {
+			idx = i
+			break
+		}
+	}
+	if idx >= 0 {
+		p.servers = append(p.servers[:idx], p.servers[idx+1:]...)
+	}
+	p.mu.Unlock()
+	if idx < 0 {
+		return cl.Errf(cl.InvalidServer, "server %s not connected", s.addr)
+	}
+	s.disconnect()
+	return nil
+}
+
+// Servers lists the currently connected servers.
+func (p *Platform) Servers() []*Server {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]*Server(nil), p.servers...)
+}
+
+// ServerInfo describes a connected server (clGetServerInfoWWU).
+type ServerInfo struct {
+	Addr        string
+	Name        string
+	Managed     bool
+	DeviceCount int
+}
+
+// GetServerInfo queries a server's descriptive information.
+func (p *Platform) GetServerInfo(s *Server) (ServerInfo, error) {
+	resp, err := s.call(protocol.MsgGetServerInfo, nil)
+	if err != nil {
+		return ServerInfo{}, err
+	}
+	info := ServerInfo{
+		Addr:        s.addr,
+		Name:        resp.String(),
+		Managed:     resp.Bool(),
+		DeviceCount: int(resp.U32()),
+	}
+	return info, nil
+}
+
+// Devices merges the device lists of all connected servers (the automatic
+// connection mechanism returns them as one list, Section III-C).
+func (p *Platform) Devices(t cl.DeviceType) ([]cl.Device, error) {
+	p.mu.Lock()
+	servers := append([]*Server(nil), p.servers...)
+	p.mu.Unlock()
+	var out []cl.Device
+	for _, s := range servers {
+		for _, d := range s.Devices() {
+			if d.info.Type&t != 0 {
+				out = append(out, d)
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, cl.Errf(cl.DeviceNotFound, "no devices of type %s on %d connected servers", t, len(servers))
+	}
+	// Deterministic order: by server address, then unit ID.
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i].(*Device), out[j].(*Device)
+		if a.srv.addr != b.srv.addr {
+			return a.srv.addr < b.srv.addr
+		}
+		return a.unitID < b.unitID
+	})
+	return out, nil
+}
+
+// Device is a simple stub for a remote device (Section III-D: devices are
+// owned by a single server, so a simple stub suffices).
+type Device struct {
+	srv    *Server
+	unitID uint32
+	info   cl.DeviceInfo
+}
+
+var _ cl.Device = (*Device)(nil)
+
+// Name returns the device name.
+func (d *Device) Name() string { return d.info.Name }
+
+// Type returns the device type.
+func (d *Device) Type() cl.DeviceType { return d.info.Type }
+
+// Info returns the cached device description. The client driver caches
+// immutable object information at connection time so that info queries
+// need no network communication (Section III-B).
+func (d *Device) Info() cl.DeviceInfo { return d.info }
+
+// Available reports whether the owning server is still connected: devices
+// of disconnected servers enter the "unavailable" state (Listing 1).
+func (d *Device) Available() bool { return d.srv.Connected() }
+
+// Server returns the server hosting this device.
+func (d *Device) Server() *Server { return d.srv }

@@ -1,0 +1,332 @@
+package client
+
+import (
+	"io"
+
+	"dopencl/internal/cl"
+	"dopencl/internal/protocol"
+)
+
+// Queue is a simple stub for a remote command queue (queues are owned by
+// one server, Section III-D). Enqueue operations translate wait lists to
+// remote event IDs, run the MSI coherence protocol for involved buffers
+// and forward the command to the owning daemon; bulk data rides on gcf
+// streams.
+type Queue struct {
+	ctx *Context
+	srv *Server
+	dev *Device
+	id  uint64
+}
+
+var _ cl.Queue = (*Queue)(nil)
+
+// Device returns the queue's device.
+func (q *Queue) Device() cl.Device { return q.dev }
+
+// Context returns the owning context.
+func (q *Queue) Context() cl.Context { return q.ctx }
+
+// bufferOf validates that b is a dOpenCL buffer of this context.
+func (q *Queue) bufferOf(b cl.Buffer) (*Buffer, error) {
+	cb, ok := b.(*Buffer)
+	if !ok || cb.ctx != q.ctx {
+		return nil, cl.Errf(cl.InvalidMemObject, "buffer does not belong to this context")
+	}
+	return cb, nil
+}
+
+// newCommandEvent allocates the client-side event stub and registers its
+// completion hook with the owning server.
+func (q *Queue) newCommandEvent() *Event {
+	id := q.ctx.plat.newID()
+	ev := newRemoteEvent(q.ctx, q.srv, id)
+	q.srv.registerHook(id, ev.complete)
+	return ev
+}
+
+// EnqueueWriteBuffer uploads host data into the buffer through this
+// queue's server. The server's copy becomes Modified; all other copies are
+// invalidated (host writes route through a device in dOpenCL).
+func (q *Queue) EnqueueWriteBuffer(b cl.Buffer, blocking bool, offset int, data []byte, wait []cl.Event) (cl.Event, error) {
+	cb, err := q.bufferOf(b)
+	if err != nil {
+		return nil, err
+	}
+	if offset < 0 || offset+len(data) > cb.size {
+		return nil, cl.Errf(cl.InvalidValue, "write of %d bytes at offset %d exceeds buffer size %d", len(data), offset, cb.size)
+	}
+	// A partial write requires the rest of the buffer to stay meaningful
+	// on the target: make the target valid first.
+	if offset != 0 || len(data) != cb.size {
+		if _, err := cb.ensureValidOn(q); err != nil {
+			return nil, err
+		}
+	}
+	ev, err := q.enqueueWriteInternal(cb, blocking, offset, data, wait, true)
+	if err != nil {
+		return nil, err
+	}
+	return ev, nil
+}
+
+// enqueueWriteInternal performs the wire work of a write. When mark is
+// true the directory records the server's copy as Modified (application
+// writes); coherence uploads pass mark=false and adjust states themselves.
+func (q *Queue) enqueueWriteInternal(cb *Buffer, blocking bool, offset int, data []byte, wait []cl.Event, mark bool) (*Event, error) {
+	waitIDs, err := translateWaitList(q.srv, wait)
+	if err != nil {
+		return nil, err
+	}
+	ev := q.newCommandEvent()
+	stream := q.srv.openStream()
+	_, err = q.srv.call(protocol.MsgEnqueueWrite, func(w *protocol.Writer) {
+		w.U64(q.id)
+		w.U64(cb.id)
+		w.I64(int64(offset))
+		w.I64(int64(len(data)))
+		w.U32(stream.ID())
+		w.U64(ev.originID)
+		w.U64s(waitIDs)
+	})
+	if err != nil {
+		q.srv.dropHook(ev.originID)
+		stream.Release()
+		return nil, err
+	}
+	if mark {
+		cb.markWrittenBy(q.srv, ev)
+	}
+	// Ship the payload. Blocking writes transfer synchronously (the
+	// caller may reuse the slice immediately after return); non-blocking
+	// writes stream in the background, as the paper's asynchronous bulk
+	// transfers do.
+	if blocking {
+		if _, werr := stream.Write(data); werr != nil {
+			return nil, cl.Errf(cl.InvalidServer, "bulk upload failed: %v", werr)
+		}
+		if werr := stream.CloseWrite(); werr != nil {
+			return nil, cl.Errf(cl.InvalidServer, "bulk upload close failed: %v", werr)
+		}
+		if werr := ev.Wait(); werr != nil {
+			return nil, werr
+		}
+		return ev, nil
+	}
+	go func() {
+		if _, werr := stream.Write(data); werr != nil {
+			return
+		}
+		if werr := stream.CloseWrite(); werr != nil {
+			return
+		}
+	}()
+	return ev, nil
+}
+
+// EnqueueReadBuffer downloads buffer contents into dst. The server's copy
+// must be valid; the read downgrades a Modified owner to Shared when the
+// whole buffer is read.
+func (q *Queue) EnqueueReadBuffer(b cl.Buffer, blocking bool, offset int, dst []byte, wait []cl.Event) (cl.Event, error) {
+	cb, err := q.bufferOf(b)
+	if err != nil {
+		return nil, err
+	}
+	if offset < 0 || offset+len(dst) > cb.size {
+		return nil, cl.Errf(cl.InvalidValue, "read of %d bytes at offset %d exceeds buffer size %d", len(dst), offset, cb.size)
+	}
+	if _, err := cb.ensureValidOn(q); err != nil {
+		return nil, err
+	}
+	return q.enqueueReadInternal(cb, blocking, offset, dst, wait, true)
+}
+
+// enqueueReadInternal performs the wire work of a read. note selects
+// whether the directory records the host's fresh copy.
+func (q *Queue) enqueueReadInternal(cb *Buffer, blocking bool, offset int, dst []byte, wait []cl.Event, note bool) (*Event, error) {
+	waitIDs, err := translateWaitList(q.srv, wait)
+	if err != nil {
+		return nil, err
+	}
+	ev := q.newCommandEvent()
+	stream := q.srv.openStream()
+	_, err = q.srv.call(protocol.MsgEnqueueRead, func(w *protocol.Writer) {
+		w.U64(q.id)
+		w.U64(cb.id)
+		w.I64(int64(offset))
+		w.I64(int64(len(dst)))
+		w.U32(stream.ID())
+		w.U64(ev.originID)
+		w.U64s(waitIDs)
+	})
+	if err != nil {
+		q.srv.dropHook(ev.originID)
+		stream.Release()
+		return nil, err
+	}
+	recv := func() error {
+		defer stream.Release()
+		if _, rerr := io.ReadFull(stream, dst); rerr != nil {
+			return cl.Errf(cl.InvalidServer, "bulk download failed: %v", rerr)
+		}
+		if note {
+			cb.noteHostRead(q.srv, offset, len(dst), dst)
+		}
+		return nil
+	}
+	if blocking {
+		if rerr := recv(); rerr != nil {
+			return nil, rerr
+		}
+		if werr := ev.Wait(); werr != nil {
+			return nil, werr
+		}
+		return ev, nil
+	}
+	// Non-blocking read: the returned event must not complete before dst
+	// is filled. Chain the stream drain in front of the latch completion.
+	wrapped := newRemoteEvent(q.ctx, q.srv, ev.originID)
+	q.srv.dropHook(ev.originID)
+	q.srv.registerHook(ev.originID, func(st cl.CommandStatus) {
+		if st == cl.Complete {
+			if rerr := recv(); rerr != nil {
+				wrapped.complete(cl.CommandStatus(cl.InvalidServer))
+				return
+			}
+		}
+		wrapped.complete(st)
+	})
+	return wrapped, nil
+}
+
+// EnqueueCopyBuffer copies between two buffers. Both remote copies must be
+// valid on this queue's server; the destination becomes Modified there.
+func (q *Queue) EnqueueCopyBuffer(src, dst cl.Buffer, srcOffset, dstOffset, size int, wait []cl.Event) (cl.Event, error) {
+	csrc, err := q.bufferOf(src)
+	if err != nil {
+		return nil, err
+	}
+	cdst, err := q.bufferOf(dst)
+	if err != nil {
+		return nil, err
+	}
+	if srcOffset < 0 || srcOffset+size > csrc.size || dstOffset < 0 || dstOffset+size > cdst.size {
+		return nil, cl.Errf(cl.InvalidValue, "copy range out of bounds")
+	}
+	if _, err := csrc.ensureValidOn(q); err != nil {
+		return nil, err
+	}
+	if dstOffset != 0 || size != cdst.size {
+		if _, err := cdst.ensureValidOn(q); err != nil {
+			return nil, err
+		}
+	}
+	waitIDs, err := translateWaitList(q.srv, wait)
+	if err != nil {
+		return nil, err
+	}
+	ev := q.newCommandEvent()
+	_, err = q.srv.call(protocol.MsgEnqueueCopy, func(w *protocol.Writer) {
+		w.U64(q.id)
+		w.U64(csrc.id)
+		w.U64(cdst.id)
+		w.I64(int64(srcOffset))
+		w.I64(int64(dstOffset))
+		w.I64(int64(size))
+		w.U64(ev.originID)
+		w.U64s(waitIDs)
+	})
+	if err != nil {
+		q.srv.dropHook(ev.originID)
+		return nil, err
+	}
+	cdst.markWrittenBy(q.srv, ev)
+	return ev, nil
+}
+
+// EnqueueNDRangeKernel launches a kernel on this queue's device. Before
+// the launch the MSI protocol makes every buffer argument valid on the
+// server; afterwards buffers written by the kernel are Modified here and
+// invalid everywhere else.
+func (q *Queue) EnqueueNDRangeKernel(k cl.Kernel, global, local []int, wait []cl.Event) (cl.Event, error) {
+	ck, ok := k.(*Kernel)
+	if !ok {
+		return nil, cl.Errf(cl.InvalidKernel, "foreign kernel object")
+	}
+	readBufs, writeBufs, err := ck.bufferBindings()
+	if err != nil {
+		return nil, err
+	}
+	for _, buf := range readBufs {
+		if _, err := buf.ensureValidOn(q); err != nil {
+			return nil, err
+		}
+	}
+	waitIDs, err := translateWaitList(q.srv, wait)
+	if err != nil {
+		return nil, err
+	}
+	ev := q.newCommandEvent()
+	_, err = q.srv.call(protocol.MsgEnqueueKernel, func(w *protocol.Writer) {
+		w.U64(q.id)
+		w.U64(ck.id)
+		w.Ints(global)
+		w.Ints(local)
+		w.U64(ev.originID)
+		w.U64s(waitIDs)
+	})
+	if err != nil {
+		q.srv.dropHook(ev.originID)
+		return nil, err
+	}
+	for _, buf := range writeBufs {
+		buf.markWrittenBy(q.srv, ev)
+	}
+	return ev, nil
+}
+
+// EnqueueMarker enqueues a marker command.
+func (q *Queue) EnqueueMarker() (cl.Event, error) {
+	ev := q.newCommandEvent()
+	_, err := q.srv.call(protocol.MsgEnqueueMarker, func(w *protocol.Writer) {
+		w.U64(q.id)
+		w.U64(ev.originID)
+	})
+	if err != nil {
+		q.srv.dropHook(ev.originID)
+		return nil, err
+	}
+	return ev, nil
+}
+
+// EnqueueBarrier enqueues a barrier command.
+func (q *Queue) EnqueueBarrier() error {
+	_, err := q.srv.call(protocol.MsgEnqueueBarrier, func(w *protocol.Writer) {
+		w.U64(q.id)
+	})
+	return err
+}
+
+// Flush forwards clFlush.
+func (q *Queue) Flush() error {
+	_, err := q.srv.call(protocol.MsgFlush, func(w *protocol.Writer) {
+		w.U64(q.id)
+	})
+	return err
+}
+
+// Finish blocks until the remote queue has drained.
+func (q *Queue) Finish() error {
+	_, err := q.srv.call(protocol.MsgFinish, func(w *protocol.Writer) {
+		w.U64(q.id)
+	})
+	return err
+}
+
+// Release releases the remote queue.
+func (q *Queue) Release() error {
+	_, err := q.srv.call(protocol.MsgReleaseQueue, func(w *protocol.Writer) {
+		w.U64(q.id)
+	})
+	return err
+}

@@ -1,0 +1,226 @@
+// Package client implements the dOpenCL client driver (Section III of the
+// paper): a drop-in implementation of the OpenCL API that forwards calls
+// to daemons on remote servers.
+//
+// The driver provides:
+//
+//   - the uniform dOpenCL platform merging the devices of all connected
+//     servers (Section III-E);
+//   - simple stubs for devices and command queues, compound stubs for
+//     contexts, programs and kernels (Section III-D);
+//   - a directory-based MSI coherence protocol for buffer objects, with
+//     the client as directory and remote buffers as caches;
+//   - event consistency across servers via user-event replacements
+//     completed on notification (Section III-D);
+//   - the connection API extension (clConnectServerWWU et al.), the server
+//     configuration file, and device-manager assignment requests
+//     (Section IV-B).
+package client
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"dopencl/internal/cl"
+	"dopencl/internal/gcf"
+	"dopencl/internal/protocol"
+)
+
+// Server is a connected dOpenCL server: the client-side handle returned by
+// ConnectServer (the cl_server_WWU of Listing 1).
+type Server struct {
+	plat *Platform
+	addr string
+	name string
+	ep   *gcf.Endpoint
+
+	nextReq atomic.Uint32
+
+	mu        sync.Mutex
+	pending   map[uint32]chan *protocol.Envelope
+	hooks     map[uint64]func(cl.CommandStatus) // event ID → completion hook
+	devices   []*Device
+	connected bool
+}
+
+// Addr returns the address the server was connected with.
+func (s *Server) Addr() string { return s.addr }
+
+// Name returns the server's self-reported name.
+func (s *Server) Name() string { return s.name }
+
+// Connected reports whether the server connection is alive.
+func (s *Server) Connected() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.connected
+}
+
+// Devices returns the devices this server exposes to this client.
+func (s *Server) Devices() []*Device {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Device(nil), s.devices...)
+}
+
+// dial establishes the gcf session and performs the Hello exchange.
+func dialServer(p *Platform, addr string, conn net.Conn, authID string) (*Server, error) {
+	s := &Server{
+		plat:    p,
+		addr:    addr,
+		ep:      gcf.NewEndpoint(conn, true),
+		pending: map[uint32]chan *protocol.Envelope{},
+		hooks:   map[uint64]func(cl.CommandStatus){},
+	}
+	s.ep.Start(s.handleMessage, s.onClose)
+
+	resp, err := s.call(protocol.MsgHello, func(w *protocol.Writer) {
+		w.String(p.opts.ClientName)
+		w.String(authID)
+	})
+	if err != nil {
+		s.ep.Close()
+		return nil, err
+	}
+	s.name = resp.String()
+	recs := protocol.GetDeviceRecords(resp)
+	if resp.Err() != nil {
+		s.ep.Close()
+		return nil, cl.Errf(cl.InvalidServer, "malformed hello response from %s", addr)
+	}
+	s.mu.Lock()
+	for _, rec := range recs {
+		s.devices = append(s.devices, &Device{srv: s, unitID: rec.UnitID, info: rec.Info})
+	}
+	s.connected = true
+	s.mu.Unlock()
+	return s, nil
+}
+
+// onClose marks the server and its devices unavailable and fails all
+// pending calls.
+func (s *Server) onClose(err error) {
+	s.mu.Lock()
+	s.connected = false
+	pend := s.pending
+	s.pending = map[uint32]chan *protocol.Envelope{}
+	hooks := s.hooks
+	s.hooks = map[uint64]func(cl.CommandStatus){}
+	s.mu.Unlock()
+	for _, ch := range pend {
+		close(ch)
+	}
+	for _, hook := range hooks {
+		go hook(cl.CommandStatus(cl.InvalidServer))
+	}
+}
+
+// handleMessage routes responses to pending calls and dispatches
+// notifications.
+func (s *Server) handleMessage(msg []byte) {
+	env, err := protocol.ParseEnvelope(msg)
+	if err != nil {
+		return
+	}
+	switch env.Class {
+	case protocol.ClassResponse:
+		s.mu.Lock()
+		ch := s.pending[env.ID]
+		delete(s.pending, env.ID)
+		s.mu.Unlock()
+		if ch != nil {
+			ch <- &env
+		}
+	case protocol.ClassNotification:
+		if env.Type == protocol.MsgEventComplete {
+			eventID := env.Body.U64()
+			status := cl.CommandStatus(env.Body.I32())
+			s.mu.Lock()
+			hook := s.hooks[eventID]
+			delete(s.hooks, eventID)
+			s.mu.Unlock()
+			if hook != nil {
+				// Completion hooks run callbacks (possibly user code and
+				// cross-server propagation); keep the dispatcher free.
+				go hook(status)
+			}
+		}
+	}
+}
+
+// registerHook installs the completion hook for a remote event ID. It must
+// be called before the request that creates the remote event is sent.
+func (s *Server) registerHook(eventID uint64, hook func(cl.CommandStatus)) {
+	s.mu.Lock()
+	s.hooks[eventID] = hook
+	s.mu.Unlock()
+}
+
+// dropHook removes a registered hook (after a failed enqueue).
+func (s *Server) dropHook(eventID uint64) {
+	s.mu.Lock()
+	delete(s.hooks, eventID)
+	s.mu.Unlock()
+}
+
+// call performs a synchronous request/response exchange. The returned
+// reader is positioned after the status field.
+func (s *Server) call(typ protocol.MsgType, fill func(*protocol.Writer)) (*protocol.Reader, error) {
+	id := s.nextReq.Add(1)
+	ch := make(chan *protocol.Envelope, 1)
+	s.mu.Lock()
+	if s.pending == nil {
+		s.mu.Unlock()
+		return nil, cl.Errf(cl.InvalidServer, "server %s disconnected", s.addr)
+	}
+	s.pending[id] = ch
+	s.mu.Unlock()
+
+	w := protocol.NewWriter()
+	if fill != nil {
+		fill(w)
+	}
+	if err := s.ep.Send(protocol.EncodeEnvelope(protocol.ClassRequest, id, typ, w)); err != nil {
+		s.mu.Lock()
+		delete(s.pending, id)
+		s.mu.Unlock()
+		return nil, cl.Errf(cl.InvalidServer, "send to %s failed: %v", s.addr, err)
+	}
+	env, ok := <-ch
+	if !ok {
+		return nil, cl.Errf(cl.InvalidServer, "connection to %s lost", s.addr)
+	}
+	status := cl.ErrorCode(env.Body.I32())
+	if status != cl.Success {
+		return env.Body, cl.Errf(status, "%s on %s failed", typ, s.addr)
+	}
+	return env.Body, nil
+}
+
+// callAsync fires a request without waiting for the response; the response
+// is discarded when it arrives.
+func (s *Server) callAsync(typ protocol.MsgType, fill func(*protocol.Writer)) error {
+	w := protocol.NewWriter()
+	if fill != nil {
+		fill(w)
+	}
+	return s.ep.Send(protocol.EncodeEnvelope(protocol.ClassRequest, 0, typ, w))
+}
+
+// openStream allocates a bulk-data stream on this connection.
+func (s *Server) openStream() *gcf.Stream { return s.ep.OpenStream() }
+
+// stream resolves an inbound stream by ID.
+func (s *Server) stream(id uint32) *gcf.Stream { return s.ep.Stream(id) }
+
+// disconnect closes the connection.
+func (s *Server) disconnect() {
+	s.ep.Close()
+}
+
+// String identifies the server in logs.
+func (s *Server) String() string {
+	return fmt.Sprintf("server(%s)", s.addr)
+}

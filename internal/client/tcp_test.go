@@ -1,0 +1,103 @@
+package client
+
+import (
+	"net"
+	"testing"
+
+	"dopencl/internal/cl"
+	"dopencl/internal/daemon"
+	"dopencl/internal/device"
+	"dopencl/internal/native"
+)
+
+// TestOverRealTCP runs the full dOpenCL stack over loopback TCP sockets
+// instead of simnet: the transport abstraction must be genuinely
+// fabric-agnostic (the deployment mode of cmd/dcld).
+func TestOverRealTCP(t *testing.T) {
+	np := native.NewPlatform("tcp-node", "test", []device.Config{device.TestCPU("cpu")})
+	d, err := daemon.New(daemon.Config{Name: "tcp-node", Platform: np})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback TCP unavailable: %v", err)
+	}
+	defer l.Close()
+	go func() {
+		if serr := d.Serve(l); serr != nil {
+			_ = serr // listener closed at test end
+		}
+	}()
+
+	plat := NewPlatform(Options{
+		Dialer:     func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) },
+		ClientName: "tcp-test",
+	})
+	if _, err := plat.ConnectServer(l.Addr().String()); err != nil {
+		t.Fatalf("connect over TCP: %v", err)
+	}
+	devs, err := plat.Devices(cl.DeviceTypeAll)
+	if err != nil || len(devs) != 1 {
+		t.Fatalf("devices over TCP: %v, %v", devs, err)
+	}
+	ctx, err := plat.CreateContext(devs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctx.Release()
+	q, err := ctx.CreateQueue(devs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := ctx.CreateBuffer(cl.MemReadWrite, 1<<16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 1<<16)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	if _, err := q.EnqueueWriteBuffer(buf, true, 0, payload, nil); err != nil {
+		t.Fatalf("write over TCP: %v", err)
+	}
+	prog, err := ctx.CreateProgramWithSource(`
+kernel void inc(global int* d, int n) {
+	int i = get_global_id(0);
+	if (i < n) { d[i] = d[i] + 1; }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Build(nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	k, err := prog.CreateKernel("inc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SetArg(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SetArg(1, int32(1<<14)); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := q.EnqueueNDRangeKernel(k, []int{1 << 14}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, 1<<16)
+	if _, err := q.EnqueueReadBuffer(buf, true, 0, out, []cl.Event{ev}); err != nil {
+		t.Fatalf("read over TCP: %v", err)
+	}
+	// Spot-check: each int32 was incremented.
+	for i := 0; i < 1<<14; i += 1111 {
+		want := uint32(payload[4*i]) | uint32(payload[4*i+1])<<8 |
+			uint32(payload[4*i+2])<<16 | uint32(payload[4*i+3])<<24
+		got := uint32(out[4*i]) | uint32(out[4*i+1])<<8 |
+			uint32(out[4*i+2])<<16 | uint32(out[4*i+3])<<24
+		if got != want+1 {
+			t.Fatalf("element %d = %d, want %d", i, got, want+1)
+		}
+	}
+}

@@ -1,0 +1,245 @@
+// Package daemon implements the dOpenCL daemon (Section III-B of the
+// paper): a server process that exposes its node's OpenCL devices over the
+// network. The daemon accepts client-driver connections, maintains tables
+// mapping client-assigned object IDs to native OpenCL objects, executes
+// forwarded API calls against the node's native runtime and pushes event
+// notifications back to clients.
+//
+// In managed mode (Section IV-A) the daemon registers its devices with a
+// central device manager and only exposes to each client the devices the
+// manager assigned to that client's lease (authentication ID).
+package daemon
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"sync"
+
+	"dopencl/internal/cl"
+	"dopencl/internal/gcf"
+	"dopencl/internal/protocol"
+)
+
+// Config configures a daemon.
+type Config struct {
+	// Name identifies the server (defaults to "dcld").
+	Name string
+	// Platform is the node's native OpenCL implementation.
+	Platform cl.Platform
+	// Managed enables device-manager mode: clients only see devices
+	// assigned to their authentication ID.
+	Managed bool
+	// Logf receives diagnostics; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// Daemon is a dOpenCL server.
+type Daemon struct {
+	cfg     Config
+	devices []cl.Device
+
+	mu     sync.Mutex
+	leases map[string]map[uint32]bool // authID → permitted unit IDs
+
+	dmMu sync.Mutex
+	dm   *gcf.Endpoint // connection to the device manager (managed mode)
+}
+
+// New creates a daemon exposing the platform's devices.
+func New(cfg Config) (*Daemon, error) {
+	if cfg.Platform == nil {
+		return nil, fmt.Errorf("daemon: config requires a platform")
+	}
+	if cfg.Name == "" {
+		cfg.Name = "dcld"
+	}
+	devs, err := cfg.Platform.Devices(cl.DeviceTypeAll)
+	if err != nil {
+		return nil, fmt.Errorf("daemon: enumerating devices: %w", err)
+	}
+	return &Daemon{
+		cfg:     cfg,
+		devices: devs,
+		leases:  map[string]map[uint32]bool{},
+	}, nil
+}
+
+func (d *Daemon) logf(format string, args ...any) {
+	if d.cfg.Logf != nil {
+		d.cfg.Logf(format, args...)
+	}
+}
+
+// Name returns the daemon's server name.
+func (d *Daemon) Name() string { return d.cfg.Name }
+
+// Devices returns all devices hosted by this daemon.
+func (d *Daemon) Devices() []cl.Device { return d.devices }
+
+// Records builds the protocol device records for all local devices.
+func (d *Daemon) Records() []protocol.DeviceRecord {
+	recs := make([]protocol.DeviceRecord, len(d.devices))
+	for i, dev := range d.devices {
+		recs[i] = protocol.DeviceRecord{UnitID: uint32(i), Info: dev.Info()}
+	}
+	return recs
+}
+
+// visibleRecords filters device records by the client's lease in managed
+// mode; unmanaged daemons expose everything.
+func (d *Daemon) visibleRecords(authID string) ([]protocol.DeviceRecord, error) {
+	if !d.cfg.Managed {
+		return d.Records(), nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	allowed, ok := d.leases[authID]
+	if !ok {
+		return nil, cl.Errf(cl.InvalidServer, "authentication ID rejected by managed server %s", d.cfg.Name)
+	}
+	var recs []protocol.DeviceRecord
+	for i, dev := range d.devices {
+		if allowed[uint32(i)] {
+			recs = append(recs, protocol.DeviceRecord{UnitID: uint32(i), Info: dev.Info()})
+		}
+	}
+	return recs, nil
+}
+
+// Allow grants authID access to the given device units (device-manager
+// assignment, step 3b of Fig. 2).
+func (d *Daemon) Allow(authID string, units []uint32) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	set, ok := d.leases[authID]
+	if !ok {
+		set = map[uint32]bool{}
+		d.leases[authID] = set
+	}
+	for _, u := range units {
+		set[u] = true
+	}
+}
+
+// Revoke invalidates an authentication ID.
+func (d *Daemon) Revoke(authID string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.leases, authID)
+}
+
+// HasLease reports whether authID currently holds a lease on this server.
+func (d *Daemon) HasLease(authID string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, ok := d.leases[authID]
+	return ok
+}
+
+// Serve accepts client connections until the listener closes.
+func (d *Daemon) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		d.ServeConn(conn)
+	}
+}
+
+// ServeConn runs one client session on conn (non-blocking; the session
+// lives on the endpoint's goroutines).
+func (d *Daemon) ServeConn(conn net.Conn) {
+	s := newSession(d, gcf.NewEndpoint(conn, false))
+	s.start()
+}
+
+// AttachManager connects the daemon to the device manager in managed mode:
+// it registers the daemon's devices (keyed by selfAddr, the address clients
+// use to reach this daemon) and then serves assignment/revocation messages
+// arriving from the manager.
+func (d *Daemon) AttachManager(conn net.Conn, selfAddr string) error {
+	ep := gcf.NewEndpoint(conn, true)
+	d.dmMu.Lock()
+	d.dm = ep
+	d.dmMu.Unlock()
+
+	type pending struct {
+		ch chan *protocol.Envelope
+	}
+	reg := pending{ch: make(chan *protocol.Envelope, 1)}
+
+	ep.Start(func(msg []byte) {
+		env, err := protocol.ParseEnvelope(msg)
+		if err != nil {
+			d.logf("daemon %s: bad manager message: %v", d.cfg.Name, err)
+			return
+		}
+		switch {
+		case env.Class == protocol.ClassResponse:
+			select {
+			case reg.ch <- &env:
+			default:
+			}
+		case env.Type == protocol.MsgDMAssign:
+			authID := env.Body.String()
+			units := env.Body.U64s()
+			u32 := make([]uint32, len(units))
+			for i, u := range units {
+				u32[i] = uint32(u)
+			}
+			d.Allow(authID, u32)
+			resp := protocol.NewWriter()
+			resp.I32(int32(cl.Success))
+			if err := ep.Send(protocol.EncodeEnvelope(protocol.ClassResponse, env.ID, env.Type, resp)); err != nil {
+				d.logf("daemon %s: assign ack failed: %v", d.cfg.Name, err)
+			}
+		case env.Type == protocol.MsgDMRevoke:
+			authID := env.Body.String()
+			d.Revoke(authID)
+			resp := protocol.NewWriter()
+			resp.I32(int32(cl.Success))
+			if err := ep.Send(protocol.EncodeEnvelope(protocol.ClassResponse, env.ID, env.Type, resp)); err != nil {
+				d.logf("daemon %s: revoke ack failed: %v", d.cfg.Name, err)
+			}
+		}
+	}, func(error) {
+		d.dmMu.Lock()
+		d.dm = nil
+		d.dmMu.Unlock()
+	})
+
+	// Register this server and its devices with the manager.
+	w := protocol.NewWriter()
+	w.String(selfAddr)
+	protocol.PutDeviceRecords(w, d.Records())
+	if err := ep.Send(protocol.EncodeEnvelope(protocol.ClassRequest, 1, protocol.MsgDMRegisterServer, w)); err != nil {
+		return fmt.Errorf("daemon: registering with device manager: %w", err)
+	}
+	env := <-reg.ch
+	if status := cl.ErrorCode(env.Body.I32()); status != cl.Success {
+		return cl.Errf(status, "device manager rejected registration")
+	}
+	d.logf("daemon %s: registered with device manager as %s", d.cfg.Name, selfAddr)
+	return nil
+}
+
+// reportInvalidatedLease tells the device manager that a client
+// disconnected without releasing its lease (Section IV-C).
+func (d *Daemon) reportInvalidatedLease(authID string) {
+	d.dmMu.Lock()
+	ep := d.dm
+	d.dmMu.Unlock()
+	if ep == nil {
+		return
+	}
+	w := protocol.NewWriter()
+	w.String(authID)
+	if err := ep.Send(protocol.EncodeEnvelope(protocol.ClassRequest, 0, protocol.MsgDMReleaseLease, w)); err != nil {
+		d.logf("daemon %s: lease release report failed: %v", d.cfg.Name, err)
+	}
+}
+
+// Logf is a convenience standard-library logger adapter.
+func Logf(format string, args ...any) { log.Printf(format, args...) }

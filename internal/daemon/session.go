@@ -1,0 +1,759 @@
+package daemon
+
+import (
+	"io"
+	"sync"
+
+	"dopencl/internal/cl"
+	"dopencl/internal/gcf"
+	"dopencl/internal/native"
+	"dopencl/internal/protocol"
+)
+
+// session is one client connection: the daemon-side object tables mapping
+// client stub IDs to native OpenCL objects, plus the request dispatcher.
+type session struct {
+	d  *Daemon
+	ep *gcf.Endpoint
+
+	mu       sync.Mutex
+	authID   string
+	clientNm string
+	contexts map[uint64]cl.Context
+	queues   map[uint64]cl.Queue
+	buffers  map[uint64]cl.Buffer
+	programs map[uint64]cl.Program
+	kernels  map[uint64]cl.Kernel
+	events   map[uint64]cl.Event
+	unitDevs map[uint32]cl.Device // unit ID → device, fixed per daemon
+}
+
+func newSession(d *Daemon, ep *gcf.Endpoint) *session {
+	s := &session{
+		d: d, ep: ep,
+		contexts: map[uint64]cl.Context{},
+		queues:   map[uint64]cl.Queue{},
+		buffers:  map[uint64]cl.Buffer{},
+		programs: map[uint64]cl.Program{},
+		kernels:  map[uint64]cl.Kernel{},
+		events:   map[uint64]cl.Event{},
+		unitDevs: map[uint32]cl.Device{},
+	}
+	for i, dev := range d.devices {
+		s.unitDevs[uint32(i)] = dev
+	}
+	return s
+}
+
+func (s *session) start() {
+	s.ep.Start(s.handle, s.onClose)
+}
+
+// onClose releases session resources and reports an unreleased lease to
+// the device manager (abnormal client termination, Section IV-C).
+func (s *session) onClose(error) {
+	s.mu.Lock()
+	authID := s.authID
+	queues := make([]cl.Queue, 0, len(s.queues))
+	for _, q := range s.queues {
+		queues = append(queues, q)
+	}
+	s.mu.Unlock()
+	for _, q := range queues {
+		if err := q.Release(); err != nil {
+			s.d.logf("daemon %s: queue release: %v", s.d.cfg.Name, err)
+		}
+	}
+	if authID != "" && s.d.cfg.Managed && s.d.HasLease(authID) {
+		s.d.Revoke(authID)
+		s.d.reportInvalidatedLease(authID)
+	}
+}
+
+// respond sends a response with the given status and optional body fields.
+func (s *session) respond(id uint32, typ protocol.MsgType, status cl.ErrorCode, fill func(*protocol.Writer)) {
+	w := protocol.NewWriter()
+	w.I32(int32(status))
+	if fill != nil && status == cl.Success {
+		fill(w)
+	}
+	if err := s.ep.Send(protocol.EncodeEnvelope(protocol.ClassResponse, id, typ, w)); err != nil {
+		s.d.logf("daemon %s: response send failed: %v", s.d.cfg.Name, err)
+	}
+}
+
+// fail sends an error response derived from err.
+func (s *session) fail(id uint32, typ protocol.MsgType, err error) {
+	s.respond(id, typ, cl.CodeOf(err), nil)
+}
+
+// notifyEvent pushes an event-completion notification (the daemon-side
+// half of the paper's clSetEventCallback mechanism).
+func (s *session) notifyEvent(eventID uint64, status cl.CommandStatus) {
+	w := protocol.NewWriter()
+	w.U64(eventID)
+	w.I32(int32(status))
+	if err := s.ep.Send(protocol.EncodeEnvelope(protocol.ClassNotification, 0, protocol.MsgEventComplete, w)); err != nil {
+		s.d.logf("daemon %s: event notification failed: %v", s.d.cfg.Name, err)
+	}
+}
+
+// registerEvent stores a native event under the client's ID and arranges a
+// completion notification.
+func (s *session) registerEvent(eventID uint64, ev cl.Event) {
+	if eventID == 0 {
+		return
+	}
+	s.mu.Lock()
+	s.events[eventID] = ev
+	s.mu.Unlock()
+	if err := ev.SetCallback(cl.Complete, func(e cl.Event, st cl.CommandStatus) {
+		s.notifyEvent(eventID, st)
+	}); err != nil {
+		s.d.logf("daemon %s: event callback: %v", s.d.cfg.Name, err)
+	}
+}
+
+// resolveWaits maps client event IDs to native events.
+func (s *session) resolveWaits(ids []uint64) ([]cl.Event, error) {
+	if len(ids) == 0 {
+		return nil, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]cl.Event, len(ids))
+	for i, id := range ids {
+		ev, ok := s.events[id]
+		if !ok {
+			return nil, cl.Errf(cl.InvalidEventWaitList, "unknown event %d", id)
+		}
+		out[i] = ev
+	}
+	return out, nil
+}
+
+// handle dispatches one request message. It runs on the endpoint's
+// dispatch goroutine; blocking operations (Finish) spawn goroutines so the
+// dispatcher stays responsive.
+func (s *session) handle(msg []byte) {
+	env, err := protocol.ParseEnvelope(msg)
+	if err != nil {
+		s.d.logf("daemon %s: bad message: %v", s.d.cfg.Name, err)
+		return
+	}
+	if env.Class != protocol.ClassRequest {
+		return
+	}
+	r := env.Body
+	switch env.Type {
+	case protocol.MsgHello:
+		s.handleHello(env.ID, r)
+	case protocol.MsgGetServerInfo:
+		s.respond(env.ID, env.Type, cl.Success, func(w *protocol.Writer) {
+			w.String(s.d.cfg.Name)
+			w.Bool(s.d.cfg.Managed)
+			w.U32(uint32(len(s.d.devices)))
+		})
+	case protocol.MsgCreateContext:
+		s.handleCreateContext(env.ID, r)
+	case protocol.MsgReleaseContext:
+		s.handleRelease(env.ID, env.Type, r.U64())
+	case protocol.MsgCreateQueue:
+		s.handleCreateQueue(env.ID, r)
+	case protocol.MsgReleaseQueue:
+		s.handleRelease(env.ID, env.Type, r.U64())
+	case protocol.MsgCreateBuffer:
+		s.handleCreateBuffer(env.ID, r)
+	case protocol.MsgReleaseBuffer:
+		s.handleRelease(env.ID, env.Type, r.U64())
+	case protocol.MsgCreateProgram:
+		s.handleCreateProgram(env.ID, r)
+	case protocol.MsgBuildProgram:
+		s.handleBuildProgram(env.ID, r)
+	case protocol.MsgReleaseProgram:
+		s.handleRelease(env.ID, env.Type, r.U64())
+	case protocol.MsgCreateKernel:
+		s.handleCreateKernel(env.ID, r)
+	case protocol.MsgReleaseKernel:
+		s.handleRelease(env.ID, env.Type, r.U64())
+	case protocol.MsgSetKernelArg:
+		s.handleSetKernelArg(env.ID, r)
+	case protocol.MsgEnqueueWrite:
+		s.handleEnqueueWrite(env.ID, r)
+	case protocol.MsgEnqueueRead:
+		s.handleEnqueueRead(env.ID, r)
+	case protocol.MsgEnqueueCopy:
+		s.handleEnqueueCopy(env.ID, r)
+	case protocol.MsgEnqueueKernel:
+		s.handleEnqueueKernel(env.ID, r)
+	case protocol.MsgEnqueueMarker:
+		s.handleEnqueueMarker(env.ID, r)
+	case protocol.MsgEnqueueBarrier:
+		s.handleEnqueueBarrier(env.ID, r)
+	case protocol.MsgFinish:
+		s.handleFinish(env.ID, r)
+	case protocol.MsgFlush:
+		s.handleFlush(env.ID, r)
+	case protocol.MsgCreateUserEvent:
+		s.handleCreateUserEvent(env.ID, r)
+	case protocol.MsgSetUserEventStatus:
+		s.handleSetUserEventStatus(env.ID, r)
+	case protocol.MsgReleaseEvent:
+		s.handleReleaseEvent(env.ID, r)
+	default:
+		s.respond(env.ID, env.Type, cl.InvalidOperation, nil)
+	}
+}
+
+func (s *session) handleHello(id uint32, r *protocol.Reader) {
+	clientName := r.String()
+	authID := r.String()
+	if r.Err() != nil {
+		s.fail(id, protocol.MsgHello, cl.Errf(cl.InvalidValue, "bad hello"))
+		return
+	}
+	recs, err := s.d.visibleRecords(authID)
+	if err != nil {
+		s.fail(id, protocol.MsgHello, err)
+		return
+	}
+	s.mu.Lock()
+	s.authID = authID
+	s.clientNm = clientName
+	s.mu.Unlock()
+	s.respond(id, protocol.MsgHello, cl.Success, func(w *protocol.Writer) {
+		w.String(s.d.cfg.Name)
+		protocol.PutDeviceRecords(w, recs)
+	})
+}
+
+func (s *session) handleCreateContext(id uint32, r *protocol.Reader) {
+	ctxID := r.U64()
+	unitIDs := r.U64s()
+	if r.Err() != nil {
+		s.fail(id, protocol.MsgCreateContext, cl.Errf(cl.InvalidValue, "bad create context"))
+		return
+	}
+	devs := make([]cl.Device, 0, len(unitIDs))
+	s.mu.Lock()
+	for _, u := range unitIDs {
+		dev, ok := s.unitDevs[uint32(u)]
+		if !ok {
+			s.mu.Unlock()
+			s.fail(id, protocol.MsgCreateContext, cl.Errf(cl.InvalidDevice, "unknown device unit %d", u))
+			return
+		}
+		devs = append(devs, dev)
+	}
+	s.mu.Unlock()
+	ctx, err := s.d.cfg.Platform.CreateContext(devs)
+	if err != nil {
+		s.fail(id, protocol.MsgCreateContext, err)
+		return
+	}
+	s.mu.Lock()
+	s.contexts[ctxID] = ctx
+	s.mu.Unlock()
+	s.respond(id, protocol.MsgCreateContext, cl.Success, nil)
+}
+
+func (s *session) handleCreateQueue(id uint32, r *protocol.Reader) {
+	queueID := r.U64()
+	ctxID := r.U64()
+	unitID := uint32(r.U64())
+	s.mu.Lock()
+	ctx := s.contexts[ctxID]
+	dev := s.unitDevs[unitID]
+	s.mu.Unlock()
+	if ctx == nil || dev == nil {
+		s.fail(id, protocol.MsgCreateQueue, cl.Errf(cl.InvalidContext, "unknown context or device"))
+		return
+	}
+	q, err := ctx.CreateQueue(dev)
+	if err != nil {
+		s.fail(id, protocol.MsgCreateQueue, err)
+		return
+	}
+	s.mu.Lock()
+	s.queues[queueID] = q
+	s.mu.Unlock()
+	s.respond(id, protocol.MsgCreateQueue, cl.Success, nil)
+}
+
+func (s *session) handleCreateBuffer(id uint32, r *protocol.Reader) {
+	bufID := r.U64()
+	ctxID := r.U64()
+	flags := cl.MemFlags(r.U32())
+	size := int(r.I64())
+	streamID := r.U32()
+	s.mu.Lock()
+	ctx := s.contexts[ctxID]
+	s.mu.Unlock()
+	if ctx == nil {
+		s.fail(id, protocol.MsgCreateBuffer, cl.Errf(cl.InvalidContext, "unknown context %d", ctxID))
+		return
+	}
+	var host []byte
+	if flags&cl.MemCopyHostPtr != 0 && streamID != 0 {
+		// Initial contents arrive on a gcf stream (the paper's synchronous
+		// request/response + bulk data pattern).
+		host = make([]byte, size)
+		st := s.ep.Stream(streamID)
+		if _, err := io.ReadFull(st, host); err != nil {
+			st.Release()
+			s.fail(id, protocol.MsgCreateBuffer, cl.Errf(cl.InvalidValue, "buffer init transfer: %v", err))
+			return
+		}
+		st.Release()
+	} else {
+		flags &^= cl.MemCopyHostPtr
+	}
+	buf, err := ctx.CreateBuffer(flags, size, host)
+	if err != nil {
+		s.fail(id, protocol.MsgCreateBuffer, err)
+		return
+	}
+	s.mu.Lock()
+	s.buffers[bufID] = buf
+	s.mu.Unlock()
+	s.respond(id, protocol.MsgCreateBuffer, cl.Success, nil)
+}
+
+func (s *session) handleCreateProgram(id uint32, r *protocol.Reader) {
+	progID := r.U64()
+	ctxID := r.U64()
+	src := r.String()
+	s.mu.Lock()
+	ctx := s.contexts[ctxID]
+	s.mu.Unlock()
+	if ctx == nil {
+		s.fail(id, protocol.MsgCreateProgram, cl.Errf(cl.InvalidContext, "unknown context %d", ctxID))
+		return
+	}
+	prog, err := ctx.CreateProgramWithSource(src)
+	if err != nil {
+		s.fail(id, protocol.MsgCreateProgram, err)
+		return
+	}
+	s.mu.Lock()
+	s.programs[progID] = prog
+	s.mu.Unlock()
+	s.respond(id, protocol.MsgCreateProgram, cl.Success, nil)
+}
+
+func (s *session) handleBuildProgram(id uint32, r *protocol.Reader) {
+	progID := r.U64()
+	options := r.String()
+	s.mu.Lock()
+	prog := s.programs[progID]
+	s.mu.Unlock()
+	if prog == nil {
+		s.fail(id, protocol.MsgBuildProgram, cl.Errf(cl.InvalidProgram, "unknown program %d", progID))
+		return
+	}
+	if err := prog.Build(nil, options); err != nil {
+		// Carry the build log in the error response body.
+		w := protocol.NewWriter()
+		w.I32(int32(cl.CodeOf(err)))
+		logText := ""
+		if devs := prog.(interface{ BuildLog(cl.Device) string }); devs != nil && len(s.d.devices) > 0 {
+			logText = prog.BuildLog(s.d.devices[0])
+		}
+		w.String(logText)
+		if serr := s.ep.Send(protocol.EncodeEnvelope(protocol.ClassResponse, id, protocol.MsgBuildProgram, w)); serr != nil {
+			s.d.logf("daemon %s: build response failed: %v", s.d.cfg.Name, serr)
+		}
+		return
+	}
+	s.respond(id, protocol.MsgBuildProgram, cl.Success, func(w *protocol.Writer) {
+		w.String("build succeeded")
+	})
+}
+
+func (s *session) handleCreateKernel(id uint32, r *protocol.Reader) {
+	kernelID := r.U64()
+	progID := r.U64()
+	name := r.String()
+	s.mu.Lock()
+	prog := s.programs[progID]
+	s.mu.Unlock()
+	if prog == nil {
+		s.fail(id, protocol.MsgCreateKernel, cl.Errf(cl.InvalidProgram, "unknown program %d", progID))
+		return
+	}
+	k, err := prog.CreateKernel(name)
+	if err != nil {
+		s.fail(id, protocol.MsgCreateKernel, err)
+		return
+	}
+	s.mu.Lock()
+	s.kernels[kernelID] = k
+	s.mu.Unlock()
+	s.respond(id, protocol.MsgCreateKernel, cl.Success, func(w *protocol.Writer) {
+		nk := k.(*native.Kernel)
+		protocol.PutArgInfo(w, nk.ArgInfo())
+	})
+}
+
+func (s *session) handleSetKernelArg(id uint32, r *protocol.Reader) {
+	kernelID := r.U64()
+	idx := int(r.U32())
+	kind := r.U8()
+	s.mu.Lock()
+	k := s.kernels[kernelID]
+	s.mu.Unlock()
+	if k == nil {
+		s.fail(id, protocol.MsgSetKernelArg, cl.Errf(cl.InvalidKernel, "unknown kernel %d", kernelID))
+		return
+	}
+	var err error
+	switch kind {
+	case protocol.ArgValScalar:
+		raw := r.U64()
+		err = setScalarArg(k, idx, raw)
+	case protocol.ArgValBuffer:
+		bufID := r.U64()
+		s.mu.Lock()
+		buf := s.buffers[bufID]
+		s.mu.Unlock()
+		if buf == nil {
+			err = cl.Errf(cl.InvalidMemObject, "unknown buffer %d", bufID)
+		} else {
+			err = k.SetArg(idx, buf)
+		}
+	case protocol.ArgValLocal:
+		size := int(r.I64())
+		err = k.SetArg(idx, cl.LocalSpace{Size: size})
+	default:
+		err = cl.Errf(cl.InvalidValue, "bad arg kind %d", kind)
+	}
+	if err != nil {
+		s.fail(id, protocol.MsgSetKernelArg, err)
+		return
+	}
+	s.respond(id, protocol.MsgSetKernelArg, cl.Success, nil)
+}
+
+// setScalarArg binds a raw 64-bit scalar image to argument idx, letting
+// the native kernel's signature decide the interpretation.
+func setScalarArg(k cl.Kernel, idx int, raw uint64) error {
+	nk, ok := k.(*native.Kernel)
+	if !ok {
+		return cl.Errf(cl.InvalidKernel, "foreign kernel object")
+	}
+	return nk.SetRawArg(idx, raw)
+}
+
+func (s *session) handleEnqueueWrite(id uint32, r *protocol.Reader) {
+	queueID := r.U64()
+	bufID := r.U64()
+	offset := int(r.I64())
+	size := int(r.I64())
+	streamID := r.U32()
+	eventID := r.U64()
+	waitIDs := r.U64s()
+	s.mu.Lock()
+	q := s.queues[queueID]
+	buf := s.buffers[bufID]
+	s.mu.Unlock()
+	if q == nil || buf == nil {
+		s.fail(id, protocol.MsgEnqueueWrite, cl.Errf(cl.InvalidCommandQueue, "unknown queue or buffer"))
+		return
+	}
+	waits, err := s.resolveWaits(waitIDs)
+	if err != nil {
+		s.fail(id, protocol.MsgEnqueueWrite, err)
+		return
+	}
+	// Stage the inbound stream data off the dispatcher: a native marker
+	// command gates the actual write so queue order is preserved while the
+	// network transfer overlaps with earlier commands.
+	stream := s.ep.Stream(streamID)
+	staged := make([]byte, size)
+	gate := native.NewUserEvent()
+	go func() {
+		if _, rerr := io.ReadFull(stream, staged); rerr != nil {
+			if serr := gate.SetStatus(cl.CommandStatus(cl.InvalidValue)); serr != nil {
+				s.d.logf("daemon %s: gate status: %v", s.d.cfg.Name, serr)
+			}
+		} else if serr := gate.SetStatus(cl.Complete); serr != nil {
+			s.d.logf("daemon %s: gate status: %v", s.d.cfg.Name, serr)
+		}
+		stream.Release()
+	}()
+	ev, err := q.EnqueueWriteBuffer(buf, false, offset, staged, append(waits, gate))
+	if err != nil {
+		s.fail(id, protocol.MsgEnqueueWrite, err)
+		return
+	}
+	s.registerEvent(eventID, ev)
+	s.respond(id, protocol.MsgEnqueueWrite, cl.Success, nil)
+}
+
+func (s *session) handleEnqueueRead(id uint32, r *protocol.Reader) {
+	queueID := r.U64()
+	bufID := r.U64()
+	offset := int(r.I64())
+	size := int(r.I64())
+	streamID := r.U32()
+	eventID := r.U64()
+	waitIDs := r.U64s()
+	s.mu.Lock()
+	q := s.queues[queueID]
+	buf := s.buffers[bufID]
+	s.mu.Unlock()
+	if q == nil || buf == nil {
+		s.fail(id, protocol.MsgEnqueueRead, cl.Errf(cl.InvalidCommandQueue, "unknown queue or buffer"))
+		return
+	}
+	waits, err := s.resolveWaits(waitIDs)
+	if err != nil {
+		s.fail(id, protocol.MsgEnqueueRead, err)
+		return
+	}
+	staged := make([]byte, size)
+	ev, err := q.EnqueueReadBuffer(buf, false, offset, staged, waits)
+	if err != nil {
+		s.fail(id, protocol.MsgEnqueueRead, err)
+		return
+	}
+	// Once the device read completes, ship the data back on the stream.
+	stream := s.ep.Stream(streamID)
+	cbErr := ev.SetCallback(cl.Complete, func(e cl.Event, st cl.CommandStatus) {
+		if st == cl.Complete {
+			if _, werr := stream.Write(staged); werr != nil {
+				s.d.logf("daemon %s: read-back stream write: %v", s.d.cfg.Name, werr)
+			}
+		}
+		if cerr := stream.CloseWrite(); cerr != nil {
+			s.d.logf("daemon %s: read-back stream close: %v", s.d.cfg.Name, cerr)
+		}
+	})
+	if cbErr != nil {
+		s.fail(id, protocol.MsgEnqueueRead, cbErr)
+		return
+	}
+	s.registerEvent(eventID, ev)
+	s.respond(id, protocol.MsgEnqueueRead, cl.Success, nil)
+}
+
+func (s *session) handleEnqueueCopy(id uint32, r *protocol.Reader) {
+	queueID := r.U64()
+	srcID := r.U64()
+	dstID := r.U64()
+	srcOff := int(r.I64())
+	dstOff := int(r.I64())
+	size := int(r.I64())
+	eventID := r.U64()
+	waitIDs := r.U64s()
+	s.mu.Lock()
+	q := s.queues[queueID]
+	src := s.buffers[srcID]
+	dst := s.buffers[dstID]
+	s.mu.Unlock()
+	if q == nil || src == nil || dst == nil {
+		s.fail(id, protocol.MsgEnqueueCopy, cl.Errf(cl.InvalidCommandQueue, "unknown queue or buffer"))
+		return
+	}
+	waits, err := s.resolveWaits(waitIDs)
+	if err != nil {
+		s.fail(id, protocol.MsgEnqueueCopy, err)
+		return
+	}
+	ev, err := q.EnqueueCopyBuffer(src, dst, srcOff, dstOff, size, waits)
+	if err != nil {
+		s.fail(id, protocol.MsgEnqueueCopy, err)
+		return
+	}
+	s.registerEvent(eventID, ev)
+	s.respond(id, protocol.MsgEnqueueCopy, cl.Success, nil)
+}
+
+func (s *session) handleEnqueueKernel(id uint32, r *protocol.Reader) {
+	queueID := r.U64()
+	kernelID := r.U64()
+	global := r.Ints()
+	local := r.Ints()
+	eventID := r.U64()
+	waitIDs := r.U64s()
+	s.mu.Lock()
+	q := s.queues[queueID]
+	k := s.kernels[kernelID]
+	s.mu.Unlock()
+	if q == nil || k == nil {
+		s.fail(id, protocol.MsgEnqueueKernel, cl.Errf(cl.InvalidCommandQueue, "unknown queue or kernel"))
+		return
+	}
+	waits, err := s.resolveWaits(waitIDs)
+	if err != nil {
+		s.fail(id, protocol.MsgEnqueueKernel, err)
+		return
+	}
+	if len(local) == 0 {
+		local = nil
+	}
+	ev, err := q.EnqueueNDRangeKernel(k, global, local, waits)
+	if err != nil {
+		s.fail(id, protocol.MsgEnqueueKernel, err)
+		return
+	}
+	s.registerEvent(eventID, ev)
+	s.respond(id, protocol.MsgEnqueueKernel, cl.Success, nil)
+}
+
+func (s *session) handleEnqueueMarker(id uint32, r *protocol.Reader) {
+	queueID := r.U64()
+	eventID := r.U64()
+	s.mu.Lock()
+	q := s.queues[queueID]
+	s.mu.Unlock()
+	if q == nil {
+		s.fail(id, protocol.MsgEnqueueMarker, cl.Errf(cl.InvalidCommandQueue, "unknown queue %d", queueID))
+		return
+	}
+	ev, err := q.EnqueueMarker()
+	if err != nil {
+		s.fail(id, protocol.MsgEnqueueMarker, err)
+		return
+	}
+	s.registerEvent(eventID, ev)
+	s.respond(id, protocol.MsgEnqueueMarker, cl.Success, nil)
+}
+
+func (s *session) handleEnqueueBarrier(id uint32, r *protocol.Reader) {
+	queueID := r.U64()
+	s.mu.Lock()
+	q := s.queues[queueID]
+	s.mu.Unlock()
+	if q == nil {
+		s.fail(id, protocol.MsgEnqueueBarrier, cl.Errf(cl.InvalidCommandQueue, "unknown queue %d", queueID))
+		return
+	}
+	if err := q.EnqueueBarrier(); err != nil {
+		s.fail(id, protocol.MsgEnqueueBarrier, err)
+		return
+	}
+	s.respond(id, protocol.MsgEnqueueBarrier, cl.Success, nil)
+}
+
+func (s *session) handleFinish(id uint32, r *protocol.Reader) {
+	queueID := r.U64()
+	s.mu.Lock()
+	q := s.queues[queueID]
+	s.mu.Unlock()
+	if q == nil {
+		s.fail(id, protocol.MsgFinish, cl.Errf(cl.InvalidCommandQueue, "unknown queue %d", queueID))
+		return
+	}
+	// Finish blocks; run it off the dispatcher so other requests (e.g.
+	// user-event completions that unblock the queue) keep flowing.
+	go func() {
+		if err := q.Finish(); err != nil {
+			s.fail(id, protocol.MsgFinish, err)
+			return
+		}
+		s.respond(id, protocol.MsgFinish, cl.Success, nil)
+	}()
+}
+
+func (s *session) handleFlush(id uint32, r *protocol.Reader) {
+	queueID := r.U64()
+	s.mu.Lock()
+	q := s.queues[queueID]
+	s.mu.Unlock()
+	if q == nil {
+		s.fail(id, protocol.MsgFlush, cl.Errf(cl.InvalidCommandQueue, "unknown queue %d", queueID))
+		return
+	}
+	if err := q.Flush(); err != nil {
+		s.fail(id, protocol.MsgFlush, err)
+		return
+	}
+	s.respond(id, protocol.MsgFlush, cl.Success, nil)
+}
+
+func (s *session) handleCreateUserEvent(id uint32, r *protocol.Reader) {
+	eventID := r.U64()
+	ctxID := r.U64()
+	s.mu.Lock()
+	ctx := s.contexts[ctxID]
+	s.mu.Unlock()
+	if ctx == nil {
+		s.fail(id, protocol.MsgCreateUserEvent, cl.Errf(cl.InvalidContext, "unknown context %d", ctxID))
+		return
+	}
+	ue, err := ctx.CreateUserEvent()
+	if err != nil {
+		s.fail(id, protocol.MsgCreateUserEvent, err)
+		return
+	}
+	s.mu.Lock()
+	s.events[eventID] = ue
+	s.mu.Unlock()
+	s.respond(id, protocol.MsgCreateUserEvent, cl.Success, nil)
+}
+
+func (s *session) handleSetUserEventStatus(id uint32, r *protocol.Reader) {
+	eventID := r.U64()
+	status := cl.CommandStatus(r.I32())
+	s.mu.Lock()
+	ev := s.events[eventID]
+	s.mu.Unlock()
+	ue, ok := ev.(cl.UserEvent)
+	if !ok {
+		s.fail(id, protocol.MsgSetUserEventStatus, cl.Errf(cl.InvalidEvent, "event %d is not a user event", eventID))
+		return
+	}
+	if err := ue.SetStatus(status); err != nil {
+		s.fail(id, protocol.MsgSetUserEventStatus, err)
+		return
+	}
+	s.respond(id, protocol.MsgSetUserEventStatus, cl.Success, nil)
+}
+
+func (s *session) handleReleaseEvent(id uint32, r *protocol.Reader) {
+	eventID := r.U64()
+	s.mu.Lock()
+	delete(s.events, eventID)
+	s.mu.Unlock()
+	s.respond(id, protocol.MsgReleaseEvent, cl.Success, nil)
+}
+
+// handleRelease releases an object by ID across all tables.
+func (s *session) handleRelease(id uint32, typ protocol.MsgType, objID uint64) {
+	s.mu.Lock()
+	var err error
+	switch typ {
+	case protocol.MsgReleaseContext:
+		if ctx := s.contexts[objID]; ctx != nil {
+			err = ctx.Release()
+		}
+		delete(s.contexts, objID)
+	case protocol.MsgReleaseQueue:
+		if q := s.queues[objID]; q != nil {
+			err = q.Release()
+		}
+		delete(s.queues, objID)
+	case protocol.MsgReleaseBuffer:
+		if b := s.buffers[objID]; b != nil {
+			err = b.Release()
+		}
+		delete(s.buffers, objID)
+	case protocol.MsgReleaseProgram:
+		if p := s.programs[objID]; p != nil {
+			err = p.Release()
+		}
+		delete(s.programs, objID)
+	case protocol.MsgReleaseKernel:
+		if k := s.kernels[objID]; k != nil {
+			err = k.Release()
+		}
+		delete(s.kernels, objID)
+	}
+	s.mu.Unlock()
+	if err != nil {
+		s.fail(id, typ, err)
+		return
+	}
+	s.respond(id, typ, cl.Success, nil)
+}

@@ -1,0 +1,128 @@
+package device
+
+import "dopencl/internal/cl"
+
+// Presets for the hardware used in the paper's evaluation (Section V).
+// Throughput numbers are calibrated so that the experiment harness
+// reproduces the paper's measured runtimes in shape: absolute values are
+// stated in the paper only for a few points (e.g. OSEM 15.7 s vs 4.2 s,
+// PCIe ~38.8 GB/s write), the rest is relative.
+
+// PCIe bus model (Section V-D). The paper's text quotes ~38.8 GB/s for
+// writes (likely a cached/pinned-memory artefact); the *effective* rates
+// consistent with Fig. 7's ratios (GigE write ≈ 50× PCIe write, PCIe read
+// ≈ 15× slower than write, GigE read ≈ 4.5× PCIe read) are ~5.3 GB/s
+// writes and ~353 MB/s reads, which this model uses so that the Fig. 7
+// bars reproduce the published relationships.
+const (
+	paperPCIeWriteBps = 5.3e9
+	paperPCIeReadBps  = paperPCIeWriteBps / 15
+)
+
+// WestmereCPU models one cluster node of the Fig. 4 experiment: 2 hexa-core
+// Intel Westmere X5650 CPUs presented as a single 12-compute-unit OpenCL
+// CPU device by the AMD APP SDK.
+func WestmereCPU(scale float64) Config {
+	return Config{
+		Name:             "Intel Xeon X5650 (2x hexa-core)",
+		Vendor:           "AMD Accelerated Parallel Processing (simulated)",
+		Type:             cl.DeviceTypeCPU,
+		ComputeUnits:     12,
+		ClockMHz:         2660,
+		GlobalMemSize:    24 << 30,
+		MaxWorkGroupSize: 1024,
+		Mode:             ExecModeled,
+		InstrPerSec:      2.0e9,
+		Bus:              BusConfig{}, // CPU device: host memory, no PCIe hop
+		TimeScale:        scale,
+	}
+}
+
+// TeslaGPU models one GPU of the NVIDIA Tesla S1070 in the paper's GPU
+// server (4 GPUs, 4 GB each).
+func TeslaGPU(scale float64) Config {
+	return Config{
+		Name:             "NVIDIA Tesla S1070 (1 GPU)",
+		Vendor:           "NVIDIA Corporation (simulated)",
+		Type:             cl.DeviceTypeGPU,
+		ComputeUnits:     30,
+		ClockMHz:         1440,
+		GlobalMemSize:    4 << 30,
+		MaxWorkGroupSize: 512,
+		Mode:             ExecModeled,
+		InstrPerSec:      8.0e9,
+		Bus: BusConfig{
+			WriteBps:   paperPCIeWriteBps,
+			ReadBps:    paperPCIeReadBps,
+			LatencySec: 20e-6,
+		},
+		TimeScale: scale,
+	}
+}
+
+// NVS3100M models the low-end desktop GPU of the Fig. 5 experiment
+// (NVIDIA NVS 3100M). Its modeled throughput is calibrated so that the
+// list-mode OSEM iteration is ~3.75× slower than offloading to the Tesla
+// server over Gigabit Ethernet, matching the paper's 15.7 s vs 4.2 s.
+func NVS3100M(scale float64) Config {
+	return Config{
+		Name:             "NVIDIA NVS 3100M",
+		Vendor:           "NVIDIA Corporation (simulated)",
+		Type:             cl.DeviceTypeGPU,
+		ComputeUnits:     2,
+		ClockMHz:         1080,
+		GlobalMemSize:    512 << 20,
+		MaxWorkGroupSize: 512,
+		Mode:             ExecModeled,
+		InstrPerSec:      0.45e9,
+		Bus: BusConfig{
+			WriteBps:   4e9,
+			ReadBps:    4e9 / 15,
+			LatencySec: 20e-6,
+		},
+		TimeScale: scale,
+	}
+}
+
+// XeonE5520 models the GPU server's quad-core host CPU (Intel Xeon E5520).
+func XeonE5520(scale float64) Config {
+	return Config{
+		Name:             "Intel Xeon E5520",
+		Vendor:           "AMD Accelerated Parallel Processing (simulated)",
+		Type:             cl.DeviceTypeCPU,
+		ComputeUnits:     4,
+		ClockMHz:         2270,
+		GlobalMemSize:    12 << 30,
+		MaxWorkGroupSize: 1024,
+		Mode:             ExecModeled,
+		InstrPerSec:      1.8e9,
+		TimeScale:        scale,
+	}
+}
+
+// TestCPU is a small real-execution CPU device for unit and integration
+// tests: kernels actually run and produce correct results.
+func TestCPU(name string) Config {
+	return Config{
+		Name:          name,
+		Vendor:        "dOpenCL test vendor",
+		Type:          cl.DeviceTypeCPU,
+		ComputeUnits:  4,
+		ClockMHz:      1000,
+		GlobalMemSize: 1 << 30,
+		Mode:          ExecReal,
+	}
+}
+
+// TestGPU is a small real-execution GPU-typed device for tests.
+func TestGPU(name string) Config {
+	return Config{
+		Name:          name,
+		Vendor:        "dOpenCL test vendor",
+		Type:          cl.DeviceTypeGPU,
+		ComputeUnits:  8,
+		ClockMHz:      1000,
+		GlobalMemSize: 1 << 30,
+		Mode:          ExecReal,
+	}
+}

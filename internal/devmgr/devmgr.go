@@ -1,0 +1,487 @@
+// Package devmgr implements the dOpenCL device manager (Section IV of the
+// paper): a central, network-accessible service that assigns devices to
+// clients so that multiple applications can share a distributed system
+// without stepping on each other.
+//
+// The manager keeps two sets of devices — free and assigned — and hands
+// out leases. A lease comprises a unique authentication ID, a set of
+// devices and the set of servers owning those devices (Fig. 3). Managed
+// daemons register their devices on startup and only expose to a client
+// the devices associated with the client's authentication ID. Devices
+// return to the free set when the client releases the lease or when a
+// daemon reports the client's disconnection.
+package devmgr
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+
+	"dopencl/internal/cl"
+	"dopencl/internal/gcf"
+	"dopencl/internal/protocol"
+)
+
+// managedDevice is one registered device.
+type managedDevice struct {
+	server string // server address as announced to clients
+	unitID uint32
+	info   cl.DeviceInfo
+	leased string // authID holding the device, "" when free
+}
+
+// lease is one active assignment.
+type lease struct {
+	authID  string
+	devices []*managedDevice
+	servers map[string]bool
+}
+
+// serverConn is a registered managed daemon.
+type serverConn struct {
+	addr    string
+	ep      *gcf.Endpoint
+	nextReq uint32
+	pending map[uint32]chan *protocol.Envelope
+	mu      sync.Mutex
+}
+
+// Manager is the device manager service.
+type Manager struct {
+	logf func(format string, args ...any)
+
+	mu      sync.Mutex
+	devices []*managedDevice
+	leases  map[string]*lease
+	servers map[string]*serverConn
+	sched   Scheduler
+}
+
+// Option configures a Manager.
+type Option func(*Manager)
+
+// WithLogf directs diagnostics to fn.
+func WithLogf(fn func(string, ...any)) Option {
+	return func(m *Manager) { m.logf = fn }
+}
+
+// WithScheduler selects the device assignment strategy.
+func WithScheduler(s Scheduler) Option {
+	return func(m *Manager) { m.sched = s }
+}
+
+// New creates a device manager.
+func New(opts ...Option) *Manager {
+	m := &Manager{
+		leases:  map[string]*lease{},
+		servers: map[string]*serverConn{},
+		sched:   LeastLoaded{},
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	return m
+}
+
+func (m *Manager) log(format string, args ...any) {
+	if m.logf != nil {
+		m.logf(format, args...)
+	}
+}
+
+// Serve accepts connections (from daemons and clients) until the listener
+// closes.
+func (m *Manager) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		m.ServeConn(conn)
+	}
+}
+
+// ServeConn handles one connection. Daemons send DMRegisterServer first;
+// clients send DMRequestDevices.
+func (m *Manager) ServeConn(conn net.Conn) {
+	ep := gcf.NewEndpoint(conn, false)
+	var sc *serverConn // set once the peer registers as a daemon
+	ep.Start(func(msg []byte) {
+		env, err := protocol.ParseEnvelope(msg)
+		if err != nil {
+			m.log("devmgr: bad message: %v", err)
+			return
+		}
+		switch {
+		case env.Class == protocol.ClassResponse:
+			if sc != nil {
+				sc.mu.Lock()
+				ch := sc.pending[env.ID]
+				delete(sc.pending, env.ID)
+				sc.mu.Unlock()
+				if ch != nil {
+					ch <- &env
+				}
+			}
+		case env.Type == protocol.MsgDMRegisterServer:
+			sc = m.handleRegister(ep, env)
+		case env.Type == protocol.MsgDMRequestDevices:
+			m.handleRequest(ep, env)
+		case env.Type == protocol.MsgDMReleaseLease:
+			authID := env.Body.String()
+			m.ReleaseLease(authID)
+		}
+	}, func(error) {
+		if sc != nil {
+			m.dropServer(sc.addr)
+		}
+	})
+}
+
+// handleRegister adds a daemon's devices to the free set.
+func (m *Manager) handleRegister(ep *gcf.Endpoint, env protocol.Envelope) *serverConn {
+	addr := env.Body.String()
+	recs := protocol.GetDeviceRecords(env.Body)
+	if env.Body.Err() != nil || addr == "" {
+		m.respondStatus(ep, env.ID, env.Type, cl.InvalidValue)
+		return nil
+	}
+	sc := &serverConn{addr: addr, ep: ep, pending: map[uint32]chan *protocol.Envelope{}}
+	m.mu.Lock()
+	m.servers[addr] = sc
+	for _, rec := range recs {
+		m.devices = append(m.devices, &managedDevice{
+			server: addr, unitID: rec.UnitID, info: rec.Info,
+		})
+	}
+	total := len(m.devices)
+	m.mu.Unlock()
+	m.respondStatus(ep, env.ID, env.Type, cl.Success)
+	m.log("devmgr: server %s registered %d devices (%d total)", addr, len(recs), total)
+	return sc
+}
+
+// dropServer removes a disconnected daemon and its devices, failing any
+// in-flight assignment pushes.
+func (m *Manager) dropServer(addr string) {
+	m.mu.Lock()
+	sc := m.servers[addr]
+	delete(m.servers, addr)
+	kept := m.devices[:0]
+	for _, d := range m.devices {
+		if d.server != addr {
+			kept = append(kept, d)
+		}
+	}
+	m.devices = kept
+	m.mu.Unlock()
+	if sc != nil {
+		sc.mu.Lock()
+		for id, ch := range sc.pending {
+			close(ch)
+			delete(sc.pending, id)
+		}
+		sc.mu.Unlock()
+	}
+	m.log("devmgr: server %s dropped", addr)
+}
+
+func (m *Manager) respondStatus(ep *gcf.Endpoint, id uint32, typ protocol.MsgType, status cl.ErrorCode) {
+	w := protocol.NewWriter()
+	w.I32(int32(status))
+	if err := ep.Send(protocol.EncodeEnvelope(protocol.ClassResponse, id, typ, w)); err != nil {
+		m.log("devmgr: response failed: %v", err)
+	}
+}
+
+// handleRequest processes a client assignment request: match devices,
+// build the lease, push per-server assignments to the daemons (step 3b of
+// Fig. 2) and answer the client with the authentication ID and server
+// list (step 3a).
+func (m *Manager) handleRequest(ep *gcf.Endpoint, env protocol.Envelope) {
+	n := int(env.Body.U32())
+	reqs := make([]protocol.DeviceRequest, 0, n)
+	for i := 0; i < n; i++ {
+		reqs = append(reqs, protocol.GetDeviceRequest(env.Body))
+	}
+	if env.Body.Err() != nil {
+		m.respondStatus(ep, env.ID, env.Type, cl.InvalidValue)
+		return
+	}
+
+	ls, err := m.Assign(reqs)
+	if err != nil {
+		w := protocol.NewWriter()
+		w.I32(int32(cl.CodeOf(err)))
+		w.String(err.Error())
+		if serr := ep.Send(protocol.EncodeEnvelope(protocol.ClassResponse, env.ID, env.Type, w)); serr != nil {
+			m.log("devmgr: reject response failed: %v", serr)
+		}
+		return
+	}
+
+	// Push assignments to each involved daemon before answering the
+	// client, so that the servers accept the authentication ID by the
+	// time the client connects.
+	perServer := map[string][]uint64{}
+	for _, d := range ls.devices {
+		perServer[d.server] = append(perServer[d.server], uint64(d.unitID))
+	}
+	for addr, units := range perServer {
+		if err := m.pushAssign(addr, ls.authID, units); err != nil {
+			m.log("devmgr: assignment push to %s failed: %v", addr, err)
+			m.ReleaseLease(ls.authID)
+			m.respondStatus(ep, env.ID, env.Type, cl.InvalidServer)
+			return
+		}
+	}
+
+	w := protocol.NewWriter()
+	w.I32(int32(cl.Success))
+	w.String(ls.authID)
+	servers := make([]string, 0, len(ls.servers))
+	for s := range ls.servers {
+		servers = append(servers, s)
+	}
+	w.Strings(servers)
+	if err := ep.Send(protocol.EncodeEnvelope(protocol.ClassResponse, env.ID, env.Type, w)); err != nil {
+		m.log("devmgr: grant response failed: %v", err)
+	}
+	m.log("devmgr: lease %s granted: %d devices on %d servers",
+		ls.authID[:8], len(ls.devices), len(ls.servers))
+}
+
+// pushAssign sends a DMAssign to the daemon at addr and waits for its ack.
+func (m *Manager) pushAssign(addr, authID string, units []uint64) error {
+	m.mu.Lock()
+	sc := m.servers[addr]
+	m.mu.Unlock()
+	if sc == nil {
+		return fmt.Errorf("server %s not registered", addr)
+	}
+	sc.mu.Lock()
+	sc.nextReq++
+	id := sc.nextReq
+	ch := make(chan *protocol.Envelope, 1)
+	sc.pending[id] = ch
+	sc.mu.Unlock()
+	w := protocol.NewWriter()
+	w.String(authID)
+	w.U64s(units)
+	if err := sc.ep.Send(protocol.EncodeEnvelope(protocol.ClassRequest, id, protocol.MsgDMAssign, w)); err != nil {
+		return err
+	}
+	resp := <-ch
+	if resp == nil {
+		return fmt.Errorf("server %s connection lost", addr)
+	}
+	if status := cl.ErrorCode(resp.Body.I32()); status != cl.Success {
+		return cl.Errf(status, "server %s rejected assignment", addr)
+	}
+	return nil
+}
+
+// Assign matches the requests against the free device set and creates a
+// lease. It is exported for in-process use and tests.
+func (m *Manager) Assign(reqs []protocol.DeviceRequest) (*leaseView, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var chosen []*managedDevice
+	taken := map[*managedDevice]bool{}
+	for _, req := range reqs {
+		count := req.Count
+		if count <= 0 {
+			count = 1
+		}
+		for i := 0; i < count; i++ {
+			var candidates []*managedDevice
+			for _, d := range m.devices {
+				if d.leased == "" && !taken[d] && matches(d, req) {
+					candidates = append(candidates, d)
+				}
+			}
+			if len(candidates) == 0 {
+				return nil, cl.Errf(cl.DeviceNotFound,
+					"no free device matches request (type %s, count %d)", req.Type, req.Count)
+			}
+			pick := m.sched.Pick(candidates, m.loadView(taken))
+			chosen = append(chosen, pick)
+			taken[pick] = true
+		}
+	}
+	authID, err := newAuthID()
+	if err != nil {
+		return nil, err
+	}
+	ls := &lease{authID: authID, devices: chosen, servers: map[string]bool{}}
+	for _, d := range chosen {
+		d.leased = authID
+		ls.servers[d.server] = true
+	}
+	m.leases[authID] = ls
+	return &leaseView{authID: authID, devices: chosen, servers: ls.servers}, nil
+}
+
+// leaseView is the immutable result of an assignment.
+type leaseView struct {
+	authID  string
+	devices []*managedDevice
+	servers map[string]bool
+}
+
+// AuthID returns the lease's authentication ID.
+func (v *leaseView) AuthID() string { return v.authID }
+
+// Servers returns the lease's server addresses.
+func (v *leaseView) Servers() []string {
+	out := make([]string, 0, len(v.servers))
+	for s := range v.servers {
+		out = append(out, s)
+	}
+	return out
+}
+
+// DeviceCount returns the number of assigned devices.
+func (v *leaseView) DeviceCount() int { return len(v.devices) }
+
+// ReleaseLease returns a lease's devices to the free set and tells the
+// involved daemons to discard the authentication ID.
+func (m *Manager) ReleaseLease(authID string) {
+	m.mu.Lock()
+	ls, ok := m.leases[authID]
+	if !ok {
+		m.mu.Unlock()
+		return
+	}
+	delete(m.leases, authID)
+	for _, d := range ls.devices {
+		if d.leased == authID {
+			d.leased = ""
+		}
+	}
+	var conns []*serverConn
+	for addr := range ls.servers {
+		if sc := m.servers[addr]; sc != nil {
+			conns = append(conns, sc)
+		}
+	}
+	m.mu.Unlock()
+	for _, sc := range conns {
+		w := protocol.NewWriter()
+		w.String(authID)
+		if err := sc.ep.Send(protocol.EncodeEnvelope(protocol.ClassRequest, 0, protocol.MsgDMRevoke, w)); err != nil {
+			m.log("devmgr: revoke to %s failed: %v", sc.addr, err)
+		}
+	}
+	m.log("devmgr: lease %s released", authID[:8])
+}
+
+// FreeDevices reports how many devices are currently unassigned.
+func (m *Manager) FreeDevices() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, d := range m.devices {
+		if d.leased == "" {
+			n++
+		}
+	}
+	return n
+}
+
+// ActiveLeases reports the number of outstanding leases.
+func (m *Manager) ActiveLeases() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.leases)
+}
+
+// loadView computes per-server tentative load (free selection pass).
+func (m *Manager) loadView(taken map[*managedDevice]bool) map[string]int {
+	load := map[string]int{}
+	for _, d := range m.devices {
+		if d.leased != "" || taken[d] {
+			load[d.server]++
+		}
+	}
+	return load
+}
+
+// matches checks a device against the request's property constraints,
+// mirroring the clGetDeviceInfo-based matching of Section IV-B.
+func matches(d *managedDevice, req protocol.DeviceRequest) bool {
+	if d.info.Type&req.Type == 0 {
+		return false
+	}
+	if req.MinComputeUnits > 0 && d.info.ComputeUnits < req.MinComputeUnits {
+		return false
+	}
+	if req.MinGlobalMem > 0 && d.info.GlobalMemSize < req.MinGlobalMem {
+		return false
+	}
+	if req.Vendor != "" && !strings.Contains(strings.ToLower(d.info.Vendor), strings.ToLower(req.Vendor)) {
+		return false
+	}
+	if req.Name != "" && !strings.Contains(strings.ToLower(d.info.Name), strings.ToLower(req.Name)) {
+		return false
+	}
+	return true
+}
+
+// newAuthID generates a cryptographically random lease ID.
+func newAuthID() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("devmgr: generating auth ID: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+// Scheduler picks one device from a non-empty candidate list. load maps
+// server address → number of devices already assigned (including tentative
+// picks of the current request).
+type Scheduler interface {
+	Pick(candidates []*managedDevice, load map[string]int) *managedDevice
+}
+
+// FirstFit picks the first matching device (the naive strategy whose
+// pile-up behaviour motivates the device manager in Section IV).
+type FirstFit struct{}
+
+// Pick returns the first candidate.
+func (FirstFit) Pick(c []*managedDevice, _ map[string]int) *managedDevice { return c[0] }
+
+// LeastLoaded spreads assignments across servers: it picks a device on
+// the server with the fewest assigned devices, which keeps concurrent
+// applications on distinct devices (the behaviour evaluated in Fig. 6).
+type LeastLoaded struct{}
+
+// Pick returns a candidate on the least-loaded server.
+func (LeastLoaded) Pick(c []*managedDevice, load map[string]int) *managedDevice {
+	best := c[0]
+	bestLoad := load[best.server]
+	for _, d := range c[1:] {
+		if l := load[d.server]; l < bestLoad {
+			best, bestLoad = d, l
+		}
+	}
+	return best
+}
+
+// RoundRobin rotates through candidate devices across calls.
+type RoundRobin struct {
+	mu   sync.Mutex
+	next int
+}
+
+// Pick returns candidates in rotating order.
+func (r *RoundRobin) Pick(c []*managedDevice, _ map[string]int) *managedDevice {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d := c[r.next%len(c)]
+	r.next++
+	return d
+}

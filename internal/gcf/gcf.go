@@ -1,0 +1,335 @@
+// Package gcf is this repository's rendering of the Generic Communication
+// Framework used by the paper's dOpenCL implementation (part of the
+// Real-Time Framework): an asynchronous transport offering the two
+// communication patterns of Section III-B:
+//
+//   - message-based communication — request, response and notification
+//     messages used to execute OpenCL functions remotely and to push
+//     status updates; and
+//   - stream-based communication — bidirectional raw byte streams for
+//     bulk data (buffer uploads/downloads of up to gigabytes).
+//
+// Both patterns are multiplexed over a single net.Conn using length-
+// prefixed frames: channel 0 carries messages, channels ≥ 1 carry stream
+// data. A zero-length stream frame closes the stream's write side. All
+// sends are serialized by a writer lock; the receive loop never blocks on
+// user code (messages are dispatched by a dedicated goroutine, preserving
+// order), so a handler may synchronously read stream data that arrives on
+// the same connection.
+package gcf
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	// maxFrame bounds a single frame payload; streams chop bulk data into
+	// frames of at most this size so message latency stays bounded even
+	// during multi-gigabyte transfers.
+	maxFrame = 256 << 10
+	// msgChannel is the frame channel carrying messages.
+	msgChannel = uint32(0)
+)
+
+// ErrClosed is returned for operations on a closed endpoint.
+var ErrClosed = errors.New("gcf: endpoint closed")
+
+// Handler consumes an inbound message. Handlers run sequentially on the
+// endpoint's dispatch goroutine, preserving message order.
+type Handler func(msg []byte)
+
+// Endpoint is one end of a GCF connection.
+type Endpoint struct {
+	conn net.Conn
+
+	writeMu sync.Mutex
+	hdr     [8]byte
+
+	streamMu sync.Mutex
+	streams  map[uint32]*Stream
+	nextID   uint32 // client: odd, server: even
+
+	msgMu   sync.Mutex
+	msgCond *sync.Cond
+	msgs    [][]byte
+
+	closed   atomic.Bool
+	closeErr atomic.Value // error
+	done     chan struct{}
+
+	onClose func(error)
+}
+
+// NewEndpoint wraps conn. Client endpoints allocate odd stream IDs,
+// servers even ones, so both sides may open streams without coordination.
+func NewEndpoint(conn net.Conn, client bool) *Endpoint {
+	e := &Endpoint{
+		conn:    conn,
+		streams: map[uint32]*Stream{},
+		done:    make(chan struct{}),
+	}
+	if client {
+		e.nextID = 1
+	} else {
+		e.nextID = 2
+	}
+	e.msgCond = sync.NewCond(&e.msgMu)
+	return e
+}
+
+// Start launches the receive and dispatch loops. handler receives each
+// inbound message; onClose (optional) runs once when the connection dies.
+func (e *Endpoint) Start(handler Handler, onClose func(error)) {
+	e.onClose = onClose
+	go e.dispatchLoop(handler)
+	go e.readLoop()
+}
+
+// Send transmits one message (channel-0 frame). It is safe for concurrent
+// use.
+func (e *Endpoint) Send(msg []byte) error {
+	if len(msg) > maxFrame {
+		return fmt.Errorf("gcf: message of %d bytes exceeds frame limit", len(msg))
+	}
+	return e.writeFrame(msgChannel, msg)
+}
+
+func (e *Endpoint) writeFrame(ch uint32, payload []byte) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	binary.LittleEndian.PutUint32(e.hdr[0:], ch)
+	binary.LittleEndian.PutUint32(e.hdr[4:], uint32(len(payload)))
+	if _, err := e.conn.Write(e.hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := e.conn.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readLoop receives frames and routes them to the message queue or to
+// stream buffers.
+func (e *Endpoint) readLoop() {
+	var hdr [8]byte
+	var err error
+	for {
+		if _, err = io.ReadFull(e.conn, hdr[:]); err != nil {
+			break
+		}
+		ch := binary.LittleEndian.Uint32(hdr[0:])
+		n := binary.LittleEndian.Uint32(hdr[4:])
+		if n > maxFrame {
+			err = fmt.Errorf("gcf: oversized frame (%d bytes)", n)
+			break
+		}
+		payload := make([]byte, n)
+		if n > 0 {
+			if _, err = io.ReadFull(e.conn, payload); err != nil {
+				break
+			}
+		}
+		if ch == msgChannel {
+			e.msgMu.Lock()
+			e.msgs = append(e.msgs, payload)
+			e.msgCond.Broadcast()
+			e.msgMu.Unlock()
+			continue
+		}
+		s := e.Stream(ch)
+		if n == 0 {
+			s.closeRead(io.EOF)
+		} else {
+			s.push(payload)
+		}
+	}
+	e.shutdown(err)
+}
+
+// dispatchLoop hands queued messages to the handler in arrival order.
+func (e *Endpoint) dispatchLoop(handler Handler) {
+	for {
+		e.msgMu.Lock()
+		for len(e.msgs) == 0 {
+			if e.closed.Load() {
+				e.msgMu.Unlock()
+				return
+			}
+			e.msgCond.Wait()
+		}
+		msg := e.msgs[0]
+		e.msgs = e.msgs[1:]
+		e.msgMu.Unlock()
+		handler(msg)
+	}
+}
+
+// shutdown tears the endpoint down exactly once.
+func (e *Endpoint) shutdown(err error) {
+	if !e.closed.CompareAndSwap(false, true) {
+		return
+	}
+	if err == nil {
+		err = ErrClosed
+	}
+	e.closeErr.Store(err)
+	e.conn.Close()
+	e.streamMu.Lock()
+	for _, s := range e.streams {
+		s.closeRead(err)
+	}
+	e.streamMu.Unlock()
+	e.msgMu.Lock()
+	e.msgCond.Broadcast()
+	e.msgMu.Unlock()
+	close(e.done)
+	if e.onClose != nil {
+		e.onClose(err)
+	}
+}
+
+// Close terminates the connection.
+func (e *Endpoint) Close() error {
+	e.shutdown(ErrClosed)
+	return nil
+}
+
+// Done is closed when the endpoint has shut down.
+func (e *Endpoint) Done() <-chan struct{} { return e.done }
+
+// OpenStream allocates a fresh stream ID owned by this side.
+func (e *Endpoint) OpenStream() *Stream {
+	e.streamMu.Lock()
+	id := e.nextID
+	e.nextID += 2
+	s := e.getStreamLocked(id)
+	e.streamMu.Unlock()
+	return s
+}
+
+// Stream returns the stream with the given ID, creating it on first use
+// (the peer announces stream IDs inside protocol messages).
+func (e *Endpoint) Stream(id uint32) *Stream {
+	e.streamMu.Lock()
+	s := e.getStreamLocked(id)
+	e.streamMu.Unlock()
+	return s
+}
+
+func (e *Endpoint) getStreamLocked(id uint32) *Stream {
+	s, ok := e.streams[id]
+	if !ok {
+		s = newStream(e, id)
+		e.streams[id] = s
+	}
+	return s
+}
+
+// forget drops a finished stream so IDs can be garbage collected.
+func (e *Endpoint) forget(id uint32) {
+	e.streamMu.Lock()
+	delete(e.streams, id)
+	e.streamMu.Unlock()
+}
+
+// Stream is a bidirectional byte stream multiplexed over the endpoint.
+type Stream struct {
+	e  *Endpoint
+	id uint32
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	chunks [][]byte
+	offset int
+	rerr   error
+}
+
+func newStream(e *Endpoint, id uint32) *Stream {
+	s := &Stream{e: e, id: id}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// ID returns the stream's channel ID (announced in protocol messages).
+func (s *Stream) ID() uint32 { return s.id }
+
+// push appends inbound data (called from the endpoint read loop).
+func (s *Stream) push(p []byte) {
+	s.mu.Lock()
+	s.chunks = append(s.chunks, p)
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// closeRead terminates the read side with err (io.EOF for orderly close).
+func (s *Stream) closeRead(err error) {
+	s.mu.Lock()
+	if s.rerr == nil {
+		s.rerr = err
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Read reads stream data, returning io.EOF after the peer closed its
+// write side and all data was consumed.
+func (s *Stream) Read(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.chunks) == 0 {
+		if s.rerr != nil {
+			return 0, s.rerr
+		}
+		s.cond.Wait()
+	}
+	n := 0
+	for n < len(p) && len(s.chunks) > 0 {
+		c := s.chunks[0]
+		m := copy(p[n:], c[s.offset:])
+		n += m
+		s.offset += m
+		if s.offset == len(c) {
+			s.chunks = s.chunks[1:]
+			s.offset = 0
+		}
+	}
+	return n, nil
+}
+
+// Write sends data on the stream, chopped into frames.
+func (s *Stream) Write(p []byte) (int, error) {
+	sent := 0
+	for sent < len(p) {
+		n := len(p) - sent
+		if n > maxFrame {
+			n = maxFrame
+		}
+		if err := s.e.writeFrame(s.id, p[sent:sent+n]); err != nil {
+			return sent, err
+		}
+		sent += n
+	}
+	return sent, nil
+}
+
+// CloseWrite signals end-of-stream to the peer.
+func (s *Stream) CloseWrite() error {
+	return s.e.writeFrame(s.id, nil)
+}
+
+// Release drops the local bookkeeping for the stream. Call after both
+// sides are done with it.
+func (s *Stream) Release() {
+	s.e.forget(s.id)
+}

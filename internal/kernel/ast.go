@@ -1,0 +1,277 @@
+package kernel
+
+// Type is the MiniCL type of an expression or declaration.
+type Type int
+
+// MiniCL types. Pointer types carry an address space and element type in
+// ParamDecl; expressions only ever have scalar or pointer types.
+const (
+	TypeVoid Type = iota
+	TypeInt
+	TypeFloat
+	TypeFloatPtr
+	TypeIntPtr
+)
+
+// String returns the MiniCL spelling of the type.
+func (t Type) String() string {
+	switch t {
+	case TypeVoid:
+		return "void"
+	case TypeInt:
+		return "int"
+	case TypeFloat:
+		return "float"
+	case TypeFloatPtr:
+		return "float*"
+	case TypeIntPtr:
+		return "int*"
+	}
+	return "?"
+}
+
+// IsPointer reports whether the type is a buffer pointer.
+func (t Type) IsPointer() bool { return t == TypeFloatPtr || t == TypeIntPtr }
+
+// Elem returns the element type of a pointer type.
+func (t Type) Elem() Type {
+	switch t {
+	case TypeFloatPtr:
+		return TypeFloat
+	case TypeIntPtr:
+		return TypeInt
+	}
+	return TypeVoid
+}
+
+// AddrSpace distinguishes global (device memory buffer) from local
+// (work-group scratch) pointers.
+type AddrSpace int
+
+// Address spaces for pointer parameters.
+const (
+	SpaceNone AddrSpace = iota
+	SpaceGlobal
+	SpaceLocal
+)
+
+func (s AddrSpace) String() string {
+	switch s {
+	case SpaceGlobal:
+		return "global"
+	case SpaceLocal:
+		return "local"
+	}
+	return ""
+}
+
+// ParamDecl is a function or kernel parameter declaration.
+type ParamDecl struct {
+	Name  string
+	Type  Type
+	Space AddrSpace // SpaceNone for scalars
+	Const bool      // const-qualified pointers are read-only (MSI hint)
+	Line  int
+	Col   int
+}
+
+// FuncDecl is a kernel or helper function definition.
+type FuncDecl struct {
+	Name     string
+	IsKernel bool
+	Return   Type
+	Params   []ParamDecl
+	Body     *BlockStmt
+	Line     int
+	Col      int
+}
+
+// File is a parsed MiniCL translation unit.
+type File struct {
+	Funcs []*FuncDecl
+}
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface{ stmtNode() }
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	exprNode()
+	Pos() (line, col int)
+}
+
+// BlockStmt is a `{ ... }` statement list introducing a scope.
+type BlockStmt struct {
+	Stmts []Stmt
+}
+
+// DeclStmt declares a scalar local variable, optionally initialised.
+type DeclStmt struct {
+	Name string
+	Type Type
+	Init Expr // may be nil
+	Line int
+	Col  int
+}
+
+// AssignStmt assigns to a variable or buffer element. Op is "=", "+=",
+// "-=", "*=", "/=" or "%=".
+type AssignStmt struct {
+	Target Expr // *Ident or *IndexExpr
+	Op     string
+	Value  Expr
+	Line   int
+	Col    int
+}
+
+// IncDecStmt is `x++` or `x--` on a scalar variable or buffer element.
+type IncDecStmt struct {
+	Target Expr
+	Op     string // "++" or "--"
+	Line   int
+	Col    int
+}
+
+// ExprStmt evaluates an expression for its side effects (function calls).
+type ExprStmt struct {
+	X Expr
+}
+
+// IfStmt is an if/else statement.
+type IfStmt struct {
+	Cond Expr
+	Then *BlockStmt
+	Else Stmt // *BlockStmt, *IfStmt or nil
+}
+
+// ForStmt is a C-style for loop. Init and Post may be nil; Cond may be nil
+// (infinite loop).
+type ForStmt struct {
+	Init Stmt // *DeclStmt, *AssignStmt or nil
+	Cond Expr
+	Post Stmt // *AssignStmt, *IncDecStmt or nil
+	Body *BlockStmt
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond Expr
+	Body *BlockStmt
+}
+
+// ReturnStmt returns from the current function.
+type ReturnStmt struct {
+	Value Expr // nil for void returns
+	Line  int
+	Col   int
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Line, Col int }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ Line, Col int }
+
+// BarrierStmt is a work-group barrier.
+type BarrierStmt struct{ Line, Col int }
+
+func (*BlockStmt) stmtNode()    {}
+func (*DeclStmt) stmtNode()     {}
+func (*AssignStmt) stmtNode()   {}
+func (*IncDecStmt) stmtNode()   {}
+func (*ExprStmt) stmtNode()     {}
+func (*IfStmt) stmtNode()       {}
+func (*ForStmt) stmtNode()      {}
+func (*WhileStmt) stmtNode()    {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*BarrierStmt) stmtNode()  {}
+
+// Ident references a variable or parameter.
+type Ident struct {
+	Name string
+	Line int
+	Col  int
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Value int32
+	Line  int
+	Col   int
+}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	Value float32
+	Line  int
+	Col   int
+}
+
+// BinaryExpr is a binary operation.
+type BinaryExpr struct {
+	Op   string
+	L, R Expr
+	Line int
+	Col  int
+}
+
+// UnaryExpr is a unary operation: -x, !x, ~x.
+type UnaryExpr struct {
+	Op   string
+	X    Expr
+	Line int
+	Col  int
+}
+
+// CondExpr is the ternary operator cond ? a : b.
+type CondExpr struct {
+	Cond, Then, Else Expr
+	Line, Col        int
+}
+
+// IndexExpr is a buffer element access buf[i].
+type IndexExpr struct {
+	Buf   Expr // *Ident referring to a pointer parameter
+	Index Expr
+	Line  int
+	Col   int
+}
+
+// CallExpr is a helper-function or builtin call.
+type CallExpr struct {
+	Name string
+	Args []Expr
+	Line int
+	Col  int
+}
+
+// CastExpr is an explicit conversion (int)x or (float)x.
+type CastExpr struct {
+	To   Type
+	X    Expr
+	Line int
+	Col  int
+}
+
+func (*Ident) exprNode()      {}
+func (*IntLit) exprNode()     {}
+func (*FloatLit) exprNode()   {}
+func (*BinaryExpr) exprNode() {}
+func (*UnaryExpr) exprNode()  {}
+func (*CondExpr) exprNode()   {}
+func (*IndexExpr) exprNode()  {}
+func (*CallExpr) exprNode()   {}
+func (*CastExpr) exprNode()   {}
+
+// Pos implementations.
+func (e *Ident) Pos() (int, int)      { return e.Line, e.Col }
+func (e *IntLit) Pos() (int, int)     { return e.Line, e.Col }
+func (e *FloatLit) Pos() (int, int)   { return e.Line, e.Col }
+func (e *BinaryExpr) Pos() (int, int) { return e.Line, e.Col }
+func (e *UnaryExpr) Pos() (int, int)  { return e.Line, e.Col }
+func (e *CondExpr) Pos() (int, int)   { return e.Line, e.Col }
+func (e *IndexExpr) Pos() (int, int)  { return e.Line, e.Col }
+func (e *CallExpr) Pos() (int, int)   { return e.Line, e.Col }
+func (e *CastExpr) Pos() (int, int)   { return e.Line, e.Col }

@@ -1,0 +1,83 @@
+package kernel
+
+// BuiltinID identifies a builtin function callable from MiniCL code.
+type BuiltinID int32
+
+// Builtin identifiers. Work-item query builtins are executed by the VM
+// against the running work item's coordinates; math builtins map onto the
+// Go math package (computed in float32 precision like OpenCL floats).
+const (
+	BGetGlobalID BuiltinID = iota
+	BGetLocalID
+	BGetGroupID
+	BGetGlobalSize
+	BGetLocalSize
+	BGetNumGroups
+	BGetWorkDim
+
+	BSqrt
+	BRsqrt
+	BExp
+	BLog
+	BSin
+	BCos
+	BTan
+	BFabs
+	BFloor
+	BCeil
+	BPow
+	BFmin
+	BFmax
+	BFmod
+	BClampF
+
+	BMinI
+	BMaxI
+	BAbsI
+	BClampI
+)
+
+// builtinSig describes a builtin's name, parameter types and result type.
+type builtinSig struct {
+	id     BuiltinID
+	params []Type
+	result Type
+}
+
+// builtinTable maps MiniCL source names to builtin signatures.
+var builtinTable = map[string]builtinSig{
+	"get_global_id":   {BGetGlobalID, []Type{TypeInt}, TypeInt},
+	"get_local_id":    {BGetLocalID, []Type{TypeInt}, TypeInt},
+	"get_group_id":    {BGetGroupID, []Type{TypeInt}, TypeInt},
+	"get_global_size": {BGetGlobalSize, []Type{TypeInt}, TypeInt},
+	"get_local_size":  {BGetLocalSize, []Type{TypeInt}, TypeInt},
+	"get_num_groups":  {BGetNumGroups, []Type{TypeInt}, TypeInt},
+	"get_work_dim":    {BGetWorkDim, nil, TypeInt},
+
+	"sqrt":  {BSqrt, []Type{TypeFloat}, TypeFloat},
+	"rsqrt": {BRsqrt, []Type{TypeFloat}, TypeFloat},
+	"exp":   {BExp, []Type{TypeFloat}, TypeFloat},
+	"log":   {BLog, []Type{TypeFloat}, TypeFloat},
+	"sin":   {BSin, []Type{TypeFloat}, TypeFloat},
+	"cos":   {BCos, []Type{TypeFloat}, TypeFloat},
+	"tan":   {BTan, []Type{TypeFloat}, TypeFloat},
+	"fabs":  {BFabs, []Type{TypeFloat}, TypeFloat},
+	"floor": {BFloor, []Type{TypeFloat}, TypeFloat},
+	"ceil":  {BCeil, []Type{TypeFloat}, TypeFloat},
+	"pow":   {BPow, []Type{TypeFloat, TypeFloat}, TypeFloat},
+	"fmin":  {BFmin, []Type{TypeFloat, TypeFloat}, TypeFloat},
+	"fmax":  {BFmax, []Type{TypeFloat, TypeFloat}, TypeFloat},
+	"fmod":  {BFmod, []Type{TypeFloat, TypeFloat}, TypeFloat},
+	"clamp": {BClampF, []Type{TypeFloat, TypeFloat, TypeFloat}, TypeFloat},
+
+	"min": {BMinI, []Type{TypeInt, TypeInt}, TypeInt},
+	"max": {BMaxI, []Type{TypeInt, TypeInt}, TypeInt},
+	"abs": {BAbsI, []Type{TypeInt}, TypeInt},
+}
+
+// predefined integer constants accepted in MiniCL source (barrier fence
+// flags; their values are irrelevant to the VM's full-group barrier).
+var predefinedConsts = map[string]int32{
+	"CLK_LOCAL_MEM_FENCE":  1,
+	"CLK_GLOBAL_MEM_FENCE": 2,
+}

@@ -1,0 +1,210 @@
+package kernel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op is a bytecode opcode. The VM in internal/vm is a stack machine over
+// 64-bit slots; int values occupy a slot as int32 (sign-extended), float
+// values as IEEE-754 float32 bits.
+type Op uint8
+
+// Opcodes.
+const (
+	OpNop Op = iota
+
+	// Constants and variables. A indexes the constant pool / local slot.
+	OpConstI // push int constant pool[A]
+	OpConstF // push float constant pool[A]
+	OpLoad   // push local slot A
+	OpStore  // pop into local slot A
+
+	// Buffer element access. The buffer handle is read from local slot A
+	// (parameter slots hold buffer handles); the element index is popped
+	// from the stack. Load pops the index and pushes the element; Store
+	// pops the value, then the index.
+	OpLoadElemI  // push int32 buf[idx]
+	OpLoadElemF  // push float32 buf[idx]
+	OpStoreElemI // buf[idx] = int32 value
+	OpStoreElemF // buf[idx] = float32 value
+
+	// Integer arithmetic.
+	OpAddI
+	OpSubI
+	OpMulI
+	OpDivI
+	OpModI
+	OpNegI
+	OpAndI
+	OpOrI
+	OpXorI
+	OpNotI // bitwise complement
+	OpShlI
+	OpShrI
+
+	// Float arithmetic.
+	OpAddF
+	OpSubF
+	OpMulF
+	OpDivF
+	OpNegF
+
+	// Comparisons (push int 0/1).
+	OpLtI
+	OpLeI
+	OpGtI
+	OpGeI
+	OpEqI
+	OpNeI
+	OpLtF
+	OpLeF
+	OpGtF
+	OpGeF
+	OpEqF
+	OpNeF
+
+	// Logical not: pop int, push (x == 0).
+	OpLNot
+
+	// Conversions.
+	OpI2F
+	OpF2I
+
+	// Control flow. A is the absolute jump target.
+	OpJump
+	OpJumpIfZero    // pop int; jump when 0
+	OpJumpIfNonZero // pop int; jump when != 0
+	OpDup           // duplicate top of stack
+
+	// Calls. A = function index; arguments are popped (last on top) and
+	// become the callee's first local slots.
+	OpCall
+	OpRet     // pop return value, restore caller frame, push value
+	OpRetVoid // restore caller frame
+
+	// Builtins. A = builtin ID; arguments popped per the builtin's arity.
+	OpBuiltin
+
+	// Work-group barrier: suspend the work item until all items of its
+	// group arrive.
+	OpBarrier
+
+	// End of kernel execution for this work item.
+	OpHalt
+)
+
+var opNames = [...]string{
+	OpNop: "nop", OpConstI: "const.i", OpConstF: "const.f",
+	OpLoad: "load", OpStore: "store",
+	OpLoadElemI: "load.elem.i", OpLoadElemF: "load.elem.f",
+	OpStoreElemI: "store.elem.i", OpStoreElemF: "store.elem.f",
+	OpAddI: "add.i", OpSubI: "sub.i", OpMulI: "mul.i", OpDivI: "div.i",
+	OpModI: "mod.i", OpNegI: "neg.i", OpAndI: "and.i", OpOrI: "or.i",
+	OpXorI: "xor.i", OpNotI: "not.i", OpShlI: "shl.i", OpShrI: "shr.i",
+	OpAddF: "add.f", OpSubF: "sub.f", OpMulF: "mul.f", OpDivF: "div.f",
+	OpNegF: "neg.f",
+	OpLtI:  "lt.i", OpLeI: "le.i", OpGtI: "gt.i", OpGeI: "ge.i",
+	OpEqI: "eq.i", OpNeI: "ne.i",
+	OpLtF: "lt.f", OpLeF: "le.f", OpGtF: "gt.f", OpGeF: "ge.f",
+	OpEqF: "eq.f", OpNeF: "ne.f",
+	OpLNot: "lnot", OpI2F: "i2f", OpF2I: "f2i",
+	OpJump: "jump", OpJumpIfZero: "jz", OpJumpIfNonZero: "jnz", OpDup: "dup",
+	OpCall: "call", OpRet: "ret", OpRetVoid: "ret.void",
+	OpBuiltin: "builtin", OpBarrier: "barrier", OpHalt: "halt",
+}
+
+// String returns the mnemonic of the opcode.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Instr is a single bytecode instruction.
+type Instr struct {
+	Op Op
+	A  int32
+}
+
+// ArgKind describes how a kernel argument slot is bound at launch.
+type ArgKind int
+
+// Argument kinds.
+const (
+	ArgScalarInt ArgKind = iota
+	ArgScalarFloat
+	ArgGlobalBuf
+	ArgLocalBuf
+)
+
+// ArgInfo describes one kernel parameter: how to bind it and, for buffer
+// parameters, whether kernels may write through it. ReadOnly drives the
+// dOpenCL MSI coherence protocol (const-qualified pointers never dirty the
+// remote copy).
+type ArgInfo struct {
+	Name     string
+	Kind     ArgKind
+	Elem     Type // element type for buffer args
+	ReadOnly bool
+}
+
+// Func is a compiled function.
+type Func struct {
+	Name       string
+	IsKernel   bool
+	Args       []ArgInfo // kernel parameter descriptions (kernels only)
+	NumParams  int       // parameter count (helper functions)
+	NumLocals  int       // total local slots including parameters
+	Code       []Instr
+	HasBarrier bool
+}
+
+// Program is a compiled MiniCL translation unit. The constant pool stores
+// raw 64-bit slot images shared by all functions.
+type Program struct {
+	Consts  []uint64
+	Funcs   []*Func
+	Source  string
+	kernels map[string]int
+}
+
+// Kernel returns the compiled kernel function with the given name.
+func (p *Program) Kernel(name string) (*Func, bool) {
+	i, ok := p.kernels[name]
+	if !ok {
+		return nil, false
+	}
+	return p.Funcs[i], true
+}
+
+// KernelNames lists all kernel functions in declaration order.
+func (p *Program) KernelNames() []string {
+	var names []string
+	for _, f := range p.Funcs {
+		if f.IsKernel {
+			names = append(names, f.Name)
+		}
+	}
+	return names
+}
+
+// FuncByIndex returns the function at index i (used by OpCall).
+func (p *Program) FuncByIndex(i int) *Func { return p.Funcs[i] }
+
+// Disassemble renders the program's bytecode for debugging and tests.
+func (p *Program) Disassemble() string {
+	var b strings.Builder
+	for fi, f := range p.Funcs {
+		kind := "func"
+		if f.IsKernel {
+			kind = "kernel"
+		}
+		fmt.Fprintf(&b, "%s %s (#%d, locals=%d)\n", kind, f.Name, fi, f.NumLocals)
+		for i, ins := range f.Code {
+			fmt.Fprintf(&b, "  %4d  %-10s %d\n", i, ins.Op.String(), ins.A)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,259 @@
+package kernel
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex(`kernel void f(global float* a) { a[0] = 1.5e2f + 0x; }`)
+	if err == nil {
+		// 0x is lexed as 0 then identifier x; both valid tokens.
+		_ = toks
+	}
+	toks, err = Lex("int x = 42; // comment\n/* block\ncomment */ float y;")
+	if err != nil {
+		t.Fatalf("lex: %v", err)
+	}
+	var kinds []TokKind
+	for _, tok := range toks {
+		kinds = append(kinds, tok.Kind)
+	}
+	if toks[0].Text != "int" || toks[0].Kind != TokKeyword {
+		t.Errorf("first token = %+v", toks[0])
+	}
+	if toks[2].Text != "=" || toks[3].Text != "42" {
+		t.Errorf("tokens = %v", toks)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{"int x = @;", "unexpected character"},
+		{"/* open", "unterminated block comment"},
+		{"float f = 1e;", "malformed exponent"},
+	}
+	for _, tc := range cases {
+		if _, err := Lex(tc.src); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Lex(%q) error = %v, want %q", tc.src, err, tc.want)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("int\nx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Line != 1 || toks[1].Line != 2 || toks[1].Col != 1 {
+		t.Errorf("positions: %+v %+v", toks[0], toks[1])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"empty", "", "no functions"},
+		{"missing-brace", "kernel void f() {", "unexpected end of source"},
+		{"bad-param", "kernel void f(global int x) {}", "address space qualifier requires a pointer"},
+		{"void-param", "kernel void f(void x) {}", "cannot have type void"},
+		{"missing-semicolon", "kernel void f() { int x = 1 }", `expected ";"`},
+		{"bad-assign-target", "kernel void f() { 3 = 4; }", "not assignable"},
+		{"stray-else", "kernel void f() { else {} }", "expected expression"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Parse error = %v, want %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCompileTypeErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"undefined-var", "kernel void f(global int* o) { o[0] = y; }", "undefined variable y"},
+		{"undefined-func", "kernel void f(global int* o) { o[0] = g(); }", "undefined function g"},
+		{"redeclare", "kernel void f() { int x; int x; }", "redeclared"},
+		{"float-condition", "kernel void f(global float* o) { if (o[0]) {} }", "condition must be int"},
+		{"mod-float", "kernel void f(global float* o) { o[0] = o[0] % 2.0; }", "requires int operands"},
+		{"break-outside", "kernel void f() { break; }", "break outside loop"},
+		{"continue-outside", "kernel void f() { continue; }", "continue outside loop"},
+		{"kernel-return-value", "kernel void f() { return 3; }", "kernel cannot return a value"},
+		{"void-return-value", "void g() { return 1; } kernel void f() {}", "void function cannot return"},
+		{"missing-return-value", "int g() { return; } kernel void f() {}", "must return int"},
+		{"barrier-in-helper", "void g() { barrier(); } kernel void f() {}", "only allowed in kernel"},
+		{"call-kernel", "kernel void g() {} kernel void f() { g(); }", "cannot call kernel"},
+		{"redefine", "int g() { return 1; } int g() { return 2; } kernel void f() {}", "redefined"},
+		{"shadow-builtin", "int sqrt(int x) { return x; } kernel void f() {}", "shadows a builtin"},
+		{"arity", "kernel void f(global int* o) { o[0] = min(1); }", "expects 2 arguments"},
+		{"buffer-no-index", "kernel void f(global int* o, global int* p) { o[0] = p + 1; }", "used without index"},
+		{"assign-buffer", "kernel void f(global int* o) { o = o; }", "cannot assign to buffer"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Compile(tc.src)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Compile error = %v, want %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCompileProducesKernelMetadata(t *testing.T) {
+	prog, err := Compile(`
+float helper(float x) { return x + 1.0; }
+kernel void a(global float* out, const global float* in, local float* s, int n, float scale) {
+	out[0] = helper(in[0]) * scale;
+}
+kernel void b(global int* out) { out[0] = 1; }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := prog.KernelNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("kernels = %v", names)
+	}
+	a, ok := prog.Kernel("a")
+	if !ok {
+		t.Fatal("kernel a missing")
+	}
+	wantKinds := []ArgKind{ArgGlobalBuf, ArgGlobalBuf, ArgLocalBuf, ArgScalarInt, ArgScalarFloat}
+	for i, want := range wantKinds {
+		if a.Args[i].Kind != want {
+			t.Errorf("arg %d kind = %v, want %v", i, a.Args[i].Kind, want)
+		}
+	}
+	if a.Args[0].ReadOnly || !a.Args[1].ReadOnly {
+		t.Errorf("readonly flags: %+v", a.Args)
+	}
+	if _, ok := prog.Kernel("helper"); ok {
+		t.Error("helper must not be listed as kernel")
+	}
+	if dis := prog.Disassemble(); !strings.Contains(dis, "kernel a") || !strings.Contains(dis, "halt") {
+		t.Errorf("disassembly incomplete:\n%s", dis)
+	}
+}
+
+func TestOpenCLSpellings(t *testing.T) {
+	// __kernel/__global spellings and barrier fence flags must be accepted.
+	_, err := Compile(`
+__kernel void k(__global float* out, __local float* s) {
+	barrier(CLK_LOCAL_MEM_FENCE | CLK_GLOBAL_MEM_FENCE);
+	out[get_global_id(0)] = 0.0;
+}
+`)
+	if err != nil {
+		t.Fatalf("OpenCL spellings rejected: %v", err)
+	}
+}
+
+func TestConstPoolDeduplication(t *testing.T) {
+	prog, err := Compile(`
+kernel void k(global int* o) {
+	o[0] = 7;
+	o[1] = 7;
+	o[2] = 7;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, c := range prog.Consts {
+		if c == 7 {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("constant 7 appears %d times in pool %v", count, prog.Consts)
+	}
+}
+
+// TestParserNeverPanics property-tests the front end against arbitrary
+// input: it must return a value or an error, never crash.
+func TestParserNeverPanics(t *testing.T) {
+	f := func(src string) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		_, err := Compile(src)
+		_ = err
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+	// Also fuzz with token-ish fragments that are more likely to reach
+	// deep parser states than random unicode.
+	fragments := []string{
+		"kernel", "void", "f", "(", ")", "{", "}", "int", "float", "*",
+		"global", "local", "const", "if", "else", "for", "while", "return",
+		"x", "=", "+", "-", ";", "[", "]", "1", "2.5", ",", "<", ">>", "&&",
+		"barrier", "?", ":",
+	}
+	g := func(picks []uint8) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		var b strings.Builder
+		for _, p := range picks {
+			b.WriteString(fragments[int(p)%len(fragments)])
+			b.WriteByte(' ')
+		}
+		_, err := Compile(b.String())
+		_ = err
+		return true
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJumpTargetsInRange(t *testing.T) {
+	// All control-flow targets must stay within the function body:
+	// a structural invariant of the compiler.
+	srcs := []string{
+		`kernel void k(global int* o, int n) {
+			for (int i = 0; i < n; i++) {
+				if (i % 2 == 0) { continue; }
+				if (i > 10) { break; }
+				o[i % 4] += i;
+			}
+			while (n > 0) { n--; }
+		}`,
+		`kernel void k(global float* o) {
+			o[0] = (o[0] > 0.0) ? o[0] : -o[0];
+			o[1] = ((1 < 2) && (3 < 4)) ? 1.0 : 0.0;
+			o[2] = ((1 > 2) || (3 > 4)) ? 1.0 : 0.0;
+		}`,
+	}
+	for _, src := range srcs {
+		prog, err := Compile(src)
+		if err != nil {
+			t.Fatalf("compile: %v", err)
+		}
+		for _, fn := range prog.Funcs {
+			for pc, ins := range fn.Code {
+				switch ins.Op {
+				case OpJump, OpJumpIfZero, OpJumpIfNonZero:
+					if ins.A < 0 || int(ins.A) > len(fn.Code) {
+						t.Errorf("%s pc %d: jump to %d outside [0,%d]", fn.Name, pc, ins.A, len(fn.Code))
+					}
+				}
+			}
+		}
+	}
+}

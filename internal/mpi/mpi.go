@@ -1,0 +1,269 @@
+// Package mpi is a miniature message-passing library: the stand-in for the
+// MPI runtime of the paper's MPI+OpenCL baseline (Section V-A).
+//
+// A World holds N ranks that exchange byte-slice messages through
+// in-memory mailboxes. Transfers charge the configured link model
+// (bandwidth + latency, time-scaled), so collective operations have
+// realistic network cost relative to the dOpenCL runs they are compared
+// with. Point-to-point semantics follow MPI's eager protocol: sends of
+// buffered messages complete immediately, receives block.
+package mpi
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"dopencl/internal/simnet"
+)
+
+// World is a communicator universe of fixed size.
+type World struct {
+	size int
+	link simnet.LinkConfig
+
+	mu    sync.Mutex
+	boxes map[boxKey]chan []byte
+}
+
+type boxKey struct {
+	from, to, tag int
+}
+
+// mailboxDepth is the eager-send buffering per (sender, receiver, tag).
+const mailboxDepth = 64
+
+// NewWorld creates a world of the given size whose messages traverse the
+// given link model.
+func NewWorld(size int, link simnet.LinkConfig) *World {
+	return &World{size: size, link: link, boxes: map[boxKey]chan []byte{}}
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Rank returns the communicator handle for rank r.
+func (w *World) Rank(r int) *Comm {
+	if r < 0 || r >= w.size {
+		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", r, w.size))
+	}
+	return &Comm{w: w, rank: r}
+}
+
+// box returns (creating if needed) the mailbox for a (from, to, tag) edge.
+func (w *World) box(from, to, tag int) chan []byte {
+	key := boxKey{from, to, tag}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	ch, ok := w.boxes[key]
+	if !ok {
+		ch = make(chan []byte, mailboxDepth)
+		w.boxes[key] = ch
+	}
+	return ch
+}
+
+// chargeTransfer sleeps for the modeled transmission time of n bytes.
+func (w *World) chargeTransfer(n int) {
+	scale := w.link.TimeScale
+	if scale <= 0 {
+		scale = 1.0
+	}
+	d := time.Duration(w.link.LatencySec * float64(time.Second) * scale)
+	if w.link.BandwidthBps > 0 {
+		d += time.Duration(float64(n) / w.link.BandwidthBps * float64(time.Second) * scale)
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Run executes fn once per rank on its own goroutine and waits for all to
+// finish, returning the first error.
+func Run(size int, link simnet.LinkConfig, fn func(c *Comm) error) error {
+	w := NewWorld(size, link)
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			errs[rank] = fn(w.Rank(rank))
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Comm is one rank's communicator.
+type Comm struct {
+	w    *World
+	rank int
+}
+
+// Rank returns this communicator's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.w.size }
+
+// Send transmits data to rank `to` with the given tag. The data slice is
+// copied; the transfer charges the link model.
+func (c *Comm) Send(to, tag int, data []byte) {
+	c.w.chargeTransfer(len(data))
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	c.w.box(c.rank, to, tag) <- buf
+}
+
+// Recv blocks until a message with the tag arrives from rank `from`.
+func (c *Comm) Recv(from, tag int) []byte {
+	return <-c.w.box(from, c.rank, tag)
+}
+
+// internal tags for collectives, kept clear of user tags by a high base.
+const (
+	tagBarrier = 1 << 28
+	tagBcast   = 2 << 28
+	tagGather  = 3 << 28
+	tagScatter = 4 << 28
+	tagReduce  = 5 << 28
+)
+
+// Barrier blocks until every rank has entered it.
+func (c *Comm) Barrier() {
+	// Linear gather to root, then broadcast: O(N) messages, fine for the
+	// ≤16-rank worlds of the evaluation.
+	if c.rank == 0 {
+		for r := 1; r < c.Size(); r++ {
+			c.Recv(r, tagBarrier)
+		}
+		for r := 1; r < c.Size(); r++ {
+			c.w.box(0, r, tagBarrier) <- nil
+		}
+	} else {
+		c.w.box(c.rank, 0, tagBarrier) <- nil
+		c.Recv(0, tagBarrier)
+	}
+}
+
+// Bcast distributes root's data to all ranks and returns each rank's copy.
+func (c *Comm) Bcast(root int, data []byte) []byte {
+	if c.rank == root {
+		for r := 0; r < c.Size(); r++ {
+			if r != root {
+				c.w.chargeTransfer(len(data))
+				buf := make([]byte, len(data))
+				copy(buf, data)
+				c.w.box(root, r, tagBcast) <- buf
+			}
+		}
+		return data
+	}
+	return c.Recv(root, tagBcast)
+}
+
+// Gather collects each rank's data at root; root receives a slice indexed
+// by rank, other ranks receive nil.
+func (c *Comm) Gather(root int, data []byte) [][]byte {
+	if c.rank != root {
+		c.Send(root, tagGather, data)
+		return nil
+	}
+	out := make([][]byte, c.Size())
+	out[root] = data
+	for r := 0; r < c.Size(); r++ {
+		if r != root {
+			out[r] = c.Recv(r, tagGather)
+		}
+	}
+	return out
+}
+
+// Scatter distributes parts[r] to each rank r from root and returns the
+// local part.
+func (c *Comm) Scatter(root int, parts [][]byte) []byte {
+	if c.rank == root {
+		if len(parts) != c.Size() {
+			panic(fmt.Sprintf("mpi: scatter needs %d parts, got %d", c.Size(), len(parts)))
+		}
+		// Route through a per-destination tag so receives match.
+		for r := 0; r < c.Size(); r++ {
+			if r != root {
+				c.Send(r, tagScatter+r, parts[r])
+			}
+		}
+		return parts[root]
+	}
+	return c.Recv(root, tagScatter+c.rank)
+}
+
+// ReduceOp combines two float64 values.
+type ReduceOp func(a, b float64) float64
+
+// Standard reduce operations.
+var (
+	OpSum ReduceOp = func(a, b float64) float64 { return a + b }
+	OpMax ReduceOp = func(a, b float64) float64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	OpMin ReduceOp = func(a, b float64) float64 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+)
+
+// Reduce combines each rank's value at root; root receives the result,
+// other ranks receive their own value.
+func (c *Comm) Reduce(root int, value float64, op ReduceOp) float64 {
+	payload := make([]byte, 8)
+	if c.rank != root {
+		putF64(payload, value)
+		c.Send(root, tagReduce, payload)
+		return value
+	}
+	acc := value
+	for r := 0; r < c.Size(); r++ {
+		if r != root {
+			acc = op(acc, getF64(c.Recv(r, tagReduce)))
+		}
+	}
+	return acc
+}
+
+// AllReduce combines all ranks' values and distributes the result.
+func (c *Comm) AllReduce(value float64, op ReduceOp) float64 {
+	res := c.Reduce(0, value, op)
+	payload := make([]byte, 8)
+	if c.rank == 0 {
+		putF64(payload, res)
+	}
+	out := c.Bcast(0, payload)
+	return getF64(out)
+}
+
+func putF64(b []byte, v float64) {
+	bits := math.Float64bits(v)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(bits >> (8 * i))
+	}
+}
+
+func getF64(b []byte) float64 {
+	var bits uint64
+	for i := 0; i < 8; i++ {
+		bits |= uint64(b[i]) << (8 * i)
+	}
+	return math.Float64frombits(bits)
+}

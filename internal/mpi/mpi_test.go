@@ -1,0 +1,210 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"dopencl/internal/simnet"
+)
+
+func TestSendRecv(t *testing.T) {
+	err := Run(2, simnet.Unlimited(), func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 7, []byte("hello rank 1"))
+			reply := c.Recv(1, 8)
+			if string(reply) != "hello rank 0" {
+				return fmt.Errorf("reply = %q", reply)
+			}
+		} else {
+			msg := c.Recv(0, 7)
+			if string(msg) != "hello rank 1" {
+				return fmt.Errorf("msg = %q", msg)
+			}
+			c.Send(0, 8, []byte("hello rank 0"))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagsIsolateMessages(t *testing.T) {
+	err := Run(2, simnet.Unlimited(), func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 1, []byte("one"))
+			c.Send(1, 2, []byte("two"))
+		} else {
+			// Receive in reverse tag order.
+			two := c.Recv(0, 2)
+			one := c.Recv(0, 1)
+			if string(two) != "two" || string(one) != "one" {
+				return fmt.Errorf("tag demux failed: %q %q", two, one)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendCopiesData(t *testing.T) {
+	err := Run(2, simnet.Unlimited(), func(c *Comm) error {
+		if c.Rank() == 0 {
+			buf := []byte("original")
+			c.Send(1, 0, buf)
+			copy(buf, "CLOBBER!")
+			c.Send(1, 1, []byte("done"))
+		} else {
+			msg := c.Recv(0, 0)
+			c.Recv(0, 1)
+			if string(msg) != "original" {
+				return fmt.Errorf("message aliased sender buffer: %q", msg)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherScatterBcast(t *testing.T) {
+	const n = 5
+	err := Run(n, simnet.Unlimited(), func(c *Comm) error {
+		// Scatter rank-specific parts from root.
+		var parts [][]byte
+		if c.Rank() == 0 {
+			for r := 0; r < n; r++ {
+				parts = append(parts, []byte{byte(r * 10)})
+			}
+		}
+		mine := c.Scatter(0, parts)
+		if len(mine) != 1 || mine[0] != byte(c.Rank()*10) {
+			return fmt.Errorf("rank %d scatter got %v", c.Rank(), mine)
+		}
+		// Gather back.
+		all := c.Gather(0, []byte{byte(c.Rank())})
+		if c.Rank() == 0 {
+			for r := 0; r < n; r++ {
+				if len(all[r]) != 1 || all[r][0] != byte(r) {
+					return fmt.Errorf("gather[%d] = %v", r, all[r])
+				}
+			}
+		}
+		// Broadcast from root.
+		data := c.Bcast(0, []byte("broadcast payload"))
+		if !bytes.Equal(data, []byte("broadcast payload")) {
+			return fmt.Errorf("rank %d bcast got %q", c.Rank(), data)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	const n = 6
+	var mu sync.Mutex
+	phase := make(map[int]int)
+	err := Run(n, simnet.Unlimited(), func(c *Comm) error {
+		mu.Lock()
+		phase[c.Rank()] = 1
+		mu.Unlock()
+		c.Barrier()
+		// After the barrier every rank must have reached phase 1.
+		mu.Lock()
+		defer mu.Unlock()
+		for r := 0; r < n; r++ {
+			if phase[r] != 1 {
+				return fmt.Errorf("rank %d passed barrier before rank %d arrived", c.Rank(), r)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceAndAllReduce(t *testing.T) {
+	const n = 4
+	err := Run(n, simnet.Unlimited(), func(c *Comm) error {
+		v := float64(c.Rank() + 1) // 1..n
+		sum := c.Reduce(0, v, OpSum)
+		if c.Rank() == 0 && sum != float64(n*(n+1)/2) {
+			return fmt.Errorf("reduce sum = %v", sum)
+		}
+		all := c.AllReduce(v, OpMax)
+		if all != float64(n) {
+			return fmt.Errorf("rank %d allreduce max = %v", c.Rank(), all)
+		}
+		mn := c.AllReduce(v, OpMin)
+		if mn != 1 {
+			return fmt.Errorf("rank %d allreduce min = %v", c.Rank(), mn)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAllReduceSumMatchesSerial property-tests the collective against a
+// serial reference for random values and world sizes.
+func TestAllReduceSumMatchesSerial(t *testing.T) {
+	f := func(raw []int16, sizeSeed uint8) bool {
+		size := int(sizeSeed%7) + 2
+		vals := make([]float64, size)
+		want := 0.0
+		for i := range vals {
+			if i < len(raw) {
+				vals[i] = float64(raw[i])
+			}
+			want += vals[i]
+		}
+		ok := true
+		var mu sync.Mutex
+		err := Run(size, simnet.Unlimited(), func(c *Comm) error {
+			got := c.AllReduce(vals[c.Rank()], OpSum)
+			if got != want {
+				mu.Lock()
+				ok = false
+				mu.Unlock()
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPropagatesErrors(t *testing.T) {
+	sentinel := fmt.Errorf("rank failure")
+	err := Run(3, simnet.Unlimited(), func(c *Comm) error {
+		if c.Rank() == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if err != sentinel {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRankValidation(t *testing.T) {
+	w := NewWorld(2, simnet.Unlimited())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range rank accepted")
+		}
+	}()
+	w.Rank(5)
+}

@@ -1,0 +1,126 @@
+package native
+
+import (
+	"sync"
+
+	"dopencl/internal/cl"
+)
+
+// Event is the native event implementation: a one-shot completion latch
+// with status, error and callback support.
+type Event struct {
+	mu        sync.Mutex
+	status    cl.CommandStatus
+	err       error
+	done      chan struct{}
+	callbacks []func(cl.Event, cl.CommandStatus)
+}
+
+var _ cl.Event = (*Event)(nil)
+
+// NewEvent creates an event in the Queued state.
+func NewEvent() *Event {
+	return &Event{status: cl.Queued, done: make(chan struct{})}
+}
+
+// Status returns the current status; negative values encode errors.
+func (e *Event) Status() cl.CommandStatus {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.status
+}
+
+// Wait blocks until the event completes.
+func (e *Event) Wait() error {
+	<-e.done
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
+// SetCallback registers fn for the given status. Only Complete triggers
+// are supported, mirroring the paper's use of clSetEventCallback for
+// completion notifications. If the event has already completed, fn runs
+// immediately.
+func (e *Event) SetCallback(status cl.CommandStatus, fn func(cl.Event, cl.CommandStatus)) error {
+	if status != cl.Complete {
+		return cl.Errf(cl.InvalidValue, "only Complete callbacks are supported")
+	}
+	e.mu.Lock()
+	if e.status == cl.Complete || e.status < 0 {
+		st := e.status
+		e.mu.Unlock()
+		fn(e, st)
+		return nil
+	}
+	e.callbacks = append(e.callbacks, fn)
+	e.mu.Unlock()
+	return nil
+}
+
+// Release drops the reference; native events are garbage collected.
+func (e *Event) Release() error { return nil }
+
+// MarkRunning transitions the event to the Running state.
+func (e *Event) MarkRunning() {
+	e.mu.Lock()
+	if e.status == cl.Queued || e.status == cl.Submitted {
+		e.status = cl.Running
+	}
+	e.mu.Unlock()
+}
+
+// Complete finishes the event, recording err's code as the final status.
+// It is idempotent; only the first call has effect.
+func (e *Event) Complete(err error) {
+	e.mu.Lock()
+	if e.status == cl.Complete || e.status < 0 {
+		e.mu.Unlock()
+		return
+	}
+	if err != nil {
+		e.err = err
+		e.status = cl.CommandStatus(cl.CodeOf(err))
+		if e.status >= 0 {
+			e.status = cl.CommandStatus(cl.OutOfResources)
+		}
+	} else {
+		e.status = cl.Complete
+	}
+	cbs := e.callbacks
+	e.callbacks = nil
+	st := e.status
+	close(e.done)
+	e.mu.Unlock()
+	for _, fn := range cbs {
+		fn(e, st)
+	}
+}
+
+// UserEvent is a native user event (clCreateUserEvent).
+type UserEvent struct {
+	Event
+}
+
+var _ cl.UserEvent = (*UserEvent)(nil)
+
+// NewUserEvent creates a user event in the Submitted state.
+func NewUserEvent() *UserEvent {
+	ue := &UserEvent{}
+	ue.status = cl.Submitted
+	ue.done = make(chan struct{})
+	return ue
+}
+
+// SetStatus completes the user event with the given terminal status.
+func (u *UserEvent) SetStatus(s cl.CommandStatus) error {
+	if s != cl.Complete && s >= 0 {
+		return cl.Errf(cl.InvalidValue, "user event status must be Complete or negative, got %d", s)
+	}
+	if s == cl.Complete {
+		u.Complete(nil)
+		return nil
+	}
+	u.Complete(&cl.Error{Code: cl.ErrorCode(s), Msg: "user event failed"})
+	return nil
+}

@@ -1,0 +1,236 @@
+// Package native is a self-contained, single-node OpenCL runtime: the
+// stand-in for the vendor OpenCL implementations (AMD APP SDK, NVIDIA
+// driver) that the paper's daemons forward calls to.
+//
+// It implements the internal/cl interfaces with:
+//
+//   - in-order command queues executing asynchronously on a dedicated
+//     goroutine per queue;
+//   - an event graph with status transitions, callbacks and user events;
+//   - buffer objects with host↔device transfer costs charged against the
+//     owning device's bus model;
+//   - programs compiled at run time from MiniCL source via internal/kernel
+//     and executed by internal/vm.
+package native
+
+import (
+	"sync"
+
+	"dopencl/internal/cl"
+	"dopencl/internal/device"
+)
+
+// Platform is a native OpenCL platform exposing simulated devices.
+type Platform struct {
+	name    string
+	vendor  string
+	devices []*Device
+}
+
+var _ cl.Platform = (*Platform)(nil)
+
+// NewPlatform builds a platform from device configurations.
+func NewPlatform(name, vendor string, configs []device.Config) *Platform {
+	p := &Platform{name: name, vendor: vendor}
+	for _, cfg := range configs {
+		p.devices = append(p.devices, &Device{plat: p, sim: device.New(cfg)})
+	}
+	return p
+}
+
+// Name returns the platform name.
+func (p *Platform) Name() string { return p.name }
+
+// Vendor returns the platform vendor.
+func (p *Platform) Vendor() string { return p.vendor }
+
+// Version returns the platform version string.
+func (p *Platform) Version() string { return "OpenCL 1.1 dOpenCL-sim" }
+
+// Profile returns the supported profile.
+func (p *Platform) Profile() string { return "FULL_PROFILE" }
+
+// Devices enumerates platform devices of the requested type.
+func (p *Platform) Devices(t cl.DeviceType) ([]cl.Device, error) {
+	var out []cl.Device
+	for _, d := range p.devices {
+		if d.Info().Type&t != 0 {
+			out = append(out, d)
+		}
+	}
+	if len(out) == 0 {
+		return nil, cl.Errf(cl.DeviceNotFound, "no devices of type %s", t)
+	}
+	return out, nil
+}
+
+// CreateContext creates a context over the given platform devices.
+func (p *Platform) CreateContext(devices []cl.Device) (cl.Context, error) {
+	if len(devices) == 0 {
+		return nil, cl.Errf(cl.InvalidValue, "context requires at least one device")
+	}
+	ctx := &Context{plat: p}
+	for _, d := range devices {
+		nd, ok := d.(*Device)
+		if !ok || nd.plat != p {
+			return nil, cl.Errf(cl.InvalidDevice, "device %q does not belong to platform %q", d.Name(), p.name)
+		}
+		ctx.devices = append(ctx.devices, nd)
+	}
+	return ctx, nil
+}
+
+// Device is a native device wrapping a simulated device model.
+type Device struct {
+	plat *Platform
+	sim  *device.Device
+}
+
+var _ cl.Device = (*Device)(nil)
+
+// Name returns the device name.
+func (d *Device) Name() string { return d.sim.Info().Name }
+
+// Type returns the device type.
+func (d *Device) Type() cl.DeviceType { return d.sim.Info().Type }
+
+// Info returns the full device description.
+func (d *Device) Info() cl.DeviceInfo { return d.sim.Info() }
+
+// Available always reports true for native devices.
+func (d *Device) Available() bool { return true }
+
+// Sim exposes the underlying device model (used by the daemon to reason
+// about transfer costs).
+func (d *Device) Sim() *device.Device { return d.sim }
+
+// Context is a native context.
+type Context struct {
+	plat    *Platform
+	devices []*Device
+
+	mu       sync.Mutex
+	released bool
+}
+
+var _ cl.Context = (*Context)(nil)
+
+// Devices returns the context's devices.
+func (c *Context) Devices() []cl.Device {
+	out := make([]cl.Device, len(c.devices))
+	for i, d := range c.devices {
+		out[i] = d
+	}
+	return out
+}
+
+// Release marks the context released.
+func (c *Context) Release() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.released = true
+	return nil
+}
+
+func (c *Context) checkReleased() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.released {
+		return cl.Errf(cl.InvalidContext, "context released")
+	}
+	return nil
+}
+
+// owns reports whether d belongs to this context.
+func (c *Context) owns(d cl.Device) (*Device, bool) {
+	for _, cd := range c.devices {
+		if cd == d {
+			return cd, true
+		}
+	}
+	return nil, false
+}
+
+// CreateQueue creates an in-order command queue on the device.
+func (c *Context) CreateQueue(d cl.Device) (cl.Queue, error) {
+	if err := c.checkReleased(); err != nil {
+		return nil, err
+	}
+	nd, ok := c.owns(d)
+	if !ok {
+		return nil, cl.Errf(cl.InvalidDevice, "device %q not in context", d.Name())
+	}
+	return newQueue(c, nd), nil
+}
+
+// CreateBuffer allocates a buffer object.
+func (c *Context) CreateBuffer(flags cl.MemFlags, size int, host []byte) (cl.Buffer, error) {
+	if err := c.checkReleased(); err != nil {
+		return nil, err
+	}
+	if size <= 0 {
+		return nil, cl.Errf(cl.InvalidBufferSize, "buffer size %d", size)
+	}
+	b := &Buffer{ctx: c, flags: flags, data: make([]byte, size)}
+	if flags&cl.MemCopyHostPtr != 0 {
+		if len(host) != size {
+			return nil, cl.Errf(cl.InvalidValue, "MemCopyHostPtr requires len(host) == size (have %d, want %d)", len(host), size)
+		}
+		copy(b.data, host)
+	}
+	return b, nil
+}
+
+// CreateProgramWithSource wraps MiniCL source in a program object.
+func (c *Context) CreateProgramWithSource(src string) (cl.Program, error) {
+	if err := c.checkReleased(); err != nil {
+		return nil, err
+	}
+	if src == "" {
+		return nil, cl.Errf(cl.InvalidValue, "empty program source")
+	}
+	return &Program{ctx: c, src: src, buildLogs: map[string]string{}}, nil
+}
+
+// CreateUserEvent creates an application-controlled event.
+func (c *Context) CreateUserEvent() (cl.UserEvent, error) {
+	if err := c.checkReleased(); err != nil {
+		return nil, err
+	}
+	return NewUserEvent(), nil
+}
+
+// Buffer is a native buffer object. The backing store plays the role of
+// device memory; multi-device contexts share it, consistent with OpenCL's
+// relaxed consistency model where buffer contents are defined only at
+// synchronisation points.
+type Buffer struct {
+	ctx   *Context
+	flags cl.MemFlags
+	data  []byte
+
+	mu       sync.Mutex
+	released bool
+}
+
+var _ cl.Buffer = (*Buffer)(nil)
+
+// Size returns the buffer size in bytes.
+func (b *Buffer) Size() int { return len(b.data) }
+
+// Flags returns the buffer creation flags.
+func (b *Buffer) Flags() cl.MemFlags { return b.flags }
+
+// Context returns the owning context.
+func (b *Buffer) Context() cl.Context { return b.ctx }
+
+// Release marks the buffer released.
+func (b *Buffer) Release() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.released = true
+	return nil
+}
+
+// Bytes exposes the backing store (used by the daemon for wire transfers).
+func (b *Buffer) Bytes() []byte { return b.data }

@@ -1,0 +1,212 @@
+package protocol
+
+import (
+	"dopencl/internal/cl"
+	"dopencl/internal/kernel"
+)
+
+// MsgType enumerates protocol messages.
+type MsgType uint16
+
+// Client ↔ daemon message types. Object IDs are allocated by the client
+// driver (stub IDs, Section III-D of the paper); the daemon maps them to
+// its native OpenCL objects.
+const (
+	MsgHello MsgType = iota + 1
+	MsgCreateContext
+	MsgReleaseContext
+	MsgCreateQueue
+	MsgReleaseQueue
+	MsgCreateBuffer
+	MsgReleaseBuffer
+	MsgCreateProgram
+	MsgBuildProgram
+	MsgReleaseProgram
+	MsgCreateKernel
+	MsgReleaseKernel
+	MsgSetKernelArg
+	MsgEnqueueWrite
+	MsgEnqueueRead
+	MsgEnqueueCopy
+	MsgEnqueueKernel
+	MsgEnqueueMarker
+	MsgEnqueueBarrier
+	MsgFinish
+	MsgFlush
+	MsgCreateUserEvent
+	MsgSetUserEventStatus
+	MsgReleaseEvent
+	MsgGetServerInfo
+)
+
+// Notifications (daemon → client).
+const (
+	MsgEventComplete MsgType = iota + 40
+)
+
+// Device manager message types.
+const (
+	MsgDMRegisterServer MsgType = iota + 60 // daemon → manager
+	MsgDMRequestDevices                     // client → manager
+	MsgDMAssign                             // manager → daemon
+	MsgDMReleaseLease                       // client/daemon → manager
+	MsgDMRevoke                             // manager → daemon (lease teardown)
+)
+
+// String returns the message type name for logs and errors.
+func (t MsgType) String() string {
+	names := map[MsgType]string{
+		MsgHello: "Hello", MsgCreateContext: "CreateContext",
+		MsgReleaseContext: "ReleaseContext", MsgCreateQueue: "CreateQueue",
+		MsgReleaseQueue: "ReleaseQueue", MsgCreateBuffer: "CreateBuffer",
+		MsgReleaseBuffer: "ReleaseBuffer", MsgCreateProgram: "CreateProgram",
+		MsgBuildProgram: "BuildProgram", MsgReleaseProgram: "ReleaseProgram",
+		MsgCreateKernel: "CreateKernel", MsgReleaseKernel: "ReleaseKernel",
+		MsgSetKernelArg: "SetKernelArg", MsgEnqueueWrite: "EnqueueWrite",
+		MsgEnqueueRead: "EnqueueRead", MsgEnqueueCopy: "EnqueueCopy",
+		MsgEnqueueKernel: "EnqueueKernel", MsgEnqueueMarker: "EnqueueMarker",
+		MsgEnqueueBarrier: "EnqueueBarrier", MsgFinish: "Finish",
+		MsgFlush: "Flush", MsgCreateUserEvent: "CreateUserEvent",
+		MsgSetUserEventStatus: "SetUserEventStatus", MsgReleaseEvent: "ReleaseEvent",
+		MsgGetServerInfo: "GetServerInfo", MsgEventComplete: "EventComplete",
+		MsgDMRegisterServer: "DMRegisterServer", MsgDMRequestDevices: "DMRequestDevices",
+		MsgDMAssign: "DMAssign", MsgDMReleaseLease: "DMReleaseLease",
+		MsgDMRevoke: "DMRevoke",
+	}
+	if s, ok := names[t]; ok {
+		return s
+	}
+	return "MsgType(?)"
+}
+
+// PutDeviceInfo encodes a cl.DeviceInfo.
+func PutDeviceInfo(w *Writer, d cl.DeviceInfo) {
+	w.String(d.Name)
+	w.String(d.Vendor)
+	w.U32(uint32(d.Type))
+	w.U32(uint32(d.ComputeUnits))
+	w.U32(uint32(d.ClockMHz))
+	w.I64(d.GlobalMemSize)
+	w.I64(d.LocalMemSize)
+	w.U32(uint32(d.MaxWorkGroupSize))
+	w.I64(d.MaxAllocSize)
+	w.String(d.Version)
+	w.Strings(d.Extensions)
+}
+
+// GetDeviceInfo decodes a cl.DeviceInfo.
+func GetDeviceInfo(r *Reader) cl.DeviceInfo {
+	return cl.DeviceInfo{
+		Name:             r.String(),
+		Vendor:           r.String(),
+		Type:             cl.DeviceType(r.U32()),
+		ComputeUnits:     int(r.U32()),
+		ClockMHz:         int(r.U32()),
+		GlobalMemSize:    r.I64(),
+		LocalMemSize:     r.I64(),
+		MaxWorkGroupSize: int(r.U32()),
+		MaxAllocSize:     r.I64(),
+		Version:          r.String(),
+		Extensions:       r.Strings(),
+	}
+}
+
+// DeviceRecord pairs a daemon-local device index with its description.
+type DeviceRecord struct {
+	UnitID uint32
+	Info   cl.DeviceInfo
+}
+
+// PutDeviceRecords encodes a device list.
+func PutDeviceRecords(w *Writer, recs []DeviceRecord) {
+	w.U32(uint32(len(recs)))
+	for _, rec := range recs {
+		w.U32(rec.UnitID)
+		PutDeviceInfo(w, rec.Info)
+	}
+}
+
+// GetDeviceRecords decodes a device list.
+func GetDeviceRecords(r *Reader) []DeviceRecord {
+	n := int(r.U32())
+	if n > r.Remaining() {
+		r.err = ErrTruncated
+		return nil
+	}
+	out := make([]DeviceRecord, n)
+	for i := range out {
+		out[i].UnitID = r.U32()
+		out[i].Info = GetDeviceInfo(r)
+	}
+	return out
+}
+
+// PutArgInfo encodes compiled kernel argument metadata (returned by
+// CreateKernel so the client driver can drive MSI coherence).
+func PutArgInfo(w *Writer, args []kernel.ArgInfo) {
+	w.U32(uint32(len(args)))
+	for _, a := range args {
+		w.String(a.Name)
+		w.U8(uint8(a.Kind))
+		w.U8(uint8(a.Elem))
+		w.Bool(a.ReadOnly)
+	}
+}
+
+// GetArgInfo decodes kernel argument metadata.
+func GetArgInfo(r *Reader) []kernel.ArgInfo {
+	n := int(r.U32())
+	if n > r.Remaining() {
+		r.err = ErrTruncated
+		return nil
+	}
+	out := make([]kernel.ArgInfo, n)
+	for i := range out {
+		out[i].Name = r.String()
+		out[i].Kind = kernel.ArgKind(r.U8())
+		out[i].Elem = kernel.Type(r.U8())
+		out[i].ReadOnly = r.Bool()
+	}
+	return out
+}
+
+// ArgValueKind tags SetKernelArg payloads.
+const (
+	ArgValScalar = uint8(0)
+	ArgValBuffer = uint8(1)
+	ArgValLocal  = uint8(2)
+)
+
+// DeviceRequest is one entry of a device-manager assignment request
+// (Section IV-B): how many devices of which type with which minimum
+// properties.
+type DeviceRequest struct {
+	Count           int
+	Type            cl.DeviceType
+	MinComputeUnits int
+	MinGlobalMem    int64
+	Vendor          string // substring match; empty matches all
+	Name            string // substring match; empty matches all
+}
+
+// Put encodes the request entry.
+func (d DeviceRequest) Put(w *Writer) {
+	w.U32(uint32(d.Count))
+	w.U32(uint32(d.Type))
+	w.U32(uint32(d.MinComputeUnits))
+	w.I64(d.MinGlobalMem)
+	w.String(d.Vendor)
+	w.String(d.Name)
+}
+
+// GetDeviceRequest decodes one request entry.
+func GetDeviceRequest(r *Reader) DeviceRequest {
+	return DeviceRequest{
+		Count:           int(r.U32()),
+		Type:            cl.DeviceType(r.U32()),
+		MinComputeUnits: int(r.U32()),
+		MinGlobalMem:    r.I64(),
+		Vendor:          r.String(),
+		Name:            r.String(),
+	}
+}

@@ -1,0 +1,196 @@
+package protocol
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dopencl/internal/cl"
+	"dopencl/internal/kernel"
+)
+
+func TestScalarRoundTrip(t *testing.T) {
+	w := NewWriter()
+	w.U8(200)
+	w.U16(65500)
+	w.U32(4000000000)
+	w.U64(1 << 60)
+	w.I32(-12345)
+	w.I64(-1 << 50)
+	w.F64(3.14159)
+	w.Bool(true)
+	w.Bool(false)
+	w.String("hello dOpenCL")
+	w.Blob([]byte{1, 2, 3})
+	w.U64s([]uint64{9, 8, 7})
+	w.Ints([]int{-1, 0, 1})
+	w.Strings([]string{"a", "", "ccc"})
+
+	r := NewReader(w.Bytes())
+	if r.U8() != 200 || r.U16() != 65500 || r.U32() != 4000000000 || r.U64() != 1<<60 {
+		t.Fatal("unsigned round trip failed")
+	}
+	if r.I32() != -12345 || r.I64() != -1<<50 {
+		t.Fatal("signed round trip failed")
+	}
+	if r.F64() != 3.14159 {
+		t.Fatal("float round trip failed")
+	}
+	if !r.Bool() || r.Bool() {
+		t.Fatal("bool round trip failed")
+	}
+	if r.String() != "hello dOpenCL" {
+		t.Fatal("string round trip failed")
+	}
+	if b := r.Blob(); len(b) != 3 || b[2] != 3 {
+		t.Fatal("blob round trip failed")
+	}
+	if v := r.U64s(); len(v) != 3 || v[0] != 9 {
+		t.Fatal("u64s round trip failed")
+	}
+	if v := r.Ints(); len(v) != 3 || v[0] != -1 {
+		t.Fatal("ints round trip failed")
+	}
+	if v := r.Strings(); len(v) != 3 || v[2] != "ccc" {
+		t.Fatal("strings round trip failed")
+	}
+	if r.Err() != nil || r.Remaining() != 0 {
+		t.Fatalf("err=%v remaining=%d", r.Err(), r.Remaining())
+	}
+}
+
+func TestTruncatedReadsAreSticky(t *testing.T) {
+	r := NewReader([]byte{1, 2})
+	_ = r.U32()
+	if r.Err() != ErrTruncated {
+		t.Fatalf("err = %v", r.Err())
+	}
+	// All subsequent reads return zero values without panicking.
+	if r.U64() != 0 || r.String() != "" || r.Blob() != nil {
+		t.Fatal("sticky error should yield zero values")
+	}
+}
+
+func TestTruncatedContainers(t *testing.T) {
+	// A declared length larger than the remaining bytes must error, not
+	// allocate unbounded memory.
+	w := NewWriter()
+	w.U32(1 << 30)
+	for _, read := range []func(*Reader){
+		func(r *Reader) { _ = r.String() },
+		func(r *Reader) { r.Blob() },
+		func(r *Reader) { r.U64s() },
+		func(r *Reader) { r.Ints() },
+		func(r *Reader) { r.Strings() },
+		func(r *Reader) { GetDeviceRecords(r) },
+		func(r *Reader) { GetArgInfo(r) },
+	} {
+		r := NewReader(w.Bytes())
+		read(r)
+		if r.Err() == nil {
+			t.Fatal("oversized container not rejected")
+		}
+	}
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	body := NewWriter()
+	body.U64(42)
+	body.String("payload")
+	msg := EncodeEnvelope(ClassRequest, 77, MsgCreateBuffer, body)
+	env, err := ParseEnvelope(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Class != ClassRequest || env.ID != 77 || env.Type != MsgCreateBuffer {
+		t.Fatalf("envelope = %+v", env)
+	}
+	if env.Body.U64() != 42 || env.Body.String() != "payload" {
+		t.Fatal("body corrupted")
+	}
+	if _, err := ParseEnvelope([]byte{1, 2}); err == nil {
+		t.Fatal("short message accepted")
+	}
+}
+
+func TestDeviceInfoRoundTrip(t *testing.T) {
+	f := func(name, vendor string, units uint8, mem int64, exts []string) bool {
+		in := cl.DeviceInfo{
+			Name: name, Vendor: vendor, Type: cl.DeviceTypeGPU,
+			ComputeUnits: int(units), ClockMHz: 1000,
+			GlobalMemSize: mem, LocalMemSize: 32 << 10,
+			MaxWorkGroupSize: 256, MaxAllocSize: mem / 4,
+			Version: "OpenCL 1.1", Extensions: exts,
+		}
+		w := NewWriter()
+		PutDeviceInfo(w, in)
+		out := GetDeviceInfo(NewReader(w.Bytes()))
+		if out.Name != in.Name || out.Vendor != in.Vendor ||
+			out.ComputeUnits != in.ComputeUnits || out.GlobalMemSize != in.GlobalMemSize ||
+			len(out.Extensions) != len(in.Extensions) {
+			return false
+		}
+		for i := range in.Extensions {
+			if out.Extensions[i] != in.Extensions[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeviceRecordsRoundTrip(t *testing.T) {
+	recs := []DeviceRecord{
+		{UnitID: 0, Info: cl.DeviceInfo{Name: "gpu0", Type: cl.DeviceTypeGPU}},
+		{UnitID: 3, Info: cl.DeviceInfo{Name: "cpu1", Type: cl.DeviceTypeCPU, ComputeUnits: 12}},
+	}
+	w := NewWriter()
+	PutDeviceRecords(w, recs)
+	out := GetDeviceRecords(NewReader(w.Bytes()))
+	if len(out) != 2 || out[1].UnitID != 3 || out[1].Info.Name != "cpu1" || out[1].Info.ComputeUnits != 12 {
+		t.Fatalf("records = %+v", out)
+	}
+}
+
+func TestArgInfoRoundTrip(t *testing.T) {
+	args := []kernel.ArgInfo{
+		{Name: "out", Kind: kernel.ArgGlobalBuf, Elem: kernel.TypeFloat, ReadOnly: false},
+		{Name: "in", Kind: kernel.ArgGlobalBuf, Elem: kernel.TypeInt, ReadOnly: true},
+		{Name: "n", Kind: kernel.ArgScalarInt},
+		{Name: "s", Kind: kernel.ArgLocalBuf, Elem: kernel.TypeFloat},
+	}
+	w := NewWriter()
+	PutArgInfo(w, args)
+	out := GetArgInfo(NewReader(w.Bytes()))
+	if len(out) != len(args) {
+		t.Fatalf("got %d args", len(out))
+	}
+	for i := range args {
+		if out[i] != args[i] {
+			t.Errorf("arg %d = %+v, want %+v", i, out[i], args[i])
+		}
+	}
+}
+
+func TestDeviceRequestRoundTrip(t *testing.T) {
+	in := DeviceRequest{
+		Count: 2, Type: cl.DeviceTypeCPU, MinComputeUnits: 4,
+		MinGlobalMem: 1 << 30, Vendor: "Intel", Name: "Xeon",
+	}
+	w := NewWriter()
+	in.Put(w)
+	out := GetDeviceRequest(NewReader(w.Bytes()))
+	if out != in {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+}
+
+func TestMsgTypeNames(t *testing.T) {
+	for _, typ := range []MsgType{MsgHello, MsgEnqueueKernel, MsgEventComplete, MsgDMAssign} {
+		if typ.String() == "MsgType(?)" {
+			t.Errorf("type %d has no name", typ)
+		}
+	}
+}

@@ -1,0 +1,283 @@
+// Package protocol defines the dOpenCL wire protocol spoken between the
+// client driver, the daemons and the device manager.
+//
+// Three message classes exist (Section III-B of the paper):
+//
+//   - requests   (client → daemon, daemon → device manager, ...)
+//   - responses  (carrying a cl status code plus result fields)
+//   - notifications (unsolicited, e.g. event status changes)
+//
+// Bodies are hand-encoded little-endian binary: messages stay small (bulk
+// data travels on gcf streams), and the encoding adds near-zero overhead,
+// which matters for the transfer-efficiency experiment (Fig. 8).
+package protocol
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Writer accumulates a little-endian binary message body.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns a writer with a small preallocated buffer.
+func NewWriter() *Writer { return &Writer{buf: make([]byte, 0, 64)} }
+
+// Bytes returns the accumulated encoding.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// U8 appends an unsigned 8-bit value.
+func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+
+// U16 appends an unsigned 16-bit value.
+func (w *Writer) U16(v uint16) {
+	w.buf = binary.LittleEndian.AppendUint16(w.buf, v)
+}
+
+// U32 appends an unsigned 32-bit value.
+func (w *Writer) U32(v uint32) {
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, v)
+}
+
+// U64 appends an unsigned 64-bit value.
+func (w *Writer) U64(v uint64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, v)
+}
+
+// I32 appends a signed 32-bit value.
+func (w *Writer) I32(v int32) { w.U32(uint32(v)) }
+
+// I64 appends a signed 64-bit value.
+func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
+// F64 appends a float64.
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// Bool appends a boolean as one byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// String appends a length-prefixed UTF-8 string.
+func (w *Writer) String(s string) {
+	w.U32(uint32(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// Blob appends length-prefixed raw bytes.
+func (w *Writer) Blob(b []byte) {
+	w.U32(uint32(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// U64s appends a length-prefixed slice of 64-bit values.
+func (w *Writer) U64s(vs []uint64) {
+	w.U32(uint32(len(vs)))
+	for _, v := range vs {
+		w.U64(v)
+	}
+}
+
+// Ints appends a length-prefixed slice of ints as 64-bit values.
+func (w *Writer) Ints(vs []int) {
+	w.U32(uint32(len(vs)))
+	for _, v := range vs {
+		w.I64(int64(v))
+	}
+}
+
+// Strings appends a length-prefixed slice of strings.
+func (w *Writer) Strings(vs []string) {
+	w.U32(uint32(len(vs)))
+	for _, v := range vs {
+		w.String(v)
+	}
+}
+
+// ErrTruncated reports a message body shorter than its declared fields.
+var ErrTruncated = errors.New("protocol: truncated message")
+
+// Reader decodes a binary message body. Errors are sticky: after the
+// first failure all reads return zero values and Err reports the cause.
+type Reader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+// NewReader wraps a message body.
+func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+// Err returns the first decoding error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.pos }
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.pos+n > len(r.buf) {
+		r.err = ErrTruncated
+		return nil
+	}
+	b := r.buf[r.pos : r.pos+n]
+	r.pos += n
+	return b
+}
+
+// U8 reads an unsigned 8-bit value.
+func (r *Reader) U8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U16 reads an unsigned 16-bit value.
+func (r *Reader) U16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+// U32 reads an unsigned 32-bit value.
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads an unsigned 64-bit value.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// I32 reads a signed 32-bit value.
+func (r *Reader) I32() int32 { return int32(r.U32()) }
+
+// I64 reads a signed 64-bit value.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// F64 reads a float64.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Bool reads a boolean.
+func (r *Reader) Bool() bool { return r.U8() != 0 }
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	n := int(r.U32())
+	if n > r.Remaining() {
+		r.err = ErrTruncated
+		return ""
+	}
+	return string(r.take(n))
+}
+
+// Blob reads length-prefixed raw bytes (aliasing the message buffer).
+func (r *Reader) Blob() []byte {
+	n := int(r.U32())
+	if n > r.Remaining() {
+		r.err = ErrTruncated
+		return nil
+	}
+	return r.take(n)
+}
+
+// U64s reads a length-prefixed slice of 64-bit values.
+func (r *Reader) U64s() []uint64 {
+	n := int(r.U32())
+	if n*8 > r.Remaining() {
+		r.err = ErrTruncated
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = r.U64()
+	}
+	return out
+}
+
+// Ints reads a length-prefixed slice of ints.
+func (r *Reader) Ints() []int {
+	n := int(r.U32())
+	if n*8 > r.Remaining() {
+		r.err = ErrTruncated
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(r.I64())
+	}
+	return out
+}
+
+// Strings reads a length-prefixed slice of strings.
+func (r *Reader) Strings() []string {
+	n := int(r.U32())
+	if n > r.Remaining() {
+		r.err = ErrTruncated
+		return nil
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = r.String()
+	}
+	return out
+}
+
+// Message classes.
+const (
+	ClassRequest      = uint8(0)
+	ClassResponse     = uint8(1)
+	ClassNotification = uint8(2)
+)
+
+// Envelope is a parsed message header plus a reader over its body.
+type Envelope struct {
+	Class uint8
+	ID    uint32 // request ID (response correlation); 0 for notifications
+	Type  MsgType
+	Body  *Reader
+}
+
+// EncodeEnvelope frames a message: class, ID, type, body.
+func EncodeEnvelope(class uint8, id uint32, typ MsgType, body *Writer) []byte {
+	out := make([]byte, 0, 7+len(body.buf))
+	out = append(out, class)
+	out = binary.LittleEndian.AppendUint32(out, id)
+	out = binary.LittleEndian.AppendUint16(out, uint16(typ))
+	return append(out, body.buf...)
+}
+
+// ParseEnvelope splits a raw message into its envelope.
+func ParseEnvelope(msg []byte) (Envelope, error) {
+	if len(msg) < 7 {
+		return Envelope{}, fmt.Errorf("protocol: short message (%d bytes)", len(msg))
+	}
+	return Envelope{
+		Class: msg[0],
+		ID:    binary.LittleEndian.Uint32(msg[1:5]),
+		Type:  MsgType(binary.LittleEndian.Uint16(msg[5:7])),
+		Body:  NewReader(msg[7:]),
+	}, nil
+}

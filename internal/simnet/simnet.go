@@ -1,0 +1,404 @@
+// Package simnet provides an in-memory network with modeled bandwidth and
+// latency: the stand-in for the Gigabit Ethernet and Infiniband fabrics of
+// the paper's evaluation.
+//
+// Connections implement net.Conn, so every layer above (gcf transport,
+// dOpenCL protocol, daemons) is oblivious to whether it runs over simnet
+// or real TCP sockets. A link's bandwidth is enforced by pacing writers
+// (serialization delay), latency by delaying the availability of data to
+// the reader; both are compressed by a time-scale factor so that
+// multi-second cluster experiments complete in milliseconds.
+package simnet
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Limiter represents one physical wire as a reservation timeline: each
+// transmission reserves an exclusive slot [freeAt, freeAt+delay) and the
+// data becomes available to the receiver at the end of its slot. Links
+// that share a Limiter (e.g. every client connection of one server NIC)
+// contend for the same timeline, so their aggregate throughput is bounded
+// by the link bandwidth. Deadline-based reservations need no sender-side
+// sleeping, which keeps the model accurate even with coarse OS timers.
+type Limiter struct {
+	mu     sync.Mutex
+	freeAt time.Time
+}
+
+// NewLimiter creates a shared wire.
+func NewLimiter() *Limiter { return &Limiter{} }
+
+// reserve books a transmission slot of the given duration and returns the
+// slot's end (when the last byte is on the wire).
+func (l *Limiter) reserve(d time.Duration) time.Time {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := time.Now()
+	if l.freeAt.Before(now) {
+		l.freeAt = now
+	}
+	l.freeAt = l.freeAt.Add(d)
+	return l.freeAt
+}
+
+// LinkConfig models one network link.
+type LinkConfig struct {
+	// BandwidthBps is the link bandwidth in bytes per second (0 = unlimited).
+	BandwidthBps float64
+	// LatencySec is the one-way propagation delay in seconds.
+	LatencySec float64
+	// TimeScale compresses modeled delays (0 = 1.0, real time).
+	TimeScale float64
+	// Shared, when set, serializes this link's transmissions with all
+	// other links holding the same Limiter (a shared NIC or switch port).
+	Shared *Limiter
+	// SlowStartBytes models TCP slow start: after an idle period, the
+	// first SlowStartBytes of a transmission run at SlowStartFactor of
+	// the full bandwidth. Zero disables the ramp.
+	SlowStartBytes int
+	// SlowStartFactor is the bandwidth fraction during the ramp
+	// (default 0.5 when SlowStartBytes > 0).
+	SlowStartFactor float64
+}
+
+func (c LinkConfig) scale() float64 {
+	if c.TimeScale <= 0 {
+		return 1.0
+	}
+	return c.TimeScale
+}
+
+// GigabitEthernet returns the paper's Gigabit Ethernet link: 125 MB/s
+// theoretical, with an effective application bandwidth around 106 MB/s
+// (85% of theoretical, as the paper measured with iperf) and a TCP
+// slow-start ramp that penalizes short transfers (the falling left side
+// of the Fig. 8 efficiency curve).
+func GigabitEthernet(scale float64) LinkConfig {
+	return LinkConfig{
+		BandwidthBps:    106e6,
+		LatencySec:      100e-6,
+		TimeScale:       scale,
+		SlowStartBytes:  512 << 10,
+		SlowStartFactor: 0.5,
+	}
+}
+
+// Infiniband returns an Infiniband-class link as used by the Fig. 4
+// cluster (bandwidth comparable to PCIe, microsecond latency).
+func Infiniband(scale float64) LinkConfig {
+	return LinkConfig{BandwidthBps: 3.2e9, LatencySec: 2e-6, TimeScale: scale}
+}
+
+// Unlimited returns a link without bandwidth or latency modeling, used by
+// unit tests.
+func Unlimited() LinkConfig { return LinkConfig{} }
+
+// chunk is a unit of in-flight data.
+type chunk struct {
+	data  []byte
+	ready time.Time
+}
+
+// rampResetIdle is the modeled idle period after which the slow-start
+// ramp re-arms (a TCP connection going idle loses its congestion window).
+const rampResetIdle = 50 * time.Millisecond
+
+// half is one direction of a pipe.
+type half struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	chunks []chunk
+	offset int // read offset into chunks[0]
+	closed bool
+
+	wire      *Limiter // shared or private reservation timeline
+	cfg       LinkConfig
+	rampMu    sync.Mutex
+	rampLeft  int       // slow-start bytes remaining at reduced bandwidth
+	lastReady time.Time // end of the previous reservation (ramp reset)
+}
+
+func newHalf(cfg LinkConfig) *half {
+	h := &half{cfg: cfg, rampLeft: cfg.SlowStartBytes}
+	h.wire = cfg.Shared
+	if h.wire == nil {
+		h.wire = NewLimiter()
+	}
+	h.cond = sync.NewCond(&h.mu)
+	return h
+}
+
+// transmissionDelay computes the wire occupancy for n bytes, advancing the
+// slow-start ramp.
+func (h *half) transmissionDelay(n int) time.Duration {
+	if h.cfg.BandwidthBps <= 0 {
+		return 0
+	}
+	scale := h.cfg.scale()
+	h.rampMu.Lock()
+	if h.cfg.SlowStartBytes > 0 && !h.lastReady.IsZero() {
+		idle := time.Duration(float64(time.Since(h.lastReady)) / scale)
+		if idle > rampResetIdle {
+			h.rampLeft = h.cfg.SlowStartBytes
+		}
+	}
+	var sec float64
+	if h.rampLeft > 0 {
+		factor := h.cfg.SlowStartFactor
+		if factor <= 0 {
+			factor = 0.5
+		}
+		ramped := n
+		if ramped > h.rampLeft {
+			ramped = h.rampLeft
+		}
+		h.rampLeft -= ramped
+		n -= ramped
+		sec += float64(ramped) / (h.cfg.BandwidthBps * factor)
+	}
+	h.rampMu.Unlock()
+	sec += float64(n) / h.cfg.BandwidthBps
+	return time.Duration(sec * float64(time.Second) * scale)
+}
+
+// send reserves wire time for p and enqueues it with the resulting
+// availability deadline; the receiver enforces the deadline. The sender
+// never sleeps, so coarse OS timers cannot distort throughput.
+func (h *half) send(p []byte) (int, error) {
+	if h.isClosed() {
+		return 0, io.ErrClosedPipe
+	}
+	slotEnd := h.wire.reserve(h.transmissionDelay(len(p)))
+	h.rampMu.Lock()
+	h.lastReady = slotEnd
+	h.rampMu.Unlock()
+	ready := slotEnd.Add(time.Duration(h.cfg.LatencySec * float64(time.Second) * h.cfg.scale()))
+	buf := make([]byte, len(p))
+	copy(buf, p)
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return 0, io.ErrClosedPipe
+	}
+	h.chunks = append(h.chunks, chunk{data: buf, ready: ready})
+	h.cond.Broadcast()
+	h.mu.Unlock()
+	return len(p), nil
+}
+
+func (h *half) isClosed() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.closed
+}
+
+// recv reads available data into p, honouring chunk readiness times.
+func (h *half) recv(p []byte) (int, error) {
+	// Sub-threshold waits are treated as ready: OS timer granularity would
+	// otherwise dominate fine-grained latencies.
+	const readyThreshold = 200 * time.Microsecond
+	h.mu.Lock()
+	for {
+		if len(h.chunks) > 0 {
+			c := h.chunks[0]
+			wait := time.Until(c.ready)
+			if wait <= readyThreshold {
+				break
+			}
+			h.mu.Unlock()
+			time.Sleep(wait)
+			h.mu.Lock()
+			continue
+		}
+		if h.closed {
+			h.mu.Unlock()
+			return 0, io.EOF
+		}
+		h.cond.Wait()
+	}
+	n := 0
+	for n < len(p) && len(h.chunks) > 0 {
+		c := &h.chunks[0]
+		if time.Until(c.ready) > readyThreshold && n > 0 {
+			break
+		}
+		m := copy(p[n:], c.data[h.offset:])
+		n += m
+		h.offset += m
+		if h.offset == len(c.data) {
+			h.chunks = h.chunks[1:]
+			h.offset = 0
+		}
+	}
+	h.mu.Unlock()
+	return n, nil
+}
+
+// close marks the half closed and wakes blocked readers.
+func (h *half) close() {
+	h.mu.Lock()
+	h.closed = true
+	h.cond.Broadcast()
+	h.mu.Unlock()
+}
+
+// Addr is a simnet address.
+type Addr string
+
+// Network implements net.Addr.
+func (a Addr) Network() string { return "simnet" }
+
+// String returns the address text.
+func (a Addr) String() string { return string(a) }
+
+// Conn is one endpoint of a simnet pipe.
+type Conn struct {
+	in, out       *half
+	local, remote Addr
+	closeOnce     sync.Once
+}
+
+var _ net.Conn = (*Conn)(nil)
+
+// Pipe creates a connected pair of endpoints with the link model applied
+// in both directions.
+func Pipe(cfg LinkConfig) (*Conn, *Conn) {
+	return NamedPipe(cfg, "simnet-a", "simnet-b")
+}
+
+// NamedPipe is Pipe with explicit endpoint addresses.
+func NamedPipe(cfg LinkConfig, a, b string) (*Conn, *Conn) {
+	ab := newHalf(cfg)
+	ba := newHalf(cfg)
+	ca := &Conn{in: ba, out: ab, local: Addr(a), remote: Addr(b)}
+	cb := &Conn{in: ab, out: ba, local: Addr(b), remote: Addr(a)}
+	return ca, cb
+}
+
+// Read reads data from the connection.
+func (c *Conn) Read(p []byte) (int, error) { return c.in.recv(p) }
+
+// Write writes data to the connection, paced by the link's bandwidth.
+func (c *Conn) Write(p []byte) (int, error) { return c.out.send(p) }
+
+// Close closes both directions.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() {
+		c.in.close()
+		c.out.close()
+	})
+	return nil
+}
+
+// LocalAddr returns the local endpoint address.
+func (c *Conn) LocalAddr() net.Addr { return c.local }
+
+// RemoteAddr returns the remote endpoint address.
+func (c *Conn) RemoteAddr() net.Addr { return c.remote }
+
+// SetDeadline is accepted but not enforced (simnet is used in-process
+// where cancellation happens by closing the connection).
+func (c *Conn) SetDeadline(time.Time) error { return nil }
+
+// SetReadDeadline is accepted but not enforced.
+func (c *Conn) SetReadDeadline(time.Time) error { return nil }
+
+// SetWriteDeadline is accepted but not enforced.
+func (c *Conn) SetWriteDeadline(time.Time) error { return nil }
+
+// Network is an in-memory address space mapping addresses to listeners.
+type Network struct {
+	mu        sync.Mutex
+	listeners map[string]*Listener
+	links     map[string]LinkConfig
+	def       LinkConfig
+}
+
+// NewNetwork creates a network whose dials use the given default link.
+func NewNetwork(def LinkConfig) *Network {
+	return &Network{
+		listeners: map[string]*Listener{},
+		links:     map[string]LinkConfig{},
+		def:       def,
+	}
+}
+
+// SetLink overrides the link model used when dialing addr.
+func (n *Network) SetLink(addr string, cfg LinkConfig) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.links[addr] = cfg
+}
+
+// Listen registers a listener at addr.
+func (n *Network) Listen(addr string) (*Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, taken := n.listeners[addr]; taken {
+		return nil, fmt.Errorf("simnet: address %s already in use", addr)
+	}
+	l := &Listener{addr: Addr(addr), net: n, accept: make(chan *Conn, 16)}
+	n.listeners[addr] = l
+	return l, nil
+}
+
+// Dial connects to the listener at addr using the configured link model.
+func (n *Network) Dial(addr string) (net.Conn, error) {
+	n.mu.Lock()
+	l, ok := n.listeners[addr]
+	cfg, hasLink := n.links[addr]
+	if !hasLink {
+		cfg = n.def
+	}
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("simnet: connection refused: %s", addr)
+	}
+	client, server := NamedPipe(cfg, "client:"+addr, addr)
+	select {
+	case l.accept <- server:
+		return client, nil
+	default:
+		client.Close()
+		server.Close()
+		return nil, fmt.Errorf("simnet: accept queue full for %s", addr)
+	}
+}
+
+// Listener accepts simnet connections.
+type Listener struct {
+	addr   Addr
+	net    *Network
+	accept chan *Conn
+	once   sync.Once
+}
+
+var _ net.Listener = (*Listener)(nil)
+
+// Accept waits for the next inbound connection.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, ok := <-l.accept
+	if !ok {
+		return nil, fmt.Errorf("simnet: listener %s closed", l.addr)
+	}
+	return c, nil
+}
+
+// Close unregisters the listener.
+func (l *Listener) Close() error {
+	l.once.Do(func() {
+		l.net.mu.Lock()
+		delete(l.net.listeners, string(l.addr))
+		l.net.mu.Unlock()
+		close(l.accept)
+	})
+	return nil
+}
+
+// Addr returns the listener's address.
+func (l *Listener) Addr() net.Addr { return l.addr }

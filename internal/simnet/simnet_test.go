@@ -1,0 +1,278 @@
+package simnet
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPipeDataIntegrity(t *testing.T) {
+	a, b := Pipe(Unlimited())
+	payload := make([]byte, 1<<20)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	go func() {
+		if _, err := a.Write(payload); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		if err := a.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	got, err := io.ReadAll(b)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("data corrupted in transit")
+	}
+}
+
+func TestPipeBandwidthModel(t *testing.T) {
+	// 1 MB at a modeled 10 MB/s should take ~100 ms (modeled), scaled to
+	// ~10 ms real at 0.1.
+	cfg := LinkConfig{BandwidthBps: 10e6, TimeScale: 0.1}
+	a, b := Pipe(cfg)
+	const n = 1 << 20
+	go func() {
+		buf := make([]byte, 64<<10)
+		sent := 0
+		for sent < n {
+			m, err := a.Write(buf)
+			if err != nil {
+				t.Errorf("write: %v", err)
+				return
+			}
+			sent += m
+		}
+	}()
+	start := time.Now()
+	got := 0
+	buf := make([]byte, 64<<10)
+	for got < n {
+		m, err := b.Read(buf)
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		got += m
+	}
+	elapsed := time.Since(start)
+	modeled := elapsed.Seconds() / 0.1
+	if modeled < 0.05 || modeled > 0.5 {
+		t.Errorf("1MB at 10MB/s took %.3f modeled seconds, want ~0.1", modeled)
+	}
+}
+
+func TestSlowStartPenalizesShortTransfers(t *testing.T) {
+	cfg := LinkConfig{
+		BandwidthBps: 10e6, TimeScale: 0.1,
+		SlowStartBytes: 512 << 10, SlowStartFactor: 0.5,
+	}
+	measure := func(n int) float64 {
+		a, b := Pipe(cfg)
+		go func() {
+			buf := make([]byte, 64<<10)
+			sent := 0
+			for sent < n {
+				m, err := a.Write(buf)
+				if err != nil {
+					return
+				}
+				sent += m
+			}
+		}()
+		start := time.Now()
+		buf := make([]byte, 64<<10)
+		got := 0
+		for got < n {
+			m, err := b.Read(buf)
+			if err != nil {
+				t.Fatalf("read: %v", err)
+			}
+			got += m
+		}
+		sec := time.Since(start).Seconds() / 0.1
+		if err := a.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return float64(n) / sec
+	}
+	smallBW := measure(256 << 10) // entirely inside the ramp
+	bigBW := measure(8 << 20)     // ramp amortized
+	if smallBW >= bigBW {
+		t.Errorf("slow start had no effect: small %.0f B/s >= big %.0f B/s", smallBW, bigBW)
+	}
+}
+
+func TestSharedLimiterBoundsAggregate(t *testing.T) {
+	// Two links sharing one limiter must halve each other's throughput.
+	shared := NewLimiter()
+	cfg := LinkConfig{BandwidthBps: 10e6, TimeScale: 0.1, Shared: shared}
+	const n = 1 << 20
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < 2; i++ {
+		a, b := Pipe(cfg)
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, 64<<10)
+			sent := 0
+			for sent < n {
+				m, err := a.Write(buf)
+				if err != nil {
+					return
+				}
+				sent += m
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, 64<<10)
+			got := 0
+			for got < n {
+				m, err := b.Read(buf)
+				if err != nil {
+					return
+				}
+				got += m
+			}
+		}()
+	}
+	wg.Wait()
+	modeled := time.Since(start).Seconds() / 0.1
+	// 2 MB total over a shared 10 MB/s wire ≈ 0.2 s modeled.
+	if modeled < 0.1 {
+		t.Errorf("shared limiter not enforced: 2MB in %.3f modeled s", modeled)
+	}
+}
+
+func TestNetworkDialAndListen(t *testing.T) {
+	nw := NewNetwork(Unlimited())
+	l, err := nw.Listen("server:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.Listen("server:1"); err == nil {
+		t.Fatal("duplicate listen accepted")
+	}
+	if _, err := nw.Dial("nobody"); err == nil {
+		t.Fatal("dial to unbound address succeeded")
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		conn, err := l.Accept()
+		if err != nil {
+			t.Errorf("accept: %v", err)
+			return
+		}
+		buf := make([]byte, 5)
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			t.Errorf("server read: %v", err)
+			return
+		}
+		if _, err := conn.Write(bytes.ToUpper(buf)); err != nil {
+			t.Errorf("server write: %v", err)
+		}
+	}()
+	conn, err := nw.Dial("server:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "HELLO" {
+		t.Fatalf("echo = %q", buf)
+	}
+	<-done
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.Dial("server:1"); err == nil {
+		t.Fatal("dial after close succeeded")
+	}
+	// Address becomes reusable after close.
+	if _, err := nw.Listen("server:1"); err != nil {
+		t.Fatalf("relisten: %v", err)
+	}
+}
+
+func TestCloseUnblocksReader(t *testing.T) {
+	a, b := Pipe(Unlimited())
+	errc := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 8)
+		_, err := b.Read(buf)
+		errc <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if err != io.EOF {
+			t.Fatalf("read after close = %v, want EOF", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("reader not unblocked by close")
+	}
+	if _, err := a.Write([]byte("x")); err == nil {
+		t.Fatal("write after close succeeded")
+	}
+}
+
+func TestConnAddrs(t *testing.T) {
+	a, b := NamedPipe(Unlimited(), "left", "right")
+	if a.LocalAddr().String() != "left" || a.RemoteAddr().String() != "right" {
+		t.Errorf("a addrs: %v %v", a.LocalAddr(), a.RemoteAddr())
+	}
+	if b.LocalAddr().Network() != "simnet" {
+		t.Errorf("network = %q", b.LocalAddr().Network())
+	}
+	if err := a.SetDeadline(time.Now()); err != nil {
+		t.Errorf("SetDeadline: %v", err)
+	}
+}
+
+// TestPipeNeverLosesBytes property-tests arbitrary write patterns against
+// the byte count conservation invariant.
+func TestPipeNeverLosesBytes(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		a, b := Pipe(Unlimited())
+		total := 0
+		go func() {
+			for _, s := range sizes {
+				n := int(s%4096) + 1
+				if _, err := a.Write(make([]byte, n)); err != nil {
+					return
+				}
+			}
+			if err := a.Close(); err != nil {
+				return
+			}
+		}()
+		for _, s := range sizes {
+			total += int(s%4096) + 1
+		}
+		got, err := io.ReadAll(b)
+		return err == nil && len(got) == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

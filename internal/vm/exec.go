@@ -1,0 +1,530 @@
+package vm
+
+import (
+	"fmt"
+	"math"
+
+	"dopencl/internal/kernel"
+)
+
+// frame is one function activation of a work item.
+type frame struct {
+	fn     *kernel.Func
+	pc     int
+	locals []uint64
+	stack  []uint64
+}
+
+// itemState holds the complete execution state of one work item so it can
+// be suspended at barriers and resumed later.
+type itemState struct {
+	frames    []*frame
+	globalID  [3]int
+	localID   [3]int
+	done      bool
+	atBarrier bool
+}
+
+// groupRunner executes work-groups one at a time, reusing item state
+// storage across groups to limit allocation churn.
+type groupRunner struct {
+	d             *dispatch
+	items         []*itemState
+	localMem      [][]byte // one arena per ArgLocalBuf argument, reused per group
+	groupID       [3]int
+	scratchCoords []int
+	instrCount    uint64 // bytecode instructions executed by this runner
+}
+
+func newGroupRunner(d *dispatch) *groupRunner {
+	g := &groupRunner{d: d, scratchCoords: make([]int, len(d.global))}
+	g.items = make([]*itemState, d.itemsPerGroup)
+	for i := range g.items {
+		g.items[i] = &itemState{}
+	}
+	for _, a := range d.args {
+		if a.Kind == kernel.ArgLocalBuf {
+			g.localMem = append(g.localMem, make([]byte, a.LocalSize))
+		}
+	}
+	return g
+}
+
+// run executes work-group groupLin to completion.
+func (g *groupRunner) run(groupLin int) *TrapError {
+	d := g.d
+	decompose(groupLin, d.numGroups, g.scratchCoords)
+	for i := range g.groupID {
+		g.groupID[i] = 0
+	}
+	copy(g.groupID[:], g.scratchCoords)
+
+	// Clear local memory for this group (fresh scratch per group).
+	for _, mem := range g.localMem {
+		for i := range mem {
+			mem[i] = 0
+		}
+	}
+
+	// Initialise item states.
+	for li := 0; li < d.itemsPerGroup; li++ {
+		it := g.items[li]
+		decompose(li, d.local, g.scratchCoords)
+		for i := range it.localID {
+			it.localID[i] = 0
+			it.globalID[i] = 0
+		}
+		for dim := 0; dim < len(d.local); dim++ {
+			it.localID[dim] = g.scratchCoords[dim]
+			it.globalID[dim] = g.groupID[dim]*d.local[dim] + g.scratchCoords[dim]
+		}
+		it.done = false
+		it.atBarrier = false
+		it.frames = it.frames[:0]
+		it.frames = append(it.frames, g.newKernelFrame())
+	}
+
+	remaining := d.itemsPerGroup
+	for remaining > 0 {
+		barriers, halts := 0, 0
+		for _, it := range g.items {
+			if it.done {
+				continue
+			}
+			it.atBarrier = false
+			if err := g.exec(it); err != nil {
+				return err
+			}
+			if it.done {
+				halts++
+			} else {
+				barriers++
+			}
+		}
+		if barriers > 0 && halts > 0 {
+			return &TrapError{Kernel: d.fn.Name,
+				Msg: "barrier divergence: some work-items of a group finished while others wait at a barrier"}
+		}
+		remaining -= halts
+	}
+	return nil
+}
+
+// newKernelFrame builds the root frame for a work item, binding kernel
+// arguments into the first local slots.
+func (g *groupRunner) newKernelFrame() *frame {
+	d := g.d
+	f := &frame{fn: d.fn, locals: make([]uint64, d.fn.NumLocals)}
+	globalIdx, localIdx := 0, 0
+	for i, a := range d.args {
+		switch a.Kind {
+		case kernel.ArgScalarInt, kernel.ArgScalarFloat:
+			f.locals[i] = a.Scalar
+		case kernel.ArgGlobalBuf:
+			f.locals[i] = spaceGlobal | uint64(globalIdx)
+			globalIdx++
+		case kernel.ArgLocalBuf:
+			f.locals[i] = spaceLocal | uint64(localIdx)
+			localIdx++
+		}
+	}
+	return f
+}
+
+// bufferFor resolves a buffer handle to its backing byte slice.
+func (g *groupRunner) bufferFor(handle uint64) []byte {
+	idx := int(handle &^ spaceMask)
+	if handle&spaceMask == spaceLocal {
+		return g.localMem[idx]
+	}
+	// Global handles index the global arguments in declaration order.
+	n := 0
+	for _, a := range g.d.args {
+		if a.Kind == kernel.ArgGlobalBuf {
+			if n == idx {
+				return a.Global
+			}
+			n++
+		}
+	}
+	return nil
+}
+
+func trap(fn *kernel.Func, format string, args ...any) *TrapError {
+	return &TrapError{Kernel: fn.Name, Msg: fmt.Sprintf(format, args...)}
+}
+
+// exec runs the work item until it halts (it.done = true) or suspends at a
+// barrier (it.done = false).
+func (g *groupRunner) exec(it *itemState) *TrapError {
+	d := g.d
+	for {
+		f := it.frames[len(it.frames)-1]
+		code := f.fn.Code
+		if f.pc >= len(code) {
+			return trap(f.fn, "missing return in function %s", f.fn.Name)
+		}
+		ins := code[f.pc]
+		f.pc++
+		g.instrCount++
+		switch ins.Op {
+		case kernel.OpNop:
+
+		case kernel.OpConstI, kernel.OpConstF:
+			f.stack = append(f.stack, d.prog.Consts[ins.A])
+
+		case kernel.OpLoad:
+			f.stack = append(f.stack, f.locals[ins.A])
+
+		case kernel.OpStore:
+			n := len(f.stack) - 1
+			f.locals[ins.A] = f.stack[n]
+			f.stack = f.stack[:n]
+
+		case kernel.OpDup:
+			f.stack = append(f.stack, f.stack[len(f.stack)-1])
+
+		case kernel.OpLoadElemI, kernel.OpLoadElemF:
+			n := len(f.stack) - 1
+			idx := int(int32(uint32(f.stack[n])))
+			buf := g.bufferFor(f.locals[ins.A])
+			off := idx * 4
+			if idx < 0 || off+4 > len(buf) {
+				return trap(f.fn, "buffer index %d out of range (buffer has %d elements)", idx, len(buf)/4)
+			}
+			v := uint64(uint32(buf[off]) | uint32(buf[off+1])<<8 | uint32(buf[off+2])<<16 | uint32(buf[off+3])<<24)
+			f.stack[n] = v
+
+		case kernel.OpStoreElemI, kernel.OpStoreElemF:
+			n := len(f.stack)
+			val := uint32(f.stack[n-1])
+			idx := int(int32(uint32(f.stack[n-2])))
+			f.stack = f.stack[:n-2]
+			buf := g.bufferFor(f.locals[ins.A])
+			off := idx * 4
+			if idx < 0 || off+4 > len(buf) {
+				return trap(f.fn, "buffer index %d out of range (buffer has %d elements)", idx, len(buf)/4)
+			}
+			buf[off] = byte(val)
+			buf[off+1] = byte(val >> 8)
+			buf[off+2] = byte(val >> 16)
+			buf[off+3] = byte(val >> 24)
+
+		case kernel.OpAddI, kernel.OpSubI, kernel.OpMulI, kernel.OpDivI, kernel.OpModI,
+			kernel.OpAndI, kernel.OpOrI, kernel.OpXorI, kernel.OpShlI, kernel.OpShrI,
+			kernel.OpLtI, kernel.OpLeI, kernel.OpGtI, kernel.OpGeI, kernel.OpEqI, kernel.OpNeI:
+			n := len(f.stack)
+			b := int32(uint32(f.stack[n-1]))
+			a := int32(uint32(f.stack[n-2]))
+			f.stack = f.stack[:n-1]
+			var r int32
+			switch ins.Op {
+			case kernel.OpAddI:
+				r = a + b
+			case kernel.OpSubI:
+				r = a - b
+			case kernel.OpMulI:
+				r = a * b
+			case kernel.OpDivI:
+				if b == 0 {
+					return trap(f.fn, "integer division by zero")
+				}
+				r = a / b
+			case kernel.OpModI:
+				if b == 0 {
+					return trap(f.fn, "integer modulo by zero")
+				}
+				r = a % b
+			case kernel.OpAndI:
+				r = a & b
+			case kernel.OpOrI:
+				r = a | b
+			case kernel.OpXorI:
+				r = a ^ b
+			case kernel.OpShlI:
+				r = a << (uint32(b) & 31)
+			case kernel.OpShrI:
+				r = a >> (uint32(b) & 31)
+			case kernel.OpLtI:
+				r = boolToInt(a < b)
+			case kernel.OpLeI:
+				r = boolToInt(a <= b)
+			case kernel.OpGtI:
+				r = boolToInt(a > b)
+			case kernel.OpGeI:
+				r = boolToInt(a >= b)
+			case kernel.OpEqI:
+				r = boolToInt(a == b)
+			case kernel.OpNeI:
+				r = boolToInt(a != b)
+			}
+			f.stack[n-2] = uint64(uint32(r))
+
+		case kernel.OpAddF, kernel.OpSubF, kernel.OpMulF, kernel.OpDivF,
+			kernel.OpLtF, kernel.OpLeF, kernel.OpGtF, kernel.OpGeF, kernel.OpEqF, kernel.OpNeF:
+			n := len(f.stack)
+			b := math.Float32frombits(uint32(f.stack[n-1]))
+			a := math.Float32frombits(uint32(f.stack[n-2]))
+			f.stack = f.stack[:n-1]
+			switch ins.Op {
+			case kernel.OpAddF:
+				f.stack[n-2] = fbits(a + b)
+			case kernel.OpSubF:
+				f.stack[n-2] = fbits(a - b)
+			case kernel.OpMulF:
+				f.stack[n-2] = fbits(a * b)
+			case kernel.OpDivF:
+				f.stack[n-2] = fbits(a / b)
+			case kernel.OpLtF:
+				f.stack[n-2] = uint64(uint32(boolToInt(a < b)))
+			case kernel.OpLeF:
+				f.stack[n-2] = uint64(uint32(boolToInt(a <= b)))
+			case kernel.OpGtF:
+				f.stack[n-2] = uint64(uint32(boolToInt(a > b)))
+			case kernel.OpGeF:
+				f.stack[n-2] = uint64(uint32(boolToInt(a >= b)))
+			case kernel.OpEqF:
+				f.stack[n-2] = uint64(uint32(boolToInt(a == b)))
+			case kernel.OpNeF:
+				f.stack[n-2] = uint64(uint32(boolToInt(a != b)))
+			}
+
+		case kernel.OpNegI:
+			n := len(f.stack) - 1
+			f.stack[n] = uint64(uint32(-int32(uint32(f.stack[n]))))
+
+		case kernel.OpNotI:
+			n := len(f.stack) - 1
+			f.stack[n] = uint64(uint32(^int32(uint32(f.stack[n]))))
+
+		case kernel.OpLNot:
+			n := len(f.stack) - 1
+			f.stack[n] = uint64(uint32(boolToInt(uint32(f.stack[n]) == 0)))
+
+		case kernel.OpNegF:
+			n := len(f.stack) - 1
+			f.stack[n] = fbits(-math.Float32frombits(uint32(f.stack[n])))
+
+		case kernel.OpI2F:
+			n := len(f.stack) - 1
+			f.stack[n] = fbits(float32(int32(uint32(f.stack[n]))))
+
+		case kernel.OpF2I:
+			n := len(f.stack) - 1
+			f.stack[n] = uint64(uint32(int32(math.Float32frombits(uint32(f.stack[n])))))
+
+		case kernel.OpJump:
+			f.pc = int(ins.A)
+
+		case kernel.OpJumpIfZero:
+			n := len(f.stack) - 1
+			v := uint32(f.stack[n])
+			f.stack = f.stack[:n]
+			if v == 0 {
+				f.pc = int(ins.A)
+			}
+
+		case kernel.OpJumpIfNonZero:
+			n := len(f.stack) - 1
+			v := uint32(f.stack[n])
+			f.stack = f.stack[:n]
+			if v != 0 {
+				f.pc = int(ins.A)
+			}
+
+		case kernel.OpCall:
+			if len(it.frames) >= maxFrames {
+				return trap(f.fn, "call stack overflow (depth %d)", maxFrames)
+			}
+			callee := d.prog.FuncByIndex(int(ins.A))
+			nf := &frame{fn: callee, locals: make([]uint64, callee.NumLocals)}
+			// Arguments were pushed left-to-right: the last is on top.
+			base := len(f.stack) - callee.NumParams
+			if base < 0 {
+				return trap(f.fn, "operand stack underflow calling %s", callee.Name)
+			}
+			copy(nf.locals, f.stack[base:])
+			f.stack = f.stack[:base]
+			it.frames = append(it.frames, nf)
+
+		case kernel.OpRet:
+			n := len(f.stack) - 1
+			v := f.stack[n]
+			it.frames = it.frames[:len(it.frames)-1]
+			caller := it.frames[len(it.frames)-1]
+			caller.stack = append(caller.stack, v)
+
+		case kernel.OpRetVoid:
+			it.frames = it.frames[:len(it.frames)-1]
+			if len(it.frames) == 0 {
+				it.done = true
+				return nil
+			}
+
+		case kernel.OpBuiltin:
+			if err := g.execBuiltin(it, f, kernel.BuiltinID(ins.A)); err != nil {
+				return err
+			}
+
+		case kernel.OpBarrier:
+			it.atBarrier = true
+			return nil
+
+		case kernel.OpHalt:
+			it.done = true
+			return nil
+
+		default:
+			return trap(f.fn, "illegal opcode %s", ins.Op)
+		}
+	}
+}
+
+func boolToInt(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func fbits(v float32) uint64 { return uint64(math.Float32bits(v)) }
+
+// execBuiltin evaluates a builtin call against the work item's coordinates
+// or the math library.
+func (g *groupRunner) execBuiltin(it *itemState, f *frame, id kernel.BuiltinID) *TrapError {
+	d := g.d
+	popI := func() int32 {
+		n := len(f.stack) - 1
+		v := int32(uint32(f.stack[n]))
+		f.stack = f.stack[:n]
+		return v
+	}
+	popF := func() float32 {
+		n := len(f.stack) - 1
+		v := math.Float32frombits(uint32(f.stack[n]))
+		f.stack = f.stack[:n]
+		return v
+	}
+	pushI := func(v int32) { f.stack = append(f.stack, uint64(uint32(v))) }
+	pushF := func(v float32) { f.stack = append(f.stack, fbits(v)) }
+
+	dimOf := func(dim int32, vals [3]int, total int) int32 {
+		if dim < 0 || int(dim) >= len(d.global) {
+			_ = total
+			return 0
+		}
+		return int32(vals[dim])
+	}
+
+	switch id {
+	case kernel.BGetGlobalID:
+		pushI(dimOf(popI(), it.globalID, 0))
+	case kernel.BGetLocalID:
+		pushI(dimOf(popI(), it.localID, 0))
+	case kernel.BGetGroupID:
+		pushI(dimOf(popI(), g.groupID, 0))
+	case kernel.BGetGlobalSize:
+		dim := popI()
+		if dim < 0 || int(dim) >= len(d.global) {
+			pushI(1)
+		} else {
+			pushI(int32(d.global[dim]))
+		}
+	case kernel.BGetLocalSize:
+		dim := popI()
+		if dim < 0 || int(dim) >= len(d.local) {
+			pushI(1)
+		} else {
+			pushI(int32(d.local[dim]))
+		}
+	case kernel.BGetNumGroups:
+		dim := popI()
+		if dim < 0 || int(dim) >= len(d.numGroups) {
+			pushI(1)
+		} else {
+			pushI(int32(d.numGroups[dim]))
+		}
+	case kernel.BGetWorkDim:
+		pushI(int32(len(d.global)))
+
+	case kernel.BSqrt:
+		pushF(float32(math.Sqrt(float64(popF()))))
+	case kernel.BRsqrt:
+		pushF(float32(1 / math.Sqrt(float64(popF()))))
+	case kernel.BExp:
+		pushF(float32(math.Exp(float64(popF()))))
+	case kernel.BLog:
+		pushF(float32(math.Log(float64(popF()))))
+	case kernel.BSin:
+		pushF(float32(math.Sin(float64(popF()))))
+	case kernel.BCos:
+		pushF(float32(math.Cos(float64(popF()))))
+	case kernel.BTan:
+		pushF(float32(math.Tan(float64(popF()))))
+	case kernel.BFabs:
+		pushF(float32(math.Abs(float64(popF()))))
+	case kernel.BFloor:
+		pushF(float32(math.Floor(float64(popF()))))
+	case kernel.BCeil:
+		pushF(float32(math.Ceil(float64(popF()))))
+	case kernel.BPow:
+		b := popF()
+		a := popF()
+		pushF(float32(math.Pow(float64(a), float64(b))))
+	case kernel.BFmin:
+		b := popF()
+		a := popF()
+		pushF(float32(math.Min(float64(a), float64(b))))
+	case kernel.BFmax:
+		b := popF()
+		a := popF()
+		pushF(float32(math.Max(float64(a), float64(b))))
+	case kernel.BFmod:
+		b := popF()
+		a := popF()
+		pushF(float32(math.Mod(float64(a), float64(b))))
+	case kernel.BClampF:
+		hi := popF()
+		lo := popF()
+		x := popF()
+		pushF(float32(math.Min(math.Max(float64(x), float64(lo)), float64(hi))))
+
+	case kernel.BMinI:
+		b := popI()
+		a := popI()
+		if a < b {
+			pushI(a)
+		} else {
+			pushI(b)
+		}
+	case kernel.BMaxI:
+		b := popI()
+		a := popI()
+		if a > b {
+			pushI(a)
+		} else {
+			pushI(b)
+		}
+	case kernel.BAbsI:
+		a := popI()
+		if a < 0 {
+			a = -a
+		}
+		pushI(a)
+	case kernel.BClampI:
+		hi := popI()
+		lo := popI()
+		x := popI()
+		if x < lo {
+			x = lo
+		}
+		if x > hi {
+			x = hi
+		}
+		pushI(x)
+
+	default:
+		return trap(f.fn, "unknown builtin %d", id)
+	}
+	return nil
+}

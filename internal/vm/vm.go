@@ -1,0 +1,258 @@
+// Package vm executes compiled MiniCL kernels (internal/kernel bytecode)
+// over OpenCL-style ND-ranges.
+//
+// Work-items of one work-group run cooperatively on a single goroutine:
+// each item executes until it halts or reaches a work-group barrier, at
+// which point its state is suspended and the next item runs. When every
+// item of the group has arrived at the barrier, all items resume — a
+// deterministic rendering of OpenCL's barrier semantics that needs no
+// per-work-item goroutines. Work-groups are distributed over a worker pool
+// whose size models the device's compute units.
+package vm
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"dopencl/internal/kernel"
+)
+
+// Arg is a kernel argument bound for a launch.
+type Arg struct {
+	Kind      kernel.ArgKind
+	Scalar    uint64 // scalar slot image (int32 sign pattern / float32 bits)
+	Global    []byte // backing store for global buffer arguments
+	LocalSize int    // byte size for local buffer arguments
+}
+
+// IntArg builds a scalar int argument.
+func IntArg(v int32) Arg {
+	return Arg{Kind: kernel.ArgScalarInt, Scalar: uint64(uint32(v))}
+}
+
+// FloatArg builds a scalar float argument.
+func FloatArg(v float32) Arg {
+	return Arg{Kind: kernel.ArgScalarFloat, Scalar: uint64(math.Float32bits(v))}
+}
+
+// GlobalArg builds a global buffer argument backed by buf.
+func GlobalArg(buf []byte) Arg { return Arg{Kind: kernel.ArgGlobalBuf, Global: buf} }
+
+// LocalArg builds a local (work-group scratch) buffer argument of size bytes.
+func LocalArg(size int) Arg { return Arg{Kind: kernel.ArgLocalBuf, LocalSize: size} }
+
+// Launch describes one ND-range kernel execution.
+type Launch struct {
+	Prog       *kernel.Program
+	Kernel     *kernel.Func
+	Args       []Arg
+	GlobalSize []int // 1-3 dimensions
+	LocalSize  []int // nil or zeros to auto-select
+	Workers    int   // concurrent work-groups; <= 0 selects GOMAXPROCS
+	// GroupLimit, when > 0, executes only N work-groups evenly spread
+	// across the ND-range (cost sampling for modeled devices). Output is
+	// only produced for the sampled groups.
+	GroupLimit int
+}
+
+// Stats reports execution counters for a launch. Modeled devices use the
+// instruction count of a sampled subset of work-groups to extrapolate the
+// execution time of the full ND-range.
+type Stats struct {
+	Instructions  uint64 // bytecode instructions executed
+	GroupsRun     int    // work-groups actually executed
+	GroupsTotal   int    // work-groups in the full ND-range
+	ItemsPerGroup int
+}
+
+// TrapError reports a runtime fault inside kernel execution (division by
+// zero, out-of-bounds access, barrier divergence, stack overflow).
+type TrapError struct {
+	Kernel string
+	Msg    string
+}
+
+func (e *TrapError) Error() string {
+	return fmt.Sprintf("vm: kernel %s: %s", e.Kernel, e.Msg)
+}
+
+const (
+	spaceGlobal = uint64(1) << 32
+	spaceLocal  = uint64(2) << 32
+	spaceMask   = uint64(0xFFFFFFFF) << 32
+	maxFrames   = 256
+)
+
+// AutoLocalSize picks a work-group size for each dimension: the largest
+// divisor of the global size not exceeding 256 (dimension 0) or 16 (higher
+// dimensions), matching typical OpenCL implementation defaults.
+func AutoLocalSize(global []int) []int {
+	local := make([]int, len(global))
+	for d, g := range global {
+		limit := 256
+		if d > 0 {
+			limit = 16
+		}
+		if g < limit {
+			limit = g
+		}
+		pick := 1
+		for c := limit; c >= 1; c-- {
+			if g%c == 0 {
+				pick = c
+				break
+			}
+		}
+		local[d] = pick
+	}
+	return local
+}
+
+// Run executes the launch, blocking until every work-group has finished.
+func Run(l Launch) error {
+	_, err := RunStats(l)
+	return err
+}
+
+// RunStats executes the launch and returns execution statistics.
+func RunStats(l Launch) (Stats, error) {
+	if l.Kernel == nil || !l.Kernel.IsKernel {
+		return Stats{}, &TrapError{Kernel: "?", Msg: "launch requires a kernel function"}
+	}
+	if len(l.GlobalSize) < 1 || len(l.GlobalSize) > 3 {
+		return Stats{}, &TrapError{Kernel: l.Kernel.Name, Msg: "global work size must have 1-3 dimensions"}
+	}
+	for _, g := range l.GlobalSize {
+		if g <= 0 {
+			return Stats{}, &TrapError{Kernel: l.Kernel.Name, Msg: "global work size must be positive"}
+		}
+	}
+	if len(l.Args) != len(l.Kernel.Args) {
+		return Stats{}, &TrapError{Kernel: l.Kernel.Name,
+			Msg: fmt.Sprintf("kernel takes %d arguments, %d bound", len(l.Kernel.Args), len(l.Args))}
+	}
+	for i, a := range l.Args {
+		want := l.Kernel.Args[i].Kind
+		if a.Kind != want {
+			return Stats{}, &TrapError{Kernel: l.Kernel.Name,
+				Msg: fmt.Sprintf("argument %d: kind mismatch (have %d, want %d)", i, a.Kind, want)}
+		}
+	}
+
+	local := l.LocalSize
+	autoPick := local == nil
+	if !autoPick {
+		for _, v := range local {
+			if v == 0 {
+				autoPick = true
+				break
+			}
+		}
+	}
+	if autoPick {
+		local = AutoLocalSize(l.GlobalSize)
+	}
+	if len(local) != len(l.GlobalSize) {
+		return Stats{}, &TrapError{Kernel: l.Kernel.Name, Msg: "local size dimensionality mismatch"}
+	}
+	numGroups := make([]int, len(l.GlobalSize))
+	totalGroups := 1
+	itemsPerGroup := 1
+	for d := range l.GlobalSize {
+		if local[d] <= 0 || l.GlobalSize[d]%local[d] != 0 {
+			return Stats{}, &TrapError{Kernel: l.Kernel.Name,
+				Msg: fmt.Sprintf("global size %d not divisible by local size %d in dimension %d",
+					l.GlobalSize[d], local[d], d)}
+		}
+		numGroups[d] = l.GlobalSize[d] / local[d]
+		totalGroups *= numGroups[d]
+		itemsPerGroup *= local[d]
+	}
+
+	runGroups := totalGroups
+	if l.GroupLimit > 0 && l.GroupLimit < runGroups {
+		runGroups = l.GroupLimit
+	}
+	workers := l.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > runGroups {
+		workers = runGroups
+	}
+
+	disp := &dispatch{
+		prog: l.Prog, fn: l.Kernel, args: l.Args,
+		global: l.GlobalSize, local: local, numGroups: numGroups,
+		itemsPerGroup: itemsPerGroup,
+	}
+
+	var wg sync.WaitGroup
+	var next int64
+	var instr uint64
+	var failed atomic.Value // *TrapError
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g := newGroupRunner(disp)
+			// Sampled runs spread the executed groups across the range so
+			// cost estimates are not biased toward one corner of the
+			// ND-range (e.g. the fast-escaping top rows of a Mandelbrot
+			// image).
+			stride := 1
+			if runGroups < totalGroups {
+				stride = totalGroups / runGroups
+			}
+			for {
+				id := atomic.AddInt64(&next, 1) - 1
+				if id >= int64(runGroups) || failed.Load() != nil {
+					atomic.AddUint64(&instr, g.instrCount)
+					return
+				}
+				gid := int(id)*stride + stride/2
+				if gid >= totalGroups {
+					gid = totalGroups - 1
+				}
+				if err := g.run(gid); err != nil {
+					atomic.AddUint64(&instr, g.instrCount)
+					failed.CompareAndSwap(nil, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	stats := Stats{
+		Instructions:  atomic.LoadUint64(&instr),
+		GroupsRun:     runGroups,
+		GroupsTotal:   totalGroups,
+		ItemsPerGroup: itemsPerGroup,
+	}
+	if err := failed.Load(); err != nil {
+		return stats, err.(*TrapError)
+	}
+	return stats, nil
+}
+
+// dispatch is the immutable launch description shared by all workers.
+type dispatch struct {
+	prog          *kernel.Program
+	fn            *kernel.Func
+	args          []Arg
+	global        []int
+	local         []int
+	numGroups     []int
+	itemsPerGroup int
+}
+
+// decompose converts a linear index into per-dimension coordinates.
+func decompose(lin int, dims []int, out []int) {
+	for d := 0; d < len(dims); d++ {
+		out[d] = lin % dims[d]
+		lin /= dims[d]
+	}
+}
