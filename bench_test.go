@@ -7,8 +7,16 @@ package dopencl_test
 
 import (
 	"testing"
+	"time"
 
+	"dopencl/internal/cl"
+	"dopencl/internal/daemon"
+	"dopencl/internal/device"
 	"dopencl/internal/exp"
+	"dopencl/internal/native"
+	"dopencl/internal/simnet"
+
+	"dopencl"
 )
 
 func quickOpts() exp.Options { return exp.Options{Quick: true} }
@@ -87,6 +95,74 @@ func BenchmarkFig7Transfer(b *testing.B) {
 		b.ReportMetric(res.PCIeRead, "pcie_read_s")
 		b.ReportMetric(res.WriteRatio(), "write_ratio_x")
 		b.ReportMetric(res.ReadRatio(), "read_ratio_x")
+	}
+}
+
+// BenchmarkEnqueueThroughput measures the command rate of the pipelined
+// (fire-and-forget) enqueue path: batches of non-blocking markers plus
+// one Finish per batch, over a simnet link with nonzero latency. With
+// blocking enqueues each command would cost a full round trip, capping
+// the rate at 1/(2·latency) ≈ 5000 cmds/s on this link; the one-way
+// pipeline must clear that by a wide margin.
+func BenchmarkEnqueueThroughput(b *testing.B) {
+	const oneWayLatency = 100e-6 // 100 µs, Gigabit-Ethernet class
+	nw := simnet.NewNetwork(simnet.LinkConfig{LatencySec: oneWayLatency})
+	np := native.NewPlatform("bench", "bench", []device.Config{device.TestCPU("cpu0")})
+	d, err := daemon.New(daemon.Config{Name: "bench-node", Platform: np})
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := nw.Listen("bench-node")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go func() {
+		if serr := d.Serve(l); serr != nil {
+			_ = serr // listener closed at benchmark end
+		}
+	}()
+	defer l.Close()
+	plat := dopencl.NewPlatform(dopencl.Options{Dialer: nw.Dial, ClientName: "bench"})
+	if _, err := plat.ConnectServer("bench-node"); err != nil {
+		b.Fatal(err)
+	}
+	devs, err := plat.Devices(cl.DeviceTypeAll)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, err := plat.CreateContext(devs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ctx.Release()
+	q, err := ctx.CreateQueue(devs[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	const batch = 256
+	b.ResetTimer()
+	start := time.Now()
+	commands := 0
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < batch; j++ {
+			ev, merr := q.EnqueueMarker()
+			if merr != nil {
+				b.Fatal(merr)
+			}
+			if rerr := ev.Release(); rerr != nil {
+				b.Fatal(rerr)
+			}
+		}
+		if ferr := q.Finish(); ferr != nil {
+			b.Fatal(ferr)
+		}
+		commands += batch
+	}
+	b.StopTimer()
+	elapsed := time.Since(start).Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(commands)/elapsed, "cmds/s")
 	}
 }
 

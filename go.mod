@@ -1,0 +1,3 @@
+module dopencl
+
+go 1.24

@@ -50,6 +50,7 @@ type Buffer struct {
 	hostState msiState
 	states    map[*Server]msiState
 	lastWrite map[*Server]*Event // most recent writing command per server
+	gen       uint64             // bumped on every directory mutation (rollback guard)
 	released  bool
 }
 
@@ -110,15 +111,67 @@ func (b *Buffer) ownerLocked() *Server {
 // copy becomes Modified, every other copy (including the client's)
 // becomes Invalid. ev is the writing command's event, gating later
 // coherence downloads.
+//
+// The directory is updated optimistically — enqueues are one-way and the
+// common case is success. If the command later fails (a deferred
+// fire-and-forget failure), the update is rolled back so the directory
+// does not gate forever on a failed event: every untouched copy gets its
+// previous state back, while srv's copy stays Invalid because a partially
+// executed command may have scribbled on it.
 func (b *Buffer) markWrittenBy(srv *Server, ev *Event) {
 	b.mu.Lock()
+	prevStates := make(map[*Server]msiState, len(b.states))
+	for s, st := range b.states {
+		prevStates[s] = st
+	}
+	prevHost := b.hostState
+	prevLast := b.lastWrite[srv]
 	for s := range b.states {
 		b.states[s] = msiInvalid
 	}
 	b.states[srv] = msiModified
 	b.hostState = msiInvalid
 	b.lastWrite[srv] = ev
+	b.gen++
+	gen := b.gen
 	b.mu.Unlock()
+	if err := ev.SetCallback(cl.Complete, func(_ cl.Event, st cl.CommandStatus) {
+		if st == cl.Complete {
+			return
+		}
+		b.rollbackWrite(srv, ev, gen, prevStates, prevHost, prevLast)
+	}); err != nil {
+		// Callback registration cannot fail for Complete; nothing to do.
+		_ = err
+	}
+}
+
+// rollbackWrite undoes a markWrittenBy whose command failed. The snapshot
+// is only restored when no other directory mutation happened in between
+// (generation match); otherwise the interim state stands and only the
+// failed write's own claim — srv's Modified copy and its gating event —
+// is withdrawn.
+func (b *Buffer) rollbackWrite(srv *Server, ev *Event, gen uint64, prevStates map[*Server]msiState, prevHost msiState, prevLast *Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.lastWrite[srv] != ev {
+		return
+	}
+	if b.gen == gen {
+		for s, st := range prevStates {
+			b.states[s] = st
+		}
+		b.hostState = prevHost
+		if prevLast != nil {
+			b.lastWrite[srv] = prevLast
+		} else {
+			delete(b.lastWrite, srv)
+		}
+	} else {
+		delete(b.lastWrite, srv)
+	}
+	b.states[srv] = msiInvalid
+	b.gen++
 }
 
 // markHostValid records that the client now holds valid data (after a
@@ -133,6 +186,7 @@ func (b *Buffer) markHostValidFull(data []byte) {
 		b.states[owner] = msiShared
 	}
 	b.hostState = msiShared
+	b.gen++
 	b.mu.Unlock()
 }
 
@@ -189,7 +243,26 @@ func (b *Buffer) ensureValidOn(q *Queue) (*Event, error) {
 	}
 	b.mu.Lock()
 	b.states[srv] = msiShared
+	b.gen++
 	b.mu.Unlock()
+	// The upload is one-way: if the daemon later rejects it, srv never
+	// received the data and the optimistic Shared claim must be revoked.
+	// The revoke ignores the generation on purpose: an interim mutation
+	// may have left srv's Shared entry untouched, and a false-valid copy
+	// (silent corruption) is far worse than a redundant re-upload.
+	if cerr := ev.SetCallback(cl.Complete, func(_ cl.Event, st cl.CommandStatus) {
+		if st == cl.Complete {
+			return
+		}
+		b.mu.Lock()
+		if b.states[srv] == msiShared {
+			b.states[srv] = msiInvalid
+			b.gen++
+		}
+		b.mu.Unlock()
+	}); cerr != nil {
+		return nil, cerr
+	}
 	return ev, nil
 }
 
@@ -203,6 +276,7 @@ func (b *Buffer) noteHostRead(srv *Server, offset, n int, data []byte) {
 	b.mu.Lock()
 	if b.states[srv] == msiModified {
 		b.states[srv] = msiShared
+		b.gen++
 	}
 	b.mu.Unlock()
 }

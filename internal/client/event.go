@@ -77,7 +77,7 @@ func (e *Event) SetCallback(status cl.CommandStatus, fn func(cl.Event, cl.Comman
 // is released asynchronously; replacements are kept until completion.
 func (e *Event) Release() error {
 	if e.origin != nil {
-		return e.origin.callAsync(protocol.MsgReleaseEvent, func(w *protocol.Writer) {
+		return e.origin.send(protocol.MsgReleaseEvent, func(w *protocol.Writer) {
 			w.U64(e.originID)
 		})
 	}
@@ -156,7 +156,7 @@ func (e *Event) remoteIDFor(srv *Server) (uint64, error) {
 		// Lost a race with another creator; use theirs. The spare remote
 		// user event is released.
 		e.mu.Unlock()
-		if rerr := srv.callAsync(protocol.MsgReleaseEvent, func(w *protocol.Writer) { w.U64(id) }); rerr != nil {
+		if rerr := srv.send(protocol.MsgReleaseEvent, func(w *protocol.Writer) { w.U64(id) }); rerr != nil {
 			return existing, nil
 		}
 		return existing, nil

@@ -23,7 +23,14 @@ type testCluster struct {
 
 func newTestCluster(t *testing.T, serverDevices map[string][]device.Config) *testCluster {
 	t.Helper()
-	nw := simnet.NewNetwork(simnet.Unlimited())
+	return newTestClusterLink(t, simnet.Unlimited(), serverDevices)
+}
+
+// newTestClusterLink is newTestCluster with an explicit link model, for
+// tests that need modeled network latency.
+func newTestClusterLink(t *testing.T, link simnet.LinkConfig, serverDevices map[string][]device.Config) *testCluster {
+	t.Helper()
+	nw := simnet.NewNetwork(link)
 	for addr, cfgs := range serverDevices {
 		np := native.NewPlatform("native-"+addr, "test vendor", cfgs)
 		d, err := daemon.New(daemon.Config{Name: addr, Platform: np})

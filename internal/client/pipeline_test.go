@@ -1,0 +1,188 @@
+package client
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dopencl/internal/cl"
+	"dopencl/internal/device"
+	"dopencl/internal/protocol"
+	"dopencl/internal/simnet"
+)
+
+// TestPipelinedEnqueueLatency asserts the headline property of the
+// fire-and-forget command path (Section III-B): M non-blocking enqueues
+// followed by one Finish cost ~1 round trip plus service time, not M
+// round trips. Over a link with one-way latency L, the old blocking path
+// needed M·2L; the pipeline must stay well under that.
+func TestPipelinedEnqueueLatency(t *testing.T) {
+	const oneWayLatency = 2 * time.Millisecond
+	tc := newTestClusterLink(t, simnet.LinkConfig{LatencySec: oneWayLatency.Seconds()},
+		map[string][]device.Config{"node0": {device.TestCPU("cpu0")}})
+	if _, err := tc.plat.ConnectServer("node0"); err != nil {
+		t.Fatal(err)
+	}
+	devs, err := tc.plat.Devices(cl.DeviceTypeAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := tc.plat.CreateContext(devs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctx.Release()
+	q, err := ctx.CreateQueue(devs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const m = 100
+	start := time.Now()
+	events := make([]cl.Event, 0, m)
+	for i := 0; i < m; i++ {
+		ev, err := q.EnqueueMarker()
+		if err != nil {
+			t.Fatalf("marker %d: %v", i, err)
+		}
+		events = append(events, ev)
+	}
+	if err := q.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	elapsed := time.Since(start)
+
+	serial := m * 2 * oneWayLatency // what M blocking round trips would cost
+	budget := serial / 4
+	if elapsed > budget {
+		t.Fatalf("%d enqueues + Finish took %v; want < %v (serial round trips would be %v) — enqueue path is not pipelined", m, elapsed, budget, serial)
+	}
+	t.Logf("%d enqueues + Finish: %v (serial lower bound %v)", m, elapsed, serial)
+	for i, ev := range events {
+		if st := ev.Status(); st != cl.Complete {
+			t.Fatalf("event %d status = %v after Finish", i, st)
+		}
+	}
+}
+
+// TestDeferredFailureFailsEventAndFinish drives the daemon's deferred
+// error path directly: a one-way command against an unknown queue must
+// come back as a MsgCommandFailed notification that (a) fails the
+// command's event hook and (b) is surfaced by queue-level takeQueueError.
+func TestDeferredFailureFailsEventAndFinish(t *testing.T) {
+	tc := newTestCluster(t, map[string][]device.Config{"node0": {device.TestCPU("cpu0")}})
+	srv, err := tc.plat.ConnectServer("node0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const bogusQueue = uint64(0xdeadbeef)
+	evID := tc.plat.newID()
+	status := make(chan cl.CommandStatus, 1)
+	srv.registerHook(evID, func(st cl.CommandStatus) { status <- st })
+	if err := srv.send(protocol.MsgEnqueueMarker, func(w *protocol.Writer) {
+		w.U64(bogusQueue)
+		w.U64(evID)
+	}); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	select {
+	case st := <-status:
+		if st >= 0 {
+			t.Fatalf("hook fired with non-failure status %v", st)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("failure notification never fired the event hook")
+	}
+	waitFor(t, func() bool { return srv.peekQueueError(bogusQueue) != nil }, "deferred queue error")
+	derr := srv.takeQueueError(bogusQueue)
+	if cl.CodeOf(derr) != cl.InvalidCommandQueue {
+		t.Fatalf("deferred error = %v, want InvalidCommandQueue", derr)
+	}
+	if srv.takeQueueError(bogusQueue) != nil {
+		t.Fatal("takeQueueError did not consume the deferred error")
+	}
+}
+
+// TestDeferredWriteFailureRollsBackCoherence: a write whose one-way
+// enqueue the daemon rejects must not leave the MSI directory pointing at
+// a Modified copy that never materialized — the host's valid copy has to
+// survive the failure.
+func TestDeferredWriteFailureRollsBackCoherence(t *testing.T) {
+	tc := newTestCluster(t, map[string][]device.Config{"node0": {device.TestCPU("cpu0")}})
+	if _, err := tc.plat.ConnectServer("node0"); err != nil {
+		t.Fatal(err)
+	}
+	devs, _ := tc.plat.Devices(cl.DeviceTypeAll)
+	ctx, err := tc.plat.CreateContext(devs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctx.Release()
+	q, err := ctx.CreateQueue(devs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := make([]byte, 64)
+	for i := range init {
+		init[i] = byte(i)
+	}
+	buf, err := ctx.CreateBuffer(cl.MemReadWrite|cl.MemCopyHostPtr, 64, init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Releasing the remote queue makes the daemon reject the next
+	// enqueue; the client driver doesn't know yet and fires one-way.
+	if err := q.(*Queue).Release(); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := q.EnqueueWriteBuffer(buf, false, 0, make([]byte, 64), nil)
+	if err != nil {
+		t.Fatalf("enqueue returned synchronous error %v", err)
+	}
+	if werr := ev.Wait(); werr == nil {
+		t.Fatal("write event completed despite released remote queue")
+	}
+	// The rollback must restore the host copy's validity and keep the
+	// server copy Invalid (nothing was written there).
+	waitFor(t, func() bool {
+		host, servers := buf.(*Buffer).States()
+		return host == "S" && servers["node0"] == "I"
+	}, "MSI rollback after deferred write failure")
+}
+
+// TestBarrierAfterReleaseDeferredToFinish exercises the public-API shape
+// of deferred errors: a barrier enqueued on a released queue fails on the
+// daemon, and the error surfaces at the next Finish, naming the barrier
+// (not just the failing Finish).
+func TestBarrierAfterReleaseDeferredToFinish(t *testing.T) {
+	tc := newTestCluster(t, map[string][]device.Config{"node0": {device.TestCPU("cpu0")}})
+	if _, err := tc.plat.ConnectServer("node0"); err != nil {
+		t.Fatal(err)
+	}
+	devs, _ := tc.plat.Devices(cl.DeviceTypeAll)
+	ctx, err := tc.plat.CreateContext(devs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctx.Release()
+	cq, err := ctx.CreateQueue(devs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := cq.(*Queue)
+	if err := q.Release(); err != nil {
+		t.Fatal(err)
+	}
+	// The enqueue itself reports no error (fire-and-forget)...
+	if err := q.EnqueueBarrier(); err != nil {
+		t.Fatalf("EnqueueBarrier returned synchronous error %v", err)
+	}
+	// ...the failure arrives at the synchronization point.
+	err = q.Finish()
+	if err == nil {
+		t.Fatal("Finish succeeded after barrier on released queue")
+	}
+	if !strings.Contains(err.Error(), "EnqueueBarrier") {
+		t.Fatalf("Finish error = %v; want the deferred EnqueueBarrier failure", err)
+	}
+}

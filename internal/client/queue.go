@@ -2,6 +2,7 @@ package client
 
 import (
 	"io"
+	"sync"
 
 	"dopencl/internal/cl"
 	"dopencl/internal/protocol"
@@ -12,11 +13,24 @@ import (
 // remote event IDs, run the MSI coherence protocol for involved buffers
 // and forward the command to the owning daemon; bulk data rides on gcf
 // streams.
+//
+// Enqueues are fire-and-forget (one-way requests): the command is pushed
+// to the daemon without waiting for an acknowledgement, so a burst of N
+// non-blocking enqueues costs ~1 network latency instead of N round
+// trips — the pipelining that lets dOpenCL hide network latency behind
+// OpenCL's asynchronous command-queue model (Section III-B). Remote
+// failures are deferred: they fail the command's event and are reported
+// by the queue's next Finish. Blocking enqueues, Finish and event waits
+// remain synchronization points.
 type Queue struct {
 	ctx *Context
 	srv *Server
 	dev *Device
 	id  uint64
+
+	mu       sync.Mutex
+	inFlight []*Event // events of commands pipelined since the last Finish
+	pruneAt  int      // adaptive compaction threshold for inFlight
 }
 
 var _ cl.Queue = (*Queue)(nil)
@@ -43,6 +57,36 @@ func (q *Queue) newCommandEvent() *Event {
 	ev := newRemoteEvent(q.ctx, q.srv, id)
 	q.srv.registerHook(id, ev.complete)
 	return ev
+}
+
+// track records a successfully fired command's event so Finish can wait
+// for the local stub to settle (completion notifications race the Finish
+// response by one goroutine hop). Settled events are pruned en route so
+// queues that never Finish (coherence queues) stay bounded.
+func (q *Queue) track(ev *Event) {
+	q.mu.Lock()
+	if q.pruneAt == 0 {
+		q.pruneAt = 64
+	}
+	if len(q.inFlight) >= q.pruneAt {
+		kept := q.inFlight[:0]
+		for _, e := range q.inFlight {
+			if st := e.Status(); st > cl.Complete {
+				kept = append(kept, e)
+			}
+		}
+		q.inFlight = kept
+		// Amortize the scan: if little was reclaimed the events are
+		// genuinely outstanding (a deep gated pipeline), so back off the
+		// threshold instead of rescanning on every enqueue.
+		if len(kept)*2 >= q.pruneAt {
+			q.pruneAt *= 2
+		} else {
+			q.pruneAt = 64
+		}
+	}
+	q.inFlight = append(q.inFlight, ev)
+	q.mu.Unlock()
 }
 
 // EnqueueWriteBuffer uploads host data into the buffer through this
@@ -80,7 +124,7 @@ func (q *Queue) enqueueWriteInternal(cb *Buffer, blocking bool, offset int, data
 	}
 	ev := q.newCommandEvent()
 	stream := q.srv.openStream()
-	_, err = q.srv.call(protocol.MsgEnqueueWrite, func(w *protocol.Writer) {
+	if err := q.srv.send(protocol.MsgEnqueueWrite, func(w *protocol.Writer) {
 		w.U64(q.id)
 		w.U64(cb.id)
 		w.I64(int64(offset))
@@ -88,12 +132,12 @@ func (q *Queue) enqueueWriteInternal(cb *Buffer, blocking bool, offset int, data
 		w.U32(stream.ID())
 		w.U64(ev.originID)
 		w.U64s(waitIDs)
-	})
-	if err != nil {
+	}); err != nil {
 		q.srv.dropHook(ev.originID)
 		stream.Release()
 		return nil, err
 	}
+	q.track(ev)
 	if mark {
 		cb.markWrittenBy(q.srv, ev)
 	}
@@ -101,7 +145,11 @@ func (q *Queue) enqueueWriteInternal(cb *Buffer, blocking bool, offset int, data
 	// caller may reuse the slice immediately after return); non-blocking
 	// writes stream in the background, as the paper's asynchronous bulk
 	// transfers do.
+	// The upload stream is outbound-only: once the payload is shipped the
+	// local bookkeeping can go (the daemon's side is released after it
+	// stages the data).
 	if blocking {
+		defer stream.Release()
 		if _, werr := stream.Write(data); werr != nil {
 			return nil, cl.Errf(cl.InvalidServer, "bulk upload failed: %v", werr)
 		}
@@ -109,11 +157,14 @@ func (q *Queue) enqueueWriteInternal(cb *Buffer, blocking bool, offset int, data
 			return nil, cl.Errf(cl.InvalidServer, "bulk upload close failed: %v", werr)
 		}
 		if werr := ev.Wait(); werr != nil {
+			// The failure is delivered here; don't re-report it at Finish.
+			q.srv.clearQueueError(q.id, ev.originID)
 			return nil, werr
 		}
 		return ev, nil
 	}
 	go func() {
+		defer stream.Release()
 		if _, werr := stream.Write(data); werr != nil {
 			return
 		}
@@ -150,7 +201,39 @@ func (q *Queue) enqueueReadInternal(cb *Buffer, blocking bool, offset int, dst [
 	}
 	ev := q.newCommandEvent()
 	stream := q.srv.openStream()
-	_, err = q.srv.call(protocol.MsgEnqueueRead, func(w *protocol.Writer) {
+	recv := func() error {
+		defer stream.Release()
+		if _, rerr := io.ReadFull(stream, dst); rerr != nil {
+			return cl.Errf(cl.InvalidServer, "bulk download failed: %v", rerr)
+		}
+		stream.WaitEOF()
+		if note {
+			cb.noteHostRead(q.srv, offset, len(dst), dst)
+		}
+		return nil
+	}
+	// Non-blocking read: the returned event must not complete before dst
+	// is filled, so chain the stream drain in front of the latch
+	// completion. The hook swap must happen before the send — once the
+	// one-way request is on the wire a fast daemon could fire the
+	// original hook and orphan the wrapped event.
+	var wrapped *Event
+	if !blocking {
+		wrapped = newRemoteEvent(q.ctx, q.srv, ev.originID)
+		q.srv.dropHook(ev.originID)
+		q.srv.registerHook(ev.originID, func(st cl.CommandStatus) {
+			if st == cl.Complete {
+				if rerr := recv(); rerr != nil {
+					wrapped.complete(cl.CommandStatus(cl.InvalidServer))
+					return
+				}
+			} else {
+				stream.Release()
+			}
+			wrapped.complete(st)
+		})
+	}
+	if err := q.srv.send(protocol.MsgEnqueueRead, func(w *protocol.Writer) {
 		w.U64(q.id)
 		w.U64(cb.id)
 		w.I64(int64(offset))
@@ -158,44 +241,27 @@ func (q *Queue) enqueueReadInternal(cb *Buffer, blocking bool, offset int, dst [
 		w.U32(stream.ID())
 		w.U64(ev.originID)
 		w.U64s(waitIDs)
-	})
-	if err != nil {
+	}); err != nil {
 		q.srv.dropHook(ev.originID)
 		stream.Release()
 		return nil, err
 	}
-	recv := func() error {
-		defer stream.Release()
-		if _, rerr := io.ReadFull(stream, dst); rerr != nil {
-			return cl.Errf(cl.InvalidServer, "bulk download failed: %v", rerr)
-		}
-		if note {
-			cb.noteHostRead(q.srv, offset, len(dst), dst)
-		}
-		return nil
-	}
 	if blocking {
-		if rerr := recv(); rerr != nil {
-			return nil, rerr
-		}
+		q.track(ev)
+		// A daemon that rejects the one-way command closes the stream
+		// empty, so recv fails; the event then carries the real error.
+		rerr := recv()
 		if werr := ev.Wait(); werr != nil {
+			// The failure is delivered here; don't re-report it at Finish.
+			q.srv.clearQueueError(q.id, ev.originID)
 			return nil, werr
+		}
+		if rerr != nil {
+			return nil, rerr
 		}
 		return ev, nil
 	}
-	// Non-blocking read: the returned event must not complete before dst
-	// is filled. Chain the stream drain in front of the latch completion.
-	wrapped := newRemoteEvent(q.ctx, q.srv, ev.originID)
-	q.srv.dropHook(ev.originID)
-	q.srv.registerHook(ev.originID, func(st cl.CommandStatus) {
-		if st == cl.Complete {
-			if rerr := recv(); rerr != nil {
-				wrapped.complete(cl.CommandStatus(cl.InvalidServer))
-				return
-			}
-		}
-		wrapped.complete(st)
-	})
+	q.track(wrapped)
 	return wrapped, nil
 }
 
@@ -226,7 +292,7 @@ func (q *Queue) EnqueueCopyBuffer(src, dst cl.Buffer, srcOffset, dstOffset, size
 		return nil, err
 	}
 	ev := q.newCommandEvent()
-	_, err = q.srv.call(protocol.MsgEnqueueCopy, func(w *protocol.Writer) {
+	if err := q.srv.send(protocol.MsgEnqueueCopy, func(w *protocol.Writer) {
 		w.U64(q.id)
 		w.U64(csrc.id)
 		w.U64(cdst.id)
@@ -235,11 +301,11 @@ func (q *Queue) EnqueueCopyBuffer(src, dst cl.Buffer, srcOffset, dstOffset, size
 		w.I64(int64(size))
 		w.U64(ev.originID)
 		w.U64s(waitIDs)
-	})
-	if err != nil {
+	}); err != nil {
 		q.srv.dropHook(ev.originID)
 		return nil, err
 	}
+	q.track(ev)
 	cdst.markWrittenBy(q.srv, ev)
 	return ev, nil
 }
@@ -267,18 +333,18 @@ func (q *Queue) EnqueueNDRangeKernel(k cl.Kernel, global, local []int, wait []cl
 		return nil, err
 	}
 	ev := q.newCommandEvent()
-	_, err = q.srv.call(protocol.MsgEnqueueKernel, func(w *protocol.Writer) {
+	if err := q.srv.send(protocol.MsgEnqueueKernel, func(w *protocol.Writer) {
 		w.U64(q.id)
 		w.U64(ck.id)
 		w.Ints(global)
 		w.Ints(local)
 		w.U64(ev.originID)
 		w.U64s(waitIDs)
-	})
-	if err != nil {
+	}); err != nil {
 		q.srv.dropHook(ev.originID)
 		return nil, err
 	}
+	q.track(ev)
 	for _, buf := range writeBufs {
 		buf.markWrittenBy(q.srv, ev)
 	}
@@ -288,38 +354,59 @@ func (q *Queue) EnqueueNDRangeKernel(k cl.Kernel, global, local []int, wait []cl
 // EnqueueMarker enqueues a marker command.
 func (q *Queue) EnqueueMarker() (cl.Event, error) {
 	ev := q.newCommandEvent()
-	_, err := q.srv.call(protocol.MsgEnqueueMarker, func(w *protocol.Writer) {
+	if err := q.srv.send(protocol.MsgEnqueueMarker, func(w *protocol.Writer) {
 		w.U64(q.id)
 		w.U64(ev.originID)
-	})
-	if err != nil {
+	}); err != nil {
 		q.srv.dropHook(ev.originID)
 		return nil, err
 	}
+	q.track(ev)
 	return ev, nil
 }
 
-// EnqueueBarrier enqueues a barrier command.
+// EnqueueBarrier enqueues a barrier command. Remote failures are deferred
+// to the next Finish (the command has no event to carry them).
 func (q *Queue) EnqueueBarrier() error {
-	_, err := q.srv.call(protocol.MsgEnqueueBarrier, func(w *protocol.Writer) {
+	return q.srv.send(protocol.MsgEnqueueBarrier, func(w *protocol.Writer) {
 		w.U64(q.id)
 	})
-	return err
 }
 
-// Flush forwards clFlush.
+// Flush forwards clFlush as a one-way request. Any deferred failure
+// already reported for this queue is surfaced (but not consumed — Finish
+// remains the authoritative synchronization point).
 func (q *Queue) Flush() error {
-	_, err := q.srv.call(protocol.MsgFlush, func(w *protocol.Writer) {
+	if err := q.srv.send(protocol.MsgFlush, func(w *protocol.Writer) {
 		w.U64(q.id)
-	})
-	return err
+	}); err != nil {
+		return err
+	}
+	return q.srv.peekQueueError(q.id)
 }
 
-// Finish blocks until the remote queue has drained.
+// Finish blocks until the remote queue has drained, then reports (and
+// consumes) the first deferred failure of the one-way commands pipelined
+// since the previous synchronization point.
 func (q *Queue) Finish() error {
 	_, err := q.srv.call(protocol.MsgFinish, func(w *protocol.Writer) {
 		w.U64(q.id)
 	})
+	// The daemon drained the queue before responding and every completion
+	// notification was ordered ahead of the response, but local hooks run
+	// one goroutine hop behind the dispatcher. Wait for the stubs so
+	// event statuses honour the clFinish guarantee; command execution
+	// errors stay on the events themselves.
+	q.mu.Lock()
+	pend := q.inFlight
+	q.inFlight = nil
+	q.mu.Unlock()
+	for _, ev := range pend {
+		_ = ev.Wait()
+	}
+	if derr := q.srv.takeQueueError(q.id); derr != nil {
+		return derr
+	}
 	return err
 }
 

@@ -41,8 +41,18 @@ type Server struct {
 	mu        sync.Mutex
 	pending   map[uint32]chan *protocol.Envelope
 	hooks     map[uint64]func(cl.CommandStatus) // event ID → completion hook
+	queueErrs map[uint64][]deferredFailure      // queue ID → deferred one-way failures (bounded)
 	devices   []*Device
 	connected bool
+}
+
+// deferredFailure is a recorded one-way command failure: the error plus
+// the failed command's event ID (0 for event-less commands), so blocking
+// callers that already delivered the error through their event can clear
+// it without discarding failures of other pipelined commands.
+type deferredFailure struct {
+	eventID uint64
+	err     error
 }
 
 // Addr returns the address the server was connected with.
@@ -68,11 +78,12 @@ func (s *Server) Devices() []*Device {
 // dial establishes the gcf session and performs the Hello exchange.
 func dialServer(p *Platform, addr string, conn net.Conn, authID string) (*Server, error) {
 	s := &Server{
-		plat:    p,
-		addr:    addr,
-		ep:      gcf.NewEndpoint(conn, true),
-		pending: map[uint32]chan *protocol.Envelope{},
-		hooks:   map[uint64]func(cl.CommandStatus){},
+		plat:      p,
+		addr:      addr,
+		ep:        gcf.NewEndpoint(conn, true),
+		pending:   map[uint32]chan *protocol.Envelope{},
+		hooks:     map[uint64]func(cl.CommandStatus){},
+		queueErrs: map[uint64][]deferredFailure{},
 	}
 	s.ep.Start(s.handleMessage, s.onClose)
 
@@ -134,7 +145,8 @@ func (s *Server) handleMessage(msg []byte) {
 			ch <- &env
 		}
 	case protocol.ClassNotification:
-		if env.Type == protocol.MsgEventComplete {
+		switch env.Type {
+		case protocol.MsgEventComplete:
 			eventID := env.Body.U64()
 			status := cl.CommandStatus(env.Body.I32())
 			s.mu.Lock()
@@ -145,6 +157,33 @@ func (s *Server) handleMessage(msg []byte) {
 				// Completion hooks run callbacks (possibly user code and
 				// cross-server propagation); keep the dispatcher free.
 				go hook(status)
+			}
+		case protocol.MsgCommandFailed:
+			// Deferred failure of a one-way command: record it against the
+			// queue (surfaced at the next Finish) and fail the command's
+			// event stub, if it has one. Recording happens synchronously on
+			// the dispatch goroutine so a later Finish response cannot
+			// overtake the error.
+			f := protocol.GetCommandFailure(env.Body)
+			if env.Body.Err() != nil {
+				return
+			}
+			err := cl.Errf(cl.ErrorCode(f.Status), "%s on %s failed: %s", f.Op, s.addr, f.Msg)
+			s.mu.Lock()
+			if f.QueueID != 0 && len(s.queueErrs[f.QueueID]) < 8 {
+				// Keep the first few failures: a blocking caller may clear
+				// its own entry, and that must not drop a concurrent
+				// event-less command's error before the next Finish.
+				s.queueErrs[f.QueueID] = append(s.queueErrs[f.QueueID], deferredFailure{eventID: f.EventID, err: err})
+			}
+			var hook func(cl.CommandStatus)
+			if f.EventID != 0 {
+				hook = s.hooks[f.EventID]
+				delete(s.hooks, f.EventID)
+			}
+			s.mu.Unlock()
+			if hook != nil {
+				go hook(cl.CommandStatus(f.Status))
 			}
 		}
 	}
@@ -199,14 +238,64 @@ func (s *Server) call(typ protocol.MsgType, fill func(*protocol.Writer)) (*proto
 	return env.Body, nil
 }
 
-// callAsync fires a request without waiting for the response; the response
-// is discarded when it arrives.
-func (s *Server) callAsync(typ protocol.MsgType, fill func(*protocol.Writer)) error {
+// send fires a one-way request (fire-and-forget, Section III-B): no
+// response is awaited or ever sent. The daemon processes one-way commands
+// in order; failures come back asynchronously as MsgCommandFailed
+// notifications and surface through the command's event or the queue's
+// next Finish. Only local transmission failures are reported here.
+func (s *Server) send(typ protocol.MsgType, fill func(*protocol.Writer)) error {
 	w := protocol.NewWriter()
 	if fill != nil {
 		fill(w)
 	}
-	return s.ep.Send(protocol.EncodeEnvelope(protocol.ClassRequest, 0, typ, w))
+	if err := s.ep.Send(protocol.EncodeEnvelope(protocol.ClassOneWay, 0, typ, w)); err != nil {
+		return cl.Errf(cl.InvalidServer, "send to %s failed: %v", s.addr, err)
+	}
+	return nil
+}
+
+// takeQueueError removes all deferred one-way failures recorded for the
+// queue and returns the first, if any.
+func (s *Server) takeQueueError(queueID uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fs := s.queueErrs[queueID]
+	delete(s.queueErrs, queueID)
+	if len(fs) == 0 {
+		return nil
+	}
+	return fs[0].err
+}
+
+// peekQueueError returns the first deferred failure without consuming it.
+func (s *Server) peekQueueError(queueID uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if fs := s.queueErrs[queueID]; len(fs) > 0 {
+		return fs[0].err
+	}
+	return nil
+}
+
+// clearQueueError drops the deferred failures belonging to the given
+// event — a blocking caller that already delivered its own failure must
+// not swallow other pipelined commands' errors before the next Finish
+// reports them.
+func (s *Server) clearQueueError(queueID, eventID uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fs := s.queueErrs[queueID]
+	kept := fs[:0]
+	for _, f := range fs {
+		if f.eventID != eventID {
+			kept = append(kept, f)
+		}
+	}
+	if len(kept) == 0 {
+		delete(s.queueErrs, queueID)
+	} else {
+		s.queueErrs[queueID] = kept
+	}
 }
 
 // openStream allocates a bulk-data stream on this connection.

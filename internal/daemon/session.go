@@ -87,6 +87,72 @@ func (s *session) fail(id uint32, typ protocol.MsgType, err error) {
 	s.respond(id, typ, cl.CodeOf(err), nil)
 }
 
+// notifyCommandFailed pushes the deferred error report for a failed
+// one-way command: the client records it against the queue (surfaced at
+// the next Finish) and fails the command's event stub, if any. One-way
+// commands never get success responses, so this notification is the only
+// traffic a failure produces.
+func (s *session) notifyCommandFailed(queueID, eventID uint64, typ protocol.MsgType, err error) {
+	w := protocol.NewWriter()
+	protocol.PutCommandFailure(w, protocol.CommandFailure{
+		QueueID: queueID,
+		EventID: eventID,
+		Op:      typ,
+		Status:  int32(cl.CodeOf(err)),
+		Msg:     err.Error(),
+	})
+	if serr := s.ep.Send(protocol.EncodeEnvelope(protocol.ClassNotification, 0, protocol.MsgCommandFailed, w)); serr != nil {
+		s.d.logf("daemon %s: failure notification failed: %v", s.d.cfg.Name, serr)
+	}
+}
+
+// replyErr reports a failed command: an error response for requests, a
+// deferred MsgCommandFailed notification for one-way commands.
+func (s *session) replyErr(id uint32, oneway bool, typ protocol.MsgType, queueID, eventID uint64, err error) {
+	if oneway {
+		s.notifyCommandFailed(queueID, eventID, typ, err)
+		return
+	}
+	s.fail(id, typ, err)
+}
+
+// replyOK acknowledges a successful command; one-way commands are
+// acknowledged by silence (ack only on error).
+func (s *session) replyOK(id uint32, oneway bool, typ protocol.MsgType) {
+	if oneway {
+		return
+	}
+	s.respond(id, typ, cl.Success, nil)
+}
+
+// badFrame handles a message whose body failed to decode: the parsed IDs
+// are garbage, so a one-way failure report would be misdirected (or
+// collide with a live event) — log and drop instead. Requests still get
+// an error response, which is correlated by the envelope ID alone.
+func (s *session) badFrame(id uint32, oneway bool, typ protocol.MsgType) {
+	if oneway {
+		s.d.logf("daemon %s: malformed one-way %s frame dropped", s.d.cfg.Name, typ)
+		return
+	}
+	s.fail(id, typ, cl.Errf(cl.InvalidValue, "malformed %s", typ))
+}
+
+// drainStream discards and releases an inbound bulk-data stream whose
+// command failed, so pipelined payload bytes already in flight do not
+// accumulate in the session.
+func (s *session) drainStream(streamID uint32) {
+	if streamID == 0 {
+		return
+	}
+	st := s.ep.Stream(streamID)
+	go func() {
+		if _, err := io.Copy(io.Discard, st); err != nil {
+			s.d.logf("daemon %s: stream drain: %v", s.d.cfg.Name, err)
+		}
+		st.Release()
+	}()
+}
+
 // notifyEvent pushes an event-completion notification (the daemon-side
 // half of the paper's clSetEventCallback mechanism).
 func (s *session) notifyEvent(eventID uint64, status cl.CommandStatus) {
@@ -135,10 +201,21 @@ func (s *session) resolveWaits(ids []uint64) ([]cl.Event, error) {
 // handle dispatches one request message. It runs on the endpoint's
 // dispatch goroutine; blocking operations (Finish) spawn goroutines so the
 // dispatcher stays responsive.
+//
+// One-way commands (ClassOneWay) are processed in arrival order exactly
+// like requests, but no response is synthesized: success is silent and
+// failures are pushed back as MsgCommandFailed notifications. Only the
+// command-path operations support this mode; the dispatch order relative
+// to a later Finish request is what makes Finish a correct
+// synchronization point for the whole pipeline.
 func (s *session) handle(msg []byte) {
 	env, err := protocol.ParseEnvelope(msg)
 	if err != nil {
 		s.d.logf("daemon %s: bad message: %v", s.d.cfg.Name, err)
+		return
+	}
+	if env.Class == protocol.ClassOneWay {
+		s.handleOneWay(env)
 		return
 	}
 	if env.Class != protocol.ClassRequest {
@@ -179,21 +256,21 @@ func (s *session) handle(msg []byte) {
 	case protocol.MsgSetKernelArg:
 		s.handleSetKernelArg(env.ID, r)
 	case protocol.MsgEnqueueWrite:
-		s.handleEnqueueWrite(env.ID, r)
+		s.handleEnqueueWrite(env.ID, false, r)
 	case protocol.MsgEnqueueRead:
-		s.handleEnqueueRead(env.ID, r)
+		s.handleEnqueueRead(env.ID, false, r)
 	case protocol.MsgEnqueueCopy:
-		s.handleEnqueueCopy(env.ID, r)
+		s.handleEnqueueCopy(env.ID, false, r)
 	case protocol.MsgEnqueueKernel:
-		s.handleEnqueueKernel(env.ID, r)
+		s.handleEnqueueKernel(env.ID, false, r)
 	case protocol.MsgEnqueueMarker:
-		s.handleEnqueueMarker(env.ID, r)
+		s.handleEnqueueMarker(env.ID, false, r)
 	case protocol.MsgEnqueueBarrier:
-		s.handleEnqueueBarrier(env.ID, r)
+		s.handleEnqueueBarrier(env.ID, false, r)
 	case protocol.MsgFinish:
 		s.handleFinish(env.ID, r)
 	case protocol.MsgFlush:
-		s.handleFlush(env.ID, r)
+		s.handleFlush(env.ID, false, r)
 	case protocol.MsgCreateUserEvent:
 		s.handleCreateUserEvent(env.ID, r)
 	case protocol.MsgSetUserEventStatus:
@@ -202,6 +279,40 @@ func (s *session) handle(msg []byte) {
 		s.handleReleaseEvent(env.ID, r)
 	default:
 		s.respond(env.ID, env.Type, cl.InvalidOperation, nil)
+	}
+}
+
+// handleOneWay dispatches a fire-and-forget command. Only the command
+// path supports this class; anything else is logged and dropped (there is
+// no requester to answer).
+func (s *session) handleOneWay(env protocol.Envelope) {
+	r := env.Body
+	switch env.Type {
+	case protocol.MsgEnqueueWrite:
+		s.handleEnqueueWrite(0, true, r)
+	case protocol.MsgEnqueueRead:
+		s.handleEnqueueRead(0, true, r)
+	case protocol.MsgEnqueueCopy:
+		s.handleEnqueueCopy(0, true, r)
+	case protocol.MsgEnqueueKernel:
+		s.handleEnqueueKernel(0, true, r)
+	case protocol.MsgEnqueueMarker:
+		s.handleEnqueueMarker(0, true, r)
+	case protocol.MsgEnqueueBarrier:
+		s.handleEnqueueBarrier(0, true, r)
+	case protocol.MsgFlush:
+		s.handleFlush(0, true, r)
+	case protocol.MsgReleaseEvent:
+		eventID := r.U64()
+		if r.Err() != nil {
+			s.badFrame(0, true, protocol.MsgReleaseEvent)
+			return
+		}
+		s.mu.Lock()
+		delete(s.events, eventID)
+		s.mu.Unlock()
+	default:
+		s.d.logf("daemon %s: unsupported one-way message %s", s.d.cfg.Name, env.Type)
 	}
 }
 
@@ -304,6 +415,7 @@ func (s *session) handleCreateBuffer(id uint32, r *protocol.Reader) {
 			s.fail(id, protocol.MsgCreateBuffer, cl.Errf(cl.InvalidValue, "buffer init transfer: %v", err))
 			return
 		}
+		st.WaitEOF()
 		st.Release()
 	} else {
 		flags &^= cl.MemCopyHostPtr
@@ -444,7 +556,7 @@ func setScalarArg(k cl.Kernel, idx int, raw uint64) error {
 	return nk.SetRawArg(idx, raw)
 }
 
-func (s *session) handleEnqueueWrite(id uint32, r *protocol.Reader) {
+func (s *session) handleEnqueueWrite(id uint32, oneway bool, r *protocol.Reader) {
 	queueID := r.U64()
 	bufID := r.U64()
 	offset := int(r.I64())
@@ -452,17 +564,35 @@ func (s *session) handleEnqueueWrite(id uint32, r *protocol.Reader) {
 	streamID := r.U32()
 	eventID := r.U64()
 	waitIDs := r.U64s()
+	if r.Err() != nil {
+		s.badFrame(id, oneway, protocol.MsgEnqueueWrite)
+		return
+	}
+	// The drain is only needed in one-way mode: a request-mode client
+	// waits for the response and never ships payload after an error.
+	failWrite := func(err error) {
+		if oneway {
+			s.drainStream(streamID)
+		}
+		s.replyErr(id, oneway, protocol.MsgEnqueueWrite, queueID, eventID, err)
+	}
 	s.mu.Lock()
 	q := s.queues[queueID]
 	buf := s.buffers[bufID]
 	s.mu.Unlock()
 	if q == nil || buf == nil {
-		s.fail(id, protocol.MsgEnqueueWrite, cl.Errf(cl.InvalidCommandQueue, "unknown queue or buffer"))
+		failWrite(cl.Errf(cl.InvalidCommandQueue, "unknown queue or buffer"))
+		return
+	}
+	// Bound the staging allocation before trusting wire-supplied sizes
+	// (written to avoid offset+size overflow).
+	if size < 0 || offset < 0 || size > buf.Size() || offset > buf.Size()-size {
+		failWrite(cl.Errf(cl.InvalidValue, "malformed enqueue write (offset %d size %d)", offset, size))
 		return
 	}
 	waits, err := s.resolveWaits(waitIDs)
 	if err != nil {
-		s.fail(id, protocol.MsgEnqueueWrite, err)
+		failWrite(err)
 		return
 	}
 	// Stage the inbound stream data off the dispatcher: a native marker
@@ -476,21 +606,24 @@ func (s *session) handleEnqueueWrite(id uint32, r *protocol.Reader) {
 			if serr := gate.SetStatus(cl.CommandStatus(cl.InvalidValue)); serr != nil {
 				s.d.logf("daemon %s: gate status: %v", s.d.cfg.Name, serr)
 			}
-		} else if serr := gate.SetStatus(cl.Complete); serr != nil {
-			s.d.logf("daemon %s: gate status: %v", s.d.cfg.Name, serr)
+		} else {
+			stream.WaitEOF()
+			if serr := gate.SetStatus(cl.Complete); serr != nil {
+				s.d.logf("daemon %s: gate status: %v", s.d.cfg.Name, serr)
+			}
 		}
 		stream.Release()
 	}()
 	ev, err := q.EnqueueWriteBuffer(buf, false, offset, staged, append(waits, gate))
 	if err != nil {
-		s.fail(id, protocol.MsgEnqueueWrite, err)
+		s.replyErr(id, oneway, protocol.MsgEnqueueWrite, queueID, eventID, err)
 		return
 	}
 	s.registerEvent(eventID, ev)
-	s.respond(id, protocol.MsgEnqueueWrite, cl.Success, nil)
+	s.replyOK(id, oneway, protocol.MsgEnqueueWrite)
 }
 
-func (s *session) handleEnqueueRead(id uint32, r *protocol.Reader) {
+func (s *session) handleEnqueueRead(id uint32, oneway bool, r *protocol.Reader) {
 	queueID := r.U64()
 	bufID := r.U64()
 	offset := int(r.I64())
@@ -498,23 +631,46 @@ func (s *session) handleEnqueueRead(id uint32, r *protocol.Reader) {
 	streamID := r.U32()
 	eventID := r.U64()
 	waitIDs := r.U64s()
+	if r.Err() != nil {
+		s.badFrame(id, oneway, protocol.MsgEnqueueRead)
+		return
+	}
+	// A failed one-way read must close the announced stream empty so a
+	// client blocked on the download unblocks (the real error follows as
+	// a MsgCommandFailed notification).
+	failRead := func(err error) {
+		if oneway && streamID != 0 {
+			st := s.ep.Stream(streamID)
+			if cerr := st.CloseWrite(); cerr != nil {
+				s.d.logf("daemon %s: read-back stream close: %v", s.d.cfg.Name, cerr)
+			}
+			st.Release()
+		}
+		s.replyErr(id, oneway, protocol.MsgEnqueueRead, queueID, eventID, err)
+	}
 	s.mu.Lock()
 	q := s.queues[queueID]
 	buf := s.buffers[bufID]
 	s.mu.Unlock()
 	if q == nil || buf == nil {
-		s.fail(id, protocol.MsgEnqueueRead, cl.Errf(cl.InvalidCommandQueue, "unknown queue or buffer"))
+		failRead(cl.Errf(cl.InvalidCommandQueue, "unknown queue or buffer"))
+		return
+	}
+	// Bound the staging allocation before trusting wire-supplied sizes
+	// (written to avoid offset+size overflow).
+	if size < 0 || offset < 0 || size > buf.Size() || offset > buf.Size()-size {
+		failRead(cl.Errf(cl.InvalidValue, "malformed enqueue read (offset %d size %d)", offset, size))
 		return
 	}
 	waits, err := s.resolveWaits(waitIDs)
 	if err != nil {
-		s.fail(id, protocol.MsgEnqueueRead, err)
+		failRead(err)
 		return
 	}
 	staged := make([]byte, size)
 	ev, err := q.EnqueueReadBuffer(buf, false, offset, staged, waits)
 	if err != nil {
-		s.fail(id, protocol.MsgEnqueueRead, err)
+		failRead(err)
 		return
 	}
 	// Once the device read completes, ship the data back on the stream.
@@ -528,16 +684,17 @@ func (s *session) handleEnqueueRead(id uint32, r *protocol.Reader) {
 		if cerr := stream.CloseWrite(); cerr != nil {
 			s.d.logf("daemon %s: read-back stream close: %v", s.d.cfg.Name, cerr)
 		}
+		stream.Release()
 	})
 	if cbErr != nil {
-		s.fail(id, protocol.MsgEnqueueRead, cbErr)
+		failRead(cbErr)
 		return
 	}
 	s.registerEvent(eventID, ev)
-	s.respond(id, protocol.MsgEnqueueRead, cl.Success, nil)
+	s.replyOK(id, oneway, protocol.MsgEnqueueRead)
 }
 
-func (s *session) handleEnqueueCopy(id uint32, r *protocol.Reader) {
+func (s *session) handleEnqueueCopy(id uint32, oneway bool, r *protocol.Reader) {
 	queueID := r.U64()
 	srcID := r.U64()
 	dstID := r.U64()
@@ -546,47 +703,55 @@ func (s *session) handleEnqueueCopy(id uint32, r *protocol.Reader) {
 	size := int(r.I64())
 	eventID := r.U64()
 	waitIDs := r.U64s()
+	if r.Err() != nil {
+		s.badFrame(id, oneway, protocol.MsgEnqueueCopy)
+		return
+	}
 	s.mu.Lock()
 	q := s.queues[queueID]
 	src := s.buffers[srcID]
 	dst := s.buffers[dstID]
 	s.mu.Unlock()
 	if q == nil || src == nil || dst == nil {
-		s.fail(id, protocol.MsgEnqueueCopy, cl.Errf(cl.InvalidCommandQueue, "unknown queue or buffer"))
+		s.replyErr(id, oneway, protocol.MsgEnqueueCopy, queueID, eventID, cl.Errf(cl.InvalidCommandQueue, "unknown queue or buffer"))
 		return
 	}
 	waits, err := s.resolveWaits(waitIDs)
 	if err != nil {
-		s.fail(id, protocol.MsgEnqueueCopy, err)
+		s.replyErr(id, oneway, protocol.MsgEnqueueCopy, queueID, eventID, err)
 		return
 	}
 	ev, err := q.EnqueueCopyBuffer(src, dst, srcOff, dstOff, size, waits)
 	if err != nil {
-		s.fail(id, protocol.MsgEnqueueCopy, err)
+		s.replyErr(id, oneway, protocol.MsgEnqueueCopy, queueID, eventID, err)
 		return
 	}
 	s.registerEvent(eventID, ev)
-	s.respond(id, protocol.MsgEnqueueCopy, cl.Success, nil)
+	s.replyOK(id, oneway, protocol.MsgEnqueueCopy)
 }
 
-func (s *session) handleEnqueueKernel(id uint32, r *protocol.Reader) {
+func (s *session) handleEnqueueKernel(id uint32, oneway bool, r *protocol.Reader) {
 	queueID := r.U64()
 	kernelID := r.U64()
 	global := r.Ints()
 	local := r.Ints()
 	eventID := r.U64()
 	waitIDs := r.U64s()
+	if r.Err() != nil {
+		s.badFrame(id, oneway, protocol.MsgEnqueueKernel)
+		return
+	}
 	s.mu.Lock()
 	q := s.queues[queueID]
 	k := s.kernels[kernelID]
 	s.mu.Unlock()
 	if q == nil || k == nil {
-		s.fail(id, protocol.MsgEnqueueKernel, cl.Errf(cl.InvalidCommandQueue, "unknown queue or kernel"))
+		s.replyErr(id, oneway, protocol.MsgEnqueueKernel, queueID, eventID, cl.Errf(cl.InvalidCommandQueue, "unknown queue or kernel"))
 		return
 	}
 	waits, err := s.resolveWaits(waitIDs)
 	if err != nil {
-		s.fail(id, protocol.MsgEnqueueKernel, err)
+		s.replyErr(id, oneway, protocol.MsgEnqueueKernel, queueID, eventID, err)
 		return
 	}
 	if len(local) == 0 {
@@ -594,46 +759,54 @@ func (s *session) handleEnqueueKernel(id uint32, r *protocol.Reader) {
 	}
 	ev, err := q.EnqueueNDRangeKernel(k, global, local, waits)
 	if err != nil {
-		s.fail(id, protocol.MsgEnqueueKernel, err)
+		s.replyErr(id, oneway, protocol.MsgEnqueueKernel, queueID, eventID, err)
 		return
 	}
 	s.registerEvent(eventID, ev)
-	s.respond(id, protocol.MsgEnqueueKernel, cl.Success, nil)
+	s.replyOK(id, oneway, protocol.MsgEnqueueKernel)
 }
 
-func (s *session) handleEnqueueMarker(id uint32, r *protocol.Reader) {
+func (s *session) handleEnqueueMarker(id uint32, oneway bool, r *protocol.Reader) {
 	queueID := r.U64()
 	eventID := r.U64()
+	if r.Err() != nil {
+		s.badFrame(id, oneway, protocol.MsgEnqueueMarker)
+		return
+	}
 	s.mu.Lock()
 	q := s.queues[queueID]
 	s.mu.Unlock()
 	if q == nil {
-		s.fail(id, protocol.MsgEnqueueMarker, cl.Errf(cl.InvalidCommandQueue, "unknown queue %d", queueID))
+		s.replyErr(id, oneway, protocol.MsgEnqueueMarker, queueID, eventID, cl.Errf(cl.InvalidCommandQueue, "unknown queue %d", queueID))
 		return
 	}
 	ev, err := q.EnqueueMarker()
 	if err != nil {
-		s.fail(id, protocol.MsgEnqueueMarker, err)
+		s.replyErr(id, oneway, protocol.MsgEnqueueMarker, queueID, eventID, err)
 		return
 	}
 	s.registerEvent(eventID, ev)
-	s.respond(id, protocol.MsgEnqueueMarker, cl.Success, nil)
+	s.replyOK(id, oneway, protocol.MsgEnqueueMarker)
 }
 
-func (s *session) handleEnqueueBarrier(id uint32, r *protocol.Reader) {
+func (s *session) handleEnqueueBarrier(id uint32, oneway bool, r *protocol.Reader) {
 	queueID := r.U64()
+	if r.Err() != nil {
+		s.badFrame(id, oneway, protocol.MsgEnqueueBarrier)
+		return
+	}
 	s.mu.Lock()
 	q := s.queues[queueID]
 	s.mu.Unlock()
 	if q == nil {
-		s.fail(id, protocol.MsgEnqueueBarrier, cl.Errf(cl.InvalidCommandQueue, "unknown queue %d", queueID))
+		s.replyErr(id, oneway, protocol.MsgEnqueueBarrier, queueID, 0, cl.Errf(cl.InvalidCommandQueue, "unknown queue %d", queueID))
 		return
 	}
 	if err := q.EnqueueBarrier(); err != nil {
-		s.fail(id, protocol.MsgEnqueueBarrier, err)
+		s.replyErr(id, oneway, protocol.MsgEnqueueBarrier, queueID, 0, err)
 		return
 	}
-	s.respond(id, protocol.MsgEnqueueBarrier, cl.Success, nil)
+	s.replyOK(id, oneway, protocol.MsgEnqueueBarrier)
 }
 
 func (s *session) handleFinish(id uint32, r *protocol.Reader) {
@@ -656,20 +829,24 @@ func (s *session) handleFinish(id uint32, r *protocol.Reader) {
 	}()
 }
 
-func (s *session) handleFlush(id uint32, r *protocol.Reader) {
+func (s *session) handleFlush(id uint32, oneway bool, r *protocol.Reader) {
 	queueID := r.U64()
+	if r.Err() != nil {
+		s.badFrame(id, oneway, protocol.MsgFlush)
+		return
+	}
 	s.mu.Lock()
 	q := s.queues[queueID]
 	s.mu.Unlock()
 	if q == nil {
-		s.fail(id, protocol.MsgFlush, cl.Errf(cl.InvalidCommandQueue, "unknown queue %d", queueID))
+		s.replyErr(id, oneway, protocol.MsgFlush, queueID, 0, cl.Errf(cl.InvalidCommandQueue, "unknown queue %d", queueID))
 		return
 	}
 	if err := q.Flush(); err != nil {
-		s.fail(id, protocol.MsgFlush, err)
+		s.replyErr(id, oneway, protocol.MsgFlush, queueID, 0, err)
 		return
 	}
-	s.respond(id, protocol.MsgFlush, cl.Success, nil)
+	s.replyOK(id, oneway, protocol.MsgFlush)
 }
 
 func (s *session) handleCreateUserEvent(id uint32, r *protocol.Reader) {

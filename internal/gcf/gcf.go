@@ -26,6 +26,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 const (
@@ -35,6 +36,12 @@ const (
 	maxFrame = 256 << 10
 	// msgChannel is the frame channel carrying messages.
 	msgChannel = uint32(0)
+	// writeBufLimit caps the outbound coalescing buffer; producers block
+	// (backpressure) once this much data is waiting on the write loop.
+	writeBufLimit = 4 << 20
+	// closeFlushTimeout bounds how long shutdown waits for the write loop
+	// to drain buffered frames before force-closing the connection.
+	closeFlushTimeout = 5 * time.Second
 )
 
 // ErrClosed is returned for operations on a closed endpoint.
@@ -48,8 +55,18 @@ type Handler func(msg []byte)
 type Endpoint struct {
 	conn net.Conn
 
-	writeMu sync.Mutex
-	hdr     [8]byte
+	// Outbound frames are coalesced: writeFrame appends header+payload to
+	// wbuf and the write loop flushes whole batches with single conn
+	// writes. Under load (pipelined one-way enqueues) many small frames
+	// ride in one syscall/packet; an idle connection still sends each
+	// frame immediately, so no latency is added.
+	wmu     sync.Mutex
+	wcond   *sync.Cond
+	wbuf    []byte
+	wspare  []byte // flushed batch handed back for reuse (bounds allocations)
+	werr    error
+	wclosed bool
+	wdone   chan struct{}
 
 	streamMu sync.Mutex
 	streams  map[uint32]*Stream
@@ -73,6 +90,7 @@ func NewEndpoint(conn net.Conn, client bool) *Endpoint {
 		conn:    conn,
 		streams: map[uint32]*Stream{},
 		done:    make(chan struct{}),
+		wdone:   make(chan struct{}),
 	}
 	if client {
 		e.nextID = 1
@@ -80,6 +98,8 @@ func NewEndpoint(conn net.Conn, client bool) *Endpoint {
 		e.nextID = 2
 	}
 	e.msgCond = sync.NewCond(&e.msgMu)
+	e.wcond = sync.NewCond(&e.wmu)
+	go e.writeLoop()
 	return e
 }
 
@@ -100,23 +120,81 @@ func (e *Endpoint) Send(msg []byte) error {
 	return e.writeFrame(msgChannel, msg)
 }
 
+// writeFrame queues one frame for the write loop. It blocks only for
+// backpressure (the coalescing buffer is full); actual transmission — and
+// therefore transmission errors — happen asynchronously and surface as
+// endpoint shutdown.
 func (e *Endpoint) writeFrame(ch uint32, payload []byte) error {
 	if e.closed.Load() {
 		return ErrClosed
 	}
-	e.writeMu.Lock()
-	defer e.writeMu.Unlock()
-	binary.LittleEndian.PutUint32(e.hdr[0:], ch)
-	binary.LittleEndian.PutUint32(e.hdr[4:], uint32(len(payload)))
-	if _, err := e.conn.Write(e.hdr[:]); err != nil {
+	e.wmu.Lock()
+	for len(e.wbuf) >= writeBufLimit && e.werr == nil && !e.wclosed {
+		e.wcond.Wait()
+	}
+	if e.werr != nil {
+		err := e.werr
+		e.wmu.Unlock()
 		return err
 	}
-	if len(payload) > 0 {
-		if _, err := e.conn.Write(payload); err != nil {
-			return err
+	if e.wclosed {
+		e.wmu.Unlock()
+		return ErrClosed
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], ch)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(payload)))
+	// Payloads are copied into the batch deliberately: referencing caller
+	// slices until the flush (writev-style) would let callers mutate
+	// in-flight data, and the memcpy is orders of magnitude faster than
+	// any modeled or physical link this transport feeds.
+	e.wbuf = append(e.wbuf, hdr[:]...)
+	e.wbuf = append(e.wbuf, payload...)
+	e.wcond.Broadcast()
+	e.wmu.Unlock()
+	return nil
+}
+
+// writeLoop drains the coalescing buffer: whatever accumulated since the
+// previous conn write goes out as one batch. Batches form naturally while
+// a write is in flight; an idle endpoint flushes every frame immediately.
+func (e *Endpoint) writeLoop() {
+	e.wmu.Lock()
+	for {
+		for len(e.wbuf) == 0 && !e.wclosed {
+			e.wcond.Wait()
+		}
+		if len(e.wbuf) == 0 { // closed and fully drained
+			e.wmu.Unlock()
+			close(e.wdone)
+			return
+		}
+		batch := e.wbuf
+		e.wbuf = e.wspare[:0]
+		e.wspare = nil
+		// The buffer just emptied: wake backpressure waiters now so they
+		// fill the next batch while this one is on the wire (otherwise a
+		// single bulk producer would stall for each batch's transmission).
+		e.wcond.Broadcast()
+		e.wmu.Unlock()
+		_, err := e.conn.Write(batch)
+		e.wmu.Lock()
+		// Ping-pong the two batch buffers so a steady command stream runs
+		// allocation-free; oversized batches (bulk-data bursts) are
+		// dropped for the GC rather than pinned.
+		if cap(batch) <= 1<<20 {
+			e.wspare = batch[:0]
+		}
+		if err != nil {
+			e.werr = err
+			e.wclosed = true
+			e.wcond.Broadcast()
+			e.wmu.Unlock()
+			close(e.wdone)
+			e.shutdown(err)
+			return
 		}
 	}
-	return nil
 }
 
 // readLoop receives frames and routes them to the message queue or to
@@ -175,7 +253,10 @@ func (e *Endpoint) dispatchLoop(handler Handler) {
 	}
 }
 
-// shutdown tears the endpoint down exactly once.
+// shutdown tears the endpoint down exactly once. Buffered outbound frames
+// are given a bounded grace period to flush (an orderly close must not
+// drop one-way requests queued just before it) before the connection is
+// force-closed.
 func (e *Endpoint) shutdown(err error) {
 	if !e.closed.CompareAndSwap(false, true) {
 		return
@@ -184,6 +265,19 @@ func (e *Endpoint) shutdown(err error) {
 		err = ErrClosed
 	}
 	e.closeErr.Store(err)
+	e.wmu.Lock()
+	e.wclosed = true
+	e.wcond.Broadcast()
+	e.wmu.Unlock()
+	// Only an orderly close gets the flush grace: when shutdown is driven
+	// by a transport error the connection is already broken and waiting
+	// would just stall failure delivery.
+	if errors.Is(err, ErrClosed) {
+		select {
+		case <-e.wdone:
+		case <-time.After(closeFlushTimeout):
+		}
+	}
 	e.conn.Close()
 	e.streamMu.Lock()
 	for _, s := range e.streams {
@@ -326,6 +420,25 @@ func (s *Stream) Write(p []byte) (int, error) {
 // CloseWrite signals end-of-stream to the peer.
 func (s *Stream) CloseWrite() error {
 	return s.e.writeFrame(s.id, nil)
+}
+
+// WaitEOF consumes the stream until the peer's end-of-stream marker (or a
+// transport error) has been processed. A receiver that knows the payload
+// length must call this before Release: otherwise Release can race the
+// trailing zero-length frame, which would silently re-create the
+// forgotten stream in the endpoint's table and leak it.
+func (s *Stream) WaitEOF() {
+	var tmp [64]byte
+	for {
+		n, err := s.Read(tmp[:])
+		if err != nil {
+			return
+		}
+		if n == 0 {
+			return
+		}
+		// Unexpected trailing data; keep discarding until EOF.
+	}
 }
 
 // Release drops the local bookkeeping for the stream. Call after both

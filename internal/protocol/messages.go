@@ -42,6 +42,7 @@ const (
 // Notifications (daemon → client).
 const (
 	MsgEventComplete MsgType = iota + 40
+	MsgCommandFailed         // deferred failure of a one-way command
 )
 
 // Device manager message types.
@@ -69,6 +70,7 @@ func (t MsgType) String() string {
 		MsgFlush: "Flush", MsgCreateUserEvent: "CreateUserEvent",
 		MsgSetUserEventStatus: "SetUserEventStatus", MsgReleaseEvent: "ReleaseEvent",
 		MsgGetServerInfo: "GetServerInfo", MsgEventComplete: "EventComplete",
+		MsgCommandFailed:    "CommandFailed",
 		MsgDMRegisterServer: "DMRegisterServer", MsgDMRequestDevices: "DMRequestDevices",
 		MsgDMAssign: "DMAssign", MsgDMReleaseLease: "DMReleaseLease",
 		MsgDMRevoke: "DMRevoke",
@@ -168,6 +170,39 @@ func GetArgInfo(r *Reader) []kernel.ArgInfo {
 		out[i].ReadOnly = r.Bool()
 	}
 	return out
+}
+
+// CommandFailure is the body of a MsgCommandFailed notification: the
+// daemon's deferred error report for a one-way command. QueueID lets the
+// client surface the failure at the queue's next synchronization point
+// (Finish); EventID, when nonzero, fails the command's client-side event
+// stub. Op records which operation failed, Status its OpenCL error code.
+type CommandFailure struct {
+	QueueID uint64
+	EventID uint64
+	Op      MsgType
+	Status  int32
+	Msg     string
+}
+
+// PutCommandFailure encodes a deferred failure report.
+func PutCommandFailure(w *Writer, f CommandFailure) {
+	w.U64(f.QueueID)
+	w.U64(f.EventID)
+	w.U16(uint16(f.Op))
+	w.I32(f.Status)
+	w.String(f.Msg)
+}
+
+// GetCommandFailure decodes a deferred failure report.
+func GetCommandFailure(r *Reader) CommandFailure {
+	return CommandFailure{
+		QueueID: r.U64(),
+		EventID: r.U64(),
+		Op:      MsgType(r.U16()),
+		Status:  r.I32(),
+		Msg:     r.String(),
+	}
 }
 
 // ArgValueKind tags SetKernelArg payloads.

@@ -246,10 +246,18 @@ func (r *Reader) Strings() []string {
 }
 
 // Message classes.
+//
+// ClassOneWay is the fire-and-forget request mode of the asynchronous
+// command path (Section III-B): the sender does not wait for — and the
+// receiver never synthesizes — a response. Success is silent; failures
+// travel back asynchronously as MsgCommandFailed notifications, keyed by
+// the command's queue and event IDs. This is what lets N non-blocking
+// enqueues cost ~1 RTT instead of N RTTs.
 const (
 	ClassRequest      = uint8(0)
 	ClassResponse     = uint8(1)
 	ClassNotification = uint8(2)
+	ClassOneWay       = uint8(3)
 )
 
 // Envelope is a parsed message header plus a reader over its body.
