@@ -6,6 +6,7 @@
 package dopencl_test
 
 import (
+	"net"
 	"testing"
 	"time"
 
@@ -163,6 +164,114 @@ func BenchmarkEnqueueThroughput(b *testing.B) {
 	elapsed := time.Since(start).Seconds()
 	if elapsed > 0 {
 		b.ReportMetric(float64(commands)/elapsed, "cmds/s")
+	}
+}
+
+// crossServerCluster builds a client spanning two daemons over a
+// symmetric bandwidth-limited simnet fabric, with or without the peer
+// data plane, and returns queues on each daemon.
+func crossServerCluster(b *testing.B, peers bool) (cl.Context, cl.Queue, cl.Queue) {
+	b.Helper()
+	link := simnet.LinkConfig{BandwidthBps: 400e6, LatencySec: 100e-6}
+	nw := simnet.NewNetwork(link)
+	for _, addr := range []string{"nodeA", "nodeB"} {
+		addr := addr
+		np := native.NewPlatform("native-"+addr, "bench", []device.Config{device.TestCPU("cpu")})
+		cfg := daemon.Config{Name: addr, Platform: np}
+		if peers {
+			cfg.PeerAddr = addr + "/peer"
+			cfg.PeerDial = func(a string) (net.Conn, error) { return nw.DialFrom(addr, a) }
+		}
+		d, err := daemon.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		l, err := nw.Listen(addr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		go func() { _ = d.Serve(l) }()
+		if peers {
+			pl, err := nw.Listen(addr + "/peer")
+			if err != nil {
+				b.Fatal(err)
+			}
+			go func() { _ = d.ServePeers(pl) }()
+		}
+	}
+	plat := dopencl.NewPlatform(dopencl.Options{Dialer: nw.Dial, ClientName: "bench"})
+	for _, addr := range []string{"nodeA", "nodeB"} {
+		if _, err := plat.ConnectServer(addr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	devs, err := plat.Devices(cl.DeviceTypeAll)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, err := plat.CreateContext(devs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qA, err := ctx.CreateQueue(devs[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	qB, err := ctx.CreateQueue(devs[1])
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ctx, qA, qB
+}
+
+// BenchmarkCrossServerCopy measures a cross-daemon buffer copy (source
+// Modified on daemon A, copy enqueued on daemon B) over a symmetric
+// 400 MB/s fabric. ClientMediated routes 2×size through the client
+// (Section III-F of the paper, the seed implementation's only path);
+// Forwarded streams 1×size daemon-to-daemon over the peer bulk plane.
+func BenchmarkCrossServerCopy(b *testing.B) {
+	const size = 4 << 20
+	for _, mode := range []struct {
+		name  string
+		peers bool
+	}{{"ClientMediated", false}, {"Forwarded", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			ctx, qA, qB := crossServerCluster(b, mode.peers)
+			defer ctx.Release()
+			src, err := ctx.CreateBuffer(cl.MemReadWrite, size, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dst, err := ctx.CreateBuffer(cl.MemReadWrite, size, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			payload := make([]byte, size)
+			b.SetBytes(size)
+			b.ResetTimer()
+			var transfer time.Duration
+			for i := 0; i < b.N; i++ {
+				// Re-dirty the source on A (outside the timed region) so
+				// every iteration forces a fresh A→B coherence transfer.
+				b.StopTimer()
+				if _, err := qA.EnqueueWriteBuffer(src, true, 0, payload, nil); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				start := time.Now()
+				if _, err := qB.EnqueueCopyBuffer(src, dst, 0, 0, size, nil); err != nil {
+					b.Fatal(err)
+				}
+				if err := qB.Finish(); err != nil {
+					b.Fatal(err)
+				}
+				transfer += time.Since(start)
+			}
+			b.StopTimer()
+			if sec := transfer.Seconds(); sec > 0 {
+				b.ReportMetric(float64(b.N)*size/sec/1e6, "payload_MB/s")
+			}
+		})
 	}
 }
 

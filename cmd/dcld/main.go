@@ -67,6 +67,8 @@ func main() {
 	managed := flag.Bool("managed", false, "managed mode: register with a device manager")
 	devmgrAddr := flag.String("devmgr", "", "device manager address (managed mode)")
 	selfAddr := flag.String("addr", "", "address clients use to reach this daemon (managed mode)")
+	peerListen := flag.String("peer-listen", "", "TCP address for the daemon-to-daemon bulk plane (empty disables forwarding)")
+	peerAddr := flag.String("peer-addr", "", "peer address announced to clients (defaults to -peer-listen)")
 	flag.Parse()
 
 	cfgs, err := parseDevices(*devices)
@@ -74,11 +76,34 @@ func main() {
 		log.Fatalf("dcld: %v", err)
 	}
 	plat := native.NewPlatform(*name, "dOpenCL simulated vendor", cfgs)
-	d, err := daemon.New(daemon.Config{
+	dcfg := daemon.Config{
 		Name: *name, Platform: plat, Managed: *managed, Logf: log.Printf,
-	})
+		// Originating forwards needs no listener, only a dialer: every
+		// TCP daemon can push buffers to peers that do listen.
+		PeerDial: func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) },
+	}
+	dcfg.PeerAddr = *peerAddr
+	if dcfg.PeerAddr == "" {
+		dcfg.PeerAddr = *peerListen
+	}
+	if *peerAddr != "" && *peerListen == "" {
+		log.Printf("dcld: -peer-addr set without -peer-listen: the announced peer address has nothing listening on it")
+	}
+	d, err := daemon.New(dcfg)
 	if err != nil {
 		log.Fatalf("dcld: %v", err)
+	}
+	if *peerListen != "" {
+		pl, err := net.Listen("tcp", *peerListen)
+		if err != nil {
+			log.Fatalf("dcld: peer listen: %v", err)
+		}
+		go func() {
+			if err := d.ServePeers(pl); err != nil {
+				log.Printf("dcld: peer plane stopped: %v", err)
+			}
+		}()
+		log.Printf("dcld: peer data plane on %s (announced as %s)", *peerListen, dcfg.PeerAddr)
 	}
 
 	if *managed {

@@ -1,6 +1,8 @@
 package client
 
 import (
+	"crypto/rand"
+	"encoding/binary"
 	"math"
 	"sync"
 
@@ -50,6 +52,7 @@ type Buffer struct {
 	hostState msiState
 	states    map[*Server]msiState
 	lastWrite map[*Server]*Event // most recent writing command per server
+	inbound   map[*Server]*Event // in-flight forward gates per target server
 	gen       uint64             // bumped on every directory mutation (rollback guard)
 	released  bool
 }
@@ -107,6 +110,23 @@ func (b *Buffer) ownerLocked() *Server {
 	return nil
 }
 
+// pickSourceLocked returns a server holding a valid copy, preferring the
+// Modified owner. With peer forwarding, Shared server copies can exist
+// while the host copy is Invalid (the payload never visited the client),
+// so any valid copy must be usable as a transfer source.
+func (b *Buffer) pickSourceLocked() *Server {
+	var shared *Server
+	for srv, st := range b.states {
+		if st == msiModified {
+			return srv
+		}
+		if st == msiShared && shared == nil {
+			shared = srv
+		}
+	}
+	return shared
+}
+
 // markWrittenBy records that a command on srv writes this buffer: srv's
 // copy becomes Modified, every other copy (including the client's)
 // becomes Invalid. ev is the writing command's event, gating later
@@ -135,6 +155,12 @@ func (b *Buffer) markWrittenBy(srv *Server, ev *Event) {
 	b.gen++
 	gen := b.gen
 	b.mu.Unlock()
+	// In-flight inbound forwards toward the invalidated copies are NOT
+	// cancelled here: commands already enqueued on those servers may be
+	// legitimately gated on them (producer/consumer chains). Stale
+	// payloads are instead refused at the receiving daemon — a
+	// committing transfer cancels older unlanded gates for the same
+	// region — and by the upload path's ordered cancel.
 	if err := ev.SetCallback(cl.Complete, func(_ cl.Event, st cl.CommandStatus) {
 		if st == cl.Complete {
 			return
@@ -191,37 +217,61 @@ func (b *Buffer) markHostValidFull(data []byte) {
 }
 
 // ensureValidOn guarantees that srv holds a valid copy before a command
-// that reads the buffer executes there. Uploads ride on q (the command's
-// own queue) so that in-order execution sequences them before the
-// dependent command. Returns an optional gating event that the dependent
-// command must wait on (nil when no transfer was needed).
+// that reads the buffer executes there. Returns an optional gating event
+// that the dependent command must include in its wait list (nil when no
+// transfer was needed).
+//
+// Two transfer paths exist when the host copy is invalid:
+//
+//   - peer forwarding (the daemon-to-daemon bulk plane): the source
+//     daemon streams the bytes directly to srv; the client's link sees
+//     two small commands and no payload. The returned gate completes
+//     when the payload has landed on srv, so dependent commands MUST
+//     wait on it — the transfer does not ride q's in-order stream.
+//   - client-mediated (Section III-F, the paper's only path, kept as
+//     fallback): download from a valid copy, then upload to srv on q,
+//     where in-order execution sequences it before the dependent
+//     command.
 func (b *Buffer) ensureValidOn(q *Queue) (*Event, error) {
 	srv := q.srv
 	b.mu.Lock()
 	if st := b.states[srv]; st == msiShared || st == msiModified {
+		// The copy may be valid-but-in-flight: an optimistically Shared
+		// state whose forwarded payload has not landed yet. Dependent
+		// commands must still wait on the transfer's gate — the payload
+		// arrives outside every queue's in-order stream.
+		gate := b.inbound[srv]
 		b.mu.Unlock()
-		return nil, nil
+		return gate, nil
 	}
 	hostValid := b.hostState != msiInvalid
-	owner := b.ownerLocked()
-	ownerGate := b.lastWrite[owner]
+	src := b.pickSourceLocked()
+	srcGate := b.lastWrite[src]
 	b.mu.Unlock()
 
 	if !hostValid {
-		if owner == nil {
+		if src == nil {
 			return nil, cl.Errf(cl.InvalidMemObject, "buffer %d has no valid copy", b.id)
 		}
-		// Download the valid copy from the owner (client-mediated
+		if b.ctx.canForward(src, srv) {
+			gate, err := b.forwardBetween(src, srv, srcGate)
+			if err == nil {
+				return gate, nil
+			}
+			// A local send failure means the forward never left the
+			// client; fall through to the client-mediated path.
+		}
+		// Download the valid copy from its holder (client-mediated
 		// server-to-server transfer, Section III-F: all traffic routes
 		// through the client in the paper's implementation).
 		data := make([]byte, b.size)
-		cohQ, err := b.ctx.coherenceQueue(owner)
+		cohQ, err := b.ctx.coherenceQueue(src)
 		if err != nil {
 			return nil, err
 		}
 		var gateList []cl.Event
-		if ownerGate != nil {
-			gateList = []cl.Event{ownerGate}
+		if srcGate != nil {
+			gateList = []cl.Event{srcGate}
 		}
 		if _, err := cohQ.enqueueReadInternal(b, true, 0, data, gateList, false); err != nil {
 			return nil, err
@@ -236,7 +286,22 @@ func (b *Buffer) ensureValidOn(q *Queue) (*Event, error) {
 		b.hostCopy = make([]byte, b.size)
 	}
 	data := b.hostCopy
+	pendingIn := b.inbound[srv]
+	if pendingIn != nil {
+		// Disassociate the superseded gate now: the upload is about to
+		// own srv's claim, and the old gate's failure callback must not
+		// revoke it (rollback is ownership-guarded on this entry).
+		delete(b.inbound, srv)
+	}
 	b.mu.Unlock()
+	if pendingIn != nil {
+		// A superseded forward is still in flight toward srv (its claim
+		// was invalidated after the forward started). Cancel it with a
+		// one-way message that dispatches ahead of the upload on this
+		// same connection: the daemon's gate guard then guarantees the
+		// stale payload can never land over the fresh upload.
+		b.cancelSupersededForward(pendingIn)
+	}
 	ev, err := q.enqueueWriteInternal(b, false, 0, data, nil, false)
 	if err != nil {
 		return nil, err
@@ -266,19 +331,232 @@ func (b *Buffer) ensureValidOn(q *Queue) (*Event, error) {
 	return ev, nil
 }
 
+// forwardBetween moves this buffer's valid copy from src to dst over the
+// daemon-to-daemon bulk plane: one MsgAcceptForward to dst, one
+// MsgForwardBuffer to src, payload on the peer link. It returns the
+// gating event (origin dst) that completes when the payload has landed;
+// dependent commands on dst must wait on it.
+//
+// The directory is updated optimistically (src M→S read downgrade, dst
+// →S), with the same deferred-failure discipline as the one-way upload
+// path: if the transfer fails, dst's Shared claim is revoked — a
+// false-valid copy (silent corruption) is far worse than a redundant
+// re-transfer — while src keeps its untouched valid copy.
+func (b *Buffer) forwardBetween(src, dst *Server, srcGate *Event) (*Event, error) {
+	token, err := newForwardToken()
+	if err != nil {
+		return nil, err
+	}
+	// The forward rides the coherence queue on src, like client-mediated
+	// coherence downloads do.
+	srcQ, err := b.ctx.coherenceQueue(src)
+	if err != nil {
+		return nil, err
+	}
+	var gateList []cl.Event
+	if srcGate != nil {
+		gateList = []cl.Event{srcGate}
+	}
+	waitIDs, err := translateWaitList(src, gateList)
+	if err != nil {
+		return nil, err
+	}
+
+	// Gate stub: dst's daemon completes the remote user event when the
+	// payload lands, which completes this stub through the normal event
+	// notification path.
+	gateID := b.ctx.plat.newID()
+	gate := newRemoteEvent(b.ctx, dst, gateID)
+	dst.registerHook(gateID, gate.complete)
+	if err := dst.send(protocol.MsgAcceptForward, func(w *protocol.Writer) {
+		protocol.PutAcceptForward(w, protocol.AcceptForward{
+			Token: token, BufID: b.id, Offset: 0, Size: int64(b.size),
+			EventID: gateID, QueueID: 0,
+		})
+	}); err != nil {
+		dst.dropHook(gateID)
+		return nil, err
+	}
+
+	// Source-side completion event: "payload handed to the peer
+	// transport". Its failure is the signal that the payload never
+	// reached dst, so the hook cancels dst's gate and (on a dial-class
+	// failure) records the peer pair as unreachable for fallback.
+	sendID := b.ctx.plat.newID()
+	sendEv := newRemoteEvent(b.ctx, src, sendID)
+	peerAddr := dst.peerAddr
+	src.registerHook(sendID, func(st cl.CommandStatus) {
+		sendEv.complete(st)
+		if st == cl.Complete {
+			return
+		}
+		if cl.ErrorCode(st) == cl.InvalidServer {
+			src.markPeerUnreachable(peerAddr)
+		}
+		// The payload never reached dst: fail the gate remotely so
+		// dependent commands (and the local stub) unblock.
+		go b.failRemoteGate(dst, gate, gateID, st)
+	})
+	if err := src.send(protocol.MsgForwardBuffer, func(w *protocol.Writer) {
+		protocol.PutForwardBuffer(w, protocol.ForwardBuffer{
+			QueueID: srcQ.id, SrcBufID: b.id, SrcOffset: 0, Size: int64(b.size),
+			PeerAddr: peerAddr, Token: token,
+			// Buffer stubs share one ID on every server of the context.
+			DstBufID: b.id, DstOffset: 0,
+			EventID: sendID, WaitIDs: waitIDs,
+		})
+	}); err != nil {
+		src.dropHook(sendID)
+		// The accept is already parked at dst; fail its gate so the
+		// daemon retires it and nothing waits forever.
+		go b.failRemoteGate(dst, gate, gateID, cl.CommandStatus(cl.InvalidServer))
+		return nil, err
+	}
+	srcQ.track(sendEv)
+
+	// Optimistic directory update: src's read downgrades M→S, dst gains a
+	// Shared copy gated on the transfer; the host copy is untouched (the
+	// payload never visits the client).
+	b.mu.Lock()
+	if b.states[src] == msiModified {
+		b.states[src] = msiShared
+	}
+	b.states[dst] = msiShared
+	prevLast := b.lastWrite[dst]
+	b.lastWrite[dst] = gate
+	b.inbound[dst] = gate
+	b.gen++
+	b.mu.Unlock()
+	if cerr := gate.SetCallback(cl.Complete, func(_ cl.Event, st cl.CommandStatus) {
+		// A transport-class failure means the peer path itself is broken
+		// (the source may have "handed the payload to the transport"
+		// successfully and only the receiver saw the wire die): stop
+		// forwarding over this pair and let coherence fall back to the
+		// client-mediated path.
+		if st != cl.Complete && cl.ErrorCode(st) == cl.InvalidServer {
+			src.markPeerUnreachable(peerAddr)
+		}
+		// Gate removal and state rollback happen in ONE critical
+		// section: a gap between them would let a concurrent
+		// ensureValidOn observe "Shared, no gate" and run ungated
+		// against a failed transfer. The rollback only runs while this
+		// gate still owns dst's claim (inbound entry intact) — once a
+		// successor transfer or upload has re-validated dst, revoking
+		// its fresh Shared state would just force a redundant
+		// re-transfer.
+		b.mu.Lock()
+		owned := b.inbound[dst] == gate
+		if owned {
+			delete(b.inbound, dst)
+		}
+		if st != cl.Complete && owned {
+			if b.states[dst] == msiShared {
+				b.states[dst] = msiInvalid
+			}
+			if b.lastWrite[dst] == gate {
+				if prevLast != nil {
+					b.lastWrite[dst] = prevLast
+				} else {
+					delete(b.lastWrite, dst)
+				}
+			}
+			b.gen++
+		}
+		b.mu.Unlock()
+	}); cerr != nil {
+		return nil, cerr
+	}
+	return gate, nil
+}
+
+// cancelSupersededForward tells a forward's target daemon to refuse the
+// transfer's landing. The cancel is a one-way message so it dispatches
+// ahead of every command sent to that daemon afterwards (the daemon's
+// forwardGate guard makes landing-vs-cancel atomic): anything enqueued
+// after the superseding write is therefore safe from the stale payload.
+// The status is deliberately not InvalidServer — the peer path is fine,
+// only this transfer is obsolete — so the pair is not marked
+// unreachable.
+func (b *Buffer) cancelSupersededForward(g *Event) {
+	if err := g.origin.send(protocol.MsgSetUserEventStatus, func(w *protocol.Writer) {
+		w.U64(g.originID)
+		w.I32(int32(cl.InvalidOperation))
+	}); err != nil {
+		// The connection to the target is gone; so is the transfer.
+		_ = err
+	}
+}
+
+// inboundGate returns the pending inbound-forward gate for srv, if any.
+// Commands that write srv's copy without consulting ensureValidOn
+// (full-buffer writes, full-range copy destinations) must wait on it:
+// otherwise the forwarded payload, landing outside queue order, would
+// clobber their fresher data.
+func (b *Buffer) inboundGate(srv *Server) *Event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.inbound[srv]
+}
+
+// failRemoteGate fails a forward's gating user event on dst after the
+// source side reported that the payload will never arrive: commands
+// waiting on the gate unblock with the error, and the daemon retires the
+// pending accept. If the transfer actually landed first, the remote
+// SetStatus is a no-op (user-event completion is idempotent). The local
+// stub is failed directly as well, in case dst never saw the accept.
+func (b *Buffer) failRemoteGate(dst *Server, gate *Event, gateID uint64, st cl.CommandStatus) {
+	if _, err := dst.call(protocol.MsgSetUserEventStatus, func(w *protocol.Writer) {
+		w.U64(gateID)
+		w.I32(int32(st))
+	}); err != nil && dst.Connected() {
+		// The gate may be unknown on dst (accept dropped as malformed);
+		// the local completion below still unblocks client-side waiters.
+		_ = err
+	}
+	gate.complete(st)
+}
+
+// newForwardToken draws a random transfer token. Tokens rendezvous the
+// accept and the payload at the receiving daemon, which serves many
+// clients: random 64-bit values cannot collide across clients the way
+// per-client counters would.
+func newForwardToken() (uint64, error) {
+	var raw [8]byte
+	if _, err := rand.Read(raw[:]); err != nil {
+		return 0, cl.Errf(cl.OutOfResources, "forward token: %v", err)
+	}
+	return binary.LittleEndian.Uint64(raw[:]), nil
+}
+
 // noteHostRead updates directory state after the client read the whole
-// buffer from srv (M→S downgrade on reads).
-func (b *Buffer) noteHostRead(srv *Server, offset, n int, data []byte) {
+// buffer from srv (M→S downgrade on reads). gen is the directory
+// generation captured when the read was enqueued: if any directory
+// mutation happened while the read was in flight (a newer write on
+// another server, a forward, a rollback), the returned bytes are a
+// stale snapshot — still exactly what the racing read legitimately
+// observed, but NOT a valid current host copy — and recording them
+// would corrupt later coherence transfers sourced from the host.
+func (b *Buffer) noteHostRead(srv *Server, offset, n int, data []byte, gen uint64) {
 	if offset != 0 || n != b.size {
 		return
 	}
-	b.markHostValidFull(data)
 	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.gen != gen {
+		return
+	}
+	if b.hostCopy == nil {
+		b.hostCopy = make([]byte, b.size)
+	}
+	copy(b.hostCopy, data)
+	if owner := b.ownerLocked(); owner != nil {
+		b.states[owner] = msiShared
+	}
+	b.hostState = msiShared
 	if b.states[srv] == msiModified {
 		b.states[srv] = msiShared
-		b.gen++
 	}
-	b.mu.Unlock()
+	b.gen++
 }
 
 // floatBits converts a float32 to its IEEE bit pattern (helper shared by

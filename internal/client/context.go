@@ -85,6 +85,17 @@ func (c *Context) remoteContextID(srv *Server) (uint64, error) {
 	return id, nil
 }
 
+// canForward reports whether a buffer transfer from src to dst can use
+// the daemon-to-daemon bulk plane: src must be able to originate
+// forwards, dst must expose a peer address, and src must not have
+// already failed to reach dst's peer plane (in which case transfers fall
+// back to the client-mediated path).
+func (c *Context) canForward(src, dst *Server) bool {
+	return src != nil && dst != nil && src != dst &&
+		src.canForward && dst.peerAddr != "" &&
+		src.peerReachable(dst.peerAddr)
+}
+
 // coherenceQueue returns (lazily creating) the internal command queue used
 // for MSI coherence transfers on srv. It is bound to the first context
 // device hosted by srv.
@@ -176,6 +187,7 @@ func (c *Context) CreateBuffer(flags cl.MemFlags, size int, host []byte) (cl.Buf
 		flags:     flags,
 		states:    map[*Server]msiState{},
 		lastWrite: map[*Server]*Event{},
+		inbound:   map[*Server]*Event{},
 	}
 	if flags&cl.MemCopyHostPtr != 0 {
 		b.hostCopy = append([]byte(nil), host...)

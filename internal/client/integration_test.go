@@ -3,6 +3,7 @@ package client
 import (
 	"encoding/binary"
 	"math"
+	"net"
 	"strings"
 	"testing"
 	"time"
@@ -27,13 +28,37 @@ func newTestCluster(t *testing.T, serverDevices map[string][]device.Config) *tes
 }
 
 // newTestClusterLink is newTestCluster with an explicit link model, for
-// tests that need modeled network latency.
+// tests that need modeled network latency. The peer data plane is
+// enabled (as in a full deployment), so coherence transfers between
+// daemons use direct forwarding.
 func newTestClusterLink(t *testing.T, link simnet.LinkConfig, serverDevices map[string][]device.Config) *testCluster {
+	t.Helper()
+	return newTestClusterPeers(t, link, true, serverDevices)
+}
+
+// testClientID is the simnet endpoint identity of the client, so tests
+// can account bytes on client↔daemon links via Network.BytesSent.
+const testClientID = "client"
+
+// peerAddrOf returns the peer data-plane address of the daemon at addr
+// in test clusters.
+func peerAddrOf(addr string) string { return addr + "/peer" }
+
+// newTestClusterPeers builds a cluster with the peer data plane enabled
+// or disabled: disabled reproduces the paper's client-mediated-only
+// topology (the forwarding fallback).
+func newTestClusterPeers(t *testing.T, link simnet.LinkConfig, peers bool, serverDevices map[string][]device.Config) *testCluster {
 	t.Helper()
 	nw := simnet.NewNetwork(link)
 	for addr, cfgs := range serverDevices {
+		addr := addr
 		np := native.NewPlatform("native-"+addr, "test vendor", cfgs)
-		d, err := daemon.New(daemon.Config{Name: addr, Platform: np})
+		cfg := daemon.Config{Name: addr, Platform: np}
+		if peers {
+			cfg.PeerAddr = peerAddrOf(addr)
+			cfg.PeerDial = func(a string) (net.Conn, error) { return nw.DialFrom(addr, a) }
+		}
+		d, err := daemon.New(cfg)
 		if err != nil {
 			t.Fatalf("daemon %s: %v", addr, err)
 		}
@@ -47,8 +72,20 @@ func newTestClusterLink(t *testing.T, link simnet.LinkConfig, serverDevices map[
 				_ = serr
 			}
 		}()
+		if peers {
+			pl, err := nw.Listen(peerAddrOf(addr))
+			if err != nil {
+				t.Fatalf("peer listen %s: %v", addr, err)
+			}
+			go func() {
+				if serr := d.ServePeers(pl); serr != nil {
+					_ = serr
+				}
+			}()
+		}
 	}
-	plat := NewPlatform(Options{Dialer: nw.Dial, ClientName: "itest"})
+	dial := func(addr string) (net.Conn, error) { return nw.DialFrom(testClientID, addr) }
+	plat := NewPlatform(Options{Dialer: dial, ClientName: "itest"})
 	return &testCluster{net: nw, plat: plat}
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"dopencl/internal/cl"
 	"dopencl/internal/device"
+	"dopencl/internal/simnet"
 )
 
 // TestMSIRandomOperationSequences property-tests the coherence protocol:
@@ -157,5 +158,89 @@ kernel void bump(global int* data, int n) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestForwardFailureRollsBackDirectory injects a flaky-link simnet fault
+// into the peer plane: the s0→s1 bulk link dies mid-stream, so the
+// forwarded payload never fully lands on s1. The MSI directory must
+// revoke s1's optimistic Shared claim (a target left marked Shared would
+// serve torn data), keep s0's untouched valid copy, and the next
+// transfer must fall back to the client-mediated path and succeed.
+func TestForwardFailureRollsBackDirectory(t *testing.T) {
+	const size = 256 << 10
+	tc := newTestClusterPeers(t, simnet.Unlimited(), true, map[string][]device.Config{
+		"s0": {device.TestCPU("c0")},
+		"s1": {device.TestCPU("c1")},
+	})
+	// The peer link s0→s1 drops after 32 KiB: every forward attempt of a
+	// 256 KiB buffer fails mid-stream.
+	tc.net.SetLinkBetween("s0", peerAddrOf("s1"), simnet.LinkConfig{FailAfterBytes: 32 << 10})
+	s0, err := tc.plat.ConnectServer("s0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := tc.plat.ConnectServer("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	devs, err := tc.plat.Devices(cl.DeviceTypeAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := tc.plat.CreateContext(devs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctx.Release()
+	q0, err := ctx.CreateQueue(devs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1, err := ctx.CreateQueue(devs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	buf, err := ctx.CreateBuffer(cl.MemReadWrite, size, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, size)
+	for i := range payload {
+		payload[i] = byte(i * 11)
+	}
+	if _, err := q0.EnqueueWriteBuffer(buf, true, 0, payload, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// The read on s1 triggers a forward that dies mid-stream. The
+	// blocking read fails (the gate event carries the error) — it must
+	// NOT return torn data.
+	out := make([]byte, size)
+	if _, err := q1.EnqueueReadBuffer(buf, true, 0, out, nil); err == nil {
+		host, servers := buf.(*Buffer).States()
+		t.Fatalf("read over broken peer link succeeded (host=%s servers=%v)", host, servers)
+	}
+
+	// Rollback: s1 must not be left marked Shared, and s0 keeps a valid
+	// copy. The rollback races the read's own failure by a notification
+	// hop, so poll.
+	waitFor(t, func() bool {
+		_, servers := buf.(*Buffer).States()
+		return servers["s1"] == "I" && servers["s0"] != "I"
+	}, "directory rollback after mid-stream forward failure")
+
+	// The source daemon reports the broken peer, and the client falls
+	// back to client-mediated transfers for this pair.
+	waitFor(t, func() bool { return !s0.peerReachable(s1.PeerAddr()) }, "peer marked unreachable")
+
+	if _, err := q1.EnqueueReadBuffer(buf, true, 0, out, nil); err != nil {
+		t.Fatalf("client-mediated fallback read failed: %v", err)
+	}
+	for i := range payload {
+		if out[i] != payload[i] {
+			t.Fatalf("fallback byte %d = %d, want %d", i, out[i], payload[i])
+		}
 	}
 }

@@ -50,6 +50,31 @@ func (q *Queue) bufferOf(b cl.Buffer) (*Buffer, error) {
 	return cb, nil
 }
 
+// withGates returns wait extended by the non-nil coherence gating events
+// without mutating the caller's slice. Gates returned by ensureValidOn
+// must ride the dependent command's wait list: a peer-forwarded transfer
+// does not travel through this queue, so in-order execution alone cannot
+// sequence the command after the data's arrival.
+func withGates(wait []cl.Event, gates ...*Event) []cl.Event {
+	n := 0
+	for _, g := range gates {
+		if g != nil {
+			n++
+		}
+	}
+	if n == 0 {
+		return wait
+	}
+	out := make([]cl.Event, 0, len(wait)+n)
+	out = append(out, wait...)
+	for _, g := range gates {
+		if g != nil {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
 // newCommandEvent allocates the client-side event stub and registers its
 // completion hook with the owning server.
 func (q *Queue) newCommandEvent() *Event {
@@ -101,11 +126,21 @@ func (q *Queue) EnqueueWriteBuffer(b cl.Buffer, blocking bool, offset int, data 
 		return nil, cl.Errf(cl.InvalidValue, "write of %d bytes at offset %d exceeds buffer size %d", len(data), offset, cb.size)
 	}
 	// A partial write requires the rest of the buffer to stay meaningful
-	// on the target: make the target valid first.
+	// on the target: make the target valid first. A full overwrite needs
+	// no valid copy, but must still sequence behind an in-flight inbound
+	// forward so the late-landing payload cannot clobber it. The gate is
+	// a hard dependency on purpose: an ordering-only wait would let the
+	// overwrite run while a cancelled transfer's receive is still
+	// memcpy-ing, so a failed forward fails this write too (safe, and
+	// the application can simply retry).
 	if offset != 0 || len(data) != cb.size {
-		if _, err := cb.ensureValidOn(q); err != nil {
+		gate, err := cb.ensureValidOn(q)
+		if err != nil {
 			return nil, err
 		}
+		wait = withGates(wait, gate)
+	} else {
+		wait = withGates(wait, cb.inboundGate(q.srv))
 	}
 	ev, err := q.enqueueWriteInternal(cb, blocking, offset, data, wait, true)
 	if err != nil {
@@ -186,10 +221,11 @@ func (q *Queue) EnqueueReadBuffer(b cl.Buffer, blocking bool, offset int, dst []
 	if offset < 0 || offset+len(dst) > cb.size {
 		return nil, cl.Errf(cl.InvalidValue, "read of %d bytes at offset %d exceeds buffer size %d", len(dst), offset, cb.size)
 	}
-	if _, err := cb.ensureValidOn(q); err != nil {
+	gate, err := cb.ensureValidOn(q)
+	if err != nil {
 		return nil, err
 	}
-	return q.enqueueReadInternal(cb, blocking, offset, dst, wait, true)
+	return q.enqueueReadInternal(cb, blocking, offset, dst, withGates(wait, gate), true)
 }
 
 // enqueueReadInternal performs the wire work of a read. note selects
@@ -201,6 +237,12 @@ func (q *Queue) enqueueReadInternal(cb *Buffer, blocking bool, offset int, dst [
 	}
 	ev := q.newCommandEvent()
 	stream := q.srv.openStream()
+	// Snapshot the directory generation: the completed read only updates
+	// the host-copy cache if no directory mutation raced it (see
+	// noteHostRead).
+	cb.mu.Lock()
+	gen := cb.gen
+	cb.mu.Unlock()
 	recv := func() error {
 		defer stream.Release()
 		if _, rerr := io.ReadFull(stream, dst); rerr != nil {
@@ -208,7 +250,7 @@ func (q *Queue) enqueueReadInternal(cb *Buffer, blocking bool, offset int, dst [
 		}
 		stream.WaitEOF()
 		if note {
-			cb.noteHostRead(q.srv, offset, len(dst), dst)
+			cb.noteHostRead(q.srv, offset, len(dst), dst, gen)
 		}
 		return nil
 	}
@@ -265,8 +307,16 @@ func (q *Queue) enqueueReadInternal(cb *Buffer, blocking bool, offset int, dst [
 	return wrapped, nil
 }
 
-// EnqueueCopyBuffer copies between two buffers. Both remote copies must be
-// valid on this queue's server; the destination becomes Modified there.
+// EnqueueCopyBuffer copies between two buffers. Both buffers must be
+// dOpenCL buffers of this queue's context — a buffer of another context
+// (or platform) is rejected with cl.InvalidMemObject, never silently
+// copied. The copy itself always executes on this queue's server: when
+// the source's valid copy lives on a different server, the coherence
+// layer moves it here first — over the daemon-to-daemon bulk plane when
+// both daemons support it, through the client otherwise — and the
+// command waits on the transfer's gate. A source with no valid copy
+// anywhere is a cl.InvalidMemObject error. The destination becomes
+// Modified on this server.
 func (q *Queue) EnqueueCopyBuffer(src, dst cl.Buffer, srcOffset, dstOffset, size int, wait []cl.Event) (cl.Event, error) {
 	csrc, err := q.bufferOf(src)
 	if err != nil {
@@ -279,14 +329,22 @@ func (q *Queue) EnqueueCopyBuffer(src, dst cl.Buffer, srcOffset, dstOffset, size
 	if srcOffset < 0 || srcOffset+size > csrc.size || dstOffset < 0 || dstOffset+size > cdst.size {
 		return nil, cl.Errf(cl.InvalidValue, "copy range out of bounds")
 	}
-	if _, err := csrc.ensureValidOn(q); err != nil {
-		return nil, err
+	srcGate, err := csrc.ensureValidOn(q)
+	if err != nil {
+		return nil, cl.Errf(cl.CodeOf(err), "cross-server copy source: %v", err)
 	}
+	var dstGate *Event
 	if dstOffset != 0 || size != cdst.size {
-		if _, err := cdst.ensureValidOn(q); err != nil {
-			return nil, err
+		dstGate, err = cdst.ensureValidOn(q)
+		if err != nil {
+			return nil, cl.Errf(cl.CodeOf(err), "cross-server copy destination: %v", err)
 		}
+	} else {
+		// Full overwrite: sequence behind any in-flight inbound forward
+		// (see EnqueueWriteBuffer).
+		dstGate = cdst.inboundGate(q.srv)
 	}
+	wait = withGates(wait, srcGate, dstGate)
 	waitIDs, err := translateWaitList(q.srv, wait)
 	if err != nil {
 		return nil, err
@@ -323,11 +381,17 @@ func (q *Queue) EnqueueNDRangeKernel(k cl.Kernel, global, local []int, wait []cl
 	if err != nil {
 		return nil, err
 	}
+	var gates []*Event
 	for _, buf := range readBufs {
-		if _, err := buf.ensureValidOn(q); err != nil {
+		gate, err := buf.ensureValidOn(q)
+		if err != nil {
 			return nil, err
 		}
+		if gate != nil {
+			gates = append(gates, gate)
+		}
 	}
+	wait = withGates(wait, gates...)
 	waitIDs, err := translateWaitList(q.srv, wait)
 	if err != nil {
 		return nil, err

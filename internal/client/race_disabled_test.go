@@ -1,0 +1,7 @@
+//go:build !race
+
+package client
+
+// raceEnabled is false in uninstrumented builds; timing-based
+// assertions run normally.
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package client
+
+// raceEnabled reports that the race detector instruments this build:
+// timing-based assertions are skipped, since instrumentation overhead
+// distorts modeled-network throughput beyond any useful margin.
+const raceEnabled = true

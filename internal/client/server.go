@@ -36,12 +36,20 @@ type Server struct {
 	name string
 	ep   *gcf.Endpoint
 
+	// Peer data-plane capabilities, learned in the Hello exchange:
+	// peerAddr is where other daemons reach this daemon's bulk plane
+	// (empty: cannot receive forwards); canForward reports whether the
+	// daemon can originate forwards.
+	peerAddr   string
+	canForward bool
+
 	nextReq atomic.Uint32
 
 	mu        sync.Mutex
 	pending   map[uint32]chan *protocol.Envelope
 	hooks     map[uint64]func(cl.CommandStatus) // event ID → completion hook
 	queueErrs map[uint64][]deferredFailure      // queue ID → deferred one-way failures (bounded)
+	badPeers  map[string]bool                   // peer addresses this daemon failed to reach
 	devices   []*Device
 	connected bool
 }
@@ -84,6 +92,7 @@ func dialServer(p *Platform, addr string, conn net.Conn, authID string) (*Server
 		pending:   map[uint32]chan *protocol.Envelope{},
 		hooks:     map[uint64]func(cl.CommandStatus){},
 		queueErrs: map[uint64][]deferredFailure{},
+		badPeers:  map[string]bool{},
 	}
 	s.ep.Start(s.handleMessage, s.onClose)
 
@@ -97,6 +106,8 @@ func dialServer(p *Platform, addr string, conn net.Conn, authID string) (*Server
 	}
 	s.name = resp.String()
 	recs := protocol.GetDeviceRecords(resp)
+	s.peerAddr = resp.String()
+	s.canForward = resp.Bool()
 	if resp.Err() != nil {
 		s.ep.Close()
 		return nil, cl.Errf(cl.InvalidServer, "malformed hello response from %s", addr)
@@ -296,6 +307,30 @@ func (s *Server) clearQueueError(queueID, eventID uint64) {
 	} else {
 		s.queueErrs[queueID] = kept
 	}
+}
+
+// PeerAddr returns the daemon's peer data-plane address ("" when the
+// daemon cannot receive forwards).
+func (s *Server) PeerAddr() string { return s.peerAddr }
+
+// CanForward reports whether the daemon can originate peer forwards.
+func (s *Server) CanForward() bool { return s.canForward }
+
+// markPeerUnreachable records that this daemon failed to reach the peer
+// at addr; later coherence transfers toward that peer fall back to the
+// client-mediated path instead of failing repeatedly.
+func (s *Server) markPeerUnreachable(addr string) {
+	s.mu.Lock()
+	s.badPeers[addr] = true
+	s.mu.Unlock()
+}
+
+// peerReachable reports whether forwarding from this daemon to the peer
+// at addr is still believed to work.
+func (s *Server) peerReachable(addr string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.badPeers[addr]
 }
 
 // openStream allocates a bulk-data stream on this connection.

@@ -30,6 +30,13 @@ type Config struct {
 	// Managed enables device-manager mode: clients only see devices
 	// assigned to their authentication ID.
 	Managed bool
+	// PeerAddr is the address other daemons use to reach this daemon's
+	// peer data plane (ServePeers listener). Empty disables inbound
+	// forwarding; clients then fall back to client-mediated transfers.
+	PeerAddr string
+	// PeerDial reaches other daemons' peer data planes for outbound
+	// buffer forwarding. Nil disables outbound forwarding.
+	PeerDial func(addr string) (net.Conn, error)
 	// Logf receives diagnostics; nil silences them.
 	Logf func(format string, args ...any)
 }
@@ -44,6 +51,18 @@ type Daemon struct {
 
 	dmMu sync.Mutex
 	dm   *gcf.Endpoint // connection to the device manager (managed mode)
+
+	// Peer data plane: outbound connection pool plus the rendezvous
+	// tables pairing client-announced AcceptForwards with peer-announced
+	// transfers (either side may arrive first).
+	peers    *gcf.Pool
+	fwdMu    sync.Mutex
+	fwdSeq   uint64                          // accept arrival order (newest wins)
+	fwdIn    map[uint64]*pendingForward      // token → accept waiting for payload
+	fwdLive  map[cl.Buffer][]*pendingForward // unsettled transfers per buffer
+	fwdEar   map[uint64]earlyTransfer        // token → payload waiting for accept
+	fwdDrop  map[uint64]bool                 // tokens whose payload was dropped
+	fwdDropQ []uint64                        // FIFO over fwdDrop (bounded memory)
 }
 
 // New creates a daemon exposing the platform's devices.
@@ -58,11 +77,19 @@ func New(cfg Config) (*Daemon, error) {
 	if err != nil {
 		return nil, fmt.Errorf("daemon: enumerating devices: %w", err)
 	}
-	return &Daemon{
+	d := &Daemon{
 		cfg:     cfg,
 		devices: devs,
 		leases:  map[string]map[uint32]bool{},
-	}, nil
+		fwdIn:   map[uint64]*pendingForward{},
+		fwdLive: map[cl.Buffer][]*pendingForward{},
+		fwdEar:  map[uint64]earlyTransfer{},
+		fwdDrop: map[uint64]bool{},
+	}
+	if cfg.PeerDial != nil {
+		d.peers = gcf.NewPool(cfg.PeerDial, gcf.WithHandshake(d.peerHello))
+	}
+	return d, nil
 }
 
 func (d *Daemon) logf(format string, args ...any) {
@@ -210,9 +237,12 @@ func (d *Daemon) AttachManager(conn net.Conn, selfAddr string) error {
 		d.dmMu.Unlock()
 	})
 
-	// Register this server and its devices with the manager.
+	// Register this server and its devices with the manager, announcing
+	// the peer data-plane address so clients holding multi-server leases
+	// can route daemon-to-daemon forwards.
 	w := protocol.NewWriter()
 	w.String(selfAddr)
+	w.String(d.cfg.PeerAddr)
 	protocol.PutDeviceRecords(w, d.Records())
 	if err := ep.Send(protocol.EncodeEnvelope(protocol.ClassRequest, 1, protocol.MsgDMRegisterServer, w)); err != nil {
 		return fmt.Errorf("daemon: registering with device manager: %w", err)

@@ -64,6 +64,7 @@ func (s *session) onClose(error) {
 			s.d.logf("daemon %s: queue release: %v", s.d.cfg.Name, err)
 		}
 	}
+	s.d.dropSessionForwards(s)
 	if authID != "" && s.d.cfg.Managed && s.d.HasLease(authID) {
 		s.d.Revoke(authID)
 		s.d.reportInvalidatedLease(authID)
@@ -144,13 +145,7 @@ func (s *session) drainStream(streamID uint32) {
 	if streamID == 0 {
 		return
 	}
-	st := s.ep.Stream(streamID)
-	go func() {
-		if _, err := io.Copy(io.Discard, st); err != nil {
-			s.d.logf("daemon %s: stream drain: %v", s.d.cfg.Name, err)
-		}
-		st.Release()
-	}()
+	s.d.drainStream(s.ep, streamID)
 }
 
 // notifyEvent pushes an event-completion notification (the daemon-side
@@ -302,6 +297,29 @@ func (s *session) handleOneWay(env protocol.Envelope) {
 		s.handleEnqueueBarrier(0, true, r)
 	case protocol.MsgFlush:
 		s.handleFlush(0, true, r)
+	case protocol.MsgForwardBuffer:
+		s.handleForwardBuffer(r)
+	case protocol.MsgAcceptForward:
+		s.handleAcceptForward(r)
+	case protocol.MsgSetUserEventStatus:
+		// One-way status set: used by the coherence layer to cancel a
+		// superseded forward's gate ordered ahead of the commands that
+		// follow it on this connection (a request/response round trip
+		// would either block the enqueue path or lose that ordering).
+		eventID := r.U64()
+		status := cl.CommandStatus(r.I32())
+		if r.Err() != nil {
+			s.badFrame(0, true, protocol.MsgSetUserEventStatus)
+			return
+		}
+		s.mu.Lock()
+		ev := s.events[eventID]
+		s.mu.Unlock()
+		if ue, ok := ev.(cl.UserEvent); ok {
+			if err := ue.SetStatus(status); err != nil {
+				s.d.logf("daemon %s: one-way event status: %v", s.d.cfg.Name, err)
+			}
+		}
 	case protocol.MsgReleaseEvent:
 		eventID := r.U64()
 		if r.Err() != nil {
@@ -335,6 +353,117 @@ func (s *session) handleHello(id uint32, r *protocol.Reader) {
 	s.respond(id, protocol.MsgHello, cl.Success, func(w *protocol.Writer) {
 		w.String(s.d.cfg.Name)
 		protocol.PutDeviceRecords(w, recs)
+		// Peer data-plane capabilities: where peers reach this daemon's
+		// bulk plane, and whether it can originate forwards itself.
+		w.String(s.d.cfg.PeerAddr)
+		w.Bool(s.d.CanForward())
+	})
+}
+
+// handleForwardBuffer executes the source half of a peer transfer: read
+// the buffer region on the command's queue (so the read sequences after
+// the waits like any other command), then stream the bytes directly to
+// the peer daemon. One-way only — the client's link carries this command
+// and nothing else; failures come back as deferred MsgCommandFailed
+// notifications plus the completion event's failure status.
+func (s *session) handleForwardBuffer(r *protocol.Reader) {
+	f := protocol.GetForwardBuffer(r)
+	if r.Err() != nil {
+		s.badFrame(0, true, protocol.MsgForwardBuffer)
+		return
+	}
+	failFwd := func(err error) {
+		s.replyErr(0, true, protocol.MsgForwardBuffer, f.QueueID, f.EventID, err)
+	}
+	if s.d.peers == nil {
+		failFwd(cl.Errf(cl.InvalidOperation, "daemon %s has no peer data plane", s.d.cfg.Name))
+		return
+	}
+	s.mu.Lock()
+	q := s.queues[f.QueueID]
+	buf := s.buffers[f.SrcBufID]
+	s.mu.Unlock()
+	if q == nil || buf == nil {
+		failFwd(cl.Errf(cl.InvalidCommandQueue, "unknown queue or buffer"))
+		return
+	}
+	offset, size := int(f.SrcOffset), int(f.Size)
+	// Bound the staging allocation before trusting wire-supplied sizes
+	// (written to avoid offset+size overflow).
+	if size < 0 || offset < 0 || size > buf.Size() || offset > buf.Size()-size {
+		failFwd(cl.Errf(cl.InvalidValue, "malformed forward (offset %d size %d)", offset, size))
+		return
+	}
+	waits, err := s.resolveWaits(f.WaitIDs)
+	if err != nil {
+		failFwd(err)
+		return
+	}
+	// The source side stages the full region, matching the enqueue-read
+	// path (the device read is one queue command); the receive side
+	// streams without staging. Windowed source staging for multi-GB
+	// forwards is future work.
+	staged := make([]byte, size)
+	ev, err := q.EnqueueReadBuffer(buf, false, offset, staged, waits)
+	if err != nil {
+		failFwd(err)
+		return
+	}
+	// done is the client-visible completion event: it fires only after
+	// the payload has been handed to the peer transport, not when the
+	// local device read finishes.
+	done := native.NewUserEvent()
+	s.registerEvent(f.EventID, done)
+	hdr := protocol.PeerTransfer{Token: f.Token, BufID: f.DstBufID, Offset: f.DstOffset, Size: f.Size}
+	cbErr := ev.SetCallback(cl.Complete, func(_ cl.Event, st cl.CommandStatus) {
+		if st != cl.Complete {
+			failFwd(cl.Errf(cl.ErrorCode(st), "forward source read failed"))
+			if serr := done.SetStatus(st); serr != nil {
+				s.d.logf("daemon %s: forward done status: %v", s.d.cfg.Name, serr)
+			}
+			return
+		}
+		// Stream off the event-callback goroutine: a slow peer link must
+		// not stall the native queue's completion path.
+		go s.d.forwardPayload(f.PeerAddr, hdr, staged, done, failFwd)
+	})
+	if cbErr != nil {
+		failFwd(cbErr)
+	}
+}
+
+// handleAcceptForward executes the target half of a peer transfer:
+// validate the client's announcement, create the gating user event that
+// dependent commands wait on, and register the pending transfer for
+// rendezvous with the peer's payload.
+func (s *session) handleAcceptForward(r *protocol.Reader) {
+	a := protocol.GetAcceptForward(r)
+	if r.Err() != nil {
+		s.badFrame(0, true, protocol.MsgAcceptForward)
+		return
+	}
+	failAcc := func(err error) {
+		s.replyErr(0, true, protocol.MsgAcceptForward, a.QueueID, a.EventID, err)
+	}
+	s.mu.Lock()
+	buf := s.buffers[a.BufID]
+	s.mu.Unlock()
+	if buf == nil {
+		failAcc(cl.Errf(cl.InvalidMemObject, "unknown buffer %d", a.BufID))
+		return
+	}
+	offset, size := int(a.Offset), int(a.Size)
+	// Overflow-safe bounds check on wire-supplied values, as everywhere.
+	if size < 0 || offset < 0 || size > buf.Size() || offset > buf.Size()-size {
+		failAcc(cl.Errf(cl.InvalidValue, "malformed accept (offset %d size %d)", offset, size))
+		return
+	}
+	gate := newForwardGate()
+	s.registerEvent(a.EventID, gate)
+	s.d.registerForward(&pendingForward{
+		sess: s, buf: buf, bufID: a.BufID,
+		offset: offset, size: size,
+		token: a.Token, eventID: a.EventID, gate: gate,
 	})
 }
 

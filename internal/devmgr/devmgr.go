@@ -42,11 +42,12 @@ type lease struct {
 
 // serverConn is a registered managed daemon.
 type serverConn struct {
-	addr    string
-	ep      *gcf.Endpoint
-	nextReq uint32
-	pending map[uint32]chan *protocol.Envelope
-	mu      sync.Mutex
+	addr     string
+	peerAddr string // daemon-to-daemon bulk-plane address ("" if disabled)
+	ep       *gcf.Endpoint
+	nextReq  uint32
+	pending  map[uint32]chan *protocol.Envelope
+	mu       sync.Mutex
 }
 
 // Manager is the device manager service.
@@ -144,12 +145,13 @@ func (m *Manager) ServeConn(conn net.Conn) {
 // handleRegister adds a daemon's devices to the free set.
 func (m *Manager) handleRegister(ep *gcf.Endpoint, env protocol.Envelope) *serverConn {
 	addr := env.Body.String()
+	peerAddr := env.Body.String()
 	recs := protocol.GetDeviceRecords(env.Body)
 	if env.Body.Err() != nil || addr == "" {
 		m.respondStatus(ep, env.ID, env.Type, cl.InvalidValue)
 		return nil
 	}
-	sc := &serverConn{addr: addr, ep: ep, pending: map[uint32]chan *protocol.Envelope{}}
+	sc := &serverConn{addr: addr, peerAddr: peerAddr, ep: ep, pending: map[uint32]chan *protocol.Envelope{}}
 	m.mu.Lock()
 	m.servers[addr] = sc
 	for _, rec := range recs {
@@ -377,6 +379,21 @@ func (m *Manager) ReleaseLease(authID string) {
 		}
 	}
 	m.log("devmgr: lease %s released", authID[:8])
+}
+
+// ServerPeerAddr returns the registered daemon's peer data-plane
+// address ("" when the daemon is unknown or forwarding is disabled).
+// Clients learn peer addresses directly from each daemon's Hello
+// exchange; the manager records them at registration so peer-plane
+// topology is visible centrally (and available to future
+// locality-aware assignment policies).
+func (m *Manager) ServerPeerAddr(addr string) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if sc := m.servers[addr]; sc != nil {
+		return sc.peerAddr
+	}
+	return ""
 }
 
 // FreeDevices reports how many devices are currently unassigned.

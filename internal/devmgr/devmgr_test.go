@@ -39,7 +39,12 @@ func newManagedWorld(t *testing.T, servers map[string][]device.Config) *managedW
 	}()
 	for addr, cfgs := range servers {
 		plat := native.NewPlatform("native-"+addr, "test", cfgs)
-		d, err := daemon.New(daemon.Config{Name: addr, Platform: plat, Managed: true})
+		d, err := daemon.New(daemon.Config{
+			Name: addr, Platform: plat, Managed: true,
+			// Announce a peer data-plane address so registration carries
+			// it to the manager (asserted by TestRegistrationCarriesPeerAddr).
+			PeerAddr: addr + "/peer",
+		})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -211,6 +216,24 @@ func TestEndToEndManagedAssignment(t *testing.T) {
 		}
 	}
 	waitFor(t, func() bool { return w.manager.FreeDevices() == 3 }, "disconnect-triggered release")
+}
+
+// TestRegistrationCarriesPeerAddr: daemons announce their peer
+// data-plane address when registering, and the manager records it per
+// server, so lease-holding clients can be routed across the bulk plane.
+func TestRegistrationCarriesPeerAddr(t *testing.T) {
+	w := newManagedWorld(t, map[string][]device.Config{
+		"srvA": {device.TestGPU("g0")},
+		"srvB": {device.TestCPU("c0")},
+	})
+	for _, addr := range []string{"srvA", "srvB"} {
+		if got := w.manager.ServerPeerAddr(addr); got != addr+"/peer" {
+			t.Fatalf("ServerPeerAddr(%s) = %q, want %q", addr, got, addr+"/peer")
+		}
+	}
+	if got := w.manager.ServerPeerAddr("unknown"); got != "" {
+		t.Fatalf("ServerPeerAddr(unknown) = %q, want empty", got)
+	}
 }
 
 func TestManagedRequestExceedingCapacity(t *testing.T) {

@@ -326,6 +326,18 @@ func (e *Endpoint) getStreamLocked(id uint32) *Stream {
 	if !ok {
 		s = newStream(e, id)
 		e.streams[id] = s
+		// A stream resolved after shutdown must be born closed: the
+		// dispatcher may handle a message announcing a stream whose data
+		// frames died with the connection, and a reader of that stream
+		// would otherwise block forever (shutdown's sweep has already
+		// run).
+		if e.closed.Load() {
+			err, _ := e.closeErr.Load().(error)
+			if err == nil {
+				err = ErrClosed
+			}
+			s.closeRead(err)
+		}
 	}
 	return s
 }

@@ -37,6 +37,16 @@ const (
 	MsgSetUserEventStatus
 	MsgReleaseEvent
 	MsgGetServerInfo
+	MsgForwardBuffer // client → source daemon: stream a buffer region to a peer
+	MsgAcceptForward // client → target daemon: expect an inbound peer transfer
+)
+
+// Peer data-plane message types (daemon ↔ daemon). These travel on the
+// dedicated peer connections of the server-to-server bulk plane, never on
+// client sessions.
+const (
+	MsgPeerHello    MsgType = iota + 80 // handshake after an outbound peer dial
+	MsgPeerTransfer                     // one bulk transfer: header + stream payload
 )
 
 // Notifications (daemon → client).
@@ -70,6 +80,8 @@ func (t MsgType) String() string {
 		MsgFlush: "Flush", MsgCreateUserEvent: "CreateUserEvent",
 		MsgSetUserEventStatus: "SetUserEventStatus", MsgReleaseEvent: "ReleaseEvent",
 		MsgGetServerInfo: "GetServerInfo", MsgEventComplete: "EventComplete",
+		MsgForwardBuffer: "ForwardBuffer", MsgAcceptForward: "AcceptForward",
+		MsgPeerHello: "PeerHello", MsgPeerTransfer: "PeerTransfer",
 		MsgCommandFailed:    "CommandFailed",
 		MsgDMRegisterServer: "DMRegisterServer", MsgDMRequestDevices: "DMRequestDevices",
 		MsgDMAssign: "DMAssign", MsgDMReleaseLease: "DMReleaseLease",
@@ -202,6 +214,129 @@ func GetCommandFailure(r *Reader) CommandFailure {
 		Op:      MsgType(r.U16()),
 		Status:  r.I32(),
 		Msg:     r.String(),
+	}
+}
+
+// ForwardBuffer is the body of a MsgForwardBuffer one-way command: the
+// client tells the source daemon to read [SrcOffset, SrcOffset+Size) of
+// SrcBufID and stream the bytes directly to the daemon at PeerAddr,
+// bypassing the client's link entirely (the peer-to-peer bulk plane that
+// lifts the Section III-F all-through-the-host limitation). Token pairs
+// the transfer with a MsgAcceptForward registered at the receiver;
+// DstBufID/DstOffset are echoed in the peer transfer header so the
+// receiver can cross-check the client's intent against the peer's claim.
+// EventID is the source-side completion event ("payload handed to the
+// peer transport"); QueueID sequences the buffer read and routes deferred
+// failures.
+type ForwardBuffer struct {
+	QueueID   uint64
+	SrcBufID  uint64
+	SrcOffset int64
+	Size      int64
+	PeerAddr  string
+	Token     uint64
+	DstBufID  uint64
+	DstOffset int64
+	EventID   uint64
+	WaitIDs   []uint64
+}
+
+// PutForwardBuffer encodes a forward command.
+func PutForwardBuffer(w *Writer, f ForwardBuffer) {
+	w.U64(f.QueueID)
+	w.U64(f.SrcBufID)
+	w.I64(f.SrcOffset)
+	w.I64(f.Size)
+	w.String(f.PeerAddr)
+	w.U64(f.Token)
+	w.U64(f.DstBufID)
+	w.I64(f.DstOffset)
+	w.U64(f.EventID)
+	w.U64s(f.WaitIDs)
+}
+
+// GetForwardBuffer decodes a forward command.
+func GetForwardBuffer(r *Reader) ForwardBuffer {
+	return ForwardBuffer{
+		QueueID:   r.U64(),
+		SrcBufID:  r.U64(),
+		SrcOffset: r.I64(),
+		Size:      r.I64(),
+		PeerAddr:  r.String(),
+		Token:     r.U64(),
+		DstBufID:  r.U64(),
+		DstOffset: r.I64(),
+		EventID:   r.U64(),
+		WaitIDs:   r.U64s(),
+	}
+}
+
+// AcceptForward is the body of a MsgAcceptForward one-way command: the
+// client tells the target daemon to expect an inbound peer transfer
+// identified by Token, write it into [Offset, Offset+Size) of BufID and
+// complete the gating user event EventID when the payload has landed.
+// Commands that depend on the forwarded data wait on EventID.
+type AcceptForward struct {
+	Token   uint64
+	BufID   uint64
+	Offset  int64
+	Size    int64
+	EventID uint64
+	QueueID uint64 // failure routing only; 0 when the transfer has no queue
+}
+
+// PutAcceptForward encodes an accept command.
+func PutAcceptForward(w *Writer, a AcceptForward) {
+	w.U64(a.Token)
+	w.U64(a.BufID)
+	w.I64(a.Offset)
+	w.I64(a.Size)
+	w.U64(a.EventID)
+	w.U64(a.QueueID)
+}
+
+// GetAcceptForward decodes an accept command.
+func GetAcceptForward(r *Reader) AcceptForward {
+	return AcceptForward{
+		Token:   r.U64(),
+		BufID:   r.U64(),
+		Offset:  r.I64(),
+		Size:    r.I64(),
+		EventID: r.U64(),
+		QueueID: r.U64(),
+	}
+}
+
+// PeerTransfer is the header of one daemon-to-daemon bulk transfer (the
+// peer-handshake frame identifying the receiving transfer and buffer):
+// sent on the peer connection ahead of the payload, which follows on
+// stream StreamID. Every field is cross-checked against the pending
+// AcceptForward registered under Token before any byte is written.
+type PeerTransfer struct {
+	Token    uint64
+	BufID    uint64
+	Offset   int64
+	Size     int64
+	StreamID uint32
+}
+
+// PutPeerTransfer encodes a peer transfer header.
+func PutPeerTransfer(w *Writer, t PeerTransfer) {
+	w.U64(t.Token)
+	w.U64(t.BufID)
+	w.I64(t.Offset)
+	w.I64(t.Size)
+	w.U32(t.StreamID)
+}
+
+// GetPeerTransfer decodes a peer transfer header.
+func GetPeerTransfer(r *Reader) PeerTransfer {
+	return PeerTransfer{
+		Token:    r.U64(),
+		BufID:    r.U64(),
+		Offset:   r.I64(),
+		Size:     r.I64(),
+		StreamID: r.U32(),
 	}
 }
 

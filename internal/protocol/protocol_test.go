@@ -58,6 +58,59 @@ func TestScalarRoundTrip(t *testing.T) {
 	}
 }
 
+func TestForwardMessagesRoundTrip(t *testing.T) {
+	fwd := ForwardBuffer{
+		QueueID: 7, SrcBufID: 9, SrcOffset: 64, Size: 4096,
+		PeerAddr: "nodeB/peer", Token: 0xdeadbeefcafe, DstBufID: 9,
+		DstOffset: 128, EventID: 42, WaitIDs: []uint64{1, 2, 3},
+	}
+	w := NewWriter()
+	PutForwardBuffer(w, fwd)
+	r := NewReader(w.Bytes())
+	got := GetForwardBuffer(r)
+	if r.Err() != nil || r.Remaining() != 0 {
+		t.Fatalf("err=%v remaining=%d", r.Err(), r.Remaining())
+	}
+	if got.QueueID != fwd.QueueID || got.SrcBufID != fwd.SrcBufID ||
+		got.SrcOffset != fwd.SrcOffset || got.Size != fwd.Size ||
+		got.PeerAddr != fwd.PeerAddr || got.Token != fwd.Token ||
+		got.DstBufID != fwd.DstBufID || got.DstOffset != fwd.DstOffset ||
+		got.EventID != fwd.EventID || len(got.WaitIDs) != 3 || got.WaitIDs[2] != 3 {
+		t.Fatalf("forward round trip: %+v != %+v", got, fwd)
+	}
+
+	acc := AcceptForward{Token: 5, BufID: 6, Offset: 0, Size: 1 << 20, EventID: 11, QueueID: 12}
+	w = NewWriter()
+	PutAcceptForward(w, acc)
+	r = NewReader(w.Bytes())
+	if got := GetAcceptForward(r); r.Err() != nil || got != acc {
+		t.Fatalf("accept round trip: %+v != %+v (err %v)", got, acc, r.Err())
+	}
+
+	tr := PeerTransfer{Token: 5, BufID: 6, Offset: 32, Size: 1 << 19, StreamID: 3}
+	w = NewWriter()
+	PutPeerTransfer(w, tr)
+	r = NewReader(w.Bytes())
+	if got := GetPeerTransfer(r); r.Err() != nil || got != tr {
+		t.Fatalf("peer transfer round trip: %+v != %+v (err %v)", got, tr, r.Err())
+	}
+}
+
+func TestForwardMessagesTruncated(t *testing.T) {
+	// Every truncated prefix must surface ErrTruncated, never panic or
+	// yield a silently short struct with Err() == nil.
+	w := NewWriter()
+	PutForwardBuffer(w, ForwardBuffer{PeerAddr: "x", WaitIDs: []uint64{1}})
+	full := w.Bytes()
+	for n := 0; n < len(full); n++ {
+		r := NewReader(full[:n])
+		_ = GetForwardBuffer(r)
+		if r.Err() == nil {
+			t.Fatalf("truncation at %d/%d bytes not detected", n, len(full))
+		}
+	}
+}
+
 func TestTruncatedReadsAreSticky(t *testing.T) {
 	r := NewReader([]byte{1, 2})
 	_ = r.U32()

@@ -15,6 +15,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -64,6 +65,11 @@ type LinkConfig struct {
 	// SlowStartFactor is the bandwidth fraction during the ramp
 	// (default 0.5 when SlowStartBytes > 0).
 	SlowStartFactor float64
+	// FailAfterBytes, when positive, breaks the link after roughly that
+	// many bytes have been sent in one direction (a flaky-link fault for
+	// failure-injection tests): the failing write errors and the peer's
+	// read side sees the connection drop.
+	FailAfterBytes int64
 }
 
 func (c LinkConfig) scale() float64 {
@@ -121,6 +127,9 @@ type half struct {
 	rampMu    sync.Mutex
 	rampLeft  int       // slow-start bytes remaining at reduced bandwidth
 	lastReady time.Time // end of the previous reservation (ramp reset)
+
+	sent  atomic.Int64  // bytes accepted in this direction (fault budget)
+	stats *atomic.Int64 // optional network-level byte counter
 }
 
 func newHalf(cfg LinkConfig) *half {
@@ -173,6 +182,37 @@ func (h *half) send(p []byte) (int, error) {
 	if h.isClosed() {
 		return 0, io.ErrClosedPipe
 	}
+	if h.cfg.FailAfterBytes > 0 {
+		already := h.sent.Load()
+		if already >= h.cfg.FailAfterBytes {
+			h.close()
+			return 0, io.ErrClosedPipe
+		}
+		if budget := h.cfg.FailAfterBytes - already; int64(len(p)) > budget {
+			// Flaky-link fault: the budget runs out inside this write.
+			// Deliver the prefix that fit, then drop the link, so the
+			// peer's reader observes a mid-transfer truncation exactly as
+			// a broken socket would produce.
+			h.sent.Add(budget)
+			if h.stats != nil {
+				h.stats.Add(budget)
+			}
+			if _, err := h.deliver(p[:budget]); err == nil {
+				h.close()
+			}
+			return 0, io.ErrClosedPipe
+		}
+	}
+	h.sent.Add(int64(len(p)))
+	if h.stats != nil {
+		h.stats.Add(int64(len(p)))
+	}
+	return h.deliver(p)
+}
+
+// deliver reserves wire time for p and enqueues it (the fault-free tail
+// of send).
+func (h *half) deliver(p []byte) (int, error) {
 	slotEnd := h.wire.reserve(h.transmissionDelay(len(p)))
 	h.rampMu.Lock()
 	h.lastReady = slotEnd
@@ -312,10 +352,17 @@ func (c *Conn) SetReadDeadline(time.Time) error { return nil }
 func (c *Conn) SetWriteDeadline(time.Time) error { return nil }
 
 // Network is an in-memory address space mapping addresses to listeners.
+// Links can be configured per destination (SetLink) or per directed node
+// pair (SetLinkBetween), modeling multi-node topologies with independent
+// per-link latency and bandwidth; every link counts the bytes it carries
+// per direction (BytesSent), so tests can assert which path a payload
+// actually travelled.
 type Network struct {
 	mu        sync.Mutex
 	listeners map[string]*Listener
 	links     map[string]LinkConfig
+	pairLinks map[[2]string]LinkConfig
+	stats     map[[2]string]*atomic.Int64
 	def       LinkConfig
 }
 
@@ -324,6 +371,8 @@ func NewNetwork(def LinkConfig) *Network {
 	return &Network{
 		listeners: map[string]*Listener{},
 		links:     map[string]LinkConfig{},
+		pairLinks: map[[2]string]LinkConfig{},
+		stats:     map[[2]string]*atomic.Int64{},
 		def:       def,
 	}
 }
@@ -333,6 +382,40 @@ func (n *Network) SetLink(addr string, cfg LinkConfig) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.links[addr] = cfg
+}
+
+// SetLinkBetween overrides the link model for dials from the named
+// endpoint `from` (the caller identity passed to DialFrom) to addr. It
+// takes precedence over SetLink and the network default, enabling
+// asymmetric topologies (fast daemon↔daemon fabric, slow client uplink).
+func (n *Network) SetLinkBetween(from, to string, cfg LinkConfig) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.pairLinks[[2]string{from, to}] = cfg
+}
+
+// statsFor returns the byte counter for the directed pair, creating it
+// on first use. Callers hold n.mu.
+func (n *Network) statsFor(from, to string) *atomic.Int64 {
+	key := [2]string{from, to}
+	c, ok := n.stats[key]
+	if !ok {
+		c = &atomic.Int64{}
+		n.stats[key] = c
+	}
+	return c
+}
+
+// BytesSent reports how many bytes have been sent from the named
+// endpoint toward addr across all connections between the two (frame
+// payloads as written, before latency/bandwidth modeling).
+func (n *Network) BytesSent(from, to string) int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if c, ok := n.stats[[2]string{from, to}]; ok {
+		return c.Load()
+	}
+	return 0
 }
 
 // Listen registers a listener at addr.
@@ -349,17 +432,37 @@ func (n *Network) Listen(addr string) (*Listener, error) {
 
 // Dial connects to the listener at addr using the configured link model.
 func (n *Network) Dial(addr string) (net.Conn, error) {
+	return n.DialFrom("", addr)
+}
+
+// DialFrom is Dial with an explicit caller identity: the connection uses
+// the link configured between from and addr (falling back to SetLink and
+// then the network default), and its traffic is accounted under that
+// directed pair. Daemons dialing peers pass their own address so the
+// daemon↔daemon fabric can differ from the client uplinks.
+func (n *Network) DialFrom(from, addr string) (net.Conn, error) {
+	caller := from
+	if caller == "" {
+		caller = "client:" + addr
+	}
 	n.mu.Lock()
 	l, ok := n.listeners[addr]
-	cfg, hasLink := n.links[addr]
+	cfg, hasLink := n.pairLinks[[2]string{from, addr}]
+	if !hasLink {
+		cfg, hasLink = n.links[addr]
+	}
 	if !hasLink {
 		cfg = n.def
 	}
+	fwd := n.statsFor(caller, addr)
+	rev := n.statsFor(addr, caller)
 	n.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("simnet: connection refused: %s", addr)
 	}
-	client, server := NamedPipe(cfg, "client:"+addr, addr)
+	client, server := NamedPipe(cfg, caller, addr)
+	client.out.stats = fwd
+	server.out.stats = rev
 	select {
 	case l.accept <- server:
 		return client, nil

@@ -276,3 +276,122 @@ func TestPipeNeverLosesBytes(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// sinkListener accepts connections and discards everything it reads.
+func sinkListener(t *testing.T, nw *Network, addr string) {
+	t.Helper()
+	l, err := nw.Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() { _, _ = io.Copy(io.Discard, conn) }()
+		}
+	}()
+}
+
+func TestPerPairLinksAndByteAccounting(t *testing.T) {
+	nw := NewNetwork(Unlimited())
+	sinkListener(t, nw, "b")
+	// The a→b pair gets its own (still unlimited) link config; the
+	// point here is routing and accounting, not pacing.
+	nw.SetLinkBetween("a", "b", Unlimited())
+
+	conn, err := nw.DialFrom("a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 10_000)
+	if _, err := conn.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	if got := nw.BytesSent("a", "b"); got != 10_000 {
+		t.Fatalf("BytesSent(a,b) = %d, want 10000", got)
+	}
+	if got := nw.BytesSent("b", "a"); got != 0 {
+		t.Fatalf("BytesSent(b,a) = %d, want 0", got)
+	}
+	// A second connection accumulates into the same pair counter.
+	conn2, err := nw.DialFrom("a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn2.Write(payload[:500]); err != nil {
+		t.Fatal(err)
+	}
+	if got := nw.BytesSent("a", "b"); got != 10_500 {
+		t.Fatalf("BytesSent(a,b) after second conn = %d, want 10500", got)
+	}
+	// Anonymous dials are accounted under the client pseudo-identity.
+	conn3, err := nw.Dial("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn3.Write(payload[:100]); err != nil {
+		t.Fatal(err)
+	}
+	if got := nw.BytesSent("client:b", "b"); got != 100 {
+		t.Fatalf("BytesSent(client:b, b) = %d, want 100", got)
+	}
+}
+
+func TestPerPairLinkOverridesDestinationLink(t *testing.T) {
+	// Destination-level config says "fail instantly"; the a→b pair link
+	// overrides it with a healthy link, and an anonymous dial still gets
+	// the destination-level config.
+	nw := NewNetwork(Unlimited())
+	sinkListener(t, nw, "b")
+	nw.SetLink("b", LinkConfig{FailAfterBytes: 1})
+	nw.SetLinkBetween("a", "b", Unlimited())
+
+	healthy, err := nw.DialFrom("a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := healthy.Write(make([]byte, 4096)); err != nil {
+		t.Fatalf("pair-link write failed: %v", err)
+	}
+	flaky, err := nw.Dial("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := flaky.Write(make([]byte, 4096)); err == nil {
+		t.Fatal("destination-level flaky link did not fail")
+	}
+}
+
+func TestFailAfterBytesTruncatesMidWrite(t *testing.T) {
+	a, b := Pipe(LinkConfig{FailAfterBytes: 1000})
+	writeErr := make(chan error, 1)
+	go func() {
+		_, err := a.Write(make([]byte, 5000))
+		writeErr <- err
+	}()
+	got := 0
+	buf := make([]byte, 512)
+	for {
+		n, err := b.Read(buf)
+		got += n
+		if err != nil {
+			if err != io.EOF {
+				t.Fatalf("reader error = %v, want EOF", err)
+			}
+			break
+		}
+	}
+	if got != 1000 {
+		t.Fatalf("delivered %d bytes, want exactly the 1000-byte fault budget", got)
+	}
+	if err := <-writeErr; err == nil {
+		t.Fatal("oversized write did not report the link failure")
+	}
+	// The link stays dead.
+	if _, err := a.Write([]byte{1}); err == nil {
+		t.Fatal("write after fault succeeded")
+	}
+}
