@@ -167,6 +167,166 @@ func BenchmarkEnqueueThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkGraphReplay measures the recorded command-graph API against
+// the eager pipelined enqueue path on a Gigabit-Ethernet-class link
+// (100 µs latency): the same 16-command OSEM-style iteration — one
+// 64 KB subset upload, 13 kernel launches, a copy and a 64-byte
+// read-back —
+// is driven either as 16 one-way messages plus payload per iteration,
+// or as a single MsgExecGraph frame replaying the daemon's cached
+// graph. Reports iterations/s for both paths, the speedup, and the
+// steady-state client→daemon frame cost per replayed iteration.
+func BenchmarkGraphReplay(b *testing.B) {
+	link := simnet.LinkConfig{BandwidthBps: 106e6, LatencySec: 100e-6}
+	nw := simnet.NewNetwork(link)
+	np := native.NewPlatform("bench", "bench", []device.Config{device.TestCPU("cpu0")})
+	d, err := daemon.New(daemon.Config{Name: "bench-node", Platform: np})
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := nw.Listen("bench-node")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go func() { _ = d.Serve(l) }()
+	defer l.Close()
+	plat := dopencl.NewPlatform(dopencl.Options{Dialer: nw.Dial, ClientName: "bench"})
+	if _, err := plat.ConnectServer("bench-node"); err != nil {
+		b.Fatal(err)
+	}
+	devs, err := plat.Devices(cl.DeviceTypeAll)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, err := plat.CreateContext(devs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ctx.Release()
+	q, err := ctx.CreateQueue(devs[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	const bufSize = 64 << 10
+	bufA, err := ctx.CreateBuffer(cl.MemReadWrite, bufSize, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bufB, err := ctx.CreateBuffer(cl.MemReadWrite, bufSize, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := ctx.CreateProgramWithSource(`
+kernel void scale(global float* data, float f, int n) {
+	int i = get_global_id(0);
+	if (i < n) { data[i] = data[i] * f; }
+}
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := prog.Build(nil, ""); err != nil {
+		b.Fatal(err)
+	}
+	k, err := prog.CreateKernel("scale")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i, arg := range []any{bufA, float32(1.5), int32(16)} {
+		if err := k.SetArg(i, arg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	payload := make([]byte, bufSize)
+
+	// One iteration, eager: 16 pipelined one-way commands.
+	eagerIteration := func() {
+		if _, err := q.EnqueueWriteBuffer(bufA, false, 0, payload, nil); err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 13; j++ {
+			if _, err := q.EnqueueNDRangeKernel(k, []int{16}, nil, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := q.EnqueueCopyBuffer(bufA, bufB, 0, 0, bufSize, nil); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := q.EnqueueReadBuffer(bufB, false, 0, make([]byte, 64), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	// The same iteration, recorded once.
+	if err := q.BeginRecording(); err != nil {
+		b.Fatal(err)
+	}
+	eagerIteration() // recording intercepts the identical command stream
+	cb, err := q.Finalize()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if cb.NumCommands() != 16 {
+		b.Fatalf("recorded %d commands, want 16", cb.NumCommands())
+	}
+	graphIteration := func() {
+		// The 64 KB upload payload is cached daemon-side; only the read
+		// destination is patched per iteration.
+		if _, err := q.EnqueueCommandBuffer(cb, []cl.CommandUpdate{
+			cl.ReadDstUpdate(15, make([]byte, 64)),
+		}, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	// Warm both paths (first replay settles the coherence footprint).
+	eagerIteration()
+	graphIteration()
+	if err := q.Finish(); err != nil {
+		b.Fatal(err)
+	}
+
+	const batch = 64
+	srv := plat.Servers()[0]
+	var eagerTime, graphTime time.Duration
+	var graphFrames uint64
+	iters := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		for j := 0; j < batch; j++ {
+			eagerIteration()
+		}
+		if err := q.Finish(); err != nil {
+			b.Fatal(err)
+		}
+		eagerTime += time.Since(start)
+
+		sent0, _ := srv.FrameCounts()
+		start = time.Now()
+		for j := 0; j < batch; j++ {
+			graphIteration()
+		}
+		if err := q.Finish(); err != nil {
+			b.Fatal(err)
+		}
+		graphTime += time.Since(start)
+		sent1, _ := srv.FrameCounts()
+		graphFrames += sent1 - sent0
+		iters += batch
+	}
+	b.StopTimer()
+	if eagerTime > 0 && graphTime > 0 {
+		eagerRate := float64(iters) / eagerTime.Seconds()
+		graphRate := float64(iters) / graphTime.Seconds()
+		b.ReportMetric(eagerRate, "eager_iters/s")
+		b.ReportMetric(graphRate, "graph_iters/s")
+		b.ReportMetric(graphRate/eagerRate, "speedup_x")
+		// Frames per replayed iteration (includes the batch's Finish).
+		b.ReportMetric(float64(graphFrames)/float64(iters), "frames/iter")
+	}
+}
+
 // crossServerCluster builds a client spanning two daemons over a
 // symmetric bandwidth-limited simnet fabric, with or without the peer
 // data plane, and returns queues on each daemon.

@@ -6,7 +6,9 @@
 //
 // The facade re-exports the pieces a downstream user needs:
 //
-//   - the OpenCL-style API (cl.Platform, cl.Context, cl.Queue, ...);
+//   - the OpenCL-style API as type aliases (Context, Queue, Buffer,
+//     Kernel, Event, CommandBuffer, DeviceType, MemFlags, ...), so host
+//     code never has to import the internal cl package;
 //   - the dOpenCL client driver (NewPlatform, server connections, device
 //     manager leases);
 //   - the daemon and device manager for the server side;
@@ -25,6 +27,7 @@
 package dopencl
 
 import (
+	"dopencl/internal/cl"
 	"dopencl/internal/client"
 	"dopencl/internal/daemon"
 	"dopencl/internal/device"
@@ -34,6 +37,79 @@ import (
 
 // Version identifies this reimplementation.
 const Version = "1.0.0"
+
+// OpenCL-style API re-exports. Applications are written against these
+// interfaces and run unchanged on the native single-node runtime or the
+// distributed client driver (the paper's uniform programming model).
+// CLPlatform is the interface both the dOpenCL Platform and the native
+// runtime implement; the remaining names mirror their cl_* originals.
+type (
+	// CLPlatform mirrors cl_platform_id (implemented by Platform).
+	CLPlatform = cl.Platform
+	// Device mirrors cl_device_id.
+	Device = cl.Device
+	// Context mirrors cl_context.
+	Context = cl.Context
+	// Queue mirrors cl_command_queue, extended with the recorded
+	// command-graph API (BeginRecording/Finalize/EnqueueCommandBuffer).
+	Queue = cl.Queue
+	// Buffer mirrors cl_mem for buffer objects.
+	Buffer = cl.Buffer
+	// Program mirrors cl_program.
+	Program = cl.Program
+	// Kernel mirrors cl_kernel.
+	Kernel = cl.Kernel
+	// Event mirrors cl_event.
+	Event = cl.Event
+	// UserEvent mirrors user events created via clCreateUserEvent.
+	UserEvent = cl.UserEvent
+	// CommandBuffer is a finalized command-graph recording (in the
+	// spirit of cl_khr_command_buffer).
+	CommandBuffer = cl.CommandBuffer
+	// CommandUpdate patches a mutable slot of a recorded command.
+	CommandUpdate = cl.CommandUpdate
+	// DeviceType classifies compute devices (cl_device_type).
+	DeviceType = cl.DeviceType
+	// MemFlags describe buffer usage (cl_mem_flags).
+	MemFlags = cl.MemFlags
+	// CommandStatus is an event's execution status.
+	CommandStatus = cl.CommandStatus
+	// DeviceInfo carries the immutable properties of a device.
+	DeviceInfo = cl.DeviceInfo
+	// LocalSpace reserves work-group local memory for a kernel argument.
+	LocalSpace = cl.LocalSpace
+)
+
+// Device type, memory flag and command status constants.
+const (
+	DeviceTypeCPU         = cl.DeviceTypeCPU
+	DeviceTypeGPU         = cl.DeviceTypeGPU
+	DeviceTypeAccelerator = cl.DeviceTypeAccelerator
+	DeviceTypeAll         = cl.DeviceTypeAll
+
+	MemReadWrite   = cl.MemReadWrite
+	MemWriteOnly   = cl.MemWriteOnly
+	MemReadOnly    = cl.MemReadOnly
+	MemCopyHostPtr = cl.MemCopyHostPtr
+
+	Complete = cl.Complete
+)
+
+// WaitForEvents blocks until all events have completed (clWaitForEvents).
+func WaitForEvents(events []Event) error { return cl.WaitForEvents(events) }
+
+// KernelArgUpdate patches argument argIndex of the recorded kernel
+// launch at index cmd on the next (and subsequent) replays.
+func KernelArgUpdate(cmd, argIndex int, v any) CommandUpdate {
+	return cl.KernelArgUpdate(cmd, argIndex, v)
+}
+
+// WriteDataUpdate replaces the payload of the recorded write at index
+// cmd on the next (and subsequent) replays.
+func WriteDataUpdate(cmd int, data []byte) CommandUpdate { return cl.WriteDataUpdate(cmd, data) }
+
+// ReadDstUpdate redirects the recorded read at index cmd into dst.
+func ReadDstUpdate(cmd int, dst []byte) CommandUpdate { return cl.ReadDstUpdate(cmd, dst) }
 
 // Options configures the dOpenCL client driver (see client.Options).
 type Options = client.Options

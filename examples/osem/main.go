@@ -78,6 +78,22 @@ func main() {
 		remote.MeanIteration, rdevs[0].Name(),
 		rdevs[0].(*client.Device).Server().Addr())
 
+	// Same offload again, but with the steady-state subset iteration
+	// recorded once and replayed with one frame per subset (the
+	// command-graph API): identical host algorithm, identical image,
+	// a fraction of the per-subset message traffic.
+	graph, err := osem.ReconstructGraph(plat, rdevs[0], params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph-replay offload:   %v per iteration (recorded once, replayed per subset)\n",
+		graph.MeanIteration)
+	for i := range graph.Image {
+		if graph.Image[i] != remote.Image[i] {
+			log.Fatalf("graph replay diverged from eager offload at voxel %d", i)
+		}
+	}
+
 	// Both paths must produce the same image (the middleware is
 	// transparent); compare against the pure-Go reference as well.
 	ref := osem.ReferenceReconstruct(params)

@@ -3,7 +3,9 @@
 // The program spins up two daemons on an in-memory network (stand-ins for
 // remote machines running dcld), connects the dOpenCL client driver and
 // runs completely standard OpenCL host code: the distributed system is
-// invisible to the application, which is the paper's core claim.
+// invisible to the application, which is the paper's core claim. The
+// host code uses only the dopencl facade's OpenCL-style aliases
+// (dopencl.Queue, dopencl.Buffer, ...), never the internal packages.
 //
 //	go run ./examples/quickstart
 package main
@@ -14,8 +16,7 @@ import (
 	"log"
 	"math"
 
-	"dopencl/internal/cl"
-	"dopencl/internal/client"
+	"dopencl"
 	"dopencl/internal/daemon"
 	"dopencl/internal/device"
 	"dopencl/internal/native"
@@ -61,14 +62,14 @@ func main() {
 
 	// The dOpenCL platform: a drop-in OpenCL implementation whose devices
 	// happen to live on other machines.
-	plat := client.NewPlatform(client.Options{Dialer: nw.Dial, ClientName: "quickstart"})
+	plat := dopencl.NewPlatform(dopencl.Options{Dialer: nw.Dial, ClientName: "quickstart"})
 	for _, addr := range []string{"node0", "node1"} {
 		if _, err := plat.ConnectServer(addr); err != nil {
 			log.Fatalf("connect %s: %v", addr, err)
 		}
 	}
 
-	devs, err := plat.Devices(cl.DeviceTypeAll)
+	devs, err := plat.Devices(dopencl.DeviceTypeAll)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func main() {
 		fmt.Printf("  %-8s %s\n", d.Type(), d.Name())
 	}
 
-	// From here on: plain OpenCL host code.
+	// From here on: plain OpenCL host code against the facade aliases.
 	const n = 1 << 16
 	a := make([]float32, n)
 	b := make([]float32, n)
@@ -96,15 +97,15 @@ func main() {
 		}
 	}()
 
-	bufA, err := ctx.CreateBuffer(cl.MemReadOnly|cl.MemCopyHostPtr, 4*n, f32bytes(a))
+	bufA, err := ctx.CreateBuffer(dopencl.MemReadOnly|dopencl.MemCopyHostPtr, 4*n, f32bytes(a))
 	if err != nil {
 		log.Fatal(err)
 	}
-	bufB, err := ctx.CreateBuffer(cl.MemReadOnly|cl.MemCopyHostPtr, 4*n, f32bytes(b))
+	bufB, err := ctx.CreateBuffer(dopencl.MemReadOnly|dopencl.MemCopyHostPtr, 4*n, f32bytes(b))
 	if err != nil {
 		log.Fatal(err)
 	}
-	bufOut, err := ctx.CreateBuffer(cl.MemWriteOnly, 4*n, nil)
+	bufOut, err := ctx.CreateBuffer(dopencl.MemWriteOnly, 4*n, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -127,9 +128,9 @@ func main() {
 	}
 
 	// Run on the GPU half of the cluster.
-	var gpu cl.Device
+	var gpu dopencl.Device
 	for _, d := range devs {
-		if d.Type() == cl.DeviceTypeGPU {
+		if d.Type() == dopencl.DeviceTypeGPU {
 			gpu = d
 		}
 	}
@@ -142,7 +143,7 @@ func main() {
 		log.Fatal(err)
 	}
 	out := make([]byte, 4*n)
-	if _, err := q.EnqueueReadBuffer(bufOut, true, 0, out, []cl.Event{ev}); err != nil {
+	if _, err := q.EnqueueReadBuffer(bufOut, true, 0, out, []dopencl.Event{ev}); err != nil {
 		log.Fatal(err)
 	}
 
@@ -152,8 +153,7 @@ func main() {
 			log.Fatalf("out[%d] = %v, want %v", i, got, float32(n))
 		}
 	}
-	fmt.Printf("\nvadd of %d elements on %q (via %s): all results correct ✓\n",
-		n, gpu.Name(), gpu.(*client.Device).Server().Addr())
+	fmt.Printf("\nvadd of %d elements on %q: all results correct ✓\n", n, gpu.Name())
 }
 
 func f32bytes(vs []float32) []byte {

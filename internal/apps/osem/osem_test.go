@@ -44,6 +44,35 @@ func TestReconstructMatchesReference(t *testing.T) {
 	}
 }
 
+// TestReconstructGraphMatchesEager pins the graph-replay variant to the
+// eager implementation bit-for-bit: the recorded subset iteration with
+// per-subset payload and event-count updates must reconstruct the exact
+// same image, including the ragged last subset (padding never read).
+func TestReconstructGraphMatchesEager(t *testing.T) {
+	p := smallParams()
+	// Force a ragged last subset: 200 events over 3 subsets = 67/67/66.
+	p.Subsets = 3
+
+	plat := native.NewPlatform("test", "test", []device.Config{device.TestCPU("cpu")})
+	devs, err := plat.Devices(cl.DeviceTypeAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eager, err := Reconstruct(plat, devs[0], p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graph, err := ReconstructGraph(plat, devs[0], p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range eager.Image {
+		if eager.Image[i] != graph.Image[i] {
+			t.Fatalf("voxel %d: eager %v != graph %v", i, eager.Image[i], graph.Image[i])
+		}
+	}
+}
+
 func TestReconstructionConcentratesActivity(t *testing.T) {
 	// The phantom is a centred sphere: after a few iterations the centre
 	// voxels must accumulate more activity than the corners.

@@ -229,7 +229,122 @@ type Kernel interface {
 	Release() error
 }
 
-// Queue mirrors cl_command_queue (in-order).
+// CommandBuffer is a finalized recording of commands, in the spirit of
+// cl_khr_command_buffer: the steady-state iteration of a workload is
+// captured once on a queue and then replayed many times with
+// Queue.EnqueueCommandBuffer, optionally patching designated mutable
+// slots (kernel arguments, write payloads, read destinations) between
+// replays via CommandUpdate.
+//
+// In dOpenCL, a finalized command buffer is compiled into a per-server
+// execution plan and registered with the daemon owning the recording
+// queue, which caches and replays it server-side: a steady-state
+// iteration then costs one small frame per daemon instead of one message
+// per command.
+type CommandBuffer interface {
+	// NumCommands returns the number of recorded commands.
+	NumCommands() int
+	// Release drops the command buffer, releasing any server-side graph
+	// cache entries. Replaying a released buffer is an error.
+	Release() error
+}
+
+// UpdateKind selects which mutable slot a CommandUpdate patches.
+type UpdateKind uint8
+
+const (
+	// UpdateKernelArg patches one argument of a recorded kernel launch.
+	UpdateKernelArg UpdateKind = iota + 1
+	// UpdateWriteData replaces the payload of a recorded write command.
+	// The new payload must have the recorded length.
+	UpdateWriteData
+	// UpdateReadDst redirects a recorded read command's destination to a
+	// different host slice of the recorded length.
+	UpdateReadDst
+)
+
+// CommandUpdate patches one mutable slot of a recorded command before a
+// replay. Updates are persistent: they mutate the command buffer, so
+// later replays without updates see the patched values (mirroring
+// clUpdateMutableCommandsKHR semantics).
+type CommandUpdate struct {
+	// Command is the index of the recorded command (0-based, in recording
+	// order).
+	Command int
+	// Kind selects the slot.
+	Kind UpdateKind
+	// ArgIndex is the kernel argument index (UpdateKernelArg only).
+	ArgIndex int
+	// ArgValue is the new kernel argument value; the same types as
+	// Kernel.SetArg are accepted (UpdateKernelArg only).
+	ArgValue any
+	// Data is the new write payload (UpdateWriteData) or read destination
+	// (UpdateReadDst); len(Data) must equal the recorded transfer size.
+	Data []byte
+}
+
+// KernelArgUpdate builds a CommandUpdate patching argument argIndex of
+// the recorded kernel launch at index cmd.
+func KernelArgUpdate(cmd, argIndex int, v any) CommandUpdate {
+	return CommandUpdate{Command: cmd, Kind: UpdateKernelArg, ArgIndex: argIndex, ArgValue: v}
+}
+
+// WriteDataUpdate builds a CommandUpdate replacing the payload of the
+// recorded write at index cmd.
+func WriteDataUpdate(cmd int, data []byte) CommandUpdate {
+	return CommandUpdate{Command: cmd, Kind: UpdateWriteData, Data: data}
+}
+
+// ReadDstUpdate builds a CommandUpdate redirecting the recorded read at
+// index cmd into dst.
+func ReadDstUpdate(cmd int, dst []byte) CommandUpdate {
+	return CommandUpdate{Command: cmd, Kind: UpdateReadDst, Data: dst}
+}
+
+// RecordedEvent is the inert placeholder every implementation returns
+// from enqueues captured while recording: it is only meaningful inside
+// the wait lists of later commands of the same recording (the queue is
+// in-order, so those edges are ordering no-ops), and waiting on it is
+// an error.
+type RecordedEvent struct{}
+
+var _ Event = RecordedEvent{}
+
+// Status reports Queued: a recorded command never executes directly.
+func (RecordedEvent) Status() CommandStatus { return Queued }
+
+// Wait fails: recorded commands have no runtime event.
+func (RecordedEvent) Wait() error {
+	return Errf(InvalidOperation, "recorded command has no runtime event; wait on EnqueueCommandBuffer's event")
+}
+
+// SetCallback fails: recorded commands have no runtime event.
+func (RecordedEvent) SetCallback(CommandStatus, func(Event, CommandStatus)) error {
+	return Errf(InvalidOperation, "recorded command has no runtime event")
+}
+
+// Release is a no-op.
+func (RecordedEvent) Release() error { return nil }
+
+// CheckRecordedWaits validates a wait list used while recording: only
+// nil entries and recorded placeholders are allowed. Live events are
+// run-time dependencies that a replayed-many-times graph cannot
+// re-wait; they belong in the wait list of EnqueueCommandBuffer.
+func CheckRecordedWaits(wait []Event) error {
+	for _, w := range wait {
+		if w == nil {
+			continue
+		}
+		if _, ok := w.(RecordedEvent); !ok {
+			return Errf(InvalidEventWaitList,
+				"recorded commands may only wait on events recorded in the same graph; pass external dependencies to EnqueueCommandBuffer")
+		}
+	}
+	return nil
+}
+
+// Queue mirrors cl_command_queue (in-order), extended with the recorded
+// command-graph API (BeginRecording/Finalize/EnqueueCommandBuffer).
 type Queue interface {
 	// Device returns the device commands execute on.
 	Device() Device
@@ -254,6 +369,26 @@ type Queue interface {
 	// EnqueueBarrier blocks execution of later commands until every
 	// previously enqueued command has completed.
 	EnqueueBarrier() error
+
+	// BeginRecording switches the queue into recording mode: subsequent
+	// enqueues are captured into a command graph instead of executing.
+	// Recorded enqueues return inert placeholder events that are only
+	// valid in the wait lists of later commands of the same recording
+	// (intra-graph edges; the queue is in-order, so they are ordering
+	// no-ops). Blocking transfers, Flush and Finish are invalid while
+	// recording. Recording while already recording is an error.
+	BeginRecording() error
+	// Finalize ends recording and compiles the captured commands into a
+	// replayable CommandBuffer. Finalizing an empty recording or a queue
+	// that is not recording is an error.
+	Finalize() (CommandBuffer, error)
+	// EnqueueCommandBuffer replays a finalized recording on this queue
+	// (which must be the queue that recorded it), after applying updates
+	// to its mutable slots. The returned event completes when every
+	// command of the replayed iteration has completed — including the
+	// arrival of read-back data in the recorded (or updated) read
+	// destinations.
+	EnqueueCommandBuffer(cb CommandBuffer, updates []CommandUpdate, wait []Event) (Event, error)
 
 	// Flush submits all queued commands for execution.
 	Flush() error
@@ -290,7 +425,18 @@ type UserEvent interface {
 }
 
 // WaitForEvents blocks until all events have completed, mirroring
-// clWaitForEvents. It returns the first error encountered.
+// clWaitForEvents. Its contract, pinned by table tests:
+//
+//   - a nil or empty list is trivially satisfied and returns nil;
+//   - nil entries are skipped (unlike C OpenCL, which would reject the
+//     list — a nil Go interface value carries no event to wait for);
+//   - every non-nil event is waited on, even after an earlier event has
+//     already failed — the call is a barrier over the whole list, not a
+//     first-error short-circuit;
+//   - the returned error is that of the first failed event in list
+//     order (not completion order), so the result is deterministic for
+//     a given list; already-failed events report their recorded error
+//     without blocking.
 func WaitForEvents(events []Event) error {
 	var first error
 	for _, e := range events {

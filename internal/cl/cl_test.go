@@ -82,28 +82,67 @@ func TestCommandStatusStrings(t *testing.T) {
 	}
 }
 
-// fakeEvent is a minimal Event for WaitForEvents tests.
+// fakeEvent is a minimal Event for WaitForEvents tests. waited counts
+// Wait calls so the barrier-over-the-whole-list contract is observable.
 type fakeEvent struct {
-	err error
+	err    error
+	waited int
 }
 
-func (f *fakeEvent) Status() CommandStatus { return Complete }
-func (f *fakeEvent) Wait() error           { return f.err }
+func (f *fakeEvent) Status() CommandStatus {
+	if f.err != nil {
+		return CommandStatus(CodeOf(f.err))
+	}
+	return Complete
+}
+func (f *fakeEvent) Wait() error { f.waited++; return f.err }
 func (f *fakeEvent) SetCallback(CommandStatus, func(Event, CommandStatus)) error {
 	return nil
 }
 func (f *fakeEvent) Release() error { return nil }
 
+// TestWaitForEvents pins the documented edge-case contract: nil/empty
+// lists, nil entries, already-failed events, list-order error selection
+// and the wait-everything barrier semantics.
 func TestWaitForEvents(t *testing.T) {
-	if err := WaitForEvents(nil); err != nil {
-		t.Errorf("empty wait list: %v", err)
-	}
-	if err := WaitForEvents([]Event{nil, &fakeEvent{}}); err != nil {
-		t.Errorf("nil entries must be skipped: %v", err)
-	}
-	sentinel := Errf(OutOfResources, "boom")
-	err := WaitForEvents([]Event{&fakeEvent{}, &fakeEvent{err: sentinel}, &fakeEvent{}})
-	if err != sentinel {
-		t.Errorf("first error not returned: %v", err)
+	errA := Errf(OutOfResources, "boom A")
+	errB := Errf(InvalidServer, "boom B")
+	for _, tc := range []struct {
+		name   string
+		events func() []Event
+		want   error
+	}{
+		{"nil list", func() []Event { return nil }, nil},
+		{"empty list", func() []Event { return []Event{} }, nil},
+		{"all nil entries", func() []Event { return []Event{nil, nil} }, nil},
+		{"nil entries skipped", func() []Event { return []Event{nil, &fakeEvent{}, nil} }, nil},
+		{"all complete", func() []Event { return []Event{&fakeEvent{}, &fakeEvent{}} }, nil},
+		{"single failure", func() []Event { return []Event{&fakeEvent{}, &fakeEvent{err: errA}} }, errA},
+		{
+			// Two failures: the error of the FIRST failed event in list
+			// order wins, regardless of which failed "first" in time.
+			"first failure by list order",
+			func() []Event { return []Event{&fakeEvent{}, &fakeEvent{err: errB}, &fakeEvent{err: errA}} },
+			errB,
+		},
+		{
+			"already-failed event ahead of nil",
+			func() []Event { return []Event{&fakeEvent{err: errA}, nil, &fakeEvent{}} },
+			errA,
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			events := tc.events()
+			if err := WaitForEvents(events); err != tc.want {
+				t.Errorf("WaitForEvents = %v, want %v", err, tc.want)
+			}
+			// Barrier semantics: every non-nil event must have been
+			// waited on exactly once, even those after a failure.
+			for i, e := range events {
+				if fe, ok := e.(*fakeEvent); ok && fe.waited != 1 {
+					t.Errorf("event %d waited %d times, want 1", i, fe.waited)
+				}
+			}
+		})
 	}
 }

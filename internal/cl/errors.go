@@ -39,6 +39,10 @@ const (
 	InvalidEvent           ErrorCode = -58
 	InvalidOperation       ErrorCode = -59
 	InvalidBufferSize      ErrorCode = -61
+	// InvalidCommandBuffer mirrors CL_INVALID_COMMAND_BUFFER_KHR from
+	// cl_khr_command_buffer: a released, foreign or mis-targeted command
+	// buffer, or an update naming a slot the recording does not have.
+	InvalidCommandBuffer ErrorCode = -1138
 	// InvalidServer is a dOpenCL extension code for server-related failures
 	// (connection refused, authentication rejected, server gone).
 	InvalidServer ErrorCode = -2001
@@ -77,6 +81,7 @@ var errorNames = map[ErrorCode]string{
 	InvalidEvent:           "CL_INVALID_EVENT",
 	InvalidOperation:       "CL_INVALID_OPERATION",
 	InvalidBufferSize:      "CL_INVALID_BUFFER_SIZE",
+	InvalidCommandBuffer:   "CL_INVALID_COMMAND_BUFFER_KHR",
 	InvalidServer:          "CL_INVALID_SERVER_WWU",
 }
 

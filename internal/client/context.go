@@ -360,6 +360,7 @@ func (p *Program) CreateKernel(name string) (cl.Kernel, error) {
 			k.argInfo = protocol.GetArgInfo(resp)
 			k.argBufs = make([]*Buffer, len(k.argInfo))
 			k.argSet = make([]bool, len(k.argInfo))
+			k.argWire = make([]wireArg, len(k.argInfo))
 		}
 	}
 	return k, nil
@@ -389,6 +390,7 @@ type Kernel struct {
 	argInfo []kernel.ArgInfo
 	argBufs []*Buffer // buffer bindings, tracked for MSI at launch
 	argSet  []bool
+	argWire []wireArg // wire images of the bindings, snapshotted by recordings
 }
 
 var _ cl.Kernel = (*Kernel)(nil)
@@ -402,35 +404,26 @@ func (k *Kernel) NumArgs() int { return len(k.argInfo) }
 // ArgInfo exposes the compiled argument metadata.
 func (k *Kernel) ArgInfo() []kernel.ArgInfo { return k.argInfo }
 
-// SetArg binds argument i, replicating to all servers.
-func (k *Kernel) SetArg(i int, v any) error {
+// encodeArg converts an application argument value to its wire image,
+// shared by the eager SetArg replication path and the graph recorder.
+func (k *Kernel) encodeArg(i int, v any) (wireArg, error) {
 	if i < 0 || i >= len(k.argInfo) {
-		return cl.Errf(cl.InvalidArgIndex, "kernel %s has %d arguments", k.name, len(k.argInfo))
+		return wireArg{}, cl.Errf(cl.InvalidArgIndex, "kernel %s has %d arguments", k.name, len(k.argInfo))
 	}
 	info := k.argInfo[i]
-	var fill func(w *protocol.Writer)
-	var boundBuf *Buffer
 	switch info.Kind {
 	case kernel.ArgScalarInt:
 		iv, err := coerceInt(v)
 		if err != nil {
-			return err
+			return wireArg{}, err
 		}
-		raw := uint64(uint32(iv))
-		fill = func(w *protocol.Writer) {
-			w.U8(protocol.ArgValScalar)
-			w.U64(raw)
-		}
+		return wireArg{kind: protocol.ArgValScalar, raw: uint64(uint32(iv))}, nil
 	case kernel.ArgScalarFloat:
 		fv, err := coerceFloat(v)
 		if err != nil {
-			return err
+			return wireArg{}, err
 		}
-		raw := uint64(floatBits(fv))
-		fill = func(w *protocol.Writer) {
-			w.U8(protocol.ArgValScalar)
-			w.U64(raw)
-		}
+		return wireArg{kind: protocol.ArgValScalar, raw: uint64(floatBits(fv))}, nil
 	case kernel.ArgGlobalBuf:
 		buf, ok := v.(*Buffer)
 		if !ok {
@@ -439,37 +432,55 @@ func (k *Kernel) SetArg(i int, v any) error {
 			}
 		}
 		if !ok || buf == nil {
-			return cl.Errf(cl.InvalidArgValue, "argument %d of %s requires a dOpenCL buffer", i, k.name)
+			return wireArg{}, cl.Errf(cl.InvalidArgValue, "argument %d of %s requires a dOpenCL buffer", i, k.name)
 		}
-		boundBuf = buf
-		fill = func(w *protocol.Writer) {
-			w.U8(protocol.ArgValBuffer)
-			w.U64(buf.id)
-		}
+		return wireArg{kind: protocol.ArgValBuffer, buf: buf}, nil
 	case kernel.ArgLocalBuf:
 		ls, ok := v.(cl.LocalSpace)
 		if !ok || ls.Size <= 0 {
-			return cl.Errf(cl.InvalidArgSize, "argument %d of %s requires LocalSpace", i, k.name)
+			return wireArg{}, cl.Errf(cl.InvalidArgSize, "argument %d of %s requires LocalSpace", i, k.name)
 		}
-		fill = func(w *protocol.Writer) {
-			w.U8(protocol.ArgValLocal)
-			w.I64(int64(ls.Size))
-		}
+		return wireArg{kind: protocol.ArgValLocal, local: ls.Size}, nil
+	}
+	return wireArg{}, cl.Errf(cl.InvalidArgValue, "argument %d of %s has unsupported kind", i, k.name)
+}
+
+// SetArg binds argument i, replicating to all servers.
+func (k *Kernel) SetArg(i int, v any) error {
+	wa, err := k.encodeArg(i, v)
+	if err != nil {
+		return err
 	}
 	for _, srv := range k.prog.ctx.servers {
 		if _, err := srv.call(protocol.MsgSetKernelArg, func(w *protocol.Writer) {
 			w.U64(k.id)
 			w.U32(uint32(i))
-			fill(w)
+			wa.put(w)
 		}); err != nil {
 			return err
 		}
 	}
 	k.mu.Lock()
-	k.argBufs[i] = boundBuf
+	k.argBufs[i] = wa.buf
 	k.argSet[i] = true
+	k.argWire[i] = wa
 	k.mu.Unlock()
 	return nil
+}
+
+// snapshotWire captures the current wire-format argument bindings for a
+// recording, failing on unset arguments (record-time validation).
+func (k *Kernel) snapshotWire() ([]wireArg, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	out := make([]wireArg, len(k.argWire))
+	for i := range k.argWire {
+		if !k.argSet[i] {
+			return nil, cl.Errf(cl.InvalidKernelArgs, "argument %d of %s not set", i, k.name)
+		}
+		out[i] = k.argWire[i]
+	}
+	return out, nil
 }
 
 // bufferBindings snapshots the buffer arguments with their access modes.

@@ -1,0 +1,574 @@
+package client
+
+import (
+	"io"
+	"sync"
+
+	"dopencl/internal/cl"
+	"dopencl/internal/gcf"
+	"dopencl/internal/protocol"
+)
+
+// Recorded command graphs (cl.CommandBuffer): the client captures a
+// queue's steady-state iteration once, compiles it into a per-server
+// execution plan and registers it with the daemon owning the queue
+// (MsgRegisterGraph). Each replay is then a single MsgExecGraph frame —
+// one small message per involved daemon per iteration instead of one
+// message per command — with deferred failures on the PR 1
+// MsgCommandFailed path and input coherence (including cross-daemon
+// transfers) on the PR 2 forward path.
+
+// wireArg is the wire image of one kernel argument binding.
+type wireArg struct {
+	kind  uint8 // protocol.ArgVal*
+	raw   uint64
+	buf   *Buffer
+	local int
+}
+
+// put encodes the argument as a MsgSetKernelArg value.
+func (a wireArg) put(w *protocol.Writer) {
+	w.U8(a.kind)
+	switch a.kind {
+	case protocol.ArgValBuffer:
+		w.U64(a.buf.id)
+	case protocol.ArgValLocal:
+		w.I64(int64(a.local))
+	default:
+		w.U64(a.raw)
+	}
+}
+
+// proto converts the argument to its graph-registration form.
+func (a wireArg) proto() protocol.GraphKernelArg {
+	switch a.kind {
+	case protocol.ArgValBuffer:
+		return protocol.GraphKernelArg{Kind: a.kind, Raw: a.buf.id}
+	case protocol.ArgValLocal:
+		return protocol.GraphKernelArg{Kind: a.kind, Local: int64(a.local)}
+	default:
+		return protocol.GraphKernelArg{Kind: a.kind, Raw: a.raw}
+	}
+}
+
+// recCmd is one recorded command of a client-side graph.
+type recCmd struct {
+	op uint8 // protocol.GraphOp*
+
+	buf      *Buffer // write/read target
+	src, dst *Buffer // copy endpoints
+	offset   int     // write/read offset, copy source offset
+	dstOff   int
+	size     int
+
+	data []byte // write payload (owned copy, shipped at registration)
+	rdst []byte // read destination (application slice)
+
+	k      *Kernel
+	args   []wireArg // frozen at record time; patched only by updates
+	global []int
+	local  []int
+}
+
+// maybeRecord captures a command when the queue is recording; the bool
+// result reports whether recording mode was active. build may fail
+// (e.g. unset kernel arguments), surfacing record-time validation.
+func (q *Queue) maybeRecord(blocking bool, wait []cl.Event, build func() (*recCmd, error)) (cl.Event, bool, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.rec == nil {
+		return nil, false, nil
+	}
+	if blocking {
+		return nil, true, cl.Errf(cl.InvalidOperation, "blocking transfer while recording")
+	}
+	if err := cl.CheckRecordedWaits(wait); err != nil {
+		return nil, true, err
+	}
+	c, err := build()
+	if err != nil {
+		return nil, true, err
+	}
+	q.rec = append(q.rec, c)
+	return cl.RecordedEvent{}, true, nil
+}
+
+// BeginRecording switches the queue into recording mode.
+func (q *Queue) BeginRecording() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.rec != nil {
+		return cl.Errf(cl.InvalidOperation, "queue is already recording")
+	}
+	q.rec = []*recCmd{}
+	return nil
+}
+
+// CommandBuffer is the client-side finalized recording: the recorded
+// command list plus the compiled coherence footprint, mirrored by a
+// cached graph in the owning daemon's session.
+type CommandBuffer struct {
+	q  *Queue
+	id uint64 // graph ID, shared with the daemon's cache
+
+	mu       sync.Mutex
+	cmds     []*recCmd
+	inputs   []*Buffer // buffers that must be valid on the server at entry
+	outputs  []*Buffer // buffers the graph writes (Modified after a replay)
+	readIdx  []int     // indices of read commands, stream order
+	released bool
+}
+
+var _ cl.CommandBuffer = (*CommandBuffer)(nil)
+
+// NumCommands returns the number of recorded commands.
+func (cb *CommandBuffer) NumCommands() int {
+	cb.mu.Lock()
+	defer cb.mu.Unlock()
+	return len(cb.cmds)
+}
+
+// Release drops the recording and the daemon's cached graph.
+func (cb *CommandBuffer) Release() error {
+	cb.mu.Lock()
+	if cb.released {
+		cb.mu.Unlock()
+		return nil
+	}
+	cb.released = true
+	cb.cmds = nil
+	cb.mu.Unlock()
+	return cb.q.srv.send(protocol.MsgReleaseGraph, func(w *protocol.Writer) {
+		w.U64(cb.id)
+	})
+}
+
+// compileLocked derives the coherence footprint from the command list:
+// inputs are buffers whose first access reads existing contents (reads,
+// copy sources, kernel arguments, partial writes); outputs are buffers
+// any command writes. Resolved once at finalize and recomputed only when
+// an update rebinds a kernel buffer argument — the per-iteration
+// revalidation is then a cheap directory check per input.
+func (cb *CommandBuffer) compileLocked() {
+	cb.inputs = nil
+	cb.outputs = nil
+	cb.readIdx = nil
+	seen := map[*Buffer]bool{}
+	wrote := map[*Buffer]bool{}
+	addInput := func(b *Buffer) {
+		if !seen[b] {
+			seen[b] = true
+			cb.inputs = append(cb.inputs, b)
+		}
+	}
+	addOutput := func(b *Buffer) {
+		if !wrote[b] {
+			wrote[b] = true
+			cb.outputs = append(cb.outputs, b)
+		}
+		seen[b] = true // later reads see graph-produced data, not an input
+	}
+	for i, c := range cb.cmds {
+		switch c.op {
+		case protocol.GraphOpWrite:
+			if c.offset != 0 || c.size != c.buf.size {
+				// A partial write needs the rest of the buffer to stay
+				// meaningful, like the eager path.
+				addInput(c.buf)
+			}
+			addOutput(c.buf)
+		case protocol.GraphOpRead:
+			addInput(c.buf)
+			cb.readIdx = append(cb.readIdx, i)
+		case protocol.GraphOpCopy:
+			addInput(c.src)
+			if c.dstOff != 0 || c.size != c.dst.size {
+				addInput(c.dst)
+			}
+			addOutput(c.dst)
+		case protocol.GraphOpKernel:
+			for ai, a := range c.args {
+				if a.kind != protocol.ArgValBuffer {
+					continue
+				}
+				// Mirrors the eager launch: every buffer argument must be
+				// valid on the server; non-read-only arguments are written.
+				addInput(a.buf)
+				if !c.k.argInfo[ai].ReadOnly {
+					addOutput(a.buf)
+				}
+			}
+		}
+	}
+}
+
+// wireCommands builds the registration command list, opening one payload
+// stream per write. The returned uploads ship the payloads (started by
+// the caller after the registration frame is on the wire); the streams
+// are returned separately so a failed registration send can release
+// them without running the uploads.
+func (cb *CommandBuffer) wireCommandsLocked() ([]protocol.GraphCommand, []func(), []*gcf.Stream) {
+	srv := cb.q.srv
+	wire := make([]protocol.GraphCommand, len(cb.cmds))
+	var uploads []func()
+	var streams []*gcf.Stream
+	for i, c := range cb.cmds {
+		gc := protocol.GraphCommand{Op: c.op}
+		switch c.op {
+		case protocol.GraphOpWrite:
+			gc.BufID = c.buf.id
+			gc.Offset = int64(c.offset)
+			gc.Size = int64(c.size)
+			stream := srv.openStream()
+			gc.StreamID = stream.ID()
+			streams = append(streams, stream)
+			data := c.data
+			uploads = append(uploads, func() {
+				defer stream.Release()
+				if _, err := stream.Write(data); err != nil {
+					return
+				}
+				if err := stream.CloseWrite(); err != nil {
+					return
+				}
+			})
+		case protocol.GraphOpRead:
+			gc.BufID = c.buf.id
+			gc.Offset = int64(c.offset)
+			gc.Size = int64(c.size)
+		case protocol.GraphOpCopy:
+			gc.SrcID = c.src.id
+			gc.DstID = c.dst.id
+			gc.Offset = int64(c.offset)
+			gc.DstOff = int64(c.dstOff)
+			gc.Size = int64(c.size)
+		case protocol.GraphOpKernel:
+			gc.KernelID = c.k.id
+			gc.Args = make([]protocol.GraphKernelArg, len(c.args))
+			for ai, a := range c.args {
+				gc.Args[ai] = a.proto()
+			}
+			gc.Global = c.global
+			gc.Local = c.local
+		}
+		wire[i] = gc
+	}
+	return wire, uploads, streams
+}
+
+// Finalize ends recording, compiles the captured commands into a
+// per-server execution plan and registers the graph with the daemon
+// owning this queue. Registration is a one-way command: a daemon-side
+// failure surfaces at the queue's next Finish, and every replay of the
+// unregistered graph fails its completion event.
+func (q *Queue) Finalize() (cl.CommandBuffer, error) {
+	q.mu.Lock()
+	cmds := q.rec
+	q.rec = nil
+	q.mu.Unlock()
+	if cmds == nil {
+		return nil, cl.Errf(cl.InvalidOperation, "queue is not recording")
+	}
+	if len(cmds) == 0 {
+		return nil, cl.Errf(cl.InvalidValue, "empty recording")
+	}
+	cb := &CommandBuffer{q: q, id: q.ctx.plat.newID(), cmds: cmds}
+	cb.mu.Lock()
+	cb.compileLocked()
+	wire, uploads, streams := cb.wireCommandsLocked()
+	cb.mu.Unlock()
+	if err := q.srv.send(protocol.MsgRegisterGraph, func(w *protocol.Writer) {
+		protocol.PutRegisterGraph(w, protocol.RegisterGraph{
+			GraphID:  cb.id,
+			QueueID:  q.id,
+			Commands: wire,
+		})
+	}); err != nil {
+		// The registration never left the client; the payload streams
+		// will not be consumed by anyone.
+		for _, st := range streams {
+			st.Release()
+		}
+		return nil, err
+	}
+	// Ship write payloads behind the registration frame; the daemon gates
+	// each replayed write on its payload having fully landed.
+	for _, up := range uploads {
+		go up()
+	}
+	return cb, nil
+}
+
+// EnqueueCommandBuffer replays a finalized recording: one MsgExecGraph
+// frame fires the whole iteration on the daemon, after the mutable-slot
+// updates are applied (persistently) to both the client plan and the
+// daemon's cached graph. The returned event completes when every command
+// of the iteration has completed and all read-back data has arrived.
+func (q *Queue) EnqueueCommandBuffer(b cl.CommandBuffer, updates []cl.CommandUpdate, wait []cl.Event) (cl.Event, error) {
+	cb, ok := b.(*CommandBuffer)
+	if !ok {
+		return nil, cl.Errf(cl.InvalidCommandBuffer, "foreign command buffer")
+	}
+	if cb.q != q {
+		return nil, cl.Errf(cl.InvalidCommandBuffer, "command buffer was recorded on a different queue")
+	}
+	q.mu.Lock()
+	recording := q.rec != nil
+	q.mu.Unlock()
+	if recording {
+		return nil, cl.Errf(cl.InvalidOperation, "cannot replay a command buffer while recording")
+	}
+
+	cb.mu.Lock()
+	if cb.released {
+		cb.mu.Unlock()
+		return nil, cl.Errf(cl.InvalidCommandBuffer, "command buffer released")
+	}
+	// Updates are persistent, but only once the exec frame carrying them
+	// is on the wire — the daemon applies its copy when that frame
+	// arrives. Until then every mutation is undoable, so a failure on
+	// any later step (bad update, coherence error, dead connection)
+	// cannot leave the client plan diverged from the daemon's cache.
+	var undos []func()
+	footprintDirty := false
+	rollback := func() {
+		for i := len(undos) - 1; i >= 0; i-- {
+			undos[i]()
+		}
+		if footprintDirty {
+			cb.compileLocked()
+		}
+	}
+	var wireUpdates []protocol.GraphUpdate
+	var updPayloads [][]byte // parallel to GraphUpdateWriteData entries
+	for _, u := range updates {
+		wu, payload, undo, dirty, err := cb.applyUpdateLocked(u)
+		if err != nil {
+			rollback()
+			cb.mu.Unlock()
+			return nil, err
+		}
+		undos = append(undos, undo)
+		footprintDirty = footprintDirty || dirty
+		if wu != nil {
+			wireUpdates = append(wireUpdates, *wu)
+			if payload != nil {
+				updPayloads = append(updPayloads, payload)
+			}
+		}
+	}
+	if footprintDirty {
+		cb.compileLocked()
+	}
+	inputs := append([]*Buffer(nil), cb.inputs...)
+	outputs := append([]*Buffer(nil), cb.outputs...)
+	readDsts := make([][]byte, len(cb.readIdx))
+	for i, idx := range cb.readIdx {
+		readDsts[i] = cb.cmds[idx].rdst
+	}
+	graphID := cb.id
+	cb.mu.Unlock()
+	// Re-locks cb.mu: the mutations must be withdrawn atomically with
+	// respect to other replays.
+	rollbackLocked := func() {
+		cb.mu.Lock()
+		rollback()
+		cb.mu.Unlock()
+	}
+
+	// Per-iteration coherence revalidation: in steady state every input
+	// was produced by the previous replay on this server and the
+	// directory check is a no-op; after an outside write the transfer
+	// runs here — daemon-to-daemon over the PR 2 forward path when
+	// available — and its gate joins the replay's wait list.
+	isInput := make(map[*Buffer]bool, len(inputs))
+	var gates []*Event
+	for _, in := range inputs {
+		isInput[in] = true
+		gate, err := in.ensureValidOn(q)
+		if err != nil {
+			rollbackLocked()
+			return nil, err
+		}
+		if gate != nil {
+			gates = append(gates, gate)
+		}
+	}
+	for _, out := range outputs {
+		if !isInput[out] {
+			// Output-only buffers are fully overwritten: like the eager
+			// full-overwrite write path, sequence behind any in-flight
+			// inbound forward so a late payload cannot clobber them.
+			if g := out.inboundGate(q.srv); g != nil {
+				gates = append(gates, g)
+			}
+		}
+	}
+	wait = withGates(wait, gates...)
+	waitIDs, err := translateWaitList(q.srv, wait)
+	if err != nil {
+		rollbackLocked()
+		return nil, err
+	}
+
+	// Open the per-iteration streams: one per recorded read (the daemon
+	// ships this iteration's read-back data on them) and one per updated
+	// write payload.
+	readStreams := make([]*gcf.Stream, len(readDsts))
+	readIDs := make([]uint32, len(readDsts))
+	for i := range readDsts {
+		readStreams[i] = q.srv.openStream()
+		readIDs[i] = readStreams[i].ID()
+	}
+	updStreams := make([]*gcf.Stream, 0, len(updPayloads))
+	for i := range wireUpdates {
+		if wireUpdates[i].Kind != protocol.GraphUpdateWriteData {
+			continue
+		}
+		st := q.srv.openStream()
+		wireUpdates[i].StreamID = st.ID()
+		updStreams = append(updStreams, st)
+	}
+	releaseStreams := func() {
+		for _, st := range readStreams {
+			st.Release()
+		}
+		for _, st := range updStreams {
+			st.Release()
+		}
+	}
+
+	// Completion event: the daemon completes execID when the iteration's
+	// final marker fires; the wrapped event the application sees also
+	// waits for the read-back data to land in the destinations.
+	execID := q.ctx.plat.newID()
+	wrapped := newRemoteEvent(q.ctx, q.srv, execID)
+	var wg sync.WaitGroup
+	var recvMu sync.Mutex
+	var recvErr error
+	// The receivers are counted before the hook is registered (a fast
+	// daemon could complete the iteration before they spawn) but only
+	// started once the exec frame is on the wire.
+	wg.Add(len(readDsts))
+	q.srv.registerHook(execID, func(st cl.CommandStatus) {
+		// The daemon closes every announced read stream on both success
+		// and failure paths, so this wait always terminates.
+		wg.Wait()
+		recvMu.Lock()
+		rerr := recvErr
+		recvMu.Unlock()
+		if st == cl.Complete && rerr != nil {
+			wrapped.complete(cl.CommandStatus(cl.CodeOf(rerr)))
+			return
+		}
+		wrapped.complete(st)
+	})
+
+	if err := q.srv.send(protocol.MsgExecGraph, func(w *protocol.Writer) {
+		protocol.PutExecGraph(w, protocol.ExecGraph{
+			GraphID:       graphID,
+			QueueID:       q.id,
+			EventID:       execID,
+			WaitIDs:       waitIDs,
+			ReadStreamIDs: readIDs,
+			Updates:       wireUpdates,
+		})
+	}); err != nil {
+		q.srv.dropHook(execID)
+		releaseStreams()
+		rollbackLocked()
+		return nil, err
+	}
+	// Pull this iteration's read-back data into the destinations.
+	for i := range readDsts {
+		st, dst := readStreams[i], readDsts[i]
+		go func() {
+			defer wg.Done()
+			defer st.Release()
+			if _, rerr := io.ReadFull(st, dst); rerr != nil {
+				recvMu.Lock()
+				if recvErr == nil {
+					recvErr = cl.Errf(cl.InvalidServer, "graph read-back failed: %v", rerr)
+				}
+				recvMu.Unlock()
+				return
+			}
+			st.WaitEOF()
+		}()
+	}
+	// Ship updated write payloads behind the exec frame.
+	for i, st := range updStreams {
+		data := updPayloads[i]
+		go func() {
+			defer st.Release()
+			if _, werr := st.Write(data); werr != nil {
+				return
+			}
+			_ = st.CloseWrite()
+		}()
+	}
+	q.track(wrapped)
+	// Directory effects of the whole iteration: every written buffer is
+	// Modified on this server, rolled back by markWrittenBy's failure
+	// hook if the replay fails.
+	for _, out := range outputs {
+		out.markWrittenBy(q.srv, wrapped)
+	}
+	return wrapped, nil
+}
+
+// applyUpdateLocked patches one mutable slot of the client-side plan and
+// returns the wire update for the daemon's cached copy (nil for
+// client-only slots such as read destinations), the payload to ship for
+// write-data updates, an undo closure withdrawing the mutation (run if
+// the exec frame never makes it onto the wire), and whether the
+// coherence footprint changed.
+func (cb *CommandBuffer) applyUpdateLocked(u cl.CommandUpdate) (*protocol.GraphUpdate, []byte, func(), bool, error) {
+	if u.Command < 0 || u.Command >= len(cb.cmds) {
+		return nil, nil, nil, false, cl.Errf(cl.InvalidCommandBuffer, "update targets command %d of %d", u.Command, len(cb.cmds))
+	}
+	c := cb.cmds[u.Command]
+	switch u.Kind {
+	case cl.UpdateKernelArg:
+		if c.op != protocol.GraphOpKernel {
+			return nil, nil, nil, false, cl.Errf(cl.InvalidCommandBuffer, "command %d is not a kernel launch", u.Command)
+		}
+		wa, err := c.k.encodeArg(u.ArgIndex, u.ArgValue)
+		if err != nil {
+			return nil, nil, nil, false, err
+		}
+		prev := c.args[u.ArgIndex]
+		dirty := wa.buf != prev.buf
+		c.args[u.ArgIndex] = wa
+		return &protocol.GraphUpdate{
+			Cmd:      uint32(u.Command),
+			Kind:     protocol.GraphUpdateKernelArg,
+			ArgIndex: uint32(u.ArgIndex),
+			Arg:      wa.proto(),
+		}, nil, func() { c.args[u.ArgIndex] = prev }, dirty, nil
+	case cl.UpdateWriteData:
+		if c.op != protocol.GraphOpWrite {
+			return nil, nil, nil, false, cl.Errf(cl.InvalidCommandBuffer, "command %d is not a write", u.Command)
+		}
+		if len(u.Data) != c.size {
+			return nil, nil, nil, false, cl.Errf(cl.InvalidValue, "write update of %d bytes, recorded size %d", len(u.Data), c.size)
+		}
+		prev := c.data
+		c.data = append([]byte(nil), u.Data...)
+		return &protocol.GraphUpdate{
+			Cmd:  uint32(u.Command),
+			Kind: protocol.GraphUpdateWriteData,
+		}, c.data, func() { c.data = prev }, false, nil
+	case cl.UpdateReadDst:
+		if c.op != protocol.GraphOpRead {
+			return nil, nil, nil, false, cl.Errf(cl.InvalidCommandBuffer, "command %d is not a read", u.Command)
+		}
+		if len(u.Data) != c.size {
+			return nil, nil, nil, false, cl.Errf(cl.InvalidValue, "read update of %d bytes, recorded size %d", len(u.Data), c.size)
+		}
+		prev := c.rdst
+		c.rdst = u.Data
+		return nil, nil, func() { c.rdst = prev }, false, nil
+	}
+	return nil, nil, nil, false, cl.Errf(cl.InvalidValue, "unknown update kind %d", u.Kind)
+}

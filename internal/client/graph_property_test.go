@@ -1,0 +1,350 @@
+package client
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dopencl/internal/cl"
+	"dopencl/internal/device"
+)
+
+// Property test: for randomized recorded programs (writes, kernels,
+// copies, reads over buffers spanning two simnet servers), graph replay
+// must produce byte-identical buffer contents and read-back results to
+// the equivalent eager enqueues — including after mutable-slot updates
+// between replays and after out-of-band writes from the other server
+// re-dirty the graph's inputs.
+
+const (
+	propFloats  = 16
+	propBufSize = propFloats * 4
+	propBufs    = 3
+)
+
+// propCmd is one command of a generated program, holding the *current*
+// mutable-slot values (updates rewrite them between iterations).
+type propCmd struct {
+	kind   int // 0 write, 1 copy, 2 kernel, 3 read
+	buf    int // write/read/kernel target, copy source
+	dst    int // copy destination
+	off    int
+	size   int
+	dstOff int
+	data   []byte  // write payload
+	factor float32 // kernel scale factor
+}
+
+// propCluster is one of the two identical clusters the property test
+// compares (eager vs recorded execution).
+type propCluster struct {
+	ctx    cl.Context
+	queues map[string]cl.Queue // server addr → queue
+	bufs   []cl.Buffer
+	k      cl.Kernel
+}
+
+func newPropCluster(t *testing.T) *propCluster {
+	t.Helper()
+	tc := newTestCluster(t, map[string][]device.Config{
+		"nodeA": {device.TestCPU("cpuA")},
+		"nodeB": {device.TestCPU("cpuB")},
+	})
+	for _, addr := range []string{"nodeA", "nodeB"} {
+		if _, err := tc.plat.ConnectServer(addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	devs, err := tc.plat.Devices(cl.DeviceTypeAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := tc.plat.CreateContext(devs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := &propCluster{ctx: ctx, queues: map[string]cl.Queue{}}
+	for _, d := range devs {
+		addr := d.(*Device).Server().Addr()
+		q, err := ctx.CreateQueue(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pc.queues[addr] = q
+	}
+	for i := 0; i < propBufs; i++ {
+		b, err := ctx.CreateBuffer(cl.MemReadWrite, propBufSize, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pc.bufs = append(pc.bufs, b)
+	}
+	prog, err := ctx.CreateProgramWithSource(vaddSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Build(nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	pc.k, err = prog.CreateKernel("scale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pc
+}
+
+// genProgram draws a random program of 4-10 commands. Sizes stay
+// 4-byte-aligned so kernel commands always see whole floats.
+func genProgram(rng *rand.Rand) []*propCmd {
+	n := 4 + rng.Intn(7)
+	cmds := make([]*propCmd, n)
+	for i := range cmds {
+		c := &propCmd{kind: rng.Intn(4), buf: rng.Intn(propBufs)}
+		switch c.kind {
+		case 0: // write: full or partial
+			if rng.Intn(2) == 0 {
+				c.off, c.size = 0, propBufSize
+			} else {
+				c.off = 4 * rng.Intn(propFloats)
+				c.size = 4 * (1 + rng.Intn(propFloats-c.off/4))
+			}
+			c.data = randBytes(rng, c.size)
+		case 1: // copy
+			c.dst = rng.Intn(propBufs)
+			for c.dst == c.buf {
+				c.dst = rng.Intn(propBufs)
+			}
+			c.size = 4 * (1 + rng.Intn(propFloats))
+			c.off = 4 * rng.Intn(propFloats-c.size/4+1)
+			c.dstOff = 4 * rng.Intn(propFloats-c.size/4+1)
+		case 2: // kernel: scale the whole buffer
+			c.factor = float32(1+rng.Intn(5)) / 2
+		case 3: // read: full or partial
+			c.off = 4 * rng.Intn(propFloats)
+			c.size = 4 * (1 + rng.Intn(propFloats-c.off/4))
+		}
+		cmds[i] = c
+	}
+	return cmds
+}
+
+func randBytes(rng *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+// runEagerIteration executes the program's current values eagerly and
+// returns the read results in command order.
+func runEagerIteration(t *testing.T, pc *propCluster, q cl.Queue, cmds []*propCmd) [][]byte {
+	t.Helper()
+	var reads [][]byte
+	for _, c := range cmds {
+		switch c.kind {
+		case 0:
+			if _, err := q.EnqueueWriteBuffer(pc.bufs[c.buf], false, c.off, c.data, nil); err != nil {
+				t.Fatalf("eager write: %v", err)
+			}
+		case 1:
+			if _, err := q.EnqueueCopyBuffer(pc.bufs[c.buf], pc.bufs[c.dst], c.off, c.dstOff, c.size, nil); err != nil {
+				t.Fatalf("eager copy: %v", err)
+			}
+		case 2:
+			if err := pc.k.SetArg(0, pc.bufs[c.buf]); err != nil {
+				t.Fatal(err)
+			}
+			if err := pc.k.SetArg(1, c.factor); err != nil {
+				t.Fatal(err)
+			}
+			if err := pc.k.SetArg(2, int32(propFloats)); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := q.EnqueueNDRangeKernel(pc.k, []int{propFloats}, nil, nil); err != nil {
+				t.Fatalf("eager kernel: %v", err)
+			}
+		case 3:
+			dst := make([]byte, c.size)
+			if _, err := q.EnqueueReadBuffer(pc.bufs[c.buf], false, c.off, dst, nil); err != nil {
+				t.Fatalf("eager read: %v", err)
+			}
+			reads = append(reads, dst)
+		}
+	}
+	if err := q.Finish(); err != nil {
+		t.Fatalf("eager finish: %v", err)
+	}
+	return reads
+}
+
+// recordProgram records the program's initial values into a command
+// buffer on q.
+func recordProgram(t *testing.T, pc *propCluster, q cl.Queue, cmds []*propCmd) cl.CommandBuffer {
+	t.Helper()
+	if err := q.BeginRecording(); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cmds {
+		switch c.kind {
+		case 0:
+			if _, err := q.EnqueueWriteBuffer(pc.bufs[c.buf], false, c.off, c.data, nil); err != nil {
+				t.Fatalf("record write: %v", err)
+			}
+		case 1:
+			if _, err := q.EnqueueCopyBuffer(pc.bufs[c.buf], pc.bufs[c.dst], c.off, c.dstOff, c.size, nil); err != nil {
+				t.Fatalf("record copy: %v", err)
+			}
+		case 2:
+			if err := pc.k.SetArg(0, pc.bufs[c.buf]); err != nil {
+				t.Fatal(err)
+			}
+			if err := pc.k.SetArg(1, c.factor); err != nil {
+				t.Fatal(err)
+			}
+			if err := pc.k.SetArg(2, int32(propFloats)); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := q.EnqueueNDRangeKernel(pc.k, []int{propFloats}, nil, nil); err != nil {
+				t.Fatalf("record kernel: %v", err)
+			}
+		case 3:
+			if _, err := q.EnqueueReadBuffer(pc.bufs[c.buf], false, c.off, make([]byte, c.size), nil); err != nil {
+				t.Fatalf("record read: %v", err)
+			}
+		}
+	}
+	cb, err := q.Finalize()
+	if err != nil {
+		t.Fatalf("finalize: %v", err)
+	}
+	return cb
+}
+
+// snapshotBuffers reads every buffer back with blocking reads.
+func snapshotBuffers(t *testing.T, pc *propCluster, q cl.Queue) [][]byte {
+	t.Helper()
+	out := make([][]byte, len(pc.bufs))
+	for i, b := range pc.bufs {
+		out[i] = make([]byte, propBufSize)
+		if _, err := q.EnqueueReadBuffer(b, true, 0, out[i], nil); err != nil {
+			t.Fatalf("snapshot read: %v", err)
+		}
+	}
+	return out
+}
+
+func TestGraphReplayEquivalenceProperty(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			// One deterministic draw drives both clusters: the program
+			// and every mutation are identical, only the execution mode
+			// differs (eager re-enqueues vs one-frame graph replays).
+			rng := rand.New(rand.NewSource(seed))
+			eager := newPropCluster(t)
+			graph := newPropCluster(t)
+
+			// Identical initial state, written from nodeA in both
+			// clusters so inputs start on the non-recording server half
+			// the time.
+			for i := 0; i < propBufs; i++ {
+				init := randBytes(rng, propBufSize)
+				for _, pc := range []*propCluster{eager, graph} {
+					if _, err := pc.queues["nodeA"].EnqueueWriteBuffer(pc.bufs[i], true, 0, init, nil); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+
+			// One program, one recording queue; the other queue issues
+			// the out-of-band dirtying writes.
+			cmds := genProgram(rng)
+			recAddr, otherAddr := "nodeB", "nodeA"
+			if rng.Intn(2) == 0 {
+				recAddr, otherAddr = otherAddr, recAddr
+			}
+			cb := recordProgram(t, graph, graph.queues[recAddr], cmds)
+
+			const iters = 3
+			for iter := 0; iter < iters; iter++ {
+				var updates []cl.CommandUpdate
+				if iter > 0 {
+					// Mutate slots: new write payloads, new kernel
+					// factors, occasionally a rebound kernel target.
+					for ci, c := range cmds {
+						switch c.kind {
+						case 0:
+							if rng.Intn(2) == 0 {
+								c.data = randBytes(rng, c.size)
+								updates = append(updates, cl.WriteDataUpdate(ci, c.data))
+							}
+						case 2:
+							if rng.Intn(2) == 0 {
+								c.factor = float32(1+rng.Intn(5)) / 2
+								updates = append(updates, cl.KernelArgUpdate(ci, 1, c.factor))
+							} else if rng.Intn(3) == 0 {
+								c.buf = rng.Intn(propBufs)
+								updates = append(updates, cl.KernelArgUpdate(ci, 0, graph.bufs[c.buf]))
+							}
+						}
+					}
+					// Out-of-band write from the other server re-dirties
+					// an input half the time (forces cross-daemon
+					// revalidation on the next replay).
+					if rng.Intn(2) == 0 {
+						bi := rng.Intn(propBufs)
+						data := randBytes(rng, propBufSize)
+						for _, pc := range []*propCluster{eager, graph} {
+							if _, err := pc.queues[otherAddr].EnqueueWriteBuffer(pc.bufs[bi], true, 0, data, nil); err != nil {
+								t.Fatal(err)
+							}
+						}
+					}
+				}
+
+				// Graph iteration: fresh read destinations + the slot
+				// updates, one frame.
+				var graphReads [][]byte
+				for ci, c := range cmds {
+					if c.kind == 3 {
+						dst := make([]byte, c.size)
+						graphReads = append(graphReads, dst)
+						updates = append(updates, cl.ReadDstUpdate(ci, dst))
+					}
+				}
+				ev, err := graph.queues[recAddr].EnqueueCommandBuffer(cb, updates, nil)
+				if err != nil {
+					t.Fatalf("iter %d: replay: %v", iter, err)
+				}
+				if err := ev.Wait(); err != nil {
+					t.Fatalf("iter %d: replay wait: %v", iter, err)
+				}
+
+				// Eager iteration of the same (updated) program.
+				eagerReads := runEagerIteration(t, eager, eager.queues[recAddr], cmds)
+
+				if len(eagerReads) != len(graphReads) {
+					t.Fatalf("iter %d: %d eager reads vs %d graph reads", iter, len(eagerReads), len(graphReads))
+				}
+				for i := range eagerReads {
+					if !bytes.Equal(eagerReads[i], graphReads[i]) {
+						t.Fatalf("iter %d: read %d diverged:\neager %x\ngraph %x", iter, i, eagerReads[i], graphReads[i])
+					}
+				}
+			}
+
+			// Terminal state: every buffer byte-identical across the two
+			// clusters, read back through the recording server.
+			if err := graph.queues[recAddr].Finish(); err != nil {
+				t.Fatal(err)
+			}
+			se := snapshotBuffers(t, eager, eager.queues[recAddr])
+			sg := snapshotBuffers(t, graph, graph.queues[recAddr])
+			for i := range se {
+				if !bytes.Equal(se[i], sg[i]) {
+					t.Fatalf("buffer %d diverged:\neager %x\ngraph %x", i, se[i], sg[i])
+				}
+			}
+		})
+	}
+}

@@ -29,8 +29,9 @@ type Queue struct {
 	id  uint64
 
 	mu       sync.Mutex
-	inFlight []*Event // events of commands pipelined since the last Finish
-	pruneAt  int      // adaptive compaction threshold for inFlight
+	inFlight []*Event  // events of commands pipelined since the last Finish
+	pruneAt  int       // adaptive compaction threshold for inFlight
+	rec      []*recCmd // active graph recording (nil when not recording)
 }
 
 var _ cl.Queue = (*Queue)(nil)
@@ -124,6 +125,14 @@ func (q *Queue) EnqueueWriteBuffer(b cl.Buffer, blocking bool, offset int, data 
 	}
 	if offset < 0 || offset+len(data) > cb.size {
 		return nil, cl.Errf(cl.InvalidValue, "write of %d bytes at offset %d exceeds buffer size %d", len(data), offset, cb.size)
+	}
+	if ev, rec, err := q.maybeRecord(blocking, wait, func() (*recCmd, error) {
+		// Recording copies the payload (the application may reuse its
+		// slice) and defers all coherence work to replay time.
+		return &recCmd{op: protocol.GraphOpWrite, buf: cb, offset: offset, size: len(data),
+			data: append([]byte(nil), data...)}, nil
+	}); rec {
+		return ev, err
 	}
 	// A partial write requires the rest of the buffer to stay meaningful
 	// on the target: make the target valid first. A full overwrite needs
@@ -220,6 +229,11 @@ func (q *Queue) EnqueueReadBuffer(b cl.Buffer, blocking bool, offset int, dst []
 	}
 	if offset < 0 || offset+len(dst) > cb.size {
 		return nil, cl.Errf(cl.InvalidValue, "read of %d bytes at offset %d exceeds buffer size %d", len(dst), offset, cb.size)
+	}
+	if ev, rec, err := q.maybeRecord(blocking, wait, func() (*recCmd, error) {
+		return &recCmd{op: protocol.GraphOpRead, buf: cb, offset: offset, size: len(dst), rdst: dst}, nil
+	}); rec {
+		return ev, err
 	}
 	gate, err := cb.ensureValidOn(q)
 	if err != nil {
@@ -329,6 +343,12 @@ func (q *Queue) EnqueueCopyBuffer(src, dst cl.Buffer, srcOffset, dstOffset, size
 	if srcOffset < 0 || srcOffset+size > csrc.size || dstOffset < 0 || dstOffset+size > cdst.size {
 		return nil, cl.Errf(cl.InvalidValue, "copy range out of bounds")
 	}
+	if ev, rec, err := q.maybeRecord(false, wait, func() (*recCmd, error) {
+		return &recCmd{op: protocol.GraphOpCopy, src: csrc, dst: cdst,
+			offset: srcOffset, dstOff: dstOffset, size: size}, nil
+	}); rec {
+		return ev, err
+	}
 	srcGate, err := csrc.ensureValidOn(q)
 	if err != nil {
 		return nil, cl.Errf(cl.CodeOf(err), "cross-server copy source: %v", err)
@@ -377,6 +397,19 @@ func (q *Queue) EnqueueNDRangeKernel(k cl.Kernel, global, local []int, wait []cl
 	if !ok {
 		return nil, cl.Errf(cl.InvalidKernel, "foreign kernel object")
 	}
+	if ev, rec, err := q.maybeRecord(false, wait, func() (*recCmd, error) {
+		// The wire snapshot freezes the argument bindings at record time
+		// (and validates that all are set); later SetArg calls do not
+		// leak into the recording — updates are the only patch path.
+		args, aerr := ck.snapshotWire()
+		if aerr != nil {
+			return nil, aerr
+		}
+		return &recCmd{op: protocol.GraphOpKernel, k: ck, args: args,
+			global: append([]int(nil), global...), local: append([]int(nil), local...)}, nil
+	}); rec {
+		return ev, err
+	}
 	readBufs, writeBufs, err := ck.bufferBindings()
 	if err != nil {
 		return nil, err
@@ -417,6 +450,11 @@ func (q *Queue) EnqueueNDRangeKernel(k cl.Kernel, global, local []int, wait []cl
 
 // EnqueueMarker enqueues a marker command.
 func (q *Queue) EnqueueMarker() (cl.Event, error) {
+	if ev, rec, err := q.maybeRecord(false, nil, func() (*recCmd, error) {
+		return &recCmd{op: protocol.GraphOpMarker}, nil
+	}); rec {
+		return ev, err
+	}
 	ev := q.newCommandEvent()
 	if err := q.srv.send(protocol.MsgEnqueueMarker, func(w *protocol.Writer) {
 		w.U64(q.id)
@@ -432,6 +470,11 @@ func (q *Queue) EnqueueMarker() (cl.Event, error) {
 // EnqueueBarrier enqueues a barrier command. Remote failures are deferred
 // to the next Finish (the command has no event to carry them).
 func (q *Queue) EnqueueBarrier() error {
+	if _, rec, err := q.maybeRecord(false, nil, func() (*recCmd, error) {
+		return &recCmd{op: protocol.GraphOpBarrier}, nil
+	}); rec {
+		return err
+	}
 	return q.srv.send(protocol.MsgEnqueueBarrier, func(w *protocol.Writer) {
 		w.U64(q.id)
 	})
@@ -441,6 +484,12 @@ func (q *Queue) EnqueueBarrier() error {
 // already reported for this queue is surfaced (but not consumed — Finish
 // remains the authoritative synchronization point).
 func (q *Queue) Flush() error {
+	q.mu.Lock()
+	recording := q.rec != nil
+	q.mu.Unlock()
+	if recording {
+		return cl.Errf(cl.InvalidOperation, "flush while recording")
+	}
 	if err := q.srv.send(protocol.MsgFlush, func(w *protocol.Writer) {
 		w.U64(q.id)
 	}); err != nil {
@@ -453,6 +502,12 @@ func (q *Queue) Flush() error {
 // consumes) the first deferred failure of the one-way commands pipelined
 // since the previous synchronization point.
 func (q *Queue) Finish() error {
+	q.mu.Lock()
+	recording := q.rec != nil
+	q.mu.Unlock()
+	if recording {
+		return cl.Errf(cl.InvalidOperation, "finish while recording")
+	}
 	_, err := q.srv.call(protocol.MsgFinish, func(w *protocol.Writer) {
 		w.U64(q.id)
 	})

@@ -45,6 +45,13 @@ type Server struct {
 
 	nextReq atomic.Uint32
 
+	// Control-plane frame counters (requests + one-way commands out,
+	// responses + notifications in; bulk stream data is not counted).
+	// Tests use them to prove a graph replay costs one frame per
+	// iteration where the eager path costs one per command.
+	sentFrames atomic.Uint64
+	recvFrames atomic.Uint64
+
 	mu        sync.Mutex
 	pending   map[uint32]chan *protocol.Envelope
 	hooks     map[uint64]func(cl.CommandStatus) // event ID → completion hook
@@ -146,6 +153,7 @@ func (s *Server) handleMessage(msg []byte) {
 	if err != nil {
 		return
 	}
+	s.recvFrames.Add(1)
 	switch env.Class {
 	case protocol.ClassResponse:
 		s.mu.Lock()
@@ -238,6 +246,7 @@ func (s *Server) call(typ protocol.MsgType, fill func(*protocol.Writer)) (*proto
 		s.mu.Unlock()
 		return nil, cl.Errf(cl.InvalidServer, "send to %s failed: %v", s.addr, err)
 	}
+	s.sentFrames.Add(1)
 	env, ok := <-ch
 	if !ok {
 		return nil, cl.Errf(cl.InvalidServer, "connection to %s lost", s.addr)
@@ -262,7 +271,15 @@ func (s *Server) send(typ protocol.MsgType, fill func(*protocol.Writer)) error {
 	if err := s.ep.Send(protocol.EncodeEnvelope(protocol.ClassOneWay, 0, typ, w)); err != nil {
 		return cl.Errf(cl.InvalidServer, "send to %s failed: %v", s.addr, err)
 	}
+	s.sentFrames.Add(1)
 	return nil
+}
+
+// FrameCounts reports the control-plane frames exchanged with this
+// server so far: messages sent (requests + one-way commands) and
+// received (responses + notifications). Bulk stream data is excluded.
+func (s *Server) FrameCounts() (sent, recv uint64) {
+	return s.sentFrames.Load(), s.recvFrames.Load()
 }
 
 // takeQueueError removes all deferred one-way failures recorded for the

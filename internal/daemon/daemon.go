@@ -15,6 +15,7 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"dopencl/internal/cl"
 	"dopencl/internal/gcf"
@@ -51,6 +52,10 @@ type Daemon struct {
 
 	dmMu sync.Mutex
 	dm   *gcf.Endpoint // connection to the device manager (managed mode)
+
+	// graphCount tracks cached command graphs across all sessions, for
+	// observability and the session-teardown hygiene tests.
+	graphCount atomic.Int64
 
 	// Peer data plane: outbound connection pool plus the rendezvous
 	// tables pairing client-announced AcceptForwards with peer-announced
@@ -100,6 +105,10 @@ func (d *Daemon) logf(format string, args ...any) {
 
 // Name returns the daemon's server name.
 func (d *Daemon) Name() string { return d.cfg.Name }
+
+// CachedGraphs reports the number of command graphs currently cached
+// across all sessions (session teardown must return it to zero).
+func (d *Daemon) CachedGraphs() int { return int(d.graphCount.Load()) }
 
 // Devices returns all devices hosted by this daemon.
 func (d *Daemon) Devices() []cl.Device { return d.devices }

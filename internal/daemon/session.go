@@ -25,7 +25,8 @@ type session struct {
 	programs map[uint64]cl.Program
 	kernels  map[uint64]cl.Kernel
 	events   map[uint64]cl.Event
-	unitDevs map[uint32]cl.Device // unit ID → device, fixed per daemon
+	graphs   map[uint64]*sessGraph // cached command graphs (session-scoped)
+	unitDevs map[uint32]cl.Device  // unit ID → device, fixed per daemon
 }
 
 func newSession(d *Daemon, ep *gcf.Endpoint) *session {
@@ -37,6 +38,7 @@ func newSession(d *Daemon, ep *gcf.Endpoint) *session {
 		programs: map[uint64]cl.Program{},
 		kernels:  map[uint64]cl.Kernel{},
 		events:   map[uint64]cl.Event{},
+		graphs:   map[uint64]*sessGraph{},
 		unitDevs: map[uint32]cl.Device{},
 	}
 	for i, dev := range d.devices {
@@ -64,6 +66,7 @@ func (s *session) onClose(error) {
 			s.d.logf("daemon %s: queue release: %v", s.d.cfg.Name, err)
 		}
 	}
+	s.releaseGraphs()
 	s.d.dropSessionForwards(s)
 	if authID != "" && s.d.cfg.Managed && s.d.HasLease(authID) {
 		s.d.Revoke(authID)
@@ -301,6 +304,12 @@ func (s *session) handleOneWay(env protocol.Envelope) {
 		s.handleForwardBuffer(r)
 	case protocol.MsgAcceptForward:
 		s.handleAcceptForward(r)
+	case protocol.MsgRegisterGraph:
+		s.handleRegisterGraph(r)
+	case protocol.MsgExecGraph:
+		s.handleExecGraph(r)
+	case protocol.MsgReleaseGraph:
+		s.handleReleaseGraph(r)
 	case protocol.MsgSetUserEventStatus:
 		// One-way status set: used by the coherence layer to cancel a
 		// superseded forward's gate ordered ahead of the commands that

@@ -28,6 +28,7 @@ type Queue struct {
 	released bool
 	idle     *sync.Cond
 	inFlight int
+	rec      []*graphCmd // active recording (nil when not recording)
 }
 
 var _ cl.Queue = (*Queue)(nil)
@@ -127,6 +128,14 @@ func (q *Queue) EnqueueWriteBuffer(b cl.Buffer, blocking bool, offset int, data 
 	if offset < 0 || offset+len(data) > len(nb.data) {
 		return nil, cl.Errf(cl.InvalidValue, "write of %d bytes at offset %d exceeds buffer size %d", len(data), offset, len(nb.data))
 	}
+	if ev, rec, err := q.maybeRecord(blocking, wait, func() *graphCmd {
+		// Recording copies the payload: the application is free to reuse
+		// its slice after a recorded (never-executing) write returns.
+		return &graphCmd{op: opWrite, buf: nb, offset: offset, size: len(data),
+			payload: append([]byte(nil), data...)}
+	}); rec {
+		return ev, err
+	}
 	// The data slice is captured by reference: OpenCL requires the host
 	// pointer to stay valid for non-blocking writes; callers that reuse
 	// the slice must pass blocking=true, as in C.
@@ -154,6 +163,11 @@ func (q *Queue) EnqueueReadBuffer(b cl.Buffer, blocking bool, offset int, dst []
 	}
 	if offset < 0 || offset+len(dst) > len(nb.data) {
 		return nil, cl.Errf(cl.InvalidValue, "read of %d bytes at offset %d exceeds buffer size %d", len(dst), offset, len(nb.data))
+	}
+	if ev, rec, err := q.maybeRecord(blocking, wait, func() *graphCmd {
+		return &graphCmd{op: opRead, buf: nb, offset: offset, size: len(dst), rdst: dst}
+	}); rec {
+		return ev, err
 	}
 	ev, err := q.enqueue(wait, func() error {
 		q.dev.sim.ChargeTransfer(len(dst), true)
@@ -184,6 +198,11 @@ func (q *Queue) EnqueueCopyBuffer(src, dst cl.Buffer, srcOffset, dstOffset, size
 	if srcOffset < 0 || srcOffset+size > len(nsrc.data) || dstOffset < 0 || dstOffset+size > len(ndst.data) {
 		return nil, cl.Errf(cl.InvalidValue, "copy range out of bounds")
 	}
+	if ev, rec, err := q.maybeRecord(false, wait, func() *graphCmd {
+		return &graphCmd{op: opCopy, src: nsrc, dst: ndst, offset: srcOffset, dstOff: dstOffset, size: size}
+	}); rec {
+		return ev, err
+	}
 	return q.enqueue(wait, func() error {
 		copy(ndst.data[dstOffset:dstOffset+size], nsrc.data[srcOffset:srcOffset+size])
 		return nil
@@ -196,9 +215,20 @@ func (q *Queue) EnqueueNDRangeKernel(k cl.Kernel, global, local []int, wait []cl
 	if !ok {
 		return nil, cl.Errf(cl.InvalidKernel, "kernel does not belong to this runtime")
 	}
+	// Snapshot (and thereby validate) the arguments up front: recording
+	// must reject unset arguments at record time, not on replay.
 	args, err := nk.snapshotArgs()
 	if err != nil {
 		return nil, err
+	}
+	if ev, rec, err := q.maybeRecord(false, wait, func() *graphCmd {
+		// The clone freezes the argument bindings at record time; later
+		// SetArg calls on the application's kernel do not leak into the
+		// recording (updates are the only way to change a replayed launch).
+		return &graphCmd{op: opKernel, k: nk.Clone(),
+			global: append([]int(nil), global...), local: append([]int(nil), local...)}
+	}); rec {
+		return ev, err
 	}
 	globalCopy := append([]int(nil), global...)
 	localCopy := append([]int(nil), local...)
@@ -221,24 +251,45 @@ func (q *Queue) EnqueueNDRangeKernel(k cl.Kernel, global, local []int, wait []cl
 // EnqueueMarker enqueues a marker whose event completes after all prior
 // commands.
 func (q *Queue) EnqueueMarker() (cl.Event, error) {
+	if ev, rec, err := q.maybeRecord(false, nil, func() *graphCmd {
+		return &graphCmd{op: opMarker}
+	}); rec {
+		return ev, err
+	}
 	return q.enqueue(nil, nil)
 }
 
 // EnqueueBarrier blocks later commands until prior ones complete. The
 // queue is in-order, so a no-op command suffices.
 func (q *Queue) EnqueueBarrier() error {
+	if _, rec, err := q.maybeRecord(false, nil, func() *graphCmd {
+		return &graphCmd{op: opBarrier}
+	}); rec {
+		return err
+	}
 	_, err := q.enqueue(nil, nil)
 	return err
 }
 
 // Flush submits queued commands; the executor is always draining, so this
-// is a no-op.
-func (q *Queue) Flush() error { return nil }
+// is a no-op. Flushing is a synchronization hint and invalid while
+// recording.
+func (q *Queue) Flush() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.rec != nil {
+		return cl.Errf(cl.InvalidOperation, "flush while recording")
+	}
+	return nil
+}
 
 // Finish blocks until all enqueued commands have completed.
 func (q *Queue) Finish() error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	if q.rec != nil {
+		return cl.Errf(cl.InvalidOperation, "finish while recording")
+	}
 	for q.inFlight > 0 || len(q.pending) > 0 {
 		q.idle.Wait()
 	}

@@ -1,0 +1,277 @@
+package protocol
+
+// Command-graph wire format (MsgRegisterGraph / MsgExecGraph /
+// MsgReleaseGraph): the client compiles a finalized cl.CommandBuffer
+// recording into a per-server command list, registers it once with the
+// daemon owning the recording queue, and then replays it with one small
+// MsgExecGraph frame per iteration. All three messages are one-way
+// (ClassOneWay), riding the PR 1 pipelined command path; failures come
+// back as deferred MsgCommandFailed notifications.
+
+// Graph command opcodes.
+const (
+	GraphOpWrite   = uint8(1) // host → buffer upload, payload cached daemon-side
+	GraphOpRead    = uint8(2) // buffer → host download, data shipped per replay
+	GraphOpCopy    = uint8(3) // buffer → buffer copy on the owning server
+	GraphOpKernel  = uint8(4) // kernel launch with a recorded argument snapshot
+	GraphOpMarker  = uint8(5)
+	GraphOpBarrier = uint8(6)
+)
+
+// Graph update kinds (mutable slots patched per replay).
+const (
+	GraphUpdateKernelArg = uint8(1) // re-bind one argument of a kernel command
+	GraphUpdateWriteData = uint8(2) // replace a write command's cached payload
+)
+
+// GraphKernelArg is one recorded kernel argument: a raw scalar image, a
+// buffer reference or a local-memory reservation, tagged like the
+// MsgSetKernelArg payload.
+type GraphKernelArg struct {
+	Kind  uint8  // ArgValScalar / ArgValBuffer / ArgValLocal
+	Raw   uint64 // scalar bit image or buffer ID
+	Local int64  // local-memory size (ArgValLocal)
+}
+
+func putGraphKernelArg(w *Writer, a GraphKernelArg) {
+	w.U8(a.Kind)
+	switch a.Kind {
+	case ArgValLocal:
+		w.I64(a.Local)
+	default:
+		w.U64(a.Raw)
+	}
+}
+
+func getGraphKernelArg(r *Reader) GraphKernelArg {
+	a := GraphKernelArg{Kind: r.U8()}
+	switch a.Kind {
+	case ArgValLocal:
+		a.Local = r.I64()
+	default:
+		a.Raw = r.U64()
+	}
+	return a
+}
+
+// GraphCommand is one recorded command in a registered graph.
+type GraphCommand struct {
+	Op uint8
+
+	// Write/read target, or copy endpoints.
+	BufID  uint64
+	SrcID  uint64
+	DstID  uint64
+	Offset int64 // write/read offset, or copy source offset
+	DstOff int64 // copy destination offset
+	Size   int64
+
+	// StreamID carries the write payload at registration time (writes
+	// only; the daemon caches the staged bytes for replay).
+	StreamID uint32
+
+	// Kernel launch.
+	KernelID uint64
+	Args     []GraphKernelArg
+	Global   []int
+	Local    []int
+}
+
+func putGraphCommand(w *Writer, c GraphCommand) {
+	w.U8(c.Op)
+	switch c.Op {
+	case GraphOpWrite:
+		w.U64(c.BufID)
+		w.I64(c.Offset)
+		w.I64(c.Size)
+		w.U32(c.StreamID)
+	case GraphOpRead:
+		w.U64(c.BufID)
+		w.I64(c.Offset)
+		w.I64(c.Size)
+	case GraphOpCopy:
+		w.U64(c.SrcID)
+		w.U64(c.DstID)
+		w.I64(c.Offset)
+		w.I64(c.DstOff)
+		w.I64(c.Size)
+	case GraphOpKernel:
+		w.U64(c.KernelID)
+		w.U32(uint32(len(c.Args)))
+		for _, a := range c.Args {
+			putGraphKernelArg(w, a)
+		}
+		w.Ints(c.Global)
+		w.Ints(c.Local)
+	}
+}
+
+func getGraphCommand(r *Reader) GraphCommand {
+	c := GraphCommand{Op: r.U8()}
+	switch c.Op {
+	case GraphOpWrite:
+		c.BufID = r.U64()
+		c.Offset = r.I64()
+		c.Size = r.I64()
+		c.StreamID = r.U32()
+	case GraphOpRead:
+		c.BufID = r.U64()
+		c.Offset = r.I64()
+		c.Size = r.I64()
+	case GraphOpCopy:
+		c.SrcID = r.U64()
+		c.DstID = r.U64()
+		c.Offset = r.I64()
+		c.DstOff = r.I64()
+		c.Size = r.I64()
+	case GraphOpKernel:
+		c.KernelID = r.U64()
+		n := int(r.U32())
+		if n > r.Remaining() {
+			r.err = ErrTruncated
+			return c
+		}
+		c.Args = make([]GraphKernelArg, n)
+		for i := range c.Args {
+			c.Args[i] = getGraphKernelArg(r)
+		}
+		c.Global = r.Ints()
+		c.Local = r.Ints()
+	case GraphOpMarker, GraphOpBarrier:
+	default:
+		r.err = ErrTruncated
+	}
+	return c
+}
+
+// RegisterGraph is the body of a MsgRegisterGraph one-way command.
+// QueueID routes deferred registration failures (the message has no
+// event; a failed registration surfaces at the queue's next Finish, and
+// every later MsgExecGraph of the unknown graph fails its own event).
+type RegisterGraph struct {
+	GraphID  uint64
+	QueueID  uint64
+	Commands []GraphCommand
+}
+
+// PutRegisterGraph encodes a graph registration.
+func PutRegisterGraph(w *Writer, g RegisterGraph) {
+	w.U64(g.GraphID)
+	w.U64(g.QueueID)
+	w.U32(uint32(len(g.Commands)))
+	for _, c := range g.Commands {
+		putGraphCommand(w, c)
+	}
+}
+
+// GetRegisterGraph decodes a graph registration.
+func GetRegisterGraph(r *Reader) RegisterGraph {
+	g := RegisterGraph{GraphID: r.U64(), QueueID: r.U64()}
+	n := int(r.U32())
+	if n > r.Remaining() {
+		r.err = ErrTruncated
+		return g
+	}
+	g.Commands = make([]GraphCommand, n)
+	for i := range g.Commands {
+		g.Commands[i] = getGraphCommand(r)
+	}
+	return g
+}
+
+// GraphUpdate patches one mutable slot of a cached graph before a
+// replay. Updates are persistent: the daemon mutates its cached copy, so
+// later replays without updates see the patched values.
+type GraphUpdate struct {
+	Cmd      uint32 // recorded command index
+	Kind     uint8  // GraphUpdateKernelArg / GraphUpdateWriteData
+	ArgIndex uint32 // kernel argument index (GraphUpdateKernelArg)
+	Arg      GraphKernelArg
+	StreamID uint32 // new payload stream (GraphUpdateWriteData)
+}
+
+func putGraphUpdate(w *Writer, u GraphUpdate) {
+	w.U32(u.Cmd)
+	w.U8(u.Kind)
+	switch u.Kind {
+	case GraphUpdateKernelArg:
+		w.U32(u.ArgIndex)
+		putGraphKernelArg(w, u.Arg)
+	case GraphUpdateWriteData:
+		w.U32(u.StreamID)
+	}
+}
+
+func getGraphUpdate(r *Reader) GraphUpdate {
+	u := GraphUpdate{Cmd: r.U32(), Kind: r.U8()}
+	switch u.Kind {
+	case GraphUpdateKernelArg:
+		u.ArgIndex = r.U32()
+		u.Arg = getGraphKernelArg(r)
+	case GraphUpdateWriteData:
+		u.StreamID = r.U32()
+	default:
+		r.err = ErrTruncated
+	}
+	return u
+}
+
+// ExecGraph is the body of a MsgExecGraph one-way command: replay cached
+// graph GraphID on its queue. EventID is the iteration's completion
+// event (it fails on any replay error, including an unknown or released
+// graph ID); ReadStreamIDs announces one client-opened stream per
+// recorded read command, in command order, on which the daemon ships the
+// read-back data of this iteration.
+type ExecGraph struct {
+	GraphID       uint64
+	QueueID       uint64 // failure routing (echoed so unknown-graph errors still reach Finish)
+	EventID       uint64
+	WaitIDs       []uint64
+	ReadStreamIDs []uint32
+	Updates       []GraphUpdate
+}
+
+// PutExecGraph encodes a graph replay command.
+func PutExecGraph(w *Writer, e ExecGraph) {
+	w.U64(e.GraphID)
+	w.U64(e.QueueID)
+	w.U64(e.EventID)
+	w.U64s(e.WaitIDs)
+	w.U32(uint32(len(e.ReadStreamIDs)))
+	for _, id := range e.ReadStreamIDs {
+		w.U32(id)
+	}
+	w.U32(uint32(len(e.Updates)))
+	for _, u := range e.Updates {
+		putGraphUpdate(w, u)
+	}
+}
+
+// GetExecGraph decodes a graph replay command.
+func GetExecGraph(r *Reader) ExecGraph {
+	e := ExecGraph{
+		GraphID: r.U64(),
+		QueueID: r.U64(),
+		EventID: r.U64(),
+		WaitIDs: r.U64s(),
+	}
+	n := int(r.U32())
+	if n*4 > r.Remaining() {
+		r.err = ErrTruncated
+		return e
+	}
+	e.ReadStreamIDs = make([]uint32, n)
+	for i := range e.ReadStreamIDs {
+		e.ReadStreamIDs[i] = r.U32()
+	}
+	n = int(r.U32())
+	if n > r.Remaining() {
+		r.err = ErrTruncated
+		return e
+	}
+	e.Updates = make([]GraphUpdate, n)
+	for i := range e.Updates {
+		e.Updates[i] = getGraphUpdate(r)
+	}
+	return e
+}

@@ -1,0 +1,115 @@
+package protocol
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRegisterGraphRoundTrip(t *testing.T) {
+	in := RegisterGraph{
+		GraphID: 77,
+		QueueID: 12,
+		Commands: []GraphCommand{
+			{Op: GraphOpWrite, BufID: 3, Offset: 64, Size: 4096, StreamID: 9},
+			{Op: GraphOpRead, BufID: 4, Offset: 0, Size: 128},
+			{Op: GraphOpCopy, SrcID: 3, DstID: 4, Offset: 8, DstOff: 16, Size: 100},
+			{Op: GraphOpKernel, KernelID: 5,
+				Args: []GraphKernelArg{
+					{Kind: ArgValBuffer, Raw: 3},
+					{Kind: ArgValScalar, Raw: 0x3f800000},
+					{Kind: ArgValLocal, Local: 256},
+				},
+				Global: []int{64, 8}, Local: []int{8, 8}},
+			{Op: GraphOpMarker},
+			{Op: GraphOpBarrier},
+		},
+	}
+	w := NewWriter()
+	PutRegisterGraph(w, in)
+	r := NewReader(w.Bytes())
+	out := GetRegisterGraph(r)
+	if r.Err() != nil {
+		t.Fatalf("decode: %v", r.Err())
+	}
+	// Ints round-trips nil as empty; normalize before comparing.
+	for i := range out.Commands {
+		if len(out.Commands[i].Global) == 0 {
+			out.Commands[i].Global = nil
+		}
+		if len(out.Commands[i].Local) == 0 {
+			out.Commands[i].Local = nil
+		}
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip:\n in  %+v\n out %+v", in, out)
+	}
+}
+
+func TestExecGraphRoundTrip(t *testing.T) {
+	in := ExecGraph{
+		GraphID:       77,
+		QueueID:       12,
+		EventID:       900,
+		WaitIDs:       []uint64{1, 2, 3},
+		ReadStreamIDs: []uint32{10, 11},
+		Updates: []GraphUpdate{
+			{Cmd: 3, Kind: GraphUpdateKernelArg, ArgIndex: 1,
+				Arg: GraphKernelArg{Kind: ArgValScalar, Raw: 42}},
+			{Cmd: 0, Kind: GraphUpdateWriteData, StreamID: 13},
+		},
+	}
+	w := NewWriter()
+	PutExecGraph(w, in)
+	r := NewReader(w.Bytes())
+	out := GetExecGraph(r)
+	if r.Err() != nil {
+		t.Fatalf("decode: %v", r.Err())
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip:\n in  %+v\n out %+v", in, out)
+	}
+}
+
+// TestGraphMessagesTruncated: every truncated prefix must fail cleanly
+// (sticky reader error), never panic or mis-decode.
+func TestGraphMessagesTruncated(t *testing.T) {
+	w := NewWriter()
+	PutRegisterGraph(w, RegisterGraph{
+		GraphID: 1, QueueID: 2,
+		Commands: []GraphCommand{
+			{Op: GraphOpKernel, KernelID: 5,
+				Args:   []GraphKernelArg{{Kind: ArgValScalar, Raw: 7}},
+				Global: []int{4}},
+			{Op: GraphOpWrite, BufID: 3, Size: 64, StreamID: 1},
+		},
+	})
+	full := w.Bytes()
+	for n := 0; n < len(full); n++ {
+		r := NewReader(full[:n])
+		GetRegisterGraph(r)
+		if r.Err() == nil {
+			t.Fatalf("truncated register at %d/%d decoded without error", n, len(full))
+		}
+	}
+	w = NewWriter()
+	PutExecGraph(w, ExecGraph{
+		GraphID: 1, QueueID: 2, EventID: 3,
+		WaitIDs:       []uint64{4},
+		ReadStreamIDs: []uint32{5},
+		Updates:       []GraphUpdate{{Cmd: 0, Kind: GraphUpdateWriteData, StreamID: 6}},
+	})
+	full = w.Bytes()
+	for n := 0; n < len(full); n++ {
+		r := NewReader(full[:n])
+		GetExecGraph(r)
+		if r.Err() == nil {
+			t.Fatalf("truncated exec at %d/%d decoded without error", n, len(full))
+		}
+	}
+	// A bogus op or update kind is rejected.
+	r := NewReader([]byte{1, 0, 0, 0, 0, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 99})
+	GetRegisterGraph(r)
+	if r.Err() == nil {
+		t.Fatal("unknown graph op decoded without error")
+	}
+}

@@ -39,6 +39,9 @@ const (
 	MsgGetServerInfo
 	MsgForwardBuffer // client → source daemon: stream a buffer region to a peer
 	MsgAcceptForward // client → target daemon: expect an inbound peer transfer
+	MsgRegisterGraph // client → daemon: cache a finalized command graph
+	MsgExecGraph     // client → daemon: replay a cached graph (one frame per iteration)
+	MsgReleaseGraph  // client → daemon: drop a cached graph
 )
 
 // Peer data-plane message types (daemon ↔ daemon). These travel on the
@@ -81,7 +84,9 @@ func (t MsgType) String() string {
 		MsgSetUserEventStatus: "SetUserEventStatus", MsgReleaseEvent: "ReleaseEvent",
 		MsgGetServerInfo: "GetServerInfo", MsgEventComplete: "EventComplete",
 		MsgForwardBuffer: "ForwardBuffer", MsgAcceptForward: "AcceptForward",
-		MsgPeerHello: "PeerHello", MsgPeerTransfer: "PeerTransfer",
+		MsgRegisterGraph: "RegisterGraph", MsgExecGraph: "ExecGraph",
+		MsgReleaseGraph: "ReleaseGraph",
+		MsgPeerHello:    "PeerHello", MsgPeerTransfer: "PeerTransfer",
 		MsgCommandFailed:    "CommandFailed",
 		MsgDMRegisterServer: "DMRegisterServer", MsgDMRequestDevices: "DMRequestDevices",
 		MsgDMAssign: "DMAssign", MsgDMReleaseLease: "DMReleaseLease",
