@@ -10,11 +10,13 @@ import (
 	"testing"
 	"time"
 
+	"dopencl/internal/apps/mandelbrot"
 	"dopencl/internal/cl"
 	"dopencl/internal/daemon"
 	"dopencl/internal/device"
 	"dopencl/internal/exp"
 	"dopencl/internal/native"
+	"dopencl/internal/sched"
 	"dopencl/internal/simnet"
 
 	"dopencl"
@@ -324,6 +326,153 @@ kernel void scale(global float* data, float f, int n) {
 		b.ReportMetric(graphRate/eagerRate, "speedup_x")
 		// Frames per replayed iteration (includes the batch's Finish).
 		b.ReportMetric(float64(graphFrames)/float64(iters), "frames/iter")
+	}
+}
+
+// BenchmarkPartitionedMandelbrot runs ONE Mandelbrot ND-range split
+// across 2 simnet daemons by internal/sched (static policy over the
+// region-granular coherence directory) and compares it against the same
+// workload on a single daemon. Devices are modeled (deterministic
+// execution cost), the fabric is a fast-cluster link, so the measured
+// ratio reflects the co-execution win. The benchmark enforces:
+//
+//   - ≥1.6x iterations/s over the single-device baseline, and
+//   - steady-state byte accounting: each daemon ships only ITS result
+//     region to the client per iteration (never the whole buffer), and
+//     no bytes cross the daemon-to-daemon plane.
+func BenchmarkPartitionedMandelbrot(b *testing.B) {
+	const (
+		width, height = 512, 512
+		imageBytes    = 4 * width * height
+		measured      = 4 // timed iterations per phase
+	)
+	link := simnet.LinkConfig{BandwidthBps: 4e9, LatencySec: 100e-6}
+	nw := simnet.NewNetwork(link)
+	modeled := device.Config{
+		Name: "modeled-cpu", Vendor: "bench", Type: cl.DeviceTypeCPU,
+		ComputeUnits: 4, ClockMHz: 2000, GlobalMemSize: 8 << 30,
+		Mode: device.ExecModeled, InstrPerSec: 1.25e9, TimeScale: 1.0,
+	}
+	for _, addr := range []string{"pm0", "pm1"} {
+		np := native.NewPlatform("native-"+addr, "bench", []device.Config{modeled})
+		d, err := daemon.New(daemon.Config{Name: addr, Platform: np})
+		if err != nil {
+			b.Fatal(err)
+		}
+		l, err := nw.Listen(addr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		go func() { _ = d.Serve(l) }()
+		defer l.Close()
+	}
+	plat := dopencl.NewPlatform(dopencl.Options{Dialer: nw.Dial, ClientName: "bench"})
+	for _, addr := range []string{"pm0", "pm1"} {
+		if _, err := plat.ConnectServer(addr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	devs, err := plat.Devices(cl.DeviceTypeAll)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, err := plat.CreateContext(devs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ctx.Release()
+	prog, err := ctx.CreateProgramWithSource(mandelbrot.PartitionedKernelSource)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := prog.Build(nil, ""); err != nil {
+		b.Fatal(err)
+	}
+	workers := make([]sched.Worker, len(devs))
+	for i, d := range devs {
+		q, qerr := ctx.CreateQueue(d)
+		if qerr != nil {
+			b.Fatal(qerr)
+		}
+		workers[i] = sched.Worker{Queue: q, Weight: 1}
+	}
+	buf, err := ctx.CreateBuffer(cl.MemWriteOnly, imageBytes, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := mandelbrot.DefaultParams(width, height, 100)
+	dx := (p.XMax - p.XMin) / float64(p.Width)
+	dy := (p.YMax - p.YMin) / float64(p.Height)
+	out := make([]byte, imageBytes)
+	iteration := func(ws []sched.Worker) {
+		if _, err := sched.Run(sched.Launch{
+			Program: prog,
+			Kernel:  "mandelblock",
+			Args: []any{nil, int32(p.Width), int32(p.Height),
+				float32(p.XMin), float32(p.YMin), float32(dx), float32(dy),
+				int32(p.MaxIter)},
+			Parts:  []sched.Part{{Arg: 0, Buffer: buf, BytesPerItem: 4}},
+			Global: width * height,
+		}, ws, sched.Static{}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ws[0].Queue.EnqueueReadBuffer(buf, true, 0, out, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	var singleRate, dualRate float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Single-device baseline (warm the cost model + directory first).
+		iteration(workers[:1])
+		start := time.Now()
+		for j := 0; j < measured; j++ {
+			iteration(workers[:1])
+		}
+		singleRate = measured / time.Since(start).Seconds()
+
+		// Partitioned across both daemons. Two warmups: the first moves
+		// the baseline's regions over, the second settles steady state.
+		iteration(workers)
+		iteration(workers)
+		c0, c1 := nw.BytesSent("pm0", "client:pm0"), nw.BytesSent("pm1", "client:pm1")
+		up0, up1 := nw.BytesSent("client:pm0", "pm0"), nw.BytesSent("client:pm1", "pm1")
+		peer := nw.BytesSent("pm0", "pm1") + nw.BytesSent("pm1", "pm0")
+		start = time.Now()
+		for j := 0; j < measured; j++ {
+			iteration(workers)
+		}
+		dualRate = measured / time.Since(start).Seconds()
+
+		// Byte accounting over the measured steady-state iterations.
+		d0 := nw.BytesSent("pm0", "client:pm0") - c0
+		d1 := nw.BytesSent("pm1", "client:pm1") - c1
+		half := int64(measured * imageBytes / 2)
+		for di, d := range []int64{d0, d1} {
+			if d < half {
+				b.Fatalf("daemon %d shipped %d bytes over %d iterations, below its %d-byte result region share", di, d, measured, half)
+			}
+			if d > half+half/4 {
+				b.Fatalf("daemon %d shipped %d bytes over %d iterations (≥ whole-buffer traffic; result regions are %d)", di, d, measured, half)
+			}
+		}
+		if dp := nw.BytesSent("pm0", "pm1") + nw.BytesSent("pm1", "pm0") - peer; dp != 0 {
+			b.Fatalf("steady-state iterations moved %d bytes daemon-to-daemon, want 0", dp)
+		}
+		u0 := nw.BytesSent("client:pm0", "pm0") - up0
+		u1 := nw.BytesSent("client:pm1", "pm1") - up1
+		if limit := int64(measured * 128 << 10); u0+u1 > limit {
+			b.Fatalf("client uploaded %d bytes during steady state (payloads should be zero, commands only)", u0+u1)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(singleRate, "single_iters/s")
+	b.ReportMetric(dualRate, "dual_iters/s")
+	speedup := dualRate / singleRate
+	b.ReportMetric(speedup, "speedup_x")
+	if speedup < 1.6 {
+		b.Fatalf("partitioned speedup %.2fx across 2 daemons, want ≥ 1.6x", speedup)
 	}
 }
 

@@ -1,0 +1,309 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"dopencl/internal/apps/mandelbrot"
+	"dopencl/internal/cl"
+	"dopencl/internal/client"
+	"dopencl/internal/daemon"
+	"dopencl/internal/device"
+	"dopencl/internal/native"
+	"dopencl/internal/sched"
+	"dopencl/internal/simnet"
+)
+
+// Machine-readable micro-benchmark suite (dclbench -bench): a fixed set
+// of headline numbers written as JSON so the performance trajectory of
+// the repository is diffable across PRs. Every benchmark runs on the
+// deterministic simnet testbed — modeled devices, modeled links — so the
+// numbers measure the runtime's behaviour, not the host machine's mood.
+
+// benchEntry is one benchmark result. ItersPerS and MBPerS are each
+// present only where meaningful.
+type benchEntry struct {
+	Name     string  `json:"name"`
+	ItersPS  float64 `json:"iters_per_s,omitempty"`
+	MBPerS   float64 `json:"mb_per_s,omitempty"`
+	SpeedupX float64 `json:"speedup_x,omitempty"`
+}
+
+type benchReport struct {
+	Generated  string       `json:"generated"`
+	Benchmarks []benchEntry `json:"benchmarks"`
+}
+
+// runBenchSuite executes the suite and writes the JSON report to path.
+func runBenchSuite(path string) error {
+	var entries []benchEntry
+
+	single, dual, readMBs, err := benchPartitionedMandelbrot()
+	if err != nil {
+		return fmt.Errorf("partitioned mandelbrot: %w", err)
+	}
+	entries = append(entries,
+		benchEntry{Name: "partitioned_mandelbrot_1daemon", ItersPS: single},
+		benchEntry{Name: "partitioned_mandelbrot_2daemons", ItersPS: dual, SpeedupX: dual / single},
+		benchEntry{Name: "partitioned_mandelbrot_stitched_read", MBPerS: readMBs},
+	)
+
+	fwdMBs, err := benchForwardedCopy()
+	if err != nil {
+		return fmt.Errorf("forwarded copy: %w", err)
+	}
+	entries = append(entries, benchEntry{Name: "cross_daemon_forwarded_copy", MBPerS: fwdMBs})
+
+	cmds, err := benchEnqueueThroughput()
+	if err != nil {
+		return fmt.Errorf("enqueue throughput: %w", err)
+	}
+	entries = append(entries, benchEntry{Name: "pipelined_enqueue_commands", ItersPS: cmds})
+
+	rep := benchReport{Generated: time.Now().UTC().Format(time.RFC3339), Benchmarks: entries}
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%s\n", blob)
+	fmt.Printf("bench report written to %s\n", path)
+	return nil
+}
+
+// twoDaemonCluster builds N daemons with the given device config over a
+// shared simnet fabric and returns a connected platform.
+func nDaemonCluster(nw *simnet.Network, n int, cfg device.Config, peers bool) (*client.Platform, error) {
+	for i := 0; i < n; i++ {
+		addr := fmt.Sprintf("bench%d", i)
+		np := native.NewPlatform("native-"+addr, "bench", []device.Config{cfg})
+		dcfg := daemon.Config{Name: addr, Platform: np}
+		if peers {
+			a := addr
+			dcfg.PeerAddr = a + "/peer"
+			dcfg.PeerDial = func(to string) (net.Conn, error) { return nw.DialFrom(a, to) }
+		}
+		d, err := daemon.New(dcfg)
+		if err != nil {
+			return nil, err
+		}
+		l, err := nw.Listen(addr)
+		if err != nil {
+			return nil, err
+		}
+		go func() { _ = d.Serve(l) }()
+		if peers {
+			pl, err := nw.Listen(addr + "/peer")
+			if err != nil {
+				return nil, err
+			}
+			go func() { _ = d.ServePeers(pl) }()
+		}
+	}
+	plat := client.NewPlatform(client.Options{Dialer: nw.Dial, ClientName: "dclbench"})
+	for i := 0; i < n; i++ {
+		if _, err := plat.ConnectServer(fmt.Sprintf("bench%d", i)); err != nil {
+			return nil, err
+		}
+	}
+	return plat, nil
+}
+
+// benchPartitionedMandelbrot measures one Mandelbrot ND-range on one
+// daemon vs split across two (static policy), plus the stitched
+// whole-image read bandwidth.
+func benchPartitionedMandelbrot() (singleIPS, dualIPS, readMBs float64, err error) {
+	const width, height, measured = 512, 512, 4
+	nw := simnet.NewNetwork(simnet.LinkConfig{BandwidthBps: 4e9, LatencySec: 100e-6})
+	modeled := device.Config{
+		Name: "modeled-cpu", Vendor: "bench", Type: cl.DeviceTypeCPU,
+		ComputeUnits: 4, ClockMHz: 2000, GlobalMemSize: 8 << 30,
+		Mode: device.ExecModeled, InstrPerSec: 1.25e9, TimeScale: 1.0,
+	}
+	plat, err := nDaemonCluster(nw, 2, modeled, false)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	devs, err := plat.Devices(cl.DeviceTypeAll)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	ctx, err := plat.CreateContext(devs)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer func() {
+		if rerr := ctx.Release(); rerr != nil {
+			_ = rerr
+		}
+	}()
+	prog, err := ctx.CreateProgramWithSource(mandelbrot.PartitionedKernelSource)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if err := prog.Build(nil, ""); err != nil {
+		return 0, 0, 0, err
+	}
+	workers := make([]sched.Worker, len(devs))
+	for i, d := range devs {
+		q, qerr := ctx.CreateQueue(d)
+		if qerr != nil {
+			return 0, 0, 0, qerr
+		}
+		workers[i] = sched.Worker{Queue: q, Weight: 1}
+	}
+	buf, err := ctx.CreateBuffer(cl.MemWriteOnly, 4*width*height, nil)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	p := mandelbrot.DefaultParams(width, height, 100)
+	dx := (p.XMax - p.XMin) / float64(p.Width)
+	dy := (p.YMax - p.YMin) / float64(p.Height)
+	out := make([]byte, 4*width*height)
+	var readTime time.Duration
+	iteration := func(ws []sched.Worker) error {
+		if _, err := sched.Run(sched.Launch{
+			Program: prog, Kernel: "mandelblock",
+			Args: []any{nil, int32(p.Width), int32(p.Height),
+				float32(p.XMin), float32(p.YMin), float32(dx), float32(dy), int32(p.MaxIter)},
+			Parts:  []sched.Part{{Arg: 0, Buffer: buf, BytesPerItem: 4}},
+			Global: width * height,
+		}, ws, sched.Static{}); err != nil {
+			return err
+		}
+		rs := time.Now()
+		if _, err := ws[0].Queue.EnqueueReadBuffer(buf, true, 0, out, nil); err != nil {
+			return err
+		}
+		readTime += time.Since(rs)
+		return nil
+	}
+	phase := func(ws []sched.Worker) (float64, error) {
+		if err := iteration(ws); err != nil { // warm cost model + directory
+			return 0, err
+		}
+		if err := iteration(ws); err != nil {
+			return 0, err
+		}
+		readTime = 0
+		start := time.Now()
+		for i := 0; i < measured; i++ {
+			if err := iteration(ws); err != nil {
+				return 0, err
+			}
+		}
+		return measured / time.Since(start).Seconds(), nil
+	}
+	if singleIPS, err = phase(workers[:1]); err != nil {
+		return 0, 0, 0, err
+	}
+	if dualIPS, err = phase(workers); err != nil {
+		return 0, 0, 0, err
+	}
+	readMBs = float64(measured*4*width*height) / readTime.Seconds() / 1e6
+	return singleIPS, dualIPS, readMBs, nil
+}
+
+// benchForwardedCopy measures a cross-daemon copy whose source range
+// travels over the daemon-to-daemon bulk plane.
+func benchForwardedCopy() (float64, error) {
+	const size, iters = 4 << 20, 8
+	nw := simnet.NewNetwork(simnet.LinkConfig{BandwidthBps: 400e6, LatencySec: 100e-6})
+	plat, err := nDaemonCluster(nw, 2, device.TestCPU("cpu"), true)
+	if err != nil {
+		return 0, err
+	}
+	devs, err := plat.Devices(cl.DeviceTypeAll)
+	if err != nil {
+		return 0, err
+	}
+	ctx, err := plat.CreateContext(devs)
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		if rerr := ctx.Release(); rerr != nil {
+			_ = rerr
+		}
+	}()
+	qA, err := ctx.CreateQueue(devs[0])
+	if err != nil {
+		return 0, err
+	}
+	qB, err := ctx.CreateQueue(devs[1])
+	if err != nil {
+		return 0, err
+	}
+	src, err := ctx.CreateBuffer(cl.MemReadWrite, size, nil)
+	if err != nil {
+		return 0, err
+	}
+	dst, err := ctx.CreateBuffer(cl.MemReadWrite, size, nil)
+	if err != nil {
+		return 0, err
+	}
+	payload := make([]byte, size)
+	var transfer time.Duration
+	for i := 0; i < iters; i++ {
+		if _, err := qA.EnqueueWriteBuffer(src, true, 0, payload, nil); err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		if _, err := qB.EnqueueCopyBuffer(src, dst, 0, 0, size, nil); err != nil {
+			return 0, err
+		}
+		if err := qB.Finish(); err != nil {
+			return 0, err
+		}
+		transfer += time.Since(start)
+	}
+	return float64(iters*size) / transfer.Seconds() / 1e6, nil
+}
+
+// benchEnqueueThroughput measures the pipelined one-way command rate.
+func benchEnqueueThroughput() (float64, error) {
+	const batch, rounds = 256, 8
+	nw := simnet.NewNetwork(simnet.LinkConfig{LatencySec: 100e-6})
+	plat, err := nDaemonCluster(nw, 1, device.TestCPU("cpu"), false)
+	if err != nil {
+		return 0, err
+	}
+	devs, err := plat.Devices(cl.DeviceTypeAll)
+	if err != nil {
+		return 0, err
+	}
+	ctx, err := plat.CreateContext(devs)
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		if rerr := ctx.Release(); rerr != nil {
+			_ = rerr
+		}
+	}()
+	q, err := ctx.CreateQueue(devs[0])
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	for i := 0; i < rounds; i++ {
+		for j := 0; j < batch; j++ {
+			ev, merr := q.EnqueueMarker()
+			if merr != nil {
+				return 0, merr
+			}
+			if rerr := ev.Release(); rerr != nil {
+				return 0, rerr
+			}
+		}
+		if ferr := q.Finish(); ferr != nil {
+			return 0, ferr
+		}
+	}
+	return float64(rounds*batch) / time.Since(start).Seconds(), nil
+}

@@ -12,6 +12,8 @@
 //	dclbench -fig 8            # transfer efficiency vs chunk size
 //	dclbench -fig all -quick   # reduced workloads
 //	dclbench -timescale 0.05   # slower, more accurate time compression
+//	dclbench -bench            # machine-readable micro-bench suite →
+//	                           # BENCH_PR4.json (see -benchout)
 package main
 
 import (
@@ -28,7 +30,17 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced workload sizes")
 	timescale := flag.Float64("timescale", 0.02, "time compression factor (modeled seconds × factor = real seconds)")
 	verbose := flag.Bool("v", false, "progress logging")
+	bench := flag.Bool("bench", false, "run the micro-benchmark suite and emit machine-readable JSON")
+	benchout := flag.String("benchout", "BENCH_PR4.json", "output path for -bench results")
 	flag.Parse()
+
+	if *bench {
+		if err := runBenchSuite(*benchout); err != nil {
+			fmt.Fprintf(os.Stderr, "bench suite failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	opt := exp.Options{TimeScale: *timescale, Quick: *quick}
 	if *verbose {

@@ -33,6 +33,7 @@ import (
 	"dopencl/internal/device"
 	"dopencl/internal/devmgr"
 	"dopencl/internal/native"
+	"dopencl/internal/sched"
 )
 
 // Version identifies this reimplementation.
@@ -97,6 +98,31 @@ const (
 
 // WaitForEvents blocks until all events have completed (clWaitForEvents).
 func WaitForEvents(events []Event) error { return cl.WaitForEvents(events) }
+
+// Data-parallel scheduler re-exports (internal/sched): split one
+// ND-range launch across the devices of a lease, with the
+// region-granular coherence directory stitching partitioned results.
+type (
+	// SchedLaunch describes one data-parallel 1-D ND-range.
+	SchedLaunch = sched.Launch
+	// SchedWorker is one device executor (queue + optional weight).
+	SchedWorker = sched.Worker
+	// SchedPart marks a kernel argument as partitioned per chunk.
+	SchedPart = sched.Part
+	// SchedReport is one worker's execution summary.
+	SchedReport = sched.Report
+	// SchedPolicy decides how the range is carved into chunks.
+	SchedPolicy = sched.Policy
+	// SchedStatic is the static proportional policy.
+	SchedStatic = sched.Static
+	// SchedDynamic is the chunk-stealing policy with throughput feedback.
+	SchedDynamic = sched.Dynamic
+)
+
+// SchedRun executes a partitioned launch across the workers.
+func SchedRun(l SchedLaunch, workers []SchedWorker, p SchedPolicy) ([]SchedReport, error) {
+	return sched.Run(l, workers, p)
+}
 
 // KernelArgUpdate patches argument argIndex of the recorded kernel
 // launch at index cmd on the next (and subsequent) replays.

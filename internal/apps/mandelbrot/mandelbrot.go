@@ -21,6 +21,7 @@ import (
 	"dopencl/internal/cl"
 	"dopencl/internal/mpi"
 	"dopencl/internal/native"
+	"dopencl/internal/sched"
 	"dopencl/internal/simnet"
 )
 
@@ -56,6 +57,43 @@ kernel void mandelbrot(global int* out, int width, int rows,
 		iter = iter + 1;
 	}
 	out[gid] = iter;
+}
+`
+
+// PartitionedKernelSource is the data-parallel variant of the Mandelbrot
+// kernel: ONE launch over the whole image, split across devices by
+// internal/sched. Work-item gid is the true pixel index (the scheduler
+// launches each chunk with a global work offset), and the output is a
+// per-chunk sub-buffer indexed chunk-relative — each device writes only
+// its own region of the one shared image buffer, which the
+// region-granular coherence directory tracks per daemon.
+const PartitionedKernelSource = `
+kernel void mandelblock(global int* out, int width, int height,
+                        float xmin, float ymin, float dx, float dy,
+                        int maxIter) {
+	int gid = get_global_id(0);
+	if (gid >= width * height) {
+		return;
+	}
+	int col = gid % width;
+	int row = gid / width;
+	float cx = xmin + (float)col * dx;
+	float cy = ymin + (float)row * dy;
+	float zx = 0.0;
+	float zy = 0.0;
+	int iter = 0;
+	while (iter < maxIter) {
+		float zx2 = zx * zx;
+		float zy2 = zy * zy;
+		if (zx2 + zy2 > 4.0) {
+			break;
+		}
+		float nzx = zx2 - zy2 + cx;
+		zy = 2.0 * zx * zy + cy;
+		zx = nzx;
+		iter = iter + 1;
+	}
+	out[gid - get_global_offset(0)] = iter;
 }
 `
 
@@ -220,6 +258,89 @@ func RenderCL(plat cl.Platform, devices []cl.Device, p Params) ([]int32, Timing,
 		}
 	}
 	return img, tm, nil
+}
+
+// RenderPartitioned computes the fractal as ONE ND-range split across
+// the given devices by the data-parallel scheduler: one shared output
+// buffer, one kernel, chunks placed by the policy (nil: static
+// proportional). Against the dOpenCL platform each daemon computes and
+// keeps only its own region — the region-granular directory leaves every
+// daemon Modified on its chunk — and the final read stitches the regions
+// from their holders. Returns the image, the timing split, and the
+// per-device scheduler reports (throughput feedback).
+func RenderPartitioned(plat cl.Platform, devices []cl.Device, p Params, policy sched.Policy) ([]int32, Timing, []sched.Report, error) {
+	var tm Timing
+	if len(devices) == 0 {
+		return nil, tm, nil, fmt.Errorf("mandelbrot: no devices")
+	}
+	start := time.Now()
+	ctx, err := plat.CreateContext(devices)
+	if err != nil {
+		return nil, tm, nil, err
+	}
+	defer func() {
+		if rerr := ctx.Release(); rerr != nil {
+			_ = rerr
+		}
+	}()
+	prog, err := ctx.CreateProgramWithSource(PartitionedKernelSource)
+	if err != nil {
+		return nil, tm, nil, err
+	}
+	if err := prog.Build(nil, ""); err != nil {
+		return nil, tm, nil, err
+	}
+	workers := make([]sched.Worker, len(devices))
+	for i, d := range devices {
+		q, err := ctx.CreateQueue(d)
+		if err != nil {
+			return nil, tm, nil, err
+		}
+		workers[i] = sched.Worker{Queue: q}
+	}
+	n := p.Width * p.Height
+	buf, err := ctx.CreateBuffer(cl.MemWriteOnly, 4*n, nil)
+	if err != nil {
+		return nil, tm, nil, err
+	}
+	tm.Init = time.Since(start)
+
+	start = time.Now()
+	dx := (p.XMax - p.XMin) / float64(p.Width)
+	dy := (p.YMax - p.YMin) / float64(p.Height)
+	reports, err := sched.Run(sched.Launch{
+		Program: prog,
+		Kernel:  "mandelblock",
+		Args: []any{nil, int32(p.Width), int32(p.Height),
+			float32(p.XMin), float32(p.YMin), float32(dx), float32(dy),
+			int32(p.MaxIter)},
+		Parts:  []sched.Part{{Arg: 0, Buffer: buf, BytesPerItem: 4}},
+		Global: n,
+	}, workers, policy)
+	if err != nil {
+		return nil, tm, reports, err
+	}
+	tm.Exec = time.Since(start)
+
+	// One whole-buffer read: the region directory stitches each device's
+	// chunk from its holder.
+	start = time.Now()
+	out := make([]byte, 4*n)
+	if _, err := workers[0].Queue.EnqueueReadBuffer(buf, true, 0, out, nil); err != nil {
+		return nil, tm, reports, err
+	}
+	img := make([]int32, n)
+	for i := range img {
+		img[i] = int32(binary.LittleEndian.Uint32(out[4*i:]))
+	}
+	tm.Transfer = time.Since(start)
+
+	for _, w := range workers {
+		if err := w.Queue.Release(); err != nil {
+			return nil, tm, reports, err
+		}
+	}
+	return img, tm, reports, nil
 }
 
 // NodePlatform supplies rank r with its node-local OpenCL platform in the

@@ -9,6 +9,7 @@ import (
 	"dopencl/internal/daemon"
 	"dopencl/internal/device"
 	"dopencl/internal/native"
+	"dopencl/internal/sched"
 	"dopencl/internal/simnet"
 )
 
@@ -77,6 +78,83 @@ func TestRenderCLOverDOpenCL(t *testing.T) {
 	}
 	if diff := countDiffs(got, want); diff > 0 {
 		t.Fatalf("%d pixels differ: distributed render corrupt", diff)
+	}
+}
+
+// TestRenderPartitionedMatchesReference: one ND-range split across 3
+// native devices (static and dynamic policies) must reproduce the
+// reference image exactly.
+func TestRenderPartitionedMatchesReference(t *testing.T) {
+	p := testParams()
+	want := ReferenceRender(p)
+	plat := native.NewPlatform("test", "test", []device.Config{
+		device.TestCPU("cpu0"), device.TestCPU("cpu1"), device.TestCPU("cpu2"),
+	})
+	devs, err := plat.Devices(cl.DeviceTypeAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name   string
+		policy sched.Policy
+	}{{"static", sched.Static{}}, {"dynamic", sched.Dynamic{Chunk: 256}}} {
+		got, tm, reports, err := RenderPartitioned(plat, devs, p, tc.policy)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if tm.Total() <= 0 {
+			t.Errorf("%s: timing not recorded", tc.name)
+		}
+		items := 0
+		for _, r := range reports {
+			items += r.Items
+		}
+		if items != p.Width*p.Height {
+			t.Errorf("%s: reports cover %d items, want %d", tc.name, items, p.Width*p.Height)
+		}
+		if diff := countDiffs(got, want); diff > 0 {
+			t.Fatalf("%s: %d/%d pixels differ from reference", tc.name, diff, len(want))
+		}
+	}
+}
+
+// TestRenderPartitionedOverDOpenCL: the same partitioned launch across
+// two simnet daemons — each daemon computes its contiguous block into
+// its region of one shared buffer.
+func TestRenderPartitionedOverDOpenCL(t *testing.T) {
+	p := testParams()
+	want := ReferenceRender(p)
+
+	nw := simnet.NewNetwork(simnet.Unlimited())
+	for i := 0; i < 2; i++ {
+		addr := fmt.Sprintf("node%d", i)
+		np := native.NewPlatform(addr, "test", []device.Config{device.TestCPU("cpu")})
+		d, err := daemon.New(daemon.Config{Name: addr, Platform: np})
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := nw.Listen(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() { _ = d.Serve(l) }()
+	}
+	plat := client.NewPlatform(client.Options{Dialer: nw.Dial, ClientName: "test"})
+	for i := 0; i < 2; i++ {
+		if _, err := plat.ConnectServer(fmt.Sprintf("node%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	devs, err := plat.Devices(cl.DeviceTypeAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, _, err := RenderPartitioned(plat, devs, p, sched.Static{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := countDiffs(got, want); diff > 0 {
+		t.Fatalf("%d pixels differ: partitioned distributed render corrupt", diff)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"dopencl/internal/cl"
 	"dopencl/internal/device"
 	"dopencl/internal/native"
+	"dopencl/internal/sched"
 )
 
 func smallParams() Params {
@@ -41,6 +42,37 @@ func TestReconstructMatchesReference(t *testing.T) {
 	}
 	if res.MeanIteration <= 0 || res.Total <= 0 {
 		t.Error("timing not recorded")
+	}
+}
+
+// TestReconstructPartitionedMatchesReference: every kernel phase split
+// across two devices must reconstruct the exact same image as the
+// sequential reference — the partitioned kernels perform identical math
+// in identical order, so the comparison is bit-exact.
+func TestReconstructPartitionedMatchesReference(t *testing.T) {
+	p := smallParams()
+	want := ReferenceReconstruct(p)
+
+	plat := native.NewPlatform("test", "test", []device.Config{
+		device.TestCPU("cpu0"), device.TestCPU("cpu1"),
+	})
+	devs, err := plat.Devices(cl.DeviceTypeAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name   string
+		policy sched.Policy
+	}{{"static", sched.Static{}}, {"dynamic", sched.Dynamic{Chunk: 64}}} {
+		res, err := ReconstructPartitioned(plat, devs, p, tc.policy)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		for i := range want {
+			if res.Image[i] != want[i] {
+				t.Fatalf("%s: voxel %d: partitioned %v != reference %v", tc.name, i, res.Image[i], want[i])
+			}
+		}
 	}
 }
 

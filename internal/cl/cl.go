@@ -194,6 +194,15 @@ type Buffer interface {
 	Flags() MemFlags
 	// Context returns the owning context.
 	Context() Context
+	// CreateSubBuffer creates a view of [origin, origin+size) of this
+	// buffer, mirroring clCreateSubBuffer with CL_BUFFER_CREATE_TYPE_REGION.
+	// The view aliases the parent's storage: writes through either handle
+	// are visible through the other. Sub-buffers of sub-buffers resolve to
+	// the root buffer. In the dOpenCL driver a sub-buffer is the unit of
+	// region-granular coherence: binding one as a kernel argument scopes
+	// the launch's reads and invalidations to the view's byte range, which
+	// is what lets two daemons each hold Modified halves of one buffer.
+	CreateSubBuffer(origin, size int) (Buffer, error)
 	// Release drops the application's reference to the buffer.
 	Release() error
 }
@@ -363,6 +372,14 @@ type Queue interface {
 	// EnqueueNDRangeKernel launches a kernel over the global work size.
 	// local may be nil to let the implementation pick a work-group size.
 	EnqueueNDRangeKernel(k Kernel, global, local []int, wait []Event) (Event, error)
+	// EnqueueNDRangeKernelWithOffset launches a kernel with a global work
+	// offset (clEnqueueNDRangeKernel's global_work_offset): work-item IDs
+	// run over [offset, offset+global) per dimension, and
+	// get_global_offset reports the offset inside the kernel. A nil offset
+	// is equivalent to EnqueueNDRangeKernel. This is the primitive the
+	// data-parallel scheduler (internal/sched) uses to split one logical
+	// ND-range into chunks executing on different devices.
+	EnqueueNDRangeKernelWithOffset(k Kernel, offset, global, local []int, wait []Event) (Event, error)
 	// EnqueueMarker enqueues a marker command whose event completes once
 	// every previously enqueued command has completed.
 	EnqueueMarker() (Event, error)

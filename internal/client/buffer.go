@@ -4,13 +4,15 @@ import (
 	"crypto/rand"
 	"encoding/binary"
 	"math"
+	"strconv"
+	"strings"
 	"sync"
 
 	"dopencl/internal/cl"
 	"dopencl/internal/protocol"
 )
 
-// msiState is the coherence state of one cached buffer copy.
+// msiState is the coherence state of one cached buffer-region copy.
 type msiState int
 
 // MSI states (Section III-D: directory-based MSI with the client's stub as
@@ -33,33 +35,129 @@ func (s msiState) String() string {
 	return "?"
 }
 
-// Buffer is the compound stub for a distributed buffer object and the
-// directory of its MSI protocol. A remote buffer exists on every server of
-// the context; each carries a state. The client's own copy (hostCopy) is a
-// cache too, with hostState.
+// span is one interval of the region directory: a maximal byte range
+// [off, end) over which every copy (host and per-server) has a uniform
+// coherence state. The directory is a sorted list of disjoint spans
+// partitioning [0, size); adjacent spans with identical state collapse
+// back into one (mergeLocked), so steady-state partitioned workloads keep
+// exactly one span per device chunk.
 //
-// Invariants (checked by tests):
+// Invariants (checked by tests, per span):
 //   - at most one copy (host or any server) is Modified;
 //   - if some copy is Modified, every other copy is Invalid.
+type span struct {
+	off, end  int
+	host      msiState
+	states    map[*Server]msiState
+	lastWrite map[*Server]*Event // most recent writing command per server
+	inbound   map[*Server]*Event // in-flight forward gates per target server
+	gen       uint64             // directory generation of the span's last mutation
+}
+
+// clone deep-copies the span (snapshot for rollbacks).
+func (sp *span) clone() *span {
+	c := &span{off: sp.off, end: sp.end, host: sp.host, gen: sp.gen,
+		states:    make(map[*Server]msiState, len(sp.states)),
+		lastWrite: make(map[*Server]*Event, len(sp.lastWrite)),
+		inbound:   make(map[*Server]*Event, len(sp.inbound)),
+	}
+	for s, st := range sp.states {
+		c.states[s] = st
+	}
+	for s, ev := range sp.lastWrite {
+		c.lastWrite[s] = ev
+	}
+	for s, ev := range sp.inbound {
+		c.inbound[s] = ev
+	}
+	return c
+}
+
+// sameStates reports whether two spans carry identical coherence state
+// (merge predicate; events compare by identity).
+func (sp *span) sameStates(o *span) bool {
+	if sp.host != o.host || len(sp.lastWrite) != len(o.lastWrite) || len(sp.inbound) != len(o.inbound) {
+		return false
+	}
+	for s, st := range sp.states {
+		if o.states[s] != st {
+			return false
+		}
+	}
+	for s, st := range o.states {
+		if sp.states[s] != st {
+			return false
+		}
+	}
+	for s, ev := range sp.lastWrite {
+		if o.lastWrite[s] != ev {
+			return false
+		}
+	}
+	for s, ev := range sp.inbound {
+		if o.inbound[s] != ev {
+			return false
+		}
+	}
+	return true
+}
+
+// sourceLocked returns a server holding a valid copy of the span,
+// preferring the Modified owner. With peer forwarding, Shared server
+// copies can exist while the host copy is Invalid (the payload never
+// visited the client), so any valid copy must be usable as a source.
+func (sp *span) sourceLocked() *Server {
+	var shared *Server
+	for srv, st := range sp.states {
+		if st == msiModified {
+			return srv
+		}
+		if st == msiShared && shared == nil {
+			shared = srv
+		}
+	}
+	return shared
+}
+
+// Buffer is the compound stub for a distributed buffer object and the
+// directory of its MSI protocol. A remote buffer exists on every server of
+// the context; the client's own copy (hostCopy) is a cache too.
+//
+// The directory is region-granular: coherence state is tracked per byte
+// range (span), not per buffer, so two daemons can each hold Modified on
+// disjoint halves of one buffer with zero transfers between iterations of
+// a partitioned kernel. Ranges split on demand (a write to [a,b) splits
+// the spans it cuts) and re-merge when adjacent spans converge.
+//
+// A Buffer may also be a sub-buffer view (parent != nil): a window
+// [org, org+size) onto the root buffer created by CreateSubBuffer. Views
+// own no directory — every coherence operation resolves to the root with
+// absolute offsets — and no remote objects: on the wire a view is its
+// root's ID plus a range.
 type Buffer struct {
 	ctx   *Context
 	id    uint64
 	size  int
 	flags cl.MemFlags
 
-	mu        sync.Mutex
-	hostCopy  []byte
-	hostState msiState
-	states    map[*Server]msiState
-	lastWrite map[*Server]*Event // most recent writing command per server
-	inbound   map[*Server]*Event // in-flight forward gates per target server
-	gen       uint64             // bumped on every directory mutation (rollback guard)
-	released  bool
+	parent *Buffer // non-nil for sub-buffer views (always the root)
+	org    int     // view origin within the root buffer
+
+	mu       sync.Mutex // root only; views lock their root
+	hostCopy []byte
+	dir      []*span
+	// gen is the global mutation counter; every mutated span is stamped
+	// with the counter's new value (bumpLocked), so "has this RANGE
+	// changed since I looked" is answerable per span — the rollback and
+	// stale-read guards stay range-scoped, and concurrent operations on
+	// disjoint ranges never invalidate each other's snapshots.
+	gen      uint64
+	released bool
 }
 
 var _ cl.Buffer = (*Buffer)(nil)
 
-// Size returns the buffer size in bytes.
+// Size returns the buffer (or view) size in bytes.
 func (b *Buffer) Size() int { return b.size }
 
 // Flags returns the creation flags.
@@ -68,8 +166,59 @@ func (b *Buffer) Flags() cl.MemFlags { return b.flags }
 // Context returns the owning context.
 func (b *Buffer) Context() cl.Context { return b.ctx }
 
-// Release releases the remote buffers on all servers.
+// root returns the buffer owning the region directory.
+func (b *Buffer) root() *Buffer {
+	if b.parent != nil {
+		return b.parent
+	}
+	return b
+}
+
+// viewRange returns the buffer's window in root coordinates.
+func (b *Buffer) viewRange() (off, end int) { return b.org, b.org + b.size }
+
+// absRange translates a view-relative range to root coordinates.
+func (b *Buffer) absRange(off, n int) (int, int) { return b.org + off, b.org + off + n }
+
+// rangeView returns a handle over [off, off+size) of the root buffer in
+// ROOT coordinates: the root itself when the range covers it entirely,
+// otherwise a synthetic view (used by the graph footprint to track
+// region-granular inputs/outputs).
+func (b *Buffer) rangeView(off, size int) *Buffer {
+	r := b.root()
+	if off == 0 && size == r.size {
+		return r
+	}
+	return &Buffer{ctx: r.ctx, id: r.id, size: size, flags: r.flags, parent: r, org: off}
+}
+
+// CreateSubBuffer creates a region view of this buffer (or of this view's
+// root). Views are free: no remote objects are created — the root ID plus
+// the range is the view's entire wire identity — so the data-parallel
+// scheduler can create one per chunk without round trips.
+func (b *Buffer) CreateSubBuffer(origin, size int) (cl.Buffer, error) {
+	if size <= 0 || origin < 0 || size > b.size || origin > b.size-size {
+		return nil, cl.Errf(cl.InvalidValue, "sub-buffer [%d,+%d) exceeds buffer size %d", origin, size, b.size)
+	}
+	r := b.root()
+	r.mu.Lock()
+	released := r.released
+	r.mu.Unlock()
+	if released {
+		return nil, cl.Errf(cl.InvalidMemObject, "sub-buffer of a released buffer")
+	}
+	return &Buffer{
+		ctx: b.ctx, id: r.id, size: size, flags: b.flags,
+		parent: r, org: b.org + origin,
+	}, nil
+}
+
+// Release releases the remote buffers on all servers. Releasing a
+// sub-buffer view is a local no-op: views have no remote identity.
 func (b *Buffer) Release() error {
+	if b.parent != nil {
+		return nil
+	}
 	b.mu.Lock()
 	if b.released {
 		b.mu.Unlock()
@@ -88,242 +237,613 @@ func (b *Buffer) Release() error {
 	return first
 }
 
-// States returns a copy of the MSI directory for tests and debugging: the
-// host state plus one state per server address.
+// ---------------------------------------------------------------------------
+// Directory primitives (root buffer, b.mu held).
+
+// spanIndexLocked returns the index of the span containing pos.
+func (b *Buffer) spanIndexLocked(pos int) int {
+	for i, sp := range b.dir {
+		if pos < sp.end {
+			return i
+		}
+	}
+	return len(b.dir) - 1
+}
+
+// ensureBoundaryLocked splits the span containing pos so that pos is a
+// span boundary (no-op when it already is, or at the buffer edges).
+func (b *Buffer) ensureBoundaryLocked(pos int) {
+	if pos <= 0 || pos >= b.size {
+		return
+	}
+	i := b.spanIndexLocked(pos)
+	sp := b.dir[i]
+	if sp.off == pos {
+		return
+	}
+	right := sp.clone()
+	right.off = pos
+	sp.end = pos
+	b.dir = append(b.dir, nil)
+	copy(b.dir[i+2:], b.dir[i+1:])
+	b.dir[i+1] = right
+}
+
+// rangeSpansLocked splits at off and end and returns the spans exactly
+// covering [off, end).
+func (b *Buffer) rangeSpansLocked(off, end int) []*span {
+	b.ensureBoundaryLocked(off)
+	b.ensureBoundaryLocked(end)
+	var i int
+	for i = 0; i < len(b.dir); i++ {
+		if b.dir[i].off >= off {
+			break
+		}
+	}
+	j := i
+	for j < len(b.dir) && b.dir[j].end <= end {
+		j++
+	}
+	return b.dir[i:j]
+}
+
+// snapshotRangeLocked deep-copies the spans covering [off, end).
+func (b *Buffer) snapshotRangeLocked(off, end int) []*span {
+	spans := b.rangeSpansLocked(off, end)
+	snap := make([]*span, len(spans))
+	for i, sp := range spans {
+		snap[i] = sp.clone()
+	}
+	return snap
+}
+
+// restoreRangeLocked splices a snapshot back over [off, end). Only safe
+// when the directory generation is unchanged since the snapshot (the
+// caller checks), so boundaries line up exactly.
+func (b *Buffer) restoreRangeLocked(off, end int, snap []*span) {
+	b.ensureBoundaryLocked(off)
+	b.ensureBoundaryLocked(end)
+	var i int
+	for i = 0; i < len(b.dir); i++ {
+		if b.dir[i].off >= off {
+			break
+		}
+	}
+	j := i
+	for j < len(b.dir) && b.dir[j].end <= end {
+		j++
+	}
+	out := make([]*span, 0, len(b.dir)-(j-i)+len(snap))
+	out = append(out, b.dir[:i]...)
+	out = append(out, snap...)
+	out = append(out, b.dir[j:]...)
+	b.dir = out
+}
+
+// bumpLocked advances the global mutation counter and stamps the given
+// (just-mutated) spans with it.
+func (b *Buffer) bumpLocked(spans []*span) {
+	b.gen++
+	for _, sp := range spans {
+		sp.gen = b.gen
+	}
+}
+
+// rangeGenLocked returns the newest mutation stamp over [off, end).
+func (b *Buffer) rangeGenLocked(off, end int) uint64 {
+	var g uint64
+	for _, sp := range b.rangeSpansLocked(off, end) {
+		if sp.gen > g {
+			g = sp.gen
+		}
+	}
+	return g
+}
+
+// mergeLocked coalesces adjacent spans with identical coherence state, so
+// the directory stays proportional to the number of distinct regions, not
+// the number of operations. Gating events that have already completed
+// successfully are dropped first — a settled write gates nothing, and
+// keeping it would pin span boundaries forever (two ranges written by
+// different commands could otherwise never re-merge).
+func (b *Buffer) mergeLocked() {
+	for _, sp := range b.dir {
+		for srv, ev := range sp.lastWrite {
+			if ev.Status() == cl.Complete {
+				delete(sp.lastWrite, srv)
+			}
+		}
+	}
+	if len(b.dir) < 2 {
+		return
+	}
+	out := b.dir[:1]
+	for _, sp := range b.dir[1:] {
+		last := out[len(out)-1]
+		if last.sameStates(sp) {
+			last.end = sp.end
+			if sp.gen > last.gen {
+				last.gen = sp.gen
+			}
+			continue
+		}
+		out = append(out, sp)
+	}
+	b.dir = out
+}
+
+// ---------------------------------------------------------------------------
+// Introspection (tests, debugging).
+
+// summarize folds per-span state letters over [off, end) into one string:
+// the letter itself when uniform, or a "+"-joined sequence in span order.
+func summarize(letters []string) string {
+	uniq := letters[:0:0]
+	for _, l := range letters {
+		if len(uniq) == 0 || uniq[len(uniq)-1] != l {
+			uniq = append(uniq, l)
+		}
+	}
+	return strings.Join(uniq, "+")
+}
+
+// overlappingSpansLocked returns the spans intersecting [off, end)
+// WITHOUT splitting: introspection must never mutate the directory.
+func (b *Buffer) overlappingSpansLocked(off, end int) []*span {
+	var out []*span
+	for _, sp := range b.dir {
+		if sp.end > off && sp.off < end {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// States returns a summary of the MSI directory over this buffer's (or
+// view's) range: the host state plus one state per server address. When
+// the range is uniform the summary is a single letter ("M", "S", "I");
+// region-fragmented buffers summarize as a sequence like "M+I".
 func (b *Buffer) States() (host string, servers map[string]string) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	r := b.root()
+	off, end := b.viewRange()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var hostL []string
+	perServer := map[*Server][]string{}
+	for _, sp := range r.overlappingSpansLocked(off, end) {
+		hostL = append(hostL, sp.host.String())
+		for srv, st := range sp.states {
+			perServer[srv] = append(perServer[srv], st.String())
+		}
+	}
 	servers = map[string]string{}
-	for srv, st := range b.states {
-		servers[srv.addr] = st.String()
+	for srv, letters := range perServer {
+		servers[srv.addr] = summarize(letters)
 	}
-	return b.hostState.String(), servers
+	return summarize(hostL), servers
 }
 
-// owner returns the server holding the Modified copy, if any.
-func (b *Buffer) ownerLocked() *Server {
-	for srv, st := range b.states {
-		if st == msiModified {
-			return srv
-		}
-	}
-	return nil
+// RegionState describes one directory span for tests and debugging.
+type RegionState struct {
+	Off, End int
+	Host     string
+	Servers  map[string]string
 }
 
-// pickSourceLocked returns a server holding a valid copy, preferring the
-// Modified owner. With peer forwarding, Shared server copies can exist
-// while the host copy is Invalid (the payload never visited the client),
-// so any valid copy must be usable as a transfer source.
-func (b *Buffer) pickSourceLocked() *Server {
-	var shared *Server
-	for srv, st := range b.states {
-		if st == msiModified {
-			return srv
+// RegionStates returns the full region directory over the buffer's (or
+// view's) range, one entry per span.
+func (b *Buffer) RegionStates() []RegionState {
+	r := b.root()
+	off, end := b.viewRange()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	spans := r.overlappingSpansLocked(off, end)
+	out := make([]RegionState, len(spans))
+	for i, sp := range spans {
+		// Clamp to the view window instead of splitting the directory.
+		so, se := sp.off, sp.end
+		if so < off {
+			so = off
 		}
-		if st == msiShared && shared == nil {
-			shared = srv
+		if se > end {
+			se = end
 		}
+		rs := RegionState{Off: so, End: se, Host: sp.host.String(), Servers: map[string]string{}}
+		for srv, st := range sp.states {
+			rs.Servers[srv.addr] = st.String()
+		}
+		out[i] = rs
 	}
-	return shared
+	return out
 }
 
-// markWrittenBy records that a command on srv writes this buffer: srv's
-// copy becomes Modified, every other copy (including the client's)
-// becomes Invalid. ev is the writing command's event, gating later
-// coherence downloads.
+// SpanCount reports how many spans the directory currently holds (the
+// adjacent-range merge tests pin that converged regions re-coalesce).
+func (b *Buffer) SpanCount() int {
+	r := b.root()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.dir)
+}
+
+// String renders the directory for debugging: "[0,512)M@A [512,1024)I".
+func (b *Buffer) debugString() string {
+	var sb strings.Builder
+	for _, rs := range b.RegionStates() {
+		sb.WriteString("[" + strconv.Itoa(rs.Off) + "," + strconv.Itoa(rs.End) + ")h=" + rs.Host + " ")
+	}
+	return sb.String()
+}
+
+// ---------------------------------------------------------------------------
+// Directory transitions.
+
+// markRangeWrittenBy records that a command on srv writes [off, end) of
+// the root buffer: srv's copy of the range becomes Modified, every other
+// copy of the range (including the client's) becomes Invalid; the rest of
+// the buffer is untouched — the refactor's core property. ev is the
+// writing command's event, gating later coherence reads of the range.
 //
 // The directory is updated optimistically — enqueues are one-way and the
 // common case is success. If the command later fails (a deferred
 // fire-and-forget failure), the update is rolled back so the directory
-// does not gate forever on a failed event: every untouched copy gets its
-// previous state back, while srv's copy stays Invalid because a partially
-// executed command may have scribbled on it.
-func (b *Buffer) markWrittenBy(srv *Server, ev *Event) {
-	b.mu.Lock()
-	prevStates := make(map[*Server]msiState, len(b.states))
-	for s, st := range b.states {
-		prevStates[s] = st
+// does not gate forever on a failed event: when nothing else mutated the
+// directory in between, the range's exact prior state is spliced back
+// (minus srv's claim — a partially executed command may have scribbled on
+// its copy); otherwise only the failed write's own claim is withdrawn.
+func (b *Buffer) markRangeWrittenBy(srv *Server, off, end int, ev *Event) {
+	r := b.root()
+	r.mu.Lock()
+	snap := r.snapshotRangeLocked(off, end)
+	spans := r.rangeSpansLocked(off, end)
+	for _, sp := range spans {
+		for s := range sp.states {
+			sp.states[s] = msiInvalid
+		}
+		sp.states[srv] = msiModified
+		sp.host = msiInvalid
+		sp.lastWrite[srv] = ev
 	}
-	prevHost := b.hostState
-	prevLast := b.lastWrite[srv]
-	for s := range b.states {
-		b.states[s] = msiInvalid
-	}
-	b.states[srv] = msiModified
-	b.hostState = msiInvalid
-	b.lastWrite[srv] = ev
-	b.gen++
-	gen := b.gen
-	b.mu.Unlock()
+	r.bumpLocked(spans)
+	gen := r.gen
+	r.mergeLocked()
+	r.mu.Unlock()
 	// In-flight inbound forwards toward the invalidated copies are NOT
 	// cancelled here: commands already enqueued on those servers may be
 	// legitimately gated on them (producer/consumer chains). Stale
-	// payloads are instead refused at the receiving daemon — a
-	// committing transfer cancels older unlanded gates for the same
-	// region — and by the upload path's ordered cancel.
+	// payloads are instead refused at the receiving daemon — a committing
+	// transfer cancels older unlanded overlapping gates — and by the
+	// upload path's ordered cancel.
 	if err := ev.SetCallback(cl.Complete, func(_ cl.Event, st cl.CommandStatus) {
 		if st == cl.Complete {
 			return
 		}
-		b.rollbackWrite(srv, ev, gen, prevStates, prevHost, prevLast)
+		r.rollbackRangeWrite(srv, ev, off, end, gen, snap)
 	}); err != nil {
 		// Callback registration cannot fail for Complete; nothing to do.
 		_ = err
 	}
 }
 
-// rollbackWrite undoes a markWrittenBy whose command failed. The snapshot
-// is only restored when no other directory mutation happened in between
-// (generation match); otherwise the interim state stands and only the
-// failed write's own claim — srv's Modified copy and its gating event —
-// is withdrawn.
-func (b *Buffer) rollbackWrite(srv *Server, ev *Event, gen uint64, prevStates map[*Server]msiState, prevHost msiState, prevLast *Event) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.lastWrite[srv] != ev {
-		return
-	}
-	if b.gen == gen {
-		for s, st := range prevStates {
-			b.states[s] = st
-		}
-		b.hostState = prevHost
-		if prevLast != nil {
-			b.lastWrite[srv] = prevLast
-		} else {
-			delete(b.lastWrite, srv)
-		}
-	} else {
-		delete(b.lastWrite, srv)
-	}
-	b.states[srv] = msiInvalid
-	b.gen++
+// markWrittenBy records a write covering the buffer's (or view's) whole
+// range.
+func (b *Buffer) markWrittenBy(srv *Server, ev *Event) {
+	off, end := b.viewRange()
+	b.markRangeWrittenBy(srv, off, end, ev)
 }
 
-// markHostValid records that the client now holds valid data (after a
-// full-buffer download): owner drops to Shared, host becomes Shared.
-func (b *Buffer) markHostValidFull(data []byte) {
+// rollbackRangeWrite undoes a markRangeWrittenBy whose command failed.
+// The snapshot is only spliced back when no other mutation touched the
+// RANGE in between (per-span generation check); otherwise the interim
+// state stands and only the failed write's own claim is withdrawn.
+func (b *Buffer) rollbackRangeWrite(srv *Server, ev *Event, off, end int, gen uint64, snap []*span) {
 	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.rangeGenLocked(off, end) <= gen {
+		b.restoreRangeLocked(off, end, snap)
+		for _, sp := range b.rangeSpansLocked(off, end) {
+			sp.states[srv] = msiInvalid
+			if sp.lastWrite[srv] == ev {
+				delete(sp.lastWrite, srv)
+			}
+		}
+	} else {
+		// Interim mutations happened; only withdraw the failed write's own
+		// claim wherever it still stands.
+		for _, sp := range b.rangeSpansLocked(off, end) {
+			if sp.lastWrite[srv] == ev {
+				delete(sp.lastWrite, srv)
+				sp.states[srv] = msiInvalid
+			}
+		}
+	}
+	b.bumpLocked(b.rangeSpansLocked(off, end))
+	b.mergeLocked()
+}
+
+// markHostValidRangeIfUnchanged records that the client now holds valid
+// data for [off, off+len(data)) (after a coherence download): the
+// range's Modified owner drops to Shared, the host range becomes
+// Shared. The record only happens when no directory mutation touched
+// the range since gen was sampled (same per-span staleness rule as
+// noteHostRead); it reports whether the data was recorded.
+func (b *Buffer) markHostValidRangeIfUnchanged(off int, data []byte, gen uint64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.rangeGenLocked(off, off+len(data)) > gen {
+		return false
+	}
 	if b.hostCopy == nil {
 		b.hostCopy = make([]byte, b.size)
 	}
-	copy(b.hostCopy, data)
-	if owner := b.ownerLocked(); owner != nil {
-		b.states[owner] = msiShared
+	copy(b.hostCopy[off:], data)
+	spans := b.rangeSpansLocked(off, off+len(data))
+	for _, sp := range spans {
+		for s, st := range sp.states {
+			if st == msiModified {
+				sp.states[s] = msiShared
+			}
+		}
+		sp.host = msiShared
 	}
-	b.hostState = msiShared
-	b.gen++
-	b.mu.Unlock()
+	b.bumpLocked(spans)
+	b.mergeLocked()
+	return true
 }
 
-// ensureValidOn guarantees that srv holds a valid copy before a command
-// that reads the buffer executes there. Returns an optional gating event
-// that the dependent command must include in its wait list (nil when no
-// transfer was needed).
+// noteHostRead updates directory state after the client read
+// [offset, offset+n) of the root buffer from srv (M→S downgrade on
+// reads). gen is the directory generation captured when the read was
+// enqueued: if any directory mutation happened while the read was in
+// flight (a newer write on another server, a forward, a rollback), the
+// returned bytes are a stale snapshot — still exactly what the racing
+// read legitimately observed, but NOT a valid current host copy — and
+// recording them would corrupt later coherence transfers sourced from
+// the host. Region granularity lifted the old whole-buffer-only
+// restriction: any range read validates exactly that host range.
+func (b *Buffer) noteHostRead(srv *Server, offset, n int, data []byte, gen uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	// Per-span staleness: only mutations that touched THIS range since
+	// the read was enqueued disqualify the snapshot — concurrent
+	// operations on disjoint ranges (e.g. the other parts of a stitched
+	// read) do not.
+	if b.rangeGenLocked(offset, offset+n) > gen {
+		return
+	}
+	if b.hostCopy == nil {
+		b.hostCopy = make([]byte, b.size)
+	}
+	copy(b.hostCopy[offset:offset+n], data[:n])
+	spans := b.rangeSpansLocked(offset, offset+n)
+	for _, sp := range spans {
+		sp.host = msiShared
+		for s, st := range sp.states {
+			if st == msiModified {
+				sp.states[s] = msiShared
+			}
+		}
+	}
+	b.bumpLocked(spans)
+	b.mergeLocked()
+}
+
+// inboundGatesRange returns the distinct pending inbound-forward gates
+// toward srv over [off, end) of the root buffer. Commands that overwrite
+// the range without consulting ensureValid (writes, copy destinations)
+// must wait on them: otherwise a forwarded payload, landing outside queue
+// order, would clobber their fresher data.
+func (b *Buffer) inboundGatesRange(srv *Server, off, end int) []*Event {
+	r := b.root()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var gates []*Event
+	for _, sp := range r.rangeSpansLocked(off, end) {
+		if g := sp.inbound[srv]; g != nil && !containsEvent(gates, g) {
+			gates = append(gates, g)
+		}
+	}
+	return gates
+}
+
+func containsEvent(evs []*Event, e *Event) bool {
+	for _, x := range evs {
+		if x == e {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Coherence transfers.
+
+// ensureValidOn guarantees that srv holds a valid copy of the buffer's
+// (or view's) whole range before a command that reads it executes there.
+func (b *Buffer) ensureValidOn(q *Queue) ([]*Event, error) {
+	off, end := b.viewRange()
+	return b.ensureRangeValidOn(q, off, end)
+}
+
+// ensureRangeValidOn guarantees that q's server holds a valid copy of
+// [off, end) of the root buffer. It walks the directory span by span:
+// ranges already valid on the server contribute at most their in-flight
+// inbound gate; invalid ranges are transferred — daemon-to-daemon over
+// the peer bulk plane when available, client-mediated otherwise — at
+// range granularity, so a daemon that owns half a buffer never ships the
+// half the target already has. The returned gating events must ride the
+// dependent command's wait list (empty when no transfer was needed).
+func (b *Buffer) ensureRangeValidOn(q *Queue, off, end int) ([]*Event, error) {
+	r := b.root()
+	srv := q.srv
+	var gates []*Event
+	pos := off
+	for pos < end {
+		r.mu.Lock()
+		sp := r.dir[r.spanIndexLocked(pos)]
+		ce := sp.end
+		if ce > end {
+			ce = end
+		}
+		if st := sp.states[srv]; st == msiShared || st == msiModified {
+			// The copy may be valid-but-in-flight: an optimistically Shared
+			// state whose forwarded payload has not landed yet. Dependent
+			// commands must still wait on the transfer's gate — the payload
+			// arrives outside every queue's in-order stream.
+			g := sp.inbound[srv]
+			r.mu.Unlock()
+			if g != nil && !containsEvent(gates, g) {
+				gates = append(gates, g)
+			}
+			pos = ce
+			continue
+		}
+		hostValid := sp.host != msiInvalid
+		src := sp.sourceLocked()
+		var srcGate *Event
+		if src != nil {
+			srcGate = sp.lastWrite[src]
+		}
+		startGen := sp.gen
+		r.mu.Unlock()
+
+		g, retry, err := r.makeRangeValid(q, pos, ce, hostValid, src, srcGate, startGen)
+		if err != nil {
+			return nil, err
+		}
+		if retry {
+			// The directory mutated under the transfer (e.g. a new write
+			// claimed the range): the downloaded bytes are stale. Re-read
+			// the span's fresh state and start over for this position.
+			continue
+		}
+		if g != nil && !containsEvent(gates, g) {
+			gates = append(gates, g)
+		}
+		pos = ce
+	}
+	return gates, nil
+}
+
+// makeRangeValid transfers [ps, pe) of the root buffer to q's server.
 //
-// Two transfer paths exist when the host copy is invalid:
+// Two transfer paths exist when the host copy of the range is invalid:
 //
 //   - peer forwarding (the daemon-to-daemon bulk plane): the source
-//     daemon streams the bytes directly to srv; the client's link sees
-//     two small commands and no payload. The returned gate completes
-//     when the payload has landed on srv, so dependent commands MUST
-//     wait on it — the transfer does not ride q's in-order stream.
+//     daemon streams the range directly to the target; the client's link
+//     sees two small commands and no payload. The returned gate completes
+//     when the payload has landed, so dependent commands MUST wait on it.
 //   - client-mediated (Section III-F, the paper's only path, kept as
-//     fallback): download from a valid copy, then upload to srv on q,
-//     where in-order execution sequences it before the dependent
+//     fallback): download the range from a valid copy, then upload it on
+//     q, where in-order execution sequences it before the dependent
 //     command.
-func (b *Buffer) ensureValidOn(q *Queue) (*Event, error) {
+func (b *Buffer) makeRangeValid(q *Queue, ps, pe int, hostValid bool, src *Server, srcGate *Event, startGen uint64) (*Event, bool, error) {
 	srv := q.srv
-	b.mu.Lock()
-	if st := b.states[srv]; st == msiShared || st == msiModified {
-		// The copy may be valid-but-in-flight: an optimistically Shared
-		// state whose forwarded payload has not landed yet. Dependent
-		// commands must still wait on the transfer's gate — the payload
-		// arrives outside every queue's in-order stream.
-		gate := b.inbound[srv]
-		b.mu.Unlock()
-		return gate, nil
-	}
-	hostValid := b.hostState != msiInvalid
-	src := b.pickSourceLocked()
-	srcGate := b.lastWrite[src]
-	b.mu.Unlock()
-
 	if !hostValid {
 		if src == nil {
-			return nil, cl.Errf(cl.InvalidMemObject, "buffer %d has no valid copy", b.id)
+			return nil, false, cl.Errf(cl.InvalidMemObject, "buffer %d range [%d,%d) has no valid copy", b.id, ps, pe)
 		}
 		if b.ctx.canForward(src, srv) {
-			gate, err := b.forwardBetween(src, srv, srcGate)
+			gate, err := b.forwardRange(src, srv, ps, pe, srcGate)
 			if err == nil {
-				return gate, nil
+				return gate, false, nil
 			}
 			// A local send failure means the forward never left the
 			// client; fall through to the client-mediated path.
 		}
-		// Download the valid copy from its holder (client-mediated
+		// Download the valid range from its holder (client-mediated
 		// server-to-server transfer, Section III-F: all traffic routes
 		// through the client in the paper's implementation).
-		data := make([]byte, b.size)
+		data := make([]byte, pe-ps)
 		cohQ, err := b.ctx.coherenceQueue(src)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		var gateList []cl.Event
 		if srcGate != nil {
 			gateList = []cl.Event{srcGate}
 		}
-		if _, err := cohQ.enqueueReadInternal(b, true, 0, data, gateList, false); err != nil {
-			return nil, err
+		if _, err := cohQ.enqueueReadInternal(b, true, ps, data, gateList, false); err != nil {
+			return nil, false, err
 		}
-		b.markHostValidFull(data)
+		// Only record the download if the range's directory state is
+		// untouched since it was sampled: a write that landed meanwhile
+		// makes these bytes stale, and installing them as a valid host
+		// copy (or downgrading the NEW owner) would corrupt later
+		// transfers. The caller retries against the fresh state instead.
+		if !b.markHostValidRangeIfUnchanged(ps, data, startGen) {
+			return nil, true, nil
+		}
 	}
+	ev, err := b.uploadRange(q, ps, pe)
+	return ev, false, err
+}
 
-	// Upload the client's copy to srv on the command's own queue.
+// uploadRange ships the client's copy of [ps, pe) to q's server on the
+// command's own queue, claiming Shared for the range.
+func (b *Buffer) uploadRange(q *Queue, ps, pe int) (*Event, error) {
+	srv := q.srv
 	b.mu.Lock()
 	if b.hostCopy == nil {
-		// Shared-but-never-written buffer: contents are defined as zero.
+		// Shared-but-never-written range: contents are defined as zero.
 		b.hostCopy = make([]byte, b.size)
 	}
-	data := b.hostCopy
-	pendingIn := b.inbound[srv]
-	if pendingIn != nil {
-		// Disassociate the superseded gate now: the upload is about to
-		// own srv's claim, and the old gate's failure callback must not
-		// revoke it (rollback is ownership-guarded on this entry).
-		delete(b.inbound, srv)
+	data := b.hostCopy[ps:pe:pe]
+	// Disassociate superseded inbound gates now: the upload is about to
+	// own srv's claim on the range, and the old gates' failure callbacks
+	// must not revoke it (rollback is ownership-guarded per span).
+	var stale []*Event
+	staleSpans := b.rangeSpansLocked(ps, pe)
+	for _, sp := range staleSpans {
+		if g := sp.inbound[srv]; g != nil {
+			delete(sp.inbound, srv)
+			if !containsEvent(stale, g) {
+				stale = append(stale, g)
+			}
+		}
+	}
+	if len(stale) > 0 {
+		b.bumpLocked(staleSpans)
 	}
 	b.mu.Unlock()
-	if pendingIn != nil {
+	for _, g := range stale {
 		// A superseded forward is still in flight toward srv (its claim
 		// was invalidated after the forward started). Cancel it with a
 		// one-way message that dispatches ahead of the upload on this
 		// same connection: the daemon's gate guard then guarantees the
 		// stale payload can never land over the fresh upload.
-		b.cancelSupersededForward(pendingIn)
+		b.cancelSupersededForward(g)
 	}
-	ev, err := q.enqueueWriteInternal(b, false, 0, data, nil, false)
+	ev, err := q.enqueueWriteInternal(b.root(), false, ps, data, nil, false)
 	if err != nil {
 		return nil, err
 	}
 	b.mu.Lock()
-	b.states[srv] = msiShared
-	b.gen++
+	spans := b.rangeSpansLocked(ps, pe)
+	for _, sp := range spans {
+		sp.states[srv] = msiShared
+	}
+	b.bumpLocked(spans)
+	b.mergeLocked()
 	b.mu.Unlock()
 	// The upload is one-way: if the daemon later rejects it, srv never
 	// received the data and the optimistic Shared claim must be revoked.
 	// The revoke ignores the generation on purpose: an interim mutation
-	// may have left srv's Shared entry untouched, and a false-valid copy
+	// may have left srv's Shared range untouched, and a false-valid copy
 	// (silent corruption) is far worse than a redundant re-upload.
 	if cerr := ev.SetCallback(cl.Complete, func(_ cl.Event, st cl.CommandStatus) {
 		if st == cl.Complete {
 			return
 		}
 		b.mu.Lock()
-		if b.states[srv] == msiShared {
-			b.states[srv] = msiInvalid
-			b.gen++
+		revoked := b.rangeSpansLocked(ps, pe)
+		for _, sp := range revoked {
+			if sp.states[srv] == msiShared {
+				sp.states[srv] = msiInvalid
+			}
 		}
+		b.bumpLocked(revoked)
+		b.mergeLocked()
 		b.mu.Unlock()
 	}); cerr != nil {
 		return nil, cerr
@@ -331,18 +851,20 @@ func (b *Buffer) ensureValidOn(q *Queue) (*Event, error) {
 	return ev, nil
 }
 
-// forwardBetween moves this buffer's valid copy from src to dst over the
-// daemon-to-daemon bulk plane: one MsgAcceptForward to dst, one
-// MsgForwardBuffer to src, payload on the peer link. It returns the
-// gating event (origin dst) that completes when the payload has landed;
-// dependent commands on dst must wait on it.
+// forwardRange moves [ps, pe) of this buffer's valid copy from src to dst
+// over the daemon-to-daemon bulk plane: one MsgAcceptForward to dst, one
+// MsgForwardBuffer to src, payload on the peer link — only the range's
+// bytes, never the whole buffer. It returns the gating event (origin dst)
+// that completes when the payload has landed; dependent commands on dst
+// must wait on it.
 //
-// The directory is updated optimistically (src M→S read downgrade, dst
-// →S), with the same deferred-failure discipline as the one-way upload
-// path: if the transfer fails, dst's Shared claim is revoked — a
-// false-valid copy (silent corruption) is far worse than a redundant
-// re-transfer — while src keeps its untouched valid copy.
-func (b *Buffer) forwardBetween(src, dst *Server, srcGate *Event) (*Event, error) {
+// The directory is updated optimistically (src M→S read downgrade over
+// the range, dst→S over the range), with the same deferred-failure
+// discipline as the one-way upload path: if the transfer fails, dst's
+// Shared claim on the range is revoked — a false-valid copy (silent
+// corruption) is far worse than a redundant re-transfer — while src
+// keeps its untouched valid copy.
+func (b *Buffer) forwardRange(src, dst *Server, ps, pe int, srcGate *Event) (*Event, error) {
 	token, err := newForwardToken()
 	if err != nil {
 		return nil, err
@@ -370,7 +892,7 @@ func (b *Buffer) forwardBetween(src, dst *Server, srcGate *Event) (*Event, error
 	dst.registerHook(gateID, gate.complete)
 	if err := dst.send(protocol.MsgAcceptForward, func(w *protocol.Writer) {
 		protocol.PutAcceptForward(w, protocol.AcceptForward{
-			Token: token, BufID: b.id, Offset: 0, Size: int64(b.size),
+			Token: token, BufID: b.id, Offset: int64(ps), Size: int64(pe - ps),
 			EventID: gateID, QueueID: 0,
 		})
 	}); err != nil {
@@ -399,10 +921,10 @@ func (b *Buffer) forwardBetween(src, dst *Server, srcGate *Event) (*Event, error
 	})
 	if err := src.send(protocol.MsgForwardBuffer, func(w *protocol.Writer) {
 		protocol.PutForwardBuffer(w, protocol.ForwardBuffer{
-			QueueID: srcQ.id, SrcBufID: b.id, SrcOffset: 0, Size: int64(b.size),
+			QueueID: srcQ.id, SrcBufID: b.id, SrcOffset: int64(ps), Size: int64(pe - ps),
 			PeerAddr: peerAddr, Token: token,
 			// Buffer stubs share one ID on every server of the context.
-			DstBufID: b.id, DstOffset: 0,
+			DstBufID: b.id, DstOffset: int64(ps),
 			EventID: sendID, WaitIDs: waitIDs,
 		})
 	}); err != nil {
@@ -414,18 +936,21 @@ func (b *Buffer) forwardBetween(src, dst *Server, srcGate *Event) (*Event, error
 	}
 	srcQ.track(sendEv)
 
-	// Optimistic directory update: src's read downgrades M→S, dst gains a
-	// Shared copy gated on the transfer; the host copy is untouched (the
-	// payload never visits the client).
+	// Optimistic directory update over the range: src's read downgrades
+	// M→S, dst gains a Shared copy gated on the transfer; the host copy is
+	// untouched (the payload never visits the client).
 	b.mu.Lock()
-	if b.states[src] == msiModified {
-		b.states[src] = msiShared
+	fwdSpans := b.rangeSpansLocked(ps, pe)
+	for _, sp := range fwdSpans {
+		if sp.states[src] == msiModified {
+			sp.states[src] = msiShared
+		}
+		sp.states[dst] = msiShared
+		sp.lastWrite[dst] = gate
+		sp.inbound[dst] = gate
 	}
-	b.states[dst] = msiShared
-	prevLast := b.lastWrite[dst]
-	b.lastWrite[dst] = gate
-	b.inbound[dst] = gate
-	b.gen++
+	b.bumpLocked(fwdSpans)
+	b.mergeLocked()
 	b.mu.Unlock()
 	if cerr := gate.SetCallback(cl.Complete, func(_ cl.Event, st cl.CommandStatus) {
 		// A transport-class failure means the peer path itself is broken
@@ -437,36 +962,131 @@ func (b *Buffer) forwardBetween(src, dst *Server, srcGate *Event) (*Event, error
 			src.markPeerUnreachable(peerAddr)
 		}
 		// Gate removal and state rollback happen in ONE critical
-		// section: a gap between them would let a concurrent
-		// ensureValidOn observe "Shared, no gate" and run ungated
-		// against a failed transfer. The rollback only runs while this
-		// gate still owns dst's claim (inbound entry intact) — once a
-		// successor transfer or upload has re-validated dst, revoking
-		// its fresh Shared state would just force a redundant
-		// re-transfer.
+		// section per span: a gap between them would let a concurrent
+		// ensureValid observe "Shared, no gate" and run ungated against a
+		// failed transfer. The rollback only runs where this gate still
+		// owns dst's claim (inbound entry intact) — once a successor
+		// transfer or upload has re-validated part of the range, revoking
+		// its fresh Shared state would just force a redundant re-transfer.
 		b.mu.Lock()
-		owned := b.inbound[dst] == gate
-		if owned {
-			delete(b.inbound, dst)
-		}
-		if st != cl.Complete && owned {
-			if b.states[dst] == msiShared {
-				b.states[dst] = msiInvalid
+		settled := b.rangeSpansLocked(ps, pe)
+		for _, sp := range settled {
+			if sp.inbound[dst] != gate {
+				continue
 			}
-			if b.lastWrite[dst] == gate {
-				if prevLast != nil {
-					b.lastWrite[dst] = prevLast
-				} else {
-					delete(b.lastWrite, dst)
+			delete(sp.inbound, dst)
+			if st != cl.Complete {
+				if sp.states[dst] == msiShared {
+					sp.states[dst] = msiInvalid
+				}
+				if sp.lastWrite[dst] == gate {
+					delete(sp.lastWrite, dst)
 				}
 			}
-			b.gen++
 		}
+		b.bumpLocked(settled)
+		b.mergeLocked()
 		b.mu.Unlock()
 	}); cerr != nil {
 		return nil, cerr
 	}
 	return gate, nil
+}
+
+// readPart is one piece of a stitched read plan: read [off, end) of the
+// root buffer from holder (nil: satisfy from the host copy), gated on the
+// listed events.
+type readPart struct {
+	off, end int
+	holder   *Server
+	gates    []*Event
+}
+
+// readPlan partitions [off, end) by where a valid copy lives, preferring
+// q's own server, then the Modified owner, then any Shared holder, then
+// the host copy. It returns nil when the whole range is already valid on
+// q's server (the caller then uses the plain single-read path), and an
+// error when some sub-range has no valid copy anywhere.
+//
+// This is what stitches the result of a partitioned kernel: a
+// whole-buffer read after disjoint per-daemon writes turns into one
+// range-read per daemon, each moving only the bytes that daemon owns.
+func (b *Buffer) readPlan(q *Queue, off, end int) ([]readPart, error) {
+	r := b.root()
+	srv := q.srv
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	allLocal := true
+	var parts []readPart
+	for _, sp := range r.rangeSpansLocked(off, end) {
+		var part readPart
+		part.off, part.end = sp.off, sp.end
+		switch {
+		case sp.states[srv] == msiShared || sp.states[srv] == msiModified:
+			part.holder = srv
+		default:
+			allLocal = false
+			holder := sp.sourceLocked()
+			if holder == nil {
+				if sp.host == msiInvalid {
+					return nil, cl.Errf(cl.InvalidMemObject, "buffer %d range [%d,%d) has no valid copy", r.id, sp.off, sp.end)
+				}
+				part.holder = nil // host copy
+				break
+			}
+			part.holder = holder
+		}
+		if part.holder != nil {
+			if g := sp.inbound[part.holder]; g != nil {
+				part.gates = append(part.gates, g)
+			}
+			if part.holder != srv {
+				// The read runs on the holder's coherence queue, which is
+				// not the queue the producing write ran on: gate on it.
+				if g := sp.lastWrite[part.holder]; g != nil && !containsEvent(part.gates, g) {
+					part.gates = append(part.gates, g)
+				}
+			}
+		}
+		// Coalesce with the previous part when the holder matches and the
+		// gates agree (common case: merged spans already maximal).
+		if n := len(parts); n > 0 && parts[n-1].end == part.off && parts[n-1].holder == part.holder && sameGates(parts[n-1].gates, part.gates) {
+			parts[n-1].end = part.end
+			continue
+		}
+		parts = append(parts, part)
+	}
+	if allLocal {
+		return nil, nil
+	}
+	return parts, nil
+}
+
+func sameGates(a, b []*Event) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// hostRangeCopy copies [off, end) of the host cache into dst (zeros when
+// the range was never materialized).
+func (b *Buffer) hostRangeCopy(off, end int, dst []byte) {
+	r := b.root()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.hostCopy == nil {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	copy(dst, r.hostCopy[off:end])
 }
 
 // cancelSupersededForward tells a forward's target daemon to refuse the
@@ -485,17 +1105,6 @@ func (b *Buffer) cancelSupersededForward(g *Event) {
 		// The connection to the target is gone; so is the transfer.
 		_ = err
 	}
-}
-
-// inboundGate returns the pending inbound-forward gate for srv, if any.
-// Commands that write srv's copy without consulting ensureValidOn
-// (full-buffer writes, full-range copy destinations) must wait on it:
-// otherwise the forwarded payload, landing outside queue order, would
-// clobber their fresher data.
-func (b *Buffer) inboundGate(srv *Server) *Event {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.inbound[srv]
 }
 
 // failRemoteGate fails a forward's gating user event on dst after the
@@ -526,37 +1135,6 @@ func newForwardToken() (uint64, error) {
 		return 0, cl.Errf(cl.OutOfResources, "forward token: %v", err)
 	}
 	return binary.LittleEndian.Uint64(raw[:]), nil
-}
-
-// noteHostRead updates directory state after the client read the whole
-// buffer from srv (M→S downgrade on reads). gen is the directory
-// generation captured when the read was enqueued: if any directory
-// mutation happened while the read was in flight (a newer write on
-// another server, a forward, a rollback), the returned bytes are a
-// stale snapshot — still exactly what the racing read legitimately
-// observed, but NOT a valid current host copy — and recording them
-// would corrupt later coherence transfers sourced from the host.
-func (b *Buffer) noteHostRead(srv *Server, offset, n int, data []byte, gen uint64) {
-	if offset != 0 || n != b.size {
-		return
-	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.gen != gen {
-		return
-	}
-	if b.hostCopy == nil {
-		b.hostCopy = make([]byte, b.size)
-	}
-	copy(b.hostCopy, data)
-	if owner := b.ownerLocked(); owner != nil {
-		b.states[owner] = msiShared
-	}
-	b.hostState = msiShared
-	if b.states[srv] == msiModified {
-		b.states[srv] = msiShared
-	}
-	b.gen++
 }
 
 // floatBits converts a float32 to its IEEE bit pattern (helper shared by

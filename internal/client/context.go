@@ -170,9 +170,11 @@ func (c *Context) createQueue(cd *Device) (*Queue, error) {
 }
 
 // CreateBuffer allocates a distributed buffer object: the compound stub is
-// the MSI directory; remote buffers are created on every participating
-// server and start in the Invalid state, the client's (conceptual) copy is
-// Shared (Section III-D).
+// the region-granular MSI directory; remote buffers are created on every
+// participating server and start in the Invalid state, the client's
+// (conceptual) copy is Shared (Section III-D). The directory starts as
+// one span covering the whole buffer and splits on demand as commands
+// touch sub-ranges.
 func (c *Context) CreateBuffer(flags cl.MemFlags, size int, host []byte) (cl.Buffer, error) {
 	if size <= 0 {
 		return nil, cl.Errf(cl.InvalidBufferSize, "buffer size %d", size)
@@ -181,18 +183,20 @@ func (c *Context) CreateBuffer(flags cl.MemFlags, size int, host []byte) (cl.Buf
 		return nil, cl.Errf(cl.InvalidValue, "MemCopyHostPtr requires len(host) == size")
 	}
 	b := &Buffer{
-		ctx:       c,
-		id:        c.plat.newID(),
-		size:      size,
-		flags:     flags,
-		states:    map[*Server]msiState{},
-		lastWrite: map[*Server]*Event{},
-		inbound:   map[*Server]*Event{},
+		ctx:   c,
+		id:    c.plat.newID(),
+		size:  size,
+		flags: flags,
 	}
 	if flags&cl.MemCopyHostPtr != 0 {
 		b.hostCopy = append([]byte(nil), host...)
 	}
-	b.hostState = msiShared
+	whole := &span{off: 0, end: size, host: msiShared,
+		states:    map[*Server]msiState{},
+		lastWrite: map[*Server]*Event{},
+		inbound:   map[*Server]*Event{},
+	}
+	b.dir = []*span{whole}
 	remoteFlags := flags &^ cl.MemCopyHostPtr
 	for _, srv := range c.servers {
 		rctx := c.remoteIDs[srv]
@@ -205,7 +209,7 @@ func (c *Context) CreateBuffer(flags cl.MemFlags, size int, host []byte) (cl.Buf
 		}); err != nil {
 			return nil, err
 		}
-		b.states[srv] = msiInvalid
+		whole.states[srv] = msiInvalid
 	}
 	return b, nil
 }
@@ -434,6 +438,12 @@ func (k *Kernel) encodeArg(i int, v any) (wireArg, error) {
 		if !ok || buf == nil {
 			return wireArg{}, cl.Errf(cl.InvalidArgValue, "argument %d of %s requires a dOpenCL buffer", i, k.name)
 		}
+		if buf.parent != nil {
+			// Sub-buffer view: the wire carries root ID + range, and the
+			// coherence layer scopes the launch's reads/invalidations to
+			// the view's window.
+			return wireArg{kind: protocol.ArgValSubBuffer, buf: buf}, nil
+		}
 		return wireArg{kind: protocol.ArgValBuffer, buf: buf}, nil
 	case kernel.ArgLocalBuf:
 		ls, ok := v.(cl.LocalSpace)
@@ -445,18 +455,32 @@ func (k *Kernel) encodeArg(i int, v any) (wireArg, error) {
 	return wireArg{}, cl.Errf(cl.InvalidArgValue, "argument %d of %s has unsupported kind", i, k.name)
 }
 
-// SetArg binds argument i, replicating to all servers.
+// SetArg binds argument i, replicating to all servers. The replication
+// round trips run in parallel — the data-parallel scheduler rebinds
+// sub-buffer arguments per chunk, so on an N-server lease a serial loop
+// would put N×RTT of pure latency on the co-execution hot path.
 func (k *Kernel) SetArg(i int, v any) error {
 	wa, err := k.encodeArg(i, v)
 	if err != nil {
 		return err
 	}
-	for _, srv := range k.prog.ctx.servers {
-		if _, err := srv.call(protocol.MsgSetKernelArg, func(w *protocol.Writer) {
-			w.U64(k.id)
-			w.U32(uint32(i))
-			wa.put(w)
-		}); err != nil {
+	servers := k.prog.ctx.servers
+	errs := make([]error, len(servers))
+	var wg sync.WaitGroup
+	for si, srv := range servers {
+		wg.Add(1)
+		go func(si int, srv *Server) {
+			defer wg.Done()
+			_, errs[si] = srv.call(protocol.MsgSetKernelArg, func(w *protocol.Writer) {
+				w.U64(k.id)
+				w.U32(uint32(i))
+				wa.put(w)
+			})
+		}(si, srv)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
 			return err
 		}
 	}

@@ -279,9 +279,11 @@ func TestCrossServerCopyContract(t *testing.T) {
 	}
 	cb := buf.(*Buffer)
 	cb.mu.Lock()
-	cb.hostState = msiInvalid
-	for srv := range cb.states {
-		cb.states[srv] = msiInvalid
+	for _, sp := range cb.dir {
+		sp.host = msiInvalid
+		for srv := range sp.states {
+			sp.states[srv] = msiInvalid
+		}
 	}
 	cb.mu.Unlock()
 	if _, err := q1.EnqueueCopyBuffer(buf, dst, 0, 0, 16, nil); cl.CodeOf(err) != cl.InvalidMemObject {

@@ -32,6 +32,10 @@ func (a wireArg) put(w *protocol.Writer) {
 	switch a.kind {
 	case protocol.ArgValBuffer:
 		w.U64(a.buf.id)
+	case protocol.ArgValSubBuffer:
+		w.U64(a.buf.root().id)
+		w.I64(int64(a.buf.org))
+		w.I64(int64(a.buf.size))
 	case protocol.ArgValLocal:
 		w.I64(int64(a.local))
 	default:
@@ -44,6 +48,9 @@ func (a wireArg) proto() protocol.GraphKernelArg {
 	switch a.kind {
 	case protocol.ArgValBuffer:
 		return protocol.GraphKernelArg{Kind: a.kind, Raw: a.buf.id}
+	case protocol.ArgValSubBuffer:
+		return protocol.GraphKernelArg{Kind: a.kind, Raw: a.buf.root().id,
+			SubOrg: int64(a.buf.org), SubLen: int64(a.buf.size)}
 	case protocol.ArgValLocal:
 		return protocol.GraphKernelArg{Kind: a.kind, Local: int64(a.local)}
 	default:
@@ -51,23 +58,32 @@ func (a wireArg) proto() protocol.GraphKernelArg {
 	}
 }
 
-// recCmd is one recorded command of a client-side graph.
+// isBuffer reports whether the argument binds a (sub-)buffer.
+func (a wireArg) isBuffer() bool {
+	return a.kind == protocol.ArgValBuffer || a.kind == protocol.ArgValSubBuffer
+}
+
+// recCmd is one recorded command of a client-side graph. Transfer
+// commands store ROOT buffers with absolute offsets (views are resolved
+// at record time); kernel arguments may still be sub-buffer views, whose
+// window the coherence footprint honours.
 type recCmd struct {
 	op uint8 // protocol.GraphOp*
 
-	buf      *Buffer // write/read target
-	src, dst *Buffer // copy endpoints
-	offset   int     // write/read offset, copy source offset
+	buf      *Buffer // write/read target (root)
+	src, dst *Buffer // copy endpoints (roots)
+	offset   int     // write/read offset, copy source offset (absolute)
 	dstOff   int
 	size     int
 
 	data []byte // write payload (owned copy, shipped at registration)
 	rdst []byte // read destination (application slice)
 
-	k      *Kernel
-	args   []wireArg // frozen at record time; patched only by updates
-	global []int
-	local  []int
+	k       *Kernel
+	args    []wireArg // frozen at record time; patched only by updates
+	goffset []int
+	global  []int
+	local   []int
 }
 
 // maybeRecord captures a command when the queue is recording; the bool
@@ -144,55 +160,86 @@ func (cb *CommandBuffer) Release() error {
 }
 
 // compileLocked derives the coherence footprint from the command list:
-// inputs are buffers whose first access reads existing contents (reads,
-// copy sources, kernel arguments, partial writes); outputs are buffers
-// any command writes. Resolved once at finalize and recomputed only when
-// an update rebinds a kernel buffer argument — the per-iteration
-// revalidation is then a cheap directory check per input.
+// inputs are buffer RANGES whose first access reads existing contents
+// (reads, copy sources, kernel arguments); outputs are ranges any command
+// writes. Ranges are carried as (possibly synthetic) sub-buffer views, so
+// the per-iteration revalidation and the post-iteration invalidation are
+// both region-granular — a graph that writes only its own chunk of a
+// shared buffer does not invalidate the other daemons' chunks. A range
+// already produced by an earlier command of the same graph is not an
+// input (later reads see graph-produced data). Resolved once at finalize
+// and recomputed only when an update rebinds a kernel buffer argument.
 func (cb *CommandBuffer) compileLocked() {
 	cb.inputs = nil
 	cb.outputs = nil
 	cb.readIdx = nil
-	seen := map[*Buffer]bool{}
-	wrote := map[*Buffer]bool{}
-	addInput := func(b *Buffer) {
-		if !seen[b] {
-			seen[b] = true
-			cb.inputs = append(cb.inputs, b)
+	type iv struct{ off, end int }
+	written := map[*Buffer][]iv{} // root → ranges produced so far, in order
+	// coveredBy reports whether the view's range is fully covered by the
+	// union of ranges the graph has already written to its root.
+	covered := func(b *Buffer) bool {
+		off, end := b.viewRange()
+		ivs := written[b.root()]
+		pos := off
+		for pos < end {
+			advanced := false
+			for _, i := range ivs {
+				if i.off <= pos && pos < i.end {
+					pos = i.end
+					advanced = true
+					break
+				}
+			}
+			if !advanced {
+				return false
+			}
 		}
+		return true
+	}
+	sameRange := func(a, b *Buffer) bool {
+		return a.root() == b.root() && a.org == b.org && a.size == b.size
+	}
+	addInput := func(b *Buffer) {
+		if covered(b) {
+			return
+		}
+		for _, e := range cb.inputs {
+			if sameRange(e, b) {
+				return
+			}
+		}
+		cb.inputs = append(cb.inputs, b)
 	}
 	addOutput := func(b *Buffer) {
-		if !wrote[b] {
-			wrote[b] = true
-			cb.outputs = append(cb.outputs, b)
+		off, end := b.viewRange()
+		written[b.root()] = append(written[b.root()], iv{off, end})
+		for _, e := range cb.outputs {
+			if sameRange(e, b) {
+				return
+			}
 		}
-		seen[b] = true // later reads see graph-produced data, not an input
+		cb.outputs = append(cb.outputs, b)
 	}
 	for i, c := range cb.cmds {
 		switch c.op {
 		case protocol.GraphOpWrite:
-			if c.offset != 0 || c.size != c.buf.size {
-				// A partial write needs the rest of the buffer to stay
-				// meaningful, like the eager path.
-				addInput(c.buf)
-			}
-			addOutput(c.buf)
+			// With the region directory a partial write claims exactly its
+			// range: no read-modify-write input on the rest of the buffer.
+			addOutput(c.buf.rangeView(c.offset, c.size))
 		case protocol.GraphOpRead:
-			addInput(c.buf)
+			addInput(c.buf.rangeView(c.offset, c.size))
 			cb.readIdx = append(cb.readIdx, i)
 		case protocol.GraphOpCopy:
-			addInput(c.src)
-			if c.dstOff != 0 || c.size != c.dst.size {
-				addInput(c.dst)
-			}
-			addOutput(c.dst)
+			addInput(c.src.rangeView(c.offset, c.size))
+			addOutput(c.dst.rangeView(c.dstOff, c.size))
 		case protocol.GraphOpKernel:
 			for ai, a := range c.args {
-				if a.kind != protocol.ArgValBuffer {
+				if !a.isBuffer() {
 					continue
 				}
-				// Mirrors the eager launch: every buffer argument must be
-				// valid on the server; non-read-only arguments are written.
+				// Mirrors the eager launch: every buffer argument's range
+				// must be valid on the server; non-read-only arguments are
+				// written. Sub-buffer views scope both to their window.
 				addInput(a.buf)
 				if !c.k.argInfo[ai].ReadOnly {
 					addOutput(a.buf)
@@ -248,6 +295,7 @@ func (cb *CommandBuffer) wireCommandsLocked() ([]protocol.GraphCommand, []func()
 			for ai, a := range c.args {
 				gc.Args[ai] = a.proto()
 			}
+			gc.GOffset = c.goffset
 			gc.Global = c.global
 			gc.Local = c.local
 		}
@@ -377,29 +425,31 @@ func (q *Queue) EnqueueCommandBuffer(b cl.CommandBuffer, updates []cl.CommandUpd
 	}
 
 	// Per-iteration coherence revalidation: in steady state every input
-	// was produced by the previous replay on this server and the
+	// range was produced by the previous replay on this server and the
 	// directory check is a no-op; after an outside write the transfer
 	// runs here — daemon-to-daemon over the PR 2 forward path when
-	// available — and its gate joins the replay's wait list.
-	isInput := make(map[*Buffer]bool, len(inputs))
+	// available, range-granular either way — and its gates join the
+	// replay's wait list.
 	var gates []*Event
 	for _, in := range inputs {
-		isInput[in] = true
-		gate, err := in.ensureValidOn(q)
+		gs, err := in.ensureValidOn(q)
 		if err != nil {
 			rollbackLocked()
 			return nil, err
 		}
-		if gate != nil {
-			gates = append(gates, gate)
+		for _, g := range gs {
+			if g != nil && !containsEvent(gates, g) {
+				gates = append(gates, g)
+			}
 		}
 	}
 	for _, out := range outputs {
-		if !isInput[out] {
-			// Output-only buffers are fully overwritten: like the eager
-			// full-overwrite write path, sequence behind any in-flight
-			// inbound forward so a late payload cannot clobber them.
-			if g := out.inboundGate(q.srv); g != nil {
+		// Output ranges are overwritten: like the eager write path,
+		// sequence behind any in-flight inbound forward overlapping them
+		// so a late payload cannot clobber the iteration's results.
+		ooff, oend := out.viewRange()
+		for _, g := range out.root().inboundGatesRange(q.srv, ooff, oend) {
+			if g != nil && !containsEvent(gates, g) {
 				gates = append(gates, g)
 			}
 		}

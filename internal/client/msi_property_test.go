@@ -214,17 +214,27 @@ func TestForwardFailureRollsBackDirectory(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// The read on s1 triggers a forward that dies mid-stream. The
-	// blocking read fails (the gate event carries the error) — it must
-	// NOT return torn data.
-	out := make([]byte, size)
-	if _, err := q1.EnqueueReadBuffer(buf, true, 0, out, nil); err == nil {
+	// A copy enqueued on s1 needs the source range valid on s1 (the copy
+	// executes there), so the coherence layer forwards s0→s1 — and the
+	// transfer dies mid-stream. The copy is gated on the forward, so it
+	// must fail rather than copy torn data. (Stitched reads pull straight
+	// from the holder and never need this forward, which is why the fault
+	// is probed through a copy.)
+	dst, err := ctx.CreateBuffer(cl.MemReadWrite, size, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cev, err := q1.EnqueueCopyBuffer(buf, dst, 0, 0, size, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cev.Wait(); err == nil {
 		host, servers := buf.(*Buffer).States()
-		t.Fatalf("read over broken peer link succeeded (host=%s servers=%v)", host, servers)
+		t.Fatalf("copy over broken peer link succeeded (host=%s servers=%v)", host, servers)
 	}
 
 	// Rollback: s1 must not be left marked Shared, and s0 keeps a valid
-	// copy. The rollback races the read's own failure by a notification
+	// copy. The rollback races the copy's own failure by a notification
 	// hop, so poll.
 	waitFor(t, func() bool {
 		_, servers := buf.(*Buffer).States()
@@ -235,8 +245,16 @@ func TestForwardFailureRollsBackDirectory(t *testing.T) {
 	// back to client-mediated transfers for this pair.
 	waitFor(t, func() bool { return !s0.peerReachable(s1.PeerAddr()) }, "peer marked unreachable")
 
-	if _, err := q1.EnqueueReadBuffer(buf, true, 0, out, nil); err != nil {
-		t.Fatalf("client-mediated fallback read failed: %v", err)
+	cev, err = q1.EnqueueCopyBuffer(buf, dst, 0, 0, size, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cev.Wait(); err != nil {
+		t.Fatalf("client-mediated fallback copy failed: %v", err)
+	}
+	out := make([]byte, size)
+	if _, err := q1.EnqueueReadBuffer(dst, true, 0, out, nil); err != nil {
+		t.Fatalf("fallback read failed: %v", err)
 	}
 	for i := range payload {
 		if out[i] != payload[i] {

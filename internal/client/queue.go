@@ -10,9 +10,9 @@ import (
 
 // Queue is a simple stub for a remote command queue (queues are owned by
 // one server, Section III-D). Enqueue operations translate wait lists to
-// remote event IDs, run the MSI coherence protocol for involved buffers
-// and forward the command to the owning daemon; bulk data rides on gcf
-// streams.
+// remote event IDs, run the region-granular MSI coherence protocol for
+// the involved buffer ranges and forward the command to the owning
+// daemon; bulk data rides on gcf streams.
 //
 // Enqueues are fire-and-forget (one-way requests): the command is pushed
 // to the daemon without waiting for an acknowledgement, so a burst of N
@@ -42,7 +42,8 @@ func (q *Queue) Device() cl.Device { return q.dev }
 // Context returns the owning context.
 func (q *Queue) Context() cl.Context { return q.ctx }
 
-// bufferOf validates that b is a dOpenCL buffer of this context.
+// bufferOf validates that b is a dOpenCL buffer (or sub-buffer view) of
+// this context.
 func (q *Queue) bufferOf(b cl.Buffer) (*Buffer, error) {
 	cb, ok := b.(*Buffer)
 	if !ok || cb.ctx != q.ctx {
@@ -52,10 +53,10 @@ func (q *Queue) bufferOf(b cl.Buffer) (*Buffer, error) {
 }
 
 // withGates returns wait extended by the non-nil coherence gating events
-// without mutating the caller's slice. Gates returned by ensureValidOn
-// must ride the dependent command's wait list: a peer-forwarded transfer
-// does not travel through this queue, so in-order execution alone cannot
-// sequence the command after the data's arrival.
+// without mutating the caller's slice. Gates returned by the coherence
+// layer must ride the dependent command's wait list: a peer-forwarded
+// transfer does not travel through this queue, so in-order execution
+// alone cannot sequence the command after the data's arrival.
 func withGates(wait []cl.Event, gates ...*Event) []cl.Event {
 	n := 0
 	for _, g := range gates {
@@ -74,6 +75,11 @@ func withGates(wait []cl.Event, gates ...*Event) []cl.Event {
 		}
 	}
 	return out
+}
+
+// withGateList is withGates over a slice of gates.
+func withGateList(wait []cl.Event, gates []*Event) []cl.Event {
+	return withGates(wait, gates...)
 }
 
 // newCommandEvent allocates the client-side event stub and registers its
@@ -115,9 +121,14 @@ func (q *Queue) track(ev *Event) {
 	q.mu.Unlock()
 }
 
-// EnqueueWriteBuffer uploads host data into the buffer through this
-// queue's server. The server's copy becomes Modified; all other copies are
-// invalidated (host writes route through a device in dOpenCL).
+// EnqueueWriteBuffer uploads host data into the buffer (or sub-buffer
+// view) through this queue's server. With the region-granular directory
+// only the written range changes state — the server's copy of exactly
+// [offset, offset+len(data)) becomes Modified, all other copies of that
+// range are invalidated, and the rest of the buffer is untouched. In
+// particular a partial write no longer forces a read-modify-write
+// transfer of the whole buffer, which the whole-buffer directory
+// required.
 func (q *Queue) EnqueueWriteBuffer(b cl.Buffer, blocking bool, offset int, data []byte, wait []cl.Event) (cl.Event, error) {
 	cb, err := q.bufferOf(b)
 	if err != nil {
@@ -126,41 +137,36 @@ func (q *Queue) EnqueueWriteBuffer(b cl.Buffer, blocking bool, offset int, data 
 	if offset < 0 || offset+len(data) > cb.size {
 		return nil, cl.Errf(cl.InvalidValue, "write of %d bytes at offset %d exceeds buffer size %d", len(data), offset, cb.size)
 	}
+	aoff, aend := cb.absRange(offset, len(data))
 	if ev, rec, err := q.maybeRecord(blocking, wait, func() (*recCmd, error) {
 		// Recording copies the payload (the application may reuse its
-		// slice) and defers all coherence work to replay time.
-		return &recCmd{op: protocol.GraphOpWrite, buf: cb, offset: offset, size: len(data),
+		// slice) and defers all coherence work to replay time. Views
+		// resolve to their root plus absolute offsets at record time.
+		return &recCmd{op: protocol.GraphOpWrite, buf: cb.root(), offset: aoff, size: len(data),
 			data: append([]byte(nil), data...)}, nil
 	}); rec {
 		return ev, err
 	}
-	// A partial write requires the rest of the buffer to stay meaningful
-	// on the target: make the target valid first. A full overwrite needs
-	// no valid copy, but must still sequence behind an in-flight inbound
-	// forward so the late-landing payload cannot clobber it. The gate is
-	// a hard dependency on purpose: an ordering-only wait would let the
+	// The write claims exactly its range; it only needs to sequence
+	// behind in-flight inbound forwards overlapping that range so a
+	// late-landing payload cannot clobber it. The gate is a hard
+	// dependency on purpose: an ordering-only wait would let the
 	// overwrite run while a cancelled transfer's receive is still
 	// memcpy-ing, so a failed forward fails this write too (safe, and
 	// the application can simply retry).
-	if offset != 0 || len(data) != cb.size {
-		gate, err := cb.ensureValidOn(q)
-		if err != nil {
-			return nil, err
-		}
-		wait = withGates(wait, gate)
-	} else {
-		wait = withGates(wait, cb.inboundGate(q.srv))
-	}
-	ev, err := q.enqueueWriteInternal(cb, blocking, offset, data, wait, true)
+	wait = withGateList(wait, cb.root().inboundGatesRange(q.srv, aoff, aend))
+	ev, err := q.enqueueWriteInternal(cb.root(), blocking, aoff, data, wait, true)
 	if err != nil {
 		return nil, err
 	}
 	return ev, nil
 }
 
-// enqueueWriteInternal performs the wire work of a write. When mark is
-// true the directory records the server's copy as Modified (application
-// writes); coherence uploads pass mark=false and adjust states themselves.
+// enqueueWriteInternal performs the wire work of a write against the ROOT
+// buffer at an absolute offset. When mark is true the directory records
+// the server's copy of the written range as Modified (application
+// writes); coherence uploads pass mark=false and adjust states
+// themselves.
 func (q *Queue) enqueueWriteInternal(cb *Buffer, blocking bool, offset int, data []byte, wait []cl.Event, mark bool) (*Event, error) {
 	waitIDs, err := translateWaitList(q.srv, wait)
 	if err != nil {
@@ -183,7 +189,7 @@ func (q *Queue) enqueueWriteInternal(cb *Buffer, blocking bool, offset int, data
 	}
 	q.track(ev)
 	if mark {
-		cb.markWrittenBy(q.srv, ev)
+		cb.markRangeWrittenBy(q.srv, offset, offset+len(data), ev)
 	}
 	// Ship the payload. Blocking writes transfer synchronously (the
 	// caller may reuse the slice immediately after return); non-blocking
@@ -219,9 +225,14 @@ func (q *Queue) enqueueWriteInternal(cb *Buffer, blocking bool, offset int, data
 	return ev, nil
 }
 
-// EnqueueReadBuffer downloads buffer contents into dst. The server's copy
-// must be valid; the read downgrades a Modified owner to Shared when the
-// whole buffer is read.
+// EnqueueReadBuffer downloads buffer (or view) contents into dst. The
+// read is region-aware: ranges whose valid copy lives on this queue's
+// server download directly; ranges owned by other daemons are stitched in
+// from their holders — one range-read per holder on that holder's
+// coherence queue — so a whole-buffer read after a partitioned kernel
+// moves each daemon's result range exactly once and never forces a
+// whole-buffer transfer between daemons. Ranges valid only in the host
+// cache are served from it without touching the network.
 func (q *Queue) EnqueueReadBuffer(b cl.Buffer, blocking bool, offset int, dst []byte, wait []cl.Event) (cl.Event, error) {
 	cb, err := q.bufferOf(b)
 	if err != nil {
@@ -230,20 +241,105 @@ func (q *Queue) EnqueueReadBuffer(b cl.Buffer, blocking bool, offset int, dst []
 	if offset < 0 || offset+len(dst) > cb.size {
 		return nil, cl.Errf(cl.InvalidValue, "read of %d bytes at offset %d exceeds buffer size %d", len(dst), offset, cb.size)
 	}
+	aoff, aend := cb.absRange(offset, len(dst))
 	if ev, rec, err := q.maybeRecord(blocking, wait, func() (*recCmd, error) {
-		return &recCmd{op: protocol.GraphOpRead, buf: cb, offset: offset, size: len(dst), rdst: dst}, nil
+		return &recCmd{op: protocol.GraphOpRead, buf: cb.root(), offset: aoff, size: len(dst), rdst: dst}, nil
 	}); rec {
 		return ev, err
 	}
-	gate, err := cb.ensureValidOn(q)
+	root := cb.root()
+	parts, err := root.readPlan(q, aoff, aend)
 	if err != nil {
+		// Some sub-range has no valid copy anywhere (a directory wedged
+		// by failures): reject the read, as the eager paths do.
 		return nil, err
 	}
-	return q.enqueueReadInternal(cb, blocking, offset, dst, withGates(wait, gate), true)
+	if parts == nil {
+		// Fast path: the whole range is valid on this server.
+		gates := root.inboundGatesRange(q.srv, aoff, aend)
+		return q.enqueueReadInternal(root, blocking, aoff, dst, withGateList(wait, gates), true)
+	}
+	return q.readStitched(root, blocking, aoff, dst, parts, wait)
 }
 
-// enqueueReadInternal performs the wire work of a read. note selects
-// whether the directory records the host's fresh copy.
+// readStitched executes a multi-holder read plan: one range-read per
+// part, each pulling its bytes from the daemon that owns them (or from
+// the host cache), all landing in the caller's dst slice. The returned
+// event — a client-side user-event stub, so it works in wait lists on
+// any server — completes when every part has arrived and fails with the
+// first part's failure status. Host-cache parts honour the caller's
+// wait list too: they are copied only after every wait event completes,
+// so a stitched read never settles ahead of its dependencies.
+func (q *Queue) readStitched(root *Buffer, blocking bool, aoff int, dst []byte, parts []readPart, wait []cl.Event) (cl.Event, error) {
+	var hostParts []readPart
+	partEvents := make([]*Event, 0, len(parts))
+	// A mid-plan failure must not leave already-enqueued parts writing
+	// into the caller's dst after the error returns (the caller will
+	// reuse the slice): settle the in-flight parts before reporting.
+	failPlan := func(err error) (cl.Event, error) {
+		for _, p := range partEvents {
+			_ = p.Wait()
+		}
+		return nil, err
+	}
+	for _, p := range parts {
+		if p.holder == nil {
+			// Valid only in the host cache: served below, behind the wait
+			// list (the network parts carry the waits in their own lists).
+			hostParts = append(hostParts, p)
+			continue
+		}
+		sub := dst[p.off-aoff : p.end-aoff]
+		partQ := q
+		if p.holder != q.srv {
+			cq, err := q.ctx.coherenceQueue(p.holder)
+			if err != nil {
+				return failPlan(err)
+			}
+			partQ = cq
+		}
+		ev, err := partQ.enqueueReadInternal(root, false, p.off, sub, withGateList(wait, p.gates), true)
+		if err != nil {
+			return failPlan(err)
+		}
+		partEvents = append(partEvents, ev)
+	}
+	agg := newUserEventStub(q.ctx)
+	go func() {
+		status := cl.Complete
+		for _, w := range wait {
+			if w == nil {
+				continue
+			}
+			if err := w.Wait(); err != nil && status == cl.Complete {
+				status = cl.CommandStatus(cl.InvalidEventWaitList)
+			}
+		}
+		if status == cl.Complete {
+			for _, p := range hostParts {
+				root.hostRangeCopy(p.off, p.end, dst[p.off-aoff:p.end-aoff])
+			}
+		}
+		for _, p := range partEvents {
+			if err := p.Wait(); err != nil && status == cl.Complete {
+				status = cl.CommandStatus(cl.CodeOf(err))
+			}
+		}
+		agg.complete(status)
+	}()
+	ev := &agg.Event
+	q.track(ev)
+	if blocking {
+		if err := ev.Wait(); err != nil {
+			return nil, err
+		}
+	}
+	return ev, nil
+}
+
+// enqueueReadInternal performs the wire work of a read against the ROOT
+// buffer at an absolute offset. note selects whether the directory
+// records the host's fresh copy of the range.
 func (q *Queue) enqueueReadInternal(cb *Buffer, blocking bool, offset int, dst []byte, wait []cl.Event, note bool) (*Event, error) {
 	waitIDs, err := translateWaitList(q.srv, wait)
 	if err != nil {
@@ -321,16 +417,17 @@ func (q *Queue) enqueueReadInternal(cb *Buffer, blocking bool, offset int, dst [
 	return wrapped, nil
 }
 
-// EnqueueCopyBuffer copies between two buffers. Both buffers must be
+// EnqueueCopyBuffer copies between two buffers (or views). Both must be
 // dOpenCL buffers of this queue's context — a buffer of another context
 // (or platform) is rejected with cl.InvalidMemObject, never silently
 // copied. The copy itself always executes on this queue's server: when
-// the source's valid copy lives on a different server, the coherence
-// layer moves it here first — over the daemon-to-daemon bulk plane when
-// both daemons support it, through the client otherwise — and the
-// command waits on the transfer's gate. A source with no valid copy
-// anywhere is a cl.InvalidMemObject error. The destination becomes
-// Modified on this server.
+// the source range's valid copy lives on a different server, the
+// coherence layer moves exactly that range here first — over the
+// daemon-to-daemon bulk plane when both daemons support it, through the
+// client otherwise — and the command waits on the transfer's gates. A
+// source range with no valid copy anywhere is a cl.InvalidMemObject
+// error. The destination range becomes Modified on this server; the rest
+// of the destination buffer is untouched.
 func (q *Queue) EnqueueCopyBuffer(src, dst cl.Buffer, srcOffset, dstOffset, size int, wait []cl.Event) (cl.Event, error) {
 	csrc, err := q.bufferOf(src)
 	if err != nil {
@@ -343,28 +440,22 @@ func (q *Queue) EnqueueCopyBuffer(src, dst cl.Buffer, srcOffset, dstOffset, size
 	if srcOffset < 0 || srcOffset+size > csrc.size || dstOffset < 0 || dstOffset+size > cdst.size {
 		return nil, cl.Errf(cl.InvalidValue, "copy range out of bounds")
 	}
+	sAbs, sEnd := csrc.absRange(srcOffset, size)
+	dAbs, dEnd := cdst.absRange(dstOffset, size)
 	if ev, rec, err := q.maybeRecord(false, wait, func() (*recCmd, error) {
-		return &recCmd{op: protocol.GraphOpCopy, src: csrc, dst: cdst,
-			offset: srcOffset, dstOff: dstOffset, size: size}, nil
+		return &recCmd{op: protocol.GraphOpCopy, src: csrc.root(), dst: cdst.root(),
+			offset: sAbs, dstOff: dAbs, size: size}, nil
 	}); rec {
 		return ev, err
 	}
-	srcGate, err := csrc.ensureValidOn(q)
+	srcGates, err := csrc.root().ensureRangeValidOn(q, sAbs, sEnd)
 	if err != nil {
 		return nil, cl.Errf(cl.CodeOf(err), "cross-server copy source: %v", err)
 	}
-	var dstGate *Event
-	if dstOffset != 0 || size != cdst.size {
-		dstGate, err = cdst.ensureValidOn(q)
-		if err != nil {
-			return nil, cl.Errf(cl.CodeOf(err), "cross-server copy destination: %v", err)
-		}
-	} else {
-		// Full overwrite: sequence behind any in-flight inbound forward
-		// (see EnqueueWriteBuffer).
-		dstGate = cdst.inboundGate(q.srv)
-	}
-	wait = withGates(wait, srcGate, dstGate)
+	// The destination range is fully overwritten: it only needs to
+	// sequence behind in-flight inbound forwards overlapping it.
+	dstGates := cdst.root().inboundGatesRange(q.srv, dAbs, dEnd)
+	wait = withGateList(withGateList(wait, srcGates), dstGates)
 	waitIDs, err := translateWaitList(q.srv, wait)
 	if err != nil {
 		return nil, err
@@ -372,10 +463,10 @@ func (q *Queue) EnqueueCopyBuffer(src, dst cl.Buffer, srcOffset, dstOffset, size
 	ev := q.newCommandEvent()
 	if err := q.srv.send(protocol.MsgEnqueueCopy, func(w *protocol.Writer) {
 		w.U64(q.id)
-		w.U64(csrc.id)
-		w.U64(cdst.id)
-		w.I64(int64(srcOffset))
-		w.I64(int64(dstOffset))
+		w.U64(csrc.root().id)
+		w.U64(cdst.root().id)
+		w.I64(int64(sAbs))
+		w.I64(int64(dAbs))
 		w.I64(int64(size))
 		w.U64(ev.originID)
 		w.U64s(waitIDs)
@@ -384,18 +475,30 @@ func (q *Queue) EnqueueCopyBuffer(src, dst cl.Buffer, srcOffset, dstOffset, size
 		return nil, err
 	}
 	q.track(ev)
-	cdst.markWrittenBy(q.srv, ev)
+	cdst.root().markRangeWrittenBy(q.srv, dAbs, dEnd, ev)
 	return ev, nil
 }
 
 // EnqueueNDRangeKernel launches a kernel on this queue's device. Before
-// the launch the MSI protocol makes every buffer argument valid on the
-// server; afterwards buffers written by the kernel are Modified here and
-// invalid everywhere else.
+// the launch the MSI protocol makes every buffer argument's range valid
+// on the server; afterwards the ranges of buffers written by the kernel
+// are Modified here and invalid everywhere else. Binding a sub-buffer
+// view as an argument scopes both directions to the view's range — the
+// mechanism by which a partitioned launch on N daemons leaves each
+// holding Modified on its own chunk only.
 func (q *Queue) EnqueueNDRangeKernel(k cl.Kernel, global, local []int, wait []cl.Event) (cl.Event, error) {
+	return q.EnqueueNDRangeKernelWithOffset(k, nil, global, local, wait)
+}
+
+// EnqueueNDRangeKernelWithOffset launches a kernel with a global work
+// offset: work-item IDs run over [offset, offset+global).
+func (q *Queue) EnqueueNDRangeKernelWithOffset(k cl.Kernel, goffset, global, local []int, wait []cl.Event) (cl.Event, error) {
 	ck, ok := k.(*Kernel)
 	if !ok {
 		return nil, cl.Errf(cl.InvalidKernel, "foreign kernel object")
+	}
+	if goffset != nil && len(goffset) != len(global) {
+		return nil, cl.Errf(cl.InvalidGlobalOffset, "offset has %d dimensions, global %d", len(goffset), len(global))
 	}
 	if ev, rec, err := q.maybeRecord(false, wait, func() (*recCmd, error) {
 		// The wire snapshot freezes the argument bindings at record time
@@ -406,7 +509,8 @@ func (q *Queue) EnqueueNDRangeKernel(k cl.Kernel, global, local []int, wait []cl
 			return nil, aerr
 		}
 		return &recCmd{op: protocol.GraphOpKernel, k: ck, args: args,
-			global: append([]int(nil), global...), local: append([]int(nil), local...)}, nil
+			goffset: append([]int(nil), goffset...),
+			global:  append([]int(nil), global...), local: append([]int(nil), local...)}, nil
 	}); rec {
 		return ev, err
 	}
@@ -416,12 +520,14 @@ func (q *Queue) EnqueueNDRangeKernel(k cl.Kernel, global, local []int, wait []cl
 	}
 	var gates []*Event
 	for _, buf := range readBufs {
-		gate, err := buf.ensureValidOn(q)
+		gs, err := buf.ensureValidOn(q)
 		if err != nil {
 			return nil, err
 		}
-		if gate != nil {
-			gates = append(gates, gate)
+		for _, g := range gs {
+			if g != nil && !containsEvent(gates, g) {
+				gates = append(gates, g)
+			}
 		}
 	}
 	wait = withGates(wait, gates...)
@@ -433,6 +539,7 @@ func (q *Queue) EnqueueNDRangeKernel(k cl.Kernel, global, local []int, wait []cl
 	if err := q.srv.send(protocol.MsgEnqueueKernel, func(w *protocol.Writer) {
 		w.U64(q.id)
 		w.U64(ck.id)
+		w.Ints(goffset)
 		w.Ints(global)
 		w.Ints(local)
 		w.U64(ev.originID)

@@ -33,9 +33,10 @@ type dGraphCmd struct {
 	payload     []byte   // write payload (staged from the registration/update stream)
 	payloadGate cl.Event // completes when the staged payload has fully landed
 
-	k      *native.Kernel // private clone with the registered argument snapshot
-	global []int
-	local  []int
+	k       *native.Kernel // private clone with the registered argument snapshot
+	goffset []int          // global work offset (nil = zero)
+	global  []int
+	local   []int
 }
 
 // sessGraph is one cached graph.
@@ -96,6 +97,18 @@ func (s *session) applyGraphArg(k *native.Kernel, i int, a protocol.GraphKernelA
 			return cl.Errf(cl.InvalidMemObject, "graph kernel argument %d: unknown buffer %d", i, a.Raw)
 		}
 		return k.SetArg(i, buf)
+	case protocol.ArgValSubBuffer:
+		s.mu.Lock()
+		buf := s.buffers[a.Raw]
+		s.mu.Unlock()
+		if buf == nil {
+			return cl.Errf(cl.InvalidMemObject, "graph kernel argument %d: unknown buffer %d", i, a.Raw)
+		}
+		sub, err := subBufferView(buf, int(a.SubOrg), int(a.SubLen))
+		if err != nil {
+			return err
+		}
+		return k.SetArg(i, sub)
 	case protocol.ArgValLocal:
 		return k.SetArg(i, cl.LocalSpace{Size: int(a.Local)})
 	}
@@ -225,8 +238,12 @@ func (s *session) handleRegisterGraph(r *protocol.Reader) {
 			}
 			cmd.global = c.Global
 			cmd.local = c.Local
+			cmd.goffset = c.GOffset
 			if len(cmd.local) == 0 {
 				cmd.local = nil
+			}
+			if len(cmd.goffset) == 0 {
+				cmd.goffset = nil
 			}
 		case protocol.GraphOpMarker, protocol.GraphOpBarrier:
 		default:
@@ -368,7 +385,7 @@ func (s *session) replayGraphCmd(g *sessGraph, cmd *dGraphCmd, w []cl.Event, rea
 	case protocol.GraphOpCopy:
 		return g.q.EnqueueCopyBuffer(cmd.src, cmd.dst, cmd.offset, cmd.dstOff, cmd.size, w)
 	case protocol.GraphOpKernel:
-		return g.q.EnqueueNDRangeKernel(cmd.k, cmd.global, cmd.local, w)
+		return g.q.EnqueueNDRangeKernelWithOffset(cmd.k, cmd.goffset, cmd.global, cmd.local, w)
 	case protocol.GraphOpMarker, protocol.GraphOpBarrier:
 		return g.q.EnqueueMarkerAfter(w)
 	}

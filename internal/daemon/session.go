@@ -671,6 +671,22 @@ func (s *session) handleSetKernelArg(id uint32, r *protocol.Reader) {
 		} else {
 			err = k.SetArg(idx, buf)
 		}
+	case protocol.ArgValSubBuffer:
+		bufID := r.U64()
+		org := int(r.I64())
+		size := int(r.I64())
+		s.mu.Lock()
+		buf := s.buffers[bufID]
+		s.mu.Unlock()
+		if buf == nil {
+			err = cl.Errf(cl.InvalidMemObject, "unknown buffer %d", bufID)
+		} else {
+			var sub cl.Buffer
+			sub, err = subBufferView(buf, org, size)
+			if err == nil {
+				err = k.SetArg(idx, sub)
+			}
+		}
 	case protocol.ArgValLocal:
 		size := int(r.I64())
 		err = k.SetArg(idx, cl.LocalSpace{Size: size})
@@ -692,6 +708,17 @@ func setScalarArg(k cl.Kernel, idx int, raw uint64) error {
 		return cl.Errf(cl.InvalidKernel, "foreign kernel object")
 	}
 	return nk.SetRawArg(idx, raw)
+}
+
+// subBufferView materializes a native sub-buffer aliasing [org, org+size)
+// of the session buffer: the wire ships root ID + range instead of a
+// standalone remote object, so creating one is free of round trips.
+func subBufferView(buf cl.Buffer, org, size int) (cl.Buffer, error) {
+	nb, ok := buf.(*native.Buffer)
+	if !ok {
+		return nil, cl.Errf(cl.InvalidMemObject, "buffer is not a native object")
+	}
+	return nb.CreateSubBuffer(org, size)
 }
 
 func (s *session) handleEnqueueWrite(id uint32, oneway bool, r *protocol.Reader) {
@@ -871,6 +898,7 @@ func (s *session) handleEnqueueCopy(id uint32, oneway bool, r *protocol.Reader) 
 func (s *session) handleEnqueueKernel(id uint32, oneway bool, r *protocol.Reader) {
 	queueID := r.U64()
 	kernelID := r.U64()
+	goffset := r.Ints()
 	global := r.Ints()
 	local := r.Ints()
 	eventID := r.U64()
@@ -895,7 +923,10 @@ func (s *session) handleEnqueueKernel(id uint32, oneway bool, r *protocol.Reader
 	if len(local) == 0 {
 		local = nil
 	}
-	ev, err := q.EnqueueNDRangeKernel(k, global, local, waits)
+	if len(goffset) == 0 {
+		goffset = nil
+	}
+	ev, err := q.EnqueueNDRangeKernelWithOffset(k, goffset, global, local, waits)
 	if err != nil {
 		s.replyErr(id, oneway, protocol.MsgEnqueueKernel, queueID, eventID, err)
 		return

@@ -474,14 +474,20 @@ func (FirstFit) Pick(c []*managedDevice, _ map[string]int) *managedDevice { retu
 // LeastLoaded spreads assignments across servers: it picks a device on
 // the server with the fewest assigned devices, which keeps concurrent
 // applications on distinct devices (the behaviour evaluated in Fig. 6).
+// Ties break on the lexicographically smallest server address, so an
+// assignment is a pure function of the registered fleet and the load —
+// not of registration order or map iteration — and multi-server leases
+// are reproducible run to run.
 type LeastLoaded struct{}
 
-// Pick returns a candidate on the least-loaded server.
+// Pick returns a candidate on the least-loaded server, smallest server
+// address first on equal load (deterministic tie-break).
 func (LeastLoaded) Pick(c []*managedDevice, load map[string]int) *managedDevice {
 	best := c[0]
 	bestLoad := load[best.server]
 	for _, d := range c[1:] {
-		if l := load[d.server]; l < bestLoad {
+		l := load[d.server]
+		if l < bestLoad || (l == bestLoad && d.server < best.server) {
 			best, bestLoad = d, l
 		}
 	}

@@ -150,6 +150,88 @@ func TestSchedulersSpreadLoad(t *testing.T) {
 	}
 }
 
+// TestLeastLoadedDeterministicTieBreak pins the tie rule: with equal
+// load, LeastLoaded picks the lexicographically smallest server address
+// regardless of candidate order, so assignments are reproducible.
+func TestLeastLoadedTieBreakDeterministic(t *testing.T) {
+	devB := &managedDevice{server: "srv-b", unitID: 0, info: cl.DeviceInfo{Type: cl.DeviceTypeGPU}}
+	devA := &managedDevice{server: "srv-a", unitID: 0, info: cl.DeviceInfo{Type: cl.DeviceTypeGPU}}
+	devC := &managedDevice{server: "srv-c", unitID: 0, info: cl.DeviceInfo{Type: cl.DeviceTypeGPU}}
+	for _, candidates := range [][]*managedDevice{
+		{devB, devA, devC},
+		{devC, devB, devA},
+		{devA, devC, devB},
+	} {
+		pick := LeastLoaded{}.Pick(candidates, map[string]int{})
+		if pick != devA {
+			t.Fatalf("tie at zero load picked %s, want srv-a", pick.server)
+		}
+	}
+	// Load still dominates the tie rule: srv-a loaded → smallest among
+	// the least-loaded remainder wins.
+	pick := LeastLoaded{}.Pick([]*managedDevice{devB, devA, devC}, map[string]int{"srv-a": 2})
+	if pick != devB {
+		t.Fatalf("loaded srv-a: picked %s, want srv-b", pick.server)
+	}
+	// Equal nonzero load: still lexicographic.
+	pick = LeastLoaded{}.Pick([]*managedDevice{devC, devB}, map[string]int{"srv-b": 1, "srv-c": 1})
+	if pick != devB {
+		t.Fatalf("equal load: picked %s, want srv-b", pick.server)
+	}
+}
+
+// TestWithSchedulerSelectsPolicy pins that WithScheduler installs the
+// given policy (and that the default is LeastLoaded): the same fleet and
+// request sequence lands on different servers under different policies.
+func TestWithSchedulerSelectsPolicy(t *testing.T) {
+	mk := func() []*managedDevice {
+		return []*managedDevice{
+			{server: "a", unitID: 0, info: cl.DeviceInfo{Type: cl.DeviceTypeGPU}},
+			{server: "a", unitID: 1, info: cl.DeviceInfo{Type: cl.DeviceTypeGPU}},
+			{server: "b", unitID: 0, info: cl.DeviceInfo{Type: cl.DeviceTypeGPU}},
+		}
+	}
+	req := []protocol.DeviceRequest{{Count: 1, Type: cl.DeviceTypeGPU}}
+
+	def := New() // default: LeastLoaded
+	def.devices = mk()
+	d1, err := def.Assign(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := def.Assign(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := []string{d1.devices[0].server, d2.devices[0].server}; got[0] != "a" || got[1] != "b" {
+		t.Fatalf("default scheduler assigned %v, want [a b] (least-loaded with deterministic ties)", got)
+	}
+
+	ff := New(WithScheduler(FirstFit{}))
+	ff.devices = mk()
+	f1, err := ff.Assign(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := ff.Assign(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1.devices[0].server != "a" || f2.devices[0].server != "a" {
+		t.Fatalf("WithScheduler(FirstFit) assigned %s,%s, want a,a", f1.devices[0].server, f2.devices[0].server)
+	}
+
+	rr := New(WithScheduler(&RoundRobin{}))
+	rr.devices = mk()
+	r1, err := rr.Assign(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.DeviceCount() != 1 {
+		t.Fatalf("WithScheduler(RoundRobin) assigned %d devices", r1.DeviceCount())
+	}
+}
+
 func TestEndToEndManagedAssignment(t *testing.T) {
 	w := newManagedWorld(t, map[string][]device.Config{
 		"gpuserver": {

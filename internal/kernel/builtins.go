@@ -11,6 +11,7 @@ const (
 	BGetLocalID
 	BGetGroupID
 	BGetGlobalSize
+	BGetGlobalOffset
 	BGetLocalSize
 	BGetNumGroups
 	BGetWorkDim
@@ -46,13 +47,14 @@ type builtinSig struct {
 
 // builtinTable maps MiniCL source names to builtin signatures.
 var builtinTable = map[string]builtinSig{
-	"get_global_id":   {BGetGlobalID, []Type{TypeInt}, TypeInt},
-	"get_local_id":    {BGetLocalID, []Type{TypeInt}, TypeInt},
-	"get_group_id":    {BGetGroupID, []Type{TypeInt}, TypeInt},
-	"get_global_size": {BGetGlobalSize, []Type{TypeInt}, TypeInt},
-	"get_local_size":  {BGetLocalSize, []Type{TypeInt}, TypeInt},
-	"get_num_groups":  {BGetNumGroups, []Type{TypeInt}, TypeInt},
-	"get_work_dim":    {BGetWorkDim, nil, TypeInt},
+	"get_global_id":     {BGetGlobalID, []Type{TypeInt}, TypeInt},
+	"get_local_id":      {BGetLocalID, []Type{TypeInt}, TypeInt},
+	"get_group_id":      {BGetGroupID, []Type{TypeInt}, TypeInt},
+	"get_global_size":   {BGetGlobalSize, []Type{TypeInt}, TypeInt},
+	"get_global_offset": {BGetGlobalOffset, []Type{TypeInt}, TypeInt},
+	"get_local_size":    {BGetLocalSize, []Type{TypeInt}, TypeInt},
+	"get_num_groups":    {BGetNumGroups, []Type{TypeInt}, TypeInt},
+	"get_work_dim":      {BGetWorkDim, nil, TypeInt},
 
 	"sqrt":  {BSqrt, []Type{TypeFloat}, TypeFloat},
 	"rsqrt": {BRsqrt, []Type{TypeFloat}, TypeFloat},

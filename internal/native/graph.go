@@ -39,9 +39,10 @@ type graphCmd struct {
 	payload []byte // write payload (owned copy)
 	rdst    []byte // read destination (application slice)
 
-	k      *Kernel // private clone with the recorded argument snapshot
-	global []int
-	local  []int
+	k       *Kernel // private clone with the recorded argument snapshot
+	goffset []int   // global work offset (nil = zero)
+	global  []int
+	local   []int
 }
 
 // CommandBuffer is the native finalized recording.
@@ -214,7 +215,7 @@ func (q *Queue) replayCmd(c *graphCmd, waits []cl.Event) (cl.Event, error) {
 	case opCopy:
 		return q.EnqueueCopyBuffer(c.src, c.dst, c.offset, c.dstOff, c.size, waits)
 	case opKernel:
-		return q.EnqueueNDRangeKernel(c.k, c.global, c.local, waits)
+		return q.EnqueueNDRangeKernelWithOffset(c.k, c.goffset, c.global, c.local, waits)
 	case opMarker, opBarrier:
 		return q.enqueue(waits, nil)
 	}

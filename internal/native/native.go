@@ -234,3 +234,24 @@ func (b *Buffer) Release() error {
 
 // Bytes exposes the backing store (used by the daemon for wire transfers).
 func (b *Buffer) Bytes() []byte { return b.data }
+
+// CreateSubBuffer returns a view of [origin, origin+size) aliasing this
+// buffer's storage: writes through either handle are visible through the
+// other, exactly like clCreateSubBuffer regions over the parent cl_mem.
+// The view is a full Buffer usable anywhere the parent is (transfers,
+// copies, kernel arguments).
+func (b *Buffer) CreateSubBuffer(origin, size int) (cl.Buffer, error) {
+	if size <= 0 || origin < 0 || size > len(b.data) || origin > len(b.data)-size {
+		return nil, cl.Errf(cl.InvalidValue, "sub-buffer [%d,+%d) exceeds buffer size %d", origin, size, len(b.data))
+	}
+	b.mu.Lock()
+	released := b.released
+	b.mu.Unlock()
+	if released {
+		return nil, cl.Errf(cl.InvalidMemObject, "sub-buffer of a released buffer")
+	}
+	// The three-index slice pins the view's capacity to its size, so a
+	// later append (which never happens, but belt and braces) could not
+	// silently reach past the region.
+	return &Buffer{ctx: b.ctx, flags: b.flags, data: b.data[origin : origin+size : origin+size]}, nil
+}

@@ -211,9 +211,18 @@ func (q *Queue) EnqueueCopyBuffer(src, dst cl.Buffer, srcOffset, dstOffset, size
 
 // EnqueueNDRangeKernel launches a kernel over the ND-range.
 func (q *Queue) EnqueueNDRangeKernel(k cl.Kernel, global, local []int, wait []cl.Event) (cl.Event, error) {
+	return q.EnqueueNDRangeKernelWithOffset(k, nil, global, local, wait)
+}
+
+// EnqueueNDRangeKernelWithOffset launches a kernel over the ND-range with
+// a global work offset: work-item IDs run over [offset, offset+global).
+func (q *Queue) EnqueueNDRangeKernelWithOffset(k cl.Kernel, offset, global, local []int, wait []cl.Event) (cl.Event, error) {
 	nk, ok := k.(*Kernel)
 	if !ok {
 		return nil, cl.Errf(cl.InvalidKernel, "kernel does not belong to this runtime")
+	}
+	if offset != nil && len(offset) != len(global) {
+		return nil, cl.Errf(cl.InvalidGlobalOffset, "offset has %d dimensions, global %d", len(offset), len(global))
 	}
 	// Snapshot (and thereby validate) the arguments up front: recording
 	// must reject unset arguments at record time, not on replay.
@@ -226,10 +235,12 @@ func (q *Queue) EnqueueNDRangeKernel(k cl.Kernel, global, local []int, wait []cl
 		// SetArg calls on the application's kernel do not leak into the
 		// recording (updates are the only way to change a replayed launch).
 		return &graphCmd{op: opKernel, k: nk.Clone(),
-			global: append([]int(nil), global...), local: append([]int(nil), local...)}
+			goffset: append([]int(nil), offset...),
+			global:  append([]int(nil), global...), local: append([]int(nil), local...)}
 	}); rec {
 		return ev, err
 	}
+	offsetCopy := append([]int(nil), offset...)
 	globalCopy := append([]int(nil), global...)
 	localCopy := append([]int(nil), local...)
 	if local == nil {
@@ -238,11 +249,12 @@ func (q *Queue) EnqueueNDRangeKernel(k cl.Kernel, global, local []int, wait []cl
 	prog := nk.prog.Compiled()
 	return q.enqueue(wait, func() error {
 		_, execErr := q.dev.sim.Execute(vm.Launch{
-			Prog:       prog,
-			Kernel:     nk.fn,
-			Args:       args,
-			GlobalSize: globalCopy,
-			LocalSize:  localCopy,
+			Prog:         prog,
+			Kernel:       nk.fn,
+			Args:         args,
+			GlobalSize:   globalCopy,
+			GlobalOffset: offsetCopy,
+			LocalSize:    localCopy,
 		})
 		return execErr
 	})

@@ -25,12 +25,14 @@ const (
 )
 
 // GraphKernelArg is one recorded kernel argument: a raw scalar image, a
-// buffer reference or a local-memory reservation, tagged like the
-// MsgSetKernelArg payload.
+// buffer reference, a sub-buffer region view or a local-memory
+// reservation, tagged like the MsgSetKernelArg payload.
 type GraphKernelArg struct {
-	Kind  uint8  // ArgValScalar / ArgValBuffer / ArgValLocal
-	Raw   uint64 // scalar bit image or buffer ID
-	Local int64  // local-memory size (ArgValLocal)
+	Kind   uint8  // ArgValScalar / ArgValBuffer / ArgValSubBuffer / ArgValLocal
+	Raw    uint64 // scalar bit image or (root) buffer ID
+	Local  int64  // local-memory size (ArgValLocal)
+	SubOrg int64  // view origin (ArgValSubBuffer)
+	SubLen int64  // view size (ArgValSubBuffer)
 }
 
 func putGraphKernelArg(w *Writer, a GraphKernelArg) {
@@ -38,6 +40,10 @@ func putGraphKernelArg(w *Writer, a GraphKernelArg) {
 	switch a.Kind {
 	case ArgValLocal:
 		w.I64(a.Local)
+	case ArgValSubBuffer:
+		w.U64(a.Raw)
+		w.I64(a.SubOrg)
+		w.I64(a.SubLen)
 	default:
 		w.U64(a.Raw)
 	}
@@ -48,6 +54,10 @@ func getGraphKernelArg(r *Reader) GraphKernelArg {
 	switch a.Kind {
 	case ArgValLocal:
 		a.Local = r.I64()
+	case ArgValSubBuffer:
+		a.Raw = r.U64()
+		a.SubOrg = r.I64()
+		a.SubLen = r.I64()
 	default:
 		a.Raw = r.U64()
 	}
@@ -73,6 +83,7 @@ type GraphCommand struct {
 	// Kernel launch.
 	KernelID uint64
 	Args     []GraphKernelArg
+	GOffset  []int // global work offset (empty = zero)
 	Global   []int
 	Local    []int
 }
@@ -101,6 +112,7 @@ func putGraphCommand(w *Writer, c GraphCommand) {
 		for _, a := range c.Args {
 			putGraphKernelArg(w, a)
 		}
+		w.Ints(c.GOffset)
 		w.Ints(c.Global)
 		w.Ints(c.Local)
 	}
@@ -135,6 +147,7 @@ func getGraphCommand(r *Reader) GraphCommand {
 		for i := range c.Args {
 			c.Args[i] = getGraphKernelArg(r)
 		}
+		c.GOffset = r.Ints()
 		c.Global = r.Ints()
 		c.Local = r.Ints()
 	case GraphOpMarker, GraphOpBarrier:

@@ -17,9 +17,10 @@ func TestRegisterGraphRoundTrip(t *testing.T) {
 				Args: []GraphKernelArg{
 					{Kind: ArgValBuffer, Raw: 3},
 					{Kind: ArgValScalar, Raw: 0x3f800000},
+					{Kind: ArgValSubBuffer, Raw: 6, SubOrg: 128, SubLen: 512},
 					{Kind: ArgValLocal, Local: 256},
 				},
-				Global: []int{64, 8}, Local: []int{8, 8}},
+				GOffset: []int{32, 0}, Global: []int{64, 8}, Local: []int{8, 8}},
 			{Op: GraphOpMarker},
 			{Op: GraphOpBarrier},
 		},
@@ -33,6 +34,9 @@ func TestRegisterGraphRoundTrip(t *testing.T) {
 	}
 	// Ints round-trips nil as empty; normalize before comparing.
 	for i := range out.Commands {
+		if len(out.Commands[i].GOffset) == 0 {
+			out.Commands[i].GOffset = nil
+		}
 		if len(out.Commands[i].Global) == 0 {
 			out.Commands[i].Global = nil
 		}

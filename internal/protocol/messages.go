@@ -350,6 +350,13 @@ const (
 	ArgValScalar = uint8(0)
 	ArgValBuffer = uint8(1)
 	ArgValLocal  = uint8(2)
+	// ArgValSubBuffer binds a region view of a buffer: the wire carries
+	// the root buffer's ID plus the view's origin and size, and the daemon
+	// materializes a native sub-buffer aliasing that range. Sub-buffers
+	// never exist as standalone remote objects — the root ID plus range is
+	// their entire identity, which keeps creating one free of round trips
+	// (the data-parallel scheduler creates one per chunk).
+	ArgValSubBuffer = uint8(3)
 )
 
 // DeviceRequest is one entry of a device-manager assignment request

@@ -76,7 +76,7 @@ func (g *groupRunner) run(groupLin int) *TrapError {
 		}
 		for dim := 0; dim < len(d.local); dim++ {
 			it.localID[dim] = g.scratchCoords[dim]
-			it.globalID[dim] = g.groupID[dim]*d.local[dim] + g.scratchCoords[dim]
+			it.globalID[dim] = d.offset[dim] + g.groupID[dim]*d.local[dim] + g.scratchCoords[dim]
 		}
 		it.done = false
 		it.atBarrier = false
@@ -429,6 +429,13 @@ func (g *groupRunner) execBuiltin(it *itemState, f *frame, id kernel.BuiltinID) 
 			pushI(1)
 		} else {
 			pushI(int32(d.global[dim]))
+		}
+	case kernel.BGetGlobalOffset:
+		dim := popI()
+		if dim < 0 || int(dim) >= len(d.global) {
+			pushI(0)
+		} else {
+			pushI(int32(d.offset[dim]))
 		}
 	case kernel.BGetLocalSize:
 		dim := popI()

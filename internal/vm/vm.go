@@ -50,8 +50,14 @@ type Launch struct {
 	Kernel     *kernel.Func
 	Args       []Arg
 	GlobalSize []int // 1-3 dimensions
-	LocalSize  []int // nil or zeros to auto-select
-	Workers    int   // concurrent work-groups; <= 0 selects GOMAXPROCS
+	// GlobalOffset shifts every work-item's global ID by the given amount
+	// per dimension (clEnqueueNDRangeKernel's global_work_offset): item
+	// coordinates run over [offset, offset+size). Nil means zero. This is
+	// what lets one logical ND-range be split into chunks executing on
+	// different devices while each work item keeps its true coordinates.
+	GlobalOffset []int
+	LocalSize    []int // nil or zeros to auto-select
+	Workers      int   // concurrent work-groups; <= 0 selects GOMAXPROCS
 	// GroupLimit, when > 0, executes only N work-groups evenly spread
 	// across the ND-range (cost sampling for modeled devices). Output is
 	// only produced for the sampled groups.
@@ -130,6 +136,14 @@ func RunStats(l Launch) (Stats, error) {
 			return Stats{}, &TrapError{Kernel: l.Kernel.Name, Msg: "global work size must be positive"}
 		}
 	}
+	if l.GlobalOffset != nil && len(l.GlobalOffset) != len(l.GlobalSize) {
+		return Stats{}, &TrapError{Kernel: l.Kernel.Name, Msg: "global offset dimensionality mismatch"}
+	}
+	for _, o := range l.GlobalOffset {
+		if o < 0 {
+			return Stats{}, &TrapError{Kernel: l.Kernel.Name, Msg: "global work offset must be non-negative"}
+		}
+	}
 	if len(l.Args) != len(l.Kernel.Args) {
 		return Stats{}, &TrapError{Kernel: l.Kernel.Name,
 			Msg: fmt.Sprintf("kernel takes %d arguments, %d bound", len(l.Kernel.Args), len(l.Args))}
@@ -184,9 +198,11 @@ func RunStats(l Launch) (Stats, error) {
 		workers = runGroups
 	}
 
+	var offset [3]int
+	copy(offset[:], l.GlobalOffset)
 	disp := &dispatch{
 		prog: l.Prog, fn: l.Kernel, args: l.Args,
-		global: l.GlobalSize, local: local, numGroups: numGroups,
+		global: l.GlobalSize, offset: offset, local: local, numGroups: numGroups,
 		itemsPerGroup: itemsPerGroup,
 	}
 
@@ -244,6 +260,7 @@ type dispatch struct {
 	fn            *kernel.Func
 	args          []Arg
 	global        []int
+	offset        [3]int // global work offset per dimension (zero-filled)
 	local         []int
 	numGroups     []int
 	itemsPerGroup int
