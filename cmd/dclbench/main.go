@@ -32,7 +32,16 @@ func main() {
 	verbose := flag.Bool("v", false, "progress logging")
 	bench := flag.Bool("bench", false, "run the micro-benchmark suite and emit machine-readable JSON")
 	benchout := flag.String("benchout", "BENCH_PR4.json", "output path for -bench results")
+	chaosSmoke := flag.Bool("chaos", false, "run the daemon-failure recovery smoke (mid-run kill + recovery latency)")
 	flag.Parse()
+
+	if *chaosSmoke {
+		if err := runChaosSmoke(); err != nil {
+			fmt.Fprintf(os.Stderr, "chaos smoke failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *bench {
 		if err := runBenchSuite(*benchout); err != nil {

@@ -18,6 +18,7 @@ import (
 	"net"
 	"strconv"
 	"strings"
+	"time"
 
 	"dopencl/internal/cl"
 	"dopencl/internal/daemon"
@@ -69,6 +70,7 @@ func main() {
 	selfAddr := flag.String("addr", "", "address clients use to reach this daemon (managed mode)")
 	peerListen := flag.String("peer-listen", "", "TCP address for the daemon-to-daemon bulk plane (empty disables forwarding)")
 	peerAddr := flag.String("peer-addr", "", "peer address announced to clients (defaults to -peer-listen)")
+	sessionRetain := flag.Duration("session-retain", 30*time.Second, "how long a disconnected client's session state is kept for re-attachment (0 disables)")
 	flag.Parse()
 
 	cfgs, err := parseDevices(*devices)
@@ -80,7 +82,8 @@ func main() {
 		Name: *name, Platform: plat, Managed: *managed, Logf: log.Printf,
 		// Originating forwards needs no listener, only a dialer: every
 		// TCP daemon can push buffers to peers that do listen.
-		PeerDial: func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) },
+		PeerDial:      func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) },
+		SessionRetain: *sessionRetain,
 	}
 	dcfg.PeerAddr = *peerAddr
 	if dcfg.PeerAddr == "" {

@@ -46,6 +46,16 @@ const (
 	// InvalidServer is a dOpenCL extension code for server-related failures
 	// (connection refused, authentication rejected, server gone).
 	InvalidServer ErrorCode = -2001
+	// ServerLost is a dOpenCL extension code: the server's connection died
+	// (transport error, heartbeat timeout) while commands were in flight.
+	// Every event of a command pipelined to the dead server fails with it,
+	// and the queue's next Finish reports it. Recoverable: re-attach the
+	// server (or route to a survivor) and retry.
+	ServerLost ErrorCode = -2002
+	// DataLost is a dOpenCL extension code: a buffer range's only valid
+	// copy lived on a daemon that died, so its contents are unrecoverable.
+	// Reads of the range fail with this code until the range is rewritten.
+	DataLost ErrorCode = -2003
 )
 
 var errorNames = map[ErrorCode]string{
@@ -83,6 +93,8 @@ var errorNames = map[ErrorCode]string{
 	InvalidBufferSize:      "CL_INVALID_BUFFER_SIZE",
 	InvalidCommandBuffer:   "CL_INVALID_COMMAND_BUFFER_KHR",
 	InvalidServer:          "CL_INVALID_SERVER_WWU",
+	ServerLost:             "CL_SERVER_LOST_WWU",
+	DataLost:               "CL_DATA_LOST_WWU",
 }
 
 // String returns the OpenCL constant name of the code.

@@ -52,11 +52,26 @@ type span struct {
 	lastWrite map[*Server]*Event // most recent writing command per server
 	inbound   map[*Server]*Event // in-flight forward gates per target server
 	gen       uint64             // directory generation of the span's last mutation
+
+	// Lost bookkeeping: when the range's ONLY valid copy lived on a server
+	// whose connection died, lostFrom records that server, lostWas the
+	// state it held and lostConn the connection generation that died with
+	// it. Reads of a lost range fail with cl.DataLost until a write
+	// re-materializes it; a session re-attach that finds the daemon still
+	// retaining its state restores the recorded claim (the bytes never
+	// left the daemon) — but only when the retained session is the SAME
+	// connection the loss was recorded against (lostConn), so a loss that
+	// survived an unretained reattach (data truly gone) can never be
+	// "restored" into garbage by a later retained one.
+	lostFrom *Server
+	lostWas  msiState
+	lostConn uint64
 }
 
 // clone deep-copies the span (snapshot for rollbacks).
 func (sp *span) clone() *span {
 	c := &span{off: sp.off, end: sp.end, host: sp.host, gen: sp.gen,
+		lostFrom: sp.lostFrom, lostWas: sp.lostWas, lostConn: sp.lostConn,
 		states:    make(map[*Server]msiState, len(sp.states)),
 		lastWrite: make(map[*Server]*Event, len(sp.lastWrite)),
 		inbound:   make(map[*Server]*Event, len(sp.inbound)),
@@ -77,6 +92,9 @@ func (sp *span) clone() *span {
 // (merge predicate; events compare by identity).
 func (sp *span) sameStates(o *span) bool {
 	if sp.host != o.host || len(sp.lastWrite) != len(o.lastWrite) || len(sp.inbound) != len(o.inbound) {
+		return false
+	}
+	if sp.lostFrom != o.lostFrom || sp.lostWas != o.lostWas || sp.lostConn != o.lostConn {
 		return false
 	}
 	for s, st := range sp.states {
@@ -106,9 +124,15 @@ func (sp *span) sameStates(o *span) bool {
 // preferring the Modified owner. With peer forwarding, Shared server
 // copies can exist while the host copy is Invalid (the payload never
 // visited the client), so any valid copy must be usable as a source.
+// Disconnected servers are never offered as sources: between a server
+// dying and the directory sweep clearing its claims, a transfer must not
+// be pointed at a dead daemon when a surviving holder exists.
 func (sp *span) sourceLocked() *Server {
 	var shared *Server
 	for srv, st := range sp.states {
+		if !srv.Connected() {
+			continue
+		}
 		if st == msiModified {
 			return srv
 		}
@@ -117,6 +141,21 @@ func (sp *span) sourceLocked() *Server {
 		}
 	}
 	return shared
+}
+
+// deadHolderLocked reports whether a DISCONNECTED server still holds a
+// valid-looking claim on the span: the window between a server dying and
+// its directory sweep recording lostFrom. Callers translate "no valid
+// copy" into the retryable cl.ServerLost in that window instead of the
+// hard cl.InvalidMemObject — the range's true fate (re-home or Lost) is
+// decided by the sweep, moments away.
+func (sp *span) deadHolderLocked() bool {
+	for srv, st := range sp.states {
+		if (st == msiShared || st == msiModified) && !srv.Connected() {
+			return true
+		}
+	}
+	return false
 }
 
 // Buffer is the compound stub for a distributed buffer object and the
@@ -226,6 +265,7 @@ func (b *Buffer) Release() error {
 	}
 	b.released = true
 	b.mu.Unlock()
+	b.ctx.forgetBuffer(b)
 	var first error
 	for _, srv := range b.ctx.servers {
 		if _, err := srv.call(protocol.MsgReleaseBuffer, func(w *protocol.Writer) {
@@ -428,6 +468,7 @@ type RegionState struct {
 	Off, End int
 	Host     string
 	Servers  map[string]string
+	Lost     bool // only valid copy died with its daemon
 }
 
 // RegionStates returns the full region directory over the buffer's (or
@@ -448,7 +489,7 @@ func (b *Buffer) RegionStates() []RegionState {
 		if se > end {
 			se = end
 		}
-		rs := RegionState{Off: so, End: se, Host: sp.host.String(), Servers: map[string]string{}}
+		rs := RegionState{Off: so, End: se, Host: sp.host.String(), Servers: map[string]string{}, Lost: sp.lostFrom != nil}
 		for srv, st := range sp.states {
 			rs.Servers[srv.addr] = st.String()
 		}
@@ -503,6 +544,11 @@ func (b *Buffer) markRangeWrittenBy(srv *Server, off, end int, ev *Event) {
 		sp.states[srv] = msiModified
 		sp.host = msiInvalid
 		sp.lastWrite[srv] = ev
+		// A write re-materializes a lost range: fresh data supersedes the
+		// copy that died with its daemon.
+		sp.lostFrom = nil
+		sp.lostWas = msiInvalid
+		sp.lostConn = 0
 	}
 	r.bumpLocked(spans)
 	gen := r.gen
@@ -559,6 +605,101 @@ func (b *Buffer) rollbackRangeWrite(srv *Server, ev *Event, off, end int, gen ui
 	}
 	b.bumpLocked(b.rangeSpansLocked(off, end))
 	b.mergeLocked()
+}
+
+// handleServerLost sweeps the directory after srv's connection died:
+// every claim srv held is withdrawn. Ranges with a surviving valid copy
+// (another server or the host cache) keep working — the next coherence
+// transfer re-homes them from the survivor. Ranges whose ONLY valid copy
+// was srv's become Lost: reads fail with cl.DataLost until a write
+// re-materializes them, and the vanished claim is recorded so a
+// re-attach that finds the daemon still retaining its session state can
+// restore it (the bytes never left the daemon).
+func (b *Buffer) handleServerLost(srv *Server) {
+	gen := srv.generation()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, sp := range b.dir {
+		had := sp.states[srv]
+		delete(sp.states, srv)
+		delete(sp.lastWrite, srv)
+		delete(sp.inbound, srv)
+		if had != msiShared && had != msiModified {
+			continue
+		}
+		survivor := sp.host != msiInvalid
+		for _, st := range sp.states {
+			if st == msiShared || st == msiModified {
+				survivor = true
+				break
+			}
+		}
+		if !survivor {
+			sp.lostFrom = srv
+			sp.lostWas = had
+			sp.lostConn = gen
+		}
+	}
+	b.bumpLocked(b.dir)
+	b.mergeLocked()
+}
+
+// restoreAfterReattach re-installs the claims that were recorded as lost
+// from srv, after a session re-attach confirmed the daemon retained its
+// state: the remote buffer still holds exactly the bytes the directory
+// thought were gone.
+func (b *Buffer) restoreAfterReattach(srv *Server) {
+	// Only losses recorded against the connection the retained session
+	// lived on are restorable: a loss that already survived an UNRETAINED
+	// reattach (lostConn older — that data is gone for good) must keep
+	// reading as DataLost, never as the re-created buffer's zeros.
+	wantConn := srv.generation() - 1
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	touched := false
+	for _, sp := range b.dir {
+		if sp.lostFrom != srv || sp.lostConn != wantConn {
+			continue
+		}
+		sp.states[srv] = sp.lostWas
+		sp.lostFrom = nil
+		sp.lostWas = msiInvalid
+		sp.lostConn = 0
+		touched = true
+	}
+	if touched {
+		b.bumpLocked(b.dir)
+		b.mergeLocked()
+	}
+}
+
+// LostRanges reports the byte ranges of this buffer (or view) whose only
+// valid copy died with its daemon: reads of them fail with cl.DataLost
+// until rewritten.
+func (b *Buffer) LostRanges() [][2]int {
+	r := b.root()
+	off, end := b.viewRange()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out [][2]int
+	for _, sp := range r.overlappingSpansLocked(off, end) {
+		if sp.lostFrom == nil {
+			continue
+		}
+		so, se := sp.off, sp.end
+		if so < off {
+			so = off
+		}
+		if se > end {
+			se = end
+		}
+		if n := len(out); n > 0 && out[n-1][1] == so {
+			out[n-1][1] = se
+			continue
+		}
+		out = append(out, [2]int{so, se})
+	}
+	return out
 }
 
 // markHostValidRangeIfUnchanged records that the client now holds valid
@@ -665,6 +806,27 @@ func (b *Buffer) ensureValidOn(q *Queue) ([]*Event, error) {
 	return b.ensureRangeValidOn(q, off, end)
 }
 
+// ensureValidAsKernelArg is ensureValidOn with the kernel-argument
+// policy for data loss: a MemWriteOnly buffer cannot be read by kernels
+// (API contract), so when its range is Lost — the data was unrecoverable
+// anyway — the launch proceeds and recomputes it instead of failing.
+// The returned gates then cover only the in-flight inbound forwards over
+// the range (a late-landing payload must still not clobber the launch's
+// fresh output); coherence transfers started for other spans before the
+// lost one was hit are covered too, since their landing registers the
+// same inbound gates. Used by the eager launch and the graph replay.
+func (b *Buffer) ensureValidAsKernelArg(q *Queue) ([]*Event, error) {
+	gs, err := b.ensureValidOn(q)
+	if err == nil {
+		return gs, nil
+	}
+	if b.flags&cl.MemWriteOnly != 0 && cl.CodeOf(err) == cl.DataLost {
+		off, end := b.viewRange()
+		return b.root().inboundGatesRange(q.srv, off, end), nil
+	}
+	return nil, err
+}
+
 // ensureRangeValidOn guarantees that q's server holds a valid copy of
 // [off, end) of the root buffer. It walks the directory span by span:
 // ranges already valid on the server contribute at most their in-flight
@@ -700,6 +862,11 @@ func (b *Buffer) ensureRangeValidOn(q *Queue, off, end int) ([]*Event, error) {
 		}
 		hostValid := sp.host != msiInvalid
 		src := sp.sourceLocked()
+		lost := sp.lostFrom != nil
+		if !hostValid && src == nil && !lost && sp.deadHolderLocked() {
+			r.mu.Unlock()
+			return nil, cl.Errf(cl.ServerLost, "buffer %d range [%d,%d): holder's connection just died (sweep pending)", b.id, pos, ce)
+		}
 		var srcGate *Event
 		if src != nil {
 			srcGate = sp.lastWrite[src]
@@ -707,7 +874,7 @@ func (b *Buffer) ensureRangeValidOn(q *Queue, off, end int) ([]*Event, error) {
 		startGen := sp.gen
 		r.mu.Unlock()
 
-		g, retry, err := r.makeRangeValid(q, pos, ce, hostValid, src, srcGate, startGen)
+		g, retry, err := r.makeRangeValid(q, pos, ce, hostValid, lost, src, srcGate, startGen)
 		if err != nil {
 			return nil, err
 		}
@@ -737,10 +904,13 @@ func (b *Buffer) ensureRangeValidOn(q *Queue, off, end int) ([]*Event, error) {
 //     fallback): download the range from a valid copy, then upload it on
 //     q, where in-order execution sequences it before the dependent
 //     command.
-func (b *Buffer) makeRangeValid(q *Queue, ps, pe int, hostValid bool, src *Server, srcGate *Event, startGen uint64) (*Event, bool, error) {
+func (b *Buffer) makeRangeValid(q *Queue, ps, pe int, hostValid, lost bool, src *Server, srcGate *Event, startGen uint64) (*Event, bool, error) {
 	srv := q.srv
 	if !hostValid {
 		if src == nil {
+			if lost {
+				return nil, false, cl.Errf(cl.DataLost, "buffer %d range [%d,%d): only valid copy died with its daemon", b.id, ps, pe)
+			}
 			return nil, false, cl.Errf(cl.InvalidMemObject, "buffer %d range [%d,%d) has no valid copy", b.id, ps, pe)
 		}
 		if b.ctx.canForward(src, srv) {
@@ -906,7 +1076,7 @@ func (b *Buffer) forwardRange(src, dst *Server, ps, pe int, srcGate *Event) (*Ev
 	// failure) records the peer pair as unreachable for fallback.
 	sendID := b.ctx.plat.newID()
 	sendEv := newRemoteEvent(b.ctx, src, sendID)
-	peerAddr := dst.peerAddr
+	peerAddr := dst.PeerAddr()
 	src.registerHook(sendID, func(st cl.CommandStatus) {
 		sendEv.complete(st)
 		if st == cl.Complete {
@@ -1029,6 +1199,12 @@ func (b *Buffer) readPlan(q *Queue, off, end int) ([]readPart, error) {
 			holder := sp.sourceLocked()
 			if holder == nil {
 				if sp.host == msiInvalid {
+					if sp.lostFrom != nil {
+						return nil, cl.Errf(cl.DataLost, "buffer %d range [%d,%d): only valid copy died with its daemon", r.id, sp.off, sp.end)
+					}
+					if sp.deadHolderLocked() {
+						return nil, cl.Errf(cl.ServerLost, "buffer %d range [%d,%d): holder's connection just died (sweep pending)", r.id, sp.off, sp.end)
+					}
 					return nil, cl.Errf(cl.InvalidMemObject, "buffer %d range [%d,%d) has no valid copy", r.id, sp.off, sp.end)
 				}
 				part.holder = nil // host copy

@@ -21,6 +21,14 @@ type Context struct {
 	mu        sync.Mutex
 	cohQueues map[*Server]*Queue // internal queues for coherence traffic
 	released  bool
+
+	// Recovery registries: the live objects replicated on each server, so
+	// a re-attach to a daemon that lost its state (restart, session
+	// expiry) can re-create this client's remote objects under their
+	// original IDs.
+	bufs   []*Buffer
+	progs  []*Program
+	queues []*Queue
 }
 
 var _ cl.Context = (*Context)(nil)
@@ -64,6 +72,7 @@ func (p *Platform) CreateContext(devices []cl.Device) (cl.Context, error) {
 			return nil, err
 		}
 	}
+	p.registerContext(ctx)
 	return ctx, nil
 }
 
@@ -86,14 +95,15 @@ func (c *Context) remoteContextID(srv *Server) (uint64, error) {
 }
 
 // canForward reports whether a buffer transfer from src to dst can use
-// the daemon-to-daemon bulk plane: src must be able to originate
-// forwards, dst must expose a peer address, and src must not have
-// already failed to reach dst's peer plane (in which case transfers fall
-// back to the client-mediated path).
+// the daemon-to-daemon bulk plane: both daemons must be alive, src must
+// be able to originate forwards, dst must expose a peer address, and src
+// must not have already failed to reach dst's peer plane (in which case
+// transfers fall back to the client-mediated path).
 func (c *Context) canForward(src, dst *Server) bool {
 	return src != nil && dst != nil && src != dst &&
-		src.canForward && dst.peerAddr != "" &&
-		src.peerReachable(dst.peerAddr)
+		src.Connected() && dst.Connected() &&
+		src.CanForward() && dst.PeerAddr() != "" &&
+		src.peerReachable(dst.PeerAddr())
 }
 
 // coherenceQueue returns (lazily creating) the internal command queue used
@@ -133,6 +143,168 @@ func (c *Context) coherenceQueue(srv *Server) (*Queue, error) {
 	return q, nil
 }
 
+// removeFirst drops the first element equal to x from s (shared by the
+// recovery-registry forget paths; callers hold the registry's lock).
+func removeFirst[T comparable](s []T, x T) []T {
+	for i, v := range s {
+		if v == x {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+// forgetBuffer / forgetQueue / forgetProgram drop released objects from
+// the recovery registries so a long-running client that churns objects
+// does not grow them (and pin the released objects) without bound.
+func (c *Context) forgetBuffer(b *Buffer) {
+	c.mu.Lock()
+	c.bufs = removeFirst(c.bufs, b)
+	c.mu.Unlock()
+}
+
+func (c *Context) forgetQueue(q *Queue) {
+	c.mu.Lock()
+	c.queues = removeFirst(c.queues, q)
+	c.mu.Unlock()
+}
+
+func (c *Context) forgetProgram(p *Program) {
+	c.mu.Lock()
+	c.progs = removeFirst(c.progs, p)
+	c.mu.Unlock()
+}
+
+// createRemoteBuffer replicates one buffer object to srv (creation and
+// re-attach recovery share the wire call).
+func createRemoteBuffer(srv *Server, bufID, rctx uint64, flags cl.MemFlags, size int) error {
+	_, err := srv.call(protocol.MsgCreateBuffer, func(w *protocol.Writer) {
+		w.U64(bufID)
+		w.U64(rctx)
+		w.U32(uint32(flags))
+		w.I64(int64(size))
+		w.U32(0) // no init stream: contents uploaded lazily by coherence
+	})
+	return err
+}
+
+// liveBuffers snapshots the context's unreleased root buffers.
+func (c *Context) liveBuffers() []*Buffer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []*Buffer
+	for _, b := range c.bufs {
+		b.mu.Lock()
+		released := b.released
+		b.mu.Unlock()
+		if !released {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// resyncServer reconciles this context's remote objects on srv after a
+// re-attach. Buffers, programs (with their builds) and kernels are
+// replicated in BOTH modes, because each of those creation paths skips
+// dead servers — an object created during the outage is missing even
+// from a retained session. Replication is idempotent against a retained
+// session: an existing daemon buffer of the same size keeps its
+// contents, programs/kernels are overwritten and the kernels' argument
+// bindings replayed. Contexts and queues cannot be created while a
+// participating server is down (those paths stay strict), so they only
+// need re-creation when the daemon lost everything (unretained).
+// Directory restoration for retained sessions happens separately, after
+// the server is marked connected again (Platform.restoreDirectories).
+func (c *Context) resyncServer(srv *Server, retained bool) error {
+	rid, err := c.remoteContextID(srv)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	progs := append([]*Program(nil), c.progs...)
+	queues := append([]*Queue(nil), c.queues...)
+	c.mu.Unlock()
+	if !retained {
+		var units []uint64
+		for _, d := range c.devices {
+			if d.srv == srv {
+				units = append(units, uint64(d.unitID))
+			}
+		}
+		if _, err := srv.call(protocol.MsgCreateContext, func(w *protocol.Writer) {
+			w.U64(rid)
+			w.U64s(units)
+		}); err != nil {
+			return err
+		}
+	}
+	for _, b := range c.liveBuffers() {
+		if err := createRemoteBuffer(srv, b.id, rid, b.flags&^cl.MemCopyHostPtr, b.size); err != nil {
+			return err
+		}
+	}
+	for _, p := range progs {
+		p.mu.Lock()
+		released, built, opts := p.released, p.built, p.buildOpts
+		p.mu.Unlock()
+		if released {
+			continue
+		}
+		if _, err := srv.call(protocol.MsgCreateProgram, func(w *protocol.Writer) {
+			w.U64(p.id)
+			w.U64(rid)
+			w.String(p.src)
+		}); err != nil {
+			return err
+		}
+		if !built {
+			continue
+		}
+		if _, err := srv.call(protocol.MsgBuildProgram, func(w *protocol.Writer) {
+			w.U64(p.id)
+			w.String(opts)
+		}); err != nil {
+			return err
+		}
+	}
+	if !retained {
+		for _, q := range queues {
+			if q.srv != srv || q.isReleased() {
+				continue
+			}
+			if _, err := srv.call(protocol.MsgCreateQueue, func(w *protocol.Writer) {
+				w.U64(q.id)
+				w.U64(rid)
+				w.U64(uint64(q.dev.unitID))
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	for _, p := range progs {
+		p.mu.Lock()
+		released, built := p.released, p.built
+		p.mu.Unlock()
+		if released || !built {
+			continue
+		}
+		for _, k := range p.liveKernels() {
+			if _, err := srv.call(protocol.MsgCreateKernel, func(w *protocol.Writer) {
+				w.U64(k.id)
+				w.U64(p.id)
+				w.String(k.name)
+			}); err != nil {
+				return err
+			}
+			if err := k.resendArgs(srv); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // CreateQueue creates a command queue on the given context device: a
 // simple stub, since a queue is owned by exactly one server.
 func (c *Context) CreateQueue(d cl.Device) (cl.Queue, error) {
@@ -166,7 +338,11 @@ func (c *Context) createQueue(cd *Device) (*Queue, error) {
 	}); err != nil {
 		return nil, err
 	}
-	return &Queue{ctx: c, srv: cd.srv, dev: cd, id: id}, nil
+	q := &Queue{ctx: c, srv: cd.srv, dev: cd, id: id}
+	c.mu.Lock()
+	c.queues = append(c.queues, q)
+	c.mu.Unlock()
+	return q, nil
 }
 
 // CreateBuffer allocates a distributed buffer object: the compound stub is
@@ -199,18 +375,24 @@ func (c *Context) CreateBuffer(flags cl.MemFlags, size int, host []byte) (cl.Buf
 	b.dir = []*span{whole}
 	remoteFlags := flags &^ cl.MemCopyHostPtr
 	for _, srv := range c.servers {
+		// Dead servers are skipped, like CreateKernel/SetArg: their copy
+		// is Invalid anyway, the re-attach recovery re-creates the remote
+		// object, and the application keeps computing on the survivors.
+		whole.states[srv] = msiInvalid
+		if !srv.Connected() {
+			continue
+		}
 		rctx := c.remoteIDs[srv]
-		if _, err := srv.call(protocol.MsgCreateBuffer, func(w *protocol.Writer) {
-			w.U64(b.id)
-			w.U64(rctx)
-			w.U32(uint32(remoteFlags))
-			w.I64(int64(size))
-			w.U32(0) // no init stream: contents uploaded lazily by coherence
-		}); err != nil {
+		if err := createRemoteBuffer(srv, b.id, rctx, remoteFlags, size); err != nil {
+			if !srv.Connected() {
+				continue
+			}
 			return nil, err
 		}
-		whole.states[srv] = msiInvalid
 	}
+	c.mu.Lock()
+	c.bufs = append(c.bufs, b)
+	c.mu.Unlock()
 	return b, nil
 }
 
@@ -223,15 +405,25 @@ func (c *Context) CreateProgramWithSource(src string) (cl.Program, error) {
 	}
 	p := &Program{ctx: c, id: c.plat.newID(), src: src, buildLogs: map[string]string{}}
 	for _, srv := range c.servers {
+		// Dead servers are skipped (re-created by the re-attach recovery).
+		if !srv.Connected() {
+			continue
+		}
 		rctx := c.remoteIDs[srv]
 		if _, err := srv.call(protocol.MsgCreateProgram, func(w *protocol.Writer) {
 			w.U64(p.id)
 			w.U64(rctx)
 			w.String(src)
 		}); err != nil {
+			if !srv.Connected() {
+				continue
+			}
 			return nil, err
 		}
 	}
+	c.mu.Lock()
+	c.progs = append(c.progs, p)
+	c.mu.Unlock()
 	return p, nil
 }
 
@@ -252,6 +444,7 @@ func (c *Context) Release() error {
 	queues := c.cohQueues
 	c.cohQueues = map[*Server]*Queue{}
 	c.mu.Unlock()
+	c.plat.forgetContext(c)
 	var first error
 	for _, q := range queues {
 		if err := q.Release(); err != nil && first == nil {
@@ -279,7 +472,10 @@ type Program struct {
 
 	mu        sync.Mutex
 	built     bool
+	buildOpts string
 	buildLogs map[string]string
+	kernels   []*Kernel // live kernels, for re-attach recovery
+	released  bool
 }
 
 var _ cl.Program = (*Program)(nil)
@@ -287,10 +483,16 @@ var _ cl.Program = (*Program)(nil)
 // Source returns the program source.
 func (p *Program) Source() string { return p.src }
 
-// Build replicates clBuildProgram to every participating server.
+// Build replicates clBuildProgram to every participating server. Dead
+// servers are skipped — the re-attach recovery rebuilds there — so one
+// lost daemon does not block compilation on the survivors.
 func (p *Program) Build(devices []cl.Device, options string) error {
 	var firstErr error
+	built := false
 	for _, srv := range p.ctx.servers {
+		if !srv.Connected() {
+			continue
+		}
 		resp, err := srv.call(protocol.MsgBuildProgram, func(w *protocol.Writer) {
 			w.U64(p.id)
 			w.String(options)
@@ -302,17 +504,47 @@ func (p *Program) Build(devices []cl.Device, options string) error {
 		p.mu.Lock()
 		p.buildLogs[srv.addr] = logText
 		p.mu.Unlock()
-		if err != nil && firstErr == nil {
+		if err != nil && firstErr == nil && srv.Connected() {
 			firstErr = err
 		}
+		if err == nil {
+			built = true
+		}
+	}
+	if firstErr == nil && !built {
+		firstErr = cl.Errf(cl.ServerLost, "no connected server to build program")
 	}
 	if firstErr != nil {
 		return firstErr
 	}
 	p.mu.Lock()
 	p.built = true
+	p.buildOpts = options
 	p.mu.Unlock()
 	return nil
+}
+
+// forgetKernel drops a released kernel from the recovery registry.
+func (p *Program) forgetKernel(k *Kernel) {
+	p.mu.Lock()
+	p.kernels = removeFirst(p.kernels, k)
+	p.mu.Unlock()
+}
+
+// liveKernels snapshots the program's unreleased kernels.
+func (p *Program) liveKernels() []*Kernel {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []*Kernel
+	for _, k := range p.kernels {
+		k.mu.Lock()
+		released := k.released
+		k.mu.Unlock()
+		if !released {
+			out = append(out, k)
+		}
+	}
+	return out
 }
 
 // BuildLog returns the build log of the server hosting d.
@@ -351,27 +583,47 @@ func (p *Program) CreateKernel(name string) (cl.Kernel, error) {
 		return nil, cl.Errf(cl.InvalidProgramExec, "program not built")
 	}
 	k := &Kernel{prog: p, id: p.ctx.plat.newID(), name: name}
-	for i, srv := range p.ctx.servers {
+	created := false
+	for _, srv := range p.ctx.servers {
+		// Dead servers are skipped: the re-attach recovery re-creates the
+		// kernel there, and launches meanwhile route to the survivors.
+		if !srv.Connected() {
+			continue
+		}
 		resp, err := srv.call(protocol.MsgCreateKernel, func(w *protocol.Writer) {
 			w.U64(k.id)
 			w.U64(p.id)
 			w.String(name)
 		})
 		if err != nil {
+			if !srv.Connected() {
+				continue
+			}
 			return nil, err
 		}
-		if i == 0 {
+		if !created {
+			created = true
 			k.argInfo = protocol.GetArgInfo(resp)
 			k.argBufs = make([]*Buffer, len(k.argInfo))
 			k.argSet = make([]bool, len(k.argInfo))
 			k.argWire = make([]wireArg, len(k.argInfo))
 		}
 	}
+	if !created {
+		return nil, cl.Errf(cl.ServerLost, "no connected server to create kernel %s", name)
+	}
+	p.mu.Lock()
+	p.kernels = append(p.kernels, k)
+	p.mu.Unlock()
 	return k, nil
 }
 
 // Release releases the program on all servers.
 func (p *Program) Release() error {
+	p.mu.Lock()
+	p.released = true
+	p.mu.Unlock()
+	p.ctx.forgetProgram(p)
 	var first error
 	for _, srv := range p.ctx.servers {
 		if _, err := srv.call(protocol.MsgReleaseProgram, func(w *protocol.Writer) {
@@ -390,11 +642,12 @@ type Kernel struct {
 	id   uint64
 	name string
 
-	mu      sync.Mutex
-	argInfo []kernel.ArgInfo
-	argBufs []*Buffer // buffer bindings, tracked for MSI at launch
-	argSet  []bool
-	argWire []wireArg // wire images of the bindings, snapshotted by recordings
+	mu       sync.Mutex
+	argInfo  []kernel.ArgInfo
+	argBufs  []*Buffer // buffer bindings, tracked for MSI at launch
+	argSet   []bool
+	argWire  []wireArg // wire images of the bindings, snapshotted by recordings
+	released bool
 }
 
 var _ cl.Kernel = (*Kernel)(nil)
@@ -459,6 +712,9 @@ func (k *Kernel) encodeArg(i int, v any) (wireArg, error) {
 // round trips run in parallel — the data-parallel scheduler rebinds
 // sub-buffer arguments per chunk, so on an N-server lease a serial loop
 // would put N×RTT of pure latency on the co-execution hot path.
+// Disconnected servers are skipped: the binding is recorded locally and
+// replayed by the re-attach recovery, so one dead daemon does not stall
+// launches on the survivors.
 func (k *Kernel) SetArg(i int, v any) error {
 	wa, err := k.encodeArg(i, v)
 	if err != nil {
@@ -468,6 +724,9 @@ func (k *Kernel) SetArg(i int, v any) error {
 	errs := make([]error, len(servers))
 	var wg sync.WaitGroup
 	for si, srv := range servers {
+		if !srv.Connected() {
+			continue
+		}
 		wg.Add(1)
 		go func(si int, srv *Server) {
 			defer wg.Done()
@@ -479,8 +738,8 @@ func (k *Kernel) SetArg(i int, v any) error {
 		}(si, srv)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
+	for si, err := range errs {
+		if err != nil && servers[si].Connected() {
 			return err
 		}
 	}
@@ -489,6 +748,33 @@ func (k *Kernel) SetArg(i int, v any) error {
 	k.argSet[i] = true
 	k.argWire[i] = wa
 	k.mu.Unlock()
+	return nil
+}
+
+// resendArgs replays the kernel's recorded argument bindings to one
+// server (re-attach recovery: bindings made while the server was down
+// were skipped for it).
+func (k *Kernel) resendArgs(srv *Server) error {
+	k.mu.Lock()
+	var idx []int
+	var was []wireArg
+	for i := range k.argWire {
+		if k.argSet[i] {
+			idx = append(idx, i)
+			was = append(was, k.argWire[i])
+		}
+	}
+	k.mu.Unlock()
+	for j, i := range idx {
+		wa := was[j]
+		if _, err := srv.call(protocol.MsgSetKernelArg, func(w *protocol.Writer) {
+			w.U64(k.id)
+			w.U32(uint32(i))
+			wa.put(w)
+		}); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -529,6 +815,10 @@ func (k *Kernel) bufferBindings() (readBufs, writeBufs []*Buffer, err error) {
 
 // Release releases the kernel on all servers.
 func (k *Kernel) Release() error {
+	k.mu.Lock()
+	k.released = true
+	k.mu.Unlock()
+	k.prog.forgetKernel(k)
 	var first error
 	for _, srv := range k.prog.ctx.servers {
 		if _, err := srv.call(protocol.MsgReleaseKernel, func(w *protocol.Writer) {

@@ -30,10 +30,20 @@ type Event struct {
 	originID uint64
 
 	mu           sync.Mutex
-	replacements map[*Server]uint64 // server → replacement user-event ID
-	notified     map[*Server]bool   // replacements already told the final status
+	replacements map[*Server]replEntry // server → replacement user event
+	notified     map[*Server]bool      // replacements already told the final status
 	final        cl.CommandStatus
 	completed    bool
+}
+
+// replEntry is one replacement user event, stamped with the server's
+// connection generation: the daemon drops its event table when a
+// connection dies, so a replacement created against an earlier
+// connection no longer exists remotely and must be re-created (and must
+// not be notified — nothing waits on it any more).
+type replEntry struct {
+	id  uint64
+	gen uint64
 }
 
 var _ cl.Event = (*Event)(nil)
@@ -47,7 +57,7 @@ func newRemoteEvent(ctx *Context, origin *Server, originID uint64) *Event {
 		ctx:          ctx,
 		origin:       origin,
 		originID:     originID,
-		replacements: map[*Server]uint64{},
+		replacements: map[*Server]replEntry{},
 		notified:     map[*Server]bool{},
 	}
 }
@@ -57,7 +67,7 @@ func newUserEventStub(ctx *Context) *UserEvent {
 	return &UserEvent{Event{
 		latch:        native.NewEvent(),
 		ctx:          ctx,
-		replacements: map[*Server]uint64{},
+		replacements: map[*Server]replEntry{},
 		notified:     map[*Server]bool{},
 	}}
 }
@@ -94,17 +104,23 @@ func (e *Event) complete(status cl.CommandStatus) {
 	}
 	e.completed = true
 	e.final = status
-	targets := make(map[*Server]uint64, len(e.replacements))
-	for srv, id := range e.replacements {
+	targets := make(map[*Server]replEntry, len(e.replacements))
+	for srv, re := range e.replacements {
 		if !e.notified[srv] {
 			e.notified[srv] = true
-			targets[srv] = id
+			targets[srv] = re
 		}
 	}
 	e.mu.Unlock()
 
-	for srv, id := range targets {
-		e.setReplacementStatus(srv, id, status)
+	for srv, re := range targets {
+		// A replacement from an earlier connection died with the daemon's
+		// event table — nothing waits on it, and notifying the stale ID
+		// would hit an unrelated error.
+		if re.gen != srv.generation() {
+			continue
+		}
+		e.setReplacementStatus(srv, re.id, status)
 	}
 	if status == cl.Complete {
 		e.latch.Complete(nil)
@@ -131,41 +147,61 @@ func (e *Event) remoteIDFor(srv *Server) (uint64, error) {
 	if srv == e.origin {
 		return e.originID, nil
 	}
-	e.mu.Lock()
-	if id, ok := e.replacements[srv]; ok {
-		e.mu.Unlock()
-		return id, nil
-	}
-	e.mu.Unlock()
-
-	// Create the replacement user event on srv in the remote context.
+	// Create the replacement user event on srv in the remote context. A
+	// cached replacement from an earlier connection is stale (the daemon
+	// cleared its event table when that connection died) and is replaced.
+	// The generation is sampled around the create call: if a re-attach
+	// completed mid-flight it is ambiguous which session the event landed
+	// in, and a wrongly-stamped replacement would either never be
+	// notified (daemon command hangs) or be notified into the void —
+	// so the creation is simply retried on a stable generation.
 	rctxID, err := e.ctx.remoteContextID(srv)
 	if err != nil {
 		return 0, err
 	}
-	id := e.ctx.plat.newID()
-	if _, err := srv.call(protocol.MsgCreateUserEvent, func(w *protocol.Writer) {
-		w.U64(id)
-		w.U64(rctxID)
-	}); err != nil {
-		return 0, err
+	var gen uint64
+	var id uint64
+	for attempt := 0; ; attempt++ {
+		gen = srv.generation()
+		e.mu.Lock()
+		if re, ok := e.replacements[srv]; ok && re.gen == gen {
+			e.mu.Unlock()
+			return re.id, nil
+		}
+		e.mu.Unlock()
+		id = e.ctx.plat.newID()
+		if _, err := srv.call(protocol.MsgCreateUserEvent, func(w *protocol.Writer) {
+			w.U64(id)
+			w.U64(rctxID)
+		}); err != nil {
+			return 0, err
+		}
+		if srv.generation() == gen {
+			break
+		}
+		// Might live in the torn-down session; drop it (no-op there) and
+		// recreate on the current connection.
+		_ = srv.send(protocol.MsgReleaseEvent, func(w *protocol.Writer) { w.U64(id) })
+		if attempt >= 4 {
+			return 0, cl.Errf(cl.ServerLost, "server %s reconnected repeatedly during event replacement", srv.addr)
+		}
 	}
 
 	e.mu.Lock()
-	if existing, ok := e.replacements[srv]; ok {
+	if existing, ok := e.replacements[srv]; ok && existing.gen == gen {
 		// Lost a race with another creator; use theirs. The spare remote
 		// user event is released.
 		e.mu.Unlock()
 		if rerr := srv.send(protocol.MsgReleaseEvent, func(w *protocol.Writer) { w.U64(id) }); rerr != nil {
-			return existing, nil
+			return existing.id, nil
 		}
-		return existing, nil
+		return existing.id, nil
 	}
-	e.replacements[srv] = id
-	needNotify := e.completed && !e.notified[srv]
-	if needNotify {
-		e.notified[srv] = true
-	}
+	e.replacements[srv] = replEntry{id: id, gen: gen}
+	// A replacement re-created after a reconnect must learn the final
+	// status even if an older replacement was already notified.
+	needNotify := e.completed
+	e.notified[srv] = e.completed
 	status := e.final
 	e.mu.Unlock()
 	if needNotify {

@@ -123,16 +123,36 @@ func (q *Queue) BeginRecording() error {
 // CommandBuffer is the client-side finalized recording: the recorded
 // command list plus the compiled coherence footprint, mirrored by a
 // cached graph in the owning daemon's session.
+//
+// Registration is per-daemon and lazy: the graph registers with the
+// daemon owning the queue it replays on, re-registering when the target
+// moves to a different queue or when the daemon lost its cached copy (a
+// re-attach without session retention bumps the server's epoch). That is
+// what lets a replay loop survive a daemon failure — the next
+// EnqueueCommandBuffer on a surviving (or re-attached) queue rebuilds
+// the daemon-side cache from the recording and carries on.
 type CommandBuffer struct {
-	q  *Queue
 	id uint64 // graph ID, shared with the daemon's cache
 
 	mu       sync.Mutex
+	q        *Queue // current replay target
 	cmds     []*recCmd
-	inputs   []*Buffer // buffers that must be valid on the server at entry
-	outputs  []*Buffer // buffers the graph writes (Modified after a replay)
-	readIdx  []int     // indices of read commands, stream order
+	inputs   []*Buffer            // buffers that must be valid on the server at entry
+	outputs  []*Buffer            // buffers the graph writes (Modified after a replay)
+	readIdx  []int                // indices of read commands, stream order
+	reg      map[*Server]graphReg // where (and against which daemon state) the graph is registered
 	released bool
+}
+
+// graphReg records one daemon-side registration of the graph.
+type graphReg struct {
+	epoch uint64 // server epoch at registration: whether the daemon may still cache it
+	// conn is the connection generation the registration was sent on.
+	// MsgRegisterGraph is a one-way frame: it can die with the connection
+	// even when the daemon retains the session, so a registration is only
+	// trusted on the connection that carried it.
+	conn    uint64
+	queueID uint64 // daemon queue the graph was registered against
 }
 
 var _ cl.CommandBuffer = (*CommandBuffer)(nil)
@@ -144,7 +164,9 @@ func (cb *CommandBuffer) NumCommands() int {
 	return len(cb.cmds)
 }
 
-// Release drops the recording and the daemon's cached graph.
+// Release drops the recording and every daemon-side cached copy still
+// current (a daemon that lost its session state already dropped its
+// copy; a dead one cannot be told).
 func (cb *CommandBuffer) Release() error {
 	cb.mu.Lock()
 	if cb.released {
@@ -153,10 +175,21 @@ func (cb *CommandBuffer) Release() error {
 	}
 	cb.released = true
 	cb.cmds = nil
+	regs := cb.reg
+	cb.reg = map[*Server]graphReg{}
 	cb.mu.Unlock()
-	return cb.q.srv.send(protocol.MsgReleaseGraph, func(w *protocol.Writer) {
-		w.U64(cb.id)
-	})
+	var first error
+	for srv, reg := range regs {
+		if !srv.Connected() || reg.epoch != srv.Epoch() {
+			continue
+		}
+		if err := srv.send(protocol.MsgReleaseGraph, func(w *protocol.Writer) {
+			w.U64(cb.id)
+		}); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // compileLocked derives the coherence footprint from the command list:
@@ -240,6 +273,8 @@ func (cb *CommandBuffer) compileLocked() {
 				// Mirrors the eager launch: every buffer argument's range
 				// must be valid on the server; non-read-only arguments are
 				// written. Sub-buffer views scope both to their window.
+				// (Lost MemWriteOnly inputs are tolerated at replay time,
+				// like the eager launch path does.)
 				addInput(a.buf)
 				if !c.k.argInfo[ai].ReadOnly {
 					addOutput(a.buf)
@@ -254,8 +289,7 @@ func (cb *CommandBuffer) compileLocked() {
 // the caller after the registration frame is on the wire); the streams
 // are returned separately so a failed registration send can release
 // them without running the uploads.
-func (cb *CommandBuffer) wireCommandsLocked() ([]protocol.GraphCommand, []func(), []*gcf.Stream) {
-	srv := cb.q.srv
+func (cb *CommandBuffer) wireCommandsLocked(srv *Server) ([]protocol.GraphCommand, []func(), []*gcf.Stream) {
 	wire := make([]protocol.GraphCommand, len(cb.cmds))
 	var uploads []func()
 	var streams []*gcf.Stream
@@ -320,12 +354,38 @@ func (q *Queue) Finalize() (cl.CommandBuffer, error) {
 	if len(cmds) == 0 {
 		return nil, cl.Errf(cl.InvalidValue, "empty recording")
 	}
-	cb := &CommandBuffer{q: q, id: q.ctx.plat.newID(), cmds: cmds}
+	cb := &CommandBuffer{q: q, id: q.ctx.plat.newID(), cmds: cmds, reg: map[*Server]graphReg{}}
 	cb.mu.Lock()
+	defer cb.mu.Unlock()
 	cb.compileLocked()
-	wire, uploads, streams := cb.wireCommandsLocked()
-	cb.mu.Unlock()
-	if err := q.srv.send(protocol.MsgRegisterGraph, func(w *protocol.Writer) {
+	if err := cb.registerLocked(q); err != nil {
+		return nil, err
+	}
+	return cb, nil
+}
+
+// registerLocked registers (or re-registers) the graph with the daemon
+// owning q, shipping the recorded write payloads behind the registration
+// frame; the daemon gates each replayed write on its payload having
+// fully landed. When the daemon still caches an older registration of
+// this graph against a different queue, that copy is released first so
+// the two cannot diverge.
+func (cb *CommandBuffer) registerLocked(q *Queue) error {
+	srv := q.srv
+	if old, ok := cb.reg[srv]; ok && old.epoch == srv.Epoch() {
+		// The daemon may still cache the previous registration (same
+		// epoch: its session state survived); drop it first — the daemon
+		// rejects duplicate graph IDs, and both frames ride the same
+		// ordered connection. Releasing a registration the daemon never
+		// received (it died with its connection) is a logged no-op there.
+		if err := srv.send(protocol.MsgReleaseGraph, func(w *protocol.Writer) {
+			w.U64(cb.id)
+		}); err != nil {
+			return err
+		}
+	}
+	wire, uploads, streams := cb.wireCommandsLocked(srv)
+	if err := srv.send(protocol.MsgRegisterGraph, func(w *protocol.Writer) {
 		protocol.PutRegisterGraph(w, protocol.RegisterGraph{
 			GraphID:  cb.id,
 			QueueID:  q.id,
@@ -337,14 +397,13 @@ func (q *Queue) Finalize() (cl.CommandBuffer, error) {
 		for _, st := range streams {
 			st.Release()
 		}
-		return nil, err
+		return err
 	}
-	// Ship write payloads behind the registration frame; the daemon gates
-	// each replayed write on its payload having fully landed.
 	for _, up := range uploads {
 		go up()
 	}
-	return cb, nil
+	cb.reg[srv] = graphReg{epoch: srv.Epoch(), conn: srv.generation(), queueID: q.id}
+	return nil
 }
 
 // EnqueueCommandBuffer replays a finalized recording: one MsgExecGraph
@@ -357,9 +416,6 @@ func (q *Queue) EnqueueCommandBuffer(b cl.CommandBuffer, updates []cl.CommandUpd
 	if !ok {
 		return nil, cl.Errf(cl.InvalidCommandBuffer, "foreign command buffer")
 	}
-	if cb.q != q {
-		return nil, cl.Errf(cl.InvalidCommandBuffer, "command buffer was recorded on a different queue")
-	}
 	q.mu.Lock()
 	recording := q.rec != nil
 	q.mu.Unlock()
@@ -371,6 +427,29 @@ func (q *Queue) EnqueueCommandBuffer(b cl.CommandBuffer, updates []cl.CommandUpd
 	if cb.released {
 		cb.mu.Unlock()
 		return nil, cl.Errf(cl.InvalidCommandBuffer, "command buffer released")
+	}
+	if q != cb.q {
+		// Replay on a different queue of the same context: the recorded
+		// commands reference context-wide stub IDs, so the graph is
+		// portable — it just needs a registration with the new daemon.
+		// This is the failover path after the recording daemon died.
+		if q.ctx != cb.q.ctx {
+			cb.mu.Unlock()
+			return nil, cl.Errf(cl.InvalidCommandBuffer, "command buffer belongs to a different context")
+		}
+		cb.q = q
+	}
+	if reg, ok := cb.reg[q.srv]; !ok || reg.conn != q.srv.generation() || reg.queueID != q.id {
+		// Not registered with this daemon yet, registered against another
+		// queue, or registered on an earlier connection — the one-way
+		// registration frame may have died with it (and a daemon that
+		// lost its session state certainly dropped the cache; every
+		// epoch bump is also a generation bump): rebuild the daemon-side
+		// cache from the recording.
+		if err := cb.registerLocked(q); err != nil {
+			cb.mu.Unlock()
+			return nil, err
+		}
 	}
 	// Updates are persistent, but only once the exec frame carrying them
 	// is on the wire — the daemon applies its copy when that frame
@@ -432,7 +511,7 @@ func (q *Queue) EnqueueCommandBuffer(b cl.CommandBuffer, updates []cl.CommandUpd
 	// replay's wait list.
 	var gates []*Event
 	for _, in := range inputs {
-		gs, err := in.ensureValidOn(q)
+		gs, err := in.ensureValidAsKernelArg(q)
 		if err != nil {
 			rollbackLocked()
 			return nil, err

@@ -18,8 +18,17 @@ import (
 // testCluster spins up daemons on an in-memory network and returns a
 // connected dOpenCL platform.
 type testCluster struct {
-	net  *simnet.Network
-	plat *Platform
+	net     *simnet.Network
+	plat    *Platform
+	daemons map[string]*daemon.Daemon
+}
+
+// kill crashes the daemon at addr from the network's point of view:
+// every connection involving it (client sessions and peer links) drops.
+// The daemon object keeps running but can no longer be reached.
+func (tc *testCluster) kill(addr string) {
+	tc.net.SeverNode(addr)
+	tc.net.SeverNode(peerAddrOf(addr))
 }
 
 func newTestCluster(t *testing.T, serverDevices map[string][]device.Config) *testCluster {
@@ -49,11 +58,19 @@ func peerAddrOf(addr string) string { return addr + "/peer" }
 // topology (the forwarding fallback).
 func newTestClusterPeers(t *testing.T, link simnet.LinkConfig, peers bool, serverDevices map[string][]device.Config) *testCluster {
 	t.Helper()
+	return newTestClusterRetain(t, link, peers, 0, serverDevices)
+}
+
+// newTestClusterRetain is newTestClusterPeers with daemon-side session
+// retention enabled, for the re-attach tests.
+func newTestClusterRetain(t *testing.T, link simnet.LinkConfig, peers bool, retain time.Duration, serverDevices map[string][]device.Config) *testCluster {
+	t.Helper()
 	nw := simnet.NewNetwork(link)
+	daemons := map[string]*daemon.Daemon{}
 	for addr, cfgs := range serverDevices {
 		addr := addr
 		np := native.NewPlatform("native-"+addr, "test vendor", cfgs)
-		cfg := daemon.Config{Name: addr, Platform: np}
+		cfg := daemon.Config{Name: addr, Platform: np, SessionRetain: retain}
 		if peers {
 			cfg.PeerAddr = peerAddrOf(addr)
 			cfg.PeerDial = func(a string) (net.Conn, error) { return nw.DialFrom(addr, a) }
@@ -62,6 +79,7 @@ func newTestClusterPeers(t *testing.T, link simnet.LinkConfig, peers bool, serve
 		if err != nil {
 			t.Fatalf("daemon %s: %v", addr, err)
 		}
+		daemons[addr] = d
 		l, err := nw.Listen(addr)
 		if err != nil {
 			t.Fatalf("listen %s: %v", addr, err)
@@ -86,7 +104,7 @@ func newTestClusterPeers(t *testing.T, link simnet.LinkConfig, peers bool, serve
 	}
 	dial := func(addr string) (net.Conn, error) { return nw.DialFrom(testClientID, addr) }
 	plat := NewPlatform(Options{Dialer: dial, ClientName: "itest"})
-	return &testCluster{net: nw, plat: plat}
+	return &testCluster{net: nw, plat: plat, daemons: daemons}
 }
 
 func f32bytes(vs []float32) []byte {

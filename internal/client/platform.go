@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dopencl/internal/cl"
 	"dopencl/internal/protocol"
@@ -20,6 +21,14 @@ type Options struct {
 	Dialer Dialer
 	// ClientName identifies this client to servers (defaults to "dopencl-client").
 	ClientName string
+	// HeartbeatInterval / HeartbeatTimeout enable link-liveness probing on
+	// server connections: when no frame arrives for longer than the
+	// timeout the connection is declared dead (cl.ServerLost) even though
+	// the transport never errored — the silent-partition case that would
+	// otherwise hang pipelined one-way enqueues and Finish forever. Zero
+	// disables probing (transport errors still surface immediately).
+	HeartbeatInterval time.Duration
+	HeartbeatTimeout  time.Duration
 }
 
 // Platform is the uniform dOpenCL platform (Section III-E): a self-
@@ -33,6 +42,7 @@ type Platform struct {
 
 	mu      sync.Mutex
 	servers []*Server
+	ctxs    []*Context // live contexts, for the server-down directory sweep
 }
 
 var _ cl.Platform = (*Platform)(nil)
@@ -112,6 +122,76 @@ func (p *Platform) Servers() []*Server {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return append([]*Server(nil), p.servers...)
+}
+
+// registerContext records a live context for the failure sweeps.
+func (p *Platform) registerContext(c *Context) {
+	p.mu.Lock()
+	p.ctxs = append(p.ctxs, c)
+	p.mu.Unlock()
+}
+
+// forgetContext drops a released context from the registry.
+func (p *Platform) forgetContext(c *Context) {
+	p.mu.Lock()
+	p.ctxs = removeFirst(p.ctxs, c)
+	p.mu.Unlock()
+}
+
+// contextsOf snapshots the live contexts that include srv.
+func (p *Platform) contextsOf(srv *Server) []*Context {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []*Context
+	for _, c := range p.ctxs {
+		c.mu.Lock()
+		released := c.released
+		c.mu.Unlock()
+		if released {
+			continue
+		}
+		if _, ok := c.remoteIDs[srv]; ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// serverLost sweeps every context after srv's connection died: buffer
+// ranges whose only valid copy lived on srv become Lost, ranges with
+// surviving holders keep working (re-homed on next use).
+func (p *Platform) serverLost(srv *Server) {
+	for _, c := range p.contextsOf(srv) {
+		for _, b := range c.liveBuffers() {
+			b.handleServerLost(srv)
+		}
+	}
+}
+
+// serverReattached replicates this client's remote objects back onto the
+// re-attached daemon (see Context.resyncServer). It runs BEFORE the
+// server is marked connected: a half-recovered daemon must stay down and
+// retryable.
+func (p *Platform) serverReattached(srv *Server, retained bool) error {
+	for _, c := range p.contextsOf(srv) {
+		if err := c.resyncServer(srv, retained); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// restoreDirectories re-installs the directory claims recorded as lost
+// from srv after a retained re-attach confirmed the daemon kept the
+// data. It runs AFTER the server is marked connected, so a concurrent
+// read either still sees the range as Lost (DataLost) or sees a live
+// Modified holder — never a half-state.
+func (p *Platform) restoreDirectories(srv *Server) {
+	for _, c := range p.contextsOf(srv) {
+		for _, b := range c.liveBuffers() {
+			b.restoreAfterReattach(srv)
+		}
+	}
 }
 
 // ServerInfo describes a connected server (clGetServerInfoWWU).

@@ -32,6 +32,7 @@ type Queue struct {
 	inFlight []*Event  // events of commands pipelined since the last Finish
 	pruneAt  int       // adaptive compaction threshold for inFlight
 	rec      []*recCmd // active graph recording (nil when not recording)
+	released bool
 }
 
 var _ cl.Queue = (*Queue)(nil)
@@ -520,7 +521,7 @@ func (q *Queue) EnqueueNDRangeKernelWithOffset(k cl.Kernel, goffset, global, loc
 	}
 	var gates []*Event
 	for _, buf := range readBufs {
-		gs, err := buf.ensureValidOn(q)
+		gs, err := buf.ensureValidAsKernelArg(q)
 		if err != nil {
 			return nil, err
 		}
@@ -638,8 +639,24 @@ func (q *Queue) Finish() error {
 
 // Release releases the remote queue.
 func (q *Queue) Release() error {
+	q.mu.Lock()
+	q.released = true
+	q.mu.Unlock()
+	q.ctx.forgetQueue(q)
 	_, err := q.srv.call(protocol.MsgReleaseQueue, func(w *protocol.Writer) {
 		w.U64(q.id)
 	})
+	if err != nil && !q.srv.Connected() {
+		// The queue died with its daemon; releasing it is a no-op, and
+		// teardown after a failure must not fail on it.
+		return nil
+	}
 	return err
+}
+
+// isReleased reports whether Release has been called.
+func (q *Queue) isReleased() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.released
 }

@@ -31,10 +31,10 @@ import (
 // Server is a connected dOpenCL server: the client-side handle returned by
 // ConnectServer (the cl_server_WWU of Listing 1).
 type Server struct {
-	plat *Platform
-	addr string
-	name string
-	ep   *gcf.Endpoint
+	plat   *Platform
+	addr   string
+	name   string
+	authID string
 
 	// Peer data-plane capabilities, learned in the Hello exchange:
 	// peerAddr is where other daemons reach this daemon's bulk plane
@@ -53,12 +53,32 @@ type Server struct {
 	recvFrames atomic.Uint64
 
 	mu        sync.Mutex
+	ep        *gcf.Endpoint // swapped on re-attach; epLocked() for use
 	pending   map[uint32]chan *protocol.Envelope
 	hooks     map[uint64]func(cl.CommandStatus) // event ID → completion hook
 	queueErrs map[uint64][]deferredFailure      // queue ID → deferred one-way failures (bounded)
 	badPeers  map[string]bool                   // peer addresses this daemon failed to reach
 	devices   []*Device
 	connected bool
+
+	// Failure/recovery state. sessionID is the daemon-issued session
+	// identity used by the re-attach handshake. epoch counts daemon-side
+	// state losses: it bumps when a re-attach finds the daemon did NOT
+	// retain the session (restart, expiry), telling lazily-registered
+	// state (command graphs) that the daemon-side copy is gone. downErr
+	// records why the connection died; down is closed when it does (and
+	// replaced on re-attach), so blocked paths can select on server death.
+	sessionID uint64
+	epoch     uint64
+	// connGen counts connections (bumps on every successful re-attach,
+	// retained or not): the daemon clears its event table at detach, so
+	// event replacements cached against an older connection are stale and
+	// must be re-created.
+	connGen     uint64
+	downErr     error
+	down        chan struct{}
+	downClosed  bool
+	reattaching bool // a Reattach is in flight; others must not race it
 }
 
 // deferredFailure is a recorded one-way command failure: the error plus
@@ -74,7 +94,11 @@ type deferredFailure struct {
 func (s *Server) Addr() string { return s.addr }
 
 // Name returns the server's self-reported name.
-func (s *Server) Name() string { return s.name }
+func (s *Server) Name() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.name
+}
 
 // Connected reports whether the server connection is alive.
 func (s *Server) Connected() bool {
@@ -95,55 +119,146 @@ func dialServer(p *Platform, addr string, conn net.Conn, authID string) (*Server
 	s := &Server{
 		plat:      p,
 		addr:      addr,
-		ep:        gcf.NewEndpoint(conn, true),
+		authID:    authID,
 		pending:   map[uint32]chan *protocol.Envelope{},
 		hooks:     map[uint64]func(cl.CommandStatus){},
 		queueErrs: map[uint64][]deferredFailure{},
 		badPeers:  map[string]bool{},
+		down:      make(chan struct{}),
+		// The handshake itself must pass the not-connected fast-fail gate
+		// in call/send, like a re-attach handshake does.
+		reattaching: true,
 	}
-	s.ep.Start(s.handleMessage, s.onClose)
+	ep := gcf.NewEndpoint(conn, true)
+	s.mu.Lock()
+	s.ep = ep
+	s.mu.Unlock()
+	s.startEndpoint(ep)
 
 	resp, err := s.call(protocol.MsgHello, func(w *protocol.Writer) {
 		w.String(p.opts.ClientName)
 		w.String(authID)
 	})
 	if err != nil {
-		s.ep.Close()
+		ep.Close()
 		return nil, err
 	}
 	s.name = resp.String()
 	recs := protocol.GetDeviceRecords(resp)
 	s.peerAddr = resp.String()
 	s.canForward = resp.Bool()
+	sessionID := resp.U64()
 	if resp.Err() != nil {
-		s.ep.Close()
+		ep.Close()
 		return nil, cl.Errf(cl.InvalidServer, "malformed hello response from %s", addr)
 	}
 	s.mu.Lock()
 	for _, rec := range recs {
 		s.devices = append(s.devices, &Device{srv: s, unitID: rec.UnitID, info: rec.Info})
 	}
+	s.sessionID = sessionID
 	s.connected = true
+	s.reattaching = false
 	s.mu.Unlock()
 	return s, nil
 }
 
-// onClose marks the server and its devices unavailable and fails all
-// pending calls.
-func (s *Server) onClose(err error) {
+// startEndpoint launches the endpoint's loops wired to this server. The
+// onClose closure captures the endpoint so a stale endpoint's late close
+// (after a re-attach replaced it) cannot tear down the live connection.
+func (s *Server) startEndpoint(ep *gcf.Endpoint) {
+	ep.Start(s.handleMessage, func(err error) { s.onClose(ep, err) })
+	if s.plat.opts.HeartbeatInterval > 0 && s.plat.opts.HeartbeatTimeout > 0 {
+		ep.StartHeartbeat(s.plat.opts.HeartbeatInterval, s.plat.opts.HeartbeatTimeout)
+	}
+}
+
+// onClose is the ServerDown path: it marks the server and its devices
+// unavailable, fails all pending calls and every in-flight command event
+// with cl.ServerLost, and hands the directory sweep to the platform so
+// buffer ranges whose only valid copy lived here become Lost (and ranges
+// with survivors re-home on their next use).
+func (s *Server) onClose(ep *gcf.Endpoint, err error) {
 	s.mu.Lock()
+	if s.ep != ep {
+		// A stale endpoint (replaced by a re-attach) died late.
+		s.mu.Unlock()
+		return
+	}
 	s.connected = false
+	if s.downErr == nil {
+		s.downErr = cl.Errf(cl.ServerLost, "server %s connection lost: %v", s.addr, err)
+	}
 	pend := s.pending
 	s.pending = map[uint32]chan *protocol.Envelope{}
 	hooks := s.hooks
 	s.hooks = map[uint64]func(cl.CommandStatus){}
+	down := s.down
+	downClosed := s.downClosed
+	s.downClosed = true
 	s.mu.Unlock()
 	for _, ch := range pend {
 		close(ch)
 	}
 	for _, hook := range hooks {
-		go hook(cl.CommandStatus(cl.InvalidServer))
+		go hook(cl.CommandStatus(cl.ServerLost))
 	}
+	// Sweep every context's region directory: Modified/Shared claims held
+	// only here become Lost; everything else survives on its remaining
+	// holders. The sweep bumps every span's generation, so the failure
+	// rollbacks running on the hook goroutines above are ownership-guarded
+	// no-ops and cannot resurrect the dead server's claims.
+	s.plat.serverLost(s)
+	// Down closes last: observers of the signal see the sweep's results.
+	if !downClosed {
+		close(down)
+	}
+}
+
+// Down returns a channel closed when the server's connection has died
+// (replaced by a fresh channel on re-attach).
+func (s *Server) Down() <-chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.down
+}
+
+// DownErr reports why the connection died (nil while connected).
+func (s *Server) DownErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.downErr
+}
+
+// Epoch counts daemon-side state losses: it advances when a re-attach
+// finds the daemon did not retain this client's session. Lazily
+// registered state (command graphs) compares epochs to decide whether
+// its daemon-side copy still exists.
+func (s *Server) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// SessionID returns the daemon-issued session identity.
+func (s *Server) SessionID() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sessionID
+}
+
+// generation returns the connection generation (see connGen).
+func (s *Server) generation() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.connGen
+}
+
+// endpoint returns the current gcf endpoint.
+func (s *Server) endpoint() *gcf.Endpoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ep
 }
 
 // handleMessage routes responses to pending calls and dispatches
@@ -209,9 +324,17 @@ func (s *Server) handleMessage(msg []byte) {
 }
 
 // registerHook installs the completion hook for a remote event ID. It must
-// be called before the request that creates the remote event is sent.
+// be called before the request that creates the remote event is sent. A
+// hook registered against a dead server fails immediately with ServerLost
+// — after the close sweep nothing else would ever fire it, and a caller
+// racing the shutdown must not park forever.
 func (s *Server) registerHook(eventID uint64, hook func(cl.CommandStatus)) {
 	s.mu.Lock()
+	if !s.connected {
+		s.mu.Unlock()
+		go hook(cl.CommandStatus(cl.ServerLost))
+		return
+	}
 	s.hooks[eventID] = hook
 	s.mu.Unlock()
 }
@@ -229,27 +352,44 @@ func (s *Server) call(typ protocol.MsgType, fill func(*protocol.Writer)) (*proto
 	id := s.nextReq.Add(1)
 	ch := make(chan *protocol.Envelope, 1)
 	s.mu.Lock()
+	// Down servers fail fast with the typed loss — except while a
+	// Reattach is in flight, whose own handshake and recovery traffic
+	// must pass. (An application call racing that narrow window reaches
+	// the daemon early and gets object-level errors; everything before
+	// and after gets ServerLost.)
+	if !s.connected && !s.reattaching {
+		err := s.downErr
+		if err == nil {
+			err = cl.Errf(cl.ServerLost, "server %s disconnected", s.addr)
+		}
+		s.mu.Unlock()
+		return nil, err
+	}
 	if s.pending == nil {
 		s.mu.Unlock()
-		return nil, cl.Errf(cl.InvalidServer, "server %s disconnected", s.addr)
+		return nil, cl.Errf(cl.ServerLost, "server %s disconnected", s.addr)
 	}
 	s.pending[id] = ch
+	ep := s.ep
 	s.mu.Unlock()
 
 	w := protocol.NewWriter()
 	if fill != nil {
 		fill(w)
 	}
-	if err := s.ep.Send(protocol.EncodeEnvelope(protocol.ClassRequest, id, typ, w)); err != nil {
+	if err := ep.Send(protocol.EncodeEnvelope(protocol.ClassRequest, id, typ, w)); err != nil {
 		s.mu.Lock()
 		delete(s.pending, id)
 		s.mu.Unlock()
-		return nil, cl.Errf(cl.InvalidServer, "send to %s failed: %v", s.addr, err)
+		return nil, s.sendError(err)
 	}
 	s.sentFrames.Add(1)
+	// onClose closes every pending channel, so this receive is bounded by
+	// the ServerDown signal: a dead or silently-partitioned daemon (the
+	// heartbeat path) cannot park a Finish forever.
 	env, ok := <-ch
 	if !ok {
-		return nil, cl.Errf(cl.InvalidServer, "connection to %s lost", s.addr)
+		return nil, cl.Errf(cl.ServerLost, "connection to %s lost", s.addr)
 	}
 	status := cl.ErrorCode(env.Body.I32())
 	if status != cl.Success {
@@ -264,15 +404,39 @@ func (s *Server) call(typ protocol.MsgType, fill func(*protocol.Writer)) (*proto
 // notifications and surface through the command's event or the queue's
 // next Finish. Only local transmission failures are reported here.
 func (s *Server) send(typ protocol.MsgType, fill func(*protocol.Writer)) error {
+	s.mu.Lock()
+	if !s.connected && !s.reattaching {
+		err := s.downErr
+		if err == nil {
+			err = cl.Errf(cl.ServerLost, "server %s disconnected", s.addr)
+		}
+		s.mu.Unlock()
+		return err
+	}
+	ep := s.ep
+	s.mu.Unlock()
 	w := protocol.NewWriter()
 	if fill != nil {
 		fill(w)
 	}
-	if err := s.ep.Send(protocol.EncodeEnvelope(protocol.ClassOneWay, 0, typ, w)); err != nil {
-		return cl.Errf(cl.InvalidServer, "send to %s failed: %v", s.addr, err)
+	if err := ep.Send(protocol.EncodeEnvelope(protocol.ClassOneWay, 0, typ, w)); err != nil {
+		return s.sendError(err)
 	}
 	s.sentFrames.Add(1)
 	return nil
+}
+
+// sendError classifies a transmission failure: once the server is down
+// every send reports the typed ServerLost (recoverable via re-attach);
+// other failures stay generic server errors.
+func (s *Server) sendError(err error) error {
+	s.mu.Lock()
+	down := s.downErr
+	s.mu.Unlock()
+	if down != nil {
+		return down
+	}
+	return cl.Errf(cl.InvalidServer, "send to %s failed: %v", s.addr, err)
 }
 
 // FrameCounts reports the control-plane frames exchanged with this
@@ -328,10 +492,18 @@ func (s *Server) clearQueueError(queueID, eventID uint64) {
 
 // PeerAddr returns the daemon's peer data-plane address ("" when the
 // daemon cannot receive forwards).
-func (s *Server) PeerAddr() string { return s.peerAddr }
+func (s *Server) PeerAddr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.peerAddr
+}
 
 // CanForward reports whether the daemon can originate peer forwards.
-func (s *Server) CanForward() bool { return s.canForward }
+func (s *Server) CanForward() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.canForward
+}
 
 // markPeerUnreachable records that this daemon failed to reach the peer
 // at addr; later coherence transfers toward that peer fall back to the
@@ -351,14 +523,138 @@ func (s *Server) peerReachable(addr string) bool {
 }
 
 // openStream allocates a bulk-data stream on this connection.
-func (s *Server) openStream() *gcf.Stream { return s.ep.OpenStream() }
+func (s *Server) openStream() *gcf.Stream { return s.endpoint().OpenStream() }
 
 // stream resolves an inbound stream by ID.
-func (s *Server) stream(id uint32) *gcf.Stream { return s.ep.Stream(id) }
+func (s *Server) stream(id uint32) *gcf.Stream { return s.endpoint().Stream(id) }
 
-// disconnect closes the connection.
+// disconnect closes the connection deliberately: a goodbye rides ahead
+// of the close so the daemon releases the session immediately instead of
+// retaining it for a re-attach that will never come.
 func (s *Server) disconnect() {
-	s.ep.Close()
+	_ = s.send(protocol.MsgGoodbye, nil)
+	s.endpoint().Close()
+}
+
+// Reattach re-establishes a dead server connection with the
+// MsgAttachSession handshake. It reports whether the daemon retained the
+// session's state:
+//
+//   - retained (the connection blipped but the daemon kept the session
+//     within its retention window): every remote object is still alive,
+//     and buffer ranges recorded as Lost from this server are restored —
+//     the bytes never left the daemon;
+//   - not retained (daemon restarted, or the session expired): the client
+//     re-creates its remote objects (contexts, buffers, programs, kernels,
+//     queues) under their original IDs; buffers start Invalid here, so
+//     Lost ranges stay lost until rewritten, and cached command graphs
+//     re-register lazily on their next replay (epoch bump).
+//
+// In both cases in-flight commands from before the failure are gone —
+// their events already failed with cl.ServerLost.
+func (s *Server) Reattach() (retained bool, err error) {
+	s.mu.Lock()
+	if s.connected {
+		s.mu.Unlock()
+		return false, cl.Errf(cl.InvalidOperation, "server %s is still connected", s.addr)
+	}
+	if s.reattaching {
+		// Two racing Reattach calls would both dial and both send
+		// MsgAttachSession; the first would consume the parked session
+		// and the second would get a fresh empty one, abandoning the
+		// retained state. One attempt at a time.
+		s.mu.Unlock()
+		return false, cl.Errf(cl.InvalidOperation, "server %s reattach already in progress", s.addr)
+	}
+	s.reattaching = true
+	sid := s.sessionID
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.reattaching = false
+		s.mu.Unlock()
+	}()
+
+	conn, err := s.plat.opts.Dialer(s.addr)
+	if err != nil {
+		return false, cl.Errf(cl.ServerLost, "reconnecting to %s: %v", s.addr, err)
+	}
+	ep := gcf.NewEndpoint(conn, true)
+	s.mu.Lock()
+	s.ep = ep
+	s.mu.Unlock()
+	s.startEndpoint(ep)
+
+	resp, err := s.call(protocol.MsgAttachSession, func(w *protocol.Writer) {
+		w.U64(sid)
+		w.String(s.plat.opts.ClientName)
+		w.String(s.authID)
+	})
+	if err != nil {
+		ep.Close()
+		return false, err
+	}
+	name := resp.String()
+	retained = resp.Bool()
+	recs := protocol.GetDeviceRecords(resp)
+	peerAddr := resp.String()
+	canFwd := resp.Bool()
+	newSID := resp.U64()
+	if resp.Err() != nil {
+		ep.Close()
+		return false, cl.Errf(cl.InvalidServer, "malformed attach response from %s", s.addr)
+	}
+	_ = recs // device identities are stable across restarts of a node
+	s.mu.Lock()
+	s.name = name
+	s.peerAddr = peerAddr
+	s.canForward = canFwd
+	s.sessionID = newSID
+	s.badPeers = map[string]bool{}
+	s.queueErrs = map[uint64][]deferredFailure{}
+	s.mu.Unlock()
+	// Recover daemon-side state BEFORE declaring the server connected: a
+	// half-recovered server (some objects missing on the daemon) must
+	// stay down and retryable — once connected, Reattach refuses to run
+	// again until the connection dies.
+	if err := s.plat.serverReattached(s, retained); err != nil {
+		ep.Close()
+		return retained, err
+	}
+	s.mu.Lock()
+	s.connected = true
+	s.downErr = nil
+	s.down = make(chan struct{})
+	s.downClosed = false
+	// The generation (and, on state loss, the epoch) advances only on a
+	// FULLY successful reattach: a handshake whose recovery then failed
+	// left nothing usable behind, and bumping early would strand the loss
+	// records (restoreAfterReattach matches lostConn against the
+	// generation that actually died, i.e. the current one minus one).
+	s.connGen++
+	if !retained {
+		s.epoch++
+	}
+	s.mu.Unlock()
+	// The endpoint may have died again between the handshake completing
+	// and the flags flipping — its onClose already ran and will never run
+	// again, which would leave a permanently "connected" dead server.
+	// Re-check and drive the down path by hand in that case.
+	if ep.Closed() {
+		err := ep.CloseErr()
+		if err == nil {
+			err = cl.Errf(cl.ServerLost, "server %s died during reattach", s.addr)
+		}
+		s.onClose(ep, err)
+		return retained, cl.Errf(cl.ServerLost, "server %s died during reattach: %v", s.addr, err)
+	}
+	if retained {
+		// Only after the server counts as connected again: a restored
+		// Modified claim on a disconnected server would read as "no valid
+		// copy" instead of DataLost in the gap.
+		s.plat.restoreDirectories(s)
+	}
+	return retained, nil
 }
 
 // String identifies the server in logs.

@@ -11,11 +11,14 @@
 package daemon
 
 import (
+	"crypto/rand"
+	"encoding/binary"
 	"fmt"
 	"log"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dopencl/internal/cl"
 	"dopencl/internal/gcf"
@@ -38,6 +41,12 @@ type Config struct {
 	// PeerDial reaches other daemons' peer data planes for outbound
 	// buffer forwarding. Nil disables outbound forwarding.
 	PeerDial func(addr string) (net.Conn, error)
+	// SessionRetain keeps a disconnected client's session state (contexts,
+	// buffers, programs, kernels, queues, cached graphs) alive for this
+	// long after the connection dies, so the client can re-attach with
+	// MsgAttachSession and find its objects — and their data — intact.
+	// Zero tears sessions down immediately on disconnect.
+	SessionRetain time.Duration
 	// Logf receives diagnostics; nil silences them.
 	Logf func(format string, args ...any)
 }
@@ -57,6 +66,15 @@ type Daemon struct {
 	// observability and the session-teardown hygiene tests.
 	graphCount atomic.Int64
 
+	// Session registry for the re-attach handshake: every client session
+	// gets a daemon-issued ID; a session whose connection died is parked
+	// (detached) for SessionRetain before its resources are released, and
+	// MsgAttachSession within that window adopts its object tables onto
+	// the new connection.
+	sessMu   sync.Mutex
+	sessions map[uint64]*session
+	nextSess atomic.Uint64
+
 	// Peer data plane: outbound connection pool plus the rendezvous
 	// tables pairing client-announced AcceptForwards with peer-announced
 	// transfers (either side may arrive first).
@@ -68,6 +86,10 @@ type Daemon struct {
 	fwdEar   map[uint64]earlyTransfer        // token → payload waiting for accept
 	fwdDrop  map[uint64]bool                 // tokens whose payload was dropped
 	fwdDropQ []uint64                        // FIFO over fwdDrop (bounded memory)
+
+	// earlyTimers counts pending early-transfer TTL timers (observability
+	// for the timer-leak regression test).
+	earlyTimers atomic.Int64
 }
 
 // New creates a daemon exposing the platform's devices.
@@ -83,13 +105,14 @@ func New(cfg Config) (*Daemon, error) {
 		return nil, fmt.Errorf("daemon: enumerating devices: %w", err)
 	}
 	d := &Daemon{
-		cfg:     cfg,
-		devices: devs,
-		leases:  map[string]map[uint32]bool{},
-		fwdIn:   map[uint64]*pendingForward{},
-		fwdLive: map[cl.Buffer][]*pendingForward{},
-		fwdEar:  map[uint64]earlyTransfer{},
-		fwdDrop: map[uint64]bool{},
+		cfg:      cfg,
+		devices:  devs,
+		leases:   map[string]map[uint32]bool{},
+		sessions: map[uint64]*session{},
+		fwdIn:    map[uint64]*pendingForward{},
+		fwdLive:  map[cl.Buffer][]*pendingForward{},
+		fwdEar:   map[uint64]earlyTransfer{},
+		fwdDrop:  map[uint64]bool{},
 	}
 	if cfg.PeerDial != nil {
 		d.peers = gcf.NewPool(cfg.PeerDial, gcf.WithHandshake(d.peerHello))
@@ -191,6 +214,183 @@ func (d *Daemon) ServeConn(conn net.Conn) {
 	s.start()
 }
 
+// registerSession issues a session ID and records the session. IDs are
+// cryptographically random, not sequential: the re-attach handshake
+// authenticates by session ID, so a guessable counter (which also
+// resets across daemon restarts) would let one client adopt another's
+// parked session — its buffers included.
+func (d *Daemon) registerSession(s *session) uint64 {
+	for {
+		var raw [8]byte
+		if _, err := rand.Read(raw[:]); err != nil {
+			// Entropy source broken: fall back to a sequential counter.
+			// Sequential IDs are guessable and reset across restarts, so
+			// the re-attach credential degrades to the authID check alone
+			// — log loudly; this should never happen on a sane system.
+			d.logf("daemon %s: WARNING: entropy unavailable (%v), session IDs are sequential", d.cfg.Name, err)
+			return d.registerSessionSeq(s)
+		}
+		id := binary.LittleEndian.Uint64(raw[:])
+		if id == 0 {
+			continue
+		}
+		d.sessMu.Lock()
+		if _, taken := d.sessions[id]; taken {
+			d.sessMu.Unlock()
+			continue
+		}
+		s.id = id
+		d.sessions[id] = s
+		d.sessMu.Unlock()
+		return id
+	}
+}
+
+// registerSessionSeq is the entropy-less fallback of registerSession.
+func (d *Daemon) registerSessionSeq(s *session) uint64 {
+	id := d.nextSess.Add(1)
+	d.sessMu.Lock()
+	s.id = id
+	d.sessions[id] = s
+	d.sessMu.Unlock()
+	return id
+}
+
+// takeDetachedSession claims a parked session for re-attachment: it is
+// removed from the registry and its expiry timer stopped. Returns nil
+// when the ID is unknown, expired, or still attached to a live
+// connection (a live session must not be stealable by ID). A re-attach
+// can outrace the old connection's close notice — the endpoint is
+// already closed but detachSession has not run — so a session whose
+// endpoint is dead gets a bounded grace to finish detaching.
+func (d *Daemon) takeDetachedSession(id uint64) *session {
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		d.sessMu.Lock()
+		s := d.sessions[id]
+		if s == nil {
+			d.sessMu.Unlock()
+			return nil
+		}
+		if s.detached {
+			delete(d.sessions, id)
+			t := s.retireTimer
+			s.retireTimer = nil
+			d.sessMu.Unlock()
+			if t != nil {
+				t.Stop()
+			}
+			return s
+		}
+		ep := s.ep
+		d.sessMu.Unlock()
+		if !ep.Closed() || time.Now().After(deadline) {
+			return nil
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// detachSession parks a session whose connection died. In-flight
+// forwards are cancelled and pending user events failed (a native queue
+// must not stay wedged on a gate nobody can complete any more), but the
+// object tables — and the buffer data in them — survive for
+// SessionRetain so a re-attach finds them. Without retention the
+// session retires immediately.
+func (d *Daemon) detachSession(s *session) {
+	d.dropSessionForwards(s)
+	s.failPendingEvents()
+	retain := d.cfg.SessionRetain
+	s.mu.Lock()
+	if s.noRetain {
+		// The client said goodbye: this is a deliberate exit, and parking
+		// its device allocations for the retention window would just
+		// starve other clients' memory.
+		retain = 0
+	}
+	s.mu.Unlock()
+	d.sessMu.Lock()
+	if d.sessions[s.id] != s {
+		// Already adopted or retired.
+		d.sessMu.Unlock()
+		return
+	}
+	s.detached = true
+	if retain <= 0 {
+		delete(d.sessions, s.id)
+		d.sessMu.Unlock()
+		s.retire()
+		return
+	}
+	s.retireTimer = time.AfterFunc(retain, func() { d.expireSession(s) })
+	d.sessMu.Unlock()
+	d.logf("daemon %s: session %d detached, retained for %s", d.cfg.Name, s.id, retain)
+}
+
+// reparkSession puts a session claimed by takeDetachedSession back into
+// the detached registry (a failed adoption — e.g. wrong credentials —
+// must not cost the rightful owner its state) and re-arms its expiry.
+func (d *Daemon) reparkSession(s *session) {
+	retain := d.cfg.SessionRetain
+	d.sessMu.Lock()
+	if _, taken := d.sessions[s.id]; taken || retain <= 0 {
+		d.sessMu.Unlock()
+		s.retire()
+		return
+	}
+	d.sessions[s.id] = s
+	s.detached = true
+	s.retireTimer = time.AfterFunc(retain, func() { d.expireSession(s) })
+	d.sessMu.Unlock()
+}
+
+// retireIfDetached retires the session immediately if it is currently
+// parked (a goodbye dispatched after the close notice already detached
+// it — the retention window would just strand device memory).
+func (d *Daemon) retireIfDetached(s *session) {
+	d.sessMu.Lock()
+	parked := d.sessions[s.id] == s && s.detached
+	if parked {
+		delete(d.sessions, s.id)
+		if s.retireTimer != nil {
+			s.retireTimer.Stop()
+			s.retireTimer = nil
+		}
+	}
+	d.sessMu.Unlock()
+	if parked {
+		s.retire()
+	}
+}
+
+// expireSession retires a detached session whose retention window ran
+// out without a re-attach.
+func (d *Daemon) expireSession(s *session) {
+	d.sessMu.Lock()
+	if d.sessions[s.id] != s || !s.detached {
+		d.sessMu.Unlock()
+		return
+	}
+	delete(d.sessions, s.id)
+	d.sessMu.Unlock()
+	s.retire()
+	d.logf("daemon %s: session %d expired unclaimed", d.cfg.Name, s.id)
+}
+
+// RetainedSessions reports how many detached sessions are currently
+// parked awaiting re-attachment (tests pin the retention lifecycle).
+func (d *Daemon) RetainedSessions() int {
+	d.sessMu.Lock()
+	defer d.sessMu.Unlock()
+	n := 0
+	for _, s := range d.sessions {
+		if s.detached {
+			n++
+		}
+	}
+	return n
+}
+
 // AttachManager connects the daemon to the device manager in managed mode:
 // it registers the daemon's devices (keyed by selfAddr, the address clients
 // use to reach this daemon) and then serves assignment/revocation messages
@@ -238,6 +438,13 @@ func (d *Daemon) AttachManager(conn net.Conn, selfAddr string) error {
 			resp.I32(int32(cl.Success))
 			if err := ep.Send(protocol.EncodeEnvelope(protocol.ClassResponse, env.ID, env.Type, resp)); err != nil {
 				d.logf("daemon %s: revoke ack failed: %v", d.cfg.Name, err)
+			}
+		case env.Type == protocol.MsgDMPing:
+			// Manager health probe: any timely answer proves liveness.
+			resp := protocol.NewWriter()
+			resp.I32(int32(cl.Success))
+			if err := ep.Send(protocol.EncodeEnvelope(protocol.ClassResponse, env.ID, env.Type, resp)); err != nil {
+				d.logf("daemon %s: ping ack failed: %v", d.cfg.Name, err)
 			}
 		}
 	}, func(error) {

@@ -102,11 +102,17 @@ func (g *forwardGate) tryLand(commit func()) bool {
 }
 
 // earlyTransfer is a peer payload that arrived before its accept: the
-// header plus the connection carrying the (still unread) stream.
+// header plus the connection carrying the (still unread) stream, and the
+// TTL timer that expires the entry if no accept ever claims it. The
+// timer is stopped when the entry retires (matched or expired) — without
+// that, every matched transfer would leave a live 30s timer behind, and
+// a daemon churning thousands of forwards would carry thousands of
+// pending timers at any moment.
 type earlyTransfer struct {
-	ep  *gcf.Endpoint
-	hdr protocol.PeerTransfer
-	at  time.Time
+	ep    *gcf.Endpoint
+	hdr   protocol.PeerTransfer
+	at    time.Time
+	timer *time.Timer
 }
 
 // maxEarlyTransfers bounds the parking table: a peer flooding unmatched
@@ -127,6 +133,12 @@ const maxDroppedTokens = 1024
 
 // CanForward reports whether this daemon can originate peer transfers.
 func (d *Daemon) CanForward() bool { return d.peers != nil }
+
+// PendingEarlyTimers reports the TTL timers currently pending for parked
+// peer payloads. Matched or expired entries stop theirs, so a daemon
+// churning forwards holds timers only for genuinely unmatched payloads
+// (the leak test pins this at zero after a churn).
+func (d *Daemon) PendingEarlyTimers() int { return int(d.earlyTimers.Load()) }
 
 // peerHello is the pool handshake: one one-way frame identifying the
 // dialing daemon, sent before any transfer header.
@@ -223,7 +235,7 @@ func (d *Daemon) registerForward(pf *pendingForward) {
 	d.fwdLive[pf.buf] = append(d.fwdLive[pf.buf], pf)
 	et, early := d.fwdEar[pf.token]
 	if early {
-		delete(d.fwdEar, pf.token)
+		d.retireEarlyLocked(pf.token, et)
 	} else {
 		d.fwdIn[pf.token] = pf
 	}
@@ -275,16 +287,29 @@ func (d *Daemon) matchTransfer(ep *gcf.Endpoint, hdr protocol.PeerTransfer) {
 		d.logf("daemon %s: early-transfer table full, token %d dropped", d.cfg.Name, hdr.Token)
 		return
 	}
-	d.fwdEar[hdr.Token] = earlyTransfer{ep: ep, hdr: hdr, at: time.Now()}
-	d.fwdMu.Unlock()
 	// A timer enforces the TTL even on a daemon with no further forward
 	// traffic (the lazy sweeps in matchTransfer/registerForward only run
-	// on the next rendezvous). At most maxEarlyTransfers timers exist.
-	time.AfterFunc(earlyTransferTTL+time.Second, func() {
+	// on the next rendezvous). It is stopped when the entry retires
+	// early, so matched transfers do not accumulate pending timers. At
+	// most maxEarlyTransfers timers exist.
+	t := time.AfterFunc(earlyTransferTTL+time.Second, func() {
+		d.earlyTimers.Add(-1) // fired: no longer pending
 		d.fwdMu.Lock()
 		d.expireEarlyLocked()
 		d.fwdMu.Unlock()
 	})
+	d.earlyTimers.Add(1)
+	d.fwdEar[hdr.Token] = earlyTransfer{ep: ep, hdr: hdr, at: time.Now(), timer: t}
+	d.fwdMu.Unlock()
+}
+
+// retireEarlyLocked removes a parked payload entry and stops its TTL
+// timer. Callers hold fwdMu.
+func (d *Daemon) retireEarlyLocked(token uint64, et earlyTransfer) {
+	delete(d.fwdEar, token)
+	if et.timer != nil && et.timer.Stop() {
+		d.earlyTimers.Add(-1)
+	}
 }
 
 // dropSessionForwards cancels every pending forward announced by the
@@ -324,7 +349,7 @@ func (d *Daemon) expireEarlyLocked() {
 		if now.Sub(et.at) < earlyTransferTTL {
 			continue
 		}
-		delete(d.fwdEar, token)
+		d.retireEarlyLocked(token, et)
 		d.recordDroppedLocked(token)
 		d.drainStream(et.ep, et.hdr.StreamID)
 		d.logf("daemon %s: early transfer %d expired unmatched", d.cfg.Name, token)

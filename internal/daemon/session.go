@@ -3,6 +3,7 @@ package daemon
 import (
 	"io"
 	"sync"
+	"time"
 
 	"dopencl/internal/cl"
 	"dopencl/internal/gcf"
@@ -12,13 +13,24 @@ import (
 
 // session is one client connection: the daemon-side object tables mapping
 // client stub IDs to native OpenCL objects, plus the request dispatcher.
+// A session survives its connection: when the endpoint dies the session
+// detaches (tables intact) for the daemon's retention window, and a
+// MsgAttachSession on a fresh connection adopts the tables — the client
+// finds its buffers, queues, programs, kernels and cached graphs exactly
+// where it left them.
 type session struct {
 	d  *Daemon
 	ep *gcf.Endpoint
 
+	// Registry state, guarded by d.sessMu.
+	id          uint64
+	detached    bool
+	retireTimer *time.Timer
+
 	mu       sync.Mutex
 	authID   string
 	clientNm string
+	noRetain bool // client said goodbye: retire immediately on close
 	contexts map[uint64]cl.Context
 	queues   map[uint64]cl.Queue
 	buffers  map[uint64]cl.Buffer
@@ -44,6 +56,7 @@ func newSession(d *Daemon, ep *gcf.Endpoint) *session {
 	for i, dev := range d.devices {
 		s.unitDevs[uint32(i)] = dev
 	}
+	d.registerSession(s)
 	return s
 }
 
@@ -51,9 +64,34 @@ func (s *session) start() {
 	s.ep.Start(s.handle, s.onClose)
 }
 
-// onClose releases session resources and reports an unreleased lease to
-// the device manager (abnormal client termination, Section IV-C).
+// onClose detaches the session: the connection is gone, but the object
+// tables survive for the daemon's retention window (a zero window
+// retires immediately, the pre-resilience behaviour).
 func (s *session) onClose(error) {
+	s.d.detachSession(s)
+}
+
+// failPendingEvents completes every still-pending user event (wait-list
+// replacements, forward gates) with ServerLost and clears the event
+// table: with the connection dead nobody can ever complete them, and a
+// native queue command parked on one would wedge the queue — and every
+// later Finish — forever.
+func (s *session) failPendingEvents() {
+	s.mu.Lock()
+	events := s.events
+	s.events = map[uint64]cl.Event{}
+	s.mu.Unlock()
+	for _, ev := range events {
+		if ue, ok := ev.(cl.UserEvent); ok {
+			// Already-completed events reject the status; that is fine.
+			_ = ue.SetStatus(cl.CommandStatus(cl.ServerLost))
+		}
+	}
+}
+
+// retire releases session resources and reports an unreleased lease to
+// the device manager (abnormal client termination, Section IV-C).
+func (s *session) retire() {
 	s.mu.Lock()
 	authID := s.authID
 	queues := make([]cl.Queue, 0, len(s.queues))
@@ -67,7 +105,6 @@ func (s *session) onClose(error) {
 		}
 	}
 	s.releaseGraphs()
-	s.d.dropSessionForwards(s)
 	if authID != "" && s.d.cfg.Managed && s.d.HasLease(authID) {
 		s.d.Revoke(authID)
 		s.d.reportInvalidatedLease(authID)
@@ -223,6 +260,8 @@ func (s *session) handle(msg []byte) {
 	switch env.Type {
 	case protocol.MsgHello:
 		s.handleHello(env.ID, r)
+	case protocol.MsgAttachSession:
+		s.handleAttachSession(env.ID, r)
 	case protocol.MsgGetServerInfo:
 		s.respond(env.ID, env.Type, cl.Success, func(w *protocol.Writer) {
 			w.String(s.d.cfg.Name)
@@ -338,6 +377,16 @@ func (s *session) handleOneWay(env protocol.Envelope) {
 		s.mu.Lock()
 		delete(s.events, eventID)
 		s.mu.Unlock()
+	case protocol.MsgGoodbye:
+		// Deliberate disconnect: no point retaining the session for a
+		// re-attach that will never come. The goodbye can be dispatched
+		// AFTER the connection's close already detached the session (the
+		// close notice runs on the read goroutine, dispatch on its own),
+		// so a session already parked is retired here.
+		s.mu.Lock()
+		s.noRetain = true
+		s.mu.Unlock()
+		s.d.retireIfDetached(s)
 	default:
 		s.d.logf("daemon %s: unsupported one-way message %s", s.d.cfg.Name, env.Type)
 	}
@@ -366,7 +415,76 @@ func (s *session) handleHello(id uint32, r *protocol.Reader) {
 		// bulk plane, and whether it can originate forwards itself.
 		w.String(s.d.cfg.PeerAddr)
 		w.Bool(s.d.CanForward())
+		// Session identity for the re-attach handshake.
+		w.U64(s.id)
 	})
+}
+
+// handleAttachSession re-binds a client to its daemon-side state after
+// the original connection died. When the named session is still parked
+// (retention window), its object tables are adopted onto this connection
+// and retained=true tells the client every remote object — and the data
+// in its buffers — survived. Otherwise this is a fresh, empty session
+// (daemon restarted or the session expired) and the client re-creates
+// its objects.
+func (s *session) handleAttachSession(id uint32, r *protocol.Reader) {
+	sid := r.U64()
+	clientName := r.String()
+	authID := r.String()
+	if r.Err() != nil {
+		s.fail(id, protocol.MsgAttachSession, cl.Errf(cl.InvalidValue, "bad attach"))
+		return
+	}
+	recs, err := s.d.visibleRecords(authID)
+	if err != nil {
+		s.fail(id, protocol.MsgAttachSession, err)
+		return
+	}
+	retained := false
+	if old := s.d.takeDetachedSession(sid); old != nil {
+		// The session ID is the (unguessable, random) credential; the
+		// authentication ID must match on top — a lease holder must not
+		// be able to adopt another client's session even with a leaked ID.
+		old.mu.Lock()
+		oldAuth := old.authID
+		old.mu.Unlock()
+		if oldAuth != authID {
+			s.d.reparkSession(old) // back on the shelf for its rightful owner
+			s.fail(id, protocol.MsgAttachSession, cl.Errf(cl.InvalidServer, "session credentials rejected"))
+			return
+		}
+		// Adopt the parked tables. The old session's endpoint is dead and
+		// its event table was cleared at detach, so nothing still routes
+		// through it.
+		old.mu.Lock()
+		contexts, queues, buffers := old.contexts, old.queues, old.buffers
+		programs, kernels, graphs := old.programs, old.kernels, old.graphs
+		old.contexts = map[uint64]cl.Context{}
+		old.queues = map[uint64]cl.Queue{}
+		old.buffers = map[uint64]cl.Buffer{}
+		old.programs = map[uint64]cl.Program{}
+		old.kernels = map[uint64]cl.Kernel{}
+		old.graphs = map[uint64]*sessGraph{}
+		old.mu.Unlock()
+		s.mu.Lock()
+		s.contexts, s.queues, s.buffers = contexts, queues, buffers
+		s.programs, s.kernels, s.graphs = programs, kernels, graphs
+		s.mu.Unlock()
+		retained = true
+	}
+	s.mu.Lock()
+	s.authID = authID
+	s.clientNm = clientName
+	s.mu.Unlock()
+	s.respond(id, protocol.MsgAttachSession, cl.Success, func(w *protocol.Writer) {
+		w.String(s.d.cfg.Name)
+		w.Bool(retained)
+		protocol.PutDeviceRecords(w, recs)
+		w.String(s.d.cfg.PeerAddr)
+		w.Bool(s.d.CanForward())
+		w.U64(s.id)
+	})
+	s.d.logf("daemon %s: session %d attach (was %d, retained=%v)", s.d.cfg.Name, s.id, sid, retained)
 }
 
 // handleForwardBuffer executes the source half of a peer transfer: read
@@ -542,6 +660,18 @@ func (s *session) handleCreateBuffer(id uint32, r *protocol.Reader) {
 		s.fail(id, protocol.MsgCreateBuffer, cl.Errf(cl.InvalidContext, "unknown context %d", ctxID))
 		return
 	}
+	// Idempotent re-creation: the re-attach recovery replicates every
+	// live buffer without knowing which ones this (possibly retained)
+	// session already holds. An existing buffer of the same size keeps
+	// its contents — recreating it would destroy exactly the data the
+	// retention machinery preserved.
+	s.mu.Lock()
+	existing := s.buffers[bufID]
+	s.mu.Unlock()
+	if existing != nil && existing.Size() == size && streamID == 0 {
+		s.respond(id, protocol.MsgCreateBuffer, cl.Success, nil)
+		return
+	}
 	var host []byte
 	if flags&cl.MemCopyHostPtr != 0 && streamID != 0 {
 		// Initial contents arrive on a gcf stream (the paper's synchronous
@@ -586,8 +716,16 @@ func (s *session) handleCreateProgram(id uint32, r *protocol.Reader) {
 		return
 	}
 	s.mu.Lock()
+	old := s.programs[progID]
 	s.programs[progID] = prog
 	s.mu.Unlock()
+	if old != nil {
+		// Overwrite under the same ID (re-attach recovery replicates all
+		// live programs): release the replaced native object.
+		if rerr := old.Release(); rerr != nil {
+			s.d.logf("daemon %s: replaced program release: %v", s.d.cfg.Name, rerr)
+		}
+	}
 	s.respond(id, protocol.MsgCreateProgram, cl.Success, nil)
 }
 
@@ -637,8 +775,17 @@ func (s *session) handleCreateKernel(id uint32, r *protocol.Reader) {
 		return
 	}
 	s.mu.Lock()
+	old := s.kernels[kernelID]
 	s.kernels[kernelID] = k
 	s.mu.Unlock()
+	if old != nil {
+		// Overwrite under the same ID (re-attach recovery re-creates
+		// kernels): release the replaced native object, or every
+		// re-attach would leak one kernel per kernel.
+		if rerr := old.Release(); rerr != nil {
+			s.d.logf("daemon %s: replaced kernel release: %v", s.d.cfg.Name, rerr)
+		}
+	}
 	s.respond(id, protocol.MsgCreateKernel, cl.Success, func(w *protocol.Writer) {
 		nk := k.(*native.Kernel)
 		protocol.PutArgInfo(w, nk.ArgInfo())

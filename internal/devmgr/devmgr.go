@@ -19,6 +19,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"time"
 
 	"dopencl/internal/cl"
 	"dopencl/internal/gcf"
@@ -58,8 +59,15 @@ type Manager struct {
 	devices []*managedDevice
 	leases  map[string]*lease
 	servers map[string]*serverConn
+	misses  map[string]int // consecutive failed health probes per server
 	sched   Scheduler
 }
+
+// healthMissLimit is how many consecutive probe misses evict a daemon: a
+// single miss can be a transient stall (GC pause, load spike) on a
+// perfectly alive daemon, and eviction is effectively permanent — the
+// daemon does not re-register on its own.
+const healthMissLimit = 2
 
 // Option configures a Manager.
 type Option func(*Manager)
@@ -79,6 +87,7 @@ func New(opts ...Option) *Manager {
 	m := &Manager{
 		leases:  map[string]*lease{},
 		servers: map[string]*serverConn{},
+		misses:  map[string]int{},
 		sched:   LeastLoaded{},
 	}
 	for _, o := range opts {
@@ -187,6 +196,9 @@ func (m *Manager) dropServer(addr string) {
 			delete(sc.pending, id)
 		}
 		sc.mu.Unlock()
+		// Close the connection so an evicted-but-alive daemon observes
+		// the drop instead of believing it is still registered.
+		sc.ep.Close()
 	}
 	m.log("devmgr: server %s dropped", addr)
 }
@@ -258,11 +270,28 @@ func (m *Manager) handleRequest(ep *gcf.Endpoint, env protocol.Envelope) {
 
 // pushAssign sends a DMAssign to the daemon at addr and waits for its ack.
 func (m *Manager) pushAssign(addr, authID string, units []uint64) error {
+	resp, err := m.request(addr, protocol.MsgDMAssign, 0, func(w *protocol.Writer) {
+		w.String(authID)
+		w.U64s(units)
+	})
+	if err != nil {
+		return err
+	}
+	if status := cl.ErrorCode(resp.Body.I32()); status != cl.Success {
+		return cl.Errf(status, "server %s rejected assignment", addr)
+	}
+	return nil
+}
+
+// request performs one request/response exchange with a registered
+// daemon. A positive timeout bounds the wait (health probes must not
+// hang on a silently dead daemon); zero waits until the connection dies.
+func (m *Manager) request(addr string, typ protocol.MsgType, timeout time.Duration, fill func(*protocol.Writer)) (*protocol.Envelope, error) {
 	m.mu.Lock()
 	sc := m.servers[addr]
 	m.mu.Unlock()
 	if sc == nil {
-		return fmt.Errorf("server %s not registered", addr)
+		return nil, fmt.Errorf("server %s not registered", addr)
 	}
 	sc.mu.Lock()
 	sc.nextReq++
@@ -271,19 +300,33 @@ func (m *Manager) pushAssign(addr, authID string, units []uint64) error {
 	sc.pending[id] = ch
 	sc.mu.Unlock()
 	w := protocol.NewWriter()
-	w.String(authID)
-	w.U64s(units)
-	if err := sc.ep.Send(protocol.EncodeEnvelope(protocol.ClassRequest, id, protocol.MsgDMAssign, w)); err != nil {
-		return err
+	if fill != nil {
+		fill(w)
 	}
-	resp := <-ch
-	if resp == nil {
-		return fmt.Errorf("server %s connection lost", addr)
+	if err := sc.ep.Send(protocol.EncodeEnvelope(protocol.ClassRequest, id, typ, w)); err != nil {
+		sc.mu.Lock()
+		delete(sc.pending, id)
+		sc.mu.Unlock()
+		return nil, err
 	}
-	if status := cl.ErrorCode(resp.Body.I32()); status != cl.Success {
-		return cl.Errf(status, "server %s rejected assignment", addr)
+	var deadline <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		deadline = t.C
 	}
-	return nil
+	select {
+	case resp := <-ch:
+		if resp == nil {
+			return nil, fmt.Errorf("server %s connection lost", addr)
+		}
+		return resp, nil
+	case <-deadline:
+		sc.mu.Lock()
+		delete(sc.pending, id)
+		sc.mu.Unlock()
+		return nil, fmt.Errorf("server %s unresponsive after %s", addr, timeout)
+	}
 }
 
 // Assign matches the requests against the free device set and creates a
@@ -379,6 +422,80 @@ func (m *Manager) ReleaseLease(authID string) {
 		}
 	}
 	m.log("devmgr: lease %s released", authID[:8])
+}
+
+// CheckHealth pings every registered daemon and evicts the ones that
+// missed healthMissLimit consecutive probes: their devices leave the
+// free set, so new assignments route around them (in-flight leases on a
+// dead daemon are already invalid — the daemon's client sessions died
+// with it), and their manager connection is closed so the daemon side
+// can observe the eviction. It returns the addresses evicted. A
+// transport-dead daemon is evicted by its connection close without
+// waiting for a probe; the probes catch the silently hung ones.
+func (m *Manager) CheckHealth(timeout time.Duration) []string {
+	m.mu.Lock()
+	addrs := make([]string, 0, len(m.servers))
+	for addr := range m.servers {
+		addrs = append(addrs, addr)
+	}
+	m.mu.Unlock()
+	// Probes run concurrently: sequentially, one hung daemon would delay
+	// detection of every daemon behind it by a full timeout each, and a
+	// periodic sweep could fall permanently behind its interval.
+	failed := make([]bool, len(addrs))
+	var wg sync.WaitGroup
+	for i, addr := range addrs {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			if _, err := m.request(addr, protocol.MsgDMPing, timeout, nil); err != nil {
+				m.log("devmgr: health check failed for %s: %v", addr, err)
+				failed[i] = true
+			}
+		}(i, addr)
+	}
+	wg.Wait()
+	var evicted []string
+	for i, addr := range addrs {
+		if !failed[i] {
+			m.mu.Lock()
+			delete(m.misses, addr)
+			m.mu.Unlock()
+			continue
+		}
+		m.mu.Lock()
+		m.misses[addr]++
+		evict := m.misses[addr] >= healthMissLimit
+		if evict {
+			delete(m.misses, addr)
+		}
+		m.mu.Unlock()
+		if evict {
+			m.dropServer(addr)
+			evicted = append(evicted, addr)
+		}
+	}
+	return evicted
+}
+
+// StartHealthChecks probes all daemons every interval until the returned
+// stop function is called.
+func (m *Manager) StartHealthChecks(interval, timeout time.Duration) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				m.CheckHealth(timeout)
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
 }
 
 // ServerPeerAddr returns the registered daemon's peer data-plane

@@ -1,0 +1,105 @@
+package devmgr
+
+import (
+	"testing"
+	"time"
+
+	"dopencl/internal/daemon"
+	"dopencl/internal/device"
+	"dopencl/internal/native"
+	"dopencl/internal/simnet"
+)
+
+// TestHealthCheckEvictsUnresponsiveDaemon: a daemon whose connection is
+// silently stalled (open, but nothing comes back — the failure the
+// close-notification path cannot see) is evicted by the health probe,
+// its devices leave the free set, and healthy daemons are untouched.
+func TestHealthCheckEvictsUnresponsiveDaemon(t *testing.T) {
+	nw := simnet.NewNetwork(simnet.Unlimited())
+	m := New()
+	ml, err := nw.Listen("devmgr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = m.Serve(ml) }()
+
+	for _, addr := range []string{"h0", "h1"} {
+		plat := native.NewPlatform("native-"+addr, "test", []device.Config{device.TestCPU("cpu-" + addr)})
+		d, err := daemon.New(daemon.Config{Name: addr, Platform: plat, Managed: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn, err := nw.DialFrom(addr, "devmgr")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.AttachManager(conn, addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if free := m.FreeDevices(); free != 2 {
+		t.Fatalf("free devices = %d, want 2", free)
+	}
+
+	// A healthy fleet passes the probe.
+	if evicted := m.CheckHealth(time.Second); len(evicted) != 0 {
+		t.Fatalf("healthy fleet evicted %v", evicted)
+	}
+
+	// Silently stall h1's link in both directions: probes go unanswered.
+	nw.SetExtraDelay("h1", "devmgr", time.Hour)
+	nw.SetExtraDelay("devmgr", "h1", time.Hour)
+
+	// One miss only marks the daemon (transient stalls must not evict a
+	// live daemon permanently); the second consecutive miss evicts.
+	if evicted := m.CheckHealth(100 * time.Millisecond); len(evicted) != 0 {
+		t.Fatalf("single miss evicted %v", evicted)
+	}
+	evicted := m.CheckHealth(100 * time.Millisecond)
+	if len(evicted) != 1 || evicted[0] != "h1" {
+		t.Fatalf("evicted = %v, want [h1]", evicted)
+	}
+	if free := m.FreeDevices(); free != 1 {
+		t.Fatalf("free devices after eviction = %d, want 1", free)
+	}
+	// h0 keeps answering.
+	if evicted := m.CheckHealth(time.Second); len(evicted) != 0 {
+		t.Fatalf("second sweep evicted %v", evicted)
+	}
+}
+
+// TestStartHealthChecksRunsPeriodically: the background loop evicts a
+// stalled daemon without an explicit CheckHealth call.
+func TestStartHealthChecksRunsPeriodically(t *testing.T) {
+	nw := simnet.NewNetwork(simnet.Unlimited())
+	m := New()
+	ml, err := nw.Listen("devmgr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = m.Serve(ml) }()
+	plat := native.NewPlatform("native-p0", "test", []device.Config{device.TestCPU("cpu-p0")})
+	d, err := daemon.New(daemon.Config{Name: "p0", Platform: plat, Managed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := nw.DialFrom("p0", "devmgr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AttachManager(conn, "p0"); err != nil {
+		t.Fatal(err)
+	}
+	stop := m.StartHealthChecks(10*time.Millisecond, 50*time.Millisecond)
+	defer stop()
+
+	nw.SetExtraDelay("p0", "devmgr", time.Hour)
+	nw.SetExtraDelay("devmgr", "p0", time.Hour)
+	deadline := time.Now().Add(5 * time.Second)
+	for m.FreeDevices() != 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if free := m.FreeDevices(); free != 0 {
+		t.Fatalf("background health checks never evicted the stalled daemon (%d devices free)", free)
+	}
+}

@@ -36,6 +36,13 @@ const (
 	maxFrame = 256 << 10
 	// msgChannel is the frame channel carrying messages.
 	msgChannel = uint32(0)
+	// hbChannel is the reserved frame channel carrying heartbeat probes.
+	// Probes never reach handlers or streams; any endpoint answers a ping
+	// with a pong, so only the probing side needs StartHeartbeat.
+	hbChannel = ^uint32(0)
+	// hbPing / hbPong are the 1-byte heartbeat payloads.
+	hbPing = byte(0)
+	hbPong = byte(1)
 	// writeBufLimit caps the outbound coalescing buffer; producers block
 	// (backpressure) once this much data is waiting on the write loop.
 	writeBufLimit = 4 << 20
@@ -46,6 +53,14 @@ const (
 
 // ErrClosed is returned for operations on a closed endpoint.
 var ErrClosed = errors.New("gcf: endpoint closed")
+
+// ErrHeartbeatTimeout shuts an endpoint down when the peer went silent
+// past the heartbeat deadline: the connection is still "open" at the
+// transport level (nothing errored) but the link is effectively dead — a
+// partition, a stalled path, a hung peer. Layers above treat it exactly
+// like a broken connection (the server-down path), which is the point:
+// a silent partition must not hang pipelined one-way sends forever.
+var ErrHeartbeatTimeout = errors.New("gcf: heartbeat timeout")
 
 // Handler consumes an inbound message. Handlers run sequentially on the
 // endpoint's dispatch goroutine, preserving message order.
@@ -79,6 +94,11 @@ type Endpoint struct {
 	closed   atomic.Bool
 	closeErr atomic.Value // error
 	done     chan struct{}
+
+	// lastRecv is the UnixNano timestamp of the most recent inbound frame
+	// of any kind — data, message or heartbeat. The heartbeat prober reads
+	// it to decide whether the link is alive.
+	lastRecv atomic.Int64
 
 	onClose func(error)
 }
@@ -218,6 +238,18 @@ func (e *Endpoint) readLoop() {
 				break
 			}
 		}
+		e.lastRecv.Store(time.Now().UnixNano())
+		if ch == hbChannel {
+			// Answer pings so one probing side suffices; pongs (and any
+			// malformed probe) are liveness evidence by arrival alone.
+			// Non-blocking: the read loop must never park in outbound
+			// backpressure, and a dropped pong just looks like one missed
+			// probe to the peer.
+			if len(payload) == 1 && payload[0] == hbPing {
+				e.tryWriteFrame(hbChannel, []byte{hbPong})
+			}
+			continue
+		}
 		if ch == msgChannel {
 			e.msgMu.Lock()
 			e.msgs = append(e.msgs, payload)
@@ -293,6 +325,73 @@ func (e *Endpoint) shutdown(err error) {
 	}
 }
 
+// StartHeartbeat probes the link every interval and shuts the endpoint
+// down with ErrHeartbeatTimeout when no frame of any kind has arrived for
+// longer than timeout. The peer needs no matching call: every endpoint
+// answers pings automatically, and ordinary traffic counts as liveness
+// (an endpoint mid-bulk-transfer never times out). A timeout shorter
+// than two probe intervals is raised to that — otherwise an idle but
+// healthy link could be declared dead before its first pong is even
+// solicited. Call at most once, after Start.
+func (e *Endpoint) StartHeartbeat(interval, timeout time.Duration) {
+	if interval <= 0 || timeout <= 0 {
+		return
+	}
+	if timeout < 2*interval {
+		timeout = 2 * interval
+	}
+	e.lastRecv.Store(time.Now().UnixNano())
+	go func() {
+		// Probe immediately so the idle check below always measures time
+		// since a solicited pong had a chance to arrive, not since start.
+		// Pings use the non-blocking write: a stalled link fills the
+		// coalescing buffer, and a prober parked in backpressure could
+		// never reach its own deadline check — the exact hang the
+		// heartbeat exists to prevent.
+		e.tryWriteFrame(hbChannel, []byte{hbPing})
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-e.done:
+				return
+			case <-t.C:
+			}
+			idle := time.Since(time.Unix(0, e.lastRecv.Load()))
+			if idle > timeout {
+				e.shutdown(ErrHeartbeatTimeout)
+				return
+			}
+			e.tryWriteFrame(hbChannel, []byte{hbPing})
+		}
+	}()
+}
+
+// tryWriteFrame is writeFrame without the backpressure wait, for tiny
+// control frames (heartbeats): it never blocks and ignores the
+// coalescing-buffer limit — a 9-byte probe per interval cannot meaningfully
+// grow the buffer, while honouring the limit would starve probes on a
+// saturated (but healthy) link and dropping them would declare it dead.
+// Returns false only when the endpoint is closing.
+func (e *Endpoint) tryWriteFrame(ch uint32, payload []byte) bool {
+	if e.closed.Load() {
+		return false
+	}
+	e.wmu.Lock()
+	if e.werr != nil || e.wclosed {
+		e.wmu.Unlock()
+		return false
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], ch)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(payload)))
+	e.wbuf = append(e.wbuf, hdr[:]...)
+	e.wbuf = append(e.wbuf, payload...)
+	e.wcond.Broadcast()
+	e.wmu.Unlock()
+	return true
+}
+
 // Close terminates the connection.
 func (e *Endpoint) Close() error {
 	e.shutdown(ErrClosed)
@@ -301,6 +400,16 @@ func (e *Endpoint) Close() error {
 
 // Done is closed when the endpoint has shut down.
 func (e *Endpoint) Done() <-chan struct{} { return e.done }
+
+// Closed reports whether the endpoint has begun shutting down.
+func (e *Endpoint) Closed() bool { return e.closed.Load() }
+
+// CloseErr returns the error that shut the endpoint down (nil while it
+// is still live).
+func (e *Endpoint) CloseErr() error {
+	err, _ := e.closeErr.Load().(error)
+	return err
+}
 
 // OpenStream allocates a fresh stream ID owned by this side.
 func (e *Endpoint) OpenStream() *Stream {

@@ -1,0 +1,93 @@
+package gcf
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dopencl/internal/simnet"
+)
+
+// TestHeartbeatKeepsHealthyLinkAlive: a probed endpoint over a healthy
+// (but otherwise idle) link must not time out — pongs count as liveness.
+func TestHeartbeatKeepsHealthyLinkAlive(t *testing.T) {
+	ea, eb, cleanup := pair()
+	defer cleanup()
+	ea.Start(func([]byte) {}, nil)
+	eb.Start(func([]byte) {}, nil)
+	ea.StartHeartbeat(5*time.Millisecond, 40*time.Millisecond)
+
+	select {
+	case <-ea.Done():
+		t.Fatalf("healthy idle endpoint shut down: %v", ea.CloseErr())
+	case <-time.After(200 * time.Millisecond):
+	}
+}
+
+// TestHeartbeatDetectsSilentStall: when the link silently stops
+// delivering (no transport error — the case only a heartbeat can catch),
+// the probing endpoint must shut down with ErrHeartbeatTimeout within
+// the configured deadline, unblocking everything parked on it.
+func TestHeartbeatDetectsSilentStall(t *testing.T) {
+	nw := simnet.NewNetwork(simnet.Unlimited())
+	l, err := nw.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		eb := NewEndpoint(conn, false)
+		eb.Start(func([]byte) {}, nil)
+	}()
+	conn, err := nw.DialFrom("cli", "srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea := NewEndpoint(conn, true)
+	closed := make(chan error, 1)
+	ea.Start(func([]byte) {}, func(err error) { closed <- err })
+	ea.StartHeartbeat(5*time.Millisecond, 50*time.Millisecond)
+
+	// Let a few healthy rounds pass, then stall the path silently in both
+	// directions: frames keep "arriving" an hour from now.
+	time.Sleep(20 * time.Millisecond)
+	nw.SetExtraDelay("cli", "srv", time.Hour)
+	nw.SetExtraDelay("srv", "cli", time.Hour)
+
+	select {
+	case err := <-closed:
+		if !errors.Is(err, ErrHeartbeatTimeout) {
+			t.Fatalf("endpoint closed with %v, want ErrHeartbeatTimeout", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("silently stalled endpoint never timed out")
+	}
+}
+
+// TestHeartbeatSurvivesBulkTransfer: ordinary traffic is liveness — a
+// long transfer slower than the probe interval must not be mistaken for
+// a dead link.
+func TestHeartbeatSurvivesBulkTransfer(t *testing.T) {
+	ea, eb, cleanup := pair()
+	defer cleanup()
+	ea.Start(func([]byte) {}, nil)
+	recvd := make(chan []byte, 1024)
+	eb.Start(func(m []byte) { recvd <- m }, nil)
+	ea.StartHeartbeat(2*time.Millisecond, 20*time.Millisecond)
+
+	deadline := time.Now().Add(150 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		if err := ea.Send(make([]byte, 4096)); err != nil {
+			t.Fatalf("send during heartbeat: %v", err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case <-ea.Done():
+		t.Fatalf("endpoint with live traffic shut down: %v", ea.CloseErr())
+	default:
+	}
+}

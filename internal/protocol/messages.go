@@ -42,6 +42,19 @@ const (
 	MsgRegisterGraph // client → daemon: cache a finalized command graph
 	MsgExecGraph     // client → daemon: replay a cached graph (one frame per iteration)
 	MsgReleaseGraph  // client → daemon: drop a cached graph
+	// MsgAttachSession re-attaches a client to a daemon after the original
+	// connection died: the request carries the session ID issued in the
+	// Hello response. A daemon still retaining the detached session adopts
+	// its object tables onto the new connection (buffers, queues, programs,
+	// kernels and cached graphs survive); a daemon that restarted (or
+	// already expired the session) answers with retained=false and a fresh
+	// session, and the client re-creates its objects.
+	MsgAttachSession
+	// MsgGoodbye is a one-way notice that the client is disconnecting on
+	// purpose: the daemon releases the session immediately instead of
+	// retaining it for re-attachment — only abnormal termination pays the
+	// retention cost (parked device memory).
+	MsgGoodbye
 )
 
 // Peer data-plane message types (daemon ↔ daemon). These travel on the
@@ -65,6 +78,7 @@ const (
 	MsgDMAssign                             // manager → daemon
 	MsgDMReleaseLease                       // client/daemon → manager
 	MsgDMRevoke                             // manager → daemon (lease teardown)
+	MsgDMPing                               // manager → daemon health probe
 )
 
 // String returns the message type name for logs and errors.
@@ -85,12 +99,13 @@ func (t MsgType) String() string {
 		MsgGetServerInfo: "GetServerInfo", MsgEventComplete: "EventComplete",
 		MsgForwardBuffer: "ForwardBuffer", MsgAcceptForward: "AcceptForward",
 		MsgRegisterGraph: "RegisterGraph", MsgExecGraph: "ExecGraph",
-		MsgReleaseGraph: "ReleaseGraph",
-		MsgPeerHello:    "PeerHello", MsgPeerTransfer: "PeerTransfer",
+		MsgReleaseGraph: "ReleaseGraph", MsgAttachSession: "AttachSession",
+		MsgGoodbye:   "Goodbye",
+		MsgPeerHello: "PeerHello", MsgPeerTransfer: "PeerTransfer",
 		MsgCommandFailed:    "CommandFailed",
 		MsgDMRegisterServer: "DMRegisterServer", MsgDMRequestDevices: "DMRequestDevices",
 		MsgDMAssign: "DMAssign", MsgDMReleaseLease: "DMReleaseLease",
-		MsgDMRevoke: "DMRevoke",
+		MsgDMRevoke: "DMRevoke", MsgDMPing: "DMPing",
 	}
 	if s, ok := names[t]; ok {
 		return s

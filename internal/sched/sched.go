@@ -38,6 +38,7 @@ package sched
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dopencl/internal/cl"
@@ -98,10 +99,21 @@ type Static struct{}
 
 // Dynamic hands out chunks from a shared cursor; each worker's next
 // chunk scales with its measured throughput relative to the fleet mean.
+//
+// Dynamic also re-plans around failures mid-run: when a worker's device
+// dies (its daemon's connection was lost), the worker's in-flight chunk
+// AND every chunk it already completed are handed back to the survivors
+// — the dead daemon's results are gone with it (the coherence directory
+// marks them Lost), so they must be recomputed, and the rewrites clear
+// the Lost ranges. The launch only fails when no worker survives.
 type Dynamic struct {
 	// Chunk is the base chunk size in work items; 0 picks
 	// Global/(8×workers), at least one work-group.
 	Chunk int
+	// Observer, when set, is called after each completed chunk with the
+	// executing device's name and the chunk bounds. Chaos tests use it to
+	// trigger deterministic mid-run faults.
+	Observer func(device string, s, e int)
 }
 
 // worker is the per-device execution state.
@@ -341,11 +353,28 @@ func (Static) run(ws []*worker, l *Launch, align int) error {
 	return nil
 }
 
+// serverLostErr reports whether an error means the executing device's
+// daemon is gone (connection lost or refused) rather than the launch
+// itself being invalid — the distinction between "re-plan around this
+// worker" and "the program is wrong".
+func serverLostErr(err error) bool {
+	code := cl.CodeOf(err)
+	return code == cl.ServerLost || code == cl.InvalidServer
+}
+
 // run implements dynamic chunk stealing: a shared cursor hands out
 // contiguous chunks; each worker's chunk size scales with its measured
 // throughput relative to the fleet mean (per-device feedback), so a
 // device twice as fast claims chunks twice as big and the idle tail is
 // bounded by one slow-device chunk.
+//
+// Failure re-planning: a worker whose chunk fails with a server-loss
+// error retires and pushes back onto the shared queue both the chunk it
+// was running and every chunk it had completed (the results died with
+// the daemon). Idle workers park on a condition variable instead of
+// exiting while any peer is still busy — that peer may die and requeue
+// work — so the range is complete exactly when the queue is empty and
+// nobody is running.
 func (d Dynamic) run(ws []*worker, l *Launch, align int) error {
 	base := d.Chunk
 	if base <= 0 {
@@ -356,9 +385,14 @@ func (d Dynamic) run(ws []*worker, l *Launch, align int) error {
 	}
 	base = alignUp(base, align, l.Global)
 
+	type rng struct{ s, e int }
 	var mu sync.Mutex
+	cond := sync.NewCond(&mu)
 	next := 0
-	grab := func(w *worker) (int, int) {
+	var requeued []rng // chunks handed back by dead workers
+	busy := 0
+
+	chunkSize := func(w *worker) int {
 		// Feedback-scaled chunk: relative throughput × base.
 		size := base
 		if t := w.tput(); t > 0 {
@@ -376,45 +410,152 @@ func (d Dynamic) run(ws []*worker, l *Launch, align int) error {
 		if size < align {
 			size = align
 		}
-		mu.Lock()
-		defer mu.Unlock()
-		if next >= l.Global {
-			return 0, 0
-		}
-		s := next
-		e := alignUp(s+size, align, l.Global)
-		if e <= s {
-			e = l.Global
-		}
-		next = e
-		return s, e
+		return size
 	}
 
-	var wg sync.WaitGroup
-	errs := make([]error, len(ws))
-	for i, w := range ws {
-		wg.Add(1)
-		go func(i int, w *worker) {
-			defer wg.Done()
-			for {
-				s, e := grab(w)
-				if s >= e {
-					return
-				}
-				start := time.Now()
-				if err := w.launchChunk(l, s, e); err != nil {
-					errs[i] = err
-					return
-				}
-				w.note(e-s, time.Since(start))
+	// grab returns the next chunk, blocking while the queue is empty but
+	// a busy peer could still hand work back. ok=false means the whole
+	// range is done (or abandoned): no work and nobody running.
+	grab := func(w *worker) (rng, bool) {
+		size := chunkSize(w)
+		mu.Lock()
+		defer mu.Unlock()
+		for {
+			if n := len(requeued); n > 0 {
+				r := requeued[n-1]
+				requeued = requeued[:n-1]
+				busy++
+				return r, true
 			}
-		}(i, w)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
+			if next < l.Global {
+				s := next
+				e := alignUp(s+size, align, l.Global)
+				if e <= s {
+					e = l.Global
+				}
+				next = e
+				busy++
+				return rng{s, e}, true
+			}
+			if busy == 0 {
+				return rng{}, false
+			}
+			cond.Wait()
 		}
 	}
-	return nil
+
+	dead := make([]bool, len(ws))
+	doneBy := make([][]rng, len(ws)) // completed chunks, requeued if the worker dies
+	var lastLoss error
+
+	// One round: alive workers drain the queue (cursor + requeued).
+	round := func() error {
+		var wg sync.WaitGroup
+		errs := make([]error, len(ws))
+		alive := int32(0)
+		for i := range ws {
+			if !dead[i] {
+				alive++
+			}
+		}
+		for i, w := range ws {
+			if dead[i] {
+				continue
+			}
+			wg.Add(1)
+			go func(i int, w *worker) {
+				defer wg.Done()
+				for {
+					r, ok := grab(w)
+					if !ok {
+						return
+					}
+					start := time.Now()
+					err := w.launchChunk(l, r.s, r.e)
+					mu.Lock()
+					busy--
+					if err != nil && serverLostErr(err) {
+						// The daemon is gone and took this worker's
+						// results with it: hand everything back and
+						// retire. If this was the last worker the launch
+						// fails with the loss.
+						requeued = append(requeued, r)
+						requeued = append(requeued, doneBy[i]...)
+						doneBy[i] = nil
+						dead[i] = true
+						lastLoss = err
+						if atomic.AddInt32(&alive, -1) == 0 {
+							errs[i] = err
+						}
+						cond.Broadcast()
+						mu.Unlock()
+						return
+					}
+					if err != nil {
+						errs[i] = err
+						cond.Broadcast()
+						mu.Unlock()
+						return
+					}
+					doneBy[i] = append(doneBy[i], r)
+					cond.Broadcast()
+					mu.Unlock()
+					w.note(r.e-r.s, time.Since(start))
+					if d.Observer != nil {
+						d.Observer(w.queue.Device().Name(), r.s, r.e)
+					}
+				}
+			}(i, w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	for {
+		if err := round(); err != nil {
+			return err
+		}
+		// Liveness barrier: a daemon can die AFTER its worker drained its
+		// last chunk — no launch fails, but the results are gone. Each
+		// surviving worker's Finish proves (a) its queue fully executed
+		// and (b) its daemon was alive to answer; a failed Finish
+		// requeues that worker's completed chunks for the next round.
+		anyAlive := false
+		for i, w := range ws {
+			if dead[i] {
+				continue
+			}
+			if err := w.queue.Finish(); err != nil {
+				if !serverLostErr(err) {
+					return err
+				}
+				mu.Lock()
+				requeued = append(requeued, doneBy[i]...)
+				doneBy[i] = nil
+				dead[i] = true
+				lastLoss = err
+				mu.Unlock()
+				continue
+			}
+			anyAlive = true
+		}
+		mu.Lock()
+		pending := len(requeued) > 0 || next < l.Global
+		mu.Unlock()
+		if !pending {
+			return nil
+		}
+		if !anyAlive {
+			if lastLoss != nil {
+				return lastLoss
+			}
+			return cl.Errf(cl.ServerLost, "sched: all workers lost before the range completed")
+		}
+		// Work remains and someone survives: next round drains it.
+	}
 }

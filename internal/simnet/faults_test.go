@@ -1,0 +1,163 @@
+package simnet
+
+import (
+	"io"
+	"testing"
+	"time"
+)
+
+// TestSeverKillsLiveConnsAndBlocksDials: severing a pair drops live
+// connections in both directions and refuses new dials until Heal;
+// healed pairs dial fresh connections while the severed ones stay dead.
+func TestSeverKillsLiveConnsAndBlocksDials(t *testing.T) {
+	nw := NewNetwork(Unlimited())
+	l, err := nw.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := make(chan *Conn, 4)
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			accepted <- c.(*Conn)
+		}
+	}()
+	cli, err := nw.DialFrom("cli", "srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvSide := <-accepted
+	if _, err := cli.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(srvSide, buf); err != nil {
+		t.Fatal(err)
+	}
+
+	nw.Sever("cli", "srv")
+	if _, err := cli.Write([]byte("x")); err == nil {
+		t.Fatal("write on severed conn succeeded")
+	}
+	if _, err := srvSide.Read(buf); err != io.EOF {
+		t.Fatalf("read on severed conn: %v, want EOF", err)
+	}
+	if _, err := nw.DialFrom("cli", "srv"); err == nil {
+		t.Fatal("dial across severed pair succeeded")
+	}
+
+	nw.Heal("cli", "srv")
+	c2, err := nw.DialFrom("cli", "srv")
+	if err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+	if _, err := c2.Write([]byte("again")); err != nil {
+		t.Fatalf("write after heal: %v", err)
+	}
+	// The pre-sever connection stays dead (like a real TCP cut).
+	if _, err := cli.Write([]byte("y")); err == nil {
+		t.Fatal("old severed conn resurrected by heal")
+	}
+}
+
+// TestSeverNodeIsolatesEverything: a node-level sever (daemon crash)
+// drops connections regardless of peer, refuses dials from any caller,
+// and HealNode plus a fresh listener restores service.
+func TestSeverNodeIsolatesEverything(t *testing.T) {
+	nw := NewNetwork(Unlimited())
+	l, err := nw.Listen("node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			if _, err := l.Accept(); err != nil {
+				return
+			}
+		}
+	}()
+	a, err := nw.DialFrom("clientA", "node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := nw.DialFrom("clientB", "node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.SeverNode("node")
+	if _, err := a.Write([]byte("x")); err == nil {
+		t.Fatal("conn A survived node sever")
+	}
+	if _, err := b.Write([]byte("x")); err == nil {
+		t.Fatal("conn B survived node sever")
+	}
+	if _, err := nw.DialFrom("clientC", "node"); err == nil {
+		t.Fatal("dial to severed node succeeded")
+	}
+	l.Close()
+
+	nw.HealNode("node")
+	l2, err := nw.Listen("node")
+	if err != nil {
+		t.Fatalf("relisten after heal: %v", err)
+	}
+	go func() {
+		for {
+			if _, err := l2.Accept(); err != nil {
+				return
+			}
+		}
+	}()
+	if _, err := nw.DialFrom("clientA", "node"); err != nil {
+		t.Fatalf("dial after node heal: %v", err)
+	}
+}
+
+// TestInjectDelayAt: the chunk crossing the armed byte offset — and only
+// it — suffers the extra delay.
+func TestInjectDelayAt(t *testing.T) {
+	nw := NewNetwork(Unlimited())
+	l, err := nw.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := make(chan *Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- c.(*Conn)
+	}()
+	cli, err := nw.DialFrom("cli", "srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvSide := <-accepted
+
+	const spike = 80 * time.Millisecond
+	nw.InjectDelayAt("cli", "srv", 64, spike)
+
+	send := func(n int) time.Duration {
+		start := time.Now()
+		if _, err := cli.Write(make([]byte, n)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := io.ReadFull(srvSide, make([]byte, n)); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	if d := send(32); d > spike/2 {
+		t.Fatalf("pre-spike chunk took %v", d)
+	}
+	if d := send(64); d < spike/2 {
+		t.Fatalf("crossing chunk took %v, want ≥ %v", d, spike/2)
+	}
+	if d := send(32); d > spike/2 {
+		t.Fatalf("post-spike chunk took %v (spike must be one-shot)", d)
+	}
+}

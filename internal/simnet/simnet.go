@@ -114,6 +114,39 @@ type chunk struct {
 // ramp re-arms (a TCP connection going idle loses its congestion window).
 const rampResetIdle = 50 * time.Millisecond
 
+// pairFaults is the shared fault state of one DIRECTED endpoint pair:
+// every connection between the pair consults it on each write, so faults
+// injected at the network level hit live connections, not just future
+// dials. It is the substrate the chaos harness drives — severed links,
+// silent stalls (a large standing extra delay) and one-shot delay spikes
+// that fire when the pair's cumulative byte count crosses an offset.
+type pairFaults struct {
+	severed atomic.Bool
+	// extraNS is a standing extra one-way delay in nanoseconds applied to
+	// every chunk (models a stalled or degraded path; the connection stays
+	// open, which is what heartbeat detection exists for).
+	extraNS atomic.Int64
+	// One-shot delay spike: when cumulative bytes cross spikeAt, the
+	// crossing chunk (and only it) is delayed by spikeNS extra.
+	bytes   atomic.Int64
+	spikeAt atomic.Int64
+	spikeNS atomic.Int64
+}
+
+// spikeDelay advances the pair's byte count by n and returns the extra
+// delay the crossing chunk suffers (0 in the common case).
+func (f *pairFaults) spikeDelay(n int) time.Duration {
+	total := f.bytes.Add(int64(n))
+	extra := time.Duration(f.extraNS.Load())
+	at := f.spikeAt.Load()
+	if at > 0 && total >= at && total-int64(n) < at {
+		if f.spikeAt.CompareAndSwap(at, 0) {
+			extra += time.Duration(f.spikeNS.Load())
+		}
+	}
+	return extra
+}
+
 // half is one direction of a pipe.
 type half struct {
 	mu     sync.Mutex
@@ -128,8 +161,9 @@ type half struct {
 	rampLeft  int       // slow-start bytes remaining at reduced bandwidth
 	lastReady time.Time // end of the previous reservation (ramp reset)
 
-	sent  atomic.Int64  // bytes accepted in this direction (fault budget)
-	stats *atomic.Int64 // optional network-level byte counter
+	sent   atomic.Int64  // bytes accepted in this direction (fault budget)
+	stats  *atomic.Int64 // optional network-level byte counter
+	faults *pairFaults   // optional network-level fault injection
 }
 
 func newHalf(cfg LinkConfig) *half {
@@ -182,6 +216,10 @@ func (h *half) send(p []byte) (int, error) {
 	if h.isClosed() {
 		return 0, io.ErrClosedPipe
 	}
+	if h.faults != nil && h.faults.severed.Load() {
+		h.close()
+		return 0, io.ErrClosedPipe
+	}
 	if h.cfg.FailAfterBytes > 0 {
 		already := h.sent.Load()
 		if already >= h.cfg.FailAfterBytes {
@@ -218,6 +256,9 @@ func (h *half) deliver(p []byte) (int, error) {
 	h.lastReady = slotEnd
 	h.rampMu.Unlock()
 	ready := slotEnd.Add(time.Duration(h.cfg.LatencySec * float64(time.Second) * h.cfg.scale()))
+	if h.faults != nil {
+		ready = ready.Add(h.faults.spikeDelay(len(p)))
+	}
 	buf := make([]byte, len(p))
 	copy(buf, p)
 	h.mu.Lock()
@@ -363,6 +404,8 @@ type Network struct {
 	links     map[string]LinkConfig
 	pairLinks map[[2]string]LinkConfig
 	stats     map[[2]string]*atomic.Int64
+	faults    map[[2]string]*pairFaults
+	conns     map[[2]string][]*Conn // live conns per directed (caller, addr) pair
 	def       LinkConfig
 }
 
@@ -373,6 +416,8 @@ func NewNetwork(def LinkConfig) *Network {
 		links:     map[string]LinkConfig{},
 		pairLinks: map[[2]string]LinkConfig{},
 		stats:     map[[2]string]*atomic.Int64{},
+		faults:    map[[2]string]*pairFaults{},
+		conns:     map[[2]string][]*Conn{},
 		def:       def,
 	}
 }
@@ -404,6 +449,111 @@ func (n *Network) statsFor(from, to string) *atomic.Int64 {
 		n.stats[key] = c
 	}
 	return c
+}
+
+// faultsFor returns the fault state for the directed pair, creating it on
+// first use. Callers hold n.mu.
+func (n *Network) faultsFor(from, to string) *pairFaults {
+	key := [2]string{from, to}
+	f, ok := n.faults[key]
+	if !ok {
+		f = &pairFaults{}
+		n.faults[key] = f
+	}
+	return f
+}
+
+// Sever breaks the link between the two named endpoints in both
+// directions: every live connection between them drops (writers error,
+// readers see the connection die) and new dials are refused until Heal.
+// Like a real cable pull, connections severed while the fault is active
+// stay dead after Heal — only fresh dials succeed.
+func (n *Network) Sever(a, b string) {
+	n.mu.Lock()
+	n.faultsFor(a, b).severed.Store(true)
+	n.faultsFor(b, a).severed.Store(true)
+	var victims []*Conn
+	for _, key := range [][2]string{{a, b}, {b, a}} {
+		victims = append(victims, n.conns[key]...)
+		delete(n.conns, key)
+	}
+	n.mu.Unlock()
+	for _, c := range victims {
+		c.Close()
+	}
+}
+
+// Heal clears a Sever between the two endpoints: new dials succeed again.
+func (n *Network) Heal(a, b string) {
+	n.mu.Lock()
+	n.faultsFor(a, b).severed.Store(false)
+	n.faultsFor(b, a).severed.Store(false)
+	n.mu.Unlock()
+}
+
+// SeverNode isolates one endpoint: every live connection it participates
+// in (as dialer or listener) drops, and dials to or from it are refused
+// until HealNode. The chaos harness uses it to model a daemon crash.
+// Node-level severs are tracked separately from pairwise Sever faults,
+// so HealNode never silently re-opens a link a test cut with Sever(a,b).
+func (n *Network) SeverNode(addr string) {
+	n.mu.Lock()
+	var victims []*Conn
+	for key, cs := range n.conns {
+		if key[0] == addr || key[1] == addr {
+			victims = append(victims, cs...)
+			delete(n.conns, key)
+		}
+	}
+	// The node-level flag lives on the wildcard pair only (checked in
+	// DialFrom for any pair involving addr); pairwise flags stay
+	// untouched. Live conns are closed above, so no per-half flag is
+	// needed to stop their traffic.
+	n.faultsFor(addr, "*").severed.Store(true)
+	n.mu.Unlock()
+	for _, c := range victims {
+		c.Close()
+	}
+}
+
+// HealNode clears a SeverNode: dials involving addr succeed again
+// (pairwise Sever faults, if any, keep their own state).
+func (n *Network) HealNode(addr string) {
+	n.mu.Lock()
+	n.faultsFor(addr, "*").severed.Store(false)
+	n.mu.Unlock()
+}
+
+// nodeSeveredLocked reports whether either endpoint is node-severed.
+func (n *Network) nodeSeveredLocked(a, b string) bool {
+	for _, x := range []string{a, b} {
+		if f, ok := n.faults[[2]string{x, "*"}]; ok && f.severed.Load() {
+			return true
+		}
+	}
+	return false
+}
+
+// SetExtraDelay adds a standing extra one-way delay to every chunk sent
+// from the named endpoint toward addr (0 clears it). The connection stays
+// open — this models a silently degraded or stalled path, the failure
+// mode heartbeats exist to detect.
+func (n *Network) SetExtraDelay(from, to string, d time.Duration) {
+	n.mu.Lock()
+	n.faultsFor(from, to).extraNS.Store(int64(d))
+	n.mu.Unlock()
+}
+
+// InjectDelayAt arms a one-shot delay spike on the directed pair: the
+// chunk whose transmission crosses the given cumulative byte offset
+// (counted from now across all connections of the pair) is delayed by
+// extra on top of the modeled link.
+func (n *Network) InjectDelayAt(from, to string, atBytes int64, extra time.Duration) {
+	n.mu.Lock()
+	f := n.faultsFor(from, to)
+	n.mu.Unlock()
+	f.spikeNS.Store(int64(extra))
+	f.spikeAt.Store(f.bytes.Load() + atBytes)
 }
 
 // BytesSent reports how many bytes have been sent from the named
@@ -456,15 +606,44 @@ func (n *Network) DialFrom(from, addr string) (net.Conn, error) {
 	}
 	fwd := n.statsFor(caller, addr)
 	rev := n.statsFor(addr, caller)
+	ffwd := n.faultsFor(caller, addr)
+	frev := n.faultsFor(addr, caller)
+	severed := ffwd.severed.Load() || frev.severed.Load() || n.nodeSeveredLocked(caller, addr)
 	n.mu.Unlock()
-	if !ok {
+	if !ok || severed {
 		return nil, fmt.Errorf("simnet: connection refused: %s", addr)
 	}
 	client, server := NamedPipe(cfg, caller, addr)
 	client.out.stats = fwd
 	server.out.stats = rev
+	client.out.faults = ffwd
+	server.out.faults = frev
 	select {
 	case l.accept <- server:
+		n.mu.Lock()
+		// Re-check under the registration lock: a SeverNode that ran
+		// between the dial check and here must not leave this conn alive
+		// and untracked.
+		if ffwd.severed.Load() || frev.severed.Load() || n.nodeSeveredLocked(caller, addr) {
+			n.mu.Unlock()
+			client.Close()
+			server.Close()
+			return nil, fmt.Errorf("simnet: connection refused: %s", addr)
+		}
+		key := [2]string{caller, addr}
+		n.conns[key] = append(n.conns[key], client)
+		// Bound the registry: closed conns are pruned lazily here rather
+		// than on every Close (Close is on the data path).
+		if len(n.conns[key]) > 8 {
+			kept := n.conns[key][:0]
+			for _, c := range n.conns[key] {
+				if !c.in.isClosed() || !c.out.isClosed() {
+					kept = append(kept, c)
+				}
+			}
+			n.conns[key] = kept
+		}
+		n.mu.Unlock()
 		return client, nil
 	default:
 		client.Close()
