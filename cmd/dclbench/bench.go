@@ -8,13 +8,16 @@ import (
 	"time"
 
 	"dopencl/internal/apps/mandelbrot"
+	"dopencl/internal/apps/osem"
 	"dopencl/internal/cl"
 	"dopencl/internal/client"
 	"dopencl/internal/daemon"
 	"dopencl/internal/device"
+	"dopencl/internal/kernel"
 	"dopencl/internal/native"
 	"dopencl/internal/sched"
 	"dopencl/internal/simnet"
+	"dopencl/internal/vm"
 )
 
 // Machine-readable micro-benchmark suite (dclbench -bench): a fixed set
@@ -26,10 +29,11 @@ import (
 // benchEntry is one benchmark result. ItersPerS and MBPerS are each
 // present only where meaningful.
 type benchEntry struct {
-	Name     string  `json:"name"`
-	ItersPS  float64 `json:"iters_per_s,omitempty"`
-	MBPerS   float64 `json:"mb_per_s,omitempty"`
-	SpeedupX float64 `json:"speedup_x,omitempty"`
+	Name        string   `json:"name"`
+	ItersPS     float64  `json:"iters_per_s,omitempty"`
+	MBPerS      float64  `json:"mb_per_s,omitempty"`
+	SpeedupX    float64  `json:"speedup_x,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"` // pointer: 0 is meaningful
 }
 
 type benchReport struct {
@@ -41,15 +45,35 @@ type benchReport struct {
 func runBenchSuite(path string) error {
 	var entries []benchEntry
 
-	single, dual, readMBs, err := benchPartitionedMandelbrot()
+	single, dual, readMBs, err := benchPartitionedMandelbrot(false)
 	if err != nil {
 		return fmt.Errorf("partitioned mandelbrot: %w", err)
 	}
+	interpSingle, _, _, err := benchPartitionedMandelbrot(true)
+	if err != nil {
+		return fmt.Errorf("partitioned mandelbrot (interpreter): %w", err)
+	}
 	entries = append(entries,
-		benchEntry{Name: "partitioned_mandelbrot_1daemon", ItersPS: single},
+		benchEntry{Name: "partitioned_mandelbrot_1daemon", ItersPS: single, SpeedupX: single / interpSingle},
+		benchEntry{Name: "partitioned_mandelbrot_1daemon_interp", ItersPS: interpSingle},
 		benchEntry{Name: "partitioned_mandelbrot_2daemons", ItersPS: dual, SpeedupX: dual / single},
 		benchEntry{Name: "partitioned_mandelbrot_stitched_read", MBPerS: readMBs},
 	)
+
+	osemIPS, osemInterpIPS, err := benchOSEMGraphReplay()
+	if err != nil {
+		return fmt.Errorf("osem graph replay: %w", err)
+	}
+	entries = append(entries,
+		benchEntry{Name: "osem_graph_replay", ItersPS: osemIPS, SpeedupX: osemIPS / osemInterpIPS},
+		benchEntry{Name: "osem_graph_replay_interp", ItersPS: osemInterpIPS},
+	)
+
+	allocs, err := benchDispatchAllocs()
+	if err != nil {
+		return fmt.Errorf("dispatch allocs: %w", err)
+	}
+	entries = append(entries, benchEntry{Name: "dispatch_allocs_per_op", AllocsPerOp: &allocs})
 
 	fwdMBs, err := benchForwardedCopy()
 	if err != nil {
@@ -114,99 +138,177 @@ func nDaemonCluster(nw *simnet.Network, n int, cfg device.Config, peers bool) (*
 	return plat, nil
 }
 
-// benchPartitionedMandelbrot measures one Mandelbrot ND-range on one
-// daemon vs split across two (static policy), plus the stitched
-// whole-image read bandwidth.
-func benchPartitionedMandelbrot() (singleIPS, dualIPS, readMBs float64, err error) {
+// benchPartitionedMandelbrot measures one Mandelbrot ND-range on a
+// single-daemon deployment vs split across a two-daemon deployment
+// (static policy), plus the two-daemon stitched whole-image read
+// bandwidth. Each phase runs on a cluster of exactly the size its label
+// claims, so the single-daemon number is not taxed with replication to
+// an idle second daemon. With interp set, the daemons' devices run the
+// cooperative bytecode interpreter instead of the work-group compiler —
+// the baseline for the compiled-vs-interpreter speedup.
+func benchPartitionedMandelbrot(interp bool) (singleIPS, dualIPS, readMBs float64, err error) {
 	const width, height, measured = 512, 512, 4
-	nw := simnet.NewNetwork(simnet.LinkConfig{BandwidthBps: 4e9, LatencySec: 100e-6})
-	modeled := device.Config{
-		Name: "modeled-cpu", Vendor: "bench", Type: cl.DeviceTypeCPU,
-		ComputeUnits: 4, ClockMHz: 2000, GlobalMemSize: 8 << 30,
-		Mode: device.ExecModeled, InstrPerSec: 1.25e9, TimeScale: 1.0,
-	}
-	plat, err := nDaemonCluster(nw, 2, modeled, false)
-	if err != nil {
-		return 0, 0, 0, err
-	}
-	devs, err := plat.Devices(cl.DeviceTypeAll)
-	if err != nil {
-		return 0, 0, 0, err
-	}
-	ctx, err := plat.CreateContext(devs)
-	if err != nil {
-		return 0, 0, 0, err
-	}
-	defer func() {
-		if rerr := ctx.Release(); rerr != nil {
-			_ = rerr
+	runPhase := func(daemons int) (ips, mbs float64, err error) {
+		nw := simnet.NewNetwork(simnet.LinkConfig{BandwidthBps: 4e9, LatencySec: 100e-6})
+		modeled := device.Config{
+			Name: "modeled-cpu", Vendor: "bench", Type: cl.DeviceTypeCPU,
+			ComputeUnits: 4, ClockMHz: 2000, GlobalMemSize: 8 << 30,
+			Mode: device.ExecModeled, InstrPerSec: 1.25e9, TimeScale: 1.0,
+			ForceInterpreter: interp,
 		}
-	}()
-	prog, err := ctx.CreateProgramWithSource(mandelbrot.PartitionedKernelSource)
-	if err != nil {
-		return 0, 0, 0, err
-	}
-	if err := prog.Build(nil, ""); err != nil {
-		return 0, 0, 0, err
-	}
-	workers := make([]sched.Worker, len(devs))
-	for i, d := range devs {
-		q, qerr := ctx.CreateQueue(d)
-		if qerr != nil {
-			return 0, 0, 0, qerr
+		plat, err := nDaemonCluster(nw, daemons, modeled, false)
+		if err != nil {
+			return 0, 0, err
 		}
-		workers[i] = sched.Worker{Queue: q, Weight: 1}
-	}
-	buf, err := ctx.CreateBuffer(cl.MemWriteOnly, 4*width*height, nil)
-	if err != nil {
-		return 0, 0, 0, err
-	}
-	p := mandelbrot.DefaultParams(width, height, 100)
-	dx := (p.XMax - p.XMin) / float64(p.Width)
-	dy := (p.YMax - p.YMin) / float64(p.Height)
-	out := make([]byte, 4*width*height)
-	var readTime time.Duration
-	iteration := func(ws []sched.Worker) error {
-		if _, err := sched.Run(sched.Launch{
-			Program: prog, Kernel: "mandelblock",
-			Args: []any{nil, int32(p.Width), int32(p.Height),
-				float32(p.XMin), float32(p.YMin), float32(dx), float32(dy), int32(p.MaxIter)},
-			Parts:  []sched.Part{{Arg: 0, Buffer: buf, BytesPerItem: 4}},
-			Global: width * height,
-		}, ws, sched.Static{}); err != nil {
-			return err
+		devs, err := plat.Devices(cl.DeviceTypeAll)
+		if err != nil {
+			return 0, 0, err
 		}
-		rs := time.Now()
-		if _, err := ws[0].Queue.EnqueueReadBuffer(buf, true, 0, out, nil); err != nil {
-			return err
+		ctx, err := plat.CreateContext(devs)
+		if err != nil {
+			return 0, 0, err
 		}
-		readTime += time.Since(rs)
-		return nil
-	}
-	phase := func(ws []sched.Worker) (float64, error) {
-		if err := iteration(ws); err != nil { // warm cost model + directory
-			return 0, err
+		defer func() {
+			if rerr := ctx.Release(); rerr != nil {
+				_ = rerr
+			}
+		}()
+		prog, err := ctx.CreateProgramWithSource(mandelbrot.PartitionedKernelSource)
+		if err != nil {
+			return 0, 0, err
 		}
-		if err := iteration(ws); err != nil {
-			return 0, err
+		if err := prog.Build(nil, ""); err != nil {
+			return 0, 0, err
+		}
+		workers := make([]sched.Worker, len(devs))
+		for i, d := range devs {
+			q, qerr := ctx.CreateQueue(d)
+			if qerr != nil {
+				return 0, 0, qerr
+			}
+			workers[i] = sched.Worker{Queue: q, Weight: 1}
+		}
+		buf, err := ctx.CreateBuffer(cl.MemWriteOnly, 4*width*height, nil)
+		if err != nil {
+			return 0, 0, err
+		}
+		p := mandelbrot.DefaultParams(width, height, 100)
+		dx := (p.XMax - p.XMin) / float64(p.Width)
+		dy := (p.YMax - p.YMin) / float64(p.Height)
+		out := make([]byte, 4*width*height)
+		var readTime time.Duration
+		iteration := func() error {
+			if _, err := sched.Run(sched.Launch{
+				Program: prog, Kernel: "mandelblock",
+				Args: []any{nil, int32(p.Width), int32(p.Height),
+					float32(p.XMin), float32(p.YMin), float32(dx), float32(dy), int32(p.MaxIter)},
+				Parts:  []sched.Part{{Arg: 0, Buffer: buf, BytesPerItem: 4}},
+				Global: width * height,
+			}, workers, sched.Static{}); err != nil {
+				return err
+			}
+			rs := time.Now()
+			if _, err := workers[0].Queue.EnqueueReadBuffer(buf, true, 0, out, nil); err != nil {
+				return err
+			}
+			readTime += time.Since(rs)
+			return nil
+		}
+		if err := iteration(); err != nil { // warm cost model + directory
+			return 0, 0, err
+		}
+		if err := iteration(); err != nil {
+			return 0, 0, err
 		}
 		readTime = 0
 		start := time.Now()
 		for i := 0; i < measured; i++ {
-			if err := iteration(ws); err != nil {
-				return 0, err
+			if err := iteration(); err != nil {
+				return 0, 0, err
 			}
 		}
-		return measured / time.Since(start).Seconds(), nil
+		ips = measured / time.Since(start).Seconds()
+		mbs = float64(measured*4*width*height) / readTime.Seconds() / 1e6
+		return ips, mbs, nil
 	}
-	if singleIPS, err = phase(workers[:1]); err != nil {
+	if singleIPS, _, err = runPhase(1); err != nil {
 		return 0, 0, 0, err
 	}
-	if dualIPS, err = phase(workers); err != nil {
+	if dualIPS, readMBs, err = runPhase(2); err != nil {
 		return 0, 0, 0, err
 	}
-	readMBs = float64(measured*4*width*height) / readTime.Seconds() / 1e6
 	return singleIPS, dualIPS, readMBs, nil
+}
+
+// benchOSEMGraphReplay measures list-mode OSEM iterations per second via
+// the recorded command-graph path on a single modeled daemon, compiled
+// engine vs interpreter baseline.
+func benchOSEMGraphReplay() (compiledIPS, interpIPS float64, err error) {
+	run := func(interp bool) (float64, error) {
+		nw := simnet.NewNetwork(simnet.LinkConfig{BandwidthBps: 4e9, LatencySec: 100e-6})
+		modeled := device.Config{
+			Name: "modeled-cpu", Vendor: "bench", Type: cl.DeviceTypeCPU,
+			ComputeUnits: 4, ClockMHz: 2000, GlobalMemSize: 8 << 30,
+			Mode: device.ExecModeled, InstrPerSec: 1.25e9, TimeScale: 1.0,
+			ForceInterpreter: interp,
+		}
+		plat, err := nDaemonCluster(nw, 1, modeled, false)
+		if err != nil {
+			return 0, err
+		}
+		devs, err := plat.Devices(cl.DeviceTypeAll)
+		if err != nil {
+			return 0, err
+		}
+		vol := osem.Volume{NX: 32, NY: 32, NZ: 32}
+		p := osem.Params{
+			Vol:     vol,
+			Events:  osem.SynthesizeEvents(vol, 1<<15, 42),
+			Subsets: 4, Iterations: 2, NSamples: 8,
+		}
+		res, err := osem.ReconstructGraph(plat, devs[0], p)
+		if err != nil {
+			return 0, err
+		}
+		return 1 / res.MeanIteration.Seconds(), nil
+	}
+	if compiledIPS, err = run(false); err != nil {
+		return 0, 0, err
+	}
+	if interpIPS, err = run(true); err != nil {
+		return 0, 0, err
+	}
+	return compiledIPS, interpIPS, nil
+}
+
+// benchDispatchAllocs measures heap allocations per work-group dispatch
+// in the fused execution core — the headline zero-alloc claim. It runs
+// in-process (no daemon) because the probe needs direct VM access.
+func benchDispatchAllocs() (float64, error) {
+	prog, err := kernel.Compile(mandelbrot.PartitionedKernelSource)
+	if err != nil {
+		return 0, err
+	}
+	fn, ok := prog.Kernel("mandelblock")
+	if !ok {
+		return 0, fmt.Errorf("mandelblock kernel not found")
+	}
+	const width, height = 512, 512
+	p := mandelbrot.DefaultParams(width, height, 100)
+	dx := (p.XMax - p.XMin) / float64(p.Width)
+	dy := (p.YMax - p.YMin) / float64(p.Height)
+	out := make([]byte, 4*width*height)
+	return vm.DispatchAllocsPerOp(vm.Launch{
+		Prog: prog, Kernel: fn,
+		Args: []vm.Arg{
+			vm.GlobalArg(out),
+			vm.IntArg(width), vm.IntArg(height),
+			vm.FloatArg(float32(p.XMin)), vm.FloatArg(float32(p.YMin)),
+			vm.FloatArg(float32(dx)), vm.FloatArg(float32(dy)),
+			vm.IntArg(int32(p.MaxIter)),
+		},
+		GlobalSize: []int{width * height},
+	})
 }
 
 // benchForwardedCopy measures a cross-daemon copy whose source range

@@ -13,7 +13,8 @@
 //	dclbench -fig all -quick   # reduced workloads
 //	dclbench -timescale 0.05   # slower, more accurate time compression
 //	dclbench -bench            # machine-readable micro-bench suite →
-//	                           # BENCH_PR4.json (see -benchout)
+//	                           # BENCH_PR6.json (see -benchout)
+//	dclbench -cpuprofile p.out # CPU profile of any of the above
 package main
 
 import (
@@ -21,6 +22,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"dopencl/internal/exp"
 )
@@ -31,9 +34,36 @@ func main() {
 	timescale := flag.Float64("timescale", 0.02, "time compression factor (modeled seconds × factor = real seconds)")
 	verbose := flag.Bool("v", false, "progress logging")
 	bench := flag.Bool("bench", false, "run the micro-benchmark suite and emit machine-readable JSON")
-	benchout := flag.String("benchout", "BENCH_PR4.json", "output path for -bench results")
+	benchout := flag.String("benchout", "BENCH_PR6.json", "output path for -bench results")
 	chaosSmoke := flag.Bool("chaos", false, "run the daemon-failure recovery smoke (mid-run kill + recovery latency)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatalf("dclbench: -cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("dclbench: -cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Printf("dclbench: -memprofile: %v", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Printf("dclbench: -memprofile: %v", err)
+			}
+		}()
+	}
 
 	if *chaosSmoke {
 		if err := runChaosSmoke(); err != nil {

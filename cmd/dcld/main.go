@@ -16,8 +16,13 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"os"
+	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"dopencl/internal/cl"
@@ -71,7 +76,44 @@ func main() {
 	peerListen := flag.String("peer-listen", "", "TCP address for the daemon-to-daemon bulk plane (empty disables forwarding)")
 	peerAddr := flag.String("peer-addr", "", "peer address announced to clients (defaults to -peer-listen)")
 	sessionRetain := flag.Duration("session-retain", 30*time.Second, "how long a disconnected client's session state is kept for re-attachment (0 disables)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (stopped on SIGINT/SIGTERM)")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on SIGINT/SIGTERM")
 	flag.Parse()
+
+	if *cpuprofile != "" || *memprofile != "" {
+		if *cpuprofile != "" {
+			f, err := os.Create(*cpuprofile)
+			if err != nil {
+				log.Fatalf("dcld: -cpuprofile: %v", err)
+			}
+			if err := pprof.StartCPUProfile(f); err != nil {
+				log.Fatalf("dcld: -cpuprofile: %v", err)
+			}
+		}
+		// The daemon serves until killed, so profiles are flushed from a
+		// signal handler rather than a defer.
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+		go func() {
+			s := <-sig
+			if *cpuprofile != "" {
+				pprof.StopCPUProfile()
+			}
+			if *memprofile != "" {
+				if f, err := os.Create(*memprofile); err != nil {
+					log.Printf("dcld: -memprofile: %v", err)
+				} else {
+					runtime.GC()
+					if err := pprof.WriteHeapProfile(f); err != nil {
+						log.Printf("dcld: -memprofile: %v", err)
+					}
+					f.Close()
+				}
+			}
+			log.Printf("dcld: %v: profiles flushed, exiting", s)
+			os.Exit(0)
+		}()
+	}
 
 	cfgs, err := parseDevices(*devices)
 	if err != nil {

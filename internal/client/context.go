@@ -476,6 +476,24 @@ type Program struct {
 	buildLogs map[string]string
 	kernels   []*Kernel // live kernels, for re-attach recovery
 	released  bool
+
+	localOnce sync.Once
+	local     *kernel.Program
+	localErr  error
+}
+
+// localProgram compiles the program source in-process, once. MiniCL
+// compilation is deterministic, so the result matches the objects the
+// daemons built from the same source; it supplies kernel argument
+// metadata without a network round trip.
+func (p *Program) localProgram() (*kernel.Program, error) {
+	p.localOnce.Do(func() {
+		p.local, p.localErr = kernel.Compile(p.src)
+	})
+	if p.localErr != nil {
+		return nil, cl.Errf(cl.BuildProgramFailure, "%v", p.localErr)
+	}
+	return p.local, nil
 }
 
 var _ cl.Program = (*Program)(nil)
@@ -567,14 +585,20 @@ func (p *Program) KernelNames() ([]string, error) {
 	if !built {
 		return nil, cl.Errf(cl.InvalidProgramExec, "program not built")
 	}
-	prog, err := kernel.Compile(p.src)
+	prog, err := p.localProgram()
 	if err != nil {
-		return nil, cl.Errf(cl.BuildProgramFailure, "%v", err)
+		return nil, err
 	}
 	return prog.KernelNames(), nil
 }
 
-// CreateKernel instantiates a compound kernel stub on all servers.
+// CreateKernel instantiates a compound kernel stub on all servers. The
+// argument metadata comes from the client's own deterministic compile of
+// the program source, and the remote creations are pipelined one-way
+// sends: the data-parallel scheduler creates and releases kernels on
+// every launch, and a round trip per server would put N×RTT of pure
+// latency on that hot path. Daemon-side failures (an unknown program
+// after a lost re-attach, say) surface at the next Finish.
 func (p *Program) CreateKernel(name string) (cl.Kernel, error) {
 	p.mu.Lock()
 	built := p.built
@@ -582,7 +606,19 @@ func (p *Program) CreateKernel(name string) (cl.Kernel, error) {
 	if !built {
 		return nil, cl.Errf(cl.InvalidProgramExec, "program not built")
 	}
+	lp, err := p.localProgram()
+	if err != nil {
+		return nil, err
+	}
+	fn, ok := lp.Kernel(name)
+	if !ok {
+		return nil, cl.Errf(cl.InvalidKernelName, "kernel %q not found", name)
+	}
 	k := &Kernel{prog: p, id: p.ctx.plat.newID(), name: name}
+	k.argInfo = fn.Args
+	k.argBufs = make([]*Buffer, len(k.argInfo))
+	k.argSet = make([]bool, len(k.argInfo))
+	k.argWire = make([]wireArg, len(k.argInfo))
 	created := false
 	for _, srv := range p.ctx.servers {
 		// Dead servers are skipped: the re-attach recovery re-creates the
@@ -590,24 +626,17 @@ func (p *Program) CreateKernel(name string) (cl.Kernel, error) {
 		if !srv.Connected() {
 			continue
 		}
-		resp, err := srv.call(protocol.MsgCreateKernel, func(w *protocol.Writer) {
+		if err := srv.send(protocol.MsgCreateKernel, func(w *protocol.Writer) {
 			w.U64(k.id)
 			w.U64(p.id)
 			w.String(name)
-		})
-		if err != nil {
+		}); err != nil {
 			if !srv.Connected() {
 				continue
 			}
 			return nil, err
 		}
-		if !created {
-			created = true
-			k.argInfo = protocol.GetArgInfo(resp)
-			k.argBufs = make([]*Buffer, len(k.argInfo))
-			k.argSet = make([]bool, len(k.argInfo))
-			k.argWire = make([]wireArg, len(k.argInfo))
-		}
+		created = true
 	}
 	if !created {
 		return nil, cl.Errf(cl.ServerLost, "no connected server to create kernel %s", name)
@@ -708,38 +737,30 @@ func (k *Kernel) encodeArg(i int, v any) (wireArg, error) {
 	return wireArg{}, cl.Errf(cl.InvalidArgValue, "argument %d of %s has unsupported kind", i, k.name)
 }
 
-// SetArg binds argument i, replicating to all servers. The replication
-// round trips run in parallel — the data-parallel scheduler rebinds
-// sub-buffer arguments per chunk, so on an N-server lease a serial loop
-// would put N×RTT of pure latency on the co-execution hot path.
-// Disconnected servers are skipped: the binding is recorded locally and
-// replayed by the re-attach recovery, so one dead daemon does not stall
-// launches on the survivors.
+// SetArg binds argument i, replicating to all servers as pipelined
+// one-way sends — the binding is validated against the argument metadata
+// locally, and the daemon applies it in order ahead of any later launch
+// on the same connection. The data-parallel scheduler rebinds sub-buffer
+// arguments per chunk, so a blocking round trip here (even parallel
+// across servers) puts a full RTT of pure latency on every chunk of the
+// co-execution hot path. Disconnected servers are skipped: the binding
+// is recorded locally and replayed by the re-attach recovery, so one
+// dead daemon does not stall launches on the survivors. Daemon-side
+// failures (a released buffer, say) surface at the next Finish.
 func (k *Kernel) SetArg(i int, v any) error {
 	wa, err := k.encodeArg(i, v)
 	if err != nil {
 		return err
 	}
-	servers := k.prog.ctx.servers
-	errs := make([]error, len(servers))
-	var wg sync.WaitGroup
-	for si, srv := range servers {
+	for _, srv := range k.prog.ctx.servers {
 		if !srv.Connected() {
 			continue
 		}
-		wg.Add(1)
-		go func(si int, srv *Server) {
-			defer wg.Done()
-			_, errs[si] = srv.call(protocol.MsgSetKernelArg, func(w *protocol.Writer) {
-				w.U64(k.id)
-				w.U32(uint32(i))
-				wa.put(w)
-			})
-		}(si, srv)
-	}
-	wg.Wait()
-	for si, err := range errs {
-		if err != nil && servers[si].Connected() {
+		if err := srv.send(protocol.MsgSetKernelArg, func(w *protocol.Writer) {
+			w.U64(k.id)
+			w.U32(uint32(i))
+			wa.put(w)
+		}); err != nil && srv.Connected() {
 			return err
 		}
 	}
@@ -813,7 +834,9 @@ func (k *Kernel) bufferBindings() (readBufs, writeBufs []*Buffer, err error) {
 	return readBufs, writeBufs, nil
 }
 
-// Release releases the kernel on all servers.
+// Release releases the kernel on all servers (a pipelined one-way send:
+// the scheduler releases its per-launch kernels on the hot path, and the
+// daemon processes the release in order after the launches that use it).
 func (k *Kernel) Release() error {
 	k.mu.Lock()
 	k.released = true
@@ -821,7 +844,7 @@ func (k *Kernel) Release() error {
 	k.prog.forgetKernel(k)
 	var first error
 	for _, srv := range k.prog.ctx.servers {
-		if _, err := srv.call(protocol.MsgReleaseKernel, func(w *protocol.Writer) {
+		if err := srv.send(protocol.MsgReleaseKernel, func(w *protocol.Writer) {
 			w.U64(k.id)
 		}); err != nil && first == nil && srv.Connected() {
 			first = err

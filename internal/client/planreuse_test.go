@@ -1,0 +1,59 @@
+package client
+
+import (
+	"testing"
+
+	"dopencl/internal/kernel"
+)
+
+// TestGraphReplayReusesCompiledPlans verifies that work-group kernel
+// compilation happens exactly once per kernel on the daemon — at program
+// build — and that graph replays (which clone launch state per frame)
+// reuse the cached plan instead of recompiling. The counter is global,
+// so the test measures deltas around its own operations.
+func TestGraphReplayReusesCompiledPlans(t *testing.T) {
+	_, q, a, _, k := graphTestSetup(t)
+
+	// graphTestSetup already built the program; compilation of its
+	// kernels is done. Record one kernel iteration.
+	before := kernel.WorkGroupCompiles()
+	if err := q.BeginRecording(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.EnqueueWriteBuffer(a, false, 0, f32bytes([]float32{1, 2, 3, 4}), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.EnqueueNDRangeKernel(k, []int{4}, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	cb, err := q.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		ev, err := q.EnqueueCommandBuffer(cb, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ev.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := q.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if got := kernel.WorkGroupCompiles() - before; got != 0 {
+		t.Fatalf("graph record + 3 replays recompiled %d work-group plans, want 0 (plan cache broken)", got)
+	}
+
+	// Direct (non-recorded) launches reuse the same cached plan too.
+	if _, err := q.EnqueueNDRangeKernel(k, []int{4}, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if got := kernel.WorkGroupCompiles() - before; got != 0 {
+		t.Fatalf("direct launch after build recompiled %d plans, want 0", got)
+	}
+}

@@ -634,6 +634,9 @@ func (q *Queue) Finish() error {
 	if derr := q.srv.takeQueueError(q.id); derr != nil {
 		return derr
 	}
+	if serr := q.srv.takeSessionError(); serr != nil {
+		return serr
+	}
 	return err
 }
 

@@ -57,6 +57,7 @@ type Server struct {
 	pending   map[uint32]chan *protocol.Envelope
 	hooks     map[uint64]func(cl.CommandStatus) // event ID → completion hook
 	queueErrs map[uint64][]deferredFailure      // queue ID → deferred one-way failures (bounded)
+	sessErrs  []error                           // queue-less one-way failures (object plane, bounded)
 	badPeers  map[string]bool                   // peer addresses this daemon failed to reach
 	devices   []*Device
 	connected bool
@@ -304,6 +305,12 @@ func (s *Server) handleMessage(msg []byte) {
 			}
 			err := cl.Errf(cl.ErrorCode(f.Status), "%s on %s failed: %s", f.Op, s.addr, f.Msg)
 			s.mu.Lock()
+			if f.QueueID == 0 && f.EventID == 0 && len(s.sessErrs) < 8 {
+				// Object-plane one-way failure (kernel create / set-arg /
+				// release): no queue or event to carry it — surfaced by
+				// the next Finish on any of this server's queues.
+				s.sessErrs = append(s.sessErrs, err)
+			}
 			if f.QueueID != 0 && len(s.queueErrs[f.QueueID]) < 8 {
 				// Keep the first few failures: a blocking caller may clear
 				// its own entry, and that must not drop a concurrent
@@ -459,6 +466,19 @@ func (s *Server) takeQueueError(queueID uint64) error {
 	return fs[0].err
 }
 
+// takeSessionError removes and returns the first deferred queue-less
+// one-way failure (pipelined object-plane commands), if any.
+func (s *Server) takeSessionError() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.sessErrs) == 0 {
+		return nil
+	}
+	err := s.sessErrs[0]
+	s.sessErrs = nil
+	return err
+}
+
 // peekQueueError returns the first deferred failure without consuming it.
 func (s *Server) peekQueueError(queueID uint64) error {
 	s.mu.Lock()
@@ -612,6 +632,7 @@ func (s *Server) Reattach() (retained bool, err error) {
 	s.sessionID = newSID
 	s.badPeers = map[string]bool{}
 	s.queueErrs = map[uint64][]deferredFailure{}
+	s.sessErrs = nil
 	s.mu.Unlock()
 	// Recover daemon-side state BEFORE declaring the server connected: a
 	// half-recovered server (some objects missing on the daemon) must

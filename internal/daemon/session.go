@@ -271,27 +271,27 @@ func (s *session) handle(msg []byte) {
 	case protocol.MsgCreateContext:
 		s.handleCreateContext(env.ID, r)
 	case protocol.MsgReleaseContext:
-		s.handleRelease(env.ID, env.Type, r.U64())
+		s.handleRelease(env.ID, false, env.Type, r.U64())
 	case protocol.MsgCreateQueue:
 		s.handleCreateQueue(env.ID, r)
 	case protocol.MsgReleaseQueue:
-		s.handleRelease(env.ID, env.Type, r.U64())
+		s.handleRelease(env.ID, false, env.Type, r.U64())
 	case protocol.MsgCreateBuffer:
 		s.handleCreateBuffer(env.ID, r)
 	case protocol.MsgReleaseBuffer:
-		s.handleRelease(env.ID, env.Type, r.U64())
+		s.handleRelease(env.ID, false, env.Type, r.U64())
 	case protocol.MsgCreateProgram:
 		s.handleCreateProgram(env.ID, r)
 	case protocol.MsgBuildProgram:
 		s.handleBuildProgram(env.ID, r)
 	case protocol.MsgReleaseProgram:
-		s.handleRelease(env.ID, env.Type, r.U64())
+		s.handleRelease(env.ID, false, env.Type, r.U64())
 	case protocol.MsgCreateKernel:
-		s.handleCreateKernel(env.ID, r)
+		s.handleCreateKernel(env.ID, false, r)
 	case protocol.MsgReleaseKernel:
-		s.handleRelease(env.ID, env.Type, r.U64())
+		s.handleRelease(env.ID, false, env.Type, r.U64())
 	case protocol.MsgSetKernelArg:
-		s.handleSetKernelArg(env.ID, r)
+		s.handleSetKernelArg(env.ID, false, r)
 	case protocol.MsgEnqueueWrite:
 		s.handleEnqueueWrite(env.ID, false, r)
 	case protocol.MsgEnqueueRead:
@@ -325,6 +325,17 @@ func (s *session) handle(msg []byte) {
 func (s *session) handleOneWay(env protocol.Envelope) {
 	r := env.Body
 	switch env.Type {
+	case protocol.MsgCreateKernel:
+		// Pipelined kernel plumbing: the client compiles the program
+		// locally (MiniCL is deterministic) and already has the argument
+		// metadata the response would carry, so creation, argument
+		// binding and release ride the ordered one-way stream and cost
+		// no round trips on the launch hot path.
+		s.handleCreateKernel(0, true, r)
+	case protocol.MsgSetKernelArg:
+		s.handleSetKernelArg(0, true, r)
+	case protocol.MsgReleaseKernel:
+		s.handleRelease(0, true, protocol.MsgReleaseKernel, r.U64())
 	case protocol.MsgEnqueueWrite:
 		s.handleEnqueueWrite(0, true, r)
 	case protocol.MsgEnqueueRead:
@@ -758,7 +769,7 @@ func (s *session) handleBuildProgram(id uint32, r *protocol.Reader) {
 	})
 }
 
-func (s *session) handleCreateKernel(id uint32, r *protocol.Reader) {
+func (s *session) handleCreateKernel(id uint32, oneway bool, r *protocol.Reader) {
 	kernelID := r.U64()
 	progID := r.U64()
 	name := r.String()
@@ -766,12 +777,12 @@ func (s *session) handleCreateKernel(id uint32, r *protocol.Reader) {
 	prog := s.programs[progID]
 	s.mu.Unlock()
 	if prog == nil {
-		s.fail(id, protocol.MsgCreateKernel, cl.Errf(cl.InvalidProgram, "unknown program %d", progID))
+		s.replyErr(id, oneway, protocol.MsgCreateKernel, 0, 0, cl.Errf(cl.InvalidProgram, "unknown program %d", progID))
 		return
 	}
 	k, err := prog.CreateKernel(name)
 	if err != nil {
-		s.fail(id, protocol.MsgCreateKernel, err)
+		s.replyErr(id, oneway, protocol.MsgCreateKernel, 0, 0, err)
 		return
 	}
 	s.mu.Lock()
@@ -786,13 +797,16 @@ func (s *session) handleCreateKernel(id uint32, r *protocol.Reader) {
 			s.d.logf("daemon %s: replaced kernel release: %v", s.d.cfg.Name, rerr)
 		}
 	}
+	if oneway {
+		return
+	}
 	s.respond(id, protocol.MsgCreateKernel, cl.Success, func(w *protocol.Writer) {
 		nk := k.(*native.Kernel)
 		protocol.PutArgInfo(w, nk.ArgInfo())
 	})
 }
 
-func (s *session) handleSetKernelArg(id uint32, r *protocol.Reader) {
+func (s *session) handleSetKernelArg(id uint32, oneway bool, r *protocol.Reader) {
 	kernelID := r.U64()
 	idx := int(r.U32())
 	kind := r.U8()
@@ -800,7 +814,7 @@ func (s *session) handleSetKernelArg(id uint32, r *protocol.Reader) {
 	k := s.kernels[kernelID]
 	s.mu.Unlock()
 	if k == nil {
-		s.fail(id, protocol.MsgSetKernelArg, cl.Errf(cl.InvalidKernel, "unknown kernel %d", kernelID))
+		s.replyErr(id, oneway, protocol.MsgSetKernelArg, 0, 0, cl.Errf(cl.InvalidKernel, "unknown kernel %d", kernelID))
 		return
 	}
 	var err error
@@ -841,10 +855,10 @@ func (s *session) handleSetKernelArg(id uint32, r *protocol.Reader) {
 		err = cl.Errf(cl.InvalidValue, "bad arg kind %d", kind)
 	}
 	if err != nil {
-		s.fail(id, protocol.MsgSetKernelArg, err)
+		s.replyErr(id, oneway, protocol.MsgSetKernelArg, 0, 0, err)
 		return
 	}
-	s.respond(id, protocol.MsgSetKernelArg, cl.Success, nil)
+	s.replyOK(id, oneway, protocol.MsgSetKernelArg)
 }
 
 // setScalarArg binds a raw 64-bit scalar image to argument idx, letting
@@ -935,6 +949,28 @@ func (s *session) handleEnqueueWrite(id uint32, oneway bool, r *protocol.Reader)
 	s.replyOK(id, oneway, protocol.MsgEnqueueWrite)
 }
 
+// readStagePool recycles read-back staging blocks: every read command
+// stages the device data before shipping it on a stream, and on the
+// fast path (one read per compute iteration) a fresh multi-megabyte
+// allocation per read makes the allocator the dominant transfer cost.
+var readStagePool sync.Pool
+
+func getReadStage(size int) []byte {
+	if v := readStagePool.Get(); v != nil {
+		if b := v.([]byte); cap(b) >= size {
+			return b[:size]
+		}
+	}
+	return make([]byte, size)
+}
+
+func putReadStage(b []byte) {
+	if cap(b) >= 1<<32 { // do not pin absurd one-off transfers
+		return
+	}
+	readStagePool.Put(b[:cap(b)])
+}
+
 func (s *session) handleEnqueueRead(id uint32, oneway bool, r *protocol.Reader) {
 	queueID := r.U64()
 	bufID := r.U64()
@@ -979,9 +1015,10 @@ func (s *session) handleEnqueueRead(id uint32, oneway bool, r *protocol.Reader) 
 		failRead(err)
 		return
 	}
-	staged := make([]byte, size)
+	staged := getReadStage(size)
 	ev, err := q.EnqueueReadBuffer(buf, false, offset, staged, waits)
 	if err != nil {
+		putReadStage(staged)
 		failRead(err)
 		return
 	}
@@ -993,6 +1030,9 @@ func (s *session) handleEnqueueRead(id uint32, oneway bool, r *protocol.Reader) 
 				s.d.logf("daemon %s: read-back stream write: %v", s.d.cfg.Name, werr)
 			}
 		}
+		// The endpoint copied the data into its frame buffers; the
+		// staging block is free for the next read-back.
+		putReadStage(staged)
 		if cerr := stream.CloseWrite(); cerr != nil {
 			s.d.logf("daemon %s: read-back stream close: %v", s.d.cfg.Name, cerr)
 		}
@@ -1213,7 +1253,7 @@ func (s *session) handleReleaseEvent(id uint32, r *protocol.Reader) {
 }
 
 // handleRelease releases an object by ID across all tables.
-func (s *session) handleRelease(id uint32, typ protocol.MsgType, objID uint64) {
+func (s *session) handleRelease(id uint32, oneway bool, typ protocol.MsgType, objID uint64) {
 	s.mu.Lock()
 	var err error
 	switch typ {
@@ -1245,8 +1285,8 @@ func (s *session) handleRelease(id uint32, typ protocol.MsgType, objID uint64) {
 	}
 	s.mu.Unlock()
 	if err != nil {
-		s.fail(id, typ, err)
+		s.replyErr(id, oneway, typ, 0, 0, err)
 		return
 	}
-	s.respond(id, typ, cl.Success, nil)
+	s.replyOK(id, oneway, typ)
 }

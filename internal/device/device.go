@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"dopencl/internal/cl"
+	"dopencl/internal/hrtime"
 	"dopencl/internal/kernel"
 	"dopencl/internal/vm"
 )
@@ -58,6 +59,10 @@ type Config struct {
 	SampleGroups int
 	// Workers bounds VM parallelism for ExecReal; zero uses ComputeUnits.
 	Workers int
+	// ForceInterpreter disables the work-group kernel compiler for this
+	// device and runs the cooperative bytecode interpreter instead
+	// (baseline measurements, compiler validation).
+	ForceInterpreter bool
 
 	// Bus is the host↔device transfer model; zero values disable
 	// transfer-time modeling (instantaneous copies).
@@ -129,7 +134,7 @@ func (d *Device) sleepScaled(dur time.Duration) time.Duration {
 	if dur <= 0 {
 		return 0
 	}
-	time.Sleep(time.Duration(float64(dur) * d.cfg.TimeScale))
+	hrtime.Sleep(time.Duration(float64(dur) * d.cfg.TimeScale))
 	return dur
 }
 
@@ -163,6 +168,7 @@ func (d *Device) ChargeTransfer(n int, read bool) time.Duration {
 func (d *Device) Execute(l vm.Launch) (time.Duration, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	l.ForceInterpreter = d.cfg.ForceInterpreter
 	switch d.cfg.Mode {
 	case ExecModeled:
 		return d.executeModeled(l)
@@ -177,17 +183,50 @@ func (d *Device) Execute(l vm.Launch) (time.Duration, error) {
 	}
 }
 
-// costCache caches per-work-item instruction estimates across launches,
-// keyed by (program, kernel). The first launch of a kernel pays the
+// costCache caches instruction-cost estimates across launches, keyed by
+// (program, kernel, engine). The first launch of a kernel pays the
 // sampling cost; later launches (and warmed-up experiment runs) convert
 // work size to time directly. The assumption — one cost profile per
 // kernel of a program — holds for the paper's workloads, where every
-// device runs the same kernel with the same per-item work.
-var costCache sync.Map // costKey → float64 (instructions per work item)
+// device runs the same kernel with the same per-item work. Interpreter
+// and compiled engines execute different instruction currencies (stack
+// bytecode vs fused register IR), so the key separates them: a
+// ForceInterpreter device must never reuse a compiled cost profile.
+var costCache sync.Map // costKey → costEntry
 
 type costKey struct {
-	src  string // program source (stable across re-created program objects)
-	name string
+	src    string // program source (stable across re-created program objects)
+	name   string
+	interp bool // cooperative-interpreter engine (ForceInterpreter)
+}
+
+// costEntry splits the sampled cost into its per-item and per-group
+// components. Fused work-item loops collapse per-item instruction counts
+// so far that the once-per-group prologue is no longer negligible;
+// extrapolating with a single per-item scalar would misestimate launches
+// whose group shape differs from the sampled one.
+type costEntry struct {
+	perItem       float64
+	perGroup      float64
+	itemsPerGroup int
+}
+
+// instructions extrapolates the entry to a launch with the given totals.
+func (e costEntry) instructions(totalItems int) float64 {
+	groups := 1.0
+	if e.itemsPerGroup > 0 {
+		groups = float64(totalItems) / float64(e.itemsPerGroup)
+	}
+	return e.perItem*float64(totalItems) + e.perGroup*groups
+}
+
+func entryFor(stats vm.Stats) costEntry {
+	return costEntry{
+		perItem: float64(stats.Instructions-stats.PrologueInstructions) /
+			float64(stats.GroupsRun*stats.ItemsPerGroup),
+		perGroup:      float64(stats.PrologueInstructions) / float64(stats.GroupsRun),
+		itemsPerGroup: stats.ItemsPerGroup,
+	}
 }
 
 // PrewarmCost compiles src, samples the named kernel over the launch shape
@@ -214,9 +253,11 @@ func PrewarmCost(src, kernelName string, args []vm.Arg, global []int, sampleGrou
 	if err != nil {
 		return 0, err
 	}
-	perItem := float64(stats.Instructions) / float64(stats.GroupsRun*stats.ItemsPerGroup)
-	costCache.Store(costKey{src: src, name: kernelName}, perItem)
-	return perItem, nil
+	entry := entryFor(stats)
+	costCache.Store(costKey{src: src, name: kernelName}, entry)
+	// Effective per-item cost including the amortized per-group share,
+	// preserving the scalar calibration contract of the exp harness.
+	return entry.perItem + entry.perGroup/float64(stats.ItemsPerGroup), nil
 }
 
 // executeModeled estimates the launch's instruction count (via cache or a
@@ -227,12 +268,12 @@ func (d *Device) executeModeled(l vm.Launch) (time.Duration, error) {
 	for _, g := range l.GlobalSize {
 		totalItems *= g
 	}
-	key := costKey{src: l.Prog.Source, name: l.Kernel.Name}
+	key := costKey{src: l.Prog.Source, name: l.Kernel.Name, interp: l.ForceInterpreter}
 	if v, ok := costCache.Load(key); ok {
 		if rate <= 0 {
 			return 0, nil
 		}
-		dur := time.Duration(v.(float64) * float64(totalItems) / rate * float64(time.Second))
+		dur := time.Duration(v.(costEntry).instructions(totalItems) / rate * float64(time.Second))
 		return d.sleepScaled(dur), nil
 	}
 
@@ -247,14 +288,14 @@ func (d *Device) executeModeled(l vm.Launch) (time.Duration, error) {
 	if stats.GroupsRun == 0 || rate <= 0 {
 		return 0, nil
 	}
-	perItem := float64(stats.Instructions) / float64(stats.GroupsRun*stats.ItemsPerGroup)
-	costCache.Store(key, perItem)
-	dur := time.Duration(perItem * float64(totalItems) / rate * float64(time.Second))
+	entry := entryFor(stats)
+	costCache.Store(key, entry)
+	dur := time.Duration(entry.instructions(totalItems) / rate * float64(time.Second))
 	// The sampling run itself consumed wall-clock time; count it against
 	// the modeled duration so a cold first launch is not charged twice.
 	scaled := time.Duration(float64(dur) * d.cfg.TimeScale)
 	if elapsed := time.Since(start); elapsed < scaled {
-		time.Sleep(scaled - elapsed)
+		hrtime.Sleep(scaled - elapsed)
 	}
 	return dur, nil
 }

@@ -51,6 +51,14 @@ const (
 	closeFlushTimeout = 5 * time.Second
 )
 
+// framePool recycles inbound stream-frame buffers. Bulk transfers chop
+// data into maxFrame frames; without pooling every frame is a fresh
+// quarter-megabyte allocation that lives exactly as long as one copy
+// into the consumer's buffer, and the allocator + GC churn dominates
+// single-core transfer cost. Only stream frames are pooled — message
+// frames hand their payload to the protocol layer, which retains it.
+var framePool = sync.Pool{New: func() any { return make([]byte, maxFrame) }}
+
 // ErrClosed is returned for operations on a closed endpoint.
 var ErrClosed = errors.New("gcf: endpoint closed")
 
@@ -232,9 +240,18 @@ func (e *Endpoint) readLoop() {
 			err = fmt.Errorf("gcf: oversized frame (%d bytes)", n)
 			break
 		}
-		payload := make([]byte, n)
+		var payload []byte
+		pooled := ch != msgChannel && ch != hbChannel && n > 0
+		if pooled {
+			payload = framePool.Get().([]byte)[:n]
+		} else {
+			payload = make([]byte, n)
+		}
 		if n > 0 {
 			if _, err = io.ReadFull(e.conn, payload); err != nil {
+				if pooled {
+					framePool.Put(payload[:maxFrame])
+				}
 				break
 			}
 		}
@@ -517,6 +534,9 @@ func (s *Stream) Read(p []byte) (int, error) {
 		if s.offset == len(c) {
 			s.chunks = s.chunks[1:]
 			s.offset = 0
+			if cap(c) == maxFrame {
+				framePool.Put(c[:maxFrame])
+			}
 		}
 	}
 	return n, nil

@@ -1,0 +1,48 @@
+// Package hrtime provides a high-resolution sleep for the simulation
+// layers. The modeled testbed calibrates durations in microseconds
+// (link latency, modeled kernel time, transfer pacing), but time.Sleep
+// rounds up to the OS timer tick — commonly a millisecond or more under
+// virtualization — so every modeled wait silently gains a fixed tax
+// that dwarfs the durations being modeled. Sleep burns the bulk of a
+// wait on the coarse timer and yield-spins the tail, keeping modeled
+// durations accurate to tens of microseconds at a bounded CPU cost.
+package hrtime
+
+import (
+	"runtime"
+	"time"
+)
+
+// spinTail is the window before the deadline that is spun rather than
+// slept. It must exceed the worst observed time.Sleep overshoot (one to
+// two scheduler ticks) or the sleep below it blows through the deadline;
+// it bounds the CPU burned per wait.
+const spinTail = 2 * time.Millisecond
+
+// Sleep pauses the calling goroutine for at least d, with
+// sub-tick accuracy for short durations.
+func Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	SleepUntil(time.Now().Add(d))
+}
+
+// SleepUntil pauses the calling goroutine until the deadline, using the
+// coarse timer for all but the final spinTail and yielding-spinning the
+// remainder.
+func SleepUntil(deadline time.Time) {
+	for {
+		rem := time.Until(deadline)
+		if rem <= 0 {
+			return
+		}
+		if rem <= spinTail {
+			break
+		}
+		time.Sleep(rem - spinTail)
+	}
+	for time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
+}

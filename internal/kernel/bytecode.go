@@ -3,6 +3,7 @@ package kernel
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Op is a bytecode opcode. The VM in internal/vm is a stack machine over
@@ -159,6 +160,11 @@ type Func struct {
 	NumLocals  int       // total local slots including parameters
 	Code       []Instr
 	HasBarrier bool
+
+	// Cached work-group compilation (see lower.go). Populated lazily by
+	// Program.WorkGroup; zero after gob decode, which simply recompiles.
+	wgOnce sync.Once
+	wgPlan *WGFunc
 }
 
 // Program is a compiled MiniCL translation unit. The constant pool stores

@@ -1,0 +1,817 @@
+package kernel
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Work-group lowering: translate a kernel's stack bytecode into the
+// register IR (ir.go) so internal/vm can run the whole work-group as
+// fused work-item loops instead of dispatching items one at a time.
+//
+// The translator simulates the operand stack symbolically: every push is
+// a register (or constant-pool reference), so stack traffic disappears
+// entirely. Helper calls are inlined. Control-flow merge points
+// canonicalise the symbolic stack into fixed per-depth registers so both
+// edges agree on where values live. Kernels the translator cannot prove
+// safe (recursion, barriers under non-uniform control flow, dynamic
+// work-item dimension queries, ...) are reported as fallbacks and keep
+// running on the cooperative interpreter.
+
+const (
+	lowerMaxDepth = 32    // inline depth cap
+	lowerMaxIR    = 50000 // emitted instruction cap
+)
+
+var wgCompiles atomic.Uint64
+
+// WorkGroupCompiles reports how many work-group compilations have run in
+// this process. Tests use the delta to prove plans are cached and reused
+// across graph replays and daemon chunks.
+func WorkGroupCompiles() uint64 { return wgCompiles.Load() }
+
+// WorkGroup returns the cached work-group compilation of f, compiling on
+// first use. Safe for concurrent use.
+func (p *Program) WorkGroup(f *Func) *WGFunc {
+	f.wgOnce.Do(func() {
+		f.wgPlan = LowerWorkGroup(p, f)
+		wgCompiles.Add(1)
+	})
+	return f.wgPlan
+}
+
+// wgAbort is the sentinel carrying a fallback reason out of the
+// translator.
+type wgAbort struct{ reason string }
+
+// absVal is one symbolic operand-stack entry: a register (reg >= 0), a
+// constant-pool reference (reg < 0), or a buffer handle (buf >= 0).
+type absVal struct {
+	reg int32
+	buf int
+}
+
+func (v absVal) isBuf() bool { return v.buf >= 0 }
+
+type lowerer struct {
+	prog     *Program
+	plan     *WGFunc
+	numRegs  int32
+	consts   []uint64
+	constIdx map[uint64]int32
+	code     []RInstr
+	trapMsgs []string
+	trapIdx  map[string]int32
+	segStart []int          // IR indices where barrier segments begin (excluding 0)
+	uniform  map[int32]bool // driver-preset group-uniform registers
+	active   map[*Func]bool // inline cycle detection
+}
+
+// LowerWorkGroup compiles fn into an optimized work-group plan. It never
+// fails: kernels that cannot be compiled return a plan with a non-empty
+// Fallback reason.
+func LowerWorkGroup(p *Program, fn *Func) (plan *WGFunc) {
+	start := time.Now()
+	lo := &lowerer{
+		prog:     p,
+		constIdx: make(map[uint64]int32),
+		trapIdx:  make(map[string]int32),
+		uniform:  make(map[int32]bool),
+		active:   make(map[*Func]bool),
+	}
+	lo.plan = &WGFunc{Fn: fn, WorkDimReg: -1}
+	for d := 0; d < 3; d++ {
+		lo.plan.GidRegs[d] = -1
+		lo.plan.LidRegs[d] = -1
+		lo.plan.GroupRegs[d] = -1
+		lo.plan.GSizeRegs[d] = -1
+		lo.plan.LSizeRegs[d] = -1
+		lo.plan.NGroupRegs[d] = -1
+		lo.plan.GOffRegs[d] = -1
+	}
+
+	defer func() {
+		if r := recover(); r != nil {
+			ab, ok := r.(wgAbort)
+			if !ok {
+				panic(r)
+			}
+			plan = &WGFunc{Fn: fn, Fallback: ab.reason}
+			plan.Info.Fallback = ab.reason
+			plan.Info.Total = time.Since(start)
+		}
+	}()
+
+	lo.lowerRoot(fn)
+
+	plan = lo.plan
+	plan.Consts = lo.consts
+	plan.Code = lo.code
+	plan.TrapMsgs = lo.trapMsgs
+	plan.NumRegs = int(lo.numRegs)
+	if len(lo.segStart) > 0 {
+		bounds := append([]int{0}, lo.segStart...)
+		for i := 0; i < len(bounds); i++ {
+			end := len(lo.code)
+			if i+1 < len(bounds) {
+				end = bounds[i+1]
+			}
+			plan.Segments = append(plan.Segments, [2]int{bounds[i], end})
+		}
+	}
+
+	optimize(lo, plan)
+
+	// Passes may intern new constants (folding) and registers (rotation).
+	plan.Consts = lo.consts
+	plan.NumRegs = int(lo.numRegs)
+
+	plan.Info.BodyInstrs = len(plan.Code)
+	plan.Info.PrologueInstrs = len(plan.Prologue)
+	plan.Info.Total = time.Since(start)
+	return plan
+}
+
+func (lo *lowerer) fail(format string, args ...any) {
+	panic(wgAbort{reason: fmt.Sprintf(format, args...)})
+}
+
+func (lo *lowerer) newReg() int32 {
+	r := lo.numRegs
+	lo.numRegs++
+	return r
+}
+
+// constRef interns v into the plan's constant pool and returns its
+// operand encoding (^index).
+func (lo *lowerer) constRef(v uint64) int32 {
+	if idx, ok := lo.constIdx[v]; ok {
+		return ^idx
+	}
+	idx := int32(len(lo.consts))
+	lo.consts = append(lo.consts, v)
+	lo.constIdx[v] = idx
+	return ^idx
+}
+
+func (lo *lowerer) trapRef(msg string) int32 {
+	if idx, ok := lo.trapIdx[msg]; ok {
+		return idx
+	}
+	idx := int32(len(lo.trapMsgs))
+	lo.trapMsgs = append(lo.trapMsgs, msg)
+	lo.trapIdx[msg] = idx
+	return idx
+}
+
+func (lo *lowerer) emit(ins RInstr) int {
+	if len(lo.code) >= lowerMaxIR {
+		lo.fail("kernel too large to compile (> %d IR instructions)", lowerMaxIR)
+	}
+	lo.code = append(lo.code, ins)
+	return len(lo.code) - 1
+}
+
+// coordSlot lazily allocates the driver-preset register for one work-item
+// coordinate array, marking it uniform when it is group-invariant.
+func (lo *lowerer) coordSlot(arr *[3]int32, dim int, groupUniform bool) int32 {
+	if arr[dim] < 0 {
+		arr[dim] = lo.newReg()
+		if groupUniform {
+			lo.uniform[arr[dim]] = true
+		}
+	}
+	return arr[dim]
+}
+
+// lowerRoot sets up kernel argument conventions and translates the kernel
+// body.
+func (lo *lowerer) lowerRoot(fn *Func) {
+	plan := lo.plan
+	plan.ArgRegs = make([]int32, len(fn.Args))
+	plan.ArgBufs = make([]int, len(fn.Args))
+	rootArgs := make([]absVal, len(fn.Args))
+	for i, a := range fn.Args {
+		switch a.Kind {
+		case ArgScalarInt, ArgScalarFloat:
+			r := lo.newReg()
+			plan.ArgRegs[i] = r
+			plan.ArgBufs[i] = -1
+			lo.uniform[r] = true
+			rootArgs[i] = absVal{reg: r, buf: -1}
+		case ArgGlobalBuf, ArgLocalBuf:
+			plan.ArgRegs[i] = -1
+			plan.ArgBufs[i] = plan.NumBufs
+			rootArgs[i] = absVal{reg: -1, buf: plan.NumBufs}
+			plan.NumBufs++
+		}
+	}
+
+	if fn.HasBarrier {
+		lo.checkBarrierStructure(fn)
+	}
+	lo.translate(fn, rootArgs, 0)
+}
+
+// checkBarrierStructure verifies that no jump crosses a barrier, i.e.
+// every barrier sits in straight-line top-level control flow. Kernels
+// that branch around barriers keep the cooperative interpreter, which
+// implements the general suspend/resume semantics.
+func (lo *lowerer) checkBarrierStructure(fn *Func) {
+	var barriers []int
+	for pc, ins := range fn.Code {
+		if ins.Op == OpBarrier {
+			barriers = append(barriers, pc)
+		}
+	}
+	for pc, ins := range fn.Code {
+		switch ins.Op {
+		case OpJump, OpJumpIfZero, OpJumpIfNonZero:
+			t := int(ins.A)
+			for _, b := range barriers {
+				if (pc < b && b < t) || (t <= b && b <= pc) {
+					lo.fail("barrier under control flow")
+				}
+			}
+		}
+	}
+}
+
+// fctx is the per-function translation state (one instance per inline
+// expansion).
+type fctx struct {
+	lo         *lowerer
+	fn         *Func
+	slots      []absVal
+	stack      []absVal
+	canon      []int32
+	labelIR    map[int]int
+	labelShape map[int][]absVal
+	fixups     []wgFixup
+	endFixups  []int
+	retReg     int32
+	hasRet     bool
+}
+
+type wgFixup struct {
+	ir int // IR instruction whose C needs patching
+	pc int // bytecode label it targets
+}
+
+// translate inlines fn (called with the given symbolic arguments) into
+// the IR stream. Returns the return-value register for non-void helpers.
+func (lo *lowerer) translate(fn *Func, args []absVal, depth int) (absVal, bool) {
+	if lo.active[fn] {
+		lo.fail("recursive call to %s", fn.Name)
+	}
+	if depth > lowerMaxDepth {
+		lo.fail("call depth exceeds %d", lowerMaxDepth)
+	}
+	lo.active[fn] = true
+	defer delete(lo.active, fn)
+
+	f := &fctx{
+		lo:         lo,
+		fn:         fn,
+		labelIR:    make(map[int]int),
+		labelShape: make(map[int][]absVal),
+		retReg:     -1,
+	}
+	nparams := fn.NumParams
+	if fn.IsKernel {
+		nparams = len(fn.Args)
+	}
+	if len(args) != nparams {
+		lo.fail("call to %s: argument count mismatch", fn.Name)
+	}
+	for _, ins := range fn.Code {
+		if ins.Op == OpRet {
+			f.hasRet = true
+			f.retReg = lo.newReg()
+			break
+		}
+	}
+
+	// Parameter slots alias the caller's values unless the body mutates
+	// them, in which case they get a private copy.
+	stored := make([]bool, fn.NumLocals)
+	for _, ins := range fn.Code {
+		if ins.Op == OpStore && int(ins.A) < len(stored) {
+			stored[ins.A] = true
+		}
+	}
+	f.slots = make([]absVal, fn.NumLocals)
+	for i := range f.slots {
+		if i < nparams {
+			v := args[i]
+			if stored[i] {
+				if v.isBuf() {
+					lo.fail("%s: buffer parameter reassigned", fn.Name)
+				}
+				r := lo.newReg()
+				lo.emit(RInstr{Op: RMov, D: r, A: v.reg})
+				v = absVal{reg: r, buf: -1}
+			}
+			f.slots[i] = v
+		} else {
+			// Non-parameter slots: the front end zero-initialises every
+			// declaration, so each slot is stored before it is loaded on
+			// every executable path.
+			f.slots[i] = absVal{reg: lo.newReg(), buf: -1}
+		}
+	}
+
+	f.run(depth)
+
+	if f.hasRet {
+		return absVal{reg: f.retReg, buf: -1}, true
+	}
+	return absVal{}, false
+}
+
+func (f *fctx) push(v absVal)   { f.stack = append(f.stack, v) }
+func (f *fctx) pushReg(r int32) { f.push(absVal{reg: r, buf: -1}) }
+func (f *fctx) pop() absVal {
+	if len(f.stack) == 0 {
+		f.lo.fail("%s: operand stack underflow during lowering", f.fn.Name)
+	}
+	v := f.stack[len(f.stack)-1]
+	f.stack = f.stack[:len(f.stack)-1]
+	return v
+}
+
+// popVal pops a non-buffer value operand.
+func (f *fctx) popVal() int32 {
+	v := f.pop()
+	if v.isBuf() {
+		f.lo.fail("%s: buffer handle used as value", f.fn.Name)
+	}
+	return v.reg
+}
+
+// canonReg returns the canonical register for stack depth d.
+func (f *fctx) canonReg(d int) int32 {
+	for len(f.canon) <= d {
+		f.canon = append(f.canon, f.lo.newReg())
+	}
+	return f.canon[d]
+}
+
+// materialize rewrites every stack entry currently aliasing reg into a
+// fresh copy, so reg can be overwritten.
+func (f *fctx) materialize(reg int32) {
+	for i := range f.stack {
+		if !f.stack[i].isBuf() && f.stack[i].reg == reg {
+			r := f.lo.newReg()
+			f.lo.emit(RInstr{Op: RMov, D: r, A: reg})
+			f.stack[i].reg = r
+		}
+	}
+}
+
+// canonicalize moves every stack entry into its depth's canonical
+// register so control-flow edges can merge.
+func (f *fctx) canonicalize() {
+	for d := range f.stack {
+		if f.stack[d].isBuf() {
+			continue
+		}
+		want := f.canonReg(d)
+		if f.stack[d].reg == want {
+			continue
+		}
+		// Entries above may alias the canonical register (OpDup); copy
+		// them out before overwriting it.
+		for j := range f.stack {
+			if j != d && !f.stack[j].isBuf() && f.stack[j].reg == want {
+				r := f.lo.newReg()
+				f.lo.emit(RInstr{Op: RMov, D: r, A: want})
+				f.stack[j].reg = r
+			}
+		}
+		f.lo.emit(RInstr{Op: RMov, D: want, A: f.stack[d].reg})
+		f.stack[d].reg = want
+	}
+}
+
+// recordOrCheck canonicalises the stack and records (or verifies) the
+// canonical shape for label pc.
+func (f *fctx) recordOrCheck(pc int) {
+	f.canonicalize()
+	shape, ok := f.labelShape[pc]
+	if !ok {
+		f.labelShape[pc] = append([]absVal(nil), f.stack...)
+		return
+	}
+	if len(shape) != len(f.stack) {
+		f.lo.fail("%s: operand stack depth mismatch at merge point", f.fn.Name)
+	}
+	for i := range shape {
+		if shape[i].buf != f.stack[i].buf ||
+			(!shape[i].isBuf() && shape[i].reg != f.stack[i].reg) {
+			f.lo.fail("%s: operand stack shape mismatch at merge point", f.fn.Name)
+		}
+	}
+}
+
+// run translates fn.Code.
+func (f *fctx) run(depth int) {
+	lo := f.lo
+	fn := f.fn
+	code := fn.Code
+
+	targets := make(map[int]bool)
+	for _, ins := range code {
+		switch ins.Op {
+		case OpJump, OpJumpIfZero, OpJumpIfNonZero:
+			targets[int(ins.A)] = true
+		}
+	}
+
+	reachable := true
+	for pc := 0; pc <= len(code); pc++ {
+		if targets[pc] {
+			if shape, ok := f.labelShape[pc]; ok {
+				if reachable {
+					f.recordOrCheck(pc)
+				} else {
+					f.stack = append(f.stack[:0], shape...)
+				}
+			} else {
+				if !reachable {
+					lo.fail("%s: jump into unreachable code", fn.Name)
+				}
+				f.recordOrCheck(pc)
+			}
+			f.labelIR[pc] = len(lo.code)
+			reachable = true
+		}
+		if pc == len(code) {
+			break
+		}
+		if !reachable {
+			continue
+		}
+		ins := code[pc]
+		switch ins.Op {
+		case OpNop:
+
+		case OpConstI, OpConstF:
+			f.pushReg(lo.constRef(lo.prog.Consts[ins.A]))
+
+		case OpLoad:
+			f.push(f.slots[ins.A])
+
+		case OpStore:
+			v := f.pop()
+			dst := f.slots[ins.A]
+			if dst.isBuf() || v.isBuf() {
+				lo.fail("%s: buffer handle stored to variable", fn.Name)
+			}
+			f.materialize(dst.reg)
+			lo.emit(RInstr{Op: RMov, D: dst.reg, A: v.reg})
+
+		case OpDup:
+			if len(f.stack) == 0 {
+				lo.fail("%s: dup on empty stack", fn.Name)
+			}
+			f.push(f.stack[len(f.stack)-1])
+
+		case OpLoadElemI, OpLoadElemF:
+			idx := f.popVal()
+			b := f.slots[ins.A]
+			if !b.isBuf() {
+				lo.fail("%s: element load through non-buffer slot", fn.Name)
+			}
+			r := lo.newReg()
+			lo.emit(RInstr{Op: RLdElem, D: r, A: idx, B: int32(b.buf)})
+			f.pushReg(r)
+
+		case OpStoreElemI, OpStoreElemF:
+			val := f.popVal()
+			idx := f.popVal()
+			b := f.slots[ins.A]
+			if !b.isBuf() {
+				lo.fail("%s: element store through non-buffer slot", fn.Name)
+			}
+			lo.emit(RInstr{Op: RStElem, A: idx, B: int32(b.buf), C: val})
+
+		case OpAddI, OpSubI, OpMulI, OpAndI, OpOrI, OpXorI, OpShlI, OpShrI,
+			OpLtI, OpLeI, OpGtI, OpGeI, OpEqI, OpNeI,
+			OpAddF, OpSubF, OpMulF, OpDivF,
+			OpLtF, OpLeF, OpGtF, OpGeF, OpEqF, OpNeF,
+			OpDivI, OpModI:
+			b := f.popVal()
+			a := f.popVal()
+			r := lo.newReg()
+			lo.emit(RInstr{Op: binOpFor(ins.Op), D: r, A: a, B: b})
+			f.pushReg(r)
+
+		case OpNegI, OpNotI, OpLNot, OpNegF, OpI2F, OpF2I:
+			a := f.popVal()
+			r := lo.newReg()
+			lo.emit(RInstr{Op: unOpFor(ins.Op), D: r, A: a})
+			f.pushReg(r)
+
+		case OpJump:
+			f.emitJump(RInstr{Op: RJmp}, int(ins.A), targets)
+			reachable = false
+
+		case OpJumpIfZero:
+			cond := f.popVal()
+			f.emitJump(RInstr{Op: RBrF, A: cond, D: -1}, int(ins.A), targets)
+
+		case OpJumpIfNonZero:
+			cond := f.popVal()
+			f.emitJump(RInstr{Op: RBrT, A: cond, D: -1}, int(ins.A), targets)
+
+		case OpCall:
+			callee := lo.prog.FuncByIndex(int(ins.A))
+			if len(f.stack) < callee.NumParams {
+				lo.fail("%s: operand stack underflow calling %s", fn.Name, callee.Name)
+			}
+			base := len(f.stack) - callee.NumParams
+			callArgs := append([]absVal(nil), f.stack[base:]...)
+			f.stack = f.stack[:base]
+			ret, hasRet := lo.translate(callee, callArgs, depth+1)
+			if hasRet {
+				f.push(ret)
+			}
+
+		case OpRet:
+			v := f.popVal()
+			lo.emit(RInstr{Op: RMov, D: f.retReg, A: v})
+			f.endFixups = append(f.endFixups, lo.emit(RInstr{Op: RJmp}))
+			f.stack = f.stack[:0]
+			reachable = false
+
+		case OpRetVoid:
+			if fn.IsKernel {
+				lo.emit(RInstr{Op: REnd})
+			} else {
+				f.endFixups = append(f.endFixups, lo.emit(RInstr{Op: RJmp}))
+			}
+			f.stack = f.stack[:0]
+			reachable = false
+
+		case OpHalt:
+			lo.emit(RInstr{Op: REnd})
+			f.stack = f.stack[:0]
+			reachable = false
+
+		case OpBarrier:
+			if !fn.IsKernel || depth > 0 {
+				lo.fail("barrier in helper function %s", fn.Name)
+			}
+			if len(f.stack) != 0 {
+				lo.fail("barrier with live operand stack")
+			}
+			lo.segStart = append(lo.segStart, len(lo.code))
+
+		case OpBuiltin:
+			f.lowerBuiltin(BuiltinID(ins.A))
+
+		default:
+			lo.fail("%s: cannot lower opcode %s", fn.Name, ins.Op)
+		}
+	}
+
+	if reachable {
+		// Fell off the end. Kernels always end in OpHalt, so for the
+		// root this means a jump to the very end; mirror the
+		// interpreter's trap for helpers that miss a return.
+		if fn.IsKernel {
+			lo.emit(RInstr{Op: RTrap, A: lo.trapRef(fmt.Sprintf("missing return in function %s", fn.Name))})
+		} else if f.hasRet {
+			lo.emit(RInstr{Op: RTrap, A: lo.trapRef(fmt.Sprintf("missing return in function %s", fn.Name))})
+		}
+	}
+
+	endIR := len(lo.code)
+	for _, at := range f.endFixups {
+		lo.code[at].C = int32(endIR)
+	}
+	for _, fix := range f.fixups {
+		ir, ok := f.labelIR[fix.pc]
+		if !ok {
+			lo.fail("%s: unresolved jump target", fn.Name)
+		}
+		lo.code[fix.ir].C = int32(ir)
+	}
+}
+
+// emitJump canonicalises the stack, records/verifies the target label
+// shape, and emits the branch (patched later for forward targets).
+func (f *fctx) emitJump(ins RInstr, targetPC int, targets map[int]bool) {
+	if !targets[targetPC] {
+		f.lo.fail("%s: jump to unmarked target", f.fn.Name)
+	}
+	f.recordOrCheck(targetPC)
+	if ir, ok := f.labelIR[targetPC]; ok {
+		ins.C = int32(ir)
+		f.lo.emit(ins)
+		return
+	}
+	at := f.lo.emit(ins)
+	f.fixups = append(f.fixups, wgFixup{ir: at, pc: targetPC})
+}
+
+// lowerBuiltin lowers one builtin call against the symbolic stack.
+func (f *fctx) lowerBuiltin(id BuiltinID) {
+	lo := f.lo
+	plan := lo.plan
+	emitUnary := func(op ROp) {
+		a := f.popVal()
+		r := lo.newReg()
+		lo.emit(RInstr{Op: op, D: r, A: a})
+		f.pushReg(r)
+	}
+	emitBinary := func(op ROp) {
+		b := f.popVal()
+		a := f.popVal()
+		r := lo.newReg()
+		lo.emit(RInstr{Op: op, D: r, A: a, B: b})
+		f.pushReg(r)
+	}
+	switch id {
+	case BGetGlobalID, BGetLocalID, BGetGroupID, BGetGlobalSize,
+		BGetGlobalOffset, BGetLocalSize, BGetNumGroups:
+		dimv := f.pop()
+		if dimv.isBuf() || dimv.reg >= 0 {
+			lo.fail("dynamic dimension argument to work-item query")
+		}
+		dim := int(i32(lo.consts[^dimv.reg]))
+		if dim < 0 || dim > 2 {
+			// Out-of-range dimensions fold to the interpreter's defaults.
+			switch id {
+			case BGetGlobalSize, BGetLocalSize, BGetNumGroups:
+				f.pushReg(lo.constRef(1))
+			default:
+				f.pushReg(lo.constRef(0))
+			}
+			return
+		}
+		// Dimensions beyond the launch's dimensionality also default;
+		// the driver presets the registers accordingly at launch time.
+		switch id {
+		case BGetGlobalID:
+			f.pushReg(lo.coordSlot(&plan.GidRegs, dim, false))
+		case BGetLocalID:
+			f.pushReg(lo.coordSlot(&plan.LidRegs, dim, false))
+		case BGetGroupID:
+			f.pushReg(lo.coordSlot(&plan.GroupRegs, dim, true))
+		case BGetGlobalSize:
+			f.pushReg(lo.coordSlot(&plan.GSizeRegs, dim, true))
+		case BGetGlobalOffset:
+			f.pushReg(lo.coordSlot(&plan.GOffRegs, dim, true))
+		case BGetLocalSize:
+			f.pushReg(lo.coordSlot(&plan.LSizeRegs, dim, true))
+		case BGetNumGroups:
+			f.pushReg(lo.coordSlot(&plan.NGroupRegs, dim, true))
+		}
+
+	case BGetWorkDim:
+		if plan.WorkDimReg < 0 {
+			plan.WorkDimReg = lo.newReg()
+			lo.uniform[plan.WorkDimReg] = true
+		}
+		f.pushReg(plan.WorkDimReg)
+
+	case BSqrt:
+		emitUnary(RSqrtF)
+	case BFabs:
+		emitUnary(RAbsF)
+	case BFloor:
+		emitUnary(RFloorF)
+	case BCeil:
+		emitUnary(RCeilF)
+	case BAbsI:
+		emitUnary(RAbsI)
+	case BFmin:
+		emitBinary(RMinF)
+	case BFmax:
+		emitBinary(RMaxF)
+	case BMinI:
+		emitBinary(RMinI)
+	case BMaxI:
+		emitBinary(RMaxI)
+
+	default:
+		// Remaining math builtins go through the generic builtin
+		// dispatcher (float64 math library semantics, like the
+		// interpreter).
+		arity := builtinArity(id)
+		if arity < 0 {
+			lo.fail("cannot lower builtin %d", id)
+		}
+		ops := make([]int32, arity)
+		for i := arity - 1; i >= 0; i-- {
+			ops[i] = f.popVal()
+		}
+		ins := RInstr{Op: RBuiltin, D: lo.newReg(), C: int32(id), A: -1, B: -1, E: -1}
+		if arity > 0 {
+			ins.A = ops[0]
+		}
+		if arity > 1 {
+			ins.B = ops[1]
+		}
+		if arity > 2 {
+			ins.E = ops[2]
+		}
+		lo.emit(ins)
+		f.pushReg(ins.D)
+	}
+}
+
+// builtinArity returns the argument count of a builtin, or -1 if it
+// cannot be lowered.
+func builtinArity(id BuiltinID) int {
+	switch id {
+	case BGetWorkDim:
+		return 0
+	case BSqrt, BRsqrt, BExp, BLog, BSin, BCos, BTan, BFabs, BFloor, BCeil, BAbsI:
+		return 1
+	case BPow, BFmin, BFmax, BFmod, BMinI, BMaxI:
+		return 2
+	case BClampF, BClampI:
+		return 3
+	}
+	return -1
+}
+
+func binOpFor(op Op) ROp {
+	switch op {
+	case OpAddI:
+		return RAddI
+	case OpSubI:
+		return RSubI
+	case OpMulI:
+		return RMulI
+	case OpDivI:
+		return RDivI
+	case OpModI:
+		return RModI
+	case OpAndI:
+		return RAndI
+	case OpOrI:
+		return ROrI
+	case OpXorI:
+		return RXorI
+	case OpShlI:
+		return RShlI
+	case OpShrI:
+		return RShrI
+	case OpLtI:
+		return RLtI
+	case OpLeI:
+		return RLeI
+	case OpGtI:
+		return RGtI
+	case OpGeI:
+		return RGeI
+	case OpEqI:
+		return REqI
+	case OpNeI:
+		return RNeI
+	case OpAddF:
+		return RAddF
+	case OpSubF:
+		return RSubF
+	case OpMulF:
+		return RMulF
+	case OpDivF:
+		return RDivF
+	case OpLtF:
+		return RLtF
+	case OpLeF:
+		return RLeF
+	case OpGtF:
+		return RGtF
+	case OpGeF:
+		return RGeF
+	case OpEqF:
+		return REqF
+	case OpNeF:
+		return RNeF
+	}
+	return RNop
+}
+
+func unOpFor(op Op) ROp {
+	switch op {
+	case OpNegI:
+		return RNegI
+	case OpNotI:
+		return RNotI
+	case OpLNot:
+		return RLNot
+	case OpNegF:
+		return RNegF
+	case OpI2F:
+		return RI2F
+	case OpF2I:
+		return RF2I
+	}
+	return RNop
+}

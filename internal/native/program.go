@@ -47,6 +47,15 @@ func (p *Program) Build(devices []cl.Device, options string) error {
 	for _, d := range targets {
 		p.buildLogs[d.Name()] = "build succeeded"
 	}
+	// Precompile the work-group plan of every kernel now, so the first
+	// launch (and every graph replay and scheduler chunk after it) finds
+	// a ready plan in the per-function cache instead of paying compile
+	// latency inside a timed dispatch.
+	for _, fn := range prog.Funcs {
+		if fn.IsKernel {
+			prog.WorkGroup(fn)
+		}
+	}
 	p.compiled = prog
 	p.built = true
 	return nil

@@ -11,6 +11,8 @@
 package simnet
 
 import (
+	"dopencl/internal/hrtime"
+
 	"fmt"
 	"io"
 	"net"
@@ -292,7 +294,7 @@ func (h *half) recv(p []byte) (int, error) {
 				break
 			}
 			h.mu.Unlock()
-			time.Sleep(wait)
+			hrtime.SleepUntil(c.ready)
 			h.mu.Lock()
 			continue
 		}

@@ -62,16 +62,47 @@ type Launch struct {
 	// across the ND-range (cost sampling for modeled devices). Output is
 	// only produced for the sampled groups.
 	GroupLimit int
+	// ForceInterpreter bypasses the work-group compiler and runs the
+	// cooperative bytecode interpreter (the compiled path's oracle).
+	ForceInterpreter bool
 }
 
 // Stats reports execution counters for a launch. Modeled devices use the
 // instruction count of a sampled subset of work-groups to extrapolate the
 // execution time of the full ND-range.
 type Stats struct {
-	Instructions  uint64 // bytecode instructions executed
+	Instructions  uint64 // instructions executed (bytecode or compiled IR)
 	GroupsRun     int    // work-groups actually executed
 	GroupsTotal   int    // work-groups in the full ND-range
 	ItemsPerGroup int
+	// PrologueInstructions counts the once-per-group share of
+	// Instructions (hoisted uniform code of compiled plans). Needed to
+	// extrapolate cost correctly: fused loops collapse per-item counts,
+	// making the per-group share non-negligible.
+	PrologueInstructions uint64
+	// FusedGroups/CoopGroups split GroupsRun by execution engine: fused
+	// work-item loops vs the cooperative path (barrier kernels,
+	// interpreter fallback and interpreter-delegated groups).
+	FusedGroups int
+	CoopGroups  int
+	// Compile reports how work-group compilation went (per-pass timings,
+	// fallback reason). Nil when the interpreter was forced or no
+	// program was attached.
+	Compile *kernel.WGCompileInfo
+}
+
+// EstimateCost extrapolates the total instruction count of an ND-range
+// with totalGroups work-groups from this (possibly sampled) run,
+// separating per-group cost (prologue) from per-item cost so that the
+// estimate stays accurate when fused loops collapse per-item counts.
+func (s Stats) EstimateCost(totalGroups int) float64 {
+	if s.GroupsRun == 0 || s.ItemsPerGroup == 0 {
+		return 0
+	}
+	perGroup := float64(s.PrologueInstructions) / float64(s.GroupsRun)
+	perItem := float64(s.Instructions-s.PrologueInstructions) /
+		float64(s.GroupsRun*s.ItemsPerGroup)
+	return perGroup*float64(totalGroups) + perItem*float64(totalGroups*s.ItemsPerGroup)
 }
 
 // TrapError reports a runtime fault inside kernel execution (division by
@@ -206,15 +237,54 @@ func RunStats(l Launch) (Stats, error) {
 		itemsPerGroup: itemsPerGroup,
 	}
 
+	// Engine selection: compiled work-group plans are cached on the
+	// kernel function and reused across launches, graph replays and
+	// scheduler chunks. A fallback plan (or ForceInterpreter) keeps the
+	// cooperative interpreter.
+	var plan *kernel.WGFunc
+	var compileInfo *kernel.WGCompileInfo
+	if !l.ForceInterpreter && l.Prog != nil {
+		wp := l.Prog.WorkGroup(l.Kernel)
+		if wp != nil {
+			compileInfo = &wp.Info
+			if wp.Fallback == "" {
+				plan = wp
+			}
+		}
+	}
+
 	var wg sync.WaitGroup
 	var next int64
-	var instr uint64
+	var instr, prologue uint64
+	var fused, coop int64
 	var failed atomic.Value // *TrapError
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			g := newGroupRunner(disp)
+			var runOne func(gid int) *TrapError
+			var flush func()
+			if plan != nil {
+				pr := newPlanRunner(disp, plan)
+				runOne = pr.runGroup
+				flush = func() {
+					atomic.AddUint64(&instr, pr.instrCount)
+					atomic.AddUint64(&prologue, pr.prologueCount)
+					atomic.AddInt64(&fused, int64(pr.fusedGroups))
+					atomic.AddInt64(&coop, int64(pr.coopGroups))
+				}
+			} else {
+				g := newGroupRunner(disp)
+				groups := int64(0)
+				runOne = func(gid int) *TrapError {
+					groups++
+					return g.run(gid)
+				}
+				flush = func() {
+					atomic.AddUint64(&instr, g.instrCount)
+					atomic.AddInt64(&coop, groups)
+				}
+			}
 			// Sampled runs spread the executed groups across the range so
 			// cost estimates are not biased toward one corner of the
 			// ND-range (e.g. the fast-escaping top rows of a Mandelbrot
@@ -226,15 +296,15 @@ func RunStats(l Launch) (Stats, error) {
 			for {
 				id := atomic.AddInt64(&next, 1) - 1
 				if id >= int64(runGroups) || failed.Load() != nil {
-					atomic.AddUint64(&instr, g.instrCount)
+					flush()
 					return
 				}
 				gid := int(id)*stride + stride/2
 				if gid >= totalGroups {
 					gid = totalGroups - 1
 				}
-				if err := g.run(gid); err != nil {
-					atomic.AddUint64(&instr, g.instrCount)
+				if err := runOne(gid); err != nil {
+					flush()
 					failed.CompareAndSwap(nil, err)
 					return
 				}
@@ -243,10 +313,14 @@ func RunStats(l Launch) (Stats, error) {
 	}
 	wg.Wait()
 	stats := Stats{
-		Instructions:  atomic.LoadUint64(&instr),
-		GroupsRun:     runGroups,
-		GroupsTotal:   totalGroups,
-		ItemsPerGroup: itemsPerGroup,
+		Instructions:         atomic.LoadUint64(&instr),
+		GroupsRun:            runGroups,
+		GroupsTotal:          totalGroups,
+		ItemsPerGroup:        itemsPerGroup,
+		PrologueInstructions: atomic.LoadUint64(&prologue),
+		FusedGroups:          int(atomic.LoadInt64(&fused)),
+		CoopGroups:           int(atomic.LoadInt64(&coop)),
+		Compile:              compileInfo,
 	}
 	if err := failed.Load(); err != nil {
 		return stats, err.(*TrapError)
