@@ -13,7 +13,7 @@
 //	dclbench -fig all -quick   # reduced workloads
 //	dclbench -timescale 0.05   # slower, more accurate time compression
 //	dclbench -bench            # machine-readable micro-bench suite →
-//	                           # BENCH_PR6.json (see -benchout)
+//	                           # BENCH_PR7.json (see -benchout)
 //	dclbench -cpuprofile p.out # CPU profile of any of the above
 package main
 
@@ -34,7 +34,7 @@ func main() {
 	timescale := flag.Float64("timescale", 0.02, "time compression factor (modeled seconds × factor = real seconds)")
 	verbose := flag.Bool("v", false, "progress logging")
 	bench := flag.Bool("bench", false, "run the micro-benchmark suite and emit machine-readable JSON")
-	benchout := flag.String("benchout", "BENCH_PR6.json", "output path for -bench results")
+	benchout := flag.String("benchout", "BENCH_PR7.json", "output path for -bench results")
 	chaosSmoke := flag.Bool("chaos", false, "run the daemon-failure recovery smoke (mid-run kill + recovery latency)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")

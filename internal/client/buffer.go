@@ -9,164 +9,22 @@ import (
 	"sync"
 
 	"dopencl/internal/cl"
+	"dopencl/internal/coherence"
+	"dopencl/internal/gcf"
 	"dopencl/internal/protocol"
 )
 
-// msiState is the coherence state of one cached buffer-region copy.
-type msiState int
-
-// MSI states (Section III-D: directory-based MSI with the client's stub as
-// directory and the remote buffers as caches).
-const (
-	msiInvalid msiState = iota
-	msiShared
-	msiModified
-)
-
-func (s msiState) String() string {
-	switch s {
-	case msiInvalid:
-		return "I"
-	case msiShared:
-		return "S"
-	case msiModified:
-		return "M"
-	}
-	return "?"
-}
-
-// span is one interval of the region directory: a maximal byte range
-// [off, end) over which every copy (host and per-server) has a uniform
-// coherence state. The directory is a sorted list of disjoint spans
-// partitioning [0, size); adjacent spans with identical state collapse
-// back into one (mergeLocked), so steady-state partitioned workloads keep
-// exactly one span per device chunk.
-//
-// Invariants (checked by tests, per span):
-//   - at most one copy (host or any server) is Modified;
-//   - if some copy is Modified, every other copy is Invalid.
-type span struct {
-	off, end  int
-	host      msiState
-	states    map[*Server]msiState
-	lastWrite map[*Server]*Event // most recent writing command per server
-	inbound   map[*Server]*Event // in-flight forward gates per target server
-	gen       uint64             // directory generation of the span's last mutation
-
-	// Lost bookkeeping: when the range's ONLY valid copy lived on a server
-	// whose connection died, lostFrom records that server, lostWas the
-	// state it held and lostConn the connection generation that died with
-	// it. Reads of a lost range fail with cl.DataLost until a write
-	// re-materializes it; a session re-attach that finds the daemon still
-	// retaining its state restores the recorded claim (the bytes never
-	// left the daemon) — but only when the retained session is the SAME
-	// connection the loss was recorded against (lostConn), so a loss that
-	// survived an unretained reattach (data truly gone) can never be
-	// "restored" into garbage by a later retained one.
-	lostFrom *Server
-	lostWas  msiState
-	lostConn uint64
-}
-
-// clone deep-copies the span (snapshot for rollbacks).
-func (sp *span) clone() *span {
-	c := &span{off: sp.off, end: sp.end, host: sp.host, gen: sp.gen,
-		lostFrom: sp.lostFrom, lostWas: sp.lostWas, lostConn: sp.lostConn,
-		states:    make(map[*Server]msiState, len(sp.states)),
-		lastWrite: make(map[*Server]*Event, len(sp.lastWrite)),
-		inbound:   make(map[*Server]*Event, len(sp.inbound)),
-	}
-	for s, st := range sp.states {
-		c.states[s] = st
-	}
-	for s, ev := range sp.lastWrite {
-		c.lastWrite[s] = ev
-	}
-	for s, ev := range sp.inbound {
-		c.inbound[s] = ev
-	}
-	return c
-}
-
-// sameStates reports whether two spans carry identical coherence state
-// (merge predicate; events compare by identity).
-func (sp *span) sameStates(o *span) bool {
-	if sp.host != o.host || len(sp.lastWrite) != len(o.lastWrite) || len(sp.inbound) != len(o.inbound) {
-		return false
-	}
-	if sp.lostFrom != o.lostFrom || sp.lostWas != o.lostWas || sp.lostConn != o.lostConn {
-		return false
-	}
-	for s, st := range sp.states {
-		if o.states[s] != st {
-			return false
-		}
-	}
-	for s, st := range o.states {
-		if sp.states[s] != st {
-			return false
-		}
-	}
-	for s, ev := range sp.lastWrite {
-		if o.lastWrite[s] != ev {
-			return false
-		}
-	}
-	for s, ev := range sp.inbound {
-		if o.inbound[s] != ev {
-			return false
-		}
-	}
-	return true
-}
-
-// sourceLocked returns a server holding a valid copy of the span,
-// preferring the Modified owner. With peer forwarding, Shared server
-// copies can exist while the host copy is Invalid (the payload never
-// visited the client), so any valid copy must be usable as a source.
-// Disconnected servers are never offered as sources: between a server
-// dying and the directory sweep clearing its claims, a transfer must not
-// be pointed at a dead daemon when a surviving holder exists.
-func (sp *span) sourceLocked() *Server {
-	var shared *Server
-	for srv, st := range sp.states {
-		if !srv.Connected() {
-			continue
-		}
-		if st == msiModified {
-			return srv
-		}
-		if st == msiShared && shared == nil {
-			shared = srv
-		}
-	}
-	return shared
-}
-
-// deadHolderLocked reports whether a DISCONNECTED server still holds a
-// valid-looking claim on the span: the window between a server dying and
-// its directory sweep recording lostFrom. Callers translate "no valid
-// copy" into the retryable cl.ServerLost in that window instead of the
-// hard cl.InvalidMemObject — the range's true fate (re-home or Lost) is
-// decided by the sweep, moments away.
-func (sp *span) deadHolderLocked() bool {
-	for srv, st := range sp.states {
-		if (st == msiShared || st == msiModified) && !srv.Connected() {
-			return true
-		}
-	}
-	return false
-}
-
-// Buffer is the compound stub for a distributed buffer object and the
-// directory of its MSI protocol. A remote buffer exists on every server of
-// the context; the client's own copy (hostCopy) is a cache too.
+// Buffer is the compound stub for a distributed buffer object. The
+// region-granular MSI directory itself lives in internal/coherence;
+// this file is the thin adapter that owns the lock, the host byte
+// cache and all network/event orchestration around the directory's
+// decisions.
 //
 // The directory is region-granular: coherence state is tracked per byte
 // range (span), not per buffer, so two daemons can each hold Modified on
-// disjoint halves of one buffer with zero transfers between iterations of
-// a partitioned kernel. Ranges split on demand (a write to [a,b) splits
-// the spans it cuts) and re-merge when adjacent spans converge.
+// disjoint halves of one buffer with zero transfers between iterations
+// of a partitioned kernel. Ranges split on demand and re-merge when
+// adjacent spans converge.
 //
 // A Buffer may also be a sub-buffer view (parent != nil): a window
 // [org, org+size) onto the root buffer created by CreateSubBuffer. Views
@@ -184,13 +42,7 @@ type Buffer struct {
 
 	mu       sync.Mutex // root only; views lock their root
 	hostCopy []byte
-	dir      []*span
-	// gen is the global mutation counter; every mutated span is stamped
-	// with the counter's new value (bumpLocked), so "has this RANGE
-	// changed since I looked" is answerable per span — the rollback and
-	// stale-read guards stay range-scoped, and concurrent operations on
-	// disjoint ranges never invalidate each other's snapshots.
-	gen      uint64
+	coh      *coherence.Dir // root only
 	released bool
 }
 
@@ -278,166 +130,7 @@ func (b *Buffer) Release() error {
 }
 
 // ---------------------------------------------------------------------------
-// Directory primitives (root buffer, b.mu held).
-
-// spanIndexLocked returns the index of the span containing pos.
-func (b *Buffer) spanIndexLocked(pos int) int {
-	for i, sp := range b.dir {
-		if pos < sp.end {
-			return i
-		}
-	}
-	return len(b.dir) - 1
-}
-
-// ensureBoundaryLocked splits the span containing pos so that pos is a
-// span boundary (no-op when it already is, or at the buffer edges).
-func (b *Buffer) ensureBoundaryLocked(pos int) {
-	if pos <= 0 || pos >= b.size {
-		return
-	}
-	i := b.spanIndexLocked(pos)
-	sp := b.dir[i]
-	if sp.off == pos {
-		return
-	}
-	right := sp.clone()
-	right.off = pos
-	sp.end = pos
-	b.dir = append(b.dir, nil)
-	copy(b.dir[i+2:], b.dir[i+1:])
-	b.dir[i+1] = right
-}
-
-// rangeSpansLocked splits at off and end and returns the spans exactly
-// covering [off, end).
-func (b *Buffer) rangeSpansLocked(off, end int) []*span {
-	b.ensureBoundaryLocked(off)
-	b.ensureBoundaryLocked(end)
-	var i int
-	for i = 0; i < len(b.dir); i++ {
-		if b.dir[i].off >= off {
-			break
-		}
-	}
-	j := i
-	for j < len(b.dir) && b.dir[j].end <= end {
-		j++
-	}
-	return b.dir[i:j]
-}
-
-// snapshotRangeLocked deep-copies the spans covering [off, end).
-func (b *Buffer) snapshotRangeLocked(off, end int) []*span {
-	spans := b.rangeSpansLocked(off, end)
-	snap := make([]*span, len(spans))
-	for i, sp := range spans {
-		snap[i] = sp.clone()
-	}
-	return snap
-}
-
-// restoreRangeLocked splices a snapshot back over [off, end). Only safe
-// when the directory generation is unchanged since the snapshot (the
-// caller checks), so boundaries line up exactly.
-func (b *Buffer) restoreRangeLocked(off, end int, snap []*span) {
-	b.ensureBoundaryLocked(off)
-	b.ensureBoundaryLocked(end)
-	var i int
-	for i = 0; i < len(b.dir); i++ {
-		if b.dir[i].off >= off {
-			break
-		}
-	}
-	j := i
-	for j < len(b.dir) && b.dir[j].end <= end {
-		j++
-	}
-	out := make([]*span, 0, len(b.dir)-(j-i)+len(snap))
-	out = append(out, b.dir[:i]...)
-	out = append(out, snap...)
-	out = append(out, b.dir[j:]...)
-	b.dir = out
-}
-
-// bumpLocked advances the global mutation counter and stamps the given
-// (just-mutated) spans with it.
-func (b *Buffer) bumpLocked(spans []*span) {
-	b.gen++
-	for _, sp := range spans {
-		sp.gen = b.gen
-	}
-}
-
-// rangeGenLocked returns the newest mutation stamp over [off, end).
-func (b *Buffer) rangeGenLocked(off, end int) uint64 {
-	var g uint64
-	for _, sp := range b.rangeSpansLocked(off, end) {
-		if sp.gen > g {
-			g = sp.gen
-		}
-	}
-	return g
-}
-
-// mergeLocked coalesces adjacent spans with identical coherence state, so
-// the directory stays proportional to the number of distinct regions, not
-// the number of operations. Gating events that have already completed
-// successfully are dropped first — a settled write gates nothing, and
-// keeping it would pin span boundaries forever (two ranges written by
-// different commands could otherwise never re-merge).
-func (b *Buffer) mergeLocked() {
-	for _, sp := range b.dir {
-		for srv, ev := range sp.lastWrite {
-			if ev.Status() == cl.Complete {
-				delete(sp.lastWrite, srv)
-			}
-		}
-	}
-	if len(b.dir) < 2 {
-		return
-	}
-	out := b.dir[:1]
-	for _, sp := range b.dir[1:] {
-		last := out[len(out)-1]
-		if last.sameStates(sp) {
-			last.end = sp.end
-			if sp.gen > last.gen {
-				last.gen = sp.gen
-			}
-			continue
-		}
-		out = append(out, sp)
-	}
-	b.dir = out
-}
-
-// ---------------------------------------------------------------------------
 // Introspection (tests, debugging).
-
-// summarize folds per-span state letters over [off, end) into one string:
-// the letter itself when uniform, or a "+"-joined sequence in span order.
-func summarize(letters []string) string {
-	uniq := letters[:0:0]
-	for _, l := range letters {
-		if len(uniq) == 0 || uniq[len(uniq)-1] != l {
-			uniq = append(uniq, l)
-		}
-	}
-	return strings.Join(uniq, "+")
-}
-
-// overlappingSpansLocked returns the spans intersecting [off, end)
-// WITHOUT splitting: introspection must never mutate the directory.
-func (b *Buffer) overlappingSpansLocked(off, end int) []*span {
-	var out []*span
-	for _, sp := range b.dir {
-		if sp.end > off && sp.off < end {
-			out = append(out, sp)
-		}
-	}
-	return out
-}
 
 // States returns a summary of the MSI directory over this buffer's (or
 // view's) range: the host state plus one state per server address. When
@@ -447,20 +140,21 @@ func (b *Buffer) States() (host string, servers map[string]string) {
 	r := b.root()
 	off, end := b.viewRange()
 	r.mu.Lock()
-	defer r.mu.Unlock()
+	regions := r.coh.Regions(off, end)
+	r.mu.Unlock()
 	var hostL []string
-	perServer := map[*Server][]string{}
-	for _, sp := range r.overlappingSpansLocked(off, end) {
-		hostL = append(hostL, sp.host.String())
-		for srv, st := range sp.states {
-			perServer[srv] = append(perServer[srv], st.String())
+	perServer := map[coherence.Holder][]string{}
+	for _, reg := range regions {
+		hostL = append(hostL, reg.Host.String())
+		for h, st := range reg.Holders {
+			perServer[h] = append(perServer[h], st.String())
 		}
 	}
 	servers = map[string]string{}
-	for srv, letters := range perServer {
-		servers[srv.addr] = summarize(letters)
+	for h, letters := range perServer {
+		servers[h.(*Server).addr] = coherence.Summarize(letters)
 	}
-	return summarize(hostL), servers
+	return coherence.Summarize(hostL), servers
 }
 
 // RegionState describes one directory span for tests and debugging.
@@ -477,21 +171,13 @@ func (b *Buffer) RegionStates() []RegionState {
 	r := b.root()
 	off, end := b.viewRange()
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	spans := r.overlappingSpansLocked(off, end)
-	out := make([]RegionState, len(spans))
-	for i, sp := range spans {
-		// Clamp to the view window instead of splitting the directory.
-		so, se := sp.off, sp.end
-		if so < off {
-			so = off
-		}
-		if se > end {
-			se = end
-		}
-		rs := RegionState{Off: so, End: se, Host: sp.host.String(), Servers: map[string]string{}, Lost: sp.lostFrom != nil}
-		for srv, st := range sp.states {
-			rs.Servers[srv.addr] = st.String()
+	regions := r.coh.Regions(off, end)
+	r.mu.Unlock()
+	out := make([]RegionState, len(regions))
+	for i, reg := range regions {
+		rs := RegionState{Off: reg.Off, End: reg.End, Host: reg.Host.String(), Servers: map[string]string{}, Lost: reg.Lost}
+		for h, st := range reg.Holders {
+			rs.Servers[h.(*Server).addr] = st.String()
 		}
 		out[i] = rs
 	}
@@ -504,7 +190,18 @@ func (b *Buffer) SpanCount() int {
 	r := b.root()
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return len(r.dir)
+	return r.coh.SpanCount()
+}
+
+// LostRanges reports the byte ranges of this buffer (or view) whose only
+// valid copy died with its daemon: reads of them fail with cl.DataLost
+// until rewritten.
+func (b *Buffer) LostRanges() [][2]int {
+	r := b.root()
+	off, end := b.viewRange()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.coh.LostRanges(off, end)
 }
 
 // String renders the directory for debugging: "[0,512)M@A [512,1024)I".
@@ -522,37 +219,17 @@ func (b *Buffer) debugString() string {
 // markRangeWrittenBy records that a command on srv writes [off, end) of
 // the root buffer: srv's copy of the range becomes Modified, every other
 // copy of the range (including the client's) becomes Invalid; the rest of
-// the buffer is untouched — the refactor's core property. ev is the
-// writing command's event, gating later coherence reads of the range.
+// the buffer is untouched. ev is the writing command's event, gating
+// later coherence reads of the range.
 //
 // The directory is updated optimistically — enqueues are one-way and the
 // common case is success. If the command later fails (a deferred
 // fire-and-forget failure), the update is rolled back so the directory
-// does not gate forever on a failed event: when nothing else mutated the
-// directory in between, the range's exact prior state is spliced back
-// (minus srv's claim — a partially executed command may have scribbled on
-// its copy); otherwise only the failed write's own claim is withdrawn.
+// does not gate forever on a failed event.
 func (b *Buffer) markRangeWrittenBy(srv *Server, off, end int, ev *Event) {
 	r := b.root()
 	r.mu.Lock()
-	snap := r.snapshotRangeLocked(off, end)
-	spans := r.rangeSpansLocked(off, end)
-	for _, sp := range spans {
-		for s := range sp.states {
-			sp.states[s] = msiInvalid
-		}
-		sp.states[srv] = msiModified
-		sp.host = msiInvalid
-		sp.lastWrite[srv] = ev
-		// A write re-materializes a lost range: fresh data supersedes the
-		// copy that died with its daemon.
-		sp.lostFrom = nil
-		sp.lostWas = msiInvalid
-		sp.lostConn = 0
-	}
-	r.bumpLocked(spans)
-	gen := r.gen
-	r.mergeLocked()
+	snap, gen := r.coh.Claim(srv, off, end, ev)
 	r.mu.Unlock()
 	// In-flight inbound forwards toward the invalidated copies are NOT
 	// cancelled here: commands already enqueued on those servers may be
@@ -564,7 +241,9 @@ func (b *Buffer) markRangeWrittenBy(srv *Server, off, end int, ev *Event) {
 		if st == cl.Complete {
 			return
 		}
-		r.rollbackRangeWrite(srv, ev, off, end, gen, snap)
+		r.mu.Lock()
+		r.coh.RollbackClaim(srv, ev, off, end, gen, snap)
+		r.mu.Unlock()
 	}); err != nil {
 		// Callback registration cannot fail for Complete; nothing to do.
 		_ = err
@@ -578,195 +257,62 @@ func (b *Buffer) markWrittenBy(srv *Server, ev *Event) {
 	b.markRangeWrittenBy(srv, off, end, ev)
 }
 
-// rollbackRangeWrite undoes a markRangeWrittenBy whose command failed.
-// The snapshot is only spliced back when no other mutation touched the
-// RANGE in between (per-span generation check); otherwise the interim
-// state stands and only the failed write's own claim is withdrawn.
-func (b *Buffer) rollbackRangeWrite(srv *Server, ev *Event, off, end int, gen uint64, snap []*span) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.rangeGenLocked(off, end) <= gen {
-		b.restoreRangeLocked(off, end, snap)
-		for _, sp := range b.rangeSpansLocked(off, end) {
-			sp.states[srv] = msiInvalid
-			if sp.lastWrite[srv] == ev {
-				delete(sp.lastWrite, srv)
-			}
-		}
-	} else {
-		// Interim mutations happened; only withdraw the failed write's own
-		// claim wherever it still stands.
-		for _, sp := range b.rangeSpansLocked(off, end) {
-			if sp.lastWrite[srv] == ev {
-				delete(sp.lastWrite, srv)
-				sp.states[srv] = msiInvalid
-			}
-		}
-	}
-	b.bumpLocked(b.rangeSpansLocked(off, end))
-	b.mergeLocked()
-}
-
-// handleServerLost sweeps the directory after srv's connection died:
-// every claim srv held is withdrawn. Ranges with a surviving valid copy
-// (another server or the host cache) keep working — the next coherence
-// transfer re-homes them from the survivor. Ranges whose ONLY valid copy
-// was srv's become Lost: reads fail with cl.DataLost until a write
-// re-materializes them, and the vanished claim is recorded so a
-// re-attach that finds the daemon still retaining its session state can
-// restore it (the bytes never left the daemon).
+// handleServerLost sweeps the directory after srv's connection died.
 func (b *Buffer) handleServerLost(srv *Server) {
 	gen := srv.generation()
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	for _, sp := range b.dir {
-		had := sp.states[srv]
-		delete(sp.states, srv)
-		delete(sp.lastWrite, srv)
-		delete(sp.inbound, srv)
-		if had != msiShared && had != msiModified {
-			continue
-		}
-		survivor := sp.host != msiInvalid
-		for _, st := range sp.states {
-			if st == msiShared || st == msiModified {
-				survivor = true
-				break
-			}
-		}
-		if !survivor {
-			sp.lostFrom = srv
-			sp.lostWas = had
-			sp.lostConn = gen
-		}
-	}
-	b.bumpLocked(b.dir)
-	b.mergeLocked()
+	b.coh.SweepServer(srv, gen)
 }
 
 // restoreAfterReattach re-installs the claims that were recorded as lost
 // from srv, after a session re-attach confirmed the daemon retained its
 // state: the remote buffer still holds exactly the bytes the directory
-// thought were gone.
+// thought were gone. Only losses recorded against the connection the
+// retained session lived on are restorable.
 func (b *Buffer) restoreAfterReattach(srv *Server) {
-	// Only losses recorded against the connection the retained session
-	// lived on are restorable: a loss that already survived an UNRETAINED
-	// reattach (lostConn older — that data is gone for good) must keep
-	// reading as DataLost, never as the re-created buffer's zeros.
 	wantConn := srv.generation() - 1
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	touched := false
-	for _, sp := range b.dir {
-		if sp.lostFrom != srv || sp.lostConn != wantConn {
-			continue
-		}
-		sp.states[srv] = sp.lostWas
-		sp.lostFrom = nil
-		sp.lostWas = msiInvalid
-		sp.lostConn = 0
-		touched = true
-	}
-	if touched {
-		b.bumpLocked(b.dir)
-		b.mergeLocked()
-	}
-}
-
-// LostRanges reports the byte ranges of this buffer (or view) whose only
-// valid copy died with its daemon: reads of them fail with cl.DataLost
-// until rewritten.
-func (b *Buffer) LostRanges() [][2]int {
-	r := b.root()
-	off, end := b.viewRange()
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	var out [][2]int
-	for _, sp := range r.overlappingSpansLocked(off, end) {
-		if sp.lostFrom == nil {
-			continue
-		}
-		so, se := sp.off, sp.end
-		if so < off {
-			so = off
-		}
-		if se > end {
-			se = end
-		}
-		if n := len(out); n > 0 && out[n-1][1] == so {
-			out[n-1][1] = se
-			continue
-		}
-		out = append(out, [2]int{so, se})
-	}
-	return out
-}
-
-// markHostValidRangeIfUnchanged records that the client now holds valid
-// data for [off, off+len(data)) (after a coherence download): the
-// range's Modified owner drops to Shared, the host range becomes
-// Shared. The record only happens when no directory mutation touched
-// the range since gen was sampled (same per-span staleness rule as
-// noteHostRead); it reports whether the data was recorded.
-func (b *Buffer) markHostValidRangeIfUnchanged(off int, data []byte, gen uint64) bool {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.rangeGenLocked(off, off+len(data)) > gen {
-		return false
-	}
-	if b.hostCopy == nil {
-		b.hostCopy = make([]byte, b.size)
-	}
-	copy(b.hostCopy[off:], data)
-	spans := b.rangeSpansLocked(off, off+len(data))
-	for _, sp := range spans {
-		for s, st := range sp.states {
-			if st == msiModified {
-				sp.states[s] = msiShared
-			}
-		}
-		sp.host = msiShared
-	}
-	b.bumpLocked(spans)
-	b.mergeLocked()
-	return true
+	b.coh.Restore(srv, wantConn)
 }
 
 // noteHostRead updates directory state after the client read
 // [offset, offset+n) of the root buffer from srv (M→S downgrade on
 // reads). gen is the directory generation captured when the read was
-// enqueued: if any directory mutation happened while the read was in
-// flight (a newer write on another server, a forward, a rollback), the
-// returned bytes are a stale snapshot — still exactly what the racing
-// read legitimately observed, but NOT a valid current host copy — and
-// recording them would corrupt later coherence transfers sourced from
-// the host. Region granularity lifted the old whole-buffer-only
-// restriction: any range read validates exactly that host range.
+// enqueued: if any directory mutation touched the range while the read
+// was in flight, the returned bytes are a stale snapshot — still exactly
+// what the racing read legitimately observed, but NOT a valid current
+// host copy — and recording them would corrupt later coherence
+// transfers sourced from the host.
 func (b *Buffer) noteHostRead(srv *Server, offset, n int, data []byte, gen uint64) {
+	_ = srv
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	// Per-span staleness: only mutations that touched THIS range since
-	// the read was enqueued disqualify the snapshot — concurrent
-	// operations on disjoint ranges (e.g. the other parts of a stitched
-	// read) do not.
-	if b.rangeGenLocked(offset, offset+n) > gen {
+	if !b.coh.ValidateHost(offset, offset+n, gen) {
 		return
 	}
 	if b.hostCopy == nil {
 		b.hostCopy = make([]byte, b.size)
 	}
 	copy(b.hostCopy[offset:offset+n], data[:n])
-	spans := b.rangeSpansLocked(offset, offset+n)
-	for _, sp := range spans {
-		sp.host = msiShared
-		for s, st := range sp.states {
-			if st == msiModified {
-				sp.states[s] = msiShared
-			}
-		}
+}
+
+// markHostValidRangeIfUnchanged records that the client now holds valid
+// data for [off, off+len(data)) (after a coherence download), under the
+// same per-range staleness rule as noteHostRead; it reports whether the
+// data was recorded.
+func (b *Buffer) markHostValidRangeIfUnchanged(off int, data []byte, gen uint64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.coh.ValidateHost(off, off+len(data), gen) {
+		return false
 	}
-	b.bumpLocked(spans)
-	b.mergeLocked()
+	if b.hostCopy == nil {
+		b.hostCopy = make([]byte, b.size)
+	}
+	copy(b.hostCopy[off:], data)
+	return true
 }
 
 // inboundGatesRange returns the distinct pending inbound-forward gates
@@ -777,14 +323,21 @@ func (b *Buffer) noteHostRead(srv *Server, offset, n int, data []byte, gen uint6
 func (b *Buffer) inboundGatesRange(srv *Server, off, end int) []*Event {
 	r := b.root()
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	var gates []*Event
-	for _, sp := range r.rangeSpansLocked(off, end) {
-		if g := sp.inbound[srv]; g != nil && !containsEvent(gates, g) {
-			gates = append(gates, g)
-		}
+	gs := r.coh.InboundGates(srv, off, end)
+	r.mu.Unlock()
+	return gateEvents(gs)
+}
+
+// gateEvents converts coherence gates back to client event stubs.
+func gateEvents(gs []coherence.Gate) []*Event {
+	if len(gs) == 0 {
+		return nil
 	}
-	return gates
+	out := make([]*Event, len(gs))
+	for i, g := range gs {
+		out[i] = g.(*Event)
+	}
+	return out
 }
 
 func containsEvent(evs []*Event, e *Event) bool {
@@ -842,39 +395,34 @@ func (b *Buffer) ensureRangeValidOn(q *Queue, off, end int) ([]*Event, error) {
 	pos := off
 	for pos < end {
 		r.mu.Lock()
-		sp := r.dir[r.spanIndexLocked(pos)]
-		ce := sp.end
-		if ce > end {
-			ce = end
-		}
-		if st := sp.states[srv]; st == msiShared || st == msiModified {
+		p := r.coh.ProbeAt(srv, pos, end)
+		r.mu.Unlock()
+		if p.ValidHere {
 			// The copy may be valid-but-in-flight: an optimistically Shared
 			// state whose forwarded payload has not landed yet. Dependent
 			// commands must still wait on the transfer's gate — the payload
 			// arrives outside every queue's in-order stream.
-			g := sp.inbound[srv]
-			r.mu.Unlock()
-			if g != nil && !containsEvent(gates, g) {
-				gates = append(gates, g)
+			if p.Inbound != nil {
+				if g := p.Inbound.(*Event); !containsEvent(gates, g) {
+					gates = append(gates, g)
+				}
 			}
-			pos = ce
+			pos = p.End
 			continue
 		}
-		hostValid := sp.host != msiInvalid
-		src := sp.sourceLocked()
-		lost := sp.lostFrom != nil
-		if !hostValid && src == nil && !lost && sp.deadHolderLocked() {
-			r.mu.Unlock()
-			return nil, cl.Errf(cl.ServerLost, "buffer %d range [%d,%d): holder's connection just died (sweep pending)", b.id, pos, ce)
+		if !p.HostValid && p.Src == nil && !p.Lost && p.DeadHolder {
+			return nil, cl.Errf(cl.ServerLost, "buffer %d range [%d,%d): holder's connection just died (sweep pending)", b.id, pos, p.End)
 		}
+		var src *Server
 		var srcGate *Event
-		if src != nil {
-			srcGate = sp.lastWrite[src]
+		if p.Src != nil {
+			src = p.Src.(*Server)
 		}
-		startGen := sp.gen
-		r.mu.Unlock()
+		if p.SrcGate != nil {
+			srcGate = p.SrcGate.(*Event)
+		}
 
-		g, retry, err := r.makeRangeValid(q, pos, ce, hostValid, lost, src, srcGate, startGen)
+		g, retry, err := r.makeRangeValid(q, pos, p.End, p.HostValid, p.Lost, src, srcGate, p.Gen)
 		if err != nil {
 			return nil, err
 		}
@@ -887,7 +435,7 @@ func (b *Buffer) ensureRangeValidOn(q *Queue, off, end int) ([]*Event, error) {
 		if g != nil && !containsEvent(gates, g) {
 			gates = append(gates, g)
 		}
-		pos = ce
+		pos = p.End
 	}
 	return gates, nil
 }
@@ -958,23 +506,17 @@ func (b *Buffer) uploadRange(q *Queue, ps, pe int) (*Event, error) {
 		// Shared-but-never-written range: contents are defined as zero.
 		b.hostCopy = make([]byte, b.size)
 	}
-	data := b.hostCopy[ps:pe:pe]
+	// Snapshot the range into a pooled payload under the directory lock:
+	// the host cache is mutable (a concurrent read may refresh it), and
+	// the zero-copy send path references its payload until the deferred
+	// flush — a stable private copy is required, and the pool makes it
+	// allocation-free in steady state.
+	data := gcf.GetPayload(pe - ps)
+	copy(data, b.hostCopy[ps:pe])
 	// Disassociate superseded inbound gates now: the upload is about to
 	// own srv's claim on the range, and the old gates' failure callbacks
 	// must not revoke it (rollback is ownership-guarded per span).
-	var stale []*Event
-	staleSpans := b.rangeSpansLocked(ps, pe)
-	for _, sp := range staleSpans {
-		if g := sp.inbound[srv]; g != nil {
-			delete(sp.inbound, srv)
-			if !containsEvent(stale, g) {
-				stale = append(stale, g)
-			}
-		}
-	}
-	if len(stale) > 0 {
-		b.bumpLocked(staleSpans)
-	}
+	stale := b.coh.DisownInbound(srv, ps, pe)
 	b.mu.Unlock()
 	for _, g := range stale {
 		// A superseded forward is still in flight toward srv (its claim
@@ -982,19 +524,14 @@ func (b *Buffer) uploadRange(q *Queue, ps, pe int) (*Event, error) {
 		// one-way message that dispatches ahead of the upload on this
 		// same connection: the daemon's gate guard then guarantees the
 		// stale payload can never land over the fresh upload.
-		b.cancelSupersededForward(g)
+		b.cancelSupersededForward(g.(*Event))
 	}
-	ev, err := q.enqueueWriteInternal(b.root(), false, ps, data, nil, false)
+	ev, err := q.enqueueWriteInternal(b.root(), false, ps, data, func() { gcf.PutPayload(data) }, nil, false)
 	if err != nil {
 		return nil, err
 	}
 	b.mu.Lock()
-	spans := b.rangeSpansLocked(ps, pe)
-	for _, sp := range spans {
-		sp.states[srv] = msiShared
-	}
-	b.bumpLocked(spans)
-	b.mergeLocked()
+	b.coh.Validate(srv, ps, pe)
 	b.mu.Unlock()
 	// The upload is one-way: if the daemon later rejects it, srv never
 	// received the data and the optimistic Shared claim must be revoked.
@@ -1006,14 +543,7 @@ func (b *Buffer) uploadRange(q *Queue, ps, pe int) (*Event, error) {
 			return
 		}
 		b.mu.Lock()
-		revoked := b.rangeSpansLocked(ps, pe)
-		for _, sp := range revoked {
-			if sp.states[srv] == msiShared {
-				sp.states[srv] = msiInvalid
-			}
-		}
-		b.bumpLocked(revoked)
-		b.mergeLocked()
+		b.coh.Invalidate(srv, ps, pe)
 		b.mu.Unlock()
 	}); cerr != nil {
 		return nil, cerr
@@ -1110,17 +640,7 @@ func (b *Buffer) forwardRange(src, dst *Server, ps, pe int, srcGate *Event) (*Ev
 	// M→S, dst gains a Shared copy gated on the transfer; the host copy is
 	// untouched (the payload never visits the client).
 	b.mu.Lock()
-	fwdSpans := b.rangeSpansLocked(ps, pe)
-	for _, sp := range fwdSpans {
-		if sp.states[src] == msiModified {
-			sp.states[src] = msiShared
-		}
-		sp.states[dst] = msiShared
-		sp.lastWrite[dst] = gate
-		sp.inbound[dst] = gate
-	}
-	b.bumpLocked(fwdSpans)
-	b.mergeLocked()
+	b.coh.ValidateForward(src, dst, ps, pe, gate)
 	b.mu.Unlock()
 	if cerr := gate.SetCallback(cl.Complete, func(_ cl.Event, st cl.CommandStatus) {
 		// A transport-class failure means the peer path itself is broken
@@ -1131,31 +651,8 @@ func (b *Buffer) forwardRange(src, dst *Server, ps, pe int, srcGate *Event) (*Ev
 		if st != cl.Complete && cl.ErrorCode(st) == cl.InvalidServer {
 			src.markPeerUnreachable(peerAddr)
 		}
-		// Gate removal and state rollback happen in ONE critical
-		// section per span: a gap between them would let a concurrent
-		// ensureValid observe "Shared, no gate" and run ungated against a
-		// failed transfer. The rollback only runs where this gate still
-		// owns dst's claim (inbound entry intact) — once a successor
-		// transfer or upload has re-validated part of the range, revoking
-		// its fresh Shared state would just force a redundant re-transfer.
 		b.mu.Lock()
-		settled := b.rangeSpansLocked(ps, pe)
-		for _, sp := range settled {
-			if sp.inbound[dst] != gate {
-				continue
-			}
-			delete(sp.inbound, dst)
-			if st != cl.Complete {
-				if sp.states[dst] == msiShared {
-					sp.states[dst] = msiInvalid
-				}
-				if sp.lastWrite[dst] == gate {
-					delete(sp.lastWrite, dst)
-				}
-			}
-		}
-		b.bumpLocked(settled)
-		b.mergeLocked()
+		b.coh.SettleForward(dst, ps, pe, gate, st == cl.Complete)
 		b.mu.Unlock()
 	}); cerr != nil {
 		return nil, cerr
@@ -1177,77 +674,23 @@ type readPart struct {
 // the host copy. It returns nil when the whole range is already valid on
 // q's server (the caller then uses the plain single-read path), and an
 // error when some sub-range has no valid copy anywhere.
-//
-// This is what stitches the result of a partitioned kernel: a
-// whole-buffer read after disjoint per-daemon writes turns into one
-// range-read per daemon, each moving only the bytes that daemon owns.
 func (b *Buffer) readPlan(q *Queue, off, end int) ([]readPart, error) {
 	r := b.root()
-	srv := q.srv
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	allLocal := true
-	var parts []readPart
-	for _, sp := range r.rangeSpansLocked(off, end) {
-		var part readPart
-		part.off, part.end = sp.off, sp.end
-		switch {
-		case sp.states[srv] == msiShared || sp.states[srv] == msiModified:
-			part.holder = srv
-		default:
-			allLocal = false
-			holder := sp.sourceLocked()
-			if holder == nil {
-				if sp.host == msiInvalid {
-					if sp.lostFrom != nil {
-						return nil, cl.Errf(cl.DataLost, "buffer %d range [%d,%d): only valid copy died with its daemon", r.id, sp.off, sp.end)
-					}
-					if sp.deadHolderLocked() {
-						return nil, cl.Errf(cl.ServerLost, "buffer %d range [%d,%d): holder's connection just died (sweep pending)", r.id, sp.off, sp.end)
-					}
-					return nil, cl.Errf(cl.InvalidMemObject, "buffer %d range [%d,%d) has no valid copy", r.id, sp.off, sp.end)
-				}
-				part.holder = nil // host copy
-				break
-			}
-			part.holder = holder
-		}
-		if part.holder != nil {
-			if g := sp.inbound[part.holder]; g != nil {
-				part.gates = append(part.gates, g)
-			}
-			if part.holder != srv {
-				// The read runs on the holder's coherence queue, which is
-				// not the queue the producing write ran on: gate on it.
-				if g := sp.lastWrite[part.holder]; g != nil && !containsEvent(part.gates, g) {
-					part.gates = append(part.gates, g)
-				}
-			}
-		}
-		// Coalesce with the previous part when the holder matches and the
-		// gates agree (common case: merged spans already maximal).
-		if n := len(parts); n > 0 && parts[n-1].end == part.off && parts[n-1].holder == part.holder && sameGates(parts[n-1].gates, part.gates) {
-			parts[n-1].end = part.end
-			continue
-		}
-		parts = append(parts, part)
+	parts, err := r.coh.ReadPlan(q.srv, off, end)
+	r.mu.Unlock()
+	if err != nil || parts == nil {
+		return nil, err
 	}
-	if allLocal {
-		return nil, nil
-	}
-	return parts, nil
-}
-
-func sameGates(a, b []*Event) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
+	out := make([]readPart, len(parts))
+	for i, p := range parts {
+		rp := readPart{off: p.Off, end: p.End, gates: gateEvents(p.Gates)}
+		if p.Holder != nil {
+			rp.holder = p.Holder.(*Server)
 		}
+		out[i] = rp
 	}
-	return true
+	return out, nil
 }
 
 // hostRangeCopy copies [off, end) of the host cache into dst (zeros when

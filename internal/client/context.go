@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"dopencl/internal/cl"
+	"dopencl/internal/coherence"
 	"dopencl/internal/kernel"
 	"dopencl/internal/protocol"
 )
@@ -367,18 +368,16 @@ func (c *Context) CreateBuffer(flags cl.MemFlags, size int, host []byte) (cl.Buf
 	if flags&cl.MemCopyHostPtr != 0 {
 		b.hostCopy = append([]byte(nil), host...)
 	}
-	whole := &span{off: 0, end: size, host: msiShared,
-		states:    map[*Server]msiState{},
-		lastWrite: map[*Server]*Event{},
-		inbound:   map[*Server]*Event{},
+	holders := make([]coherence.Holder, len(c.servers))
+	for i, srv := range c.servers {
+		holders[i] = srv
 	}
-	b.dir = []*span{whole}
+	b.coh = coherence.New(b.id, size, holders...)
 	remoteFlags := flags &^ cl.MemCopyHostPtr
 	for _, srv := range c.servers {
 		// Dead servers are skipped, like CreateKernel/SetArg: their copy
 		// is Invalid anyway, the re-attach recovery re-creates the remote
 		// object, and the application keeps computing on the survivors.
-		whole.states[srv] = msiInvalid
 		if !srv.Connected() {
 			continue
 		}

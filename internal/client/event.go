@@ -75,6 +75,10 @@ func newUserEventStub(ctx *Context) *UserEvent {
 // Status returns the local view of the event status.
 func (e *Event) Status() cl.CommandStatus { return e.latch.Status() }
 
+// Settled reports successful completion (coherence.Gate: a settled
+// write gates nothing and may be dropped from the directory).
+func (e *Event) Settled() bool { return e.Status() == cl.Complete }
+
 // Wait blocks until the event completes.
 func (e *Event) Wait() error { return e.latch.Wait() }
 

@@ -279,12 +279,7 @@ func TestCrossServerCopyContract(t *testing.T) {
 	}
 	cb := buf.(*Buffer)
 	cb.mu.Lock()
-	for _, sp := range cb.dir {
-		sp.host = msiInvalid
-		for srv := range sp.states {
-			sp.states[srv] = msiInvalid
-		}
-	}
+	cb.coh.ForceInvalidate(0, cb.size)
 	cb.mu.Unlock()
 	if _, err := q1.EnqueueCopyBuffer(buf, dst, 0, 0, 16, nil); cl.CodeOf(err) != cl.InvalidMemObject {
 		t.Fatalf("source without valid copy: got %v, want InvalidMemObject", err)

@@ -151,7 +151,11 @@ type graphReg struct {
 	// MsgRegisterGraph is a one-way frame: it can die with the connection
 	// even when the daemon retains the session, so a registration is only
 	// trusted on the connection that carried it.
-	conn    uint64
+	conn uint64
+	// delta records whether this registration asked for delta-capable
+	// replay updates (daemon advertised CapDeltaReplay): only then may
+	// replays ship GraphPayloadDelta streams against the cached payloads.
+	delta   bool
 	queueID uint64 // daemon queue the graph was registered against
 }
 
@@ -385,11 +389,13 @@ func (cb *CommandBuffer) registerLocked(q *Queue) error {
 		}
 	}
 	wire, uploads, streams := cb.wireCommandsLocked(srv)
+	delta := srv.supportsDeltaReplay() && !q.ctx.plat.opts.NoReplayDelta
 	if err := srv.send(protocol.MsgRegisterGraph, func(w *protocol.Writer) {
 		protocol.PutRegisterGraph(w, protocol.RegisterGraph{
-			GraphID:  cb.id,
-			QueueID:  q.id,
-			Commands: wire,
+			GraphID:     cb.id,
+			QueueID:     q.id,
+			Commands:    wire,
+			DeltaReplay: delta,
 		})
 	}); err != nil {
 		// The registration never left the client; the payload streams
@@ -402,7 +408,7 @@ func (cb *CommandBuffer) registerLocked(q *Queue) error {
 	for _, up := range uploads {
 		go up()
 	}
-	cb.reg[srv] = graphReg{epoch: srv.Epoch(), conn: srv.generation(), queueID: q.id}
+	cb.reg[srv] = graphReg{epoch: srv.Epoch(), conn: srv.generation(), queueID: q.id, delta: delta}
 	return nil
 }
 
@@ -467,7 +473,7 @@ func (q *Queue) EnqueueCommandBuffer(b cl.CommandBuffer, updates []cl.CommandUpd
 		}
 	}
 	var wireUpdates []protocol.GraphUpdate
-	var updPayloads [][]byte // parallel to GraphUpdateWriteData entries
+	var updPayloads []updPayload // parallel to GraphUpdateWriteData entries
 	for _, u := range updates {
 		wu, payload, undo, dirty, err := cb.applyUpdateLocked(u)
 		if err != nil {
@@ -479,7 +485,7 @@ func (q *Queue) EnqueueCommandBuffer(b cl.CommandBuffer, updates []cl.CommandUpd
 		footprintDirty = footprintDirty || dirty
 		if wu != nil {
 			wireUpdates = append(wireUpdates, *wu)
-			if payload != nil {
+			if payload.cur != nil {
 				updPayloads = append(updPayloads, payload)
 			}
 		}
@@ -494,6 +500,7 @@ func (q *Queue) EnqueueCommandBuffer(b cl.CommandBuffer, updates []cl.CommandUpd
 		readDsts[i] = cb.cmds[idx].rdst
 	}
 	graphID := cb.id
+	deltaOK := cb.reg[q.srv].delta
 	cb.mu.Unlock()
 	// Re-locks cb.mu: the mutations must be withdrawn atomically with
 	// respect to other replays.
@@ -549,14 +556,35 @@ func (q *Queue) EnqueueCommandBuffer(b cl.CommandBuffer, updates []cl.CommandUpd
 		readStreams[i] = q.srv.openStream()
 		readIDs[i] = readStreams[i].ID()
 	}
+	// Encode each updated write payload: on delta-negotiated graphs both
+	// sides hold the previous iteration's payload (the daemon as the
+	// cached command, the client as the pre-update plan), so the stream
+	// ships just the changed byte runs when that is smaller. Updates ride
+	// the same ordered connection as the baselines they were encoded
+	// against; like the update mechanism itself, delta encoding assumes
+	// replays of one command buffer are not raced from multiple
+	// goroutines.
 	updStreams := make([]*gcf.Stream, 0, len(updPayloads))
+	shipPayloads := make([][]byte, 0, len(updPayloads))
+	j := 0
 	for i := range wireUpdates {
 		if wireUpdates[i].Kind != protocol.GraphUpdateWriteData {
 			continue
 		}
+		up := updPayloads[j]
+		j++
+		data := up.cur
+		if deltaOK {
+			if enc, ok := protocol.EncodeDelta(up.prev, up.cur); ok {
+				data = enc
+				wireUpdates[i].Encoding = protocol.GraphPayloadDelta
+			}
+		}
+		wireUpdates[i].PayloadLen = uint32(len(data))
 		st := q.srv.openStream()
 		wireUpdates[i].StreamID = st.ID()
 		updStreams = append(updStreams, st)
+		shipPayloads = append(shipPayloads, data)
 	}
 	releaseStreams := func() {
 		for _, st := range readStreams {
@@ -627,7 +655,7 @@ func (q *Queue) EnqueueCommandBuffer(b cl.CommandBuffer, updates []cl.CommandUpd
 	}
 	// Ship updated write payloads behind the exec frame.
 	for i, st := range updStreams {
-		data := updPayloads[i]
+		data := shipPayloads[i]
 		go func() {
 			defer st.Release()
 			if _, werr := st.Write(data); werr != nil {
@@ -646,25 +674,32 @@ func (q *Queue) EnqueueCommandBuffer(b cl.CommandBuffer, updates []cl.CommandUpd
 	return wrapped, nil
 }
 
+// updPayload is one write-data update's ship set: the new payload and
+// the baseline it replaced (the daemon's cached payload, used as the
+// delta-encoding baseline on delta-negotiated graphs).
+type updPayload struct {
+	cur, prev []byte
+}
+
 // applyUpdateLocked patches one mutable slot of the client-side plan and
 // returns the wire update for the daemon's cached copy (nil for
-// client-only slots such as read destinations), the payload to ship for
-// write-data updates, an undo closure withdrawing the mutation (run if
-// the exec frame never makes it onto the wire), and whether the
+// client-only slots such as read destinations), the payload pair to ship
+// for write-data updates, an undo closure withdrawing the mutation (run
+// if the exec frame never makes it onto the wire), and whether the
 // coherence footprint changed.
-func (cb *CommandBuffer) applyUpdateLocked(u cl.CommandUpdate) (*protocol.GraphUpdate, []byte, func(), bool, error) {
+func (cb *CommandBuffer) applyUpdateLocked(u cl.CommandUpdate) (*protocol.GraphUpdate, updPayload, func(), bool, error) {
 	if u.Command < 0 || u.Command >= len(cb.cmds) {
-		return nil, nil, nil, false, cl.Errf(cl.InvalidCommandBuffer, "update targets command %d of %d", u.Command, len(cb.cmds))
+		return nil, updPayload{}, nil, false, cl.Errf(cl.InvalidCommandBuffer, "update targets command %d of %d", u.Command, len(cb.cmds))
 	}
 	c := cb.cmds[u.Command]
 	switch u.Kind {
 	case cl.UpdateKernelArg:
 		if c.op != protocol.GraphOpKernel {
-			return nil, nil, nil, false, cl.Errf(cl.InvalidCommandBuffer, "command %d is not a kernel launch", u.Command)
+			return nil, updPayload{}, nil, false, cl.Errf(cl.InvalidCommandBuffer, "command %d is not a kernel launch", u.Command)
 		}
 		wa, err := c.k.encodeArg(u.ArgIndex, u.ArgValue)
 		if err != nil {
-			return nil, nil, nil, false, err
+			return nil, updPayload{}, nil, false, err
 		}
 		prev := c.args[u.ArgIndex]
 		dirty := wa.buf != prev.buf
@@ -674,30 +709,30 @@ func (cb *CommandBuffer) applyUpdateLocked(u cl.CommandUpdate) (*protocol.GraphU
 			Kind:     protocol.GraphUpdateKernelArg,
 			ArgIndex: uint32(u.ArgIndex),
 			Arg:      wa.proto(),
-		}, nil, func() { c.args[u.ArgIndex] = prev }, dirty, nil
+		}, updPayload{}, func() { c.args[u.ArgIndex] = prev }, dirty, nil
 	case cl.UpdateWriteData:
 		if c.op != protocol.GraphOpWrite {
-			return nil, nil, nil, false, cl.Errf(cl.InvalidCommandBuffer, "command %d is not a write", u.Command)
+			return nil, updPayload{}, nil, false, cl.Errf(cl.InvalidCommandBuffer, "command %d is not a write", u.Command)
 		}
 		if len(u.Data) != c.size {
-			return nil, nil, nil, false, cl.Errf(cl.InvalidValue, "write update of %d bytes, recorded size %d", len(u.Data), c.size)
+			return nil, updPayload{}, nil, false, cl.Errf(cl.InvalidValue, "write update of %d bytes, recorded size %d", len(u.Data), c.size)
 		}
 		prev := c.data
 		c.data = append([]byte(nil), u.Data...)
 		return &protocol.GraphUpdate{
 			Cmd:  uint32(u.Command),
 			Kind: protocol.GraphUpdateWriteData,
-		}, c.data, func() { c.data = prev }, false, nil
+		}, updPayload{cur: c.data, prev: prev}, func() { c.data = prev }, false, nil
 	case cl.UpdateReadDst:
 		if c.op != protocol.GraphOpRead {
-			return nil, nil, nil, false, cl.Errf(cl.InvalidCommandBuffer, "command %d is not a read", u.Command)
+			return nil, updPayload{}, nil, false, cl.Errf(cl.InvalidCommandBuffer, "command %d is not a read", u.Command)
 		}
 		if len(u.Data) != c.size {
-			return nil, nil, nil, false, cl.Errf(cl.InvalidValue, "read update of %d bytes, recorded size %d", len(u.Data), c.size)
+			return nil, updPayload{}, nil, false, cl.Errf(cl.InvalidValue, "read update of %d bytes, recorded size %d", len(u.Data), c.size)
 		}
 		prev := c.rdst
 		c.rdst = u.Data
-		return nil, nil, func() { c.rdst = prev }, false, nil
+		return nil, updPayload{}, func() { c.rdst = prev }, false, nil
 	}
-	return nil, nil, nil, false, cl.Errf(cl.InvalidValue, "unknown update kind %d", u.Kind)
+	return nil, updPayload{}, nil, false, cl.Errf(cl.InvalidValue, "unknown update kind %d", u.Kind)
 }

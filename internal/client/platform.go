@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"dopencl/internal/cl"
+	"dopencl/internal/gcf"
 	"dopencl/internal/protocol"
 )
 
@@ -29,6 +30,11 @@ type Options struct {
 	// disables probing (transport errors still surface immediately).
 	HeartbeatInterval time.Duration
 	HeartbeatTimeout  time.Duration
+	// NoReplayDelta disables delta encoding of graph-replay write
+	// payloads even against daemons that advertise support. Full frames
+	// are shipped instead — a diagnostic/benchmark knob; the default
+	// (delta on where negotiated) is strictly less data on the wire.
+	NoReplayDelta bool
 }
 
 // Platform is the uniform dOpenCL platform (Section III-E): a self-
@@ -81,11 +87,11 @@ func (p *Platform) ConnectServer(addr string) (*Server, error) {
 // connectServerAuth connects with an authentication ID (device-manager
 // leases use this; direct connections pass "").
 func (p *Platform) connectServerAuth(addr, authID string) (*Server, error) {
-	conn, err := p.opts.Dialer(addr)
+	ep, err := p.dialEndpoint(addr)
 	if err != nil {
-		return nil, cl.Errf(cl.InvalidServer, "connecting to %s: %v", addr, err)
+		return nil, err
 	}
-	s, err := dialServer(p, addr, conn, authID)
+	s, err := dialServer(p, addr, ep, authID)
 	if err != nil {
 		return nil, err
 	}
@@ -93,6 +99,21 @@ func (p *Platform) connectServerAuth(addr, authID string) (*Server, error) {
 	p.servers = append(p.servers, s)
 	p.mu.Unlock()
 	return s, nil
+}
+
+// dialEndpoint opens a gcf endpoint to addr, preferring the in-process
+// fast path: a daemon that registered addr via ServeLocal in this
+// process is connected through a local endpoint pair (zero-copy, no
+// sockets); anything else goes through the configured Dialer.
+func (p *Platform) dialEndpoint(addr string) (*gcf.Endpoint, error) {
+	if ep, ok := gcf.DialLocal(addr); ok {
+		return ep, nil
+	}
+	conn, err := p.opts.Dialer(addr)
+	if err != nil {
+		return nil, cl.Errf(cl.InvalidServer, "connecting to %s: %v", addr, err)
+	}
+	return gcf.NewEndpoint(conn, true), nil
 }
 
 // DisconnectServer removes the server from the platform; its devices

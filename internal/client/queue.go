@@ -156,7 +156,7 @@ func (q *Queue) EnqueueWriteBuffer(b cl.Buffer, blocking bool, offset int, data 
 	// memcpy-ing, so a failed forward fails this write too (safe, and
 	// the application can simply retry).
 	wait = withGateList(wait, cb.root().inboundGatesRange(q.srv, aoff, aend))
-	ev, err := q.enqueueWriteInternal(cb.root(), blocking, aoff, data, wait, true)
+	ev, err := q.enqueueWriteInternal(cb.root(), blocking, aoff, data, nil, wait, true)
 	if err != nil {
 		return nil, err
 	}
@@ -168,9 +168,24 @@ func (q *Queue) EnqueueWriteBuffer(b cl.Buffer, blocking bool, offset int, data 
 // the server's copy of the written range as Modified (application
 // writes); coherence uploads pass mark=false and adjust states
 // themselves.
-func (q *Queue) enqueueWriteInternal(cb *Buffer, blocking bool, offset int, data []byte, wait []cl.Event, mark bool) (*Event, error) {
+//
+// The payload ships zero-copy: the transport's frames REFERENCE data
+// until the deferred flush writes them to the socket. For blocking
+// writes the event wait implies the flush, so the caller may reuse the
+// slice on return, exactly as before. For non-blocking writes the
+// caller must not mutate data until the command completes — which is
+// OpenCL's own contract for a non-blocking clEnqueueWriteBuffer, so
+// application writes need no copy at all. Internal callers that cannot
+// honour that (coherence uploads from the mutable host cache) pass a
+// pooled snapshot plus a release callback; release is called exactly
+// once on every path — after the last frame flushes, or on the early
+// error returns below.
+func (q *Queue) enqueueWriteInternal(cb *Buffer, blocking bool, offset int, data []byte, release func(), wait []cl.Event, mark bool) (*Event, error) {
 	waitIDs, err := translateWaitList(q.srv, wait)
 	if err != nil {
+		if release != nil {
+			release()
+		}
 		return nil, err
 	}
 	ev := q.newCommandEvent()
@@ -186,6 +201,9 @@ func (q *Queue) enqueueWriteInternal(cb *Buffer, blocking bool, offset int, data
 	}); err != nil {
 		q.srv.dropHook(ev.originID)
 		stream.Release()
+		if release != nil {
+			release()
+		}
 		return nil, err
 	}
 	q.track(ev)
@@ -201,7 +219,7 @@ func (q *Queue) enqueueWriteInternal(cb *Buffer, blocking bool, offset int, data
 	// stages the data).
 	if blocking {
 		defer stream.Release()
-		if _, werr := stream.Write(data); werr != nil {
+		if werr := stream.WriteOwned(data, release); werr != nil {
 			return nil, cl.Errf(cl.InvalidServer, "bulk upload failed: %v", werr)
 		}
 		if werr := stream.CloseWrite(); werr != nil {
@@ -216,12 +234,10 @@ func (q *Queue) enqueueWriteInternal(cb *Buffer, blocking bool, offset int, data
 	}
 	go func() {
 		defer stream.Release()
-		if _, werr := stream.Write(data); werr != nil {
+		if werr := stream.WriteOwned(data, release); werr != nil {
 			return
 		}
-		if werr := stream.CloseWrite(); werr != nil {
-			return
-		}
+		_ = stream.CloseWrite()
 	}()
 	return ev, nil
 }
@@ -352,7 +368,7 @@ func (q *Queue) enqueueReadInternal(cb *Buffer, blocking bool, offset int, dst [
 	// the host-copy cache if no directory mutation raced it (see
 	// noteHostRead).
 	cb.mu.Lock()
-	gen := cb.gen
+	gen := cb.coh.Generation()
 	cb.mu.Unlock()
 	recv := func() error {
 		defer stream.Release()

@@ -19,7 +19,6 @@ package client
 
 import (
 	"fmt"
-	"net"
 	"sync"
 	"sync/atomic"
 
@@ -42,6 +41,9 @@ type Server struct {
 	// daemon can originate forwards.
 	peerAddr   string
 	canForward bool
+	// caps holds the daemon's optional-feature capability bits
+	// (protocol.Cap*), also learned in the Hello/attach exchange.
+	caps uint32
 
 	nextReq atomic.Uint32
 
@@ -108,6 +110,10 @@ func (s *Server) Connected() bool {
 	return s.connected
 }
 
+// Alive reports connection liveness (coherence.Holder: dead holders are
+// never offered as transfer sources).
+func (s *Server) Alive() bool { return s.Connected() }
+
 // Devices returns the devices this server exposes to this client.
 func (s *Server) Devices() []*Device {
 	s.mu.Lock()
@@ -116,7 +122,7 @@ func (s *Server) Devices() []*Device {
 }
 
 // dial establishes the gcf session and performs the Hello exchange.
-func dialServer(p *Platform, addr string, conn net.Conn, authID string) (*Server, error) {
+func dialServer(p *Platform, addr string, ep *gcf.Endpoint, authID string) (*Server, error) {
 	s := &Server{
 		plat:      p,
 		addr:      addr,
@@ -130,7 +136,6 @@ func dialServer(p *Platform, addr string, conn net.Conn, authID string) (*Server
 		// in call/send, like a re-attach handshake does.
 		reattaching: true,
 	}
-	ep := gcf.NewEndpoint(conn, true)
 	s.mu.Lock()
 	s.ep = ep
 	s.mu.Unlock()
@@ -149,6 +154,7 @@ func dialServer(p *Platform, addr string, conn net.Conn, authID string) (*Server
 	s.peerAddr = resp.String()
 	s.canForward = resp.Bool()
 	sessionID := resp.U64()
+	caps := resp.U32()
 	if resp.Err() != nil {
 		ep.Close()
 		return nil, cl.Errf(cl.InvalidServer, "malformed hello response from %s", addr)
@@ -158,6 +164,7 @@ func dialServer(p *Platform, addr string, conn net.Conn, authID string) (*Server
 		s.devices = append(s.devices, &Device{srv: s, unitID: rec.UnitID, info: rec.Info})
 	}
 	s.sessionID = sessionID
+	s.caps = caps
 	s.connected = true
 	s.reattaching = false
 	s.mu.Unlock()
@@ -525,6 +532,14 @@ func (s *Server) CanForward() bool {
 	return s.canForward
 }
 
+// supportsDeltaReplay reports whether the daemon decodes delta-encoded
+// replay payload updates (CapDeltaReplay in the handshake).
+func (s *Server) supportsDeltaReplay() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.caps&protocol.CapDeltaReplay != 0
+}
+
 // markPeerUnreachable records that this daemon failed to reach the peer
 // at addr; later coherence transfers toward that peer fall back to the
 // client-mediated path instead of failing repeatedly.
@@ -595,11 +610,10 @@ func (s *Server) Reattach() (retained bool, err error) {
 		s.mu.Unlock()
 	}()
 
-	conn, err := s.plat.opts.Dialer(s.addr)
+	ep, err := s.plat.dialEndpoint(s.addr)
 	if err != nil {
 		return false, cl.Errf(cl.ServerLost, "reconnecting to %s: %v", s.addr, err)
 	}
-	ep := gcf.NewEndpoint(conn, true)
 	s.mu.Lock()
 	s.ep = ep
 	s.mu.Unlock()
@@ -620,6 +634,7 @@ func (s *Server) Reattach() (retained bool, err error) {
 	peerAddr := resp.String()
 	canFwd := resp.Bool()
 	newSID := resp.U64()
+	caps := resp.U32()
 	if resp.Err() != nil {
 		ep.Close()
 		return false, cl.Errf(cl.InvalidServer, "malformed attach response from %s", s.addr)
@@ -630,6 +645,7 @@ func (s *Server) Reattach() (retained bool, err error) {
 	s.peerAddr = peerAddr
 	s.canForward = canFwd
 	s.sessionID = newSID
+	s.caps = caps
 	s.badPeers = map[string]bool{}
 	s.queueErrs = map[uint64][]deferredFailure{}
 	s.sessErrs = nil

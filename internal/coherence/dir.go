@@ -1,0 +1,844 @@
+package coherence
+
+import (
+	"strconv"
+	"strings"
+
+	"dopencl/internal/cl"
+)
+
+// State is the coherence state of one cached buffer-region copy
+// (Section III-D: directory-based MSI with the client's stub as
+// directory and the remote buffers as caches).
+type State int
+
+// MSI states.
+const (
+	Invalid State = iota
+	Shared
+	Modified
+)
+
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Modified:
+		return "M"
+	}
+	return "?"
+}
+
+// Holder identifies one remote cache (a daemon connection). Holders are
+// compared by identity (map keys), so implementations must be pointers.
+type Holder interface {
+	// Alive reports whether the holder's connection is up. Dead holders
+	// are never offered as transfer sources: between a server dying and
+	// the directory sweep clearing its claims, a transfer must not be
+	// pointed at a dead daemon when a surviving holder exists.
+	Alive() bool
+}
+
+// Gate is a completion-gated event guarding a span: the most recent
+// writing command of a holder, or an in-flight inbound forward. Gates
+// are compared by identity.
+type Gate interface {
+	// Settled reports whether the gate has completed successfully. A
+	// settled write gates nothing, so merging drops it — keeping it
+	// would pin span boundaries forever.
+	Settled() bool
+}
+
+// span is one interval of the region directory: a maximal byte range
+// [off, end) over which every copy (host and per-holder) has a uniform
+// coherence state.
+//
+// Invariants (checked by tests, per span):
+//   - at most one copy (host or any holder) is Modified;
+//   - if some copy is Modified, every other copy is Invalid.
+type span struct {
+	off, end  int
+	host      State
+	states    map[Holder]State
+	lastWrite map[Holder]Gate // most recent writing command per holder
+	inbound   map[Holder]Gate // in-flight forward gates per target holder
+	gen       uint64          // directory generation of the span's last mutation
+
+	// Lost bookkeeping: when the range's ONLY valid copy lived on a
+	// holder whose connection died, lostFrom records that holder,
+	// lostWas the state it held and lostConn the connection generation
+	// that died with it. Reads of a lost range fail with cl.DataLost
+	// until a write re-materializes it; a session re-attach that finds
+	// the daemon still retaining its state restores the recorded claim
+	// (the bytes never left the daemon) — but only when the retained
+	// session is the SAME connection the loss was recorded against
+	// (lostConn), so a loss that survived an unretained reattach (data
+	// truly gone) can never be "restored" into garbage by a later
+	// retained one.
+	lostFrom Holder
+	lostWas  State
+	lostConn uint64
+}
+
+// clone deep-copies the span (snapshot for rollbacks).
+func (sp *span) clone() *span {
+	c := &span{off: sp.off, end: sp.end, host: sp.host, gen: sp.gen,
+		lostFrom: sp.lostFrom, lostWas: sp.lostWas, lostConn: sp.lostConn,
+		states:    make(map[Holder]State, len(sp.states)),
+		lastWrite: make(map[Holder]Gate, len(sp.lastWrite)),
+		inbound:   make(map[Holder]Gate, len(sp.inbound)),
+	}
+	for h, st := range sp.states {
+		c.states[h] = st
+	}
+	for h, ev := range sp.lastWrite {
+		c.lastWrite[h] = ev
+	}
+	for h, ev := range sp.inbound {
+		c.inbound[h] = ev
+	}
+	return c
+}
+
+// sameStates reports whether two spans carry identical coherence state
+// (merge predicate; gates compare by identity).
+func (sp *span) sameStates(o *span) bool {
+	if sp.host != o.host || len(sp.lastWrite) != len(o.lastWrite) || len(sp.inbound) != len(o.inbound) {
+		return false
+	}
+	if sp.lostFrom != o.lostFrom || sp.lostWas != o.lostWas || sp.lostConn != o.lostConn {
+		return false
+	}
+	for h, st := range sp.states {
+		if o.states[h] != st {
+			return false
+		}
+	}
+	for h, st := range o.states {
+		if sp.states[h] != st {
+			return false
+		}
+	}
+	for h, ev := range sp.lastWrite {
+		if o.lastWrite[h] != ev {
+			return false
+		}
+	}
+	for h, ev := range sp.inbound {
+		if o.inbound[h] != ev {
+			return false
+		}
+	}
+	return true
+}
+
+// source returns a holder with a valid copy of the span, preferring the
+// Modified owner. With peer forwarding, Shared holder copies can exist
+// while the host copy is Invalid (the payload never visited the client),
+// so any valid copy must be usable as a source. Dead holders are never
+// offered.
+func (sp *span) source() Holder {
+	var shared Holder
+	for h, st := range sp.states {
+		if !h.Alive() {
+			continue
+		}
+		if st == Modified {
+			return h
+		}
+		if st == Shared && shared == nil {
+			shared = h
+		}
+	}
+	return shared
+}
+
+// deadHolder reports whether a dead holder still holds a valid-looking
+// claim on the span: the window between a server dying and its directory
+// sweep recording lostFrom. Callers translate "no valid copy" into the
+// retryable cl.ServerLost in that window instead of the hard
+// cl.InvalidMemObject — the range's true fate (re-home or Lost) is
+// decided by the sweep, moments away.
+func (sp *span) deadHolder() bool {
+	for h, st := range sp.states {
+		if (st == Shared || st == Modified) && !h.Alive() {
+			return true
+		}
+	}
+	return false
+}
+
+// Dir is the region directory of one buffer. A Dir performs no locking:
+// the owning buffer serializes all calls (see the package doc).
+type Dir struct {
+	id    uint64 // owning buffer's ID, for error text
+	size  int
+	spans []*span
+	gen   uint64
+}
+
+// New creates the directory for a buffer of the given size: one span
+// covering the whole buffer with the host copy Shared (the client's
+// conceptual copy, Section III-D) and every listed holder Invalid.
+func New(id uint64, size int, holders ...Holder) *Dir {
+	whole := &span{off: 0, end: size, host: Shared,
+		states:    map[Holder]State{},
+		lastWrite: map[Holder]Gate{},
+		inbound:   map[Holder]Gate{},
+	}
+	for _, h := range holders {
+		whole.states[h] = Invalid
+	}
+	return &Dir{id: id, size: size, spans: []*span{whole}}
+}
+
+// Generation returns the global mutation counter (sampled by in-flight
+// reads to detect racing directory mutations).
+func (d *Dir) Generation() uint64 { return d.gen }
+
+// ---------------------------------------------------------------------------
+// Primitives.
+
+// spanIndex returns the index of the span containing pos.
+func (d *Dir) spanIndex(pos int) int {
+	for i, sp := range d.spans {
+		if pos < sp.end {
+			return i
+		}
+	}
+	return len(d.spans) - 1
+}
+
+// ensureBoundary splits the span containing pos so that pos is a span
+// boundary (no-op when it already is, or at the buffer edges).
+func (d *Dir) ensureBoundary(pos int) {
+	if pos <= 0 || pos >= d.size {
+		return
+	}
+	i := d.spanIndex(pos)
+	sp := d.spans[i]
+	if sp.off == pos {
+		return
+	}
+	right := sp.clone()
+	right.off = pos
+	sp.end = pos
+	d.spans = append(d.spans, nil)
+	copy(d.spans[i+2:], d.spans[i+1:])
+	d.spans[i+1] = right
+}
+
+// rangeSpans splits at off and end and returns the spans exactly
+// covering [off, end).
+func (d *Dir) rangeSpans(off, end int) []*span {
+	d.ensureBoundary(off)
+	d.ensureBoundary(end)
+	var i int
+	for i = 0; i < len(d.spans); i++ {
+		if d.spans[i].off >= off {
+			break
+		}
+	}
+	j := i
+	for j < len(d.spans) && d.spans[j].end <= end {
+		j++
+	}
+	return d.spans[i:j]
+}
+
+// bump advances the global mutation counter and stamps the given
+// (just-mutated) spans with it.
+func (d *Dir) bump(spans []*span) {
+	d.gen++
+	for _, sp := range spans {
+		sp.gen = d.gen
+	}
+}
+
+// rangeGen returns the newest mutation stamp over [off, end).
+func (d *Dir) rangeGen(off, end int) uint64 {
+	var g uint64
+	for _, sp := range d.rangeSpans(off, end) {
+		if sp.gen > g {
+			g = sp.gen
+		}
+	}
+	return g
+}
+
+// merge coalesces adjacent spans with identical coherence state. Gating
+// events that have already settled are dropped first — a settled write
+// gates nothing, and keeping it would pin span boundaries forever (two
+// ranges written by different commands could otherwise never re-merge).
+func (d *Dir) merge() {
+	for _, sp := range d.spans {
+		for h, ev := range sp.lastWrite {
+			if ev.Settled() {
+				delete(sp.lastWrite, h)
+			}
+		}
+	}
+	if len(d.spans) < 2 {
+		return
+	}
+	out := d.spans[:1]
+	for _, sp := range d.spans[1:] {
+		last := out[len(out)-1]
+		if last.sameStates(sp) {
+			last.end = sp.end
+			if sp.gen > last.gen {
+				last.gen = sp.gen
+			}
+			continue
+		}
+		out = append(out, sp)
+	}
+	d.spans = out
+}
+
+// overlapping returns the spans intersecting [off, end) WITHOUT
+// splitting: introspection must never mutate the directory.
+func (d *Dir) overlapping(off, end int) []*span {
+	var out []*span
+	for _, sp := range d.spans {
+		if sp.end > off && sp.off < end {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Transitions.
+
+// Snapshot is an opaque deep copy of the spans covering a range, taken
+// by Claim before its mutation so RollbackClaim can splice it back.
+type Snapshot struct {
+	spans []*span
+}
+
+// Claim records that a command on h writes [off, end): h's copy of the
+// range becomes Modified, every other copy of the range (including the
+// host's) becomes Invalid; the rest of the buffer is untouched. write is
+// the writing command's gate, gating later coherence reads of the range.
+// A write also re-materializes a lost range: fresh data supersedes the
+// copy that died with its daemon.
+//
+// The update is optimistic; Claim returns the range's prior state and
+// the post-mutation generation so a deferred command failure can be
+// undone with RollbackClaim.
+func (d *Dir) Claim(h Holder, off, end int, write Gate) (Snapshot, uint64) {
+	spans := d.rangeSpans(off, end)
+	snap := Snapshot{spans: make([]*span, len(spans))}
+	for i, sp := range spans {
+		snap.spans[i] = sp.clone()
+	}
+	for _, sp := range spans {
+		for o := range sp.states {
+			sp.states[o] = Invalid
+		}
+		sp.states[h] = Modified
+		sp.host = Invalid
+		sp.lastWrite[h] = write
+		sp.lostFrom = nil
+		sp.lostWas = Invalid
+		sp.lostConn = 0
+	}
+	d.bump(spans)
+	gen := d.gen
+	d.merge()
+	return snap, gen
+}
+
+// RollbackClaim undoes a Claim whose command failed. The snapshot is
+// only spliced back when no other mutation touched the RANGE in between
+// (per-span generation check); otherwise the interim state stands and
+// only the failed write's own claim is withdrawn. h's copy always drops
+// to Invalid in the restored state — a partially executed command may
+// have scribbled on it.
+func (d *Dir) RollbackClaim(h Holder, write Gate, off, end int, gen uint64, snap Snapshot) {
+	if d.rangeGen(off, end) <= gen {
+		d.restoreRange(off, end, snap.spans)
+		for _, sp := range d.rangeSpans(off, end) {
+			sp.states[h] = Invalid
+			if sp.lastWrite[h] == write {
+				delete(sp.lastWrite, h)
+			}
+		}
+	} else {
+		// Interim mutations happened; only withdraw the failed write's
+		// own claim wherever it still stands.
+		for _, sp := range d.rangeSpans(off, end) {
+			if sp.lastWrite[h] == write {
+				delete(sp.lastWrite, h)
+				sp.states[h] = Invalid
+			}
+		}
+	}
+	d.bump(d.rangeSpans(off, end))
+	d.merge()
+}
+
+// restoreRange splices a snapshot back over [off, end). Only safe when
+// the directory generation is unchanged since the snapshot (the caller
+// checks), so boundaries line up exactly.
+func (d *Dir) restoreRange(off, end int, snap []*span) {
+	d.ensureBoundary(off)
+	d.ensureBoundary(end)
+	var i int
+	for i = 0; i < len(d.spans); i++ {
+		if d.spans[i].off >= off {
+			break
+		}
+	}
+	j := i
+	for j < len(d.spans) && d.spans[j].end <= end {
+		j++
+	}
+	out := make([]*span, 0, len(d.spans)-(j-i)+len(snap))
+	out = append(out, d.spans[:i]...)
+	out = append(out, snap...)
+	out = append(out, d.spans[j:]...)
+	d.spans = out
+}
+
+// Validate records an optimistic Shared claim for h over [off, end)
+// (the client-mediated upload path: the payload is being shipped on h's
+// own in-order queue).
+func (d *Dir) Validate(h Holder, off, end int) {
+	spans := d.rangeSpans(off, end)
+	for _, sp := range spans {
+		sp.states[h] = Shared
+	}
+	d.bump(spans)
+	d.merge()
+}
+
+// Invalidate revokes h's Shared claim over [off, end) (deferred upload
+// failure: the daemon never received the data). Modified claims are
+// deliberately not touched — a false-valid copy is revoked, a genuinely
+// newer write is not.
+func (d *Dir) Invalidate(h Holder, off, end int) {
+	spans := d.rangeSpans(off, end)
+	for _, sp := range spans {
+		if sp.states[h] == Shared {
+			sp.states[h] = Invalid
+		}
+	}
+	d.bump(spans)
+	d.merge()
+}
+
+// InvalidateHost drops the host copy over [off, end) to Invalid (test
+// support: forcing the peer-forward path).
+func (d *Dir) InvalidateHost(off, end int) {
+	spans := d.rangeSpans(off, end)
+	for _, sp := range spans {
+		sp.host = Invalid
+	}
+	d.bump(spans)
+	d.merge()
+}
+
+// ForceInvalidate drops EVERY copy of [off, end) — host and all holders
+// — to Invalid (test support: wedging the directory to exercise the
+// no-valid-copy error paths).
+func (d *Dir) ForceInvalidate(off, end int) {
+	spans := d.rangeSpans(off, end)
+	for _, sp := range spans {
+		sp.host = Invalid
+		for h := range sp.states {
+			sp.states[h] = Invalid
+		}
+	}
+	d.bump(spans)
+	d.merge()
+}
+
+// ValidateHost records that the host now holds valid data for
+// [off, end) after a coherence download: the range's Modified owner
+// drops to Shared, the host range becomes Shared. The record only
+// happens when no directory mutation touched the range since gen was
+// sampled (per-span staleness: mutations on disjoint ranges do not
+// disqualify the snapshot); it reports whether the transition was
+// applied — the caller installs the downloaded bytes only then.
+func (d *Dir) ValidateHost(off, end int, gen uint64) bool {
+	if d.rangeGen(off, end) > gen {
+		return false
+	}
+	spans := d.rangeSpans(off, end)
+	for _, sp := range spans {
+		for h, st := range sp.states {
+			if st == Modified {
+				sp.states[h] = Shared
+			}
+		}
+		sp.host = Shared
+	}
+	d.bump(spans)
+	d.merge()
+	return true
+}
+
+// ValidateForward records an in-flight peer forward of [off, end) from
+// src to dst: src's read downgrades M→S, dst gains a Shared copy gated
+// on the transfer (gate rides both lastWrite and inbound); the host copy
+// is untouched (the payload never visits the client).
+func (d *Dir) ValidateForward(src, dst Holder, off, end int, gate Gate) {
+	spans := d.rangeSpans(off, end)
+	for _, sp := range spans {
+		if sp.states[src] == Modified {
+			sp.states[src] = Shared
+		}
+		sp.states[dst] = Shared
+		sp.lastWrite[dst] = gate
+		sp.inbound[dst] = gate
+	}
+	d.bump(spans)
+	d.merge()
+}
+
+// SettleForward retires a forward's gate over [off, end) in ONE critical
+// section: a gap between gate removal and state rollback would let a
+// concurrent read observe "Shared, no gate" and run ungated against a
+// failed transfer. The rollback only runs where this gate still owns
+// dst's claim (inbound entry intact) — once a successor transfer or
+// upload has re-validated part of the range, revoking its fresh Shared
+// state would just force a redundant re-transfer.
+func (d *Dir) SettleForward(dst Holder, off, end int, gate Gate, ok bool) {
+	spans := d.rangeSpans(off, end)
+	for _, sp := range spans {
+		if sp.inbound[dst] != gate {
+			continue
+		}
+		delete(sp.inbound, dst)
+		if !ok {
+			if sp.states[dst] == Shared {
+				sp.states[dst] = Invalid
+			}
+			if sp.lastWrite[dst] == gate {
+				delete(sp.lastWrite, dst)
+			}
+		}
+	}
+	d.bump(spans)
+	d.merge()
+}
+
+// DisownInbound disassociates the pending inbound gates toward h over
+// [off, end) and returns them (distinct, in span order). The upload path
+// calls this before claiming the range: the upload is about to own h's
+// claim, and the old gates' failure callbacks must not revoke it — the
+// caller then cancels the superseded forwards at the daemon.
+func (d *Dir) DisownInbound(h Holder, off, end int) []Gate {
+	var stale []Gate
+	spans := d.rangeSpans(off, end)
+	for _, sp := range spans {
+		if g := sp.inbound[h]; g != nil {
+			delete(sp.inbound, h)
+			if !containsGate(stale, g) {
+				stale = append(stale, g)
+			}
+		}
+	}
+	if len(stale) > 0 {
+		d.bump(spans)
+	}
+	return stale
+}
+
+// InboundGates returns the distinct pending inbound-forward gates toward
+// h over [off, end). Commands that overwrite the range without
+// consulting the validity probe (writes, copy destinations) must wait on
+// them: otherwise a forwarded payload, landing outside queue order,
+// would clobber their fresher data.
+func (d *Dir) InboundGates(h Holder, off, end int) []Gate {
+	var gates []Gate
+	for _, sp := range d.rangeSpans(off, end) {
+		if g := sp.inbound[h]; g != nil && !containsGate(gates, g) {
+			gates = append(gates, g)
+		}
+	}
+	return gates
+}
+
+func containsGate(gs []Gate, g Gate) bool {
+	for _, x := range gs {
+		if x == g {
+			return true
+		}
+	}
+	return false
+}
+
+// SweepServer sweeps the directory after h's connection died (connGen is
+// the connection generation that died): every claim h held is withdrawn.
+// Ranges with a surviving valid copy (another holder or the host cache)
+// keep working — the next coherence transfer re-homes them from the
+// survivor. Ranges whose ONLY valid copy was h's become Lost: reads fail
+// with cl.DataLost until a write re-materializes them, and the vanished
+// claim is recorded so a re-attach that finds the daemon still retaining
+// its session state can Restore it (the bytes never left the daemon).
+func (d *Dir) SweepServer(h Holder, connGen uint64) {
+	for _, sp := range d.spans {
+		had := sp.states[h]
+		delete(sp.states, h)
+		delete(sp.lastWrite, h)
+		delete(sp.inbound, h)
+		if had != Shared && had != Modified {
+			continue
+		}
+		survivor := sp.host != Invalid
+		for _, st := range sp.states {
+			if st == Shared || st == Modified {
+				survivor = true
+				break
+			}
+		}
+		if !survivor {
+			sp.lostFrom = h
+			sp.lostWas = had
+			sp.lostConn = connGen
+		}
+	}
+	d.bump(d.spans)
+	d.merge()
+}
+
+// Restore re-installs the claims that were recorded as lost from h,
+// after a session re-attach confirmed the daemon retained its state: the
+// remote buffer still holds exactly the bytes the directory thought were
+// gone. Only losses recorded against wantConn — the connection the
+// retained session lived on — are restorable: a loss that already
+// survived an UNRETAINED reattach (data gone for good) must keep reading
+// as DataLost, never as the re-created buffer's zeros.
+func (d *Dir) Restore(h Holder, wantConn uint64) {
+	touched := false
+	for _, sp := range d.spans {
+		if sp.lostFrom != h || sp.lostConn != wantConn {
+			continue
+		}
+		sp.states[h] = sp.lostWas
+		sp.lostFrom = nil
+		sp.lostWas = Invalid
+		sp.lostConn = 0
+		touched = true
+	}
+	if touched {
+		d.bump(d.spans)
+		d.merge()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Queries.
+
+// Probe describes the span containing one position, for the incremental
+// make-range-valid walk. The probe never splits the directory.
+type Probe struct {
+	End        int    // span end clamped to the probe's range
+	ValidHere  bool   // the reader already holds a valid (S/M) copy
+	Inbound    Gate   // reader's in-flight inbound gate, nil when none
+	HostValid  bool   // the host copy of the span is valid
+	Src        Holder // a live holder with a valid copy, nil when none
+	SrcGate    Gate   // src's last-write gate, nil when none
+	Lost       bool   // only valid copy died with its daemon
+	DeadHolder bool   // a dead holder still holds a valid-looking claim
+	Gen        uint64 // span generation when probed (staleness ticket)
+}
+
+// ProbeAt inspects the span containing pos for a reader that wants
+// [pos, end) valid. When ValidHere is set the reader only needs to gate
+// on Inbound (the copy may be valid-but-in-flight: an optimistically
+// Shared state whose forwarded payload has not landed yet); otherwise
+// the caller transfers [pos, End) using Src/SrcGate/HostValid and
+// re-validates against Gen.
+func (d *Dir) ProbeAt(reader Holder, pos, end int) Probe {
+	sp := d.spans[d.spanIndex(pos)]
+	p := Probe{End: sp.end, Gen: sp.gen}
+	if p.End > end {
+		p.End = end
+	}
+	if st := sp.states[reader]; st == Shared || st == Modified {
+		p.ValidHere = true
+		p.Inbound = sp.inbound[reader]
+		return p
+	}
+	p.HostValid = sp.host != Invalid
+	p.Src = sp.source()
+	p.Lost = sp.lostFrom != nil
+	if !p.HostValid && p.Src == nil && !p.Lost {
+		p.DeadHolder = sp.deadHolder()
+	}
+	if p.Src != nil {
+		p.SrcGate = sp.lastWrite[p.Src]
+	}
+	return p
+}
+
+// Part is one piece of a stitched read plan: read [Off, End) from
+// Holder (nil: satisfy from the host copy), gated on Gates.
+type Part struct {
+	Off, End int
+	Holder   Holder
+	Gates    []Gate
+}
+
+// ReadPlan partitions [off, end) by where a valid copy lives, preferring
+// the reader's own copy, then the Modified owner, then any Shared
+// holder, then the host copy. It returns nil when the whole range is
+// already valid on the reader (the caller then uses the plain
+// single-read path), and an error when some sub-range has no valid copy
+// anywhere.
+//
+// This is what stitches the result of a partitioned kernel: a
+// whole-buffer read after disjoint per-daemon writes turns into one
+// range-read per daemon, each moving only the bytes that daemon owns.
+func (d *Dir) ReadPlan(reader Holder, off, end int) ([]Part, error) {
+	allLocal := true
+	var parts []Part
+	for _, sp := range d.rangeSpans(off, end) {
+		var part Part
+		part.Off, part.End = sp.off, sp.end
+		switch {
+		case sp.states[reader] == Shared || sp.states[reader] == Modified:
+			part.Holder = reader
+		default:
+			allLocal = false
+			holder := sp.source()
+			if holder == nil {
+				if sp.host == Invalid {
+					if sp.lostFrom != nil {
+						return nil, cl.Errf(cl.DataLost, "buffer %d range [%d,%d): only valid copy died with its daemon", d.id, sp.off, sp.end)
+					}
+					if sp.deadHolder() {
+						return nil, cl.Errf(cl.ServerLost, "buffer %d range [%d,%d): holder's connection just died (sweep pending)", d.id, sp.off, sp.end)
+					}
+					return nil, cl.Errf(cl.InvalidMemObject, "buffer %d range [%d,%d) has no valid copy", d.id, sp.off, sp.end)
+				}
+				part.Holder = nil // host copy
+				break
+			}
+			part.Holder = holder
+		}
+		if part.Holder != nil {
+			if g := sp.inbound[part.Holder]; g != nil {
+				part.Gates = append(part.Gates, g)
+			}
+			if part.Holder != reader {
+				// The read runs on the holder's coherence queue, which is
+				// not the queue the producing write ran on: gate on it.
+				if g := sp.lastWrite[part.Holder]; g != nil && !containsGate(part.Gates, g) {
+					part.Gates = append(part.Gates, g)
+				}
+			}
+		}
+		// Coalesce with the previous part when the holder matches and the
+		// gates agree (common case: merged spans already maximal).
+		if n := len(parts); n > 0 && parts[n-1].End == part.Off && parts[n-1].Holder == part.Holder && sameGates(parts[n-1].Gates, part.Gates) {
+			parts[n-1].End = part.End
+			continue
+		}
+		parts = append(parts, part)
+	}
+	if allLocal {
+		return nil, nil
+	}
+	return parts, nil
+}
+
+func sameGates(a, b []Gate) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Introspection (tests, debugging).
+
+// Region describes one directory span clamped to a query range.
+type Region struct {
+	Off, End int
+	Host     State
+	Holders  map[Holder]State
+	Lost     bool // only valid copy died with its daemon
+}
+
+// Regions returns the directory spans overlapping [off, end), clamped
+// to the range, WITHOUT splitting the directory.
+func (d *Dir) Regions(off, end int) []Region {
+	spans := d.overlapping(off, end)
+	out := make([]Region, len(spans))
+	for i, sp := range spans {
+		so, se := sp.off, sp.end
+		if so < off {
+			so = off
+		}
+		if se > end {
+			se = end
+		}
+		r := Region{Off: so, End: se, Host: sp.host, Holders: make(map[Holder]State, len(sp.states)), Lost: sp.lostFrom != nil}
+		for h, st := range sp.states {
+			r.Holders[h] = st
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// LostRanges reports the byte ranges within [off, end) whose only valid
+// copy died with its daemon, adjacent ranges joined.
+func (d *Dir) LostRanges(off, end int) [][2]int {
+	var out [][2]int
+	for _, sp := range d.overlapping(off, end) {
+		if sp.lostFrom == nil {
+			continue
+		}
+		so, se := sp.off, sp.end
+		if so < off {
+			so = off
+		}
+		if se > end {
+			se = end
+		}
+		if n := len(out); n > 0 && out[n-1][1] == so {
+			out[n-1][1] = se
+			continue
+		}
+		out = append(out, [2]int{so, se})
+	}
+	return out
+}
+
+// SpanCount reports how many spans the directory currently holds (the
+// adjacent-range merge tests pin that converged regions re-coalesce).
+func (d *Dir) SpanCount() int { return len(d.spans) }
+
+// Summarize folds per-span state letters into one string: the letter
+// itself when uniform, or a "+"-joined sequence in span order.
+func Summarize(letters []string) string {
+	uniq := letters[:0:0]
+	for _, l := range letters {
+		if len(uniq) == 0 || uniq[len(uniq)-1] != l {
+			uniq = append(uniq, l)
+		}
+	}
+	return strings.Join(uniq, "+")
+}
+
+// DebugString renders the directory: "[0,512)h=M [512,1024)h=I".
+func (d *Dir) DebugString() string {
+	var sb strings.Builder
+	for _, r := range d.Regions(0, d.size) {
+		sb.WriteString("[" + strconv.Itoa(r.Off) + "," + strconv.Itoa(r.End) + ")h=" + r.Host.String() + " ")
+	}
+	return sb.String()
+}

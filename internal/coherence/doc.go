@@ -1,0 +1,63 @@
+// Package coherence implements the interval-keyed MSI region directory
+// of the dOpenCL client: the data structure that decides, for every byte
+// range of a distributed buffer, which copies (host cache or per-daemon
+// remote buffers) are valid and how an invalid range becomes valid.
+//
+// The directory is a sorted list of disjoint spans partitioning
+// [0, size). Each span carries a uniform coherence state for the host
+// copy and for every holder (daemon connection); spans split on demand
+// when an operation touches a sub-range and re-merge when adjacent spans
+// converge to identical state, so the directory stays proportional to
+// the number of distinct regions, not the number of operations.
+//
+// # State machine
+//
+// Every copy of a range is in one of the three MSI states. The span
+// invariants are: at most one copy is Modified, and if some copy is
+// Modified every other copy is Invalid.
+//
+//	       Claim(h) by another holder,
+//	       SweepServer(h), RollbackClaim
+//	    ┌───────────────────────────────┐
+//	    ▼                               │
+//	┌───────┐   Validate(h) /        ┌──┴─────┐
+//	│Invalid│ ─ ValidateForward ───▶ │ Shared │
+//	└───┬───┘                        └──┬─────┘
+//	    │                               │
+//	    │ Claim(h)            Claim(h)  │  ▲ ValidateHost /
+//	    │                               │  │ ValidateForward
+//	    ▼                               ▼  │ (M→S read downgrade)
+//	    └─────────────────────────▶ ┌──────┴───┐
+//	                                │ Modified │
+//	                                └──────────┘
+//
+// Transitions are optimistic: enqueues are one-way and the common case
+// is success, so Claim records Modified immediately and returns a
+// snapshot + generation ticket; if the command later fails, RollbackClaim
+// restores the range's prior state when (and only when) nothing else
+// mutated the range in between — otherwise only the failed claim itself
+// is withdrawn. The same deferred-failure discipline covers the
+// Shared-claim paths (Invalidate / SettleForward revoke an optimistic
+// Shared copy rather than ever leaving a false-valid one).
+//
+// # Lost ranges
+//
+// When a holder's connection dies, SweepServer withdraws every claim it
+// held. A range whose ONLY valid copy lived on the dead holder becomes
+// Lost: reads fail with cl.DataLost until a write re-materializes the
+// range, and the vanished claim is recorded (holder, state, connection
+// generation) so Restore can re-install it after a session re-attach
+// that proves the daemon retained its state — but only when the retained
+// session is the same connection the loss was recorded against.
+//
+// # Synchronization
+//
+// A Dir performs no locking of its own: the owning buffer serializes
+// all calls (the client holds one mutex over the directory and the host
+// byte cache so compound read-modify-write operations stay atomic).
+// Generation stamps — a global counter plus a per-span stamp of the last
+// mutation — make "has this range changed since I looked" answerable
+// per range, which is what keeps rollbacks and stale-read guards
+// range-scoped: concurrent operations on disjoint ranges never
+// invalidate each other's snapshots.
+package coherence

@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"dopencl/internal/cl"
+	"dopencl/internal/gcf"
 	"dopencl/internal/native"
 	"dopencl/internal/protocol"
 )
@@ -45,6 +46,9 @@ type sessGraph struct {
 	q         *native.Queue
 	cmds      []*dGraphCmd
 	readCount int
+	// delta: the registration negotiated delta-capable replay updates
+	// (GraphPayloadDelta streams decoded against the cached payloads).
+	delta bool
 }
 
 // stagePayload reads size bytes from the stream into a fresh slice off
@@ -64,6 +68,52 @@ func (s *session) stagePayload(streamID uint32, size int) ([]byte, cl.Event) {
 			return
 		}
 		stream.WaitEOF()
+		if serr := gate.SetStatus(cl.Complete); serr != nil {
+			s.d.logf("daemon %s: graph payload gate: %v", s.d.cfg.Name, serr)
+		}
+	}()
+	return staged, gate
+}
+
+// stageDeltaPayload reads a delta-encoded payload update from the stream
+// and reconstructs the full payload against the command's current cached
+// payload (the baseline the client encoded against — both sides retain
+// the previous iteration's bytes on delta-negotiated graphs). The
+// decoded result lands on a fresh slice: an earlier replay's enqueue may
+// still be reading the baseline, and the baseline itself must stay
+// intact until decoding finishes. When the baseline's own gate is still
+// pending (pipelined updates, or an update chasing the registration
+// upload), decoding waits for it off the dispatcher goroutine; a failed
+// baseline fails this gate too, and with it every replay of the slot.
+func (s *session) stageDeltaPayload(streamID uint32, encLen int, prev []byte, prevGate cl.Event, size int) ([]byte, cl.Event) {
+	stream := s.ep.Stream(streamID)
+	staged := make([]byte, size)
+	gate := native.NewUserEvent()
+	failGate := func(why string, err error) {
+		s.d.logf("daemon %s: graph delta payload: %s: %v", s.d.cfg.Name, why, err)
+		if serr := gate.SetStatus(cl.CommandStatus(cl.InvalidValue)); serr != nil {
+			s.d.logf("daemon %s: graph payload gate: %v", s.d.cfg.Name, serr)
+		}
+	}
+	go func() {
+		defer stream.Release()
+		enc := gcf.GetPayload(encLen)
+		defer gcf.PutPayload(enc)
+		if _, err := io.ReadFull(stream, enc); err != nil {
+			failGate("stream", err)
+			return
+		}
+		stream.WaitEOF()
+		if prevGate != nil {
+			if err := prevGate.Wait(); err != nil {
+				failGate("baseline never landed", err)
+				return
+			}
+		}
+		if err := protocol.ApplyDelta(staged, prev, enc); err != nil {
+			failGate("decode", err)
+			return
+		}
 		if serr := gate.SetStatus(cl.Complete); serr != nil {
 			s.d.logf("daemon %s: graph payload gate: %v", s.d.cfg.Name, serr)
 		}
@@ -172,7 +222,7 @@ func (s *session) handleRegisterGraph(r *protocol.Reader) {
 		failReg(cl.Errf(cl.InvalidValue, "empty graph"))
 		return
 	}
-	sg := &sessGraph{queueID: g.QueueID, q: nq, cmds: make([]*dGraphCmd, 0, len(g.Commands))}
+	sg := &sessGraph{queueID: g.QueueID, q: nq, cmds: make([]*dGraphCmd, 0, len(g.Commands)), delta: g.DeltaReplay}
 	seenStreams := map[uint32]bool{}
 	for i, c := range g.Commands {
 		cmd := &dGraphCmd{op: c.Op}
@@ -361,18 +411,24 @@ func (s *session) replayGraphCmd(g *sessGraph, cmd *dGraphCmd, w []cl.Event, rea
 		}
 		return g.q.EnqueueWriteBuffer(cmd.buf, false, cmd.offset, cmd.payload, w)
 	case protocol.GraphOpRead:
-		staged := make([]byte, cmd.size)
+		// Pooled staging + zero-copy ship-out, as on the eager read path:
+		// replayed reads are the per-iteration hot path, so the staging
+		// block cycles through the payload pool instead of the allocator.
+		staged := gcf.GetPayload(cmd.size)
 		ev, err := g.q.EnqueueReadBuffer(cmd.buf, false, cmd.offset, staged, w)
 		if err != nil {
+			gcf.PutPayload(staged)
 			return nil, err
 		}
 		stream := s.ep.Stream(readStreams[*handed])
 		*handed++
 		if cbErr := ev.SetCallback(cl.Complete, func(_ cl.Event, st cl.CommandStatus) {
 			if st == cl.Complete {
-				if _, werr := stream.Write(staged); werr != nil {
+				if werr := stream.WriteOwned(staged, func() { gcf.PutPayload(staged) }); werr != nil {
 					s.d.logf("daemon %s: graph read-back write: %v", s.d.cfg.Name, werr)
 				}
+			} else {
+				gcf.PutPayload(staged)
 			}
 			if cerr := stream.CloseWrite(); cerr != nil {
 				s.d.logf("daemon %s: graph read-back close: %v", s.d.cfg.Name, cerr)
@@ -427,7 +483,23 @@ func (s *session) applyGraphUpdate(g *sessGraph, u protocol.GraphUpdate) error {
 			// behind a gate that never completes.
 			return cl.Errf(cl.InvalidValue, "write update for command %d has no payload stream", u.Cmd)
 		}
-		cmd.payload, cmd.payloadGate = s.stagePayload(u.StreamID, cmd.size)
+		switch u.Encoding {
+		case protocol.GraphPayloadFull:
+			if u.PayloadLen != 0 && int(u.PayloadLen) != cmd.size {
+				s.drainStream(u.StreamID)
+				return cl.Errf(cl.InvalidValue, "write update for command %d announces %d bytes, recorded size %d", u.Cmd, u.PayloadLen, cmd.size)
+			}
+			cmd.payload, cmd.payloadGate = s.stagePayload(u.StreamID, cmd.size)
+		case protocol.GraphPayloadDelta:
+			if !g.delta {
+				s.drainStream(u.StreamID)
+				return cl.Errf(cl.InvalidValue, "delta update for command %d on a graph registered without delta replay", u.Cmd)
+			}
+			cmd.payload, cmd.payloadGate = s.stageDeltaPayload(u.StreamID, int(u.PayloadLen), cmd.payload, cmd.payloadGate, cmd.size)
+		default:
+			s.drainStream(u.StreamID)
+			return cl.Errf(cl.InvalidValue, "write update for command %d has unknown payload encoding %d", u.Cmd, u.Encoding)
+		}
 	default:
 		return cl.Errf(cl.InvalidValue, "unknown graph update kind %d", u.Kind)
 	}

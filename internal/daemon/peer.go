@@ -430,8 +430,12 @@ func (d *Daemon) startReceive(pf *pendingForward, ep *gcf.Endpoint, hdr protocol
 	// single forwarded byte touches the backing store.
 	go func() {
 		region := data[pf.offset : pf.offset+pf.size]
-		staging := make([]byte, pf.size)
+		// Pooled staging across the park/land cycle: a forward-heavy
+		// workload otherwise allocates (and zeroes) a fresh multi-MB block
+		// per transfer, and the allocator churn dominates the landing cost.
+		staging := gcf.GetPayload(pf.size)
 		if _, err := io.ReadFull(st, staging); err != nil {
+			gcf.PutPayload(staging)
 			st.Release()
 			d.failGate(pf, cl.InvalidServer)
 			d.logf("daemon %s: peer transfer %d failed mid-stream: %v", d.cfg.Name, hdr.Token, err)
@@ -458,6 +462,8 @@ func (d *Daemon) startReceive(pf *pendingForward, ep *gcf.Endpoint, hdr protocol
 		if !pf.gate.tryLand(func() { copy(region, staging) }) {
 			d.logf("daemon %s: peer transfer %d cancelled before landing", d.cfg.Name, hdr.Token)
 		}
+		// Landed (or cancelled) — either way the staging block is done.
+		gcf.PutPayload(staging)
 		// Consume the trailing end-of-stream marker off the gate's
 		// critical path: a peer that never closes its write side must
 		// not be able to park the gate (it only leaks this goroutine
@@ -468,12 +474,16 @@ func (d *Daemon) startReceive(pf *pendingForward, ep *gcf.Endpoint, hdr protocol
 }
 
 // forwardPayload ships staged bytes to the peer at addr: transfer header
-// on the message channel, payload chunked onto a stream (the gcf write
-// path chops it into frames and applies backpressure, so a slow peer
-// link bounds this daemon's buffering). done completes when the payload
-// has been fully handed to the transport; failures are reported through
-// fail (a deferred MsgCommandFailed to the client) as well.
-func (d *Daemon) forwardPayload(addr string, hdr protocol.PeerTransfer, payload []byte, done *native.UserEvent, fail func(error)) {
+// on the message channel, payload scatter-gathered onto a stream
+// zero-copy (the gcf write path frames it without copying and applies
+// backpressure, so a slow peer link bounds this daemon's buffering).
+// release returns ownership of payload to the caller's pool; it is
+// called exactly once on every path — by the transport after the last
+// frame flushes, or here when the payload was never queued. done
+// completes when the payload has been fully handed to the transport;
+// failures are reported through fail (a deferred MsgCommandFailed to
+// the client) as well.
+func (d *Daemon) forwardPayload(addr string, hdr protocol.PeerTransfer, payload []byte, release func(), done *native.UserEvent, fail func(error)) {
 	finish := func(err error) {
 		if err != nil {
 			fail(err)
@@ -488,6 +498,9 @@ func (d *Daemon) forwardPayload(addr string, hdr protocol.PeerTransfer, payload 
 	}
 	ep, err := d.peers.Get(addr)
 	if err != nil {
+		if release != nil {
+			release()
+		}
 		finish(cl.Errf(cl.InvalidServer, "peer dial %s: %v", addr, err))
 		return
 	}
@@ -497,11 +510,16 @@ func (d *Daemon) forwardPayload(addr string, hdr protocol.PeerTransfer, payload 
 	protocol.PutPeerTransfer(w, hdr)
 	if err := ep.Send(protocol.EncodeEnvelope(protocol.ClassOneWay, 0, protocol.MsgPeerTransfer, w)); err != nil {
 		stream.Release()
+		if release != nil {
+			release()
+		}
 		finish(cl.Errf(cl.InvalidServer, "peer transfer header to %s: %v", addr, err))
 		return
 	}
 	defer stream.Release()
-	if _, err := stream.Write(payload); err != nil {
+	// WriteOwned owns the release from here on: it fires after the last
+	// queued frame flushes, including the error and shutdown-drain paths.
+	if err := stream.WriteOwned(payload, release); err != nil {
 		finish(cl.Errf(cl.InvalidServer, "peer transfer to %s failed mid-stream: %v", addr, err))
 		return
 	}

@@ -3,6 +3,7 @@ package daemon
 import (
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dopencl/internal/cl"
@@ -428,6 +429,8 @@ func (s *session) handleHello(id uint32, r *protocol.Reader) {
 		w.Bool(s.d.CanForward())
 		// Session identity for the re-attach handshake.
 		w.U64(s.id)
+		// Optional-feature capability bits (delta replay, ...).
+		w.U32(protocol.CapDeltaReplay)
 	})
 }
 
@@ -494,6 +497,7 @@ func (s *session) handleAttachSession(id uint32, r *protocol.Reader) {
 		w.String(s.d.cfg.PeerAddr)
 		w.Bool(s.d.CanForward())
 		w.U64(s.id)
+		w.U32(protocol.CapDeltaReplay)
 	})
 	s.d.logf("daemon %s: session %d attach (was %d, retained=%v)", s.d.cfg.Name, s.id, sid, retained)
 }
@@ -539,11 +543,14 @@ func (s *session) handleForwardBuffer(r *protocol.Reader) {
 	}
 	// The source side stages the full region, matching the enqueue-read
 	// path (the device read is one queue command); the receive side
-	// streams without staging. Windowed source staging for multi-GB
-	// forwards is future work.
-	staged := make([]byte, size)
+	// streams without staging. The staging block is pooled and the send
+	// path references it zero-copy — forwardPayload's release returns it
+	// to the pool once the last frame flushes. Windowed source staging
+	// for multi-GB forwards is future work.
+	staged := gcf.GetPayload(size)
 	ev, err := q.EnqueueReadBuffer(buf, false, offset, staged, waits)
 	if err != nil {
+		gcf.PutPayload(staged)
 		failFwd(err)
 		return
 	}
@@ -555,6 +562,7 @@ func (s *session) handleForwardBuffer(r *protocol.Reader) {
 	hdr := protocol.PeerTransfer{Token: f.Token, BufID: f.DstBufID, Offset: f.DstOffset, Size: f.Size}
 	cbErr := ev.SetCallback(cl.Complete, func(_ cl.Event, st cl.CommandStatus) {
 		if st != cl.Complete {
+			gcf.PutPayload(staged)
 			failFwd(cl.Errf(cl.ErrorCode(st), "forward source read failed"))
 			if serr := done.SetStatus(st); serr != nil {
 				s.d.logf("daemon %s: forward done status: %v", s.d.cfg.Name, serr)
@@ -563,7 +571,7 @@ func (s *session) handleForwardBuffer(r *protocol.Reader) {
 		}
 		// Stream off the event-callback goroutine: a slow peer link must
 		// not stall the native queue's completion path.
-		go s.d.forwardPayload(f.PeerAddr, hdr, staged, done, failFwd)
+		go s.d.forwardPayload(f.PeerAddr, hdr, staged, func() { gcf.PutPayload(staged) }, done, failFwd)
 	})
 	if cbErr != nil {
 		failFwd(cbErr)
@@ -686,11 +694,13 @@ func (s *session) handleCreateBuffer(id uint32, r *protocol.Reader) {
 	var host []byte
 	if flags&cl.MemCopyHostPtr != 0 && streamID != 0 {
 		// Initial contents arrive on a gcf stream (the paper's synchronous
-		// request/response + bulk data pattern).
-		host = make([]byte, size)
+		// request/response + bulk data pattern). CreateBuffer copies host
+		// into the backing store, so pooled staging is safe.
+		host = gcf.GetPayload(size)
 		st := s.ep.Stream(streamID)
 		if _, err := io.ReadFull(st, host); err != nil {
 			st.Release()
+			gcf.PutPayload(host)
 			s.fail(id, protocol.MsgCreateBuffer, cl.Errf(cl.InvalidValue, "buffer init transfer: %v", err))
 			return
 		}
@@ -700,6 +710,9 @@ func (s *session) handleCreateBuffer(id uint32, r *protocol.Reader) {
 		flags &^= cl.MemCopyHostPtr
 	}
 	buf, err := ctx.CreateBuffer(flags, size, host)
+	if host != nil {
+		gcf.PutPayload(host)
+	}
 	if err != nil {
 		s.fail(id, protocol.MsgCreateBuffer, err)
 		return
@@ -923,17 +936,29 @@ func (s *session) handleEnqueueWrite(id uint32, oneway bool, r *protocol.Reader)
 	}
 	// Stage the inbound stream data off the dispatcher: a native marker
 	// command gates the actual write so queue order is preserved while the
-	// network transfer overlaps with earlier commands.
+	// network transfer overlaps with earlier commands. The staging block
+	// is pooled; it is referenced by both the receive goroutine and the
+	// native write command, so it re-enters the pool only after BOTH are
+	// done with it (refcount of two — on a synchronous enqueue failure
+	// the error branch stands in for the completion callback).
 	stream := s.ep.Stream(streamID)
-	staged := make([]byte, size)
+	staged := gcf.GetPayload(size)
+	var stagedRefs atomic.Int32
+	releaseStaged := func() {
+		if stagedRefs.Add(1) == 2 {
+			gcf.PutPayload(staged)
+		}
+	}
 	gate := native.NewUserEvent()
 	go func() {
 		if _, rerr := io.ReadFull(stream, staged); rerr != nil {
+			releaseStaged()
 			if serr := gate.SetStatus(cl.CommandStatus(cl.InvalidValue)); serr != nil {
 				s.d.logf("daemon %s: gate status: %v", s.d.cfg.Name, serr)
 			}
 		} else {
 			stream.WaitEOF()
+			releaseStaged()
 			if serr := gate.SetStatus(cl.Complete); serr != nil {
 				s.d.logf("daemon %s: gate status: %v", s.d.cfg.Name, serr)
 			}
@@ -942,33 +967,17 @@ func (s *session) handleEnqueueWrite(id uint32, oneway bool, r *protocol.Reader)
 	}()
 	ev, err := q.EnqueueWriteBuffer(buf, false, offset, staged, append(waits, gate))
 	if err != nil {
+		releaseStaged()
 		s.replyErr(id, oneway, protocol.MsgEnqueueWrite, queueID, eventID, err)
 		return
 	}
+	if cerr := ev.SetCallback(cl.Complete, func(cl.Event, cl.CommandStatus) {
+		releaseStaged()
+	}); cerr != nil {
+		s.d.logf("daemon %s: write staging callback: %v", s.d.cfg.Name, cerr)
+	}
 	s.registerEvent(eventID, ev)
 	s.replyOK(id, oneway, protocol.MsgEnqueueWrite)
-}
-
-// readStagePool recycles read-back staging blocks: every read command
-// stages the device data before shipping it on a stream, and on the
-// fast path (one read per compute iteration) a fresh multi-megabyte
-// allocation per read makes the allocator the dominant transfer cost.
-var readStagePool sync.Pool
-
-func getReadStage(size int) []byte {
-	if v := readStagePool.Get(); v != nil {
-		if b := v.([]byte); cap(b) >= size {
-			return b[:size]
-		}
-	}
-	return make([]byte, size)
-}
-
-func putReadStage(b []byte) {
-	if cap(b) >= 1<<32 { // do not pin absurd one-off transfers
-		return
-	}
-	readStagePool.Put(b[:cap(b)])
 }
 
 func (s *session) handleEnqueueRead(id uint32, oneway bool, r *protocol.Reader) {
@@ -1015,10 +1024,13 @@ func (s *session) handleEnqueueRead(id uint32, oneway bool, r *protocol.Reader) 
 		failRead(err)
 		return
 	}
-	staged := getReadStage(size)
+	// Pooled staging for the device read: on the fast path (one read per
+	// compute iteration) a fresh multi-megabyte allocation per read makes
+	// the allocator the dominant transfer cost.
+	staged := gcf.GetPayload(size)
 	ev, err := q.EnqueueReadBuffer(buf, false, offset, staged, waits)
 	if err != nil {
-		putReadStage(staged)
+		gcf.PutPayload(staged)
 		failRead(err)
 		return
 	}
@@ -1026,13 +1038,15 @@ func (s *session) handleEnqueueRead(id uint32, oneway bool, r *protocol.Reader) 
 	stream := s.ep.Stream(streamID)
 	cbErr := ev.SetCallback(cl.Complete, func(e cl.Event, st cl.CommandStatus) {
 		if st == cl.Complete {
-			if _, werr := stream.Write(staged); werr != nil {
+			// Zero-copy hand-off: the frames reference the staging block
+			// until the deferred flush writes them; the release returns it
+			// to the pool once the last frame is on the wire.
+			if werr := stream.WriteOwned(staged, func() { gcf.PutPayload(staged) }); werr != nil {
 				s.d.logf("daemon %s: read-back stream write: %v", s.d.cfg.Name, werr)
 			}
+		} else {
+			gcf.PutPayload(staged)
 		}
-		// The endpoint copied the data into its frame buffers; the
-		// staging block is free for the next read-back.
-		putReadStage(staged)
 		if cerr := stream.CloseWrite(); cerr != nil {
 			s.d.logf("daemon %s: read-back stream close: %v", s.d.cfg.Name, cerr)
 		}

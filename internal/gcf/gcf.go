@@ -51,13 +51,95 @@ const (
 	closeFlushTimeout = 5 * time.Second
 )
 
-// framePool recycles inbound stream-frame buffers. Bulk transfers chop
-// data into maxFrame frames; without pooling every frame is a fresh
-// quarter-megabyte allocation that lives exactly as long as one copy
-// into the consumer's buffer, and the allocator + GC churn dominates
-// single-core transfer cost. Only stream frames are pooled — message
-// frames hand their payload to the protocol layer, which retains it.
-var framePool = sync.Pool{New: func() any { return make([]byte, maxFrame) }}
+// frameClasses are the size classes of the inbound frame pool. Bulk
+// transfers chop data into maxFrame frames; without pooling every frame
+// is a fresh quarter-megabyte allocation that lives exactly as long as
+// one copy into the consumer's buffer, and the allocator + GC churn
+// dominates single-core transfer cost. Small frames (command responses,
+// short reads) previously still drew maxFrame-sized slices from a single
+// pool; the classes keep a 100-byte frame from pinning 256 KiB.
+var frameClasses = [...]int{4 << 10, 64 << 10, maxFrame}
+
+var framePools = [len(frameClasses)]sync.Pool{
+	{New: func() any { return make([]byte, frameClasses[0]) }},
+	{New: func() any { return make([]byte, frameClasses[1]) }},
+	{New: func() any { return make([]byte, frameClasses[2]) }},
+}
+
+// getFrame draws a pooled buffer of length n (n ≤ maxFrame) from the
+// smallest fitting class. The returned slice's capacity is exactly the
+// class size, which is what putFrame keys on.
+func getFrame(n int) []byte {
+	for i, sz := range frameClasses {
+		if n <= sz {
+			return framePools[i].Get().([]byte)[:n]
+		}
+	}
+	return make([]byte, n) // unreachable for n ≤ maxFrame
+}
+
+// putFrame returns a buffer drawn by getFrame. Buffers whose capacity is
+// not exactly a class size are NOT ours (an aliased sub-slice, a foreign
+// buffer) and are dropped for the GC instead of poisoning the pool —
+// putting an alias would hand the same memory to two owners.
+func putFrame(p []byte) {
+	c := cap(p)
+	for i, sz := range frameClasses {
+		if c == sz {
+			framePools[i].Put(p[:sz])
+			return
+		}
+	}
+}
+
+// Payload pools: larger size-classed pools for whole staged payloads
+// (daemon read/write staging, peer-transfer staging), shared across the
+// process so the enqueue/read/forward hot paths allocate ~0 bytes per
+// op in steady state. Classes are powers of two from 4 KiB to 16 MiB;
+// larger payloads fall back to plain allocation.
+const (
+	payloadMinShift = 12 // 4 KiB
+	payloadMaxShift = 24 // 16 MiB
+)
+
+var payloadPools [payloadMaxShift - payloadMinShift + 1]sync.Pool
+
+// GetPayload returns a buffer of length n, drawn from a process-wide
+// size-classed pool when n fits a class. Contents are NOT zeroed: every
+// user fills the buffer before exposing it.
+func GetPayload(n int) []byte {
+	if n == 0 {
+		return nil
+	}
+	for i := range payloadPools {
+		if sz := 1 << (payloadMinShift + i); n <= sz {
+			if v := payloadPools[i].Get(); v != nil {
+				return v.([]byte)[:n]
+			}
+			return make([]byte, n, sz)
+		}
+	}
+	return make([]byte, n)
+}
+
+// PutPayload returns a buffer drawn by GetPayload. Like putFrame it is
+// cap-keyed: only exact class capacities re-enter the pool, so aliased
+// sub-slices can never hand one allocation to two owners. Callers must
+// not retain any reference after the Put (the standard pool contract);
+// the ownership rule threaded through the transport is that a staged
+// payload is released exactly once, by whoever holds it when its last
+// use settles (flush-complete, stream close, or command completion).
+func PutPayload(p []byte) {
+	c := cap(p)
+	if c < 1<<payloadMinShift || c > 1<<payloadMaxShift || c&(c-1) != 0 {
+		return
+	}
+	i := 0
+	for 1<<(payloadMinShift+i) < c {
+		i++
+	}
+	payloadPools[i].Put(p[:c])
+}
 
 // ErrClosed is returned for operations on a closed endpoint.
 var ErrClosed = errors.New("gcf: endpoint closed")
@@ -78,15 +160,31 @@ type Handler func(msg []byte)
 type Endpoint struct {
 	conn net.Conn
 
-	// Outbound frames are coalesced: writeFrame appends header+payload to
-	// wbuf and the write loop flushes whole batches with single conn
-	// writes. Under load (pipelined one-way enqueues) many small frames
-	// ride in one syscall/packet; an idle connection still sends each
-	// frame immediately, so no latency is added.
+	// peer links the two halves of an in-process endpoint pair
+	// (NewLocalPair): when non-nil, conn is nil and every frame takes the
+	// local fast path in deliverLocal — no framing, no syscalls, no
+	// write/read loops. See local.go.
+	peer *Endpoint
+
+	// Outbound frames are coalesced into a deferred-flush batch: headers
+	// and small (copied) payloads are staged contiguously in wbuf, large
+	// owned payloads are REFERENCED in place (writev-style scatter-
+	// gather), and the write loop flushes whole batches with one
+	// net.Buffers write. Under load (pipelined one-way enqueues) many
+	// small frames ride in one syscall/packet; an idle connection still
+	// sends each frame immediately, so no latency is added. Owned
+	// payloads are never copied: the caller cedes the slice until the
+	// flush completes (its release callback runs), which is what makes
+	// the bulk path zero-copy end to end.
 	wmu     sync.Mutex
 	wcond   *sync.Cond
-	wbuf    []byte
-	wspare  []byte // flushed batch handed back for reuse (bounds allocations)
+	wbuf    []byte // staging: headers + copied payloads
+	wsegs   []wseg // ordered batch segments (wbuf ranges / owned refs)
+	wpend   int    // queued bytes (headers + payloads), for backpressure
+	wspare  []byte // flushed staging handed back for reuse
+	wsegSp  []wseg // flushed segment slice handed back for reuse
+	wbufsSp net.Buffers
+	wrelSp  []func()
 	werr    error
 	wclosed bool
 	wdone   chan struct{}
@@ -136,7 +234,11 @@ func NewEndpoint(conn net.Conn, client bool) *Endpoint {
 func (e *Endpoint) Start(handler Handler, onClose func(error)) {
 	e.onClose = onClose
 	go e.dispatchLoop(handler)
-	go e.readLoop()
+	if e.peer == nil {
+		// Local endpoints have no conn to read: the peer's deliverLocal
+		// feeds the message queue and stream buffers directly.
+		go e.readLoop()
+	}
 }
 
 // Send transmits one message (channel-0 frame). It is safe for concurrent
@@ -148,17 +250,45 @@ func (e *Endpoint) Send(msg []byte) error {
 	return e.writeFrame(msgChannel, msg)
 }
 
-// writeFrame queues one frame for the write loop. It blocks only for
-// backpressure (the coalescing buffer is full); actual transmission — and
-// therefore transmission errors — happen asynchronously and surface as
-// endpoint shutdown.
+// wseg is one segment of the outbound batch: either a contiguous range
+// of the staging buffer (ext == nil) or a referenced owned payload.
+type wseg struct {
+	off, n  int
+	ext     []byte
+	release func()
+}
+
+// writeFrame queues one frame for the write loop, copying the payload
+// into the staging buffer (small frames: messages, heartbeats, legacy
+// stream writes). It blocks only for backpressure (the coalescing batch
+// is full); actual transmission — and therefore transmission errors —
+// happen asynchronously and surface as endpoint shutdown.
 func (e *Endpoint) writeFrame(ch uint32, payload []byte) error {
+	return e.queueFrame(ch, payload, false, nil, true)
+}
+
+// writeFrameOwned queues one frame REFERENCING payload instead of
+// copying it (the writev-style deferred flush): the caller must not
+// mutate payload until the frame is flushed. When queueFrame returns
+// nil, release (if non-nil) is guaranteed to run exactly once — after
+// the flush write, or during the shutdown drain; on error it never
+// runs and ownership stays with the caller.
+func (e *Endpoint) writeFrameOwned(ch uint32, payload []byte, release func()) error {
+	return e.queueFrame(ch, payload, true, release, true)
+}
+
+func (e *Endpoint) queueFrame(ch uint32, payload []byte, owned bool, release func(), block bool) error {
 	if e.closed.Load() {
 		return ErrClosed
 	}
+	if e.peer != nil {
+		return e.deliverLocal(ch, payload, owned, release)
+	}
 	e.wmu.Lock()
-	for len(e.wbuf) >= writeBufLimit && e.werr == nil && !e.wclosed {
-		e.wcond.Wait()
+	if block {
+		for e.wpend >= writeBufLimit && e.werr == nil && !e.wclosed {
+			e.wcond.Wait()
+		}
 	}
 	if e.werr != nil {
 		err := e.werr
@@ -172,52 +302,132 @@ func (e *Endpoint) writeFrame(ch uint32, payload []byte) error {
 	var hdr [8]byte
 	binary.LittleEndian.PutUint32(hdr[0:], ch)
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(payload)))
-	// Payloads are copied into the batch deliberately: referencing caller
-	// slices until the flush (writev-style) would let callers mutate
-	// in-flight data, and the memcpy is orders of magnitude faster than
-	// any modeled or physical link this transport feeds.
+	start := len(e.wbuf)
 	e.wbuf = append(e.wbuf, hdr[:]...)
-	e.wbuf = append(e.wbuf, payload...)
+	if owned && len(payload) > 0 {
+		e.appendStagedLocked(start, 8)
+		e.wsegs = append(e.wsegs, wseg{ext: payload, release: release})
+	} else {
+		// Small payloads ride in the staging buffer: the memcpy is cheaper
+		// than an extra scatter-gather element, and the caller keeps
+		// ownership of its slice immediately.
+		e.wbuf = append(e.wbuf, payload...)
+		e.appendStagedLocked(start, 8+len(payload))
+		if release != nil {
+			e.wsegs[len(e.wsegs)-1].release = release
+		}
+	}
+	e.wpend += 8 + len(payload)
 	e.wcond.Broadcast()
 	e.wmu.Unlock()
 	return nil
 }
 
-// writeLoop drains the coalescing buffer: whatever accumulated since the
-// previous conn write goes out as one batch. Batches form naturally while
-// a write is in flight; an idle endpoint flushes every frame immediately.
+// appendStagedLocked records [start, start+n) of the staging buffer as
+// batch data, merging with a preceding staged segment when contiguous
+// (the common case: runs of small frames collapse to one writev element).
+func (e *Endpoint) appendStagedLocked(start, n int) {
+	if k := len(e.wsegs); k > 0 {
+		if sg := &e.wsegs[k-1]; sg.ext == nil && sg.release == nil && sg.off+sg.n == start {
+			sg.n += n
+			return
+		}
+	}
+	e.wsegs = append(e.wsegs, wseg{off: start, n: n})
+}
+
+// writeLoop drains the deferred-flush batch: whatever accumulated since
+// the previous conn write goes out as one scatter-gather write
+// (net.Buffers — a writev on real sockets). Batches form naturally while
+// a write is in flight; an idle endpoint flushes every frame
+// immediately. Owned payloads' release callbacks run after the batch is
+// written (or dropped on error) — never before, so the "caller must not
+// mutate until flush" contract has a precise end point.
 func (e *Endpoint) writeLoop() {
 	e.wmu.Lock()
 	for {
-		for len(e.wbuf) == 0 && !e.wclosed {
+		for e.wpend == 0 && !e.wclosed {
 			e.wcond.Wait()
 		}
-		if len(e.wbuf) == 0 { // closed and fully drained
+		if e.wpend == 0 { // closed and fully drained
 			e.wmu.Unlock()
 			close(e.wdone)
 			return
 		}
-		batch := e.wbuf
+		staging := e.wbuf
+		segs := e.wsegs
+		bufs := e.wbufsSp[:0]
+		rels := e.wrelSp[:0]
+		for _, sg := range segs {
+			if sg.ext == nil {
+				bufs = append(bufs, staging[sg.off:sg.off+sg.n])
+			} else {
+				bufs = append(bufs, sg.ext)
+			}
+			if sg.release != nil {
+				rels = append(rels, sg.release)
+			}
+		}
 		e.wbuf = e.wspare[:0]
 		e.wspare = nil
-		// The buffer just emptied: wake backpressure waiters now so they
+		e.wsegs = e.wsegSp[:0]
+		e.wsegSp = nil
+		e.wpend = 0
+		// The batch just emptied: wake backpressure waiters now so they
 		// fill the next batch while this one is on the wire (otherwise a
 		// single bulk producer would stall for each batch's transmission).
 		e.wcond.Broadcast()
 		e.wmu.Unlock()
-		_, err := e.conn.Write(batch)
+		nb := bufs
+		_, err := nb.WriteTo(e.conn)
+		// Flushed (or failed — the frames are gone either way): hand the
+		// owned payloads back to their producers.
+		for _, r := range rels {
+			r()
+		}
+		// Drop payload references before recycling the scratch slices so a
+		// parked connection does not pin released buffers.
+		for i := range bufs {
+			bufs[i] = nil
+		}
+		for i := range segs {
+			segs[i] = wseg{}
+		}
+		for i := range rels {
+			rels[i] = nil
+		}
 		e.wmu.Lock()
-		// Ping-pong the two batch buffers so a steady command stream runs
+		// Ping-pong the batch buffers so a steady command stream runs
 		// allocation-free; oversized batches (bulk-data bursts) are
 		// dropped for the GC rather than pinned.
-		if cap(batch) <= 1<<20 {
-			e.wspare = batch[:0]
+		if cap(staging) <= 1<<20 {
+			e.wspare = staging[:0]
+		}
+		if cap(segs) <= 4096 {
+			e.wsegSp = segs[:0]
+		}
+		if cap(bufs) <= 4096 {
+			e.wbufsSp = bufs[:0]
+		}
+		if cap(rels) <= 4096 {
+			e.wrelSp = rels[:0]
 		}
 		if err != nil {
 			e.werr = err
 			e.wclosed = true
+			drain := e.wsegs
+			e.wsegs = nil
+			e.wbuf = nil
+			e.wpend = 0
 			e.wcond.Broadcast()
 			e.wmu.Unlock()
+			// Frames queued while the failing write was in flight will
+			// never be sent; their owners still get their buffers back.
+			for _, sg := range drain {
+				if sg.release != nil {
+					sg.release()
+				}
+			}
 			close(e.wdone)
 			e.shutdown(err)
 			return
@@ -243,14 +453,14 @@ func (e *Endpoint) readLoop() {
 		var payload []byte
 		pooled := ch != msgChannel && ch != hbChannel && n > 0
 		if pooled {
-			payload = framePool.Get().([]byte)[:n]
+			payload = getFrame(int(n))
 		} else {
 			payload = make([]byte, n)
 		}
 		if n > 0 {
 			if _, err = io.ReadFull(e.conn, payload); err != nil {
 				if pooled {
-					framePool.Put(payload[:maxFrame])
+					putFrame(payload)
 				}
 				break
 			}
@@ -327,7 +537,9 @@ func (e *Endpoint) shutdown(err error) {
 		case <-time.After(closeFlushTimeout):
 		}
 	}
-	e.conn.Close()
+	if e.conn != nil {
+		e.conn.Close()
+	}
 	e.streamMu.Lock()
 	for _, s := range e.streams {
 		s.closeRead(err)
@@ -339,6 +551,11 @@ func (e *Endpoint) shutdown(err error) {
 	close(e.done)
 	if e.onClose != nil {
 		e.onClose(err)
+	}
+	// An in-process link dies as a unit, like a conn close tearing down
+	// both ends: the CAS above terminates the mutual recursion.
+	if e.peer != nil {
+		e.peer.shutdown(err)
 	}
 }
 
@@ -352,6 +569,11 @@ func (e *Endpoint) shutdown(err error) {
 // solicited. Call at most once, after Start.
 func (e *Endpoint) StartHeartbeat(interval, timeout time.Duration) {
 	if interval <= 0 || timeout <= 0 {
+		return
+	}
+	if e.peer != nil {
+		// A process-local link cannot silently partition: it is alive
+		// exactly until one side calls Close, so probing is pointless.
 		return
 	}
 	if timeout < 2*interval {
@@ -391,22 +613,7 @@ func (e *Endpoint) StartHeartbeat(interval, timeout time.Duration) {
 // saturated (but healthy) link and dropping them would declare it dead.
 // Returns false only when the endpoint is closing.
 func (e *Endpoint) tryWriteFrame(ch uint32, payload []byte) bool {
-	if e.closed.Load() {
-		return false
-	}
-	e.wmu.Lock()
-	if e.werr != nil || e.wclosed {
-		e.wmu.Unlock()
-		return false
-	}
-	var hdr [8]byte
-	binary.LittleEndian.PutUint32(hdr[0:], ch)
-	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(payload)))
-	e.wbuf = append(e.wbuf, hdr[:]...)
-	e.wbuf = append(e.wbuf, payload...)
-	e.wcond.Broadcast()
-	e.wmu.Unlock()
-	return true
+	return e.queueFrame(ch, payload, false, nil, false) == nil
 }
 
 // Close terminates the connection.
@@ -482,9 +689,22 @@ type Stream struct {
 
 	mu     sync.Mutex
 	cond   *sync.Cond
-	chunks [][]byte
+	chunks []rchunk
 	offset int
 	rerr   error
+}
+
+// rchunk is one inbound chunk with explicit pool ownership: pooled
+// chunks came from the frame pool and are returned on full consumption;
+// non-pooled chunks (in-process handoffs of caller-owned slices) are
+// never returned — the cap-sniffing this replaces could alias a foreign
+// buffer into the pool. release (in-process WriteOwned hand-offs) fires
+// exactly once when the chunk is consumed or the stream is torn down,
+// handing the slice back to the writer.
+type rchunk struct {
+	p       []byte
+	pooled  bool
+	release func()
 }
 
 func newStream(e *Endpoint, id uint32) *Stream {
@@ -498,17 +718,46 @@ func (s *Stream) ID() uint32 { return s.id }
 
 // push appends inbound data (called from the endpoint read loop).
 func (s *Stream) push(p []byte) {
+	s.pushChunk(p, true)
+}
+
+// pushChunk appends inbound data with explicit pool ownership.
+func (s *Stream) pushChunk(p []byte, pooled bool) {
 	s.mu.Lock()
-	s.chunks = append(s.chunks, p)
+	s.chunks = append(s.chunks, rchunk{p: p, pooled: pooled})
 	s.cond.Broadcast()
 	s.mu.Unlock()
 }
 
 // closeRead terminates the read side with err (io.EOF for orderly close).
+// On an error close, undelivered in-process hand-off chunks are dropped
+// and their releases fired: nobody may ever drain this stream, and a
+// release parked forever would strand the writer's buffer — the local
+// analogue of the write loop's shutdown drain. The chunk is removed
+// before release runs (both under s.mu, which Read holds for its whole
+// body), so the writer reusing the slice can never race a reader's copy.
+// A partially-consumed head chunk stays readable and leaks its release
+// to the GC instead — the reader is mid-copy through it across Read
+// calls, so reclaiming it is never safe.
 func (s *Stream) closeRead(err error) {
 	s.mu.Lock()
 	if s.rerr == nil {
 		s.rerr = err
+	}
+	if err != io.EOF && len(s.chunks) > 0 {
+		kept := s.chunks[:0]
+		for i, c := range s.chunks {
+			if c.release == nil || (i == 0 && s.offset > 0) {
+				kept = append(kept, c)
+				continue
+			}
+			c.release()
+		}
+		tail := s.chunks[len(kept):]
+		for i := range tail {
+			tail[i] = rchunk{}
+		}
+		s.chunks = kept
 	}
 	s.cond.Broadcast()
 	s.mu.Unlock()
@@ -528,21 +777,26 @@ func (s *Stream) Read(p []byte) (int, error) {
 	n := 0
 	for n < len(p) && len(s.chunks) > 0 {
 		c := s.chunks[0]
-		m := copy(p[n:], c[s.offset:])
+		m := copy(p[n:], c.p[s.offset:])
 		n += m
 		s.offset += m
-		if s.offset == len(c) {
+		if s.offset == len(c.p) {
 			s.chunks = s.chunks[1:]
 			s.offset = 0
-			if cap(c) == maxFrame {
-				framePool.Put(c[:maxFrame])
+			if c.pooled {
+				putFrame(c.p)
+			}
+			if c.release != nil {
+				c.release()
 			}
 		}
 	}
 	return n, nil
 }
 
-// Write sends data on the stream, chopped into frames.
+// Write sends data on the stream, chopped into frames. The payload is
+// copied into the coalescing batch, so the caller keeps ownership of p
+// on return; bulk senders should prefer WriteOwned.
 func (s *Stream) Write(p []byte) (int, error) {
 	sent := 0
 	for sent < len(p) {
@@ -556,6 +810,57 @@ func (s *Stream) Write(p []byte) (int, error) {
 		sent += n
 	}
 	return sent, nil
+}
+
+// WriteOwned sends p on the stream zero-copy: the frames REFERENCE p
+// until the deferred flush writes them, so the caller MUST NOT mutate p
+// until release runs. release is called exactly once — after the last
+// queued frame has been flushed (or dropped by endpoint shutdown) — and
+// is where pooled payloads re-enter their pool. On a non-nil error the
+// endpoint may still hold references to p until it finishes shutting
+// down; ownership only returns to the caller via release, which still
+// runs for every frame that was queued (a payload whose first frames
+// were queued before the error is released by the shutdown drain).
+func (s *Stream) WriteOwned(p []byte, release func()) error {
+	if len(p) == 0 {
+		if release != nil {
+			release()
+		}
+		return nil
+	}
+	total := int32((len(p) + maxFrame - 1) / maxFrame)
+	rel := release
+	if release != nil && total > 1 {
+		var done atomic.Int32
+		rel = func() {
+			if done.Add(1) == total {
+				release()
+			}
+		}
+	}
+	sent, queued := 0, int32(0)
+	for sent < len(p) {
+		n := len(p) - sent
+		if n > maxFrame {
+			n = maxFrame
+		}
+		if err := s.e.writeFrameOwned(s.id, p[sent:sent+n], rel); err != nil {
+			// Chunks never queued will never be flushed: account for them
+			// here so release still fires once the queued ones drain (or
+			// immediately when none were queued).
+			if rel != nil && total > 1 {
+				for i := queued; i < total; i++ {
+					rel()
+				}
+			} else if release != nil && queued == 0 {
+				release()
+			}
+			return err
+		}
+		queued++
+		sent += n
+	}
+	return nil
 }
 
 // CloseWrite signals end-of-stream to the peer.
@@ -583,7 +888,22 @@ func (s *Stream) WaitEOF() {
 }
 
 // Release drops the local bookkeeping for the stream. Call after both
-// sides are done with it.
+// sides are done with it. Unconsumed chunks are reclaimed here — pooled
+// frames re-enter their pool and in-process hand-offs get their release
+// callbacks — so an abandoned stream cannot strand writer buffers.
 func (s *Stream) Release() {
+	s.mu.Lock()
+	chunks := s.chunks
+	s.chunks = nil
+	s.offset = 0
+	s.mu.Unlock()
+	for _, c := range chunks {
+		if c.pooled {
+			putFrame(c.p)
+		}
+		if c.release != nil {
+			c.release()
+		}
+	}
 	s.e.forget(s.id)
 }

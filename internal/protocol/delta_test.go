@@ -1,0 +1,121 @@
+package protocol
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func roundTripDelta(t *testing.T, prev, cur []byte) (encoded int, usedDelta bool) {
+	t.Helper()
+	enc, ok := EncodeDelta(prev, cur)
+	if !ok {
+		return len(cur), false
+	}
+	if len(enc) >= len(cur) {
+		t.Fatalf("encoder returned a %d-byte delta for a %d-byte payload without falling back", len(enc), len(cur))
+	}
+	got, err := DecodeDelta(prev, enc, len(cur))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !bytes.Equal(got, cur) {
+		t.Fatalf("round trip diverged (prev %d bytes, cur %d bytes, delta %d bytes)", len(prev), len(cur), len(enc))
+	}
+	return len(enc), true
+}
+
+func TestDeltaRoundTripShapes(t *testing.T) {
+	base := make([]byte, 8192)
+	for i := range base {
+		base[i] = byte(i * 7)
+	}
+	mutate := func(spans ...[2]int) []byte {
+		cur := append([]byte(nil), base...)
+		for _, sp := range spans {
+			for i := sp[0]; i < sp[0]+sp[1]; i++ {
+				cur[i] ^= 0x5A
+			}
+		}
+		return cur
+	}
+	cases := []struct {
+		name string
+		cur  []byte
+		// wantDelta: the encoder must beat the full frame on this shape.
+		wantDelta bool
+	}{
+		{"identical", mutate(), true},
+		{"head", mutate([2]int{0, 64}), true},
+		{"tail", mutate([2]int{8192 - 64, 64}), true},
+		{"middle", mutate([2]int{4000, 100}), true},
+		{"sparse", mutate([2]int{10, 4}, [2]int{1000, 1}, [2]int{7000, 32}), true},
+		{"near-gap-merged", mutate([2]int{100, 8}, [2]int{112, 8}), true},
+		{"everything-changed", bytes.Repeat([]byte{0xFF}, 8192), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			n, used := roundTripDelta(t, base, tc.cur)
+			if used != tc.wantDelta {
+				t.Fatalf("delta used=%v (encoded %d of %d bytes), want %v", used, n, len(tc.cur), tc.wantDelta)
+			}
+		})
+	}
+	// A sparse change must encode to a small fraction of the payload.
+	if n, _ := roundTripDelta(t, base, mutate([2]int{4000, 100})); n > 200 {
+		t.Fatalf("100-byte change encoded to %d bytes", n)
+	}
+}
+
+func TestDeltaEncodeRejectsMismatchedLengths(t *testing.T) {
+	if _, ok := EncodeDelta(make([]byte, 10), make([]byte, 11)); ok {
+		t.Fatal("encoder accepted mismatched baseline length")
+	}
+	if _, ok := EncodeDelta(nil, nil); ok {
+		t.Fatal("encoder accepted empty payload")
+	}
+}
+
+func TestDeltaDecodeRejectsMalformed(t *testing.T) {
+	prev := make([]byte, 100)
+	for _, tc := range [][]byte{
+		{0x80},                         // truncated varint
+		{200, 1, 0xAA},                 // skip past end
+		{0, 200},                       // literal length past end
+		{0, 5, 1, 2},                   // literal bytes missing
+		{90, 0, 90, 0},                 // cumulative overrun
+		bytes.Repeat([]byte{0xFF}, 12), // varint overflow
+	} {
+		if _, err := DecodeDelta(prev, tc, 100); err == nil {
+			t.Fatalf("decoder accepted malformed delta %v", tc)
+		}
+	}
+	if _, err := DecodeDelta(make([]byte, 99), []byte{}, 100); err == nil {
+		t.Fatal("decoder accepted wrong-size baseline")
+	}
+}
+
+// TestDeltaPropertyRandom round-trips randomized payload pairs, covering
+// arbitrary mixes of changed runs, and checks the fallback contract: the
+// encoder either reproduces the payload exactly or declines.
+func TestDeltaPropertyRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(5000)
+		prev := make([]byte, n)
+		rng.Read(prev)
+		cur := append([]byte(nil), prev...)
+		// Mutate a random number of random-length spans (possibly zero).
+		for k := rng.Intn(8); k > 0; k-- {
+			off := rng.Intn(n)
+			ln := 1 + rng.Intn(n-off)
+			if ln > 256 {
+				ln = 256
+			}
+			for i := off; i < off+ln; i++ {
+				cur[i] = byte(rng.Int())
+			}
+		}
+		roundTripDelta(t, prev, cur)
+	}
+}

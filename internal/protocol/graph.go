@@ -165,12 +165,18 @@ type RegisterGraph struct {
 	GraphID  uint64
 	QueueID  uint64
 	Commands []GraphCommand
+	// DeltaReplay asks the daemon to keep this graph delta-capable:
+	// later replay updates may ship GraphPayloadDelta streams encoded
+	// against the cached payloads. Clients set it only on daemons that
+	// advertised CapDeltaReplay.
+	DeltaReplay bool
 }
 
 // PutRegisterGraph encodes a graph registration.
 func PutRegisterGraph(w *Writer, g RegisterGraph) {
 	w.U64(g.GraphID)
 	w.U64(g.QueueID)
+	w.Bool(g.DeltaReplay)
 	w.U32(uint32(len(g.Commands)))
 	for _, c := range g.Commands {
 		putGraphCommand(w, c)
@@ -179,7 +185,7 @@ func PutRegisterGraph(w *Writer, g RegisterGraph) {
 
 // GetRegisterGraph decodes a graph registration.
 func GetRegisterGraph(r *Reader) RegisterGraph {
-	g := RegisterGraph{GraphID: r.U64(), QueueID: r.U64()}
+	g := RegisterGraph{GraphID: r.U64(), QueueID: r.U64(), DeltaReplay: r.Bool()}
 	n := int(r.U32())
 	if n > r.Remaining() {
 		r.err = ErrTruncated
@@ -201,6 +207,13 @@ type GraphUpdate struct {
 	ArgIndex uint32 // kernel argument index (GraphUpdateKernelArg)
 	Arg      GraphKernelArg
 	StreamID uint32 // new payload stream (GraphUpdateWriteData)
+	// Encoding says what the payload stream carries: the full payload
+	// (GraphPayloadFull) or a delta against the daemon's cached payload
+	// (GraphPayloadDelta, only on graphs registered with DeltaReplay).
+	Encoding uint8
+	// PayloadLen is the byte count on the payload stream: the command's
+	// recorded size for full payloads, the encoded length for deltas.
+	PayloadLen uint32
 }
 
 func putGraphUpdate(w *Writer, u GraphUpdate) {
@@ -212,6 +225,8 @@ func putGraphUpdate(w *Writer, u GraphUpdate) {
 		putGraphKernelArg(w, u.Arg)
 	case GraphUpdateWriteData:
 		w.U32(u.StreamID)
+		w.U8(u.Encoding)
+		w.U32(u.PayloadLen)
 	}
 }
 
@@ -223,6 +238,8 @@ func getGraphUpdate(r *Reader) GraphUpdate {
 		u.Arg = getGraphKernelArg(r)
 	case GraphUpdateWriteData:
 		u.StreamID = r.U32()
+		u.Encoding = r.U8()
+		u.PayloadLen = r.U32()
 	default:
 		r.err = ErrTruncated
 	}

@@ -7,8 +7,9 @@ import (
 
 func TestRegisterGraphRoundTrip(t *testing.T) {
 	in := RegisterGraph{
-		GraphID: 77,
-		QueueID: 12,
+		GraphID:     77,
+		QueueID:     12,
+		DeltaReplay: true,
 		Commands: []GraphCommand{
 			{Op: GraphOpWrite, BufID: 3, Offset: 64, Size: 4096, StreamID: 9},
 			{Op: GraphOpRead, BufID: 4, Offset: 0, Size: 128},
@@ -59,7 +60,10 @@ func TestExecGraphRoundTrip(t *testing.T) {
 		Updates: []GraphUpdate{
 			{Cmd: 3, Kind: GraphUpdateKernelArg, ArgIndex: 1,
 				Arg: GraphKernelArg{Kind: ArgValScalar, Raw: 42}},
-			{Cmd: 0, Kind: GraphUpdateWriteData, StreamID: 13},
+			{Cmd: 0, Kind: GraphUpdateWriteData, StreamID: 13,
+				Encoding: GraphPayloadFull, PayloadLen: 4096},
+			{Cmd: 1, Kind: GraphUpdateWriteData, StreamID: 14,
+				Encoding: GraphPayloadDelta, PayloadLen: 96},
 		},
 	}
 	w := NewWriter()
@@ -111,7 +115,7 @@ func TestGraphMessagesTruncated(t *testing.T) {
 		}
 	}
 	// A bogus op or update kind is rejected.
-	r := NewReader([]byte{1, 0, 0, 0, 0, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 99})
+	r := NewReader([]byte{1, 0, 0, 0, 0, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 99})
 	GetRegisterGraph(r)
 	if r.Err() == nil {
 		t.Fatal("unknown graph op decoded without error")

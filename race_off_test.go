@@ -1,0 +1,5 @@
+//go:build !race
+
+package dopencl_test
+
+const raceEnabled = false

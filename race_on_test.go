@@ -1,0 +1,7 @@
+//go:build race
+
+package dopencl_test
+
+// raceEnabled relaxes allocation-churn ceilings: the race detector's
+// shadow memory inflates per-op allocation accounting.
+const raceEnabled = true
