@@ -36,6 +36,7 @@ type benchEntry struct {
 	SpeedupX     float64  `json:"speedup_x,omitempty"`
 	AllocsPerOp  *float64 `json:"allocs_per_op,omitempty"` // pointer: 0 is meaningful
 	BytesPerIter float64  `json:"bytes_per_iter,omitempty"`
+	P99Ms        *float64 `json:"p99_ms,omitempty"` // tail latency where measured
 }
 
 type benchReport struct {

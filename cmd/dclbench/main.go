@@ -36,6 +36,8 @@ func main() {
 	bench := flag.Bool("bench", false, "run the micro-benchmark suite and emit machine-readable JSON")
 	benchout := flag.String("benchout", "BENCH_PR7.json", "output path for -bench results")
 	chaosSmoke := flag.Bool("chaos", false, "run the daemon-failure recovery smoke (mid-run kill + recovery latency)")
+	serveBench := flag.Bool("serve", false, "run the serve-plane benchmark (1k clients, batching vs per-job, warm cache)")
+	serveout := flag.String("serveout", "BENCH_PR8.json", "output path for -serve results")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -68,6 +70,14 @@ func main() {
 	if *chaosSmoke {
 		if err := runChaosSmoke(); err != nil {
 			fmt.Fprintf(os.Stderr, "chaos smoke failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *serveBench {
+		if err := runServeBench(*serveout); err != nil {
+			fmt.Fprintf(os.Stderr, "serve bench failed: %v\n", err)
 			os.Exit(1)
 		}
 		return

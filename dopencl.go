@@ -34,6 +34,7 @@ import (
 	"dopencl/internal/devmgr"
 	"dopencl/internal/native"
 	"dopencl/internal/sched"
+	"dopencl/internal/serve"
 )
 
 // Version identifies this reimplementation.
@@ -136,6 +137,41 @@ func WriteDataUpdate(cmd int, data []byte) CommandUpdate { return cl.WriteDataUp
 
 // ReadDstUpdate redirects the recorded read at index cmd into dst.
 func ReadDstUpdate(cmd int, dst []byte) CommandUpdate { return cl.ReadDstUpdate(cmd, dst) }
+
+// Serve-plane re-exports (internal/serve + internal/client): the
+// job-serving subsystem for many small concurrent jobs against shared
+// precompiled programs. A ServeSession submits jobs that the daemon
+// coalesces into batched dispatches, with content-addressed result
+// caching on both ends and weighted fair queueing across tenants.
+type (
+	// ServeSession is an open serve lane to one daemon.
+	ServeSession = client.ServeSession
+	// ServeJob describes one submitted job (see client.JobSpec).
+	ServeJob = client.JobSpec
+	// ServeFuture resolves to a submitted job's result.
+	ServeFuture = serve.Future
+	// ServeResult is a completed job's output plus batching metadata.
+	ServeResult = serve.Result
+	// ServeCacheStats snapshots a result cache's counters.
+	ServeCacheStats = serve.CacheStats
+)
+
+// Busy is the typed admission-control error (CL_BUSY_WWU): a serve
+// submit was refused because the session's in-flight share is full.
+// Match it with errors.Is(err, dopencl.Busy).
+const Busy = cl.Busy
+
+// OpenServe opens a serve session on the server hosting dev. Weight is
+// the session's relative share in the daemon's weighted fair queue
+// (0 means 1); maxPending bounds in-flight jobs (0 means 256) — Submit
+// beyond it returns Busy.
+func OpenServe(ctx Context, dev Device, weight, maxPending int) (*ServeSession, error) {
+	c, ok := ctx.(*client.Context)
+	if !ok {
+		return nil, cl.Errf(cl.InvalidContext, "context is not a dOpenCL client context")
+	}
+	return c.OpenServe(dev, weight, maxPending)
+}
 
 // Options configures the dOpenCL client driver (see client.Options).
 type Options = client.Options

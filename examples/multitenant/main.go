@@ -1,151 +1,177 @@
-// Multi-tenant device sharing through the dOpenCL device manager
-// (Section IV of the paper): three independent applications request GPUs
-// from a manager that assigns each a different device of a shared 4-GPU
-// server. The managed daemon only exposes to each client the devices of
-// its lease.
+// Multi-tenant job serving through the serve plane: three independent
+// tenants share one daemon, each over its own serve session with a
+// weight (its relative share of the daemon's weighted fair queue) and a
+// quota (maxPending — the admission-controlled in-flight cap). Every
+// tenant floods the daemon with small kernel jobs; the daemon coalesces
+// compatible pending jobs from all tenants into batched dispatches, the
+// content-addressed result caches absorb repeated work, and a tenant
+// that outruns its quota is refused with the typed cl.Busy — which it
+// handles by waiting for in-flight results instead of queueing more.
 //
 //	go run ./examples/multitenant
 package main
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"log"
 	"sync"
 	"time"
 
+	"dopencl"
 	"dopencl/internal/cl"
-	"dopencl/internal/client"
 	"dopencl/internal/daemon"
 	"dopencl/internal/device"
-	"dopencl/internal/devmgr"
 	"dopencl/internal/native"
-	"dopencl/internal/protocol"
 	"dopencl/internal/simnet"
 )
 
+const src = `
+kernel void axpb(const global int* in, global int* out, int f, int n) {
+	int i = get_global_id(0);
+	if (i < n) { out[i] = in[i] * f + 1; }
+}
+`
+
 func main() {
-	nw := simnet.NewNetwork(simnet.Unlimited())
+	nw := simnet.NewNetwork(simnet.LinkConfig{LatencySec: 100e-6})
 
-	// Device manager.
-	manager := devmgr.New(devmgr.WithLogf(log.Printf))
-	ml, err := nw.Listen("devmgr")
+	// One shared daemon with a short coalescing window: jobs submitted by
+	// different tenants inside the window run as one batched dispatch.
+	np := native.NewPlatform("gpuserver", "example vendor", []device.Config{device.TestGPU("tesla0")})
+	d, err := daemon.New(daemon.Config{Name: "gpuserver", Platform: np, ServeWindow: 2 * time.Millisecond})
+	if err != nil {
+		log.Fatal(err)
+	}
+	l, err := nw.Listen("gpuserver")
 	if err != nil {
 		log.Fatal(err)
 	}
 	go func() {
-		if err := manager.Serve(ml); err != nil {
-			log.Printf("manager stopped: %v", err)
-		}
-	}()
-
-	// A 4-GPU server in managed mode.
-	cfgs := []device.Config{
-		device.TestGPU("tesla0"), device.TestGPU("tesla1"),
-		device.TestGPU("tesla2"), device.TestGPU("tesla3"),
-	}
-	plat := native.NewPlatform("gpuserver", "example vendor", cfgs)
-	d, err := daemon.New(daemon.Config{Name: "gpuserver", Platform: plat, Managed: true})
-	if err != nil {
-		log.Fatal(err)
-	}
-	dl, err := nw.Listen("gpuserver")
-	if err != nil {
-		log.Fatal(err)
-	}
-	go func() {
-		if err := d.Serve(dl); err != nil {
+		if err := d.Serve(l); err != nil {
 			log.Printf("daemon stopped: %v", err)
 		}
 	}()
-	mconn, err := nw.Dial("devmgr")
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := d.AttachManager(mconn, "gpuserver"); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("device manager holds %d free devices\n\n", manager.FreeDevices())
 
-	// Three tenants, each requesting one GPU concurrently.
+	// Three tenants with different shares: tenant 1 is the heavy,
+	// high-priority one (weight 4, quota 64), tenant 3 runs on a sliver
+	// (weight 1, quota 8). All submit the same number of jobs.
+	tenants := []struct {
+		weight, quota int
+	}{
+		{weight: 4, quota: 64},
+		{weight: 2, quota: 32},
+		{weight: 1, quota: 8},
+	}
+	const jobsPerTenant, n = 200, 64
+
 	var wg sync.WaitGroup
 	var mu sync.Mutex
-	for tenant := 1; tenant <= 3; tenant++ {
+	for id, cfg := range tenants {
 		wg.Add(1)
-		go func(tenant int) {
+		go func(tenant, weight, quota int) {
 			defer wg.Done()
-			app := client.NewPlatform(client.Options{
+			app := dopencl.NewPlatform(dopencl.Options{
 				Dialer:     nw.Dial,
 				ClientName: fmt.Sprintf("tenant%d", tenant),
 			})
-			lease, err := app.RequestFromManager(client.ManagerConfig{
-				Manager: "devmgr",
-				Requests: []protocol.DeviceRequest{
-					{Count: 1, Type: cl.DeviceTypeGPU},
-				},
-			})
+			if _, err := app.ConnectServer("gpuserver"); err != nil {
+				log.Fatalf("tenant %d: %v", tenant, err)
+			}
+			devs, err := app.Devices(cl.DeviceTypeAll)
 			if err != nil {
 				log.Fatalf("tenant %d: %v", tenant, err)
 			}
-			devs, err := app.Devices(cl.DeviceTypeGPU)
-			if err != nil {
-				log.Fatalf("tenant %d: %v", tenant, err)
-			}
-			mu.Lock()
-			fmt.Printf("tenant %d: lease %s... grants %d device(s):", tenant, lease.AuthID[:8], len(devs))
-			for _, dev := range devs {
-				fmt.Printf(" %s", dev.Name())
-			}
-			fmt.Println()
-			mu.Unlock()
-
-			// Do a little work on the assigned device to show it's usable.
 			ctx, err := app.CreateContext(devs)
 			if err != nil {
 				log.Fatalf("tenant %d: %v", tenant, err)
 			}
-			q, err := ctx.CreateQueue(devs[0])
+			defer ctx.Release()
+			prog, err := ctx.CreateProgramWithSource(src)
 			if err != nil {
 				log.Fatalf("tenant %d: %v", tenant, err)
 			}
-			buf, err := ctx.CreateBuffer(cl.MemReadWrite, 1024, nil)
+			if err := prog.Build(nil, ""); err != nil {
+				log.Fatalf("tenant %d: %v", tenant, err)
+			}
+			k, err := prog.CreateKernel("axpb")
 			if err != nil {
 				log.Fatalf("tenant %d: %v", tenant, err)
 			}
-			payload := make([]byte, 1024)
-			payload[0] = byte(tenant)
-			if _, err := q.EnqueueWriteBuffer(buf, true, 0, payload, nil); err != nil {
+			ses, err := dopencl.OpenServe(ctx, devs[0], weight, quota)
+			if err != nil {
 				log.Fatalf("tenant %d: %v", tenant, err)
 			}
-			back := make([]byte, 1024)
-			if _, err := q.EnqueueReadBuffer(buf, true, 0, back, nil); err != nil {
-				log.Fatalf("tenant %d: %v", tenant, err)
+			defer ses.Close()
+
+			input := make([]byte, 4*n)
+			start := time.Now()
+			var inflight []*dopencl.ServeFuture
+			busyRefusals, cachedHits, maxBatch := 0, 0, 0
+			drainOne := func() {
+				res, err := inflight[0].Wait()
+				inflight = inflight[1:]
+				if err != nil {
+					log.Fatalf("tenant %d: job failed: %v", tenant, err)
+				}
+				if res.Cached {
+					cachedHits++
+				}
+				if res.BatchSize > maxBatch {
+					maxBatch = res.BatchSize
+				}
 			}
-			if back[0] != byte(tenant) {
-				log.Fatalf("tenant %d: data round-trip failed", tenant)
+			for j := 0; j < jobsPerTenant; j++ {
+				// Tenants cycle through a few distinct inputs, so warm
+				// repeats hit the result caches instead of the device.
+				binary.LittleEndian.PutUint32(input, uint32(tenant*1000+j%16))
+				for {
+					fut, err := ses.Submit(dopencl.ServeJob{
+						Kernel:   k,
+						Args:     []any{nil, nil, int32(tenant), int32(n)},
+						InputArg: 0, OutputArg: 1,
+						Input:   input,
+						OutSize: 4 * n,
+						Global:  []int{n},
+					})
+					if errors.Is(err, dopencl.Busy) {
+						// Quota full: the only correct move is to drain,
+						// not to queue — backpressure stops here.
+						busyRefusals++
+						drainOne()
+						continue
+					}
+					if err != nil {
+						log.Fatalf("tenant %d: %v", tenant, err)
+					}
+					inflight = append(inflight, fut)
+					break
+				}
 			}
-			if err := ctx.Release(); err != nil {
-				log.Fatalf("tenant %d: %v", tenant, err)
+			for len(inflight) > 0 {
+				drainOne()
 			}
-			if err := lease.Release(); err != nil {
-				log.Fatalf("tenant %d: releasing lease: %v", tenant, err)
-			}
-		}(tenant)
+			elapsed := time.Since(start)
+			stats := ses.CacheStats()
+			mu.Lock()
+			fmt.Printf("tenant %d (weight %d, quota %2d): %d jobs in %7.1fms — %5.0f jobs/s, max batch %2d, %3d cached results (%d session-cache hits), %d Busy refusals\n",
+				tenant, weight, quota, jobsPerTenant, elapsed.Seconds()*1e3,
+				float64(jobsPerTenant)/elapsed.Seconds(), maxBatch, cachedHits, stats.Hits, busyRefusals)
+			mu.Unlock()
+		}(id+1, cfg.weight, cfg.quota)
 	}
 	wg.Wait()
 
-	// Lease releases are asynchronous messages; give the manager a moment
-	// to process them.
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		if manager.FreeDevices() == 4 && manager.ActiveLeases() == 0 {
-			break
-		}
-		time.Sleep(5 * time.Millisecond)
+	st := d.ServeStats()
+	dispatches := st.Dispatches
+	if dispatches == 0 {
+		dispatches = 1
 	}
-	fmt.Printf("\nafter releases: %d free devices, %d active leases\n",
-		manager.FreeDevices(), manager.ActiveLeases())
-	if manager.FreeDevices() != 4 || manager.ActiveLeases() != 0 {
-		log.Fatal("device manager did not reclaim all devices")
+	fmt.Printf("\ndaemon: %d jobs admitted, %d batched dispatches (%.1f jobs/dispatch), %d daemon cache hits\n",
+		st.Submitted, st.Dispatches, float64(st.BatchedJobs)/float64(dispatches), st.CacheHits)
+	if st.Submitted > 0 && st.Dispatches >= st.Submitted {
+		log.Fatal("no coalescing happened")
 	}
-	fmt.Println("all leases returned ✓")
+	fmt.Println("all tenants served ✓")
 }

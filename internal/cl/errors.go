@@ -56,6 +56,12 @@ const (
 	// copy lived on a daemon that died, so its contents are unrecoverable.
 	// Reads of the range fail with this code until the range is rewritten.
 	DataLost ErrorCode = -2003
+	// Busy is a dOpenCL extension code: the serve-path admission control
+	// rejected a job because the session's queue share is full. Unlike
+	// ServerLost/DataLost nothing is broken — the caller should back off
+	// and resubmit (or shed the request), which is the whole point of
+	// bounding the queue instead of buffering unboundedly.
+	Busy ErrorCode = -2004
 )
 
 var errorNames = map[ErrorCode]string{
@@ -95,6 +101,7 @@ var errorNames = map[ErrorCode]string{
 	InvalidServer:          "CL_INVALID_SERVER_WWU",
 	ServerLost:             "CL_SERVER_LOST_WWU",
 	DataLost:               "CL_DATA_LOST_WWU",
+	Busy:                   "CL_BUSY_WWU",
 }
 
 // String returns the OpenCL constant name of the code.
@@ -104,6 +111,11 @@ func (c ErrorCode) String() string {
 	}
 	return fmt.Sprintf("CL_ERROR(%d)", int32(c))
 }
+
+// Error makes a bare ErrorCode usable as an errors.Is target (and as a
+// minimal sentinel error): errors.Is(err, cl.Busy) matches any *Error
+// carrying the code, via (*Error).Is.
+func (c ErrorCode) Error() string { return "cl: " + c.String() }
 
 // Error is the error type returned throughout the runtime. It carries the
 // OpenCL error code plus a human-readable context string.
@@ -120,6 +132,18 @@ func (e *Error) Error() string {
 	return "cl: " + e.Code.String() + ": " + e.Msg
 }
 
+// Is matches a target ErrorCode (errors.Is(err, cl.Busy)) or another
+// *Error with the same code; message text never participates.
+func (e *Error) Is(target error) bool {
+	switch t := target.(type) {
+	case ErrorCode:
+		return e.Code == t
+	case *Error:
+		return t != nil && e.Code == t.Code
+	}
+	return false
+}
+
 // Errf builds an *Error with a formatted message.
 func Errf(code ErrorCode, format string, args ...any) error {
 	return &Error{Code: code, Msg: fmt.Sprintf(format, args...)}
@@ -133,6 +157,9 @@ func CodeOf(err error) ErrorCode {
 	}
 	if ce, ok := err.(*Error); ok {
 		return ce.Code
+	}
+	if c, ok := err.(ErrorCode); ok {
+		return c
 	}
 	return OutOfResources
 }

@@ -1,0 +1,91 @@
+package cl
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestErrorCodeWireRoundTrip pins the wire form of the typed error codes:
+// a code travels as its int32 image (protocol bodies carry I32 status
+// fields) and must decode back to the same ErrorCode — including the
+// dOpenCL extension codes, whose negative range must survive the
+// uint32 cast that the little-endian writer applies.
+func TestErrorCodeWireRoundTrip(t *testing.T) {
+	cases := []ErrorCode{
+		Success, DeviceNotFound, OutOfResources, InvalidValue,
+		InvalidCommandBuffer, InvalidServer, ServerLost, DataLost, Busy,
+	}
+	for _, code := range cases {
+		wire := int32(code) // what w.I32(int32(status)) ships
+		back := ErrorCode(wire)
+		if back != code {
+			t.Errorf("%s: wire round trip changed the code: %d → %d", code, code, back)
+		}
+	}
+}
+
+// TestErrorCodeNames pins the extension codes' values and names: the wire
+// protocol and logs both rely on them staying stable.
+func TestErrorCodeNames(t *testing.T) {
+	cases := []struct {
+		code ErrorCode
+		val  int32
+		name string
+	}{
+		{InvalidServer, -2001, "CL_INVALID_SERVER_WWU"},
+		{ServerLost, -2002, "CL_SERVER_LOST_WWU"},
+		{DataLost, -2003, "CL_DATA_LOST_WWU"},
+		{Busy, -2004, "CL_BUSY_WWU"},
+	}
+	for _, c := range cases {
+		if int32(c.code) != c.val {
+			t.Errorf("%s: value is %d, want %d", c.name, int32(c.code), c.val)
+		}
+		if c.code.String() != c.name {
+			t.Errorf("code %d: name is %q, want %q", c.val, c.code.String(), c.name)
+		}
+	}
+}
+
+// TestErrorsIsBehavior is the table test for errors.Is against the typed
+// codes: an *Error matches its own code (directly and through wrapping),
+// never a different code, and a bare code works as a sentinel.
+func TestErrorsIsBehavior(t *testing.T) {
+	busyErr := Errf(Busy, "session 7: 64 jobs pending, share is 64")
+	cases := []struct {
+		name   string
+		err    error
+		target error
+		want   bool
+	}{
+		{"busy matches Busy", busyErr, Busy, true},
+		{"busy does not match ServerLost", busyErr, ServerLost, false},
+		{"serverlost matches ServerLost", Errf(ServerLost, "conn died"), ServerLost, true},
+		{"wrapped busy matches Busy", fmt.Errorf("submit: %w", busyErr), Busy, true},
+		{"busy matches another *Error with same code", busyErr, Errf(Busy, "other msg"), true},
+		{"busy does not match *Error with other code", busyErr, Errf(DataLost, ""), false},
+		{"bare code matches itself", Busy, Busy, true},
+		{"bare code does not match other code", Busy, DataLost, false},
+		{"nil does not match", nil, Busy, false},
+	}
+	for _, c := range cases {
+		if got := errors.Is(c.err, c.target); got != c.want {
+			t.Errorf("%s: errors.Is = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestCodeOfSentinel pins CodeOf for the sentinel shapes the serve path
+// produces (bare ErrorCode values and Busy-coded *Errors).
+func TestCodeOfSentinel(t *testing.T) {
+	if got := CodeOf(Errf(Busy, "full")); got != Busy {
+		t.Errorf("CodeOf(*Error{Busy}) = %s", got)
+	}
+	if got := CodeOf(Busy); got != Busy {
+		t.Errorf("CodeOf(Busy sentinel) = %s", got)
+	}
+	if got := CodeOf(errors.New("foreign")); got != OutOfResources {
+		t.Errorf("CodeOf(foreign) = %s", got)
+	}
+}

@@ -57,6 +57,18 @@ func (b *Buffer) Flags() cl.MemFlags { return b.flags }
 // Context returns the owning context.
 func (b *Buffer) Context() cl.Context { return b.ctx }
 
+// rangeGeneration snapshots the coherence mutation stamp of this buffer
+// (or view)'s range. The serve-plane result cache stamps every buffer a
+// job reads with it: any later write to the range advances the stamp and
+// silently invalidates the cached results derived from it.
+func (b *Buffer) rangeGeneration() uint64 {
+	root := b.root()
+	off, end := b.viewRange()
+	root.mu.Lock()
+	defer root.mu.Unlock()
+	return root.coh.RangeGeneration(off, end)
+}
+
 // root returns the buffer owning the region directory.
 func (b *Buffer) root() *Buffer {
 	if b.parent != nil {

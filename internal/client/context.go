@@ -7,6 +7,7 @@ import (
 	"dopencl/internal/coherence"
 	"dopencl/internal/kernel"
 	"dopencl/internal/protocol"
+	"dopencl/internal/serve"
 )
 
 // Context is a compound stub (Section III-D): the single context object
@@ -669,6 +670,9 @@ type Kernel struct {
 	prog *Program
 	id   uint64
 	name string
+
+	serveKeyOnce sync.Once
+	serveKeyBase serve.Key // memoized (source, build options, name) digest
 
 	mu       sync.Mutex
 	argInfo  []kernel.ArgInfo

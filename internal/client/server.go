@@ -61,6 +61,7 @@ type Server struct {
 	queueErrs map[uint64][]deferredFailure      // queue ID → deferred one-way failures (bounded)
 	sessErrs  []error                           // queue-less one-way failures (object plane, bounded)
 	badPeers  map[string]bool                   // peer addresses this daemon failed to reach
+	serves    map[uint64]*ServeSession          // open serve lanes (connection-scoped)
 	devices   []*Device
 	connected bool
 
@@ -201,6 +202,8 @@ func (s *Server) onClose(ep *gcf.Endpoint, err error) {
 	s.pending = map[uint32]chan *protocol.Envelope{}
 	hooks := s.hooks
 	s.hooks = map[uint64]func(cl.CommandStatus){}
+	serves := s.serves
+	s.serves = nil
 	down := s.down
 	downClosed := s.downClosed
 	s.downClosed = true
@@ -210,6 +213,12 @@ func (s *Server) onClose(ep *gcf.Endpoint, err error) {
 	}
 	for _, hook := range hooks {
 		go hook(cl.CommandStatus(cl.ServerLost))
+	}
+	// Serve lanes are connection-scoped: fail their pending futures now —
+	// the daemon's lane died with the connection and a re-attach will not
+	// resurrect it.
+	for _, ss := range serves {
+		ss.connectionLost()
 	}
 	// Sweep every context's region directory: Modified/Shared claims held
 	// only here become Lost; everything else survives on its remaining
@@ -333,6 +342,12 @@ func (s *Server) handleMessage(msg []byte) {
 			if hook != nil {
 				go hook(cl.CommandStatus(f.Status))
 			}
+		case protocol.MsgServeResult:
+			res := protocol.GetServeResults(env.Body)
+			if env.Body.Err() != nil {
+				return
+			}
+			s.handleServeResults(res)
 		}
 	}
 }

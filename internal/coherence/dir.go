@@ -257,6 +257,13 @@ func (d *Dir) bump(spans []*span) {
 	}
 }
 
+// RangeGeneration returns the newest mutation stamp over [off, end).
+// Content-addressed caches snapshot it per input range: a later write
+// anywhere in the range advances the stamp, invalidating every cached
+// result derived from the old bytes. Callers hold the buffer lock like
+// for every other directory operation.
+func (d *Dir) RangeGeneration(off, end int) uint64 { return d.rangeGen(off, end) }
+
 // rangeGen returns the newest mutation stamp over [off, end).
 func (d *Dir) rangeGen(off, end int) uint64 {
 	var g uint64

@@ -23,6 +23,7 @@ import (
 	"dopencl/internal/cl"
 	"dopencl/internal/gcf"
 	"dopencl/internal/protocol"
+	"dopencl/internal/serve"
 )
 
 // Config configures a daemon.
@@ -47,6 +48,15 @@ type Config struct {
 	// MsgAttachSession and find its objects — and their data — intact.
 	// Zero tears sessions down immediately on disconnect.
 	SessionRetain time.Duration
+	// ServeWindow is the serve plane's coalescing window: after popping a
+	// batch leader the dispatcher waits this long for concurrent
+	// submitters before harvesting compatible jobs into the dispatch.
+	// Zero dispatches immediately (coalescing still happens whenever
+	// submissions outpace dispatch).
+	ServeWindow time.Duration
+	// ServeMaxBatch caps how many serve jobs one coalesced dispatch may
+	// carry (0 means 64).
+	ServeMaxBatch int
 	// Logf receives diagnostics; nil silences them.
 	Logf func(format string, args ...any)
 }
@@ -90,6 +100,19 @@ type Daemon struct {
 	// earlyTimers counts pending early-transfer TTL timers (observability
 	// for the timer-leak regression test).
 	earlyTimers atomic.Int64
+
+	// Serve plane (serve.go): the daemon-wide fair queue of pending serve
+	// jobs, the content-addressed result cache for buffer-free jobs, and
+	// the dispatcher that coalesces compatible jobs into batched VM
+	// dispatches. The dispatcher goroutine starts on the first ServeOpen.
+	serveQ          *serve.FairQueue[serve.Key, *serveJob]
+	serveCache      *serve.Cache
+	serveOnce       sync.Once
+	serveLaneSeq    atomic.Uint64
+	serveSubmitted  atomic.Int64
+	serveDispatches atomic.Int64
+	serveBatched    atomic.Int64
+	serveCacheHits  atomic.Int64
 }
 
 // New creates a daemon exposing the platform's devices.
@@ -105,14 +128,16 @@ func New(cfg Config) (*Daemon, error) {
 		return nil, fmt.Errorf("daemon: enumerating devices: %w", err)
 	}
 	d := &Daemon{
-		cfg:      cfg,
-		devices:  devs,
-		leases:   map[string]map[uint32]bool{},
-		sessions: map[uint64]*session{},
-		fwdIn:    map[uint64]*pendingForward{},
-		fwdLive:  map[cl.Buffer][]*pendingForward{},
-		fwdEar:   map[uint64]earlyTransfer{},
-		fwdDrop:  map[uint64]bool{},
+		cfg:        cfg,
+		devices:    devs,
+		leases:     map[string]map[uint32]bool{},
+		sessions:   map[uint64]*session{},
+		fwdIn:      map[uint64]*pendingForward{},
+		fwdLive:    map[cl.Buffer][]*pendingForward{},
+		fwdEar:     map[uint64]earlyTransfer{},
+		fwdDrop:    map[uint64]bool{},
+		serveQ:     serve.NewFairQueue[serve.Key, *serveJob](),
+		serveCache: serve.NewCache(0, 0),
 	}
 	if cfg.PeerDial != nil {
 		d.peers = gcf.NewPool(cfg.PeerDial, gcf.WithHandshake(d.peerHello))
@@ -317,6 +342,7 @@ func (d *Daemon) takeDetachedSession(id uint64) *session {
 func (d *Daemon) detachSession(s *session) {
 	d.dropSessionForwards(s)
 	s.failPendingEvents()
+	s.closeServeLanes()
 	retain := d.cfg.SessionRetain
 	s.mu.Lock()
 	if s.noRetain {

@@ -10,6 +10,7 @@ import (
 	"dopencl/internal/gcf"
 	"dopencl/internal/native"
 	"dopencl/internal/protocol"
+	"dopencl/internal/serve"
 )
 
 // session is one client connection: the daemon-side object tables mapping
@@ -40,6 +41,10 @@ type session struct {
 	events   map[uint64]cl.Event
 	graphs   map[uint64]*sessGraph // cached command graphs (session-scoped)
 	unitDevs map[uint32]cl.Device  // unit ID → device, fixed per daemon
+	serves   map[uint64]*serveLane // serve lanes (connection-scoped)
+	// serveProg memoizes each kernel's (source, name) fingerprint so the
+	// per-job serve path never re-hashes program source.
+	serveProg map[uint64]serve.Key
 }
 
 func newSession(d *Daemon, ep *gcf.Endpoint) *session {
@@ -53,6 +58,7 @@ func newSession(d *Daemon, ep *gcf.Endpoint) *session {
 		events:   map[uint64]cl.Event{},
 		graphs:   map[uint64]*sessGraph{},
 		unitDevs: map[uint32]cl.Device{},
+		serves:   map[uint64]*serveLane{},
 	}
 	for i, dev := range d.devices {
 		s.unitDevs[uint32(i)] = dev
@@ -315,6 +321,8 @@ func (s *session) handle(msg []byte) {
 		s.handleSetUserEventStatus(env.ID, r)
 	case protocol.MsgReleaseEvent:
 		s.handleReleaseEvent(env.ID, r)
+	case protocol.MsgServeOpen:
+		s.handleServeOpen(env.ID, r)
 	default:
 		s.respond(env.ID, env.Type, cl.InvalidOperation, nil)
 	}
@@ -361,6 +369,10 @@ func (s *session) handleOneWay(env protocol.Envelope) {
 		s.handleExecGraph(r)
 	case protocol.MsgReleaseGraph:
 		s.handleReleaseGraph(r)
+	case protocol.MsgServeSubmit:
+		s.handleServeSubmit(r)
+	case protocol.MsgServeClose:
+		s.handleServeClose(r)
 	case protocol.MsgSetUserEventStatus:
 		// One-way status set: used by the coherence layer to cancel a
 		// superseded forward's gate ordered ahead of the commands that
@@ -429,8 +441,8 @@ func (s *session) handleHello(id uint32, r *protocol.Reader) {
 		w.Bool(s.d.CanForward())
 		// Session identity for the re-attach handshake.
 		w.U64(s.id)
-		// Optional-feature capability bits (delta replay, ...).
-		w.U32(protocol.CapDeltaReplay)
+		// Optional-feature capability bits (delta replay, serve plane, ...).
+		w.U32(protocol.CapDeltaReplay | protocol.CapServe)
 	})
 }
 
@@ -497,7 +509,7 @@ func (s *session) handleAttachSession(id uint32, r *protocol.Reader) {
 		w.String(s.d.cfg.PeerAddr)
 		w.Bool(s.d.CanForward())
 		w.U64(s.id)
-		w.U32(protocol.CapDeltaReplay)
+		w.U32(protocol.CapDeltaReplay | protocol.CapServe)
 	})
 	s.d.logf("daemon %s: session %d attach (was %d, retained=%v)", s.d.cfg.Name, s.id, sid, retained)
 }
@@ -1296,6 +1308,7 @@ func (s *session) handleRelease(id uint32, oneway bool, typ protocol.MsgType, ob
 			err = k.Release()
 		}
 		delete(s.kernels, objID)
+		delete(s.serveProg, objID)
 	}
 	s.mu.Unlock()
 	if err != nil {

@@ -183,6 +183,42 @@ func (d *Device) Execute(l vm.Launch) (time.Duration, error) {
 	}
 }
 
+// ExecuteBatch runs N independent jobs of one compiled kernel as a
+// single device dispatch: the device is locked once and — for ExecReal —
+// the VM spins up one worker pool for the whole batch (vm.RunBatch).
+// This is the serve-path coalescing payoff: for many small ND-ranges the
+// per-launch fixed costs dominate, and the batch pays them once. Modeled
+// devices charge one summed modeled duration for the batch. The returned
+// slice has one error slot per job (nil on success).
+func (d *Device) ExecuteBatch(b vm.Batch) ([]error, time.Duration) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	b.ForceInterpreter = d.cfg.ForceInterpreter
+	if d.cfg.Mode == ExecModeled {
+		errs := make([]error, len(b.Jobs))
+		var total time.Duration
+		for i := range b.Jobs {
+			j := &b.Jobs[i]
+			dur, err := d.executeModeled(vm.Launch{
+				Prog: b.Prog, Kernel: b.Kernel, Args: j.Args,
+				GlobalSize: j.GlobalSize, GlobalOffset: j.GlobalOffset,
+				LocalSize: j.LocalSize, ForceInterpreter: b.ForceInterpreter,
+			})
+			errs[i] = err
+			total += dur
+		}
+		return errs, total
+	}
+	if b.Workers <= 0 {
+		b.Workers = d.cfg.Workers
+	}
+	if b.Workers <= 0 {
+		b.Workers = d.cfg.ComputeUnits
+	}
+	errs, _ := vm.RunBatch(b)
+	return errs, 0
+}
+
 // costCache caches instruction-cost estimates across launches, keyed by
 // (program, kernel, engine). The first launch of a kernel pays the
 // sampling cost; later launches (and warmed-up experiment runs) convert

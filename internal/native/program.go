@@ -216,6 +216,14 @@ func (k *Kernel) snapshotArgs() ([]vm.Arg, error) {
 	return out, nil
 }
 
+// Func exposes the compiled kernel function (the daemon's serve executor
+// binds per-job arguments directly against it instead of mutating the
+// shared kernel object's SetArg state).
+func (k *Kernel) Func() *kernel.Func { return k.fn }
+
+// Program returns the owning program object.
+func (k *Kernel) Program() *Program { return k.prog }
+
 // Release marks the kernel released.
 func (k *Kernel) Release() error { return nil }
 

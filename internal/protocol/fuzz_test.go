@@ -69,6 +69,12 @@ func FuzzEnvelopeParse(f *testing.F) {
 	f.Add(EncodeEnvelope(ClassOneWay, 0, MsgEnqueueMarker, NewWriter()))
 	f.Add([]byte{})
 	f.Add([]byte{3, 0, 0, 0, 0, 18, 0})
+	sw := NewWriter()
+	PutServeSubmit(sw, sampleServeSubmit())
+	f.Add(EncodeEnvelope(ClassOneWay, 0, MsgServeSubmit, sw))
+	rw := NewWriter()
+	PutServeResults(rw, ServeResults{ServeID: 1, Results: []ServeResult{{JobID: 1, Output: []byte{1}}}})
+	f.Add(EncodeEnvelope(ClassNotification, 0, MsgServeResult, rw))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		env, err := ParseEnvelope(data)
 		if err != nil {
@@ -86,6 +92,12 @@ func FuzzEnvelopeParse(f *testing.F) {
 		_ = r.Ints()
 		_ = r.Strings()
 		_ = GetCommandFailure(r)
+		if env2, err2 := ParseEnvelope(data); err2 == nil {
+			_ = GetServeSubmit(env2.Body)
+		}
+		if env3, err3 := ParseEnvelope(data); err3 == nil {
+			_ = GetServeResults(env3.Body)
+		}
 		if r.Err() != nil {
 			// Errors must stay sticky: further reads return zero values.
 			if got := r.U64(); got != 0 {

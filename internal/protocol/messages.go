@@ -106,6 +106,8 @@ func (t MsgType) String() string {
 		MsgDMRegisterServer: "DMRegisterServer", MsgDMRequestDevices: "DMRequestDevices",
 		MsgDMAssign: "DMAssign", MsgDMReleaseLease: "DMReleaseLease",
 		MsgDMRevoke: "DMRevoke", MsgDMPing: "DMPing",
+		MsgServeOpen: "ServeOpen", MsgServeClose: "ServeClose",
+		MsgServeSubmit: "ServeSubmit", MsgServeResult: "ServeResult",
 	}
 	if s, ok := names[t]; ok {
 		return s

@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Stamp snapshots one dependency's version at insert time. The client
+// cache stamps every session-buffer range a job reads with the range's
+// coherence generation (coherence.Dir): Valid reports whether the stamp
+// still matches the live generation, so any write that bumps a range's
+// generation silently invalidates every cached result derived from it.
+// Buffer-free entries (the daemon cache's only kind) carry no stamps and
+// are valid forever — their key already covers the full input content.
+type Stamp interface {
+	Valid() bool
+}
+
+// FuncStamp adapts a closure to Stamp.
+type FuncStamp func() bool
+
+// Valid implements Stamp.
+func (f FuncStamp) Valid() bool { return f() }
+
+// CacheStats are the cache's monotonic counters (snapshot under lock).
+type CacheStats struct {
+	Hits        int64
+	Misses      int64
+	Invalidated int64 // entries dropped because a stamp went stale
+	Evicted     int64 // entries dropped by LRU pressure
+	Entries     int
+	Bytes       int64
+}
+
+// Cache is a content-addressed result cache with LRU eviction bounded by
+// entry count and total payload bytes, plus stamp-based invalidation.
+// A hit returns the stored output without any dispatch — on the client a
+// warm hit ships zero wire bytes, on the daemon it skips the VM entirely.
+type Cache struct {
+	mu         sync.Mutex
+	entries    map[Key]*list.Element
+	lru        *list.List // front = most recent
+	maxEntries int
+	maxBytes   int64
+	bytes      int64
+	stats      CacheStats
+}
+
+type cacheEntry struct {
+	key    Key
+	output []byte
+	stamps []Stamp
+}
+
+// NewCache returns a cache bounded to maxEntries entries and maxBytes
+// total output bytes (0 picks defaults: 4096 entries, 64 MiB).
+func NewCache(maxEntries int, maxBytes int64) *Cache {
+	if maxEntries <= 0 {
+		maxEntries = 4096
+	}
+	if maxBytes <= 0 {
+		maxBytes = 64 << 20
+	}
+	return &Cache{
+		entries:    make(map[Key]*list.Element),
+		lru:        list.New(),
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+	}
+}
+
+// Get returns the cached output for key. A stale entry (any stamp
+// invalid) is dropped and reported as a miss — invalidation is lazy, paid
+// on the lookup that would have returned the wrong bytes.
+func (c *Cache) Get(key Key) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	e := el.Value.(*cacheEntry)
+	for _, s := range e.stamps {
+		if !s.Valid() {
+			c.removeLocked(el, e)
+			c.stats.Invalidated++
+			c.stats.Misses++
+			return nil, false
+		}
+	}
+	c.lru.MoveToFront(el)
+	c.stats.Hits++
+	return e.output, true
+}
+
+// Put stores output under key with its dependency stamps. The caller
+// must not mutate output afterwards. Oversized outputs (larger than the
+// whole cache) are ignored.
+func (c *Cache) Put(key Key, output []byte, stamps []Stamp) {
+	if int64(len(output)) > c.maxBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*cacheEntry)
+		c.bytes += int64(len(output)) - int64(len(e.output))
+		e.output, e.stamps = output, stamps
+		c.lru.MoveToFront(el)
+	} else {
+		e := &cacheEntry{key: key, output: output, stamps: stamps}
+		c.entries[key] = c.lru.PushFront(e)
+		c.bytes += int64(len(output))
+	}
+	for (c.lru.Len() > c.maxEntries || c.bytes > c.maxBytes) && c.lru.Len() > 1 {
+		back := c.lru.Back()
+		c.removeLocked(back, back.Value.(*cacheEntry))
+		c.stats.Evicted++
+	}
+}
+
+// Drop removes key if present (explicit invalidation).
+func (c *Cache) Drop(key Key) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.removeLocked(el, el.Value.(*cacheEntry))
+	}
+}
+
+func (c *Cache) removeLocked(el *list.Element, e *cacheEntry) {
+	c.lru.Remove(el)
+	delete(c.entries, e.key)
+	c.bytes -= int64(len(e.output))
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = c.lru.Len()
+	s.Bytes = c.bytes
+	return s
+}

@@ -1,0 +1,66 @@
+// Package serve holds the building blocks of the job-serving plane: the
+// client-facing Future, the content-addressed result cache and the
+// weighted fair queue that the daemon's coalescer schedules from.
+//
+// The serve workload is the inverse of everything the runtime optimized
+// so far: instead of one client driving big kernels, huge numbers of
+// small independent jobs arrive against shared precompiled programs
+// (the OpenCL Actors shape). The daemon already centralizes dispatch —
+// this package supplies the inference-serving-style machinery that makes
+// that profitable: batch N compatible jobs into one VM dispatch, answer
+// repeated jobs from a cache without dispatching at all, and keep one
+// tenant from starving the rest.
+package serve
+
+import "sync"
+
+// Result is one completed job's outcome.
+type Result struct {
+	Output []byte
+	// BatchSize is the number of jobs that shared the VM dispatch which
+	// ran this one; 0 means no dispatch happened at all (cache hit).
+	BatchSize int
+	// Cached flags a result answered from a cache (client- or daemon-side).
+	Cached bool
+}
+
+// Future resolves to a job's Result. Completion is idempotent: the first
+// complete wins, so a late server-loss sweep cannot clobber a result that
+// already arrived (and vice versa).
+type Future struct {
+	once sync.Once
+	done chan struct{}
+	res  Result
+	err  error
+}
+
+// NewFuture returns an unresolved future.
+func NewFuture() *Future { return &Future{done: make(chan struct{})} }
+
+// Complete resolves the future. Only the first call has any effect.
+func (f *Future) Complete(res Result, err error) {
+	f.once.Do(func() {
+		f.res, f.err = res, err
+		close(f.done)
+	})
+}
+
+// Done returns a channel closed when the future resolves.
+func (f *Future) Done() <-chan struct{} { return f.done }
+
+// Wait blocks until the future resolves and returns its outcome.
+func (f *Future) Wait() (Result, error) {
+	<-f.done
+	return f.res, f.err
+}
+
+// TryResult returns the outcome without blocking; ok is false while the
+// future is unresolved.
+func (f *Future) TryResult() (Result, error, bool) {
+	select {
+	case <-f.done:
+		return f.res, f.err, true
+	default:
+		return Result{}, nil, false
+	}
+}
