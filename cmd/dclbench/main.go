@@ -38,6 +38,8 @@ func main() {
 	chaosSmoke := flag.Bool("chaos", false, "run the daemon-failure recovery smoke (mid-run kill + recovery latency)")
 	serveBench := flag.Bool("serve", false, "run the serve-plane benchmark (1k clients, batching vs per-job, warm cache)")
 	serveout := flag.String("serveout", "BENCH_PR8.json", "output path for -serve results")
+	controlBench := flag.Bool("control", false, "run the control-plane churn benchmark (lease grant/release, seed vs indexed vs 3 shards)")
+	controlout := flag.String("controlout", "BENCH_PR9.json", "output path for -control results")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -78,6 +80,14 @@ func main() {
 	if *serveBench {
 		if err := runServeBench(*serveout); err != nil {
 			fmt.Fprintf(os.Stderr, "serve bench failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *controlBench {
+		if err := runControlBench(*controlout, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "control bench failed: %v\n", err)
 			os.Exit(1)
 		}
 		return

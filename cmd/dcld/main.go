@@ -72,6 +72,9 @@ func main() {
 	name := flag.String("name", "dcld", "server name reported to clients")
 	managed := flag.Bool("managed", false, "managed mode: register with a device manager")
 	devmgrAddr := flag.String("devmgr", "", "device manager address (managed mode)")
+	devmgrSeeds := flag.String("devmgrs", "", "comma-separated device manager shard seeds (managed mode, sharded control plane)")
+	retryMin := flag.Duration("devmgr-retry-min", 50*time.Millisecond, "min jittered backoff for manager re-registration")
+	retryMax := flag.Duration("devmgr-retry-max", 5*time.Second, "max jittered backoff for manager re-registration")
 	selfAddr := flag.String("addr", "", "address clients use to reach this daemon (managed mode)")
 	peerListen := flag.String("peer-listen", "", "TCP address for the daemon-to-daemon bulk plane (empty disables forwarding)")
 	peerAddr := flag.String("peer-addr", "", "peer address announced to clients (defaults to -peer-listen)")
@@ -152,15 +155,36 @@ func main() {
 	}
 
 	if *managed {
-		if *devmgrAddr == "" || *selfAddr == "" {
-			log.Fatal("dcld: managed mode requires -devmgr and -addr")
+		if (*devmgrAddr == "" && *devmgrSeeds == "") || *selfAddr == "" {
+			log.Fatal("dcld: managed mode requires -devmgr or -devmgrs, and -addr")
 		}
-		conn, err := net.Dial("tcp", *devmgrAddr)
-		if err != nil {
-			log.Fatalf("dcld: connecting to device manager: %v", err)
-		}
-		if err := d.AttachManager(conn, *selfAddr); err != nil {
-			log.Fatalf("dcld: %v", err)
+		switch {
+		case *devmgrSeeds != "":
+			// Sharded control plane: register each device with the shard
+			// owning its DeviceID, follow epoch bumps, re-register with
+			// jittered backoff as shards die and return.
+			seeds := strings.Split(*devmgrSeeds, ",")
+			for i := range seeds {
+				seeds[i] = strings.TrimSpace(seeds[i])
+			}
+			stop, err := d.JoinControlPlane(daemon.ControlPlaneConfig{
+				Dial:     func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) },
+				Seeds:    seeds,
+				SelfAddr: *selfAddr,
+				RetryMin: *retryMin,
+				RetryMax: *retryMax,
+			})
+			if err != nil {
+				log.Fatalf("dcld: %v", err)
+			}
+			defer stop()
+		default:
+			// Single manager: auto re-registration keeps the daemon managed
+			// across manager restarts.
+			stop := d.AttachManagerAuto(func() (net.Conn, error) {
+				return net.Dial("tcp", *devmgrAddr)
+			}, *selfAddr, *retryMin, *retryMax)
+			defer stop()
 		}
 	}
 

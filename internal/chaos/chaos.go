@@ -74,9 +74,10 @@ func (n *Node) Daemon() *daemon.Daemon {
 
 // Cluster is a simnet-backed daemon fleet with fault injection.
 type Cluster struct {
-	Net    *simnet.Network
-	link   simnet.LinkConfig
-	retain time.Duration
+	Net     *simnet.Network
+	link    simnet.LinkConfig
+	retain  time.Duration
+	managed bool
 
 	mu    sync.Mutex
 	nodes map[string]*Node
@@ -90,15 +91,19 @@ type Options struct {
 	// SessionRetain is forwarded to every daemon: how long a detached
 	// session's state survives awaiting re-attachment.
 	SessionRetain time.Duration
+	// Managed runs the daemons in device-manager mode (control-plane
+	// chaos tests pair this with a ControlCluster of devmgr shards).
+	Managed bool
 }
 
 // NewCluster starts one daemon per entry, peer plane enabled.
 func NewCluster(opts Options, nodes map[string][]device.Config) (*Cluster, error) {
 	c := &Cluster{
-		Net:    simnet.NewNetwork(opts.Link),
-		link:   opts.Link,
-		retain: opts.SessionRetain,
-		nodes:  map[string]*Node{},
+		Net:     simnet.NewNetwork(opts.Link),
+		link:    opts.Link,
+		retain:  opts.SessionRetain,
+		managed: opts.Managed,
+		nodes:   map[string]*Node{},
 	}
 	for addr, cfgs := range nodes {
 		n := &Node{Addr: addr, cfgs: cfgs}
@@ -127,6 +132,7 @@ func (c *Cluster) start(n *Node) error {
 	cfg := daemon.Config{
 		Name:          addr,
 		Platform:      np,
+		Managed:       c.managed,
 		PeerAddr:      PeerAddrOf(addr),
 		PeerDial:      func(a string) (net.Conn, error) { return c.Net.DialFrom(addr, a) },
 		SessionRetain: c.retain,

@@ -1,0 +1,296 @@
+package chaos
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"dopencl/internal/client"
+	"dopencl/internal/daemon"
+	"dopencl/internal/device"
+	"dopencl/internal/devmgr"
+	"dopencl/internal/protocol"
+)
+
+// ControlCluster extends the daemon Cluster with a sharded device-manager
+// control plane: N devmgr shards gossiping over the same simnet, every
+// daemon joined via JoinControlPlane (devices partitioned onto shards by
+// rendezvous hashing), plus shard-level faults — KillShard crashes one
+// manager instance (its lease records die with it; its devices re-home
+// to the survivors, lease holders carried by the daemons), RestartShard
+// brings it back to be resurrected by gossip.
+type ControlCluster struct {
+	*Cluster
+	ShardAddrs []string
+
+	gossipInterval time.Duration
+	gossipTimeout  time.Duration
+
+	mu     sync.Mutex
+	shards map[string]*ShardNode
+	stops  map[string]func() // daemon control-plane leave functions
+}
+
+// ShardNode is one devmgr instance of the control plane.
+type ShardNode struct {
+	Addr string
+
+	mu         sync.Mutex
+	m          *devmgr.Manager
+	lis        net.Listener
+	stopGossip func()
+	alive      bool
+}
+
+// Alive reports whether the shard is running.
+func (s *ShardNode) Alive() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.alive
+}
+
+// Manager returns the shard's manager instance (nil when killed).
+func (s *ShardNode) Manager() *devmgr.Manager {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m
+}
+
+// ControlOptions configures a ControlCluster.
+type ControlOptions struct {
+	Options
+	// Shards are the control-plane instance addresses (≥1).
+	Shards []string
+	// GossipInterval / GossipTimeout drive shard-to-shard health exchange
+	// (defaults 20ms / 100ms — chaos tests want fast convergence).
+	GossipInterval time.Duration
+	GossipTimeout  time.Duration
+	// RetryMin / RetryMax bound the daemons' re-registration backoff
+	// (defaults 10ms / 200ms).
+	RetryMin, RetryMax time.Duration
+}
+
+// NewControlCluster builds the full managed topology: shards first, then
+// the daemon fleet, then every daemon joins the control plane. It does
+// not wait for registrations to settle — use WaitPartition.
+func NewControlCluster(opts ControlOptions, nodes map[string][]device.Config) (*ControlCluster, error) {
+	if len(opts.Shards) == 0 {
+		return nil, fmt.Errorf("chaos: control cluster needs at least one shard")
+	}
+	opts.Managed = true
+	if opts.GossipInterval <= 0 {
+		opts.GossipInterval = 20 * time.Millisecond
+	}
+	if opts.GossipTimeout <= 0 {
+		opts.GossipTimeout = 100 * time.Millisecond
+	}
+	if opts.RetryMin <= 0 {
+		opts.RetryMin = 10 * time.Millisecond
+	}
+	if opts.RetryMax <= 0 {
+		opts.RetryMax = 200 * time.Millisecond
+	}
+	base, err := NewCluster(opts.Options, nodes)
+	if err != nil {
+		return nil, err
+	}
+	cc := &ControlCluster{
+		Cluster:        base,
+		ShardAddrs:     append([]string(nil), opts.Shards...),
+		gossipInterval: opts.GossipInterval,
+		gossipTimeout:  opts.GossipTimeout,
+		shards:         map[string]*ShardNode{},
+		stops:          map[string]func(){},
+	}
+	for _, addr := range cc.ShardAddrs {
+		s := &ShardNode{Addr: addr}
+		cc.shards[addr] = s
+		if err := cc.startShard(s); err != nil {
+			return nil, err
+		}
+	}
+	for _, addr := range cc.Addrs() {
+		d := cc.Node(addr).Daemon()
+		nodeAddr := addr
+		stop, err := d.JoinControlPlane(daemon.ControlPlaneConfig{
+			Dial:     func(a string) (net.Conn, error) { return cc.Net.DialFrom(nodeAddr, a) },
+			Seeds:    cc.ShardAddrs,
+			SelfAddr: nodeAddr,
+			RetryMin: opts.RetryMin,
+			RetryMax: opts.RetryMax,
+		})
+		if err != nil {
+			return nil, err
+		}
+		cc.stops[addr] = stop
+	}
+	return cc, nil
+}
+
+// startShard boots (or reboots) one devmgr instance.
+func (cc *ControlCluster) startShard(s *ShardNode) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.alive {
+		return fmt.Errorf("chaos: shard %s already running", s.Addr)
+	}
+	self := s.Addr
+	m := devmgr.New(devmgr.WithShard(self, cc.ShardAddrs, func(a string) (net.Conn, error) {
+		return cc.Net.DialFrom(self+"/gossip", a)
+	}))
+	lis, err := cc.Net.Listen(self)
+	if err != nil {
+		return err
+	}
+	go func() { _ = m.Serve(lis) }()
+	s.m, s.lis, s.alive = m, lis, true
+	s.stopGossip = m.StartGossip(cc.gossipInterval, cc.gossipTimeout)
+	return nil
+}
+
+// Shard returns the named shard node.
+func (cc *ControlCluster) Shard(addr string) *ShardNode {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.shards[addr]
+}
+
+// AliveShards returns the running shard addresses, in ShardAddrs order.
+func (cc *ControlCluster) AliveShards() []string {
+	var out []string
+	for _, a := range cc.ShardAddrs {
+		if cc.Shard(a).Alive() {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// KillShard crashes one control-plane instance: its listener closes, its
+// connections (daemon registrations, gossip links, client sessions)
+// sever, and its in-memory state — lease records included — is gone.
+func (cc *ControlCluster) KillShard(addr string) {
+	s := cc.Shard(addr)
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.alive {
+		s.mu.Unlock()
+		return
+	}
+	s.alive = false
+	m, lis, stopGossip := s.m, s.lis, s.stopGossip
+	s.m, s.lis, s.stopGossip = nil, nil, nil
+	s.mu.Unlock()
+	stopGossip()
+	lis.Close()
+	m.Close()
+	cc.Net.SeverNode(addr)
+	cc.Net.SeverNode(addr + "/gossip")
+}
+
+// RestartShard boots a killed shard back up, empty; gossip resurrects it
+// in the survivors' view and the daemons re-partition onto it.
+func (cc *ControlCluster) RestartShard(addr string) error {
+	s := cc.Shard(addr)
+	if s == nil {
+		return fmt.Errorf("chaos: unknown shard %s", addr)
+	}
+	cc.Net.HealNode(addr)
+	cc.Net.HealNode(addr + "/gossip")
+	return cc.startShard(s)
+}
+
+// ExpectedPartition computes, from the given live shard set, which shard
+// should own each device of the daemon fleet — the oracle the re-homing
+// assertions compare actual shard state against.
+func (cc *ControlCluster) ExpectedPartition(liveShards []string) map[string][]string {
+	want := map[string][]string{}
+	for _, nodeAddr := range cc.Addrs() {
+		d := cc.Node(nodeAddr).Daemon()
+		if d == nil {
+			continue
+		}
+		for _, rec := range d.Records() {
+			id := protocol.DeviceID(nodeAddr, rec.UnitID)
+			owner := protocol.Owner(liveShards, id)
+			if owner != "" {
+				want[owner] = append(want[owner], id)
+			}
+		}
+	}
+	for _, ids := range want {
+		sort.Strings(ids)
+	}
+	return want
+}
+
+// WaitPartition polls until every live shard's device set matches the
+// expected rendezvous partition over the given live shard list, or the
+// timeout elapses (returns false).
+func (cc *ControlCluster) WaitPartition(liveShards []string, timeout time.Duration) bool {
+	want := cc.ExpectedPartition(liveShards)
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cc.partitionMatches(liveShards, want) {
+			return true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return cc.partitionMatches(liveShards, want)
+}
+
+func (cc *ControlCluster) partitionMatches(liveShards []string, want map[string][]string) bool {
+	for _, addr := range liveShards {
+		s := cc.Shard(addr)
+		m := s.Manager()
+		if m == nil {
+			return false
+		}
+		got := m.DeviceIDs()
+		if !equalStrings(got, want[addr]) {
+			return false
+		}
+	}
+	return true
+}
+
+// NewControlPlatform builds a client platform whose manager config spans
+// all shards.
+func (cc *ControlCluster) NewControlPlatform(name string) (*client.Platform, client.ManagerConfig) {
+	p := client.NewPlatform(client.Options{
+		Dialer:     func(addr string) (net.Conn, error) { return cc.Net.DialFrom(ClientID, addr) },
+		ClientName: name,
+	})
+	return p, client.ManagerConfig{Managers: append([]string(nil), cc.ShardAddrs...), Tenant: name}
+}
+
+// StopControl leaves the control plane (daemons stop re-registering) and
+// shuts down all shards.
+func (cc *ControlCluster) StopControl() {
+	cc.mu.Lock()
+	stops := cc.stops
+	cc.stops = map[string]func(){}
+	cc.mu.Unlock()
+	for _, stop := range stops {
+		stop()
+	}
+	for _, addr := range cc.ShardAddrs {
+		cc.KillShard(addr)
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

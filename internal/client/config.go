@@ -61,10 +61,29 @@ func (p *Platform) LoadServerConfig(r io.Reader) ([]*Server, error) {
 }
 
 // ManagerConfig is the parsed device-manager configuration (Listing 3):
-// the manager's address plus the device requests.
+// the manager's address(es) plus the device requests. With a sharded
+// control plane, Managers lists the seed shards ( `<devmngr>` accepts a
+// comma- or whitespace-separated list); Manager is the first seed,
+// retained for single-manager callers.
 type ManagerConfig struct {
 	Manager  string
+	Managers []string
 	Requests []protocol.DeviceRequest
+	// Tenant labels this client for fair admission (defaults to the
+	// platform's client name); Weight scales its fair share (0 = 1).
+	Tenant string
+	Weight uint32
+}
+
+// seeds returns the configured manager addresses.
+func (c ManagerConfig) seeds() []string {
+	if len(c.Managers) > 0 {
+		return c.Managers
+	}
+	if c.Manager != "" {
+		return []string{c.Manager}
+	}
+	return nil
 }
 
 // xmlConfig mirrors the XML schema of Listing 3. The paper's example has
@@ -94,10 +113,14 @@ func ParseManagerConfig(r io.Reader) (ManagerConfig, error) {
 	if err := xml.Unmarshal([]byte(doc), &x); err != nil {
 		return ManagerConfig{}, fmt.Errorf("device manager config: %w", err)
 	}
-	cfg := ManagerConfig{Manager: strings.TrimSpace(x.DevMngr)}
-	if cfg.Manager == "" {
+	cfg := ManagerConfig{}
+	cfg.Managers = strings.FieldsFunc(x.DevMngr, func(r rune) bool {
+		return r == ',' || r == ' ' || r == '\t' || r == '\n' || r == '\r'
+	})
+	if len(cfg.Managers) == 0 {
 		return ManagerConfig{}, fmt.Errorf("device manager config: missing <devmngr> element")
 	}
+	cfg.Manager = cfg.Managers[0]
 	for i, d := range x.Devices.Device {
 		req := protocol.DeviceRequest{Count: 1, Type: cl.DeviceTypeAll}
 		if d.Count != "" {
@@ -154,32 +177,142 @@ type Lease struct {
 }
 
 // RequestFromManager implements the automatic device request mechanism
-// (Section IV-B, Fig. 2): it sends an assignment request to the device
-// manager, receives the lease (authentication ID + server list), connects
-// to the listed servers with the authentication ID and merges the
-// assigned devices into the platform.
+// (Section IV-B, Fig. 2) against the sharded control plane: fetch the
+// shard map at connect (cached, refreshed by epoch pushes), try the
+// shards in the tenant's rendezvous order — falling over to the next
+// shard on connection failure, admission refusal (cl.Busy) or a shard
+// with no matching free device — and from the granting shard receive the
+// lease (authentication ID + server list), connect to the listed servers
+// with the authentication ID and merge the assigned devices into the
+// platform.
 func (p *Platform) RequestFromManager(cfg ManagerConfig) (*Lease, error) {
-	conn, err := p.opts.Dialer(cfg.Manager)
+	seeds := cfg.seeds()
+	if len(seeds) == 0 {
+		return nil, cl.Errf(cl.InvalidValue, "no device manager configured")
+	}
+	tenant := cfg.Tenant
+	if tenant == "" {
+		tenant = p.opts.ClientName
+	}
+
+	// Candidate order: cached/fetched shard map in the tenant's rendezvous
+	// permutation, then any configured seed not in the map (covers an
+	// unsharded manager and a stale map).
+	_, shards := p.ShardView()
+	if len(shards) == 0 {
+		if view, err := p.fetchShardMap(seeds); err == nil {
+			p.noteShardView(view)
+			_, shards = p.ShardView()
+		}
+	}
+	candidates := protocol.ShardOrder(shards, tenant)
+	inMap := map[string]bool{}
+	for _, a := range candidates {
+		inMap[a] = true
+	}
+	for _, a := range seeds {
+		if !inMap[a] {
+			candidates = append(candidates, a)
+		}
+	}
+
+	var lastErr error
+	for _, addr := range candidates {
+		lease, err := p.requestFromShard(addr, tenant, cfg)
+		if err == nil {
+			return lease, nil
+		}
+		lastErr = err
+		switch cl.CodeOf(err) {
+		case cl.Busy, cl.DeviceNotFound, cl.InvalidServer:
+			continue // this shard is overloaded, empty or unreachable — try the next
+		default:
+			return nil, err
+		}
+	}
+	if lastErr == nil {
+		lastErr = cl.Errf(cl.InvalidServer, "no device manager reachable")
+	}
+	return nil, lastErr
+}
+
+// fetchShardMap asks the first reachable seed for the control-plane
+// membership view.
+func (p *Platform) fetchShardMap(seeds []string) (protocol.ShardMap, error) {
+	var lastErr error
+	for _, addr := range seeds {
+		conn, err := p.opts.Dialer(addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		ep := gcf.NewEndpoint(conn, true)
+		respCh := make(chan *protocol.Envelope, 1)
+		ep.Start(func(msg []byte) {
+			env, perr := protocol.ParseEnvelope(msg)
+			if perr == nil && env.Class == protocol.ClassResponse {
+				select {
+				case respCh <- &env:
+				default:
+				}
+			}
+		}, nil)
+		err = ep.Send(protocol.EncodeEnvelope(protocol.ClassRequest, 1, protocol.MsgDMShardMap, protocol.NewWriter()))
+		if err != nil {
+			ep.Close()
+			lastErr = err
+			continue
+		}
+		env, ok := <-respCh
+		ep.Close()
+		if !ok {
+			lastErr = fmt.Errorf("%s: connection lost", addr)
+			continue
+		}
+		if status := cl.ErrorCode(env.Body.I32()); status != cl.Success {
+			lastErr = cl.Errf(status, "shard map refused by %s", addr)
+			continue
+		}
+		view := protocol.GetShardMap(env.Body)
+		if err := env.Body.Err(); err != nil {
+			lastErr = err
+			continue
+		}
+		return view, nil
+	}
+	return protocol.ShardMap{}, lastErr
+}
+
+// requestFromShard runs one placement attempt against one shard.
+func (p *Platform) requestFromShard(manager, tenant string, cfg ManagerConfig) (*Lease, error) {
+	conn, err := p.opts.Dialer(manager)
 	if err != nil {
-		return nil, cl.Errf(cl.InvalidServer, "connecting to device manager %s: %v", cfg.Manager, err)
+		return nil, cl.Errf(cl.InvalidServer, "connecting to device manager %s: %v", manager, err)
 	}
 	ep := gcf.NewEndpoint(conn, true)
 	respCh := make(chan *protocol.Envelope, 1)
 	ep.Start(func(msg []byte) {
 		env, perr := protocol.ParseEnvelope(msg)
-		if perr == nil && env.Class == protocol.ClassResponse {
+		if perr != nil {
+			return
+		}
+		switch {
+		case env.Class == protocol.ClassResponse:
 			select {
 			case respCh <- &env:
 			default:
+			}
+		case env.Class == protocol.ClassOneWay && env.Type == protocol.MsgDMPing:
+			// Epoch bump pushed by the shard: refresh the cached map.
+			view := protocol.GetShardMap(env.Body)
+			if env.Body.Err() == nil {
+				p.noteShardView(view)
 			}
 		}
 	}, nil)
 
 	w := protocol.NewWriter()
-	w.U32(uint32(len(cfg.Requests)))
-	for _, req := range cfg.Requests {
-		req.Put(w)
-	}
+	protocol.PlaceRequest{Tenant: tenant, Weight: cfg.Weight, Requests: cfg.Requests}.Put(w)
 	if err := ep.Send(protocol.EncodeEnvelope(protocol.ClassRequest, 1, protocol.MsgDMRequestDevices, w)); err != nil {
 		ep.Close()
 		return nil, cl.Errf(cl.InvalidServer, "device manager request: %v", err)
@@ -200,6 +333,10 @@ func (p *Platform) RequestFromManager(cfg ManagerConfig) (*Lease, error) {
 		ep.Close()
 		return nil, cl.Errf(cl.InvalidServer, "malformed device manager response")
 	}
+	// The grant carries the shard's membership view — a free refresh.
+	if view := protocol.GetShardMap(env.Body); env.Body.Err() == nil {
+		p.noteShardView(view)
+	}
 
 	lease := &Lease{AuthID: authID, manager: ep, plat: p}
 	for _, addr := range serverAddrs {
@@ -216,11 +353,30 @@ func (p *Platform) RequestFromManager(cfg ManagerConfig) (*Lease, error) {
 }
 
 // Release returns the lease's devices to the device manager (the release
-// message of Section IV-C) and disconnects the lease's servers.
+// message of Section IV-C) and disconnects the lease's servers. If the
+// granting shard died, the release is broadcast to the surviving shards:
+// whichever shard adopted the devices (rendezvous re-homing) holds the
+// lease record and frees them; the others ignore the unknown auth ID.
 func (l *Lease) Release() error {
 	w := protocol.NewWriter()
 	w.String(l.AuthID)
-	err := l.manager.Send(protocol.EncodeEnvelope(protocol.ClassRequest, 0, protocol.MsgDMReleaseLease, w))
+	frame := protocol.EncodeEnvelope(protocol.ClassRequest, 0, protocol.MsgDMReleaseLease, w)
+	err := l.manager.Send(frame)
+	if err != nil {
+		_, shards := l.plat.ShardView()
+		for _, addr := range shards {
+			conn, derr := l.plat.opts.Dialer(addr)
+			if derr != nil {
+				continue
+			}
+			ep := gcf.NewEndpoint(conn, true)
+			ep.Start(func([]byte) {}, nil)
+			if serr := ep.Send(frame); serr == nil {
+				err = nil
+			}
+			ep.Close()
+		}
+	}
 	for _, s := range l.Servers {
 		if derr := l.plat.DisconnectServer(s); derr != nil && err == nil {
 			err = derr

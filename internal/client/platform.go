@@ -49,6 +49,32 @@ type Platform struct {
 	mu      sync.Mutex
 	servers []*Server
 	ctxs    []*Context // live contexts, for the server-down directory sweep
+
+	// Control-plane shard map cache: fetched at connect, refreshed by
+	// epoch bumps pushed on the manager connection (MsgDMPing one-ways)
+	// and by the view carried on every grant.
+	smMu       sync.Mutex
+	shardEpoch uint64
+	shards     []string
+}
+
+// noteShardView merges a pushed or fetched control-plane view into the
+// cache; stale epochs are ignored.
+func (p *Platform) noteShardView(view protocol.ShardMap) {
+	p.smMu.Lock()
+	if view.Epoch > p.shardEpoch {
+		p.shardEpoch = view.Epoch
+		p.shards = append([]string(nil), view.Shards...)
+	}
+	p.smMu.Unlock()
+}
+
+// ShardView returns the cached control-plane epoch and shard list (nil
+// when unsharded or never fetched).
+func (p *Platform) ShardView() (uint64, []string) {
+	p.smMu.Lock()
+	defer p.smMu.Unlock()
+	return p.shardEpoch, append([]string(nil), p.shards...)
 }
 
 var _ cl.Platform = (*Platform)(nil)

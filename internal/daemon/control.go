@@ -1,0 +1,537 @@
+package daemon
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"dopencl/internal/cl"
+	"dopencl/internal/gcf"
+	"dopencl/internal/protocol"
+)
+
+// Control-plane attachment. Three entry points, layered:
+//
+//   - AttachManager: one connection, all devices, no recovery — the
+//     paper's registration (Fig. 2 step 1), kept for embedders and tests.
+//   - AttachManagerAuto: AttachManager plus automatic re-registration
+//     with jittered exponential backoff, for the single-manager daemon
+//     that must survive manager restarts and health-probe evictions.
+//   - JoinControlPlane: the sharded form — the daemon partitions its
+//     devices by rendezvous owner over the live shard set, keeps one
+//     registration per owning shard, and re-partitions (re-homing the
+//     moved devices, carrying their lease holders) whenever the
+//     membership epoch bumps or a link dies.
+
+// attachManagerConn registers the given device units (nil = all) with
+// the manager over an existing connection and serves the manager's
+// assign/revoke/ping traffic. onView (may be nil) receives shard-map
+// views pushed or carried on pings; onDown (may be nil) fires when the
+// connection dies.
+func (d *Daemon) attachManagerConn(conn net.Conn, selfAddr string, units []uint32, onView func(protocol.ShardMap), onDown func()) (*gcf.Endpoint, error) {
+	ep := gcf.NewEndpoint(conn, true)
+	d.dmMu.Lock()
+	d.dms[ep] = true
+	d.dmMu.Unlock()
+
+	regCh := make(chan *protocol.Envelope, 1)
+	var regOnce sync.Once
+
+	ep.Start(func(msg []byte) {
+		env, err := protocol.ParseEnvelope(msg)
+		if err != nil {
+			d.logf("daemon %s: bad manager message: %v", d.cfg.Name, err)
+			return
+		}
+		switch {
+		case env.Class == protocol.ClassResponse:
+			select {
+			case regCh <- &env:
+			default:
+			}
+		case env.Type == protocol.MsgDMAssign:
+			authID := env.Body.String()
+			units := env.Body.U64s()
+			u32 := make([]uint32, len(units))
+			for i, u := range units {
+				u32[i] = uint32(u)
+			}
+			d.Allow(authID, u32)
+			resp := protocol.NewWriter()
+			resp.I32(int32(cl.Success))
+			if err := ep.Send(protocol.EncodeEnvelope(protocol.ClassResponse, env.ID, env.Type, resp)); err != nil {
+				d.logf("daemon %s: assign ack failed: %v", d.cfg.Name, err)
+			}
+		case env.Type == protocol.MsgDMRevoke:
+			authID := env.Body.String()
+			d.Revoke(authID)
+			resp := protocol.NewWriter()
+			resp.I32(int32(cl.Success))
+			if err := ep.Send(protocol.EncodeEnvelope(protocol.ClassResponse, env.ID, env.Type, resp)); err != nil {
+				d.logf("daemon %s: revoke ack failed: %v", d.cfg.Name, err)
+			}
+		case env.Type == protocol.MsgDMPing:
+			// Manager health probe (request) or epoch push (one-way). The
+			// body, when present, carries the manager's membership view.
+			if onView != nil && env.Body.Remaining() > 0 {
+				view := protocol.GetShardMap(env.Body)
+				if env.Body.Err() == nil {
+					onView(view)
+				}
+			}
+			if env.Class != protocol.ClassRequest {
+				return
+			}
+			resp := protocol.NewWriter()
+			resp.I32(int32(cl.Success))
+			if err := ep.Send(protocol.EncodeEnvelope(protocol.ClassResponse, env.ID, env.Type, resp)); err != nil {
+				d.logf("daemon %s: ping ack failed: %v", d.cfg.Name, err)
+			}
+		}
+	}, func(error) {
+		d.dmMu.Lock()
+		delete(d.dms, ep)
+		d.dmMu.Unlock()
+		regOnce.Do(func() { close(regCh) })
+		if onDown != nil {
+			onDown()
+		}
+	})
+
+	// Register this server and its devices with the manager, announcing
+	// the peer data-plane address so clients holding multi-server leases
+	// can route daemon-to-daemon forwards, and the current lease holder of
+	// every registered unit so a re-registration (manager restart, shard
+	// re-homing) reconstructs lease accounting instead of double-booking
+	// still-leased devices.
+	recs, leasedBy := d.recordsFor(units)
+	w := protocol.NewWriter()
+	w.String(selfAddr)
+	w.String(d.cfg.PeerAddr)
+	protocol.PutDeviceRecords(w, recs)
+	w.Strings(leasedBy)
+	if err := ep.Send(protocol.EncodeEnvelope(protocol.ClassRequest, 1, protocol.MsgDMRegisterServer, w)); err != nil {
+		ep.Close()
+		return nil, fmt.Errorf("daemon: registering with device manager: %w", err)
+	}
+	env, ok := <-regCh
+	if !ok || env == nil {
+		return nil, cl.Errf(cl.InvalidServer, "device manager connection lost during registration")
+	}
+	if status := cl.ErrorCode(env.Body.I32()); status != cl.Success {
+		ep.Close()
+		return nil, cl.Errf(status, "device manager rejected registration")
+	}
+	d.logf("daemon %s: registered %d devices with device manager as %s", d.cfg.Name, len(recs), selfAddr)
+	return ep, nil
+}
+
+// recordsFor returns the device records for the given units (nil = all)
+// plus the parallel lease-holder list ("" for free units).
+func (d *Daemon) recordsFor(units []uint32) ([]protocol.DeviceRecord, []string) {
+	if units == nil {
+		units = make([]uint32, len(d.devices))
+		for i := range d.devices {
+			units[i] = uint32(i)
+		}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	recs := make([]protocol.DeviceRecord, 0, len(units))
+	leasedBy := make([]string, 0, len(units))
+	for _, u := range units {
+		if int(u) >= len(d.devices) {
+			continue
+		}
+		recs = append(recs, protocol.DeviceRecord{UnitID: u, Info: d.devices[u].Info()})
+		holder := ""
+		for authID, set := range d.leases {
+			if set[u] {
+				holder = authID
+				break
+			}
+		}
+		leasedBy = append(leasedBy, holder)
+	}
+	return recs, leasedBy
+}
+
+// AttachManager connects the daemon to the device manager in managed
+// mode: it registers the daemon's devices (keyed by selfAddr, the
+// address clients use to reach this daemon) and then serves
+// assignment/revocation messages arriving from the manager.
+func (d *Daemon) AttachManager(conn net.Conn, selfAddr string) error {
+	_, err := d.attachManagerConn(conn, selfAddr, nil, nil, nil)
+	return err
+}
+
+// AttachManagerAuto keeps the daemon registered with a single device
+// manager: it attaches, and whenever the manager connection dies
+// (manager restart, health-probe eviction, network partition) it
+// re-dials and re-registers — carrying the lease holders of any devices
+// still leased — with exponential backoff jittered uniformly over
+// [delay/2, delay) so a manager restart doesn't see every daemon in the
+// fleet re-register on the same tick. min/max bound the backoff (zero
+// values default to 50ms/5s). The returned stop function ends the loop
+// and closes the current manager connection.
+func (d *Daemon) AttachManagerAuto(dial func() (net.Conn, error), selfAddr string, min, max time.Duration) (stop func()) {
+	if min <= 0 {
+		min = 50 * time.Millisecond
+	}
+	if max < min {
+		max = 5 * time.Second
+		if max < min {
+			max = min
+		}
+	}
+	done := make(chan struct{})
+	var mu sync.Mutex
+	var cur *gcf.Endpoint
+	go func() {
+		delay := min
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			down := make(chan struct{})
+			var ep *gcf.Endpoint
+			conn, err := dial()
+			if err == nil {
+				ep, err = d.attachManagerConn(conn, selfAddr, nil, nil, func() { close(down) })
+			}
+			if err != nil {
+				d.logf("daemon %s: manager attach failed (retrying in ~%s): %v", d.cfg.Name, delay, err)
+				select {
+				case <-done:
+					return
+				case <-time.After(jitter(delay)):
+				}
+				if delay *= 2; delay > max {
+					delay = max
+				}
+				continue
+			}
+			mu.Lock()
+			cur = ep
+			mu.Unlock()
+			delay = min // successful registration resets the backoff
+			select {
+			case <-done:
+				return
+			case <-down:
+				d.logf("daemon %s: manager connection lost, re-registering", d.cfg.Name)
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			mu.Lock()
+			ep := cur
+			mu.Unlock()
+			if ep != nil {
+				ep.Close()
+			}
+		})
+	}
+}
+
+// jitter draws uniformly from [d/2, d).
+func jitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	half := int64(d) / 2
+	return time.Duration(half + rand.Int63n(half))
+}
+
+// ControlPlaneConfig configures JoinControlPlane.
+type ControlPlaneConfig struct {
+	// Dial reaches device manager shards (required).
+	Dial func(addr string) (net.Conn, error)
+	// Seeds are the initial shard addresses; the live set is learned from
+	// the shard map and kept fresh by epoch pushes (required, ≥1).
+	Seeds []string
+	// SelfAddr is the address clients use to reach this daemon (required).
+	SelfAddr string
+	// RetryMin / RetryMax bound the jittered re-registration backoff
+	// (defaults 50ms / 5s).
+	RetryMin, RetryMax time.Duration
+}
+
+// controlPlane reconciles the daemon's desired registrations (rendezvous
+// partition of its devices over the live shard set) with its actual
+// manager links.
+type controlPlane struct {
+	d   *Daemon
+	cfg ControlPlaneConfig
+
+	mu     sync.Mutex
+	epoch  uint64
+	shards []string
+	links  map[string]*shardLink
+
+	wake chan struct{}
+	stop chan struct{}
+	once sync.Once
+}
+
+// shardLink is one live registration with one shard.
+type shardLink struct {
+	addr  string
+	ep    *gcf.Endpoint
+	units []uint32 // sorted
+}
+
+// JoinControlPlane starts the daemon's membership in a sharded control
+// plane: it learns the shard map from the seeds, registers each device
+// with the shard that owns its DeviceID, and keeps the partition
+// reconciled as shards die and return — moved devices re-register with
+// their new owner (lease holders carried), with jittered backoff on
+// failure. The returned stop function leaves the control plane and
+// closes all manager links.
+func (d *Daemon) JoinControlPlane(cfg ControlPlaneConfig) (stop func(), err error) {
+	if cfg.Dial == nil || len(cfg.Seeds) == 0 || cfg.SelfAddr == "" {
+		return nil, fmt.Errorf("daemon: control plane config requires Dial, Seeds and SelfAddr")
+	}
+	if cfg.RetryMin <= 0 {
+		cfg.RetryMin = 50 * time.Millisecond
+	}
+	if cfg.RetryMax < cfg.RetryMin {
+		cfg.RetryMax = 5 * time.Second
+		if cfg.RetryMax < cfg.RetryMin {
+			cfg.RetryMax = cfg.RetryMin
+		}
+	}
+	cp := &controlPlane{
+		d:      d,
+		cfg:    cfg,
+		shards: append([]string(nil), cfg.Seeds...),
+		links:  map[string]*shardLink{},
+		wake:   make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+	}
+	sort.Strings(cp.shards)
+	go cp.loop()
+	cp.poke()
+	return cp.close, nil
+}
+
+func (cp *controlPlane) poke() {
+	select {
+	case cp.wake <- struct{}{}:
+	default:
+	}
+}
+
+// noteView adopts a newer membership view and triggers reconciliation.
+func (cp *controlPlane) noteView(view protocol.ShardMap) {
+	cp.mu.Lock()
+	changed := view.Epoch > cp.epoch && len(view.Shards) > 0
+	if changed {
+		cp.epoch = view.Epoch
+		cp.shards = append([]string(nil), view.Shards...)
+	}
+	cp.mu.Unlock()
+	if changed {
+		cp.d.logf("daemon %s: control plane epoch %d, shards %v", cp.d.cfg.Name, view.Epoch, view.Shards)
+		cp.poke()
+	}
+}
+
+func (cp *controlPlane) loop() {
+	delay := cp.cfg.RetryMin
+	for {
+		settled := cp.reconcile()
+		if settled {
+			delay = cp.cfg.RetryMin
+			select {
+			case <-cp.stop:
+				return
+			case <-cp.wake:
+			}
+			continue
+		}
+		// A registration failed — often because our view is stale (the
+		// target shard died and we never saw the epoch bump: every link
+		// that would have carried it may be down too). Re-learn the view
+		// before retrying.
+		cp.refreshView()
+		select {
+		case <-cp.stop:
+			return
+		case <-cp.wake:
+		case <-time.After(jitter(delay)):
+		}
+		if delay *= 2; delay > cp.cfg.RetryMax {
+			delay = cp.cfg.RetryMax
+		}
+	}
+}
+
+// refreshView fetches the shard map from the first reachable shard or
+// seed and adopts it if newer.
+func (cp *controlPlane) refreshView() {
+	cp.mu.Lock()
+	targets := append([]string(nil), cp.shards...)
+	cp.mu.Unlock()
+	seen := map[string]bool{}
+	for _, a := range targets {
+		seen[a] = true
+	}
+	for _, a := range cp.cfg.Seeds {
+		if !seen[a] {
+			targets = append(targets, a)
+		}
+	}
+	for _, addr := range targets {
+		conn, err := cp.cfg.Dial(addr)
+		if err != nil {
+			continue
+		}
+		ep := gcf.NewEndpoint(conn, true)
+		respCh := make(chan *protocol.Envelope, 1)
+		ep.Start(func(msg []byte) {
+			env, perr := protocol.ParseEnvelope(msg)
+			if perr == nil && env.Class == protocol.ClassResponse {
+				select {
+				case respCh <- &env:
+				default:
+				}
+			}
+		}, nil)
+		err = ep.Send(protocol.EncodeEnvelope(protocol.ClassRequest, 1, protocol.MsgDMShardMap, protocol.NewWriter()))
+		if err != nil {
+			ep.Close()
+			continue
+		}
+		select {
+		case env := <-respCh:
+			ep.Close()
+			if env == nil {
+				continue
+			}
+			if status := cl.ErrorCode(env.Body.I32()); status != cl.Success {
+				continue
+			}
+			view := protocol.GetShardMap(env.Body)
+			if env.Body.Err() != nil {
+				continue
+			}
+			cp.noteView(view)
+			return
+		case <-time.After(cp.cfg.RetryMax):
+			ep.Close()
+		case <-cp.stop:
+			ep.Close()
+			return
+		}
+	}
+}
+
+// reconcile computes the desired (shard → units) partition and fixes up
+// links: register where missing or changed, drop links to shards that
+// own nothing anymore. Returns false when any registration failed (the
+// loop retries with backoff).
+func (cp *controlPlane) reconcile() bool {
+	cp.mu.Lock()
+	shards := append([]string(nil), cp.shards...)
+	cp.mu.Unlock()
+
+	desired := map[string][]uint32{}
+	for i := range cp.d.devices {
+		u := uint32(i)
+		owner := protocol.Owner(shards, protocol.DeviceID(cp.cfg.SelfAddr, u))
+		if owner != "" {
+			desired[owner] = append(desired[owner], u)
+		}
+	}
+
+	settled := true
+	for addr, units := range desired {
+		cp.mu.Lock()
+		link := cp.links[addr]
+		cp.mu.Unlock()
+		if link != nil && equalUnits(link.units, units) {
+			continue
+		}
+		if link != nil {
+			link.ep.Close() // partition changed: re-register wholesale
+		}
+		if !cp.register(addr, units) {
+			settled = false
+		}
+	}
+	cp.mu.Lock()
+	var stale []*shardLink
+	for addr, link := range cp.links {
+		if _, ok := desired[addr]; !ok {
+			stale = append(stale, link)
+			delete(cp.links, addr)
+		}
+	}
+	cp.mu.Unlock()
+	for _, link := range stale {
+		link.ep.Close()
+	}
+	return settled
+}
+
+// register establishes one shard registration.
+func (cp *controlPlane) register(addr string, units []uint32) bool {
+	conn, err := cp.cfg.Dial(addr)
+	if err != nil {
+		cp.d.logf("daemon %s: dialing shard %s: %v", cp.d.cfg.Name, addr, err)
+		return false
+	}
+	link := &shardLink{addr: addr, units: units}
+	ep, err := cp.d.attachManagerConn(conn, cp.cfg.SelfAddr, units, cp.noteView, func() {
+		cp.mu.Lock()
+		if cp.links[addr] == link {
+			delete(cp.links, addr)
+		}
+		cp.mu.Unlock()
+		cp.poke()
+	})
+	if err != nil {
+		cp.d.logf("daemon %s: registering with shard %s: %v", cp.d.cfg.Name, addr, err)
+		return false
+	}
+	link.ep = ep
+	cp.mu.Lock()
+	cp.links[addr] = link
+	cp.mu.Unlock()
+	return true
+}
+
+func (cp *controlPlane) close() {
+	cp.once.Do(func() { close(cp.stop) })
+	cp.mu.Lock()
+	links := make([]*shardLink, 0, len(cp.links))
+	for _, l := range cp.links {
+		links = append(links, l)
+	}
+	cp.links = map[string]*shardLink{}
+	cp.mu.Unlock()
+	for _, l := range links {
+		l.ep.Close()
+	}
+}
+
+func equalUnits(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,66 @@
+package daemon
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"dopencl/internal/device"
+	"dopencl/internal/devmgr"
+	"dopencl/internal/native"
+	"dopencl/internal/simnet"
+)
+
+// TestAttachManagerAutoReRegisters: when the manager link dies (network
+// severed long enough for the manager's health checks to evict the
+// daemon), AttachManagerAuto re-registers with jittered backoff after
+// the link heals and the manager regains the devices.
+func TestAttachManagerAutoReRegisters(t *testing.T) {
+	nw := simnet.NewNetwork(simnet.Unlimited())
+
+	m := devmgr.New()
+	defer m.Close()
+	lis, err := nw.Listen("mgr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	go func() { _ = m.Serve(lis) }()
+	stopHealth := m.StartHealthChecks(20*time.Millisecond, 60*time.Millisecond)
+	defer stopHealth()
+
+	plat := native.NewPlatform("p", "v", []device.Config{
+		device.TestGPU("g0"), device.TestGPU("g1"),
+	})
+	d, err := New(Config{Name: "node1", Platform: plat, Managed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := d.AttachManagerAuto(func() (net.Conn, error) {
+		return nw.DialFrom("node1", "mgr")
+	}, "node1", 10*time.Millisecond, 200*time.Millisecond)
+	defer stop()
+
+	waitFree := func(what string, want int) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			if m.FreeDevices() == want {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Fatalf("timeout waiting for %s: free=%d want %d", what, m.FreeDevices(), want)
+	}
+	waitFree("initial registration", 2)
+
+	// Sever the daemon: probes fail, and after healthMissLimit sweeps the
+	// manager drops the server.
+	nw.SeverNode("node1")
+	waitFree("eviction after sever", 0)
+
+	// Heal: the backoff loop re-dials and re-registers without any
+	// external nudge.
+	nw.HealNode("node1")
+	waitFree("auto re-registration", 2)
+}

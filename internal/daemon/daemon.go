@@ -69,8 +69,12 @@ type Daemon struct {
 	mu     sync.Mutex
 	leases map[string]map[uint32]bool // authID → permitted unit IDs
 
+	// Manager connections (managed mode). A daemon in a sharded control
+	// plane holds one link per shard that owns any of its devices; lease
+	// invalidation reports broadcast to all of them (shards ignore auth
+	// IDs they don't hold).
 	dmMu sync.Mutex
-	dm   *gcf.Endpoint // connection to the device manager (managed mode)
+	dms  map[*gcf.Endpoint]bool
 
 	// graphCount tracks cached command graphs across all sessions, for
 	// observability and the session-teardown hygiene tests.
@@ -131,6 +135,7 @@ func New(cfg Config) (*Daemon, error) {
 		cfg:        cfg,
 		devices:    devs,
 		leases:     map[string]map[uint32]bool{},
+		dms:        map[*gcf.Endpoint]bool{},
 		sessions:   map[uint64]*session{},
 		fwdIn:      map[uint64]*pendingForward{},
 		fwdLive:    map[cl.Buffer][]*pendingForward{},
@@ -434,99 +439,24 @@ func (d *Daemon) RetainedSessions() int {
 	return n
 }
 
-// AttachManager connects the daemon to the device manager in managed mode:
-// it registers the daemon's devices (keyed by selfAddr, the address clients
-// use to reach this daemon) and then serves assignment/revocation messages
-// arriving from the manager.
-func (d *Daemon) AttachManager(conn net.Conn, selfAddr string) error {
-	ep := gcf.NewEndpoint(conn, true)
-	d.dmMu.Lock()
-	d.dm = ep
-	d.dmMu.Unlock()
-
-	type pending struct {
-		ch chan *protocol.Envelope
-	}
-	reg := pending{ch: make(chan *protocol.Envelope, 1)}
-
-	ep.Start(func(msg []byte) {
-		env, err := protocol.ParseEnvelope(msg)
-		if err != nil {
-			d.logf("daemon %s: bad manager message: %v", d.cfg.Name, err)
-			return
-		}
-		switch {
-		case env.Class == protocol.ClassResponse:
-			select {
-			case reg.ch <- &env:
-			default:
-			}
-		case env.Type == protocol.MsgDMAssign:
-			authID := env.Body.String()
-			units := env.Body.U64s()
-			u32 := make([]uint32, len(units))
-			for i, u := range units {
-				u32[i] = uint32(u)
-			}
-			d.Allow(authID, u32)
-			resp := protocol.NewWriter()
-			resp.I32(int32(cl.Success))
-			if err := ep.Send(protocol.EncodeEnvelope(protocol.ClassResponse, env.ID, env.Type, resp)); err != nil {
-				d.logf("daemon %s: assign ack failed: %v", d.cfg.Name, err)
-			}
-		case env.Type == protocol.MsgDMRevoke:
-			authID := env.Body.String()
-			d.Revoke(authID)
-			resp := protocol.NewWriter()
-			resp.I32(int32(cl.Success))
-			if err := ep.Send(protocol.EncodeEnvelope(protocol.ClassResponse, env.ID, env.Type, resp)); err != nil {
-				d.logf("daemon %s: revoke ack failed: %v", d.cfg.Name, err)
-			}
-		case env.Type == protocol.MsgDMPing:
-			// Manager health probe: any timely answer proves liveness.
-			resp := protocol.NewWriter()
-			resp.I32(int32(cl.Success))
-			if err := ep.Send(protocol.EncodeEnvelope(protocol.ClassResponse, env.ID, env.Type, resp)); err != nil {
-				d.logf("daemon %s: ping ack failed: %v", d.cfg.Name, err)
-			}
-		}
-	}, func(error) {
-		d.dmMu.Lock()
-		d.dm = nil
-		d.dmMu.Unlock()
-	})
-
-	// Register this server and its devices with the manager, announcing
-	// the peer data-plane address so clients holding multi-server leases
-	// can route daemon-to-daemon forwards.
-	w := protocol.NewWriter()
-	w.String(selfAddr)
-	w.String(d.cfg.PeerAddr)
-	protocol.PutDeviceRecords(w, d.Records())
-	if err := ep.Send(protocol.EncodeEnvelope(protocol.ClassRequest, 1, protocol.MsgDMRegisterServer, w)); err != nil {
-		return fmt.Errorf("daemon: registering with device manager: %w", err)
-	}
-	env := <-reg.ch
-	if status := cl.ErrorCode(env.Body.I32()); status != cl.Success {
-		return cl.Errf(status, "device manager rejected registration")
-	}
-	d.logf("daemon %s: registered with device manager as %s", d.cfg.Name, selfAddr)
-	return nil
-}
-
-// reportInvalidatedLease tells the device manager that a client
-// disconnected without releasing its lease (Section IV-C).
+// reportInvalidatedLease tells the device manager(s) that a client
+// disconnected without releasing its lease (Section IV-C). With a
+// sharded control plane the report is broadcast across all manager
+// links: only the shard holding the lease record acts on it.
 func (d *Daemon) reportInvalidatedLease(authID string) {
 	d.dmMu.Lock()
-	ep := d.dm
-	d.dmMu.Unlock()
-	if ep == nil {
-		return
+	eps := make([]*gcf.Endpoint, 0, len(d.dms))
+	for ep := range d.dms {
+		eps = append(eps, ep)
 	}
+	d.dmMu.Unlock()
 	w := protocol.NewWriter()
 	w.String(authID)
-	if err := ep.Send(protocol.EncodeEnvelope(protocol.ClassRequest, 0, protocol.MsgDMReleaseLease, w)); err != nil {
-		d.logf("daemon %s: lease release report failed: %v", d.cfg.Name, err)
+	frame := protocol.EncodeEnvelope(protocol.ClassRequest, 0, protocol.MsgDMReleaseLease, w)
+	for _, ep := range eps {
+		if err := ep.Send(frame); err != nil {
+			d.logf("daemon %s: lease release report failed: %v", d.cfg.Name, err)
+		}
 	}
 }
 

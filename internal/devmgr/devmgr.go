@@ -1,7 +1,10 @@
 // Package devmgr implements the dOpenCL device manager (Section IV of the
-// paper): a central, network-accessible service that assigns devices to
-// clients so that multiple applications can share a distributed system
-// without stepping on each other.
+// paper), grown from the paper's single central service into a sharded,
+// replicated control plane: each devmgr instance owns the slice of the
+// device fleet that consistent-hashes to it, places leases from indexed
+// per-(class, server) free lists behind a weighted fair grant queue, and
+// exchanges membership views with its peer shards so the fleet survives
+// shard death.
 //
 // The manager keeps two sets of devices — free and assigned — and hands
 // out leases. A lease comprises a unique authentication ID, a set of
@@ -10,6 +13,12 @@
 // the devices associated with the client's authentication ID. Devices
 // return to the free set when the client releases the lease or when a
 // daemon reports the client's disconnection.
+//
+// Locking is split by concern instead of the seed's one global mutex:
+// mu guards placement state (devices, free index, leases), srvMu the
+// daemon registry, clMu the connected-client set, and each connection's
+// request window has its own lock — so a slow daemon push never blocks
+// an unrelated grant and health probes never block placement.
 package devmgr
 
 import (
@@ -17,6 +26,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"net"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -28,10 +38,12 @@ import (
 
 // managedDevice is one registered device.
 type managedDevice struct {
+	id     string // DeviceID(server, unitID): the consistent-hash key
 	server string // server address as announced to clients
 	unitID uint32
 	info   cl.DeviceInfo
 	leased string // authID holding the device, "" when free
+	gone   bool   // server dropped while the device was leased
 }
 
 // lease is one active assignment.
@@ -41,33 +53,122 @@ type lease struct {
 	servers map[string]bool
 }
 
-// serverConn is a registered managed daemon.
-type serverConn struct {
+// rpcConn is one request/response window over a gcf endpoint — a
+// registered daemon or a peer shard's gossip link.
+type rpcConn struct {
 	addr     string
-	peerAddr string // daemon-to-daemon bulk-plane address ("" if disabled)
+	peerAddr string // daemon-to-daemon bulk-plane address ("" if unset)
 	ep       *gcf.Endpoint
 	nextReq  uint32
 	pending  map[uint32]chan *protocol.Envelope
 	mu       sync.Mutex
 }
 
-// Manager is the device manager service.
+func newRPCConn(addr string, ep *gcf.Endpoint) *rpcConn {
+	return &rpcConn{addr: addr, ep: ep, pending: map[uint32]chan *protocol.Envelope{}}
+}
+
+// deliver routes a response envelope to its waiting request.
+func (c *rpcConn) deliver(env *protocol.Envelope) {
+	c.mu.Lock()
+	ch := c.pending[env.ID]
+	delete(c.pending, env.ID)
+	c.mu.Unlock()
+	if ch != nil {
+		ch <- env
+	}
+}
+
+// failAll closes every pending request window (connection death).
+func (c *rpcConn) failAll() {
+	c.mu.Lock()
+	for id, ch := range c.pending {
+		close(ch)
+		delete(c.pending, id)
+	}
+	c.mu.Unlock()
+}
+
+// roundTrip performs one request/response exchange. A positive timeout
+// bounds the wait (health probes must not hang on a silently dead
+// daemon); zero waits until the connection dies.
+func (c *rpcConn) roundTrip(typ protocol.MsgType, timeout time.Duration, fill func(*protocol.Writer)) (*protocol.Envelope, error) {
+	c.mu.Lock()
+	c.nextReq++
+	id := c.nextReq
+	ch := make(chan *protocol.Envelope, 1)
+	c.pending[id] = ch
+	c.mu.Unlock()
+	w := protocol.NewWriter()
+	if fill != nil {
+		fill(w)
+	}
+	if err := c.ep.Send(protocol.EncodeEnvelope(protocol.ClassRequest, id, typ, w)); err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, err
+	}
+	var deadline <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		deadline = t.C
+	}
+	select {
+	case resp := <-ch:
+		if resp == nil {
+			return nil, fmt.Errorf("%s connection lost", c.addr)
+		}
+		return resp, nil
+	case <-deadline:
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%s unresponsive after %s", c.addr, timeout)
+	}
+}
+
+// Manager is one device manager instance — the whole control plane when
+// unsharded, one shard of it when configured with WithShard.
 type Manager struct {
 	logf func(format string, args ...any)
 
-	mu      sync.Mutex
-	devices []*managedDevice
-	leases  map[string]*lease
-	servers map[string]*serverConn
+	// mu guards placement state.
+	mu        sync.Mutex
+	devices   []*managedDevice
+	leases    map[string]*lease
+	idx       *devIndex
+	freeCount int
+	sched     Scheduler // nil = indexed fast path (LeastLoaded contract)
+
+	// srvMu guards the daemon registry.
+	srvMu   sync.Mutex
+	servers map[string]*rpcConn
 	misses  map[string]int // consecutive failed health probes per server
-	sched   Scheduler
+
+	// clMu guards the connected-client endpoint set (epoch push targets).
+	clMu    sync.Mutex
+	clients map[*gcf.Endpoint]bool
+
+	place *placement
+	shard *shardState // nil when unsharded
+
+	probeFanout int
+
+	closeOnce sync.Once
 }
 
 // healthMissLimit is how many consecutive probe misses evict a daemon: a
 // single miss can be a transient stall (GC pause, load spike) on a
-// perfectly alive daemon, and eviction is effectively permanent — the
-// daemon does not re-register on its own.
+// perfectly alive daemon. Eviction is no longer permanent — an evicted
+// daemon's manager connection closes, its re-registration loop (jittered
+// backoff, see daemon.AttachManagerAuto) notices and re-registers once
+// the daemon is reachable again.
 const healthMissLimit = 2
+
+// defaultProbeFanout bounds how many health probes run concurrently.
+const defaultProbeFanout = 16
 
 // Option configures a Manager.
 type Option func(*Manager)
@@ -77,23 +178,69 @@ func WithLogf(fn func(string, ...any)) Option {
 	return func(m *Manager) { m.logf = fn }
 }
 
-// WithScheduler selects the device assignment strategy.
+// WithScheduler selects a pluggable device assignment strategy. It
+// switches placement onto the legacy linear candidate scan the policies
+// are written against; the default (no scheduler) is the indexed
+// O(log n) fast path with LeastLoaded semantics.
 func WithScheduler(s Scheduler) Option {
 	return func(m *Manager) { m.sched = s }
+}
+
+// WithProbeFanout bounds concurrent health probes (0 restores the
+// default).
+func WithProbeFanout(n int) Option {
+	return func(m *Manager) {
+		if n > 0 {
+			m.probeFanout = n
+		}
+	}
 }
 
 // New creates a device manager.
 func New(opts ...Option) *Manager {
 	m := &Manager{
-		leases:  map[string]*lease{},
-		servers: map[string]*serverConn{},
-		misses:  map[string]int{},
-		sched:   LeastLoaded{},
+		leases:      map[string]*lease{},
+		idx:         newDevIndex(),
+		servers:     map[string]*rpcConn{},
+		misses:      map[string]int{},
+		clients:     map[*gcf.Endpoint]bool{},
+		probeFanout: defaultProbeFanout,
 	}
+	m.place = newPlacement(m)
 	for _, o := range opts {
 		o(m)
 	}
 	return m
+}
+
+// Close stops the placement workers and gossip loop and closes every
+// daemon, client and peer connection. The caller closes its listener to
+// stop Serve.
+func (m *Manager) Close() {
+	m.closeOnce.Do(func() {
+		m.place.close()
+		if m.shard != nil {
+			m.shard.close()
+		}
+		m.srvMu.Lock()
+		conns := make([]*rpcConn, 0, len(m.servers))
+		for _, sc := range m.servers {
+			conns = append(conns, sc)
+		}
+		m.srvMu.Unlock()
+		for _, sc := range conns {
+			sc.ep.Close()
+		}
+		m.clMu.Lock()
+		eps := make([]*gcf.Endpoint, 0, len(m.clients))
+		for ep := range m.clients {
+			eps = append(eps, ep)
+		}
+		m.clMu.Unlock()
+		for _, ep := range eps {
+			ep.Close()
+		}
+	})
 }
 
 func (m *Manager) log(format string, args ...any) {
@@ -102,8 +249,8 @@ func (m *Manager) log(format string, args ...any) {
 	}
 }
 
-// Serve accepts connections (from daemons and clients) until the listener
-// closes.
+// Serve accepts connections (from daemons, clients and peer shards)
+// until the listener closes.
 func (m *Manager) Serve(l net.Listener) error {
 	for {
 		conn, err := l.Accept()
@@ -115,10 +262,11 @@ func (m *Manager) Serve(l net.Listener) error {
 }
 
 // ServeConn handles one connection. Daemons send DMRegisterServer first;
-// clients send DMRequestDevices.
+// clients send DMShardMap and/or DMRequestDevices; peer shards send
+// DMGossip.
 func (m *Manager) ServeConn(conn net.Conn) {
 	ep := gcf.NewEndpoint(conn, false)
-	var sc *serverConn // set once the peer registers as a daemon
+	var sc *rpcConn // set once the peer registers as a daemon
 	ep.Start(func(msg []byte) {
 		env, err := protocol.ParseEnvelope(msg)
 		if err != nil {
@@ -128,45 +276,94 @@ func (m *Manager) ServeConn(conn net.Conn) {
 		switch {
 		case env.Class == protocol.ClassResponse:
 			if sc != nil {
-				sc.mu.Lock()
-				ch := sc.pending[env.ID]
-				delete(sc.pending, env.ID)
-				sc.mu.Unlock()
-				if ch != nil {
-					ch <- &env
-				}
+				sc.deliver(&env)
 			}
 		case env.Type == protocol.MsgDMRegisterServer:
 			sc = m.handleRegister(ep, env)
 		case env.Type == protocol.MsgDMRequestDevices:
+			m.clMu.Lock()
+			m.clients[ep] = true
+			m.clMu.Unlock()
 			m.handleRequest(ep, env)
 		case env.Type == protocol.MsgDMReleaseLease:
 			authID := env.Body.String()
 			m.ReleaseLease(authID)
+		case env.Type == protocol.MsgDMShardMap:
+			view := m.ShardMap()
+			w := protocol.NewWriter()
+			w.I32(int32(cl.Success))
+			view.Put(w)
+			if err := ep.Send(protocol.EncodeEnvelope(protocol.ClassResponse, env.ID, env.Type, w)); err != nil {
+				m.log("devmgr: shard map response failed: %v", err)
+			}
+		case env.Type == protocol.MsgDMGossip:
+			m.handleGossip(ep, env)
 		}
 	}, func(error) {
+		m.clMu.Lock()
+		delete(m.clients, ep)
+		m.clMu.Unlock()
 		if sc != nil {
 			m.dropServer(sc.addr)
 		}
 	})
 }
 
-// handleRegister adds a daemon's devices to the free set.
-func (m *Manager) handleRegister(ep *gcf.Endpoint, env protocol.Envelope) *serverConn {
+// handleRegister adds a daemon's devices to the shard. The registration
+// may carry per-device lease holders (re-homing after a shard death:
+// the daemon still enforces those auth IDs, so the adopting shard must
+// account the devices as leased, not free). A re-registration under an
+// address already present replaces the old registration wholesale.
+func (m *Manager) handleRegister(ep *gcf.Endpoint, env protocol.Envelope) *rpcConn {
 	addr := env.Body.String()
 	peerAddr := env.Body.String()
 	recs := protocol.GetDeviceRecords(env.Body)
+	var leasedBy []string
+	if env.Body.Err() == nil && env.Body.Remaining() > 0 {
+		leasedBy = env.Body.Strings()
+	}
 	if env.Body.Err() != nil || addr == "" {
 		m.respondStatus(ep, env.ID, env.Type, cl.InvalidValue)
 		return nil
 	}
-	sc := &serverConn{addr: addr, peerAddr: peerAddr, ep: ep, pending: map[uint32]chan *protocol.Envelope{}}
-	m.mu.Lock()
+
+	m.srvMu.Lock()
+	old := m.servers[addr]
+	m.srvMu.Unlock()
+	if old != nil {
+		// Stale registration (daemon reconnected before its old
+		// connection's close was observed): replace it.
+		m.dropServer(addr)
+	}
+
+	sc := newRPCConn(addr, ep)
+	sc.peerAddr = peerAddr
+	m.srvMu.Lock()
 	m.servers[addr] = sc
-	for _, rec := range recs {
-		m.devices = append(m.devices, &managedDevice{
+	m.srvMu.Unlock()
+
+	m.mu.Lock()
+	for i, rec := range recs {
+		d := &managedDevice{
+			id:     DeviceID(addr, rec.UnitID),
 			server: addr, unitID: rec.UnitID, info: rec.Info,
-		})
+		}
+		if i < len(leasedBy) && leasedBy[i] != "" {
+			d.leased = leasedBy[i]
+			ls := m.leases[d.leased]
+			if ls == nil {
+				ls = &lease{authID: d.leased, servers: map[string]bool{}}
+				m.leases[d.leased] = ls
+			}
+			ls.devices = append(ls.devices, d)
+			ls.servers[addr] = true
+			// Count against the server's load without entering a free list.
+			m.idx.server(addr).load++
+		} else {
+			m.idx.addFree(d)
+			m.freeCount++
+		}
+		m.devices = append(m.devices, d)
 	}
 	total := len(m.devices)
 	m.mu.Unlock()
@@ -178,24 +375,33 @@ func (m *Manager) handleRegister(ep *gcf.Endpoint, env protocol.Envelope) *serve
 // dropServer removes a disconnected daemon and its devices, failing any
 // in-flight assignment pushes.
 func (m *Manager) dropServer(addr string) {
-	m.mu.Lock()
+	m.srvMu.Lock()
 	sc := m.servers[addr]
 	delete(m.servers, addr)
+	delete(m.misses, addr)
+	m.srvMu.Unlock()
+
+	m.mu.Lock()
 	kept := m.devices[:0]
 	for _, d := range m.devices {
 		if d.server != addr {
 			kept = append(kept, d)
+			continue
 		}
+		if d.leased == "" {
+			m.freeCount--
+		}
+		// A leased device leaving with its server must not re-enter the
+		// free set when its lease is released (the server may have
+		// re-registered a fresh record for the same unit by then).
+		d.gone = true
 	}
 	m.devices = kept
+	m.idx.removeServer(addr)
 	m.mu.Unlock()
+
 	if sc != nil {
-		sc.mu.Lock()
-		for id, ch := range sc.pending {
-			close(ch)
-			delete(sc.pending, id)
-		}
-		sc.mu.Unlock()
+		sc.failAll()
 		// Close the connection so an evicted-but-alive daemon observes
 		// the drop instead of believing it is still registered.
 		sc.ep.Close()
@@ -211,66 +417,84 @@ func (m *Manager) respondStatus(ep *gcf.Endpoint, id uint32, typ protocol.MsgTyp
 	}
 }
 
-// handleRequest processes a client assignment request: match devices,
-// build the lease, push per-server assignments to the daemons (step 3b of
-// Fig. 2) and answer the client with the authentication ID and server
-// list (step 3a).
+// handleRequest processes a client assignment request: admit it into the
+// fair grant queue, and answer the client with the authentication ID and
+// server list (step 3a of Fig. 2) once the grant is committed. The
+// per-server daemon pushes (step 3b) run inside the placement workers —
+// commitGrant — so by the time the response is sent the servers accept
+// the authentication ID, and a shard's outstanding pushes are bounded by
+// its worker pool. The endpoint's dispatch goroutine never blocks.
 func (m *Manager) handleRequest(ep *gcf.Endpoint, env protocol.Envelope) {
-	n := int(env.Body.U32())
-	reqs := make([]protocol.DeviceRequest, 0, n)
-	for i := 0; i < n; i++ {
-		reqs = append(reqs, protocol.GetDeviceRequest(env.Body))
-	}
-	if env.Body.Err() != nil {
+	preq := protocol.GetPlaceRequest(env.Body)
+	if env.Body.Err() != nil || len(preq.Requests) == 0 {
 		m.respondStatus(ep, env.ID, env.Type, cl.InvalidValue)
 		return
 	}
-
-	ls, err := m.Assign(reqs)
-	if err != nil {
-		w := protocol.NewWriter()
-		w.I32(int32(cl.CodeOf(err)))
-		w.String(err.Error())
-		if serr := ep.Send(protocol.EncodeEnvelope(protocol.ClassResponse, env.ID, env.Type, w)); serr != nil {
-			m.log("devmgr: reject response failed: %v", serr)
+	envID, envType := env.ID, env.Type
+	m.PlaceLeaseAsync(preq.Tenant, preq.Weight, preq.Requests, func(ls *leaseView, err error) {
+		if err != nil {
+			w := protocol.NewWriter()
+			w.I32(int32(cl.CodeOf(err)))
+			w.String(err.Error())
+			if serr := ep.Send(protocol.EncodeEnvelope(protocol.ClassResponse, envID, envType, w)); serr != nil {
+				m.log("devmgr: reject response failed: %v", serr)
+			}
+			return
 		}
-		return
-	}
+		w := protocol.NewWriter()
+		w.I32(int32(cl.Success))
+		w.String(ls.authID)
+		servers := make([]string, 0, len(ls.servers))
+		for s := range ls.servers {
+			servers = append(servers, s)
+		}
+		w.Strings(servers)
+		view := m.ShardMap()
+		view.Put(w)
+		if serr := ep.Send(protocol.EncodeEnvelope(protocol.ClassResponse, envID, envType, w)); serr != nil {
+			m.log("devmgr: grant response failed: %v", serr)
+		}
+		m.log("devmgr: lease %s granted: %d devices on %d servers",
+			ls.authID[:8], len(ls.devices), len(ls.servers))
+	})
+}
 
-	// Push assignments to each involved daemon before answering the
-	// client, so that the servers accept the authentication ID by the
-	// time the client connects.
+// pushTimeout bounds one daemon assignment push: a daemon that neither
+// acks nor drops within it fails the grant rather than wedging a
+// placement worker until the health sweep evicts it.
+const pushTimeout = 10 * time.Second
+
+// commitGrant pushes the lease's per-server assignments to the daemons
+// (step 3b of Fig. 2) before the grant is reported placed, so the
+// servers accept the authentication ID by the time the client connects.
+// Servers without a live management link (in-process injected fleets)
+// have nothing to push to. A failed push rolls the whole grant back.
+// Running on the placement workers bounds a shard's outstanding pushes
+// to its worker-pool size.
+func (m *Manager) commitGrant(ls *leaseView) error {
 	perServer := map[string][]uint64{}
 	for _, d := range ls.devices {
 		perServer[d.server] = append(perServer[d.server], uint64(d.unitID))
 	}
 	for addr, units := range perServer {
+		m.srvMu.Lock()
+		sc := m.servers[addr]
+		m.srvMu.Unlock()
+		if sc == nil {
+			continue
+		}
 		if err := m.pushAssign(addr, ls.authID, units); err != nil {
 			m.log("devmgr: assignment push to %s failed: %v", addr, err)
 			m.ReleaseLease(ls.authID)
-			m.respondStatus(ep, env.ID, env.Type, cl.InvalidServer)
-			return
+			return cl.Errf(cl.InvalidServer, "assignment push to %s failed", addr)
 		}
 	}
-
-	w := protocol.NewWriter()
-	w.I32(int32(cl.Success))
-	w.String(ls.authID)
-	servers := make([]string, 0, len(ls.servers))
-	for s := range ls.servers {
-		servers = append(servers, s)
-	}
-	w.Strings(servers)
-	if err := ep.Send(protocol.EncodeEnvelope(protocol.ClassResponse, env.ID, env.Type, w)); err != nil {
-		m.log("devmgr: grant response failed: %v", err)
-	}
-	m.log("devmgr: lease %s granted: %d devices on %d servers",
-		ls.authID[:8], len(ls.devices), len(ls.servers))
+	return nil
 }
 
 // pushAssign sends a DMAssign to the daemon at addr and waits for its ack.
 func (m *Manager) pushAssign(addr, authID string, units []uint64) error {
-	resp, err := m.request(addr, protocol.MsgDMAssign, 0, func(w *protocol.Writer) {
+	resp, err := m.request(addr, protocol.MsgDMAssign, pushTimeout, func(w *protocol.Writer) {
 		w.String(authID)
 		w.U64s(units)
 	})
@@ -284,113 +508,16 @@ func (m *Manager) pushAssign(addr, authID string, units []uint64) error {
 }
 
 // request performs one request/response exchange with a registered
-// daemon. A positive timeout bounds the wait (health probes must not
-// hang on a silently dead daemon); zero waits until the connection dies.
+// daemon.
 func (m *Manager) request(addr string, typ protocol.MsgType, timeout time.Duration, fill func(*protocol.Writer)) (*protocol.Envelope, error) {
-	m.mu.Lock()
+	m.srvMu.Lock()
 	sc := m.servers[addr]
-	m.mu.Unlock()
+	m.srvMu.Unlock()
 	if sc == nil {
 		return nil, fmt.Errorf("server %s not registered", addr)
 	}
-	sc.mu.Lock()
-	sc.nextReq++
-	id := sc.nextReq
-	ch := make(chan *protocol.Envelope, 1)
-	sc.pending[id] = ch
-	sc.mu.Unlock()
-	w := protocol.NewWriter()
-	if fill != nil {
-		fill(w)
-	}
-	if err := sc.ep.Send(protocol.EncodeEnvelope(protocol.ClassRequest, id, typ, w)); err != nil {
-		sc.mu.Lock()
-		delete(sc.pending, id)
-		sc.mu.Unlock()
-		return nil, err
-	}
-	var deadline <-chan time.Time
-	if timeout > 0 {
-		t := time.NewTimer(timeout)
-		defer t.Stop()
-		deadline = t.C
-	}
-	select {
-	case resp := <-ch:
-		if resp == nil {
-			return nil, fmt.Errorf("server %s connection lost", addr)
-		}
-		return resp, nil
-	case <-deadline:
-		sc.mu.Lock()
-		delete(sc.pending, id)
-		sc.mu.Unlock()
-		return nil, fmt.Errorf("server %s unresponsive after %s", addr, timeout)
-	}
+	return sc.roundTrip(typ, timeout, fill)
 }
-
-// Assign matches the requests against the free device set and creates a
-// lease. It is exported for in-process use and tests.
-func (m *Manager) Assign(reqs []protocol.DeviceRequest) (*leaseView, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	var chosen []*managedDevice
-	taken := map[*managedDevice]bool{}
-	for _, req := range reqs {
-		count := req.Count
-		if count <= 0 {
-			count = 1
-		}
-		for i := 0; i < count; i++ {
-			var candidates []*managedDevice
-			for _, d := range m.devices {
-				if d.leased == "" && !taken[d] && matches(d, req) {
-					candidates = append(candidates, d)
-				}
-			}
-			if len(candidates) == 0 {
-				return nil, cl.Errf(cl.DeviceNotFound,
-					"no free device matches request (type %s, count %d)", req.Type, req.Count)
-			}
-			pick := m.sched.Pick(candidates, m.loadView(taken))
-			chosen = append(chosen, pick)
-			taken[pick] = true
-		}
-	}
-	authID, err := newAuthID()
-	if err != nil {
-		return nil, err
-	}
-	ls := &lease{authID: authID, devices: chosen, servers: map[string]bool{}}
-	for _, d := range chosen {
-		d.leased = authID
-		ls.servers[d.server] = true
-	}
-	m.leases[authID] = ls
-	return &leaseView{authID: authID, devices: chosen, servers: ls.servers}, nil
-}
-
-// leaseView is the immutable result of an assignment.
-type leaseView struct {
-	authID  string
-	devices []*managedDevice
-	servers map[string]bool
-}
-
-// AuthID returns the lease's authentication ID.
-func (v *leaseView) AuthID() string { return v.authID }
-
-// Servers returns the lease's server addresses.
-func (v *leaseView) Servers() []string {
-	out := make([]string, 0, len(v.servers))
-	for s := range v.servers {
-		out = append(out, s)
-	}
-	return out
-}
-
-// DeviceCount returns the number of assigned devices.
-func (v *leaseView) DeviceCount() int { return len(v.devices) }
 
 // ReleaseLease returns a lease's devices to the free set and tells the
 // involved daemons to discard the authentication ID.
@@ -403,17 +530,26 @@ func (m *Manager) ReleaseLease(authID string) {
 	}
 	delete(m.leases, authID)
 	for _, d := range ls.devices {
-		if d.leased == authID {
-			d.leased = ""
+		if d.leased != authID {
+			continue
 		}
+		d.leased = ""
+		if d.gone {
+			continue // server left; the device is no longer placeable
+		}
+		m.idx.release(d)
+		m.freeCount++
 	}
-	var conns []*serverConn
+	m.mu.Unlock()
+
+	m.srvMu.Lock()
+	var conns []*rpcConn
 	for addr := range ls.servers {
 		if sc := m.servers[addr]; sc != nil {
 			conns = append(conns, sc)
 		}
 	}
-	m.mu.Unlock()
+	m.srvMu.Unlock()
 	for _, sc := range conns {
 		w := protocol.NewWriter()
 		w.String(authID)
@@ -429,47 +565,59 @@ func (m *Manager) ReleaseLease(authID string) {
 // free set, so new assignments route around them (in-flight leases on a
 // dead daemon are already invalid — the daemon's client sessions died
 // with it), and their manager connection is closed so the daemon side
-// can observe the eviction. It returns the addresses evicted. A
-// transport-dead daemon is evicted by its connection close without
-// waiting for a probe; the probes catch the silently hung ones.
+// can observe the eviction and re-register once healthy. It returns the
+// addresses evicted. A transport-dead daemon is evicted by its
+// connection close without waiting for a probe; the probes catch the
+// silently hung ones.
+//
+// Probes run concurrently with a bounded fan-out: sequentially, one hung
+// daemon would delay detection of every daemon behind it by a full
+// timeout each; unbounded, a 10k-daemon fleet would burst 10k goroutines
+// per sweep. Each probe carries the shard map, so every health sweep
+// doubles as an epoch refresh for the daemons.
 func (m *Manager) CheckHealth(timeout time.Duration) []string {
-	m.mu.Lock()
+	m.srvMu.Lock()
 	addrs := make([]string, 0, len(m.servers))
 	for addr := range m.servers {
 		addrs = append(addrs, addr)
 	}
-	m.mu.Unlock()
-	// Probes run concurrently: sequentially, one hung daemon would delay
-	// detection of every daemon behind it by a full timeout each, and a
-	// periodic sweep could fall permanently behind its interval.
+	m.srvMu.Unlock()
+	sort.Strings(addrs)
+
+	view := m.ShardMap()
+	fill := func(w *protocol.Writer) { view.Put(w) }
+
 	failed := make([]bool, len(addrs))
+	sem := make(chan struct{}, m.probeFanout)
 	var wg sync.WaitGroup
 	for i, addr := range addrs {
 		wg.Add(1)
+		sem <- struct{}{}
 		go func(i int, addr string) {
-			defer wg.Done()
-			if _, err := m.request(addr, protocol.MsgDMPing, timeout, nil); err != nil {
+			defer func() { <-sem; wg.Done() }()
+			if _, err := m.request(addr, protocol.MsgDMPing, timeout, fill); err != nil {
 				m.log("devmgr: health check failed for %s: %v", addr, err)
 				failed[i] = true
 			}
 		}(i, addr)
 	}
 	wg.Wait()
+
 	var evicted []string
 	for i, addr := range addrs {
 		if !failed[i] {
-			m.mu.Lock()
+			m.srvMu.Lock()
 			delete(m.misses, addr)
-			m.mu.Unlock()
+			m.srvMu.Unlock()
 			continue
 		}
-		m.mu.Lock()
+		m.srvMu.Lock()
 		m.misses[addr]++
 		evict := m.misses[addr] >= healthMissLimit
 		if evict {
 			delete(m.misses, addr)
 		}
-		m.mu.Unlock()
+		m.srvMu.Unlock()
 		if evict {
 			m.dropServer(addr)
 			evicted = append(evicted, addr)
@@ -500,30 +648,38 @@ func (m *Manager) StartHealthChecks(interval, timeout time.Duration) (stop func(
 
 // ServerPeerAddr returns the registered daemon's peer data-plane
 // address ("" when the daemon is unknown or forwarding is disabled).
-// Clients learn peer addresses directly from each daemon's Hello
-// exchange; the manager records them at registration so peer-plane
-// topology is visible centrally (and available to future
-// locality-aware assignment policies).
 func (m *Manager) ServerPeerAddr(addr string) string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.srvMu.Lock()
+	defer m.srvMu.Unlock()
 	if sc := m.servers[addr]; sc != nil {
 		return sc.peerAddr
 	}
 	return ""
 }
 
+// AddDevices injects devices for a server without a live daemon
+// connection — the in-process embedding and benchmarking path (lease
+// revocations for such servers are skipped, exactly as for any
+// unregistered server).
+func (m *Manager) AddDevices(server string, recs []protocol.DeviceRecord) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, rec := range recs {
+		d := &managedDevice{
+			id:     DeviceID(server, rec.UnitID),
+			server: server, unitID: rec.UnitID, info: rec.Info,
+		}
+		m.devices = append(m.devices, d)
+		m.idx.addFree(d)
+		m.freeCount++
+	}
+}
+
 // FreeDevices reports how many devices are currently unassigned.
 func (m *Manager) FreeDevices() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	n := 0
-	for _, d := range m.devices {
-		if d.leased == "" {
-			n++
-		}
-	}
-	return n
+	return m.freeCount
 }
 
 // ActiveLeases reports the number of outstanding leases.
@@ -533,15 +689,18 @@ func (m *Manager) ActiveLeases() int {
 	return len(m.leases)
 }
 
-// loadView computes per-server tentative load (free selection pass).
-func (m *Manager) loadView(taken map[*managedDevice]bool) map[string]int {
-	load := map[string]int{}
+// DeviceIDs returns the sorted consistent-hash IDs of every device this
+// instance currently manages (free and leased) — the observable the
+// re-homing tests verify exact ownership against.
+func (m *Manager) DeviceIDs() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.devices))
 	for _, d := range m.devices {
-		if d.leased != "" || taken[d] {
-			load[d.server]++
-		}
+		out = append(out, d.id)
 	}
-	return load
+	sort.Strings(out)
+	return out
 }
 
 // matches checks a device against the request's property constraints,
@@ -574,9 +733,37 @@ func newAuthID() (string, error) {
 	return hex.EncodeToString(b[:]), nil
 }
 
+// leaseView is the immutable result of an assignment.
+type leaseView struct {
+	authID  string
+	devices []*managedDevice
+	servers map[string]bool
+}
+
+// LeaseView is the exported name of the assignment result, so embedders
+// outside the package can write PlaceLeaseAsync callbacks.
+type LeaseView = leaseView
+
+// AuthID returns the lease's authentication ID.
+func (v *leaseView) AuthID() string { return v.authID }
+
+// Servers returns the lease's server addresses.
+func (v *leaseView) Servers() []string {
+	out := make([]string, 0, len(v.servers))
+	for s := range v.servers {
+		out = append(out, s)
+	}
+	return out
+}
+
+// DeviceCount returns the number of assigned devices.
+func (v *leaseView) DeviceCount() int { return len(v.devices) }
+
 // Scheduler picks one device from a non-empty candidate list. load maps
 // server address → number of devices already assigned (including tentative
-// picks of the current request).
+// picks of the current request). Installing a Scheduler routes placement
+// through the legacy linear scan; the default indexed path implements the
+// LeastLoaded contract at O(log n).
 type Scheduler interface {
 	Pick(candidates []*managedDevice, load map[string]int) *managedDevice
 }

@@ -73,13 +73,21 @@ func (w *managedWorld) client(name string) *client.Platform {
 	return client.NewPlatform(client.Options{Dialer: w.nw.Dial, ClientName: name})
 }
 
+// inject registers test devices through the indexed registration path
+// (AddDevices), the same bookkeeping a daemon registration runs.
+func inject(m *Manager, devs []*managedDevice) {
+	for _, d := range devs {
+		m.AddDevices(d.server, []protocol.DeviceRecord{{UnitID: d.unitID, Info: d.info}})
+	}
+}
+
 func TestAssignMatchesProperties(t *testing.T) {
 	m := New()
-	m.devices = []*managedDevice{
+	inject(m, []*managedDevice{
 		{server: "a", unitID: 0, info: cl.DeviceInfo{Name: "gpu-big", Vendor: "NVIDIA", Type: cl.DeviceTypeGPU, ComputeUnits: 30, GlobalMemSize: 4 << 30}},
 		{server: "a", unitID: 1, info: cl.DeviceInfo{Name: "cpu", Vendor: "Intel", Type: cl.DeviceTypeCPU, ComputeUnits: 12, GlobalMemSize: 24 << 30}},
 		{server: "b", unitID: 0, info: cl.DeviceInfo{Name: "gpu-small", Vendor: "NVIDIA", Type: cl.DeviceTypeGPU, ComputeUnits: 2, GlobalMemSize: 512 << 20}},
-	}
+	})
 
 	// Type + min compute units narrows to the big GPU.
 	ls, err := m.Assign([]protocol.DeviceRequest{{Count: 1, Type: cl.DeviceTypeGPU, MinComputeUnits: 10}})
@@ -122,7 +130,7 @@ func TestSchedulersSpreadLoad(t *testing.T) {
 		}
 	}
 	m := New(WithScheduler(LeastLoaded{}))
-	m.devices = mk()
+	inject(m, mk())
 	ls1, err := m.Assign([]protocol.DeviceRequest{{Count: 1, Type: cl.DeviceTypeGPU}})
 	if err != nil {
 		t.Fatal(err)
@@ -136,7 +144,7 @@ func TestSchedulersSpreadLoad(t *testing.T) {
 	}
 
 	ff := New(WithScheduler(FirstFit{}))
-	ff.devices = mk()
+	inject(ff, mk())
 	f1, err := ff.Assign([]protocol.DeviceRequest{{Count: 1, Type: cl.DeviceTypeGPU}})
 	if err != nil {
 		t.Fatal(err)
@@ -193,8 +201,8 @@ func TestWithSchedulerSelectsPolicy(t *testing.T) {
 	}
 	req := []protocol.DeviceRequest{{Count: 1, Type: cl.DeviceTypeGPU}}
 
-	def := New() // default: LeastLoaded
-	def.devices = mk()
+	def := New() // default: the indexed path with LeastLoaded semantics
+	inject(def, mk())
 	d1, err := def.Assign(req)
 	if err != nil {
 		t.Fatal(err)
@@ -208,7 +216,7 @@ func TestWithSchedulerSelectsPolicy(t *testing.T) {
 	}
 
 	ff := New(WithScheduler(FirstFit{}))
-	ff.devices = mk()
+	inject(ff, mk())
 	f1, err := ff.Assign(req)
 	if err != nil {
 		t.Fatal(err)
@@ -222,7 +230,7 @@ func TestWithSchedulerSelectsPolicy(t *testing.T) {
 	}
 
 	rr := New(WithScheduler(&RoundRobin{}))
-	rr.devices = mk()
+	inject(rr, mk())
 	r1, err := rr.Assign(req)
 	if err != nil {
 		t.Fatal(err)

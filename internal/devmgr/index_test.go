@@ -1,0 +1,156 @@
+package devmgr
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dopencl/internal/cl"
+	"dopencl/internal/protocol"
+)
+
+// churnFleet builds a deterministic mixed fleet: nServers servers,
+// devsPer devices each, alternating GPU/CPU.
+func churnFleet(nServers, devsPer int) []*managedDevice {
+	var devs []*managedDevice
+	for s := 0; s < nServers; s++ {
+		addr := fmt.Sprintf("srv-%02d", s)
+		for u := 0; u < devsPer; u++ {
+			typ := cl.DeviceTypeGPU
+			if u%2 == 1 {
+				typ = cl.DeviceTypeCPU
+			}
+			devs = append(devs, &managedDevice{
+				server: addr, unitID: uint32(u),
+				info: cl.DeviceInfo{Name: fmt.Sprintf("d%d", u), Vendor: "acme", Type: typ, ComputeUnits: 4 + u, GlobalMemSize: 1 << 30},
+			})
+		}
+	}
+	return devs
+}
+
+// TestIndexMatchesLinearUnderChurn drives the indexed fast path and the
+// legacy LeastLoaded linear scan through an identical deterministic
+// lease/release churn and requires byte-identical placement decisions:
+// the O(log n) index implements the same contract (least-loaded server,
+// lexicographic address tie-break, smallest unit ID), so scheduler
+// tie-breaks stay stable under churn.
+func TestIndexMatchesLinearUnderChurn(t *testing.T) {
+	indexed := New()
+	inject(indexed, churnFleet(8, 6))
+	linear := New(WithScheduler(LeastLoaded{}))
+	inject(linear, churnFleet(8, 6))
+
+	type placed struct{ a, b *leaseView }
+	rng := rand.New(rand.NewSource(7))
+	var live []placed
+	reqKinds := []protocol.DeviceRequest{
+		{Count: 1, Type: cl.DeviceTypeGPU},
+		{Count: 1, Type: cl.DeviceTypeCPU},
+		{Count: 2, Type: cl.DeviceTypeAll},
+		{Count: 1, Type: cl.DeviceTypeGPU, MinComputeUnits: 6},
+	}
+	for op := 0; op < 2000; op++ {
+		if len(live) > 0 && rng.Intn(3) == 0 {
+			i := rng.Intn(len(live))
+			indexed.ReleaseLease(live[i].a.AuthID())
+			linear.ReleaseLease(live[i].b.AuthID())
+			live = append(live[:i], live[i+1:]...)
+			continue
+		}
+		req := reqKinds[rng.Intn(len(reqKinds))]
+		la, errA := indexed.Assign([]protocol.DeviceRequest{req})
+		lb, errB := linear.Assign([]protocol.DeviceRequest{req})
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("op %d: indexed err=%v linear err=%v", op, errA, errB)
+		}
+		if errA != nil {
+			continue
+		}
+		ka, kb := placeKey(la), placeKey(lb)
+		if ka != kb {
+			t.Fatalf("op %d (%+v): indexed placed %s, linear placed %s", op, req, ka, kb)
+		}
+		live = append(live, placed{la, lb})
+	}
+	if indexed.FreeDevices() != linear.FreeDevices() {
+		t.Fatalf("free counts diverged: indexed %d, linear %d", indexed.FreeDevices(), linear.FreeDevices())
+	}
+}
+
+// placeKey canonicalizes a lease's devices as "server/unit,server/unit".
+func placeKey(ls *leaseView) string {
+	out := ""
+	for _, d := range ls.devices {
+		out += fmt.Sprintf("%s/%d,", d.server, d.unitID)
+	}
+	return out
+}
+
+// TestIndexConstrainedFallthrough: a property-constrained request walks
+// past least-loaded servers that can't satisfy it without hiding them
+// from later unconstrained requests.
+func TestIndexConstrainedFallthrough(t *testing.T) {
+	m := New()
+	m.AddDevices("a", []protocol.DeviceRecord{
+		{UnitID: 0, Info: cl.DeviceInfo{Name: "small", Vendor: "acme", Type: cl.DeviceTypeGPU, ComputeUnits: 2}},
+	})
+	m.AddDevices("b", []protocol.DeviceRecord{
+		{UnitID: 0, Info: cl.DeviceInfo{Name: "big", Vendor: "acme", Type: cl.DeviceTypeGPU, ComputeUnits: 32}},
+	})
+
+	// Constrained request skips server a (least loaded, lexicographically
+	// first, but too small) and lands on b.
+	ls, err := m.Assign([]protocol.DeviceRequest{{Count: 1, Type: cl.DeviceTypeGPU, MinComputeUnits: 16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls.devices[0].server != "b" {
+		t.Fatalf("constrained pick landed on %s, want b", ls.devices[0].server)
+	}
+	// Server a must still be visible to an unconstrained request.
+	ls2, err := m.Assign([]protocol.DeviceRequest{{Count: 1, Type: cl.DeviceTypeGPU}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls2.devices[0].server != "a" {
+		t.Fatalf("unconstrained pick landed on %s, want a", ls2.devices[0].server)
+	}
+}
+
+// TestIndexServerRemoval: dropping a server removes its devices from
+// placement; stale heap entries must not resurface.
+func TestIndexServerRemoval(t *testing.T) {
+	m := New()
+	m.AddDevices("a", []protocol.DeviceRecord{{UnitID: 0, Info: cl.DeviceInfo{Type: cl.DeviceTypeGPU}}})
+	m.AddDevices("b", []protocol.DeviceRecord{{UnitID: 0, Info: cl.DeviceInfo{Type: cl.DeviceTypeGPU}}})
+	m.mu.Lock()
+	kept := m.devices[:0]
+	for _, d := range m.devices {
+		if d.server != "a" {
+			kept = append(kept, d)
+		} else {
+			m.freeCount--
+			d.gone = true
+		}
+	}
+	m.devices = kept
+	m.idx.removeServer("a")
+	m.mu.Unlock()
+
+	for i := 0; i < 2; i++ {
+		ls, err := m.Assign([]protocol.DeviceRequest{{Count: 1, Type: cl.DeviceTypeGPU}})
+		if i == 0 {
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ls.devices[0].server != "b" {
+				t.Fatalf("placed on removed server %s", ls.devices[0].server)
+			}
+			continue
+		}
+		if err == nil {
+			t.Fatal("placement succeeded beyond remaining capacity")
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package devmgr
+
+import (
+	"sync"
+
+	"dopencl/internal/cl"
+	"dopencl/internal/protocol"
+	"dopencl/internal/serve"
+)
+
+// Placement admission: every lease request enters a weighted fair queue
+// (the serve plane's finish-time WFQ, reused verbatim) keyed by tenant,
+// and a small worker pool drains it in fair order. Admission is bounded
+// twice — per tenant (quota: at most maxPending grants queued per
+// tenant, excess refused with typed cl.Busy so backpressure reaches the
+// submitter) and globally (shed limit: past it even compliant tenants
+// are refused, the load-shedding valve for overload). A tenant flooding
+// placement requests therefore costs other tenants nothing: its grants
+// queue behind its own virtual finish times while light tenants cut
+// ahead, and its excess is refused, never buffered.
+type placement struct {
+	m       *Manager
+	q       *serve.FairQueue[struct{}, *pendingGrant]
+	workers int
+	quota   uint32
+	shed    int
+	once    sync.Once
+	wg      sync.WaitGroup
+}
+
+// pendingGrant is one queued lease request awaiting placement.
+type pendingGrant struct {
+	tenant string
+	reqs   []protocol.DeviceRequest
+	done   func(*leaseView, error)
+}
+
+// Placement defaults: per-tenant queued-grant quota and the global queue
+// depth past which new requests are shed with cl.Busy.
+const (
+	defaultTenantQuota = 128
+	defaultShedLimit   = 4096
+	defaultWorkers     = 4
+)
+
+// WithTenantQuota bounds how many placement requests one tenant may have
+// queued (0 restores the default).
+func WithTenantQuota(n uint32) Option {
+	return func(m *Manager) {
+		if n > 0 {
+			m.place.quota = n
+		}
+	}
+}
+
+// WithShedLimit bounds the total placement queue depth; past it requests
+// are refused with cl.Busy regardless of tenant (0 restores the default).
+func WithShedLimit(n int) Option {
+	return func(m *Manager) {
+		if n > 0 {
+			m.place.shed = n
+		}
+	}
+}
+
+// WithPlacementWorkers sets how many goroutines drain the grant queue.
+func WithPlacementWorkers(n int) Option {
+	return func(m *Manager) {
+		if n > 0 {
+			m.place.workers = n
+		}
+	}
+}
+
+func newPlacement(m *Manager) *placement {
+	return &placement{
+		m:       m,
+		q:       serve.NewFairQueue[struct{}, *pendingGrant](),
+		workers: defaultWorkers,
+		quota:   defaultTenantQuota,
+		shed:    defaultShedLimit,
+	}
+}
+
+func (p *placement) start() {
+	p.once.Do(func() {
+		for i := 0; i < p.workers; i++ {
+			p.wg.Add(1)
+			go p.run()
+		}
+	})
+}
+
+func (p *placement) run() {
+	defer p.wg.Done()
+	for {
+		g, sess, ok := p.q.Pop()
+		if !ok {
+			return
+		}
+		ls, err := p.m.assign(g.reqs)
+		if err == nil {
+			if err = p.m.commitGrant(ls); err != nil {
+				ls = nil
+			}
+		}
+		p.q.Finish(sess)
+		g.done(ls, err)
+	}
+}
+
+func (p *placement) close() {
+	p.q.Close()
+}
+
+// PlaceLeaseAsync admits one placement request into the fair grant
+// queue. done is called exactly once, from a placement worker, with the
+// grant or the typed refusal: cl.Busy when the tenant's quota or the
+// global shed limit is hit (admission refusal — the request was never
+// queued), cl.DeviceNotFound when placement ran but no free device
+// matched. weight 0 means 1.
+func (m *Manager) PlaceLeaseAsync(tenant string, weight uint32, reqs []protocol.DeviceRequest, done func(*leaseView, error)) {
+	p := m.place
+	p.start()
+	if p.q.Len() >= p.shed {
+		done(nil, cl.Errf(cl.Busy, "devmgr: control plane overloaded (%d grants queued)", p.q.Len()))
+		return
+	}
+	sess := TenantHash(tenant)
+	p.q.Open(sess, weight, p.quota)
+	cost := 0
+	for _, r := range reqs {
+		if r.Count > 1 {
+			cost += r.Count
+		} else {
+			cost++
+		}
+	}
+	g := &pendingGrant{tenant: tenant, reqs: reqs, done: done}
+	if err := p.q.Push(sess, float64(cost), struct{}{}, g); err != nil {
+		if cl.CodeOf(err) == cl.Busy {
+			err = cl.Errf(cl.Busy, "devmgr: tenant %q has %d placement requests queued (quota)", tenant, p.quota)
+		}
+		done(nil, err)
+	}
+}
+
+// PlaceLease is the synchronous form of PlaceLeaseAsync: the full
+// admission path (quota check, weighted fair queue, placement worker) as
+// one call. This is the API the churn bench and in-process embedders
+// drive.
+func (m *Manager) PlaceLease(tenant string, weight uint32, reqs []protocol.DeviceRequest) (*leaseView, error) {
+	type outcome struct {
+		ls  *leaseView
+		err error
+	}
+	ch := make(chan outcome, 1)
+	m.PlaceLeaseAsync(tenant, weight, reqs, func(ls *leaseView, err error) {
+		ch <- outcome{ls, err}
+	})
+	o := <-ch
+	return o.ls, o.err
+}
+
+// assign matches the requests against the free set and creates a lease.
+// With the default (nil) scheduler it runs on the indexed fast path:
+// each pick is an O(log n) heap probe with the LeastLoaded contract
+// (least-loaded server, lexicographic address tie-break, smallest unit
+// ID). An explicit WithScheduler policy takes the legacy linear path —
+// same semantics the seed had, retained both for the pluggable-policy
+// API and as the measured baseline in the churn bench.
+func (m *Manager) assign(reqs []protocol.DeviceRequest) (*leaseView, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var chosen []*managedDevice
+	fail := func(req protocol.DeviceRequest) (*leaseView, error) {
+		// Roll back tentative picks so a partially satisfiable request
+		// leaks nothing.
+		for _, d := range chosen {
+			d.leased = ""
+			m.idx.release(d)
+			m.freeCount++
+		}
+		return nil, cl.Errf(cl.DeviceNotFound,
+			"no free device matches request (type %s, count %d)", req.Type, req.Count)
+	}
+	for _, req := range reqs {
+		count := req.Count
+		if count <= 0 {
+			count = 1
+		}
+		for i := 0; i < count; i++ {
+			var pick *managedDevice
+			if m.sched == nil {
+				pick = m.idx.pick(req)
+			} else {
+				var candidates []*managedDevice
+				for _, d := range m.devices {
+					if d.leased == "" && matches(d, req) {
+						candidates = append(candidates, d)
+					}
+				}
+				if len(candidates) > 0 {
+					pick = m.sched.Pick(candidates, m.loadView())
+				}
+			}
+			if pick == nil {
+				return fail(req)
+			}
+			// Tentatively lease so the next pick of this request sees the
+			// load; the placeholder is replaced by the real auth ID below.
+			pick.leased = "!pending"
+			m.idx.lease(pick)
+			m.freeCount--
+			chosen = append(chosen, pick)
+		}
+	}
+	authID, err := newAuthID()
+	if err != nil {
+		for _, d := range chosen {
+			d.leased = ""
+			m.idx.release(d)
+			m.freeCount++
+		}
+		return nil, err
+	}
+	ls := &lease{authID: authID, devices: chosen, servers: map[string]bool{}}
+	for _, d := range chosen {
+		d.leased = authID
+		ls.servers[d.server] = true
+	}
+	m.leases[authID] = ls
+	return &leaseView{authID: authID, devices: chosen, servers: ls.servers}, nil
+}
+
+// Assign is the direct, queue-bypassing placement entry point, exported
+// for in-process use and tests (and as the seed-equivalent baseline the
+// churn bench measures when a linear Scheduler is installed).
+func (m *Manager) Assign(reqs []protocol.DeviceRequest) (*leaseView, error) {
+	return m.assign(reqs)
+}
+
+// loadView computes per-server assigned-device counts for the legacy
+// scheduler path (tentative picks are already marked leased).
+func (m *Manager) loadView() map[string]int {
+	load := map[string]int{}
+	for _, d := range m.devices {
+		if d.leased != "" {
+			load[d.server]++
+		}
+	}
+	return load
+}

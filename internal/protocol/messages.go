@@ -78,7 +78,23 @@ const (
 	MsgDMAssign                             // manager → daemon
 	MsgDMReleaseLease                       // client/daemon → manager
 	MsgDMRevoke                             // manager → daemon (lease teardown)
-	MsgDMPing                               // manager → daemon health probe
+	// MsgDMPing is the manager → daemon health probe. In a sharded
+	// control plane its body (and one-way copies pushed to clients and
+	// daemons) carries the sender's shard-map epoch and membership, so
+	// every probe doubles as a shard-map refresh: receivers compare the
+	// carried epoch against their cached map and re-fetch/re-partition on
+	// a bump. An empty body is a plain liveness probe.
+	MsgDMPing
+	// MsgDMShardMap asks a devmgr shard for the current shard map (epoch
+	// + live shard addresses). Clients fetch it at connect to route
+	// placement requests; daemons fetch it to compute which shard owns
+	// each of their devices.
+	MsgDMShardMap
+	// MsgDMGossip is the shard ↔ shard health/membership exchange, built
+	// on the same request/pending/timeout plumbing as MsgDMPing: the
+	// request carries the sender's view, the response the receiver's, and
+	// both sides adopt the higher epoch.
+	MsgDMGossip
 )
 
 // String returns the message type name for logs and errors.
@@ -106,6 +122,7 @@ func (t MsgType) String() string {
 		MsgDMRegisterServer: "DMRegisterServer", MsgDMRequestDevices: "DMRequestDevices",
 		MsgDMAssign: "DMAssign", MsgDMReleaseLease: "DMReleaseLease",
 		MsgDMRevoke: "DMRevoke", MsgDMPing: "DMPing",
+		MsgDMShardMap: "DMShardMap", MsgDMGossip: "DMGossip",
 		MsgServeOpen: "ServeOpen", MsgServeClose: "ServeClose",
 		MsgServeSubmit: "ServeSubmit", MsgServeResult: "ServeResult",
 	}
@@ -408,4 +425,77 @@ func GetDeviceRequest(r *Reader) DeviceRequest {
 		Vendor:          r.String(),
 		Name:            r.String(),
 	}
+}
+
+// PlaceRequest is the body of a MsgDMRequestDevices placement request.
+// Tenant identifies the requesting application for weighted fair queueing
+// and per-tenant admission quotas on the manager; Weight biases the
+// tenant's share of the grant queue (0 means 1).
+type PlaceRequest struct {
+	Tenant   string
+	Weight   uint32
+	Requests []DeviceRequest
+}
+
+// Put encodes the placement request.
+func (p PlaceRequest) Put(w *Writer) {
+	w.String(p.Tenant)
+	w.U32(p.Weight)
+	w.U32(uint32(len(p.Requests)))
+	for _, req := range p.Requests {
+		req.Put(w)
+	}
+}
+
+// GetPlaceRequest decodes a placement request.
+func GetPlaceRequest(r *Reader) PlaceRequest {
+	p := PlaceRequest{Tenant: r.String(), Weight: r.U32()}
+	n := int(r.U32())
+	if n > r.Remaining() {
+		r.err = ErrTruncated
+		return p
+	}
+	for i := 0; i < n; i++ {
+		p.Requests = append(p.Requests, GetDeviceRequest(r))
+	}
+	return p
+}
+
+// ShardMap is the devmgr control plane's membership view: the set of live
+// shard addresses and a monotonically increasing epoch that bumps on
+// every membership change. Clients and daemons cache it and refresh when
+// a MsgDMPing (or gossip response) carries a higher epoch.
+type ShardMap struct {
+	Epoch  uint64
+	Shards []string
+}
+
+// Put encodes a shard map.
+func (s ShardMap) Put(w *Writer) {
+	w.U64(s.Epoch)
+	w.Strings(s.Shards)
+}
+
+// GetShardMap decodes a shard map.
+func GetShardMap(r *Reader) ShardMap {
+	return ShardMap{Epoch: r.U64(), Shards: r.Strings()}
+}
+
+// Gossip is the body of a MsgDMGossip exchange: the sender's identity and
+// membership view. The response carries the receiver's view in the same
+// shape (prefixed by a status code).
+type Gossip struct {
+	From string
+	View ShardMap
+}
+
+// Put encodes a gossip frame.
+func (g Gossip) Put(w *Writer) {
+	w.String(g.From)
+	g.View.Put(w)
+}
+
+// GetGossip decodes a gossip frame.
+func GetGossip(r *Reader) Gossip {
+	return Gossip{From: r.String(), View: GetShardMap(r)}
 }

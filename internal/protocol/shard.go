@@ -1,0 +1,95 @@
+package protocol
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// Control-plane sharding contract. Device ownership and shard-try order
+// are pure functions of (membership view, key), shared by manager,
+// daemon, client and test harness: every party computes the same answer
+// from the same view, so re-homing after a shard death needs no
+// coordination protocol beyond propagating the view itself.
+
+// DeviceID is the stable identity of a managed device — the key the
+// control plane consistent-hashes to pick the owning shard. It is
+// derived from the daemon's announced address and the device's unit ID,
+// so it survives daemon restarts and shard membership changes.
+func DeviceID(server string, unitID uint32) string {
+	return server + "/" + strconv.FormatUint(uint64(unitID), 10)
+}
+
+// rendezvousScore is FNV64a(shard \0 key) pushed through a finalization
+// mix, the per-(shard, key) weight. The mix matters: raw FNV has weak
+// avalanche, and for key sets sharing long common runs (tenant-00,
+// tenant-01, …) the relative order of the per-shard sums is preserved
+// across keys — every key elects the same winner and the "random"
+// weights stop spreading load at all.
+func rendezvousScore(shard, key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(shard))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the SplitMix64 finalizer — a cheap bijective avalanche.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Owner picks the shard owning a key by rendezvous (highest random
+// weight) hashing over the live shard set. Rendezvous hashing gives the
+// property the re-homing story depends on — when a shard dies, only that
+// shard's keys move, each to its independently best survivor, and the
+// new owner of any key is computable by every party from the membership
+// view alone. An empty shard list returns "".
+func Owner(shards []string, key string) string {
+	var best string
+	var bestScore uint64
+	for _, s := range shards {
+		if score := rendezvousScore(s, key); best == "" || score > bestScore || (score == bestScore && s < best) {
+			best, bestScore = s, score
+		}
+	}
+	return best
+}
+
+// ShardOrder returns the shards sorted by descending rendezvous score
+// for the key — the order a client tries shards for a placement: every
+// tenant gets its own deterministic permutation, so load spreads across
+// shards without coordination and retries are reproducible.
+func ShardOrder(shards []string, key string) []string {
+	type scored struct {
+		addr  string
+		score uint64
+	}
+	ss := make([]scored, 0, len(shards))
+	for _, s := range shards {
+		ss = append(ss, scored{s, rendezvousScore(s, key)})
+	}
+	sort.Slice(ss, func(i, j int) bool {
+		if ss[i].score != ss[j].score {
+			return ss[i].score > ss[j].score
+		}
+		return ss[i].addr < ss[j].addr
+	})
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = s.addr
+	}
+	return out
+}
+
+// TenantHash maps a tenant name to a fair-queue session ID.
+func TenantHash(tenant string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(tenant))
+	return h.Sum64()
+}
