@@ -1,0 +1,226 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"dopencl/internal/apps/heat"
+	"dopencl/internal/cl"
+	"dopencl/internal/client"
+	"dopencl/internal/daemon"
+	"dopencl/internal/darray"
+	"dopencl/internal/device"
+	"dopencl/internal/native"
+	"dopencl/internal/simnet"
+)
+
+// Distributed-array benchmark (dclbench -darray): a Jacobi heat plate
+// row-partitioned over two daemons, iterated via the recorded ping-pong
+// loop, with simnet byte accounting proving the tentpole property —
+// per-iteration halo traffic is O(surface) (halo rows each way plus
+// framing), not O(volume), and the client contributes only graph-replay
+// delta frames. The run also checks the distributed result bit-for-bit
+// against the pure-Go reference, so the numbers can't be bought with a
+// wrong answer.
+
+type darrayReport struct {
+	Generated string `json:"generated"`
+	Config    struct {
+		W       int `json:"w"`
+		H       int `json:"h"`
+		Iters   int `json:"iters"`
+		Warmup  int `json:"warmup"`
+		Daemons int `json:"daemons"`
+		HaloLo  int `json:"halo_lo"`
+		HaloHi  int `json:"halo_hi"`
+	} `json:"config"`
+	SurfaceBytes       int64   `json:"surface_bytes"`
+	VolumeBytes        int64   `json:"volume_bytes"`
+	PeerBytesPerIter   int64   `json:"peer_bytes_per_iter"`
+	ClientBytesPerIter int64   `json:"client_bytes_per_iter"`
+	PeerVsSurfaceX     float64 `json:"peer_vs_surface_x"`
+	VolumeVsPeerX      float64 `json:"volume_vs_peer_x"`
+	ItersPerS          float64 `json:"iters_per_s"`
+	OracleBitIdentical bool    `json:"oracle_bit_identical"`
+}
+
+// surfaceSlack is the accepted framing overhead over the raw halo
+// payload; beyond it the exchange is considered broken (CI floor).
+const surfaceSlack = 4
+
+func runDArrayBench(out string, quick bool) error {
+	p := heat.Params{W: 256, H: 256, Iters: 100, Alpha: 0.2}
+	warmup := 8
+	if quick {
+		p = heat.Params{W: 64, H: 64, Iters: 20, Alpha: 0.2}
+		warmup = 4
+	}
+
+	nw := simnet.NewNetwork(simnet.Unlimited())
+	addrs := []string{"node0", "node1"}
+	for _, addr := range addrs {
+		addr := addr
+		np := native.NewPlatform("native-"+addr, "bench",
+			[]device.Config{device.TestGPU("gpu-" + addr)})
+		d, err := daemon.New(daemon.Config{
+			Name: addr, Platform: np,
+			PeerAddr: addr + "/peer",
+			PeerDial: func(a string) (net.Conn, error) { return nw.DialFrom(addr, a) },
+		})
+		if err != nil {
+			return err
+		}
+		l, err := nw.Listen(addr)
+		if err != nil {
+			return err
+		}
+		go func() { _ = d.Serve(l) }()
+		pl, err := nw.Listen(addr + "/peer")
+		if err != nil {
+			return err
+		}
+		go func() { _ = d.ServePeers(pl) }()
+	}
+	plat := client.NewPlatform(client.Options{
+		Dialer:     func(addr string) (net.Conn, error) { return nw.DialFrom("client", addr) },
+		ClientName: "darray-bench",
+	})
+	for _, addr := range addrs {
+		if _, err := plat.ConnectServer(addr); err != nil {
+			return err
+		}
+	}
+	devs, err := plat.Devices(cl.DeviceTypeAll)
+	if err != nil {
+		return err
+	}
+	ctx, err := plat.CreateContext(devs)
+	if err != nil {
+		return err
+	}
+	defer ctx.Release()
+
+	halo, err := darray.InferHalo(heat.KernelSource, heat.StepKernel)
+	if err != nil {
+		return err
+	}
+	g, err := darray.NewGrid(ctx, devs, heat.KernelSource, p.W, p.H)
+	if err != nil {
+		return err
+	}
+	defer g.Release()
+	a, err := g.NewArray()
+	if err != nil {
+		return err
+	}
+	b, err := g.NewArray()
+	if err != nil {
+		return err
+	}
+	init := heat.InitialState(p.W, p.H)
+	if err := a.Scatter(init); err != nil {
+		return err
+	}
+	loop, err := g.RecordPingPong(heat.StepKernel, a, b, halo, p.Alpha)
+	if err != nil {
+		return err
+	}
+	defer loop.Release()
+
+	peerBytes := func() int64 {
+		var n int64
+		for _, x := range addrs {
+			for _, y := range addrs {
+				if x != y {
+					n += nw.BytesSent(x, y+"/peer") + nw.BytesSent(x+"/peer", y)
+				}
+			}
+		}
+		return n
+	}
+	clientBytes := func() int64 {
+		var n int64
+		for _, x := range addrs {
+			n += nw.BytesSent("client", x)
+		}
+		return n
+	}
+
+	if err := loop.Iterate(warmup, nil); err != nil {
+		return err
+	}
+	p0, c0 := peerBytes(), clientBytes()
+	start := time.Now()
+	if err := loop.Iterate(p.Iters, nil); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	peerPerIter := (peerBytes() - p0) / int64(p.Iters)
+	clientPerIter := (clientBytes() - c0) / int64(p.Iters)
+
+	// Correctness gate: warmup+measured iterations against the oracle.
+	got, err := loop.Result().Gather()
+	if err != nil {
+		return err
+	}
+	want := heat.Reference(heat.Params{W: p.W, H: p.H, Iters: warmup + p.Iters, Alpha: p.Alpha}, init)
+	identical := true
+	for i := range want {
+		if got[i] != want[i] {
+			identical = false
+			break
+		}
+	}
+
+	var r darrayReport
+	r.Generated = time.Now().UTC().Format(time.RFC3339)
+	r.Config.W, r.Config.H = p.W, p.H
+	r.Config.Iters, r.Config.Warmup = p.Iters, warmup
+	r.Config.Daemons = len(addrs)
+	r.Config.HaloLo, r.Config.HaloHi = halo.Lo, halo.Hi
+	r.SurfaceBytes = int64((halo.Lo + halo.Hi) * p.W * 4)
+	r.VolumeBytes = int64(p.W * p.H * 4)
+	r.PeerBytesPerIter = peerPerIter
+	r.ClientBytesPerIter = clientPerIter
+	r.PeerVsSurfaceX = float64(peerPerIter) / float64(r.SurfaceBytes)
+	r.VolumeVsPeerX = float64(r.VolumeBytes) / float64(peerPerIter)
+	r.ItersPerS = float64(p.Iters) / elapsed.Seconds()
+	r.OracleBitIdentical = identical
+
+	fmt.Printf("darray halo exchange: %dx%d over %d daemons, %d iterations\n",
+		p.W, p.H, len(addrs), p.Iters)
+	fmt.Printf("  peer traffic:   %6d B/iter (surface %d B, %.2fx)\n",
+		peerPerIter, r.SurfaceBytes, r.PeerVsSurfaceX)
+	fmt.Printf("  client traffic: %6d B/iter (replay delta frames)\n", clientPerIter)
+	fmt.Printf("  volume bound:   %6d B (%.0fx above steady-state traffic)\n",
+		r.VolumeBytes, r.VolumeVsPeerX)
+	fmt.Printf("  throughput:     %.0f iters/s, oracle bit-identical: %v\n",
+		r.ItersPerS, identical)
+
+	if !identical {
+		return fmt.Errorf("darray bench: distributed result diverged from the oracle")
+	}
+	if peerPerIter == 0 {
+		return fmt.Errorf("darray bench: no peer traffic — halos not flowing over the data plane")
+	}
+	if peerPerIter > surfaceSlack*r.SurfaceBytes {
+		return fmt.Errorf("darray bench: peer traffic %d B/iter exceeds %dx surface (%d B): halo exchange is not O(surface)",
+			peerPerIter, surfaceSlack, r.SurfaceBytes)
+	}
+	if peerPerIter*4 >= r.VolumeBytes {
+		return fmt.Errorf("darray bench: peer traffic %d B/iter is within 4x of volume (%d B)",
+			peerPerIter, r.VolumeBytes)
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&r)
+}

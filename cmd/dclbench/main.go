@@ -40,6 +40,8 @@ func main() {
 	serveout := flag.String("serveout", "BENCH_PR8.json", "output path for -serve results")
 	controlBench := flag.Bool("control", false, "run the control-plane churn benchmark (lease grant/release, seed vs indexed vs 3 shards)")
 	controlout := flag.String("controlout", "BENCH_PR9.json", "output path for -control results")
+	darrayBench := flag.Bool("darray", false, "run the distributed-array halo-exchange benchmark (O(surface) traffic proof)")
+	darrayout := flag.String("darrayout", "BENCH_PR10.json", "output path for -darray results")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -80,6 +82,14 @@ func main() {
 	if *serveBench {
 		if err := runServeBench(*serveout); err != nil {
 			fmt.Fprintf(os.Stderr, "serve bench failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *darrayBench {
+		if err := runDArrayBench(*darrayout, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "darray bench failed: %v\n", err)
 			os.Exit(1)
 		}
 		return

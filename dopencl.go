@@ -30,6 +30,7 @@ import (
 	"dopencl/internal/cl"
 	"dopencl/internal/client"
 	"dopencl/internal/daemon"
+	"dopencl/internal/darray"
 	"dopencl/internal/device"
 	"dopencl/internal/devmgr"
 	"dopencl/internal/native"
@@ -137,6 +138,37 @@ func WriteDataUpdate(cmd int, data []byte) CommandUpdate { return cl.WriteDataUp
 
 // ReadDstUpdate redirects the recorded read at index cmd into dst.
 func ReadDstUpdate(cmd int, dst []byte) CommandUpdate { return cl.ReadDstUpdate(cmd, dst) }
+
+// Distributed-array re-exports (internal/darray): declare a global 2-D
+// array and a row partition over the devices of a context; the runtime
+// derives per-device owned regions as sub-buffers, infers halo widths
+// from the stencil kernel's access pattern, exchanges halos as peer
+// forwards overlapped with compute, and graph-replays the steady-state
+// iteration (one delta frame per daemon per iteration).
+type (
+	// DArrayGrid is a row-partitioned 2-D problem domain.
+	DArrayGrid = darray.Grid
+	// DArray is one distributed float32 array on a grid.
+	DArray = darray.Array
+	// DArraySpan is a half-open row range of the partition.
+	DArraySpan = darray.Span
+	// DArrayHalo is a stencil's ghost-region width in rows.
+	DArrayHalo = darray.Halo
+	// DArrayLoop is a recorded ping-pong stencil iteration.
+	DArrayLoop = darray.Loop
+)
+
+// NewDArrayGrid compiles src and row-partitions a w×h float32 domain
+// across the devices (see darray.NewGrid).
+func NewDArrayGrid(ctx Context, devices []Device, src string, w, h int) (*DArrayGrid, error) {
+	return darray.NewGrid(ctx, devices, src, w, h)
+}
+
+// InferHalo recovers a stencil kernel's halo widths from its source
+// (see darray.InferHalo).
+func InferHalo(src, kernelName string) (DArrayHalo, error) {
+	return darray.InferHalo(src, kernelName)
+}
 
 // Serve-plane re-exports (internal/serve + internal/client): the
 // job-serving subsystem for many small concurrent jobs against shared

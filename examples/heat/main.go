@@ -1,0 +1,112 @@
+// Distributed arrays with automatic halo exchange: a Jacobi
+// heat-diffusion plate is declared once as a global 2-D array, row-
+// partitioned across the devices of three simulated daemons, and
+// iterated with the recorded ping-pong loop. The runtime infers the
+// stencil's one-row halo from the kernel source, serves it per
+// iteration as daemon-to-daemon peer forwards overlapped with interior
+// compute, and replays the steady-state iteration as one delta frame
+// per daemon — wire traffic per iteration is the halo surface, not the
+// partition volume. The distributed result is compared bit-for-bit
+// against the pure-Go reference.
+//
+//	go run ./examples/heat
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+
+	"dopencl/internal/apps/heat"
+	"dopencl/internal/cl"
+	"dopencl/internal/client"
+	"dopencl/internal/daemon"
+	"dopencl/internal/darray"
+	"dopencl/internal/device"
+	"dopencl/internal/native"
+	"dopencl/internal/simnet"
+)
+
+func main() {
+	p := heat.Params{W: 96, H: 96, Iters: 50, Alpha: 0.2}
+	init := heat.InitialState(p.W, p.H)
+
+	halo, err := darray.InferHalo(heat.KernelSource, heat.StepKernel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("heat diffusion: %dx%d plate, %d iterations\n", p.W, p.H, p.Iters)
+	fmt.Printf("inferred halo from kernel source: %d row(s) up, %d row(s) down\n", halo.Lo, halo.Hi)
+
+	// Three single-GPU daemons on an in-memory network, peer data plane
+	// enabled so halos flow daemon-to-daemon.
+	nw := simnet.NewNetwork(simnet.Unlimited())
+	addrs := []string{"node0", "node1", "node2"}
+	for _, addr := range addrs {
+		addr := addr
+		np := native.NewPlatform("native-"+addr, "example vendor",
+			[]device.Config{device.TestGPU("gpu-" + addr)})
+		d, err := daemon.New(daemon.Config{
+			Name: addr, Platform: np,
+			PeerAddr: addr + "/peer",
+			PeerDial: func(a string) (net.Conn, error) { return nw.DialFrom(addr, a) },
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		l, err := nw.Listen(addr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		go func() { _ = d.Serve(l) }()
+		pl, err := nw.Listen(addr + "/peer")
+		if err != nil {
+			log.Fatal(err)
+		}
+		go func() { _ = d.ServePeers(pl) }()
+	}
+
+	plat := client.NewPlatform(client.Options{
+		Dialer:     func(addr string) (net.Conn, error) { return nw.DialFrom("client", addr) },
+		ClientName: "heat-example",
+	})
+	for _, addr := range addrs {
+		if _, err := plat.ConnectServer(addr); err != nil {
+			log.Fatal(err)
+		}
+	}
+	devs, err := plat.Devices(cl.DeviceTypeAll)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, err := plat.CreateContext(devs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ctx.Release()
+
+	got, err := heat.Run(ctx, devs, p, init)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Per-iteration peer traffic: halo rows, not partition volume.
+	var peer int64
+	for _, a := range addrs {
+		for _, b := range addrs {
+			if a != b {
+				peer += nw.BytesSent(a, b+"/peer") + nw.BytesSent(a+"/peer", b)
+			}
+		}
+	}
+	volume := int64(p.W * p.H * 4)
+	fmt.Printf("peer traffic: %d B/iteration (array volume %d B)\n", peer/int64(p.Iters), volume)
+
+	want := heat.Reference(p, init)
+	for i := range want {
+		if got[i] != want[i] {
+			log.Fatalf("cell %d: distributed %v != reference %v", i, got[i], want[i])
+		}
+	}
+	fmt.Println("distributed result is bit-identical to the pure-Go reference")
+}

@@ -1,0 +1,183 @@
+// Package heat is a Jacobi heat-diffusion solver over a distributed
+// 2-D array: the canonical iterated-stencil workload for the darray
+// halo-exchange machinery. A hot plate relaxes under a 5-point stencil
+// with fixed (Dirichlet) boundary; the distributed run partitions rows
+// across every device of the context, infers the one-row halo from the
+// kernel source, and graph-replays the recorded ping-pong iteration.
+//
+// Run (fault-free) and RunRecoverable (checkpoint/restart over a
+// shrinking device set) are both bit-identical to the pure-Go float32
+// Reference: each cell is computed by exactly one work-item with a
+// fixed operation order, so neither the partition, the replay, nor a
+// mid-run recovery changes a single bit.
+package heat
+
+import (
+	"fmt"
+
+	"dopencl/internal/cl"
+	"dopencl/internal/darray"
+)
+
+// KernelSource is the 5-point Jacobi relaxation step in the darray
+// stencil convention (the halo is inferred from the in[...] taps).
+const KernelSource = `
+kernel void step(global float* out, const global float* in, int w, int h, int inBase, float alpha) {
+	int gid = get_global_id(0);
+	int x = gid % w;
+	int y = gid / w;
+	float c = in[gid - inBase];
+	if (x == 0 || x == w - 1 || y == 0 || y == h - 1) {
+		out[gid - get_global_offset(0)] = c;
+		return;
+	}
+	float n = in[gid - w - inBase];
+	float s = in[gid + w - inBase];
+	float e = in[gid + 1 - inBase];
+	float m = in[gid - 1 - inBase];
+	out[gid - get_global_offset(0)] = c + alpha * (n + s + e + m - 4.0 * c);
+}
+`
+
+// StepKernel names the stencil kernel in KernelSource.
+const StepKernel = "step"
+
+// Params describes one heat-diffusion problem.
+type Params struct {
+	W, H  int     // grid size (columns, rows)
+	Iters int     // Jacobi iterations
+	Alpha float32 // relaxation factor, stable for alpha <= 0.25
+}
+
+// InitialState builds the deterministic initial plate: a hot top edge
+// and a hot square slab in the middle of a cold plate.
+func InitialState(w, h int) []float32 {
+	s := make([]float32, w*h)
+	for x := 0; x < w; x++ {
+		s[x] = 1
+	}
+	for y := h / 3; y < h/3+h/6+1; y++ {
+		for x := w / 3; x < w/3+w/6+1; x++ {
+			s[y*w+x] = 0.75
+		}
+	}
+	return s
+}
+
+// Reference runs the solver in pure Go, mirroring the kernel's float32
+// operation order exactly: the bit-identical oracle for every device
+// run.
+func Reference(p Params, init []float32) []float32 {
+	cur := append([]float32(nil), init...)
+	next := make([]float32, len(cur))
+	for it := 0; it < p.Iters; it++ {
+		for y := 0; y < p.H; y++ {
+			for x := 0; x < p.W; x++ {
+				i := y*p.W + x
+				c := cur[i]
+				if x == 0 || x == p.W-1 || y == 0 || y == p.H-1 {
+					next[i] = c
+					continue
+				}
+				next[i] = c + p.Alpha*(cur[i-p.W]+cur[i+p.W]+cur[i+1]+cur[i-1]-4*c)
+			}
+		}
+		cur, next = next, cur
+	}
+	return cur
+}
+
+// Run solves the problem across the devices using the recorded
+// ping-pong loop and returns the final state.
+func Run(ctx cl.Context, devices []cl.Device, p Params, init []float32) ([]float32, error) {
+	state, _, err := run(ctx, devices, p, init, 0, p.Iters, nil)
+	return state, err
+}
+
+// run executes iterations [from, to) starting from state init, with
+// onIter receiving the global iteration number after each enqueue.
+func run(ctx cl.Context, devices []cl.Device, p Params, init []float32, from, to int, onIter func(int) error) ([]float32, int, error) {
+	g, err := darray.NewGrid(ctx, devices, KernelSource, p.W, p.H)
+	if err != nil {
+		return nil, from, err
+	}
+	defer g.Release()
+	halo, err := darray.InferHalo(KernelSource, StepKernel)
+	if err != nil {
+		return nil, from, err
+	}
+	a, err := g.NewArray()
+	if err != nil {
+		return nil, from, err
+	}
+	b, err := g.NewArray()
+	if err != nil {
+		return nil, from, err
+	}
+	if err := a.Scatter(init); err != nil {
+		return nil, from, err
+	}
+	loop, err := g.RecordPingPong(StepKernel, a, b, halo, p.Alpha)
+	if err != nil {
+		return nil, from, err
+	}
+	defer loop.Release()
+	hook := onIter
+	if hook != nil {
+		base := from
+		hook = func(local int) error { return onIter(base + local) }
+	}
+	if err := loop.Iterate(to-from, hook); err != nil {
+		return nil, from, err
+	}
+	state, err := loop.Result().Gather()
+	if err != nil {
+		return nil, from, err
+	}
+	return state, to, nil
+}
+
+// Provider yields a fresh context and device set for one recovery
+// attempt — typically the currently reachable devices of a platform.
+// It is called once per attempt, so a daemon crash between attempts
+// shrinks the partition instead of failing the run.
+type Provider func() (cl.Context, []cl.Device, error)
+
+// RunRecoverable solves the problem with checkpoint/restart: every
+// ckptEvery iterations the state is gathered to the host; if a device
+// or daemon fails mid-flight, the run is rebuilt from the last
+// checkpoint on a fresh Provider context and the lost iterations are
+// recomputed. Because recomputation is bit-deterministic, the final
+// state is identical to a fault-free run. onIter (optional) sees the
+// global iteration number after each enqueue — including replays of
+// iterations lost to a crash. Returns the state and the number of
+// restarts.
+func RunRecoverable(provide Provider, p Params, init []float32, ckptEvery int, onIter func(int) error) ([]float32, int, error) {
+	if ckptEvery <= 0 {
+		ckptEvery = 16
+	}
+	const maxRestarts = 8
+	state := append([]float32(nil), init...)
+	done, restarts := 0, 0
+	for done < p.Iters {
+		ctx, devices, err := provide()
+		if err != nil {
+			return nil, restarts, err
+		}
+		for done < p.Iters {
+			to := min(done+ckptEvery, p.Iters)
+			next, at, err := run(ctx, devices, p, state, done, to, onIter)
+			if err != nil {
+				restarts++
+				if restarts > maxRestarts {
+					ctx.Release()
+					return nil, restarts, fmt.Errorf("heat: giving up after %d restarts: %w", restarts, err)
+				}
+				break // rebuild from checkpoint on a fresh context
+			}
+			state, done = next, at
+		}
+		ctx.Release()
+	}
+	return state, restarts, nil
+}

@@ -168,12 +168,16 @@ func ParseManagerConfig(r io.Reader) (ManagerConfig, error) {
 }
 
 // Lease is a device-manager assignment held by this client: the
-// authentication ID plus the servers that honour it.
+// authentication ID plus the servers that honour it. ManagerAddr is the
+// address of the shard that granted the lease — with a sharded control
+// plane and failover it may be any shard of the tenant's ShardOrder
+// permutation, not necessarily the home (first) one.
 type Lease struct {
-	AuthID  string
-	Servers []*Server
-	manager *gcf.Endpoint
-	plat    *Platform
+	AuthID      string
+	ManagerAddr string
+	Servers     []*Server
+	manager     *gcf.Endpoint
+	plat        *Platform
 }
 
 // RequestFromManager implements the automatic device request mechanism
@@ -187,6 +191,11 @@ type Lease struct {
 // platform.
 func (p *Platform) RequestFromManager(cfg ManagerConfig) (*Lease, error) {
 	seeds := cfg.seeds()
+	if len(seeds) == 0 {
+		// Fall back to the platform-level seed list (Options.Managers), so
+		// facade users configure the control plane once at NewPlatform.
+		seeds = p.opts.Managers
+	}
 	if len(seeds) == 0 {
 		return nil, cl.Errf(cl.InvalidValue, "no device manager configured")
 	}
@@ -248,6 +257,7 @@ func (p *Platform) fetchShardMap(seeds []string) (protocol.ShardMap, error) {
 		}
 		ep := gcf.NewEndpoint(conn, true)
 		respCh := make(chan *protocol.Envelope, 1)
+		lost := make(chan struct{})
 		ep.Start(func(msg []byte) {
 			env, perr := protocol.ParseEnvelope(msg)
 			if perr == nil && env.Class == protocol.ClassResponse {
@@ -256,16 +266,18 @@ func (p *Platform) fetchShardMap(seeds []string) (protocol.ShardMap, error) {
 				default:
 				}
 			}
-		}, nil)
+		}, func(error) { close(lost) })
 		err = ep.Send(protocol.EncodeEnvelope(protocol.ClassRequest, 1, protocol.MsgDMShardMap, protocol.NewWriter()))
 		if err != nil {
 			ep.Close()
 			lastErr = err
 			continue
 		}
-		env, ok := <-respCh
+		env, ok := awaitResponse(respCh, lost)
 		ep.Close()
 		if !ok {
+			// The seed died mid-request: without the close notice this
+			// receive would hang forever instead of trying the next seed.
 			lastErr = fmt.Errorf("%s: connection lost", addr)
 			continue
 		}
@@ -283,6 +295,26 @@ func (p *Platform) fetchShardMap(seeds []string) (protocol.ShardMap, error) {
 	return protocol.ShardMap{}, lastErr
 }
 
+// awaitResponse blocks until the manager answers or its connection dies.
+// The endpoint's close notice fires once when the transport drops, so a
+// shard killed mid-request surfaces as ok=false instead of stranding the
+// caller on a channel nothing will ever write to — the bug that used to
+// defeat ShardOrder failover. A response that raced the close notice is
+// still drained and honoured.
+func awaitResponse(respCh chan *protocol.Envelope, lost chan struct{}) (*protocol.Envelope, bool) {
+	select {
+	case env := <-respCh:
+		return env, true
+	case <-lost:
+		select {
+		case env := <-respCh:
+			return env, true
+		default:
+			return nil, false
+		}
+	}
+}
+
 // requestFromShard runs one placement attempt against one shard.
 func (p *Platform) requestFromShard(manager, tenant string, cfg ManagerConfig) (*Lease, error) {
 	conn, err := p.opts.Dialer(manager)
@@ -291,6 +323,7 @@ func (p *Platform) requestFromShard(manager, tenant string, cfg ManagerConfig) (
 	}
 	ep := gcf.NewEndpoint(conn, true)
 	respCh := make(chan *protocol.Envelope, 1)
+	lost := make(chan struct{})
 	ep.Start(func(msg []byte) {
 		env, perr := protocol.ParseEnvelope(msg)
 		if perr != nil {
@@ -309,7 +342,7 @@ func (p *Platform) requestFromShard(manager, tenant string, cfg ManagerConfig) (
 				p.noteShardView(view)
 			}
 		}
-	}, nil)
+	}, func(error) { close(lost) })
 
 	w := protocol.NewWriter()
 	protocol.PlaceRequest{Tenant: tenant, Weight: cfg.Weight, Requests: cfg.Requests}.Put(w)
@@ -317,10 +350,13 @@ func (p *Platform) requestFromShard(manager, tenant string, cfg ManagerConfig) (
 		ep.Close()
 		return nil, cl.Errf(cl.InvalidServer, "device manager request: %v", err)
 	}
-	env, ok := <-respCh
+	env, ok := awaitResponse(respCh, lost)
 	if !ok {
+		// The shard crashed mid-acquire. InvalidServer makes the candidate
+		// loop in RequestFromManager advance to the next shard of the
+		// tenant's permutation instead of hanging here forever.
 		ep.Close()
-		return nil, cl.Errf(cl.InvalidServer, "device manager connection lost")
+		return nil, cl.Errf(cl.InvalidServer, "device manager %s connection lost mid-request", manager)
 	}
 	if status := cl.ErrorCode(env.Body.I32()); status != cl.Success {
 		reason := env.Body.String()
@@ -338,7 +374,7 @@ func (p *Platform) requestFromShard(manager, tenant string, cfg ManagerConfig) (
 		p.noteShardView(view)
 	}
 
-	lease := &Lease{AuthID: authID, manager: ep, plat: p}
+	lease := &Lease{AuthID: authID, ManagerAddr: manager, manager: ep, plat: p}
 	for _, addr := range serverAddrs {
 		s, err := p.connectServerAuth(addr, authID)
 		if err != nil {

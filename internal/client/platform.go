@@ -35,6 +35,12 @@ type Options struct {
 	// are shipped instead — a diagnostic/benchmark knob; the default
 	// (delta on where negotiated) is strictly less data on the wire.
 	NoReplayDelta bool
+	// Managers seeds the control plane for RequestFromManager calls whose
+	// ManagerConfig names no manager of its own: the platform-level
+	// default shard list. With more than one seed the acquire path fails
+	// over along the tenant's ShardOrder permutation when a shard dies
+	// mid-request.
+	Managers []string
 }
 
 // Platform is the uniform dOpenCL platform (Section III-E): a self-

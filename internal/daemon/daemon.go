@@ -42,6 +42,14 @@ type Config struct {
 	// PeerDial reaches other daemons' peer data planes for outbound
 	// buffer forwarding. Nil disables outbound forwarding.
 	PeerDial func(addr string) (net.Conn, error)
+	// PeerParkTTL bounds how long a peer payload that arrived before its
+	// accept is parked awaiting the rendezvous. Past it the entry is
+	// drained and its token recorded as dropped, so a client whose accept
+	// was lost neither pins the payload bytes nor hangs on the gate.
+	// Zero means 30s. Deployments with tight memory or chaos tests that
+	// churn forwards can lower it to milliseconds: expiry, late accepts
+	// and session-close retirement race cleanly at any setting.
+	PeerParkTTL time.Duration
 	// SessionRetain keeps a disconnected client's session state (contexts,
 	// buffers, programs, kernels, queues, cached graphs) alive for this
 	// long after the connection dies, so the client can re-attach with

@@ -122,11 +122,38 @@ type earlyTransfer struct {
 // bounds how long they can be pinned.)
 const maxEarlyTransfers = 256
 
-// earlyTransferTTL bounds how long a parked payload waits for its
-// accept: past it the entry is drained and recorded as dropped, so a
-// client whose accept was lost does not pin the payload (and a table
-// slot) until the peer connection dies.
-const earlyTransferTTL = 30 * time.Second
+// defaultEarlyTransferTTL bounds how long a parked payload waits for its
+// accept when Config.PeerParkTTL is unset: past it the entry is drained
+// and recorded as dropped, so a client whose accept was lost does not
+// pin the payload (and a table slot) until the peer connection dies.
+const defaultEarlyTransferTTL = 30 * time.Second
+
+// parkTTL returns the effective parked-payload TTL.
+func (d *Daemon) parkTTL() time.Duration {
+	if d.cfg.PeerParkTTL > 0 {
+		return d.cfg.PeerParkTTL
+	}
+	return defaultEarlyTransferTTL
+}
+
+// parkTimerPad is the slack added to the TTL timer so it always fires
+// after the entry is genuinely expired (the sweep compares against the
+// TTL; a timer firing marginally early would find nothing to do and the
+// entry would then linger until the next rendezvous). The old fixed
+// one-second pad dwarfed millisecond TTLs — an expired payload sat
+// parked for ~1s unless other forward traffic happened to sweep it —
+// so the pad scales with the TTL instead, bounded to stay meaningful
+// for long TTLs and cheap for short ones.
+func parkTimerPad(ttl time.Duration) time.Duration {
+	pad := ttl / 8
+	if pad < time.Millisecond {
+		pad = time.Millisecond
+	}
+	if pad > time.Second {
+		pad = time.Second
+	}
+	return pad
+}
 
 // maxDroppedTokens bounds the memory of recently dropped transfers.
 const maxDroppedTokens = 1024
@@ -292,7 +319,8 @@ func (d *Daemon) matchTransfer(ep *gcf.Endpoint, hdr protocol.PeerTransfer) {
 	// on the next rendezvous). It is stopped when the entry retires
 	// early, so matched transfers do not accumulate pending timers. At
 	// most maxEarlyTransfers timers exist.
-	t := time.AfterFunc(earlyTransferTTL+time.Second, func() {
+	ttl := d.parkTTL()
+	t := time.AfterFunc(ttl+parkTimerPad(ttl), func() {
 		d.earlyTimers.Add(-1) // fired: no longer pending
 		d.fwdMu.Lock()
 		d.expireEarlyLocked()
@@ -345,8 +373,9 @@ func (d *Daemon) expireEarlyLocked() {
 		return
 	}
 	now := time.Now()
+	ttl := d.parkTTL()
 	for token, et := range d.fwdEar {
-		if now.Sub(et.at) < earlyTransferTTL {
+		if now.Sub(et.at) < ttl {
 			continue
 		}
 		d.retireEarlyLocked(token, et)

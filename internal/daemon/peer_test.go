@@ -27,12 +27,20 @@ type peerHarness struct {
 
 func newPeerHarness(t *testing.T) *peerHarness {
 	t.Helper()
+	return newPeerHarnessTTL(t, 0)
+}
+
+// newPeerHarnessTTL is newPeerHarness with an explicit parked-payload
+// TTL (0 keeps the default), for the millisecond-expiry churn tests.
+func newPeerHarnessTTL(t *testing.T, ttl time.Duration) *peerHarness {
+	t.Helper()
 	nw := simnet.NewNetwork(simnet.Unlimited())
 	plat := native.NewPlatform("p", "v", []device.Config{device.TestCPU("cpu0")})
 	d, err := New(Config{
 		Name: "srv", Platform: plat,
-		PeerAddr: "srv/peer",
-		PeerDial: func(a string) (net.Conn, error) { return nw.DialFrom("srv", a) },
+		PeerAddr:    "srv/peer",
+		PeerDial:    func(a string) (net.Conn, error) { return nw.DialFrom("srv", a) },
+		PeerParkTTL: ttl,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -151,11 +151,13 @@ func (f *pairFaults) spikeDelay(n int) time.Duration {
 
 // half is one direction of a pipe.
 type half struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	chunks []chunk
-	offset int // read offset into chunks[0]
-	closed bool
+	mu      sync.Mutex
+	cond    *sync.Cond
+	chunks  []chunk
+	offset  int // read offset into chunks[0]
+	closed  bool
+	aborted bool          // hard close: in-flight chunks dropped, reads error
+	sig     chan struct{} // closed+replaced on close/abort; wakes delay waits
 
 	wire      *Limiter // shared or private reservation timeline
 	cfg       LinkConfig
@@ -169,7 +171,7 @@ type half struct {
 }
 
 func newHalf(cfg LinkConfig) *half {
-	h := &half{cfg: cfg, rampLeft: cfg.SlowStartBytes}
+	h := &half{cfg: cfg, rampLeft: cfg.SlowStartBytes, sig: make(chan struct{})}
 	h.wire = cfg.Shared
 	if h.wire == nil {
 		h.wire = NewLimiter()
@@ -219,7 +221,7 @@ func (h *half) send(p []byte) (int, error) {
 		return 0, io.ErrClosedPipe
 	}
 	if h.faults != nil && h.faults.severed.Load() {
-		h.close()
+		h.abort()
 		return 0, io.ErrClosedPipe
 	}
 	if h.cfg.FailAfterBytes > 0 {
@@ -283,18 +285,43 @@ func (h *half) isClosed() bool {
 // recv reads available data into p, honouring chunk readiness times.
 func (h *half) recv(p []byte) (int, error) {
 	// Sub-threshold waits are treated as ready: OS timer granularity would
-	// otherwise dominate fine-grained latencies.
-	const readyThreshold = 200 * time.Microsecond
+	// otherwise dominate fine-grained latencies. Waits beyond the
+	// interruptible threshold use a coarse timer racing the half's signal
+	// channel instead of an unconditional sleep — a reader parked behind a
+	// long-delayed chunk (a stalled-path fault) must still observe its
+	// connection being torn down, not sleep out the full modeled delay.
+	const (
+		readyThreshold    = 200 * time.Microsecond
+		interruptibleWait = 10 * time.Millisecond
+	)
 	h.mu.Lock()
 	for {
+		if h.aborted {
+			h.mu.Unlock()
+			return 0, io.ErrClosedPipe
+		}
 		if len(h.chunks) > 0 {
 			c := h.chunks[0]
 			wait := time.Until(c.ready)
 			if wait <= readyThreshold {
 				break
 			}
+			if wait <= interruptibleWait {
+				// Short waits keep the precise spin sleep: an abort racing
+				// in is only delayed by a few milliseconds.
+				h.mu.Unlock()
+				hrtime.SleepUntil(c.ready)
+				h.mu.Lock()
+				continue
+			}
+			sig := h.sig
 			h.mu.Unlock()
-			hrtime.SleepUntil(c.ready)
+			t := time.NewTimer(wait - interruptibleWait/2)
+			select {
+			case <-sig:
+			case <-t.C:
+			}
+			t.Stop()
 			h.mu.Lock()
 			continue
 		}
@@ -322,12 +349,38 @@ func (h *half) recv(p []byte) (int, error) {
 	return n, nil
 }
 
-// close marks the half closed and wakes blocked readers.
+// close marks the half closed and wakes blocked readers. Chunks already
+// on the wire are still delivered at their ready time before EOF (a
+// graceful close flushes, like TCP).
 func (h *half) close() {
 	h.mu.Lock()
 	h.closed = true
+	h.bumpLocked()
 	h.cond.Broadcast()
 	h.mu.Unlock()
+}
+
+// abort hard-closes the half, the cable-pull flavour: in-flight chunks
+// are dropped and a blocked reader wakes immediately with an error, even
+// if it was waiting out a long modeled (or fault-injected) delay.
+func (h *half) abort() {
+	h.mu.Lock()
+	h.aborted = true
+	h.closed = true
+	h.chunks = nil
+	h.offset = 0
+	h.bumpLocked()
+	h.cond.Broadcast()
+	h.mu.Unlock()
+}
+
+// bumpLocked wakes delay-waiting readers. Callers hold h.mu. The channel
+// is replaced each time so a woken reader that keeps waiting (graceful
+// close with chunks still in flight) blocks on a fresh signal instead of
+// spinning on the closed one.
+func (h *half) bumpLocked() {
+	close(h.sig)
+	h.sig = make(chan struct{})
 }
 
 // Addr is a simnet address.
@@ -369,13 +422,23 @@ func (c *Conn) Read(p []byte) (int, error) { return c.in.recv(p) }
 // Write writes data to the connection, paced by the link's bandwidth.
 func (c *Conn) Write(p []byte) (int, error) { return c.out.send(p) }
 
-// Close closes both directions.
+// Close closes both directions. Data already on the wire still reaches
+// the peer (graceful close).
 func (c *Conn) Close() error {
 	c.closeOnce.Do(func() {
 		c.in.close()
 		c.out.close()
 	})
 	return nil
+}
+
+// abort hard-closes both directions: in-flight data is lost and blocked
+// readers on either end wake immediately. Fault injection (Sever,
+// SeverNode) uses this — a crashed node's in-flight responses must not
+// be delivered, nor strand a reader waiting out their modeled delay.
+func (c *Conn) abort() {
+	c.in.abort()
+	c.out.abort()
 }
 
 // LocalAddr returns the local endpoint address.
@@ -481,7 +544,7 @@ func (n *Network) Sever(a, b string) {
 	}
 	n.mu.Unlock()
 	for _, c := range victims {
-		c.Close()
+		c.abort()
 	}
 }
 
@@ -514,7 +577,7 @@ func (n *Network) SeverNode(addr string) {
 	n.faultsFor(addr, "*").severed.Store(true)
 	n.mu.Unlock()
 	for _, c := range victims {
-		c.Close()
+		c.abort()
 	}
 }
 
